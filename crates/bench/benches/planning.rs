@@ -1,0 +1,53 @@
+//! Criterion benchmarks of EdgeNN's planning machinery: profiling,
+//! plan construction (the DP + Eq. 4 evaluations), and one analytic
+//! simulation pass — the costs a deployment pays per tuning round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_sim::platforms;
+
+fn bench_profile(c: &mut Criterion) {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let mut group = c.benchmark_group("tuner_profile");
+    for kind in [ModelKind::LeNet, ModelKind::SqueezeNet, ModelKind::Vgg16] {
+        let graph = build(kind, ModelScale::Paper);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| Tuner::new(black_box(g), &runtime).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let mut group = c.benchmark_group("tuner_plan");
+    for kind in [ModelKind::AlexNet, ModelKind::SqueezeNet, ModelKind::ResNet18] {
+        let graph = build(kind, ModelScale::Paper);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| tuner.plan(black_box(g), &runtime, ExecutionConfig::edgenn()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let mut group = c.benchmark_group("simulate");
+    for kind in [ModelKind::AlexNet, ModelKind::SqueezeNet] {
+        let graph = build(kind, ModelScale::Paper);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
+            b.iter(|| runtime.simulate(black_box(g), &plan).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile, bench_plan, bench_simulate);
+criterion_main!(benches);

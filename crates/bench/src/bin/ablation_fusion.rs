@@ -1,0 +1,7 @@
+//! ReLU-fusion ablation (reproduction extension, see DESIGN.md §5).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::ablation_fusion(&lab).expect("ablation failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Ablation study beyond the paper's own figures (see DESIGN.md §5).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::ablation_memory_policy(&lab).expect("ablation failed");
+    print!("{}", report.render());
+}

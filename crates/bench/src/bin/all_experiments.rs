@@ -1,0 +1,18 @@
+//! Runs every paper experiment and prints a combined report
+//! (the source of truth for EXPERIMENTS.md). Pass `--json` to emit the
+//! machine-readable version instead.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let lab = edgenn_bench::experiments::Lab::new();
+    let reports = lab.run_all().expect("experiments failed");
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+    } else {
+        println!("# EdgeNN reproduction — all paper experiments\n");
+        for report in &reports {
+            print!("{}", report.render());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Re-derives the `calibrated:` constants in `edgenn-sim::platforms` by
+//! coordinate descent against the paper's headline numbers.
+
+use edgenn_bench::calibrate::{descend, measure, objective, Knob, Targets};
+
+fn main() {
+    let targets = Targets::paper();
+    let mut platform = edgenn_sim::platforms::jetson_agx_xavier();
+    let mut score = objective(&measure(&platform).expect("measure"), &targets);
+    println!("initial objective: {score:.4}");
+    for round in 0..3 {
+        let (next, next_score) =
+            descend(&platform, &targets, &[0.7, 0.85, 1.2, 1.4]).expect("descend");
+        println!("round {round}: objective {next_score:.4}");
+        if next_score >= score - 1e-6 {
+            break;
+        }
+        platform = next;
+        score = next_score;
+    }
+    println!("\nfitted knobs:");
+    for knob in Knob::ALL {
+        println!("  {:<30} {:.4}", knob.name(), knob.get(&platform));
+    }
+    let measured = measure(&platform).expect("measure");
+    println!("\nfit quality (measured vs paper):");
+    println!("  fig6 jetson-cpu speedup : {:.2} vs {:.2}", measured.fig6, targets.fig6_jetson_cpu_speedup);
+    println!("  fig8 edgenn improvement : {:.1}% vs {:.1}%", measured.fig8_full, targets.fig8_edgenn_improvement);
+    println!("  fig8 memory improvement : {:.1}% vs {:.1}%", measured.fig8_memory, targets.fig8_memory_improvement);
+    println!("  fig9 copy proportion    : {:.1}% vs {:.1}%", measured.fig9, targets.fig9_integrated_copy);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 6 (EdgeNN speedups over the three edge CPUs).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig06_edge_cpu_speedups(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7 (power/price efficiency vs the edge CPU).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig07_power_price_edge(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8 (improvement breakdown over direct GPU execution).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig08_ablation(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 9 (copy-time proportion, integrated vs discrete).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig09_copy_proportion(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

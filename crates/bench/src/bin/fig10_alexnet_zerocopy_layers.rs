@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 10 (AlexNet per-layer time with/without zero-copy).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig10_alexnet_zerocopy_layers(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 11 (AlexNet per-layer time under hybrid execution).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig11_alexnet_hybrid_layers(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 12 (EdgeNN vs cloud offload).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig12_cloud(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

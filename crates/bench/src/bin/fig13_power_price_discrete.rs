@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 13 (power/price efficiency vs the discrete GPU).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::fig13_power_price_discrete(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Saturated-stream throughput: latency plan vs two-stage pipeline.
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::pipeline_throughput(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! EdgeNN across the Xavier's 10W/15W/30W nvpmodel budgets.
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::power_mode_sweep(&lab).expect("sweep failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Section V-F (inter-kernel-only co-running comparison).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::sec5f_interkernel_only(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Section VI generality check: EdgeNN on AMD APU / Apple Silicon models.
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::sec6_platform_generality(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Calibration-robustness sweep (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::sensitivity_sweep(&lab).expect("sweep failed");
+    print!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table I (hybrid-execution improvement by layer class).
+
+fn main() {
+    let lab = edgenn_bench::experiments::Lab::new();
+    let report = edgenn_bench::experiments::tab1_hybrid_layer_improvement(&lab).expect("experiment failed");
+    print!("{}", report.render());
+}

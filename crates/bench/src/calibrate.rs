@@ -1,0 +1,284 @@
+//! Calibration fitting: searches the most influential simulator constants
+//! to minimize the log-error against the paper's headline numbers.
+//!
+//! This is the tool behind the `calibrated:` values in
+//! `edgenn-sim::platforms` — run `cargo run --release -p edgenn-bench
+//! --bin calibrate` to reproduce (or improve) the fit. The optimizer is a
+//! deliberately simple coordinate descent over a small knob set: the goal
+//! is transparency, not black-box fitting.
+
+use edgenn_core::metrics::arithmetic_mean;
+use edgenn_core::prelude::*;
+use edgenn_core::Result;
+use edgenn_sim::Platform;
+
+/// One fitted knob: how to read and write it on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// GPU convolution compute efficiency.
+    GpuConvEff,
+    /// CPU convolution compute efficiency.
+    CpuConvEff,
+    /// GPU fully-connected bandwidth efficiency.
+    GpuFcBwEff,
+    /// CPU<->GPU copy bandwidth (GB/s).
+    CopyBwGbps,
+}
+
+impl Knob {
+    /// All fitted knobs.
+    pub const ALL: [Knob; 4] =
+        [Knob::GpuConvEff, Knob::CpuConvEff, Knob::GpuFcBwEff, Knob::CopyBwGbps];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Knob::GpuConvEff => "gpu conv efficiency",
+            Knob::CpuConvEff => "cpu conv efficiency",
+            Knob::GpuFcBwEff => "gpu fc bandwidth efficiency",
+            Knob::CopyBwGbps => "copy bandwidth (GB/s)",
+        }
+    }
+
+    /// Reads the knob from a platform.
+    pub fn get(&self, platform: &Platform) -> f64 {
+        match self {
+            Knob::GpuConvEff => platform.gpu.as_ref().expect("gpu").efficiency.conv,
+            Knob::CpuConvEff => platform.cpu.efficiency.conv,
+            Knob::GpuFcBwEff => platform.gpu.as_ref().expect("gpu").bw_efficiency.fc,
+            Knob::CopyBwGbps => platform.memory.copy_bw_gbps,
+        }
+    }
+
+    /// Writes the knob onto a platform.
+    pub fn set(&self, platform: &mut Platform, value: f64) {
+        match self {
+            Knob::GpuConvEff => platform.gpu.as_mut().expect("gpu").efficiency.conv = value,
+            Knob::CpuConvEff => platform.cpu.efficiency.conv = value,
+            Knob::GpuFcBwEff => platform.gpu.as_mut().expect("gpu").bw_efficiency.fc = value,
+            Knob::CopyBwGbps => platform.memory.copy_bw_gbps = value,
+        }
+    }
+}
+
+/// The paper's headline targets the fit optimizes against.
+#[derive(Debug, Clone)]
+pub struct Targets {
+    /// Figure 6: average speedup over the Jetson's own CPU.
+    pub fig6_jetson_cpu_speedup: f64,
+    /// Figure 8: average EdgeNN improvement over direct GPU execution (%).
+    pub fig8_edgenn_improvement: f64,
+    /// Figure 8: average memory-management improvement (%).
+    pub fig8_memory_improvement: f64,
+    /// Figure 9: average integrated copy proportion (%).
+    pub fig9_integrated_copy: f64,
+    /// Figure 12's crossover: VGG on the edge must be *slower* than the
+    /// ~0.57 s cloud path (hinge constraint).
+    pub fig12_vgg_crossover: bool,
+    /// Table I shape: AlexNet's conv layers must gain at most this much
+    /// from hybrid execution (% — the paper reports 0; a soft cap keeps
+    /// the fit honest without demanding the unreachable exact zero).
+    pub tab1_alexnet_conv_cap: f64,
+}
+
+impl Targets {
+    /// The paper's published values.
+    pub fn paper() -> Self {
+        Self {
+            fig6_jetson_cpu_speedup: 3.97,
+            fig8_edgenn_improvement: 22.02,
+            fig8_memory_improvement: 9.93,
+            fig9_integrated_copy: 11.46,
+            fig12_vgg_crossover: true,
+            tab1_alexnet_conv_cap: 25.0,
+        }
+    }
+}
+
+/// Measured values of the four target metrics for one platform variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Figure 6 metric.
+    pub fig6: f64,
+    /// Figure 8 EdgeNN metric.
+    pub fig8_full: f64,
+    /// Figure 8 memory metric.
+    pub fig8_memory: f64,
+    /// Figure 9 metric.
+    pub fig9: f64,
+    /// VGG latency on the edge (ms).
+    pub fig12_vgg_edge_ms: f64,
+    /// VGG latency via the cloud path (ms) — fixed by the server model
+    /// and link constants, independent of the fitted knobs.
+    pub fig12_vgg_cloud_ms: f64,
+    /// AlexNet conv-layer average hybrid gain (%).
+    pub tab1_alexnet_conv_gain: f64,
+}
+
+/// Evaluates the target metrics under `platform` (as the integrated
+/// device), across all six benchmarks.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn measure(platform: &Platform) -> Result<Measured> {
+    let mut speedups = Vec::new();
+    let mut full = Vec::new();
+    let mut memory = Vec::new();
+    let mut copies = Vec::new();
+    let mut vgg_edge_ms = 0.0;
+    let mut alexnet_conv_gain = 0.0;
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Paper);
+        let baseline = GpuOnly::new(platform).infer(&graph)?;
+        let edgenn = EdgeNn::new(platform).infer(&graph)?;
+        let mem_only =
+            EdgeNn::with_config(platform, ExecutionConfig::memory_only()).infer(&graph)?;
+        let cpu = CpuOnly::new(platform).infer(&graph)?;
+        speedups.push(edgenn.speedup_over(&cpu));
+        full.push(edgenn.improvement_over(&baseline) * 100.0);
+        memory.push(mem_only.improvement_over(&baseline) * 100.0);
+        copies.push(baseline.copy_proportion() * 100.0);
+        if kind == ModelKind::Vgg16 {
+            vgg_edge_ms = edgenn.total_us / 1e3;
+        }
+        if kind == ModelKind::AlexNet {
+            // Table I shape: per-conv-layer gain of EdgeNN over the
+            // zero-copy GPU-only run.
+            let mut gains = Vec::new();
+            for (base, hybrid) in mem_only.layers.iter().zip(edgenn.layers.iter()) {
+                if base.class_tag == "conv" {
+                    let old = base.kernel_us + base.memory_us;
+                    let new = hybrid.kernel_us + hybrid.memory_us;
+                    gains.push(((old - new) / old.max(1e-9) * 100.0).max(0.0));
+                }
+            }
+            alexnet_conv_gain = arithmetic_mean(&gains);
+        }
+    }
+    // The cloud side is independent of the fitted (edge) knobs.
+    let server = edgenn_sim::platforms::rtx_2080ti_server();
+    let vgg = build(ModelKind::Vgg16, ModelScale::Paper);
+    let cloud = CloudOffload::new(&server).infer(&vgg)?;
+    Ok(Measured {
+        fig6: arithmetic_mean(&speedups),
+        fig8_full: arithmetic_mean(&full),
+        fig8_memory: arithmetic_mean(&memory),
+        fig9: arithmetic_mean(&copies),
+        fig12_vgg_edge_ms: vgg_edge_ms,
+        fig12_vgg_cloud_ms: cloud.total_us / 1e3,
+        tab1_alexnet_conv_gain: alexnet_conv_gain,
+    })
+}
+
+/// Squared-log-error objective: scale-free, symmetric in over/undershoot.
+pub fn objective(measured: &Measured, targets: &Targets) -> f64 {
+    let term = |m: f64, t: f64| {
+        let r = (m.max(1e-6) / t.max(1e-6)).ln();
+        r * r
+    };
+    let mut score = term(measured.fig6, targets.fig6_jetson_cpu_speedup)
+        + term(measured.fig8_full, targets.fig8_edgenn_improvement)
+        + term(measured.fig8_memory, targets.fig8_memory_improvement)
+        + term(measured.fig9, targets.fig9_integrated_copy);
+    if targets.fig12_vgg_crossover && measured.fig12_vgg_edge_ms < measured.fig12_vgg_cloud_ms {
+        // Hinge: breaking the crossover is heavily penalized.
+        let gap = (measured.fig12_vgg_cloud_ms / measured.fig12_vgg_edge_ms.max(1e-6)).ln();
+        score += 4.0 * gap * gap + 0.5;
+    }
+    if measured.tab1_alexnet_conv_gain > targets.tab1_alexnet_conv_cap {
+        let excess = measured.tab1_alexnet_conv_gain / targets.tab1_alexnet_conv_cap;
+        score += excess.ln().powi(2) + 0.5;
+    }
+    score
+}
+
+/// One coordinate-descent step: tries scaling each knob by the given
+/// factors and keeps the best. Returns the improved platform and its
+/// objective value.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn descend(
+    platform: &Platform,
+    targets: &Targets,
+    factors: &[f64],
+) -> Result<(Platform, f64)> {
+    let mut best = platform.clone();
+    let mut best_score = objective(&measure(&best)?, targets);
+    for knob in Knob::ALL {
+        let base = knob.get(&best);
+        for &factor in factors {
+            let mut candidate = best.clone();
+            knob.set(&mut candidate, base * factor);
+            let score = objective(&measure(&candidate)?, targets);
+            if score < best_score {
+                best_score = score;
+                best = candidate;
+            }
+        }
+    }
+    Ok((best, best_score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_sim::platforms::jetson_agx_xavier;
+
+    #[test]
+    fn knobs_read_and_write() {
+        let mut p = jetson_agx_xavier();
+        for knob in Knob::ALL {
+            let v = knob.get(&p);
+            knob.set(&mut p, v * 2.0);
+            assert!((knob.get(&p) - v * 2.0).abs() < 1e-12, "{}", knob.name());
+            knob.set(&mut p, v);
+        }
+    }
+
+    #[test]
+    fn shipped_calibration_fits_and_descent_improves_monotonically() {
+        // The committed constants satisfy more shape constraints than the
+        // numeric objective encodes (Table I per-class gains, Figure 11,
+        // the Section V-F deltas), so we do not assert they are an
+        // optimum of *this* objective — only that (a) they already fit
+        // the headline targets decently and (b) the descent tool itself
+        // is sound: it never returns a worse platform than it was given.
+        let platform = jetson_agx_xavier();
+        let targets = Targets::paper();
+        let shipped = objective(&measure(&platform).unwrap(), &targets);
+        assert!(
+            shipped < 1.0,
+            "the shipped constants drifted from the paper targets (objective {shipped})"
+        );
+        // The shipped fit must honor the hard shape constraints exactly.
+        let measured = measure(&platform).unwrap();
+        assert!(measured.fig12_vgg_edge_ms > measured.fig12_vgg_cloud_ms, "VGG crossover");
+        assert!(measured.tab1_alexnet_conv_gain < targets.tab1_alexnet_conv_cap);
+
+        let (fitted, improved) = descend(&platform, &targets, &[0.7, 1.4]).unwrap();
+        assert!(improved <= shipped + 1e-9, "descent must not regress");
+        let remeasured = objective(&measure(&fitted).unwrap(), &targets);
+        assert!((remeasured - improved).abs() < 1e-9, "reported score must be real");
+    }
+
+    #[test]
+    fn objective_is_zero_at_the_targets() {
+        let t = Targets::paper();
+        let m = Measured {
+            fig6: t.fig6_jetson_cpu_speedup,
+            fig8_full: t.fig8_edgenn_improvement,
+            fig8_memory: t.fig8_memory_improvement,
+            fig9: t.fig9_integrated_copy,
+            fig12_vgg_edge_ms: 650.0,
+            fig12_vgg_cloud_ms: 570.0,
+            tab1_alexnet_conv_gain: 10.0,
+        };
+        assert!(objective(&m, &t) < 1e-12);
+        let off = Measured { fig6: t.fig6_jetson_cpu_speedup * 2.0, ..m };
+        assert!(objective(&off, &t) > 0.1);
+        // Breaking the crossover costs more than any smooth term.
+        let broken = Measured { fig12_vgg_edge_ms: 100.0, fig12_vgg_cloud_ms: 570.0, ..m };
+        assert!(objective(&broken, &t) > objective(&off, &t));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 7: power efficiency and cost-effectiveness of EdgeNN on the
+//! integrated device relative to the edge CPU device (Raspberry Pi 4).
+//!
+//! Paper headline: performance/power ratio geometric mean 29.14;
+//! performance/price arithmetic mean 0.94 and geometric mean 0.61 (the
+//! Raspberry Pi is more cost-effective). Section V-B2 also reports
+//! utilizations: RPi 52% average, Jetson CPU 75% / GPU 62%.
+
+use edgenn_core::metrics::{arithmetic_mean, geometric_mean};
+use edgenn_core::prelude::*;
+use edgenn_core::Result;
+use edgenn_sim::ProcessorKind;
+
+use crate::experiments::Lab;
+use crate::report::{Comparison, ExperimentReport};
+
+/// Runs the Figure 7 experiment.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn fig07_power_price_edge(lab: &Lab) -> Result<ExperimentReport> {
+    let mut rows = Vec::new();
+    let mut power_ratios = Vec::new();
+    let mut price_ratios = Vec::new();
+    let mut jetson_cpu_util = Vec::new();
+    let mut jetson_gpu_util = Vec::new();
+    let mut rpi_util = Vec::new();
+
+    for kind in ModelKind::ALL {
+        let graph = lab.model(kind);
+        let edgenn = lab.edgenn(&graph)?;
+        let rpi = lab.cpu_only(&lab.rpi, &graph)?;
+
+        // Equation (5): performance/power of EdgeNN over the edge CPU.
+        let power_ratio = edgenn.perf_per_watt() / rpi.perf_per_watt();
+        // Equation (6): performance/price.
+        let price_ratio = edgenn.perf_per_price(&lab.jetson) / rpi.perf_per_price(&lab.rpi);
+        power_ratios.push(power_ratio);
+        price_ratios.push(price_ratio);
+        jetson_cpu_util.push(edgenn.utilization(ProcessorKind::Cpu));
+        jetson_gpu_util.push(edgenn.utilization(ProcessorKind::Gpu));
+        rpi_util.push(rpi.utilization(ProcessorKind::Cpu));
+        rows.push((kind.name().to_string(), vec![power_ratio, price_ratio]));
+    }
+
+    Ok(ExperimentReport {
+        id: "Figure 7".to_string(),
+        title: "perf/power and perf/price vs the edge CPU (Raspberry Pi)".to_string(),
+        columns: vec!["perf/power ratio".to_string(), "perf/price ratio".to_string()],
+        rows,
+        comparisons: vec![
+            Comparison::new(
+                "perf/power ratio (geomean)",
+                29.14,
+                geometric_mean(&power_ratios),
+            ),
+            Comparison::new(
+                "perf/price ratio (arithmetic mean)",
+                0.94,
+                arithmetic_mean(&price_ratios),
+            ),
+            Comparison::new("perf/price ratio (geomean)", 0.61, geometric_mean(&price_ratios)),
+            Comparison::new(
+                "Jetson CPU utilization (avg)",
+                0.75,
+                arithmetic_mean(&jetson_cpu_util),
+            ),
+            Comparison::new(
+                "Jetson GPU utilization (avg)",
+                0.62,
+                arithmetic_mean(&jetson_gpu_util),
+            ),
+            Comparison::new("RPi utilization (avg)", 0.52, arithmetic_mean(&rpi_util)),
+        ],
+        notes: vec![
+            "Shape targets: EdgeNN wins on energy (ratio >> 1) while the $75 Raspberry Pi \
+             stays the more cost-effective device (geomean perf/price < 1)."
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_shape_holds() {
+        let lab = Lab::new();
+        let report = fig07_power_price_edge(&lab).unwrap();
+        let power_geo = report.comparisons[0].measured;
+        let price_geo = report.comparisons[2].measured;
+        assert!(power_geo > 3.0, "EdgeNN must be much more energy-efficient, got {power_geo}");
+        // Paper's crossover: the edge CPU is more cost-effective overall.
+        assert!(price_geo < 2.0, "perf/price should stay near or below 1, got {price_geo}");
+        // Per-model power ratios all favor EdgeNN.
+        for (model, values) in &report.rows {
+            assert!(values[0] > 1.0, "{model}: power ratio {}", values[0]);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 11: per-layer execution time of AlexNet with hybrid execution.
+//!
+//! Paper headline: hybrid execution improves AlexNet's fully-connected
+//! layers by 31.71% on average without zero-copy and 53.80% with
+//! zero-copy, while the (large) convolutional layers gain nothing — only
+//! the GPU can run them at full speed.
+
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_core::tuner::Tuner;
+use edgenn_core::Result;
+
+use crate::experiments::Lab;
+use crate::report::{Comparison, ExperimentReport};
+
+/// Per-layer attributable time (kernel + memory management charged to it).
+fn layer_cost(l: &edgenn_core::metrics::LayerTiming) -> f64 {
+    l.kernel_us + l.memory_us
+}
+
+/// Average percentage improvement of `new` over `old` for layers of one
+/// class.
+fn class_improvement(
+    old: &edgenn_core::metrics::InferenceReport,
+    new: &edgenn_core::metrics::InferenceReport,
+    tag: &str,
+) -> f64 {
+    let mut gains = Vec::new();
+    for (o, n) in old.layers.iter().zip(new.layers.iter()) {
+        if o.class_tag == tag {
+            gains.push((layer_cost(o) - layer_cost(n)) / layer_cost(o).max(1e-9) * 100.0);
+        }
+    }
+    gains.iter().sum::<f64>() / gains.len().max(1) as f64
+}
+
+/// Runs the Figure 11 experiment.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn fig11_alexnet_hybrid_layers(lab: &Lab) -> Result<ExperimentReport> {
+    let graph = lab.model(ModelKind::AlexNet);
+    let runtime = Runtime::new(&lab.jetson);
+    let tuner = Tuner::new(&graph, &runtime)?;
+
+    // Without zero-copy: explicit baseline vs explicit hybrid.
+    let explicit_base =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu())?)?;
+    let explicit_hybrid =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::hybrid_only())?)?;
+    // With zero-copy: memory-only vs full EdgeNN (isolates hybrid's gain
+    // under the semantic-aware memory policy).
+    let zc_base =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?)?;
+    let zc_hybrid =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?)?;
+
+    let mut rows = Vec::new();
+    for i in 0..explicit_base.layers.len() {
+        let name = explicit_base.layers[i].name.clone();
+        rows.push((
+            name,
+            vec![
+                layer_cost(&explicit_base.layers[i]),
+                layer_cost(&explicit_hybrid.layers[i]),
+                layer_cost(&zc_base.layers[i]),
+                layer_cost(&zc_hybrid.layers[i]),
+            ],
+        ));
+    }
+
+    Ok(ExperimentReport {
+        id: "Figure 11".to_string(),
+        title: "AlexNet per-layer time under hybrid execution (us)".to_string(),
+        columns: vec![
+            "gpu-only (explicit)".to_string(),
+            "hybrid (explicit)".to_string(),
+            "gpu-only (zero-copy)".to_string(),
+            "hybrid (zero-copy)".to_string(),
+        ],
+        rows,
+        comparisons: vec![
+            Comparison::new(
+                "fc improvement without zero-copy (avg %)",
+                31.71,
+                class_improvement(&explicit_base, &explicit_hybrid, "fc"),
+            ),
+            Comparison::new(
+                "fc improvement with zero-copy (avg %)",
+                53.80,
+                class_improvement(&zc_base, &zc_hybrid, "fc"),
+            ),
+            Comparison::new(
+                "conv improvement with zero-copy (avg %)",
+                0.0,
+                class_improvement(&zc_base, &zc_hybrid, "conv"),
+            ),
+        ],
+        notes: vec![
+            "Shape targets: fc layers gain substantially from co-running (more with \
+             zero-copy than without); the large AlexNet convolutions gain ~nothing."
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_shape_holds() {
+        let lab = Lab::new();
+        let report = fig11_alexnet_hybrid_layers(&lab).unwrap();
+        let fc_no_zc = report.comparisons[0].measured;
+        let fc_zc = report.comparisons[1].measured;
+        let conv_zc = report.comparisons[2].measured;
+        assert!(fc_no_zc > 10.0, "fc layers must gain from hybrid execution, got {fc_no_zc}%");
+        assert!(fc_zc > 15.0, "fc layers must gain with zero-copy, got {fc_zc}%");
+        assert!(
+            conv_zc.abs() < 25.0,
+            "AlexNet convolution gains should stay modest, got {conv_zc}%"
+        );
+        assert!(fc_zc > conv_zc, "fc gains must dwarf conv gains");
+    }
+}

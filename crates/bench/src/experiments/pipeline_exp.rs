@@ -1,0 +1,87 @@
+//! Pipeline-throughput study (reproduction extension): for a saturated
+//! request stream, compare the latency-optimal EdgeNN plan against a
+//! DART-style two-stage CPU/GPU pipeline on every benchmark.
+
+use edgenn_core::pipeline::plan_pipeline;
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_core::Result;
+
+use crate::experiments::Lab;
+use crate::report::{Comparison, ExperimentReport};
+
+/// Runs the pipeline-throughput comparison.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn pipeline_throughput(lab: &Lab) -> Result<ExperimentReport> {
+    let runtime = Runtime::new(&lab.jetson);
+    let requests = 24;
+    let mut rows = Vec::new();
+    let mut pipeline_wins = 0usize;
+
+    for kind in ModelKind::ALL {
+        let graph = lab.model(kind);
+        let tuner = Tuner::new(&graph, &runtime)?;
+        let latency_plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?;
+        let pipeline = plan_pipeline(&graph, &runtime, ExecutionConfig::edgenn())?;
+
+        let latency_stream = runtime.simulate_stream(&graph, &latency_plan, requests)?;
+        let pipeline_stream = runtime.simulate_stream(&graph, &pipeline.plan, requests)?;
+        if pipeline_stream.throughput_per_s > latency_stream.throughput_per_s {
+            pipeline_wins += 1;
+        }
+        rows.push((
+            kind.name().to_string(),
+            vec![
+                latency_stream.throughput_per_s,
+                pipeline_stream.throughput_per_s,
+                pipeline.cut as f64,
+                if pipeline.cpu_first { 1.0 } else { 0.0 },
+            ],
+        ));
+    }
+
+    Ok(ExperimentReport {
+        id: "Pipeline".to_string(),
+        title: format!(
+            "saturated-stream throughput over {requests} requests: latency plan vs two-stage pipeline"
+        ),
+        columns: vec![
+            "latency-plan req/s".to_string(),
+            "pipeline req/s".to_string(),
+            "cut node".to_string(),
+            "cpu-first (1/0)".to_string(),
+        ],
+        rows,
+        comparisons: vec![Comparison::measured_only(
+            "networks where the pipeline wins (of 6)",
+            pipeline_wins as f64,
+        )],
+        notes: vec![
+            "The latency-optimal plan already co-runs both processors within each \
+             request, so a stage pipeline only wins where the network splits into \
+             well-balanced CPU/GPU halves; elsewhere intra-request hybrid execution \
+             dominates — the two paradigms are complements, not substitutes."
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_experiment_is_sane() {
+        let lab = Lab::new();
+        let report = pipeline_throughput(&lab).unwrap();
+        for (model, values) in &report.rows {
+            assert!(values[0] > 0.0 && values[1] > 0.0, "{model}");
+            assert!(values[2] >= 1.0, "{model}: cut must be interior");
+            // Neither strategy should collapse versus the other.
+            let ratio = values[1] / values[0];
+            assert!((0.2..5.0).contains(&ratio), "{model}: throughput ratio {ratio}");
+        }
+    }
+}

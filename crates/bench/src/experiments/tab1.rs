@@ -1,0 +1,154 @@
+//! Table I: per-layer improvement from CPU-GPU hybrid execution with
+//! zero-copy, grouped by layer class, for LeNet, AlexNet and VGG.
+//!
+//! Paper values (%):
+//!
+//! |         | LeNet conv | LeNet fc | AlexNet conv | AlexNet fc | VGG conv | VGG fc |
+//! |---------|-----------|----------|--------------|------------|----------|--------|
+//! | min     | 4.95      | 31.56    | 0            | 48.43      | 0        | 16.07  |
+//! | max     | 36.25     | 41.24    | 0            | 58.32      | 19.15    | 43.09  |
+//! | average | 20.60     | 36.40    | 0            | 53.81      | 4.12     | 31.43  |
+
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_core::tuner::Tuner;
+use edgenn_core::Result;
+
+use crate::experiments::Lab;
+use crate::report::{Comparison, ExperimentReport};
+
+/// Min/max/avg improvement of one layer class in one network.
+#[derive(Debug, Clone, Copy)]
+struct ClassStats {
+    min: f64,
+    max: f64,
+    avg: f64,
+}
+
+fn class_stats(
+    base: &edgenn_core::metrics::InferenceReport,
+    hybrid: &edgenn_core::metrics::InferenceReport,
+    tag: &str,
+) -> ClassStats {
+    let mut gains = Vec::new();
+    for (o, n) in base.layers.iter().zip(hybrid.layers.iter()) {
+        if o.class_tag == tag {
+            let old = o.kernel_us + o.memory_us;
+            let new = n.kernel_us + n.memory_us;
+            gains.push(((old - new) / old.max(1e-9) * 100.0).max(0.0));
+        }
+    }
+    if gains.is_empty() {
+        return ClassStats { min: 0.0, max: 0.0, avg: 0.0 };
+    }
+    ClassStats {
+        min: gains.iter().copied().fold(f64::INFINITY, f64::min),
+        max: gains.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        avg: gains.iter().sum::<f64>() / gains.len() as f64,
+    }
+}
+
+/// Runs the Table I experiment.
+///
+/// # Errors
+/// Propagates simulation failures.
+pub fn tab1_hybrid_layer_improvement(lab: &Lab) -> Result<ExperimentReport> {
+    // (model, paper conv min/max/avg, paper fc min/max/avg)
+    let cases = [
+        (ModelKind::LeNet, [4.95, 36.25, 20.60], [31.56, 41.24, 36.40]),
+        (ModelKind::AlexNet, [0.0, 0.0, 0.0], [48.43, 58.32, 53.81]),
+        (ModelKind::Vgg16, [0.0, 19.15, 4.12], [16.07, 43.09, 31.43]),
+    ];
+    let runtime = Runtime::new(&lab.jetson);
+    let mut rows = Vec::new();
+    let mut comparisons = Vec::new();
+
+    for (kind, paper_conv, paper_fc) in cases {
+        let graph = lab.model(kind);
+        let tuner = Tuner::new(&graph, &runtime)?;
+        // Isolate hybrid execution under zero-copy: memory-only vs EdgeNN.
+        let base = runtime
+            .simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?)?;
+        let hybrid =
+            runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?)?;
+        let conv = class_stats(&base, &hybrid, "conv");
+        let fc = class_stats(&base, &hybrid, "fc");
+        rows.push((
+            format!("{} conv", kind.name()),
+            vec![conv.min, conv.max, conv.avg],
+        ));
+        rows.push((format!("{} fc", kind.name()), vec![fc.min, fc.max, fc.avg]));
+        comparisons.push(Comparison::new(
+            format!("{} conv avg %", kind.name()),
+            paper_conv[2],
+            conv.avg,
+        ));
+        comparisons.push(Comparison::new(format!("{} fc avg %", kind.name()), paper_fc[2], fc.avg));
+        comparisons.push(Comparison::new(
+            format!("{} fc max %", kind.name()),
+            paper_fc[1],
+            fc.max,
+        ));
+    }
+
+    Ok(ExperimentReport {
+        id: "Table I".to_string(),
+        title: "hybrid-execution improvement with zero-copy, by layer class (%)".to_string(),
+        columns: vec!["min".to_string(), "max".to_string(), "avg".to_string()],
+        rows,
+        comparisons,
+        notes: vec![
+            "Shape targets: fc layers improve strongly everywhere; AlexNet's large \
+             convolutions improve ~0; LeNet's small convolutions improve meaningfully \
+             (the GPU is under-occupied on them); VGG sits between."
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let lab = Lab::new();
+        let report = tab1_hybrid_layer_improvement(&lab).unwrap();
+        let get = |label: &str| {
+            report
+                .rows
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing row {label}"))
+        };
+        let lenet_conv = get("LeNet conv");
+        let alexnet_conv = get("AlexNet conv");
+        let alexnet_fc = get("AlexNet fc");
+        let vgg_conv = get("VGG conv");
+        let vgg_fc = get("VGG fc");
+
+        // fc layers benefit strongly.
+        assert!(alexnet_fc[2] > 20.0, "AlexNet fc avg {}", alexnet_fc[2]);
+        assert!(vgg_fc[2] > 10.0, "VGG fc avg {}", vgg_fc[2]);
+        // AlexNet's big convolutions gain far less than its fc layers
+        // (the paper reports exactly 0; see EXPERIMENTS.md for why our
+        // model retains a modest gain).
+        assert!(alexnet_conv[2] < 25.0, "AlexNet conv avg {}", alexnet_conv[2]);
+        assert!(
+            alexnet_fc[2] > 1.5 * alexnet_conv[2],
+            "fc gains ({}) must dwarf conv gains ({})",
+            alexnet_fc[2],
+            alexnet_conv[2]
+        );
+        // LeNet's small convolutions beat AlexNet's large ones.
+        assert!(
+            lenet_conv[2] > alexnet_conv[2],
+            "LeNet conv ({}) should out-gain AlexNet conv ({})",
+            lenet_conv[2],
+            alexnet_conv[2]
+        );
+        // VGG conv average stays small even if some layers improve.
+        assert!(vgg_conv[2] < 25.0, "VGG conv avg {}", vgg_conv[2]);
+    }
+}

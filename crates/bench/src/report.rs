@@ -1,0 +1,160 @@
+//! Report types: paper-vs-measured comparisons and table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-reported value next to the reproduction's measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared ("avg speedup over Jetson CPU", ...).
+    pub metric: String,
+    /// The paper's value (`None` when the paper gives no number, only a
+    /// qualitative claim).
+    pub paper: Option<f64>,
+    /// The reproduction's value.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison against a paper-reported number.
+    pub fn new(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Self { metric: metric.into(), paper: Some(paper), measured }
+    }
+
+    /// Creates a measured-only entry (the paper reports no number).
+    pub fn measured_only(metric: impl Into<String>, measured: f64) -> Self {
+        Self { metric: metric.into(), paper: None, measured }
+    }
+
+    /// Ratio measured/paper (`None` without a paper value or with paper 0).
+    pub fn ratio(&self) -> Option<f64> {
+        match self.paper {
+            Some(p) if p != 0.0 => Some(self.measured / p),
+            _ => None,
+        }
+    }
+}
+
+/// A full experiment result: free-form data rows plus the headline
+/// paper-vs-measured comparisons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id ("Figure 6", "Table I", ...).
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Column headers of the data table.
+    pub columns: Vec<String>,
+    /// Data rows: a label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Headline comparisons.
+    pub comparisons: Vec<Comparison>,
+    /// Notes on substitutions/divergences.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Renders the report as human-readable text (also valid Markdown).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+
+        if !self.rows.is_empty() {
+            out.push_str(&format!("| {} |", ["model", ""].join("")));
+            for c in &self.columns {
+                out.push_str(&format!(" {c} |"));
+            }
+            out.push('\n');
+            out.push_str("|---|");
+            for _ in &self.columns {
+                out.push_str("---|");
+            }
+            out.push('\n');
+            for (label, values) in &self.rows {
+                out.push_str(&format!("| {label} |"));
+                for v in values {
+                    out.push_str(&format!(" {} |", fmt_value(*v)));
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+
+        if !self.comparisons.is_empty() {
+            out.push_str("| metric | paper | measured | measured/paper |\n|---|---|---|---|\n");
+            for c in &self.comparisons {
+                let paper = c.paper.map(fmt_value).unwrap_or_else(|| "—".to_string());
+                let ratio =
+                    c.ratio().map(|r| format!("{r:.2}x")).unwrap_or_else(|| "—".to_string());
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    c.metric,
+                    paper,
+                    fmt_value(c.measured),
+                    ratio
+                ));
+            }
+            out.push('\n');
+        }
+
+        for note in &self.notes {
+            out.push_str(&format!("- {note}\n"));
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting: 3 significant-ish digits across magnitudes.
+pub fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_ratio() {
+        let c = Comparison::new("x", 4.0, 5.0);
+        assert_eq!(c.ratio(), Some(1.25));
+        assert_eq!(Comparison::measured_only("y", 1.0).ratio(), None);
+        assert_eq!(Comparison::new("z", 0.0, 1.0).ratio(), None);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let r = ExperimentReport {
+            id: "Figure 6".into(),
+            title: "speedups".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![("LeNet".into(), vec![1.5, 2.5])],
+            comparisons: vec![Comparison::new("avg", 3.97, 4.1)],
+            notes: vec!["note".into()],
+        };
+        let text = r.render();
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("LeNet"));
+        assert!(text.contains("3.97"));
+        assert!(text.contains("1.03x"));
+        assert!(text.contains("- note"));
+    }
+
+    #[test]
+    fn value_formatting_scales() {
+        assert_eq!(fmt_value(12345.6), "12346");
+        assert_eq!(fmt_value(12.34), "12.3");
+        assert_eq!(fmt_value(1.234), "1.23");
+        assert_eq!(fmt_value(0.01234), "0.0123");
+    }
+}

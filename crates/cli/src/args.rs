@@ -1,0 +1,149 @@
+//! Minimal hand-rolled argument parsing (no external CLI dependency).
+
+use edgenn_core::plan::ExecutionConfig;
+use edgenn_nn::models::ModelKind;
+use edgenn_sim::{platforms, Platform};
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Options {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    /// Parses raw arguments. `--key value` pairs become flags; `--key`
+    /// followed by another flag (or nothing) becomes a boolean flag.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut options = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next(),
+                    _ => None,
+                };
+                options.flags.push((key.to_string(), value));
+            } else {
+                options.positional.push(arg);
+            }
+        }
+        options
+    }
+
+    /// The nth positional argument.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// The value of `--key`, if present with a value.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True when `--key` was passed (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+}
+
+/// Resolves a `--model` name.
+pub fn parse_model(name: &str) -> Result<ModelKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fcnn" => Ok(ModelKind::Fcnn),
+        "lenet" => Ok(ModelKind::LeNet),
+        "alexnet" => Ok(ModelKind::AlexNet),
+        "vgg" | "vgg16" | "vgg-16" => Ok(ModelKind::Vgg16),
+        "squeezenet" => Ok(ModelKind::SqueezeNet),
+        "resnet" | "resnet18" | "resnet-18" => Ok(ModelKind::ResNet18),
+        other => Err(format!(
+            "unknown model '{other}' (expected fcnn|lenet|alexnet|vgg|squeezenet|resnet)"
+        )),
+    }
+}
+
+/// Resolves a `--platform` name.
+pub fn parse_platform(name: &str) -> Result<Platform, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "jetson" | "xavier" | "jetson-agx-xavier" => Ok(platforms::jetson_agx_xavier()),
+        "rpi" | "raspberry-pi" | "raspberrypi" => Ok(platforms::raspberry_pi_4()),
+        "phone" | "dimensity" | "dimensity-8100" => Ok(platforms::dimensity_8100()),
+        "server" | "2080ti" | "rtx-2080ti" => Ok(platforms::rtx_2080ti_server()),
+        "apu" | "amd" | "amd-apu" => Ok(platforms::amd_embedded_apu()),
+        "apple" | "m1" | "apple-m1" => Ok(platforms::apple_silicon_m1()),
+        other => Err(format!(
+            "unknown platform '{other}' (expected jetson|rpi|phone|server|apu|apple)"
+        )),
+    }
+}
+
+/// Resolves a `--config` name.
+pub fn parse_config(name: &str) -> Result<ExecutionConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "edgenn" => Ok(ExecutionConfig::edgenn()),
+        "baseline" | "gpu-only" => Ok(ExecutionConfig::baseline_gpu()),
+        "cpu-only" => Ok(ExecutionConfig::cpu_only()),
+        "memory-only" | "zero-copy" => Ok(ExecutionConfig::memory_only()),
+        "hybrid-only" => Ok(ExecutionConfig::hybrid_only()),
+        "inter-only" | "inter-kernel" => Ok(ExecutionConfig::inter_kernel_only()),
+        "energy" | "energy-aware" => Ok(ExecutionConfig::edgenn_energy_aware()),
+        other => Err(format!(
+            "unknown config '{other}' (expected edgenn|baseline|cpu-only|memory-only|\
+             hybrid-only|inter-only|energy)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let o = opts(&["simulate", "--model", "alexnet", "--json", "--trace", "t.json"]);
+        assert_eq!(o.positional(0), Some("simulate"));
+        assert_eq!(o.value("model"), Some("alexnet"));
+        assert!(o.has("json"));
+        assert!(!o.has("quiet"));
+        assert_eq!(o.value("trace"), Some("t.json"));
+    }
+
+    #[test]
+    fn last_flag_occurrence_wins() {
+        let o = opts(&["--model", "lenet", "--model", "vgg"]);
+        assert_eq!(o.value("model"), Some("vgg"));
+    }
+
+    #[test]
+    fn model_names_resolve() {
+        assert_eq!(parse_model("AlexNet").unwrap(), ModelKind::AlexNet);
+        assert_eq!(parse_model("vgg-16").unwrap(), ModelKind::Vgg16);
+        assert_eq!(parse_model("resnet18").unwrap(), ModelKind::ResNet18);
+        assert!(parse_model("bert").is_err());
+    }
+
+    #[test]
+    fn platform_names_resolve() {
+        assert!(parse_platform("jetson").unwrap().is_integrated());
+        assert!(!parse_platform("rpi").unwrap().has_gpu());
+        assert!(parse_platform("apple").unwrap().is_integrated());
+        assert!(parse_platform("gameboy").is_err());
+    }
+
+    #[test]
+    fn config_names_resolve() {
+        use edgenn_core::plan::{HybridMode, TuneObjective};
+        assert_eq!(parse_config("edgenn").unwrap().hybrid, HybridMode::InterAndIntra);
+        assert_eq!(parse_config("baseline").unwrap().hybrid, HybridMode::GpuOnly);
+        assert_eq!(parse_config("energy").unwrap().objective, TuneObjective::Energy);
+        assert!(parse_config("warp-speed").is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! `edgenn` — command-line front end for the EdgeNN reproduction.
+//!
+//! ```text
+//! edgenn simulate --model alexnet --platform jetson [--config edgenn]
+//!                 [--scale paper|tiny] [--json] [--layers] [--trace FILE]
+//! edgenn plan     --model alexnet --platform jetson [--config edgenn]
+//! edgenn compare  --model alexnet --platform jetson
+//! edgenn models
+//! edgenn platforms
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse_config, parse_model, parse_platform, Options};
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_nn::models::{build, ModelScale};
+use edgenn_sim::trace::to_chrome_trace;
+
+const USAGE: &str = "\
+edgenn — EdgeNN (ICDE 2023) reproduction CLI
+
+USAGE:
+    edgenn simulate  --model M --platform P [--config C] [--scale paper|tiny]
+                     [--json] [--layers] [--trace FILE]
+    edgenn plan      --model M --platform P [--config C] [--explain]
+    edgenn compare   --model M --platform P
+    edgenn inspect   --model M [--scale paper|tiny]
+    edgenn models
+    edgenn platforms
+
+MODELS:     fcnn lenet alexnet vgg squeezenet resnet
+PLATFORMS:  jetson rpi phone server apu apple
+CONFIGS:    edgenn baseline cpu-only memory-only hybrid-only inter-only energy";
+
+fn main() -> ExitCode {
+    let options = Options::parse(std::env::args().skip(1));
+    let result = match options.positional(0) {
+        Some("simulate") => cmd_simulate(&options),
+        Some("plan") => cmd_plan(&options),
+        Some("compare") => cmd_compare(&options),
+        Some("inspect") => cmd_inspect(&options),
+        Some("models") => cmd_models(),
+        Some("platforms") => cmd_platforms(),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn required_graph(options: &Options) -> Result<edgenn_nn::graph::Graph, String> {
+    let model = parse_model(options.value("model").ok_or("--model is required")?)?;
+    let scale = match options.value("scale").unwrap_or("paper") {
+        "paper" => ModelScale::Paper,
+        "tiny" => ModelScale::Tiny,
+        other => return Err(format!("unknown scale '{other}' (expected paper|tiny)")),
+    };
+    Ok(build(model, scale))
+}
+
+fn cmd_simulate(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = tuner.plan(&graph, &runtime, config).map_err(|e| e.to_string())?;
+    let report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+
+    if let Some(path) = options.value("trace") {
+        std::fs::write(path, to_chrome_trace(&report.events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in chrome://tracing)");
+    }
+
+    if options.has("json") {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+
+    println!("{} on {}", report.model, report.platform);
+    println!("  latency      : {:.3} ms", report.total_us / 1e3);
+    println!("  avg power    : {:.2} W", report.energy.avg_power_w);
+    println!("  energy       : {:.3} mJ/inference", report.energy.energy_mj);
+    println!(
+        "  utilization  : CPU {:.0}% / GPU {:.0}%",
+        report.energy.cpu_utilization * 100.0,
+        report.energy.gpu_utilization * 100.0
+    );
+    println!(
+        "  breakdown    : kernel {:.0} us, copies {:.0} us, migrations {:.0} us, \
+         thrash {:.0} us, sync {:.0} us",
+        report.summary.kernel_us,
+        report.summary.copy_us,
+        report.summary.migration_us,
+        report.summary.thrash_us,
+        report.summary.sync_us
+    );
+    println!(
+        "  plan         : {} co-run layers, {} zero-copy arrays",
+        plan.corun_count(),
+        plan.managed_count()
+    );
+    let footprint = edgenn_core::footprint::footprint(&graph, &plan).map_err(|e| e.to_string())?;
+    println!(
+        "  memory       : {:.1} MiB peak ({:.1} MiB weights + {:.1} MiB activations)",
+        footprint.peak_mib(),
+        footprint.weight_bytes as f64 / (1 << 20) as f64,
+        footprint.peak_activation_bytes as f64 / (1 << 20) as f64
+    );
+    if options.has("layers") {
+        println!("\n  {:<22} {:>12} {:>10} {:>10}  assignment", "layer", "start us", "kernel", "memory");
+        for layer in &report.layers {
+            println!(
+                "  {:<22} {:>12.1} {:>10.1} {:>10.1}  {:?}",
+                layer.name, layer.start_us, layer.kernel_us, layer.memory_us, layer.assignment
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_plan(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = tuner.plan(&graph, &runtime, config).map_err(|e| e.to_string())?;
+    if options.has("explain") {
+        let rows = tuner.explain(&graph, &plan).map_err(|e| e.to_string())?;
+        println!(
+            "{:<24} {:<8} {:>12} {:>12}  decision",
+            "layer", "class", "t_cpu us", "t_gpu us"
+        );
+        for row in rows {
+            println!(
+                "{:<24} {:<8} {:>12.1} {:>12.1}  {:?} / {}",
+                row.name, row.class, row.t_cpu_us, row.t_gpu_us, row.assignment, row.output_alloc
+            );
+        }
+        return Ok(());
+    }
+    println!("{}", serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_compare(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+
+    let configs: &[(&str, ExecutionConfig)] = &[
+        ("baseline (gpu, explicit)", ExecutionConfig::baseline_gpu()),
+        ("memory-only (zero-copy)", ExecutionConfig::memory_only()),
+        ("hybrid-only (explicit)", ExecutionConfig::hybrid_only()),
+        ("inter-kernel only", ExecutionConfig::inter_kernel_only()),
+        ("edgenn", ExecutionConfig::edgenn()),
+        ("edgenn (energy-aware)", ExecutionConfig::edgenn_energy_aware()),
+        ("cpu-only", ExecutionConfig::cpu_only()),
+    ];
+
+    println!("{} on {}", graph.name(), platform.name);
+    println!("{:<26} {:>12} {:>10} {:>12}", "config", "latency ms", "power W", "energy mJ");
+    let mut baseline_us = None;
+    for (name, config) in configs {
+        if !platform.has_gpu() && *name != "cpu-only" {
+            continue;
+        }
+        let plan = tuner.plan(&graph, &runtime, *config).map_err(|e| e.to_string())?;
+        let report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+        let delta = match baseline_us {
+            None => {
+                baseline_us = Some(report.total_us);
+                String::new()
+            }
+            Some(base) => format!("  ({:+.1}% vs baseline)", (report.total_us - base) / base * 100.0),
+        };
+        println!(
+            "{:<26} {:>12.3} {:>10.2} {:>12.3}{delta}",
+            name,
+            report.total_us / 1e3,
+            report.energy.avg_power_w,
+            report.energy.energy_mj
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    print!("{}", graph.summary());
+    let structure = graph.structure().map_err(|e| e.to_string())?;
+    if structure.is_pure_chain() {
+        println!("
+structure: pure chain");
+    } else {
+        println!("
+structure: {} fork-join region(s)", structure.parallel_segment_count());
+    }
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<12} {:>10} {:>12} {:>8}  structure", "model", "layers", "GFLOPs", "params");
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Paper);
+        let structure = graph.structure().map_err(|e| e.to_string())?;
+        let desc = if structure.is_pure_chain() {
+            "chain".to_string()
+        } else {
+            format!("{} fork-join regions", structure.parallel_segment_count())
+        };
+        println!(
+            "{:<12} {:>10} {:>12.2} {:>7.1}M  {desc}",
+            kind.name(),
+            graph.len() - 1,
+            graph.total_flops() as f64 / 1e9,
+            graph.param_bytes() as f64 / 4e6,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_platforms() -> Result<(), String> {
+    let platforms = [
+        edgenn_sim::platforms::jetson_agx_xavier(),
+        edgenn_sim::platforms::raspberry_pi_4(),
+        edgenn_sim::platforms::dimensity_8100(),
+        edgenn_sim::platforms::rtx_2080ti_server(),
+        edgenn_sim::platforms::amd_embedded_apu(),
+        edgenn_sim::platforms::apple_silicon_m1(),
+    ];
+    println!("{:<22} {:>12} {:>12} {:>8} {:>10}  kind", "platform", "cpu GFLOPS", "gpu GFLOPS", "price", "max W");
+    for p in platforms {
+        let gpu = p.gpu.as_ref().map(|g| format!("{:.0}", g.peak_gflops)).unwrap_or_else(|| "—".into());
+        let kind = if p.is_integrated() {
+            "integrated"
+        } else if p.has_gpu() {
+            "discrete"
+        } else {
+            "cpu-only"
+        };
+        println!(
+            "{:<22} {:>12.0} {:>12} {:>8} {:>10.1}  {kind}",
+            p.name,
+            p.cpu.peak_gflops,
+            gpu,
+            format!("${}", p.price_usd),
+            p.power.power_w(1.0, 1.0),
+        );
+    }
+    Ok(())
+}

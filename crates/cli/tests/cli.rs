@@ -1,0 +1,139 @@
+//! End-to-end tests of the `edgenn` binary.
+
+use std::process::Command;
+
+fn edgenn(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_edgenn"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn models_lists_all_six_benchmarks() {
+    let out = edgenn(&["models"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"] {
+        assert!(text.contains(name), "missing {name}:\n{text}");
+    }
+    assert!(text.contains("fork-join"), "SqueezeNet/ResNet structure shown");
+}
+
+#[test]
+fn platforms_lists_integrated_and_discrete() {
+    let out = edgenn(&["platforms"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Jetson AGX Xavier"));
+    assert!(text.contains("integrated"));
+    assert!(text.contains("discrete"));
+    assert!(text.contains("cpu-only"));
+}
+
+#[test]
+fn simulate_json_is_machine_readable() {
+    let out = edgenn(&["simulate", "--model", "lenet", "--platform", "jetson", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(report["total_us"].as_f64().unwrap() > 0.0);
+    assert_eq!(report["model"], "LeNet");
+    assert_eq!(report["platform"], "Jetson AGX Xavier");
+}
+
+#[test]
+fn simulate_human_output_has_breakdown_and_layers() {
+    let out = edgenn(&["simulate", "--model", "alexnet", "--platform", "jetson", "--layers"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("latency"));
+    assert!(text.contains("breakdown"));
+    assert!(text.contains("conv1"));
+    assert!(text.contains("fc8"));
+}
+
+#[test]
+fn plan_dump_parses_and_validates() {
+    let out = edgenn(&["plan", "--model", "squeezenet", "--platform", "jetson"]);
+    assert!(out.status.success());
+    let plan: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(plan["nodes"].as_array().unwrap().len() > 60, "SqueezeNet has > 60 nodes");
+}
+
+#[test]
+fn trace_flag_writes_a_chrome_trace() {
+    let path = std::env::temp_dir().join("edgenn_cli_test_trace.json");
+    let _ = std::fs::remove_file(&path);
+    let out = edgenn(&[
+        "simulate",
+        "--model",
+        "lenet",
+        "--platform",
+        "jetson",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(!trace.as_array().unwrap().is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn compare_reports_all_configs() {
+    let out = edgenn(&["compare", "--model", "fcnn", "--platform", "jetson"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for config in ["baseline", "memory-only", "hybrid-only", "edgenn", "cpu-only"] {
+        assert!(text.contains(config), "missing {config}:\n{text}");
+    }
+}
+
+#[test]
+fn cpu_only_platform_skips_gpu_configs() {
+    let out = edgenn(&["compare", "--model", "lenet", "--platform", "rpi"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cpu-only"));
+    assert!(!text.contains("edgenn (energy-aware)"), "no GPU configs on the RPi");
+}
+
+#[test]
+fn bad_inputs_fail_with_useful_messages() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["simulate", "--platform", "jetson"], "--model is required"),
+        (&["simulate", "--model", "bert", "--platform", "jetson"], "unknown model"),
+        (&["simulate", "--model", "lenet", "--platform", "ps5"], "unknown platform"),
+        (&["simulate", "--model", "lenet", "--platform", "jetson", "--config", "x"], "unknown config"),
+        (&["frobnicate"], "unknown command"),
+        (&[], "USAGE"),
+    ];
+    for (args, needle) in cases {
+        let out = edgenn(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let text = String::from_utf8(out.stderr).unwrap();
+        assert!(text.contains(needle), "{args:?}: expected '{needle}' in:\n{text}");
+    }
+}
+
+#[test]
+fn inspect_prints_per_layer_table() {
+    let out = edgenn(&["inspect", "--model", "vgg"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("conv1_1"));
+    assert!(text.contains("fc8"));
+    assert!(text.contains("pure chain"));
+    let out = edgenn(&["inspect", "--model", "resnet"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fork-join"));
+}
+
+#[test]
+fn tiny_scale_simulates_quickly() {
+    let out = edgenn(&["simulate", "--model", "resnet", "--platform", "apple", "--scale", "tiny"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Apple Silicon"));
+}

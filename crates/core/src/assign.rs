@@ -1,0 +1,198 @@
+//! Inter-kernel branch assignment for the non-chain part of a DAG
+//! (paper Section IV-D, final paragraphs).
+//!
+//! For a fork-join region with two independent branches (the paper's
+//! yellow/green chains in Figure 5), the tuner enumerates the assignment
+//! strategies the paper lists and picks the minimum-total-time one:
+//!
+//! 1. branch A → CPU, branch B → GPU: `max(t_c(A), t_g(B)) + v(A)/s`
+//! 2. branch B → CPU, branch A → GPU: `max(t_c(B), t_g(A)) + v(B)/s`
+//! 3. everything → GPU: `t_g(A) + t_g(B)`
+//! 4. everything → CPU: `t_c(A) + t_c(B)` (not listed in the paper's
+//!    three options but strictly generalizes them; it wins only on
+//!    launch-overhead-dominated graphs).
+//!
+//! where `v(X)` is the output volume of the branch executed on the CPU
+//! (its result must be merged back through memory before the join, at the
+//! platform's effective merge rate plus a fixed per-merge cost).
+
+use serde::{Deserialize, Serialize};
+
+/// Profiled cost of one branch of a fork-join region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchCost {
+    /// Time to run the whole branch on the CPU (us).
+    pub t_cpu_us: f64,
+    /// Time to run the whole branch on the GPU (us).
+    pub t_gpu_us: f64,
+    /// Bytes the branch's final output occupies (merged at the join).
+    pub output_bytes: u64,
+}
+
+/// Which processor each branch runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchAssignment {
+    /// All branches on the GPU, sequentially.
+    AllGpu,
+    /// All branches on the CPU, sequentially.
+    AllCpu,
+    /// Branch `cpu_branch` on the CPU, the other(s) on the GPU,
+    /// concurrently.
+    Split {
+        /// Index of the branch assigned to the CPU.
+        cpu_branch: usize,
+    },
+}
+
+/// The tuner's decision for one fork-join region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssignDecision {
+    /// Chosen strategy.
+    pub assignment: BranchAssignment,
+    /// Predicted region time under the chosen strategy (us).
+    pub t_total_us: f64,
+    /// Predicted region time with everything on the GPU (us).
+    pub t_gpu_only_us: f64,
+}
+
+impl AssignDecision {
+    /// Predicted relative improvement over all-GPU execution.
+    pub fn improvement(&self) -> f64 {
+        if self.t_gpu_only_us <= 0.0 {
+            return 0.0;
+        }
+        ((self.t_gpu_only_us - self.t_total_us) / self.t_gpu_only_us).max(0.0)
+    }
+}
+
+/// Enumerates the strategies for a two-or-more-branch region and picks
+/// the cheapest.
+///
+/// `copy_rate_gbps` is the CPU→GPU merge rate `s`; `sync_overhead_us` is
+/// charged whenever both processors participate (they must synchronize
+/// before the join, paper Figure 5: "CPU and GPU need to synchronize
+/// before going on to the concatenation layer").
+pub fn optimal_assignment(
+    branches: &[BranchCost],
+    copy_rate_gbps: f64,
+    merge_fixed_us: f64,
+    sync_overhead_us: f64,
+) -> AssignDecision {
+    let t_all_gpu: f64 = branches.iter().map(|b| b.t_gpu_us).sum();
+    let t_all_cpu: f64 = branches.iter().map(|b| b.t_cpu_us).sum();
+
+    let mut best = AssignDecision {
+        assignment: BranchAssignment::AllGpu,
+        t_total_us: t_all_gpu,
+        t_gpu_only_us: t_all_gpu,
+    };
+    if t_all_cpu < best.t_total_us {
+        best = AssignDecision {
+            assignment: BranchAssignment::AllCpu,
+            t_total_us: t_all_cpu,
+            t_gpu_only_us: t_all_gpu,
+        };
+    }
+
+    for (i, cpu_branch) in branches.iter().enumerate() {
+        // Branch i on CPU; all others sequentially on the GPU.
+        let t_gpu_side: f64 =
+            branches.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, b)| b.t_gpu_us).sum();
+        let merge_us = if copy_rate_gbps > 0.0 {
+            merge_fixed_us + cpu_branch.output_bytes as f64 / (copy_rate_gbps * 1e3)
+        } else {
+            f64::INFINITY
+        };
+        let t = cpu_branch.t_cpu_us.max(t_gpu_side) + merge_us + sync_overhead_us;
+        if t < best.t_total_us {
+            best = AssignDecision {
+                assignment: BranchAssignment::Split { cpu_branch: i },
+                t_total_us: t,
+                t_gpu_only_us: t_all_gpu,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn branch(t_cpu: f64, t_gpu: f64, bytes: u64) -> BranchCost {
+        BranchCost { t_cpu_us: t_cpu, t_gpu_us: t_gpu, output_bytes: bytes }
+    }
+
+    #[test]
+    fn balanced_branches_split_across_processors() {
+        // Two branches, each 100us on GPU, 120us on CPU, tiny outputs:
+        // running one on each processor halves the region time.
+        let branches = [branch(120.0, 100.0, 1000), branch(120.0, 100.0, 1000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 5.0);
+        assert!(matches!(d.assignment, BranchAssignment::Split { .. }));
+        assert!(d.t_total_us < 200.0 * 0.7, "t = {}", d.t_total_us);
+        assert!(d.improvement() > 0.3);
+    }
+
+    #[test]
+    fn slow_cpu_keeps_everything_on_gpu() {
+        // CPU 20x slower: co-running one branch on the CPU would dominate.
+        let branches = [branch(2000.0, 100.0, 1000), branch(2000.0, 100.0, 1000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 5.0);
+        assert_eq!(d.assignment, BranchAssignment::AllGpu);
+        assert_eq!(d.t_total_us, 200.0);
+        assert_eq!(d.improvement(), 0.0);
+    }
+
+    #[test]
+    fn huge_merge_volume_keeps_everything_on_gpu() {
+        // 1 GB branch output at 10 GB/s = 100 ms of merge: never worth it.
+        let branches = [branch(120.0, 100.0, 1_000_000_000), branch(120.0, 100.0, 1_000_000_000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 5.0);
+        assert_eq!(d.assignment, BranchAssignment::AllGpu);
+    }
+
+    #[test]
+    fn launch_bound_graphs_move_to_cpu() {
+        // Tiny branches where GPU launch overhead dominates.
+        let branches = [branch(5.0, 50.0, 100), branch(5.0, 50.0, 100)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 2.0);
+        assert_eq!(d.assignment, BranchAssignment::AllCpu);
+        assert_eq!(d.t_total_us, 10.0);
+    }
+
+    #[test]
+    fn asymmetric_branches_put_cheap_one_on_cpu() {
+        // The paper's formula: strategy picks min of
+        // max(t_c1, t_g2)+v1/s vs max(t_c2, t_g1)+v2/s vs t_g1+t_g2.
+        // Branch 0 small (fits CPU), branch 1 large (needs GPU).
+        let branches = [branch(80.0, 60.0, 4000), branch(500.0, 90.0, 4000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 0.0);
+        // Split with branch 0 on CPU: max(80, 90) + 0.4 = 90.4
+        // Split with branch 1 on CPU: max(500, 60) + 0.4 = 500.4
+        // AllGpu: 150. AllCpu: 580.
+        assert_eq!(d.assignment, BranchAssignment::Split { cpu_branch: 0 });
+        assert!((d.t_total_us - 90.4).abs() < 1e-9);
+        assert!((d.t_gpu_only_us - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_branch_costs_nothing_on_cpu() {
+        // ResNet identity shortcut: zero-cost branch — putting it "on the
+        // CPU" is free and lets the GPU run the conv branch undisturbed,
+        // which equals AllGpu in time; the tie is broken toward AllGpu.
+        let branches = [branch(0.0, 0.0, 0), branch(300.0, 100.0, 4000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 0.0);
+        assert!((d.t_total_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_branch_regions_are_supported() {
+        let branches =
+            [branch(100.0, 90.0, 1000), branch(100.0, 90.0, 1000), branch(100.0, 90.0, 1000)];
+        let d = optimal_assignment(&branches, 10.0, 0.0, 0.0);
+        // Best split: one branch on CPU (100) vs two on GPU (180) -> 180.1.
+        assert!(matches!(d.assignment, BranchAssignment::Split { .. }));
+        assert!(d.t_total_us < 270.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! High-level execution strategies: EdgeNN and the comparison points the
+//! paper evaluates against (Sections V-B through V-F).
+
+use edgenn_nn::graph::Graph;
+use edgenn_sim::{CloudLink, Platform};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::InferenceReport;
+use crate::plan::{ExecutionConfig, ExecutionPlan};
+use crate::runtime::Runtime;
+use crate::tuner::Tuner;
+use crate::Result;
+
+/// Shared implementation: tune a plan under `config` and simulate it.
+fn run(platform: &Platform, graph: &Graph, config: ExecutionConfig) -> Result<InferenceReport> {
+    let runtime = Runtime::new(platform);
+    let tuner = Tuner::new(graph, &runtime)?;
+    let plan = tuner.plan(graph, &runtime, config)?;
+    runtime.simulate(graph, &plan)
+}
+
+/// Full EdgeNN: semantic-aware memory + inter/intra-kernel hybrid
+/// execution + adaptive tuning.
+pub struct EdgeNn<'p> {
+    platform: &'p Platform,
+    config: ExecutionConfig,
+}
+
+impl<'p> EdgeNn<'p> {
+    /// EdgeNN on `platform` with the default configuration.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform, config: ExecutionConfig::edgenn() }
+    }
+
+    /// Overrides the configuration (ablations).
+    pub fn with_config(platform: &'p Platform, config: ExecutionConfig) -> Self {
+        Self { platform, config }
+    }
+
+    /// Runs one tuned inference.
+    ///
+    /// # Errors
+    /// Propagates planning/simulation failures.
+    pub fn infer(&self, graph: &Graph) -> Result<InferenceReport> {
+        run(self.platform, graph, self.config)
+    }
+
+    /// Runs the adaptive loop for `iterations` rounds under measurement
+    /// noise `jitter`, then reports the final tuned inference.
+    ///
+    /// # Errors
+    /// Propagates planning/simulation failures.
+    pub fn infer_adaptive(
+        &self,
+        graph: &Graph,
+        iterations: usize,
+        jitter: f64,
+    ) -> Result<(InferenceReport, Vec<f64>)> {
+        let runtime = Runtime::new(self.platform);
+        let mut tuner = Tuner::new(graph, &runtime)?;
+        let (plan, history) = tuner.adapt(graph, &runtime, self.config, iterations, jitter)?;
+        let report = runtime.simulate(graph, &plan)?;
+        Ok((report, history))
+    }
+
+    /// The tuned plan itself (for inspection and functional execution).
+    ///
+    /// # Errors
+    /// Propagates planning failures.
+    pub fn plan(&self, graph: &Graph) -> Result<ExecutionPlan> {
+        let runtime = Runtime::new(self.platform);
+        let tuner = Tuner::new(graph, &runtime)?;
+        tuner.plan(graph, &runtime, self.config)
+    }
+}
+
+/// GPU-only execution of the original (naive, explicit-copy) programs —
+/// the paper's "direct execution" baseline for Figure 8.
+pub struct GpuOnly<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> GpuOnly<'p> {
+    /// GPU-only baseline on `platform`.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform }
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    /// Fails on CPU-only platforms.
+    pub fn infer(&self, graph: &Graph) -> Result<InferenceReport> {
+        run(self.platform, graph, ExecutionConfig::baseline_gpu())
+    }
+}
+
+/// CPU-only execution — the edge-CPU baselines of Figure 6.
+pub struct CpuOnly<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> CpuOnly<'p> {
+    /// CPU-only execution on `platform`.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform }
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    /// Propagates planning/simulation failures.
+    pub fn infer(&self, graph: &Graph) -> Result<InferenceReport> {
+        run(self.platform, graph, ExecutionConfig::cpu_only())
+    }
+}
+
+/// The Section V-F state-of-the-art comparator: fine-grained hybrid
+/// execution that supports only inter-kernel co-running
+/// (FineStream-style, the paper's reference \[96\]).
+pub struct InterKernelOnly<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> InterKernelOnly<'p> {
+    /// Inter-kernel-only co-running on `platform`.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform }
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    /// Propagates planning/simulation failures.
+    pub fn infer(&self, graph: &Graph) -> Result<InferenceReport> {
+        run(self.platform, graph, ExecutionConfig::inter_kernel_only())
+    }
+}
+
+/// Result of a cloud-offloaded inference (Figure 12).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CloudReport {
+    /// Time to upload the input (us).
+    pub upload_us: f64,
+    /// Cloud-side delay (us).
+    pub cloud_delay_us: f64,
+    /// Remote compute time (us) — the "on-cloud (computing only)" bars.
+    pub compute_us: f64,
+    /// End-to-end offload latency (us) — the "on-cloud" bars.
+    pub total_us: f64,
+}
+
+/// Cloud offload: ship the input over the paper's measured link and run
+/// on a discrete-GPU server.
+pub struct CloudOffload<'p> {
+    server: &'p Platform,
+    link: CloudLink,
+    /// Compressed input size in bytes (the paper uses a ~400 KB image).
+    input_bytes: u64,
+}
+
+impl<'p> CloudOffload<'p> {
+    /// Offload to `server` over the paper's measured link conditions with
+    /// the paper's 400 KB compressed input.
+    pub fn new(server: &'p Platform) -> Self {
+        Self { server, link: CloudLink::paper_measured(), input_bytes: 400_000 }
+    }
+
+    /// Overrides the link model.
+    pub fn with_link(mut self, link: CloudLink) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Overrides the compressed input size.
+    pub fn with_input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+
+    /// Runs one offloaded inference.
+    ///
+    /// # Errors
+    /// Propagates remote planning/simulation failures.
+    pub fn infer(&self, graph: &Graph) -> Result<CloudReport> {
+        let remote = GpuOnly::new(self.server).infer(graph)?;
+        let upload_us = self.link.upload_time_us(self.input_bytes);
+        Ok(CloudReport {
+            upload_us,
+            cloud_delay_us: self.link.cloud_delay_us,
+            compute_us: remote.total_us,
+            total_us: self.link.offload_time_us(self.input_bytes, remote.total_us),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_nn::models::{build, ModelKind, ModelScale};
+    use edgenn_sim::platforms::{jetson_agx_xavier, raspberry_pi_4, rtx_2080ti_server};
+
+    #[test]
+    fn edgenn_beats_gpu_only_on_every_benchmark() {
+        // Figure 8's headline: EdgeNN improves on direct GPU execution for
+        // all six networks.
+        let platform = jetson_agx_xavier();
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Paper);
+            let edgenn = EdgeNn::new(&platform).infer(&graph).unwrap();
+            let baseline = GpuOnly::new(&platform).infer(&graph).unwrap();
+            assert!(
+                edgenn.total_us < baseline.total_us,
+                "{kind}: edgenn {} vs baseline {}",
+                edgenn.total_us,
+                baseline.total_us
+            );
+        }
+    }
+
+    #[test]
+    fn edgenn_beats_every_edge_cpu() {
+        // Figure 6's headline.
+        let jetson = jetson_agx_xavier();
+        let rpi = raspberry_pi_4();
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Paper);
+            let edgenn = EdgeNn::new(&jetson).infer(&graph).unwrap();
+            let jetson_cpu = CpuOnly::new(&jetson).infer(&graph).unwrap();
+            let rpi_cpu = CpuOnly::new(&rpi).infer(&graph).unwrap();
+            assert!(edgenn.speedup_over(&jetson_cpu) > 1.0, "{kind}");
+            assert!(
+                edgenn.speedup_over(&rpi_cpu) > edgenn.speedup_over(&jetson_cpu),
+                "{kind}: the RPi should trail the Jetson CPU"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_gpu_computes_faster_but_offload_usually_loses() {
+        // Figure 12: the 2080 Ti computes faster than the edge device, but
+        // network + cloud delay usually flips the comparison.
+        let jetson = jetson_agx_xavier();
+        let server = rtx_2080ti_server();
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let edgenn = EdgeNn::new(&jetson).infer(&graph).unwrap();
+        let cloud = CloudOffload::new(&server).infer(&graph).unwrap();
+        assert!(cloud.compute_us < edgenn.total_us, "server compute is faster");
+        assert!(cloud.total_us > edgenn.total_us, "offload total is slower");
+        assert!(cloud.total_us >= cloud.upload_us + cloud.cloud_delay_us);
+    }
+
+    #[test]
+    fn inter_kernel_only_helps_branchy_nets_most() {
+        // Section V-F: inter-kernel co-running only helps networks with
+        // independent branches (SqueezeNet/ResNet).
+        let platform = jetson_agx_xavier();
+        let chain = build(ModelKind::AlexNet, ModelScale::Paper);
+        let branchy = build(ModelKind::SqueezeNet, ModelScale::Paper);
+
+        let chain_base = GpuOnly::new(&platform).infer(&chain).unwrap();
+        let chain_inter = InterKernelOnly::new(&platform).infer(&chain).unwrap();
+        let branchy_base = GpuOnly::new(&platform).infer(&branchy).unwrap();
+        let branchy_inter = InterKernelOnly::new(&platform).infer(&branchy).unwrap();
+
+        let chain_gain = chain_inter.improvement_over(&chain_base);
+        let branchy_gain = branchy_inter.improvement_over(&branchy_base);
+        assert!(
+            branchy_gain > chain_gain,
+            "inter-kernel gain should concentrate on branchy nets: {branchy_gain} vs {chain_gain}"
+        );
+    }
+
+    #[test]
+    fn adaptive_inference_returns_history() {
+        let platform = jetson_agx_xavier();
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let (report, history) =
+            EdgeNn::new(&platform).infer_adaptive(&graph, 4, 0.1).unwrap();
+        assert_eq!(history.len(), 4);
+        assert!(report.total_us > 0.0);
+    }
+
+    #[test]
+    fn cloud_report_components_sum() {
+        let server = rtx_2080ti_server();
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let cloud = CloudOffload::new(&server)
+            .with_link(CloudLink { uplink_mbps: 2.0, cloud_delay_us: 50_000.0 })
+            .with_input_bytes(200_000)
+            .infer(&graph)
+            .unwrap();
+        assert!((cloud.upload_us - 100_000.0).abs() < 1e-6);
+        assert!(
+            (cloud.total_us - (cloud.upload_us + cloud.cloud_delay_us + cloud.compute_us)).abs()
+                < 1e-6
+        );
+    }
+}

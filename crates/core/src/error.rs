@@ -1,0 +1,83 @@
+//! Error type for EdgeNN planning and execution.
+
+use std::fmt;
+
+use edgenn_nn::NnError;
+use edgenn_tensor::TensorError;
+
+/// Errors from planning, simulation, or functional execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A network-level operation failed.
+    Nn(NnError),
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A plan does not match the graph it is applied to.
+    PlanMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// The requested execution needs a GPU but the platform has none.
+    NoGpu {
+        /// The platform's name.
+        platform: String,
+    },
+    /// An internal invariant was violated (a bug, surfaced as an error so
+    /// library users never see a panic).
+    Internal {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Nn(e) => write!(f, "network error: {e}"),
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
+            Self::NoGpu { platform } => {
+                write!(f, "platform '{platform}' has no GPU for the requested execution")
+            }
+            Self::Internal { reason } => write!(f, "internal error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Nn(e) => Some(e),
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = NnError::UnknownNode { id: 3 }.into();
+        assert!(e.to_string().contains("unknown graph node id 3"));
+        let e: CoreError = TensorError::EmptyRange { start: 0, end: 0 }.into();
+        assert!(matches!(e, CoreError::Tensor(_)));
+        let e = CoreError::NoGpu { platform: "Raspberry Pi 4B".into() };
+        assert!(e.to_string().contains("Raspberry Pi 4B"));
+        assert!(std::error::Error::source(&CoreError::Nn(NnError::UnknownNode { id: 0 })).is_some());
+    }
+}

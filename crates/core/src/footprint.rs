@@ -1,0 +1,187 @@
+//! Memory-footprint accounting for an execution plan.
+//!
+//! The paper's regular (explicit) strategy keeps **two copies** of an
+//! array — "the array should be a regular CUDA array with two copies for
+//! the CPU and the GPU separately" (Section IV-B) — while a managed array
+//! exists once in unified memory. On a 32 GB Xavier that rarely binds,
+//! but on smaller boards (and for VGG-scale activations) the distinction
+//! matters; this module computes peak memory under a plan via liveness
+//! analysis over the topological order.
+
+use edgenn_nn::graph::{Graph, NodeId};
+use edgenn_sim::AllocStrategy;
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{ExecutionPlan, MemoryPolicy};
+use crate::Result;
+
+/// Peak-memory breakdown of one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Model parameters (weights + biases), resident for the whole run.
+    pub weight_bytes: u64,
+    /// Peak bytes of live activations, counting explicit arrays twice
+    /// (host copy + device copy) and managed arrays once.
+    pub peak_activation_bytes: u64,
+    /// Peak total (weights + activations).
+    pub peak_bytes: u64,
+}
+
+impl Footprint {
+    /// Peak total in mebibytes.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1 << 20) as f64
+    }
+}
+
+/// Bytes an array occupies under its allocation strategy: explicit arrays
+/// are duplicated on host and device; managed arrays exist once.
+fn array_bytes(elems: usize, strategy: AllocStrategy) -> u64 {
+    let one = (elems * 4) as u64;
+    match strategy {
+        AllocStrategy::Explicit => 2 * one,
+        AllocStrategy::Managed => one,
+    }
+}
+
+/// Computes the peak memory footprint of executing `plan` over `graph`.
+///
+/// Liveness: a node's output array is allocated when the node executes
+/// and freed after its last consumer executes (the network output lives
+/// to the end). Weights are resident throughout.
+///
+/// # Errors
+/// Fails on plan/graph mismatches.
+pub fn footprint(graph: &Graph, plan: &ExecutionPlan) -> Result<Footprint> {
+    plan.validate(graph)?;
+    let weight_bytes = graph.param_bytes();
+
+    // Last consumer of each node's output.
+    let mut last_use: Vec<usize> = (0..graph.len()).collect();
+    for id in graph.topo_order() {
+        let node = graph.node(id)?;
+        for input in node.inputs() {
+            last_use[input.index()] = last_use[input.index()].max(id.index());
+        }
+    }
+    let output = graph.output_id().index();
+    last_use[output] = graph.len(); // the result is read back at the end
+
+    let strategy_of = |id: NodeId| -> AllocStrategy {
+        match plan.config.memory_policy {
+            MemoryPolicy::AllExplicit => AllocStrategy::Explicit,
+            MemoryPolicy::AllManaged => AllocStrategy::Managed,
+            MemoryPolicy::SemanticAware => plan.nodes[id.index()].output_alloc,
+        }
+    };
+
+    let mut live = 0u64;
+    let mut peak = 0u64;
+    for id in graph.topo_order() {
+        let node = graph.node(id)?;
+        live += array_bytes(node.output_shape().num_elements(), strategy_of(id));
+        peak = peak.max(live);
+        // Free arrays whose last consumer is this node.
+        for (idx, &last) in last_use.iter().enumerate() {
+            if last == id.index() && idx != id.index() {
+                let freed = graph.node(NodeId(idx))?;
+                live = live.saturating_sub(array_bytes(
+                    freed.output_shape().num_elements(),
+                    strategy_of(NodeId(idx)),
+                ));
+            }
+        }
+    }
+
+    Ok(Footprint {
+        weight_bytes,
+        peak_activation_bytes: peak,
+        peak_bytes: weight_bytes + peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ExecutionConfig, NodePlan};
+    use crate::runtime::Runtime;
+    use crate::tuner::Tuner;
+    use edgenn_nn::models::{build, ModelKind, ModelScale};
+    use edgenn_sim::platforms::jetson_agx_xavier;
+
+    fn plan_for(graph: &Graph, config: ExecutionConfig) -> ExecutionPlan {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(graph, &runtime).unwrap();
+        tuner.plan(graph, &runtime, config).unwrap()
+    }
+
+    #[test]
+    fn explicit_arrays_double_activation_memory() {
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let explicit = footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        let mut managed_cfg = ExecutionConfig::baseline_gpu();
+        managed_cfg.memory_policy = MemoryPolicy::AllManaged;
+        let managed = footprint(&graph, &plan_for(&graph, managed_cfg)).unwrap();
+        assert_eq!(explicit.weight_bytes, managed.weight_bytes);
+        // "two copies for the CPU and the GPU separately": exactly 2x.
+        assert_eq!(explicit.peak_activation_bytes, 2 * managed.peak_activation_bytes);
+        assert!(explicit.peak_bytes > managed.peak_bytes);
+    }
+
+    #[test]
+    fn semantic_policy_sits_between_the_pure_policies() {
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let explicit = footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        let semantic = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
+        let mut managed_cfg = ExecutionConfig::baseline_gpu();
+        managed_cfg.memory_policy = MemoryPolicy::AllManaged;
+        let managed = footprint(&graph, &plan_for(&graph, managed_cfg)).unwrap();
+        assert!(semantic.peak_activation_bytes <= explicit.peak_activation_bytes);
+        assert!(semantic.peak_activation_bytes >= managed.peak_activation_bytes);
+    }
+
+    #[test]
+    fn paper_scale_models_fit_the_xavier() {
+        // The Xavier carries 32 GB; every benchmark must fit with room to
+        // spare, and VGG must dominate the suite.
+        let mut peaks = Vec::new();
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Paper);
+            let fp = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
+            assert!(fp.peak_mib() < 32.0 * 1024.0, "{kind}: {} MiB", fp.peak_mib());
+            peaks.push((kind, fp.peak_bytes));
+        }
+        let max = peaks.iter().max_by_key(|(_, b)| *b).unwrap();
+        assert_eq!(max.0, ModelKind::Vgg16, "VGG-16 should be the heaviest");
+    }
+
+    #[test]
+    fn liveness_frees_dead_activations() {
+        // Peak activations must be far below the sum of all layer outputs
+        // for a deep chain (otherwise liveness is broken).
+        let graph = build(ModelKind::Vgg16, ModelScale::Paper);
+        let fp = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
+        let total_outputs: u64 = graph
+            .topo_order()
+            .map(|id| (graph.node(id).unwrap().output_shape().num_elements() * 4) as u64)
+            .sum();
+        assert!(
+            fp.peak_activation_bytes < total_outputs / 4,
+            "peak {} should be far below the sum {}",
+            fp.peak_activation_bytes,
+            total_outputs
+        );
+    }
+
+    #[test]
+    fn footprint_requires_a_matching_plan() {
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let other = build(ModelKind::AlexNet, ModelScale::Paper);
+        let plan = ExecutionPlan {
+            config: ExecutionConfig::baseline_gpu(),
+            nodes: vec![NodePlan::gpu_explicit(); other.len()],
+        };
+        assert!(footprint(&graph, &plan).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Intra-kernel partitioning math — the paper's Equations (1)-(4).
+//!
+//! For one layer co-run by both processors with CPU proportion
+//! `p_cpu ∈ [0, 1]`:
+//!
+//! - Eq. (1): `t_co = max(t_cpu * p_cpu, t_gpu * (1 - p_cpu))` — the
+//!   processors compute simultaneously, so collaboration time is the max.
+//! - Eq. (2): `t_data = p_cpu * v_o / s` — the CPU-computed part of the
+//!   output must be merged through memory at copy rate `s`.
+//! - Eq. (3): `t_total = t_co + t_data`.
+//! - Eq. (4): the closed-form optimum:
+//!   `p_op = 0` when `v_o / s >= t_gpu` (merging costs more than the GPU
+//!   finishing alone), else `p_op = t_gpu / (t_cpu + t_gpu)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the partition decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionInputs {
+    /// Time for the CPU to compute the whole layer (us).
+    pub t_cpu_us: f64,
+    /// Time for the GPU to compute the whole layer (us).
+    pub t_gpu_us: f64,
+    /// Output data volume of the layer in bytes (`v_o`).
+    pub output_bytes: u64,
+    /// Memory copy rate between the processors in GB/s (`s`).
+    pub copy_rate_gbps: f64,
+    /// Fixed synchronization cost of any co-run (kernel completion wait +
+    /// thread join). Not in the paper's idealized Eq. (3); modelled
+    /// explicitly so that co-running tiny layers is correctly unprofitable.
+    pub sync_overhead_us: f64,
+}
+
+/// The tuner's decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionDecision {
+    /// Optimal CPU proportion `p_op` (0 disables co-running).
+    pub p_cpu: f64,
+    /// Predicted total time at `p_cpu` (us).
+    pub t_total_us: f64,
+    /// Predicted total time at `p_cpu = 0` (GPU alone, us).
+    pub t_gpu_only_us: f64,
+}
+
+impl PartitionDecision {
+    /// Predicted relative improvement over GPU-only execution, in [0, 1).
+    pub fn improvement(&self) -> f64 {
+        if self.t_gpu_only_us <= 0.0 {
+            return 0.0;
+        }
+        ((self.t_gpu_only_us - self.t_total_us) / self.t_gpu_only_us).max(0.0)
+    }
+}
+
+/// Eq. (2)'s merge-rate term: seconds (us) to merge the CPU part.
+fn t_data_us(p_cpu: f64, output_bytes: u64, copy_rate_gbps: f64) -> f64 {
+    if copy_rate_gbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    p_cpu * output_bytes as f64 / (copy_rate_gbps * 1e3)
+}
+
+/// Evaluates Eq. (3) at a given `p_cpu` (plus the sync overhead whenever
+/// both processors participate).
+pub fn t_total_us(inputs: &PartitionInputs, p_cpu: f64) -> f64 {
+    let p = p_cpu.clamp(0.0, 1.0);
+    let t_co = (inputs.t_cpu_us * p).max(inputs.t_gpu_us * (1.0 - p));
+    let mut total = t_co + t_data_us(p, inputs.output_bytes, inputs.copy_rate_gbps);
+    if p > 0.0 && p < 1.0 {
+        total += inputs.sync_overhead_us;
+    }
+    total
+}
+
+/// Applies Eq. (4) and returns the decision.
+///
+/// The closed form is evaluated first; because our model adds a fixed sync
+/// overhead that the paper's idealized equations omit, the candidate is
+/// then compared against the pure GPU-only and CPU-only endpoints and the
+/// cheapest wins — this is the "fine-grained adaptive" refinement the
+/// tuner performs on top of the analytic optimum.
+pub fn optimal_partition(inputs: &PartitionInputs) -> PartitionDecision {
+    let t_gpu_only = t_total_us(inputs, 0.0);
+    let v_over_s = t_data_us(1.0, inputs.output_bytes, inputs.copy_rate_gbps);
+
+    // Eq. (4): p_op = 0 when v_o/s >= t_gpu, else t_gpu / (t_cpu + t_gpu).
+    let p_closed_form = if v_over_s >= inputs.t_gpu_us || inputs.t_cpu_us + inputs.t_gpu_us <= 0.0
+    {
+        0.0
+    } else {
+        inputs.t_gpu_us / (inputs.t_cpu_us + inputs.t_gpu_us)
+    };
+
+    let candidates = [p_closed_form, 0.0, 1.0];
+    let mut best = PartitionDecision {
+        p_cpu: 0.0,
+        t_total_us: t_gpu_only,
+        t_gpu_only_us: t_gpu_only,
+    };
+    for &p in &candidates {
+        let t = t_total_us(inputs, p);
+        if t < best.t_total_us {
+            best = PartitionDecision { p_cpu: p, t_total_us: t, t_gpu_only_us: t_gpu_only };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(t_cpu: f64, t_gpu: f64, v_o: u64, s: f64) -> PartitionInputs {
+        PartitionInputs {
+            t_cpu_us: t_cpu,
+            t_gpu_us: t_gpu,
+            output_bytes: v_o,
+            copy_rate_gbps: s,
+            sync_overhead_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn equation1_collaboration_is_max() {
+        let i = inputs(100.0, 100.0, 0, 10.0);
+        // Equal speeds, p = 0.5: both take 50us.
+        assert!((t_total_us(&i, 0.5) - 50.0).abs() < 1e-9);
+        // p = 0.25: GPU side dominates with 75us.
+        assert!((t_total_us(&i, 0.25) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation2_data_term_linear_in_p() {
+        let i = inputs(0.0, 1000.0, 1_000_000, 10.0); // 1 MB at 10 GB/s = 100 us
+        let t1 = t_total_us(&i, 1.0); // all CPU: t_co = 0, t_data = 100
+        assert!((t1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation4_balanced_processors_split_by_speed_ratio() {
+        // t_cpu = 300, t_gpu = 100 => p_op = 100/400 = 0.25.
+        let i = inputs(300.0, 100.0, 0, 10.0);
+        let d = optimal_partition(&i);
+        assert!((d.p_cpu - 0.25).abs() < 1e-9);
+        // Both sides finish at 75us: a 25% improvement.
+        assert!((d.t_total_us - 75.0).abs() < 1e-9);
+        assert!((d.improvement() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation4_expensive_merge_disables_corunning() {
+        // v_o/s = 1 MB / 0.001 GB/s = 1e6 us >> t_gpu.
+        let i = inputs(300.0, 100.0, 1_000_000, 0.001);
+        let d = optimal_partition(&i);
+        assert_eq!(d.p_cpu, 0.0);
+        assert_eq!(d.t_total_us, d.t_gpu_only_us);
+        assert_eq!(d.improvement(), 0.0);
+    }
+
+    #[test]
+    fn closed_form_optimum_beats_sampled_alternatives() {
+        // Property: t_total(p_op) <= t_total(p) for any p (sync = 0,
+        // matching the paper's idealized setting).
+        let cases = [
+            inputs(300.0, 100.0, 100_000, 10.0),
+            inputs(50.0, 200.0, 1_000_000, 5.0),
+            inputs(1000.0, 10.0, 10_000, 20.0),
+            inputs(80.0, 80.0, 0, 1.0),
+        ];
+        for (ci, i) in cases.iter().enumerate() {
+            let d = optimal_partition(i);
+            for k in 0..=100 {
+                let p = k as f64 / 100.0;
+                assert!(
+                    d.t_total_us <= t_total_us(i, p) + 1e-6,
+                    "case {ci}: p_op={} worse than p={p}",
+                    d.p_cpu
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_overhead_kills_tiny_layer_corunning() {
+        // A 20us layer cannot profit from co-running when sync costs 15us.
+        let i = PartitionInputs {
+            t_cpu_us: 40.0,
+            t_gpu_us: 20.0,
+            output_bytes: 1000,
+            copy_rate_gbps: 10.0,
+            sync_overhead_us: 15.0,
+        };
+        let d = optimal_partition(&i);
+        assert_eq!(d.p_cpu, 0.0, "sync overhead makes splitting unprofitable");
+    }
+
+    #[test]
+    fn cpu_only_endpoint_wins_when_cpu_is_faster() {
+        // Tiny kernels where the GPU's launch overhead dominates: with a
+        // realistic sync overhead, splitting cannot pay for itself and the
+        // whole layer moves to the CPU (LeNet case).
+        let i = PartitionInputs { sync_overhead_us: 2.0, ..inputs(5.0, 50.0, 100, 10.0) };
+        let d = optimal_partition(&i);
+        assert_eq!(d.p_cpu, 1.0);
+        assert!(d.t_total_us < d.t_gpu_only_us);
+        // Without any sync cost, the idealized Eq. (4) split is optimal.
+        let ideal = optimal_partition(&inputs(5.0, 50.0, 100, 10.0));
+        assert!((ideal.p_cpu - 50.0 / 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_zero_times() {
+        let d = optimal_partition(&inputs(0.0, 0.0, 0, 10.0));
+        assert_eq!(d.p_cpu, 0.0);
+        assert_eq!(d.t_total_us, 0.0);
+        assert_eq!(d.improvement(), 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Functional execution: runs a plan on **real tensors**, actually
+//! splitting layers across OS threads and merging the parts.
+//!
+//! The analytic runtime proves EdgeNN's policies are *fast*; this module
+//! proves they are *correct*: for any plan, the functional result must be
+//! numerically identical (up to fp32 associativity) to the reference
+//! single-threaded forward pass. Intra-kernel splits really compute the
+//! two output ranges on different threads ("CPU" worker vs "GPU" worker)
+//! and concatenate; inter-kernel branches really run concurrently.
+
+use edgenn_nn::graph::{Graph, NodeId, Segment};
+use edgenn_nn::layer::LayerClass;
+use edgenn_tensor::Tensor;
+
+use crate::plan::{Assignment, ExecutionPlan};
+use crate::{CoreError, Result};
+
+/// Statistics of one functional run.
+#[derive(Debug, Clone)]
+pub struct FunctionalOutcome {
+    /// The network output.
+    pub output: Tensor,
+    /// Number of layers executed as genuine two-thread splits.
+    pub corun_layers: usize,
+    /// Number of layers executed wholly by the CPU-role worker.
+    pub cpu_layers: usize,
+    /// Number of fork-join regions whose branches ran on separate threads.
+    pub parallel_regions: usize,
+}
+
+/// Executes `plan` functionally on `input`.
+///
+/// # Errors
+/// Fails on plan/graph mismatch, shape errors, or if a worker thread
+/// panics (surfaced as [`CoreError::Internal`]).
+pub fn execute(graph: &Graph, plan: &ExecutionPlan, input: &Tensor) -> Result<FunctionalOutcome> {
+    plan.validate(graph)?;
+    if input.shape() != graph.input_shape() {
+        return Err(CoreError::PlanMismatch {
+            reason: format!(
+                "input shape {} does not match graph input {}",
+                input.shape(),
+                graph.input_shape()
+            ),
+        });
+    }
+    let structure = graph.structure()?;
+    let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
+    outputs[0] = Some(input.clone());
+    let mut outcome = FunctionalOutcome {
+        output: Tensor::zeros(&[1]),
+        corun_layers: 0,
+        cpu_layers: 0,
+        parallel_regions: 0,
+    };
+
+    for segment in structure.segments() {
+        match segment {
+            Segment::Chain(nodes) => {
+                for &id in nodes {
+                    exec_node(graph, plan, id, &mut outputs, &mut outcome)?;
+                }
+            }
+            Segment::Parallel { branches, .. } => {
+                exec_branches(graph, plan, branches, &mut outputs, &mut outcome)?;
+            }
+        }
+    }
+
+    outcome.output = outputs[graph.output_id().index()]
+        .take()
+        .ok_or_else(|| CoreError::Internal { reason: "output never computed".to_string() })?;
+    Ok(outcome)
+}
+
+/// Per-node branch result: `(id, output, was_corun, cpu_layer_count)`.
+type BranchNodeResult = (NodeId, Tensor, bool, usize);
+
+/// Executes the branches of one fork-join region on scoped threads.
+fn exec_branches(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    branches: &[Vec<NodeId>],
+    outputs: &mut [Option<Tensor>],
+    outcome: &mut FunctionalOutcome,
+) -> Result<()> {
+    let non_empty: Vec<&Vec<NodeId>> = branches.iter().filter(|b| !b.is_empty()).collect();
+    if non_empty.len() < 2 {
+        // Zero or one real branch: nothing to parallelize.
+        for &id in non_empty.into_iter().flatten() {
+            exec_node(graph, plan, id, outputs, outcome)?;
+        }
+        return Ok(());
+    }
+    outcome.parallel_regions += 1;
+
+    // Each branch only reads already-computed outputs (the fork node and
+    // earlier); branch interiors are disjoint, so each worker builds its
+    // own local results and we merge afterwards.
+    let snapshot: Vec<Option<Tensor>> = outputs.to_vec();
+    let results: Vec<Result<Vec<BranchNodeResult>>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = non_empty
+                .iter()
+                .map(|branch| {
+                    let snapshot = &snapshot;
+                    scope.spawn(move |_| run_branch(graph, plan, branch, snapshot))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("branch worker panicked")).collect()
+        })
+        .map_err(|_| CoreError::Internal { reason: "branch scope panicked".to_string() })?;
+
+    for branch_result in results {
+        for (id, tensor, corun, cpu) in branch_result? {
+            outputs[id.index()] = Some(tensor);
+            outcome.corun_layers += corun as usize;
+            outcome.cpu_layers += cpu;
+        }
+    }
+    Ok(())
+}
+
+/// Runs one branch against an immutable snapshot, returning its node
+/// outputs and per-node counters `(id, output, was_corun, was_cpu)`.
+fn run_branch(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    branch: &[NodeId],
+    snapshot: &[Option<Tensor>],
+) -> Result<Vec<BranchNodeResult>> {
+    let mut local: Vec<BranchNodeResult> = Vec::with_capacity(branch.len());
+    let lookup = |id: NodeId, local: &[BranchNodeResult]| -> Option<Tensor> {
+        local
+            .iter()
+            .find(|(lid, ..)| *lid == id)
+            .map(|(_, t, ..)| t.clone())
+            .or_else(|| snapshot[id.index()].clone())
+    };
+    for &id in branch {
+        let node = graph.node(id)?;
+        let inputs: Vec<Tensor> = node
+            .inputs()
+            .iter()
+            .map(|i| {
+                lookup(*i, &local).ok_or_else(|| CoreError::Internal {
+                    reason: format!("branch input {i} unavailable"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let input_refs: Vec<&Tensor> = inputs.iter().collect();
+        let (tensor, corun, cpu) = forward_assigned(graph, plan, id, &input_refs)?;
+        local.push((id, tensor, corun, cpu));
+    }
+    Ok(local)
+}
+
+/// Executes one node into `outputs`.
+fn exec_node(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    id: NodeId,
+    outputs: &mut [Option<Tensor>],
+    outcome: &mut FunctionalOutcome,
+) -> Result<()> {
+    let node = graph.node(id)?;
+    if node.layer().class() == LayerClass::Input {
+        return Ok(()); // already seeded
+    }
+    let inputs: Vec<Tensor> = node
+        .inputs()
+        .iter()
+        .map(|i| {
+            outputs[i.index()].clone().ok_or_else(|| CoreError::Internal {
+                reason: format!("input {i} not computed before {id}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let (tensor, corun, cpu) = forward_assigned(graph, plan, id, &refs)?;
+    outcome.corun_layers += corun as usize;
+    outcome.cpu_layers += cpu;
+    outputs[id.index()] = Some(tensor);
+    Ok(())
+}
+
+/// Computes one node per its assignment; splits run on two scoped threads.
+/// Returns `(output, was_corun, was_cpu as 0/1)`.
+fn forward_assigned(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    id: NodeId,
+    inputs: &[&Tensor],
+) -> Result<(Tensor, bool, usize)> {
+    let node = graph.node(id)?;
+    let layer = node.layer();
+    match plan.nodes[id.index()].assignment {
+        Assignment::Gpu => Ok((layer.forward(inputs)?, false, 0)),
+        Assignment::Cpu => Ok((layer.forward(inputs)?, false, 1)),
+        Assignment::SplitInput { cpu_fraction } => {
+            let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
+            let channels = node.layer().input_channels(&shapes)?;
+            if !node.layer().input_split_supported() || channels < 2 {
+                return Ok((layer.forward(inputs)?, false, 0));
+            }
+            let cpu_channels = ((cpu_fraction * channels as f64).round() as usize)
+                .clamp(1, channels - 1);
+            let gpu_channels = channels - cpu_channels;
+            // The GPU takes the first channels (the paper's "first k input
+            // channels"), the CPU the remainder; partial sums are added.
+            let (gpu_part, cpu_part) = crossbeam::thread::scope(|scope| {
+                let cpu_handle = scope
+                    .spawn(move |_| layer.forward_partial_inputs(inputs, gpu_channels..channels));
+                let gpu_part = layer.forward_partial_inputs(inputs, 0..gpu_channels);
+                let cpu_part = cpu_handle.join().expect("cpu worker panicked");
+                (gpu_part, cpu_part)
+            })
+            .map_err(|_| CoreError::Internal { reason: "split scope panicked".to_string() })?;
+            let merged = gpu_part?.add(&cpu_part?)?;
+            Ok((merged, true, 0))
+        }
+        Assignment::Split { cpu_fraction } => {
+            let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
+            let units = layer.partition_units(&shapes)?;
+            let cpu_units =
+                ((cpu_fraction * units as f64).round() as usize).clamp(1, units.saturating_sub(1));
+            if units < 2 {
+                return Ok((layer.forward(inputs)?, false, 0));
+            }
+            // The paper's convention: the GPU computes the first units,
+            // the CPU the remainder (Section IV-D).
+            let gpu_units = units - cpu_units;
+            let (gpu_part, cpu_part) = crossbeam::thread::scope(|scope| {
+                let cpu_handle =
+                    scope.spawn(move |_| layer.forward_partial(inputs, gpu_units..units));
+                let gpu_part = layer.forward_partial(inputs, 0..gpu_units);
+                let cpu_part = cpu_handle.join().expect("cpu worker panicked");
+                (gpu_part, cpu_part)
+            })
+            .map_err(|_| CoreError::Internal { reason: "split scope panicked".to_string() })?;
+            let (gpu_part, cpu_part) = (gpu_part?, cpu_part?);
+            let merged = Tensor::concat_axis0(&[&gpu_part, &cpu_part])?;
+            // Rank-restore: concat preserves rank but the layer's full
+            // output shape is authoritative.
+            let out = merged.reshape(node.output_shape().dims())?;
+            Ok((out, true, 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecutionConfig;
+    use crate::runtime::Runtime;
+    use crate::tuner::Tuner;
+    use edgenn_nn::models::{build, ModelKind, ModelScale};
+    use edgenn_sim::platforms::jetson_agx_xavier;
+
+    fn edgenn_plan(graph: &Graph) -> ExecutionPlan {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(graph, &runtime).unwrap();
+        tuner.plan(graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+    }
+
+    #[test]
+    fn functional_execution_matches_reference_for_all_models() {
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let plan = edgenn_plan(&graph);
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+            let reference = graph.forward(&input).unwrap();
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: max diff {}",
+                outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
+            );
+        }
+    }
+
+    #[test]
+    fn splits_actually_happen_on_fc_heavy_models() {
+        // Paper-scale FCNN: its wide fc layers are memory-bound on the
+        // GPU, so the tuned plan must co-run them; the functional engine
+        // then really computes the two parts on separate threads.
+        let graph = build(ModelKind::Fcnn, ModelScale::Paper);
+        let plan = edgenn_plan(&graph);
+        assert!(plan.corun_count() > 0, "paper-scale fc layers should split");
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 3);
+        let reference = graph.forward(&input).unwrap();
+        let outcome = execute(&graph, &plan, &input).unwrap();
+        assert!(outcome.corun_layers > 0);
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn branch_regions_run_in_parallel_for_squeezenet() {
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 5);
+        let outcome = execute(&graph, &plan, &input).unwrap();
+        assert!(outcome.parallel_regions > 0, "fire modules should fork");
+        let reference = graph.forward(&input).unwrap();
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn forced_splits_on_every_partitionable_layer_stay_correct() {
+        use crate::plan::{Assignment, NodePlan};
+        use edgenn_sim::AllocStrategy;
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+            for id in graph.topo_order() {
+                let node = graph.node(id).unwrap();
+                let shapes: Vec<_> = node
+                    .inputs()
+                    .iter()
+                    .map(|i| graph.node(*i).unwrap().output_shape())
+                    .collect();
+                if node.layer().partitionable()
+                    && node.layer().partition_units(&shapes).unwrap_or(1) >= 2
+                {
+                    nodes[id.index()] = NodePlan {
+                        assignment: Assignment::Split { cpu_fraction: 0.5 },
+                        output_alloc: AllocStrategy::Explicit,
+                        prefetch_inputs: false,
+                    };
+                }
+            }
+            let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 11);
+            let reference = graph.forward(&input).unwrap();
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            assert!(outcome.corun_layers > 0, "{kind}");
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: forced-split mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_input_splits_stay_correct() {
+        use crate::plan::{Assignment, NodePlan};
+        use edgenn_sim::AllocStrategy;
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+            let mut forced = 0;
+            for id in graph.topo_order() {
+                let node = graph.node(id).unwrap();
+                let shapes: Vec<_> = node
+                    .inputs()
+                    .iter()
+                    .map(|i| graph.node(*i).unwrap().output_shape())
+                    .collect();
+                if node.layer().input_split_supported()
+                    && node.layer().input_channels(&shapes).unwrap_or(1) >= 2
+                {
+                    nodes[id.index()] = NodePlan {
+                        assignment: Assignment::SplitInput { cpu_fraction: 0.4 },
+                        output_alloc: AllocStrategy::Explicit,
+                        prefetch_inputs: false,
+                    };
+                    forced += 1;
+                }
+            }
+            if forced == 0 {
+                continue;
+            }
+            let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 17);
+            let reference = graph.forward(&input).unwrap();
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            assert!(outcome.corun_layers > 0, "{kind}");
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: input-split plan diverged by {}",
+                outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let bad = Tensor::zeros(&[3, 3, 3]);
+        assert!(matches!(
+            execute(&graph, &plan, &bad),
+            Err(CoreError::PlanMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,1088 @@
+//! The EdgeNN runtime: executes an [`ExecutionPlan`] against a simulated
+//! platform (analytic mode) or against real tensors (functional mode, in
+//! [`functional`]).
+
+pub mod functional;
+
+use edgenn_nn::graph::{Graph, NodeId, Segment};
+use edgenn_nn::layer::LayerClass;
+use edgenn_sim::processor::ExecutionContext;
+use edgenn_sim::{
+    AllocStrategy, KernelDesc, OpClass, Platform, ProcessorKind, ProcessorSpec, Timeline,
+    TraceKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{InferenceReport, LayerTiming};
+use crate::plan::{Assignment, ExecutionPlan, MemoryPolicy};
+use crate::{CoreError, Result};
+
+/// Maps a layer class to the simulator's operation class.
+pub fn op_class(class: LayerClass) -> OpClass {
+    match class {
+        LayerClass::Conv => OpClass::Conv,
+        LayerClass::Fc => OpClass::Fc,
+        LayerClass::Pool => OpClass::Pool,
+        LayerClass::Activation => OpClass::Activation,
+        LayerClass::Norm => OpClass::Norm,
+        LayerClass::Combine | LayerClass::Input => OpClass::Combine,
+    }
+}
+
+/// Builds the kernel descriptor of one graph node.
+///
+/// # Errors
+/// Propagates shape/workload failures from the layer.
+pub fn kernel_desc(graph: &Graph, id: NodeId) -> Result<KernelDesc> {
+    let node = graph.node(id)?;
+    let shapes: Vec<_> = node
+        .inputs()
+        .iter()
+        .map(|i| graph.node(*i).map(|n| n.output_shape()))
+        .collect::<std::result::Result<_, _>>()?;
+    let w = node.layer().workload(&shapes)?;
+    let ws = node.layer().working_set_bytes(&shapes)?;
+    Ok(KernelDesc {
+        class: op_class(node.layer().class()),
+        flops: w.flops,
+        bytes_in: w.input_bytes,
+        bytes_out: w.output_bytes,
+        weight_bytes: w.weight_bytes,
+        parallelism: node.output_shape().num_elements() as u64,
+        working_set_bytes: ws,
+    })
+}
+
+/// Scales a kernel descriptor to `part / total` of its partition units.
+///
+/// FLOPs, output bytes, weight bytes, and parallelism scale; input bytes
+/// and working set do not (both partitions read the whole input — the
+/// paper's Section IV-D example: "the GPU calculates the convolution
+/// results of the first k input channels, and the CPU calculates the
+/// results of the remaining").
+pub fn scale_desc(desc: &KernelDesc, fraction: f64) -> KernelDesc {
+    let f = fraction.clamp(0.0, 1.0);
+    KernelDesc {
+        class: desc.class,
+        flops: (desc.flops as f64 * f) as u64,
+        bytes_in: desc.bytes_in,
+        bytes_out: (desc.bytes_out as f64 * f) as u64,
+        weight_bytes: (desc.weight_bytes as f64 * f) as u64,
+        parallelism: (desc.parallelism as f64 * f).ceil() as u64,
+        working_set_bytes: desc.working_set_bytes,
+    }
+}
+
+/// Scales a kernel descriptor to an *input-channel* fraction: FLOPs,
+/// input bytes, weight bytes, and the working set scale with the channel
+/// share, while the output is produced at full size by both partitions
+/// (each side emits a complete partial-sum map).
+pub fn scale_desc_input(desc: &KernelDesc, fraction: f64) -> KernelDesc {
+    let f = fraction.clamp(0.0, 1.0);
+    KernelDesc {
+        class: desc.class,
+        flops: (desc.flops as f64 * f) as u64,
+        bytes_in: (desc.bytes_in as f64 * f) as u64,
+        bytes_out: desc.bytes_out,
+        weight_bytes: (desc.weight_bytes as f64 * f) as u64,
+        parallelism: desc.parallelism,
+        working_set_bytes: (desc.working_set_bytes as f64 * f) as u64,
+    }
+}
+
+/// Blends a managed-memory bandwidth factor over a kernel's traffic mix:
+/// the zero-copy penalty hits *activation* arrays (allocated per
+/// inference), while weights are resident and read at full rate after
+/// their first touch.
+pub fn weighted_bw_factor(desc: &KernelDesc, activation_factor: f64) -> f64 {
+    let act = (desc.bytes_in + desc.bytes_out) as f64;
+    let w = desc.weight_bytes as f64;
+    let total = act + w;
+    if total <= 0.0 {
+        1.0
+    } else {
+        (act * activation_factor + w) / total
+    }
+}
+
+/// Where a node's output data currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In host (CPU-side) memory only.
+    Host,
+    /// In device (GPU-side) memory only.
+    Device,
+    /// Valid in both (after a round trip or a managed array at rest).
+    Both,
+}
+
+impl Loc {
+    fn of(proc: ProcessorKind) -> Self {
+        match proc {
+            ProcessorKind::Cpu => Loc::Host,
+            ProcessorKind::Gpu => Loc::Device,
+        }
+    }
+
+    fn available_to(&self, proc: ProcessorKind) -> bool {
+        matches!(
+            (self, proc),
+            (Loc::Both, _) | (Loc::Host, ProcessorKind::Cpu) | (Loc::Device, ProcessorKind::Gpu)
+        )
+    }
+}
+
+/// The analytic runtime: walks a graph under a plan, issuing kernels,
+/// copies, migrations, and syncs to the simulated [`Timeline`].
+pub struct Runtime<'a> {
+    platform: &'a Platform,
+}
+
+impl<'a> Runtime<'a> {
+    /// Creates a runtime for `platform`.
+    pub fn new(platform: &'a Platform) -> Self {
+        Self { platform }
+    }
+
+    /// The platform this runtime simulates.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    fn spec(&self, proc: ProcessorKind) -> Result<&ProcessorSpec> {
+        match proc {
+            ProcessorKind::Cpu => Ok(&self.platform.cpu),
+            ProcessorKind::Gpu => self.platform.gpu.as_ref().ok_or_else(|| CoreError::NoGpu {
+                platform: self.platform.name.clone(),
+            }),
+        }
+    }
+
+    /// Solo full-layer times `(t_cpu_us, t_gpu_us)` for one node, used by
+    /// the tuner as its profiling measurements. GPU time is infinite on
+    /// CPU-only platforms.
+    ///
+    /// # Errors
+    /// Propagates workload failures.
+    pub fn node_times(&self, graph: &Graph, id: NodeId) -> Result<(f64, f64)> {
+        let desc = kernel_desc(graph, id)?;
+        let ctx = ExecutionContext::default();
+        let t_cpu = self.platform.cpu.kernel_time_us(&desc, &ctx);
+        let t_gpu = match &self.platform.gpu {
+            Some(gpu) => gpu.kernel_time_us(&desc, &ctx),
+            None => f64::INFINITY,
+        };
+        Ok((t_cpu, t_gpu))
+    }
+
+    /// Simulates one inference under `plan`, producing the full report.
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatches, missing GPU, or workload errors.
+    pub fn simulate(&self, graph: &Graph, plan: &ExecutionPlan) -> Result<InferenceReport> {
+        plan.validate(graph)?;
+        let mut timeline = Timeline::new();
+        let layers = self.run_request(graph, plan, &mut timeline, 0)?;
+        let total_us = timeline.makespan_us();
+        let energy = self.platform.power.energy(&timeline);
+        Ok(InferenceReport {
+            model: graph.name().to_string(),
+            platform: self.platform.name.clone(),
+            total_us,
+            summary: timeline.summary(),
+            energy,
+            layers,
+            events: timeline.events().to_vec(),
+        })
+    }
+
+    /// Simulates a back-to-back stream of `requests` inferences sharing
+    /// one plan (a deployed service's steady state). Requests are queued
+    /// at t = 0; the per-processor clocks carry across requests, so a plan
+    /// that leaves one processor idle lets the next request start on it —
+    /// request-level pipelining in the spirit of DART (the paper's reference \[88\]), which the
+    /// paper cites as the multi-DNN scheduling line of work.
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatches, missing GPU, or workload errors.
+    pub fn simulate_stream(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        requests: usize,
+    ) -> Result<StreamReport> {
+        plan.validate(graph)?;
+        if requests == 0 {
+            return Err(CoreError::Internal { reason: "stream of zero requests".to_string() });
+        }
+        let mut timeline = Timeline::new();
+        let mut finish_times = Vec::with_capacity(requests);
+        for request in 0..requests {
+            let layers = self.run_request(graph, plan, &mut timeline, request as u64)?;
+            let finished =
+                layers.iter().map(|l| l.end_us).fold(0.0f64, f64::max).max(timeline.makespan_us());
+            finish_times.push(finished);
+        }
+        let total_us = timeline.makespan_us();
+        let energy = self.platform.power.energy(&timeline);
+        Ok(StreamReport {
+            requests,
+            total_us,
+            finish_times_us: finish_times,
+            throughput_per_s: requests as f64 * 1e6 / total_us,
+            energy,
+        })
+    }
+
+    /// Simulates a mixed multi-DNN workload: each job is one inference of
+    /// its own network under its own plan, submitted at t = 0 and executed
+    /// in the given order on the shared device — the multi-model serving
+    /// scenario of the DART line of work the paper cites. Returns the
+    /// per-job completion times and the stream report.
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatches or an empty job list.
+    pub fn simulate_workload(
+        &self,
+        jobs: &[(&Graph, &ExecutionPlan)],
+    ) -> Result<StreamReport> {
+        if jobs.is_empty() {
+            return Err(CoreError::Internal { reason: "empty workload".to_string() });
+        }
+        for (graph, plan) in jobs {
+            plan.validate(graph)?;
+        }
+        let mut timeline = Timeline::new();
+        let mut finish_times = Vec::with_capacity(jobs.len());
+        for (request, (graph, plan)) in jobs.iter().enumerate() {
+            let layers = self.run_request(graph, plan, &mut timeline, request as u64)?;
+            let finished =
+                layers.iter().map(|l| l.end_us).fold(0.0f64, f64::max).max(timeline.makespan_us());
+            finish_times.push(finished);
+        }
+        let total_us = timeline.makespan_us();
+        let energy = self.platform.power.energy(&timeline);
+        Ok(StreamReport {
+            requests: jobs.len(),
+            total_us,
+            finish_times_us: finish_times,
+            throughput_per_s: jobs.len() as f64 * 1e6 / total_us,
+            energy,
+        })
+    }
+
+    /// Simulates an open-loop request stream with Poisson arrivals at
+    /// `rate_per_s`, the standard serving model: requests queue when the
+    /// device is busy, and per-request latency is completion minus
+    /// arrival. Deterministic per `seed`.
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatches, a zero rate, or zero requests.
+    pub fn simulate_poisson_stream(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        rate_per_s: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Result<OpenLoopReport> {
+        plan.validate(graph)?;
+        if requests == 0 || rate_per_s <= 0.0 {
+            return Err(CoreError::Internal {
+                reason: format!("invalid open-loop stream: rate {rate_per_s}, {requests} requests"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean_gap_us = 1e6 / rate_per_s;
+        let mut timeline = Timeline::new();
+        let mut arrival = 0.0f64;
+        let mut latencies = Vec::with_capacity(requests);
+        for request in 0..requests {
+            // Exponential inter-arrival via inverse transform sampling.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            arrival += -mean_gap_us * u.ln();
+            let layers =
+                self.run_request_at(graph, plan, &mut timeline, request as u64, arrival)?;
+            let finished = layers.iter().map(|l| l.end_us).fold(arrival, f64::max);
+            latencies.push(finished - arrival);
+        }
+        let total_us = timeline.makespan_us();
+        let energy = self.platform.power.energy(&timeline);
+        let mut sorted = latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |q: f64| sorted[(((sorted.len() - 1) as f64) * q).round() as usize];
+        Ok(OpenLoopReport {
+            requests,
+            offered_rate_per_s: rate_per_s,
+            total_us,
+            latencies_us: latencies,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            energy,
+        })
+    }
+
+    /// Runs one request's DAG against a (possibly shared) timeline.
+    fn run_request(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        timeline: &mut Timeline,
+        request: u64,
+    ) -> Result<Vec<LayerTiming>> {
+        self.run_request_at(graph, plan, timeline, request, 0.0)
+    }
+
+    /// Like [`Runtime::run_request`] but with an explicit arrival time:
+    /// no node of this request may start before `arrival_us`.
+    fn run_request_at(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        timeline: &mut Timeline,
+        request: u64,
+        arrival_us: f64,
+    ) -> Result<Vec<LayerTiming>> {
+        let structure = graph.structure()?;
+        let mut sim = Sim {
+            runtime: self,
+            graph,
+            plan,
+            timeline,
+            ready: vec![arrival_us; graph.len()],
+            loc: vec![Loc::Host; graph.len()],
+            layers: Vec::with_capacity(graph.len()),
+            jitter: StdRng::seed_from_u64(plan.config.jitter_seed.wrapping_add(request)),
+        };
+        for segment in structure.segments() {
+            match segment {
+                Segment::Chain(nodes) => {
+                    for &id in nodes {
+                        sim.exec_node(id, false)?;
+                    }
+                }
+                Segment::Parallel { branches, join } => {
+                    sim.exec_parallel(branches, *join)?;
+                }
+            }
+        }
+        sim.read_back_output(graph.output_id())?;
+        Ok(sim.layers)
+    }
+}
+
+/// Result of an open-loop (Poisson-arrival) stream simulation.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OpenLoopReport {
+    /// Number of requests simulated.
+    pub requests: usize,
+    /// Offered load (requests per second).
+    pub offered_rate_per_s: f64,
+    /// Makespan of the run (us).
+    pub total_us: f64,
+    /// Per-request latency (completion minus arrival, us), arrival order.
+    pub latencies_us: Vec<f64>,
+    /// Median latency (us).
+    pub p50_us: f64,
+    /// 95th-percentile latency (us).
+    pub p95_us: f64,
+    /// 99th-percentile latency (us).
+    pub p99_us: f64,
+    /// Energy over the run.
+    pub energy: edgenn_sim::EnergyReport,
+}
+
+/// Result of a multi-request stream simulation.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StreamReport {
+    /// Number of inferences simulated.
+    pub requests: usize,
+    /// Makespan of the whole stream (us).
+    pub total_us: f64,
+    /// Completion time of each request (us from stream start).
+    pub finish_times_us: Vec<f64>,
+    /// Sustained throughput (inferences per second).
+    pub throughput_per_s: f64,
+    /// Energy accounting over the whole stream.
+    pub energy: edgenn_sim::EnergyReport,
+}
+
+impl StreamReport {
+    /// Mean completion time across the stream's requests (us) — the
+    /// scheduling metric shortest-job-first optimizes.
+    pub fn mean_completion_us(&self) -> f64 {
+        if self.finish_times_us.is_empty() {
+            return 0.0;
+        }
+        self.finish_times_us.iter().sum::<f64>() / self.finish_times_us.len() as f64
+    }
+
+    /// Average steady-state latency between consecutive completions (us).
+    pub fn inter_completion_us(&self) -> f64 {
+        if self.finish_times_us.len() < 2 {
+            return self.total_us;
+        }
+        let first = self.finish_times_us[0];
+        let last = *self.finish_times_us.last().expect("non-empty");
+        (last - first) / (self.finish_times_us.len() - 1) as f64
+    }
+}
+
+/// Mutable state of one simulation run.
+struct Sim<'a, 'p> {
+    runtime: &'a Runtime<'p>,
+    graph: &'a Graph,
+    plan: &'a ExecutionPlan,
+    timeline: &'a mut Timeline,
+    /// Time each node's output becomes available.
+    ready: Vec<f64>,
+    /// Residency of each node's output.
+    loc: Vec<Loc>,
+    layers: Vec<LayerTiming>,
+    jitter: StdRng,
+}
+
+impl Sim<'_, '_> {
+    fn config(&self) -> &crate::plan::ExecutionConfig {
+        &self.plan.config
+    }
+
+    fn jittered(&mut self, duration: f64) -> f64 {
+        let amp = self.config().jitter;
+        if amp <= 0.0 {
+            duration
+        } else {
+            duration * (1.0 + amp * self.jitter.gen_range(-1.0..=1.0))
+        }
+    }
+
+    /// Allocation strategy of a node's output under the active policy.
+    fn alloc_of(&self, id: NodeId) -> AllocStrategy {
+        match self.config().memory_policy {
+            MemoryPolicy::AllExplicit => AllocStrategy::Explicit,
+            MemoryPolicy::AllManaged => AllocStrategy::Managed,
+            MemoryPolicy::SemanticAware => self.plan.nodes[id.index()].output_alloc,
+        }
+    }
+
+    /// Bandwidth factor a kernel sees given the arrays it touches,
+    /// weighted by its activation-vs-weight traffic mix.
+    fn bandwidth_factor(&self, id: NodeId) -> f64 {
+        let memory = &self.runtime.platform.memory;
+        let node = self.graph.nodes().get(id.index()).expect("validated");
+        let mut factor = memory.bandwidth_factor(self.alloc_of(id));
+        for input in node.inputs() {
+            factor = factor.min(memory.bandwidth_factor(self.alloc_of(*input)));
+        }
+        let desc = kernel_desc(self.graph, id).expect("validated at plan time");
+        weighted_bw_factor(&desc, factor)
+    }
+
+    /// Ensures `id`'s output is accessible to `proc` by time `at`,
+    /// scheduling copies/migrations as needed; returns the ready time.
+    fn make_available(&mut self, id: NodeId, proc: ProcessorKind, at: f64) -> f64 {
+        let memory = &self.runtime.platform.memory;
+        let loc = self.loc[id.index()];
+        if loc.available_to(proc) {
+            return at;
+        }
+        let node = self.graph.nodes().get(id.index()).expect("validated");
+        let bytes = (node.output_shape().num_elements() * 4) as u64;
+        let label = format!("{} -> {proc}", node.layer().name());
+        let end = match self.alloc_of(id) {
+            AllocStrategy::Explicit => {
+                let dur = memory.copy_time_us(bytes);
+                self.timeline.schedule_bus(TraceKind::Copy, at, dur, Some(proc), label)
+            }
+            AllocStrategy::Managed => {
+                let prefetched = self.plan.nodes[id.index()].prefetch_inputs
+                    || self
+                        .graph
+                        .successors(id)
+                        .iter()
+                        .any(|s| self.plan.nodes[s.index()].prefetch_inputs);
+                let dur = memory.migration_time_us(bytes, prefetched);
+                self.timeline.schedule_bus(TraceKind::Migration, at, dur, Some(proc), label)
+            }
+        };
+        self.loc[id.index()] = Loc::Both;
+        end.max(at)
+    }
+
+    /// Executes one node per its plan. `corun_context` marks nodes inside
+    /// a fork-join region whose branches run on both processors (memory
+    /// contention applies).
+    fn exec_node(&mut self, id: NodeId, corun_context: bool) -> Result<()> {
+        let node = self.graph.node(id)?;
+        if node.layer().class() == LayerClass::Input {
+            // The host writes the input tensor when the request arrives
+            // (the vector is pre-seeded with the arrival time).
+            self.loc[id.index()] = Loc::Host;
+            return Ok(());
+        }
+        match self.plan.nodes[id.index()].assignment {
+            Assignment::Gpu => self.exec_solo(id, ProcessorKind::Gpu, corun_context),
+            Assignment::Cpu => self.exec_solo(id, ProcessorKind::Cpu, corun_context),
+            Assignment::Split { cpu_fraction } => self.exec_split(id, cpu_fraction, false),
+            Assignment::SplitInput { cpu_fraction } => self.exec_split(id, cpu_fraction, true),
+        }
+    }
+
+    /// Whole layer on one processor.
+    fn exec_solo(&mut self, id: NodeId, proc: ProcessorKind, corun: bool) -> Result<()> {
+        let spec = self.runtime.spec(proc)?.clone();
+        let memory = self.runtime.platform.memory.clone();
+        let node = self.graph.node(id)?;
+        let name = node.layer().name().to_string();
+        let class = node.layer().class();
+        let desc = kernel_desc(self.graph, id)?;
+        let naive = self.config().memory_policy == MemoryPolicy::AllExplicit;
+        // The original host-orchestrated program with managed arrays: the
+        // host still touches activations between kernels. On an integrated
+        // SoC that is free (same DRAM); on a discrete GPU every touch
+        // bounces the pages over PCIe — the paper's Section IV-B claim
+        // that unified memory "brings no benefit for the discrete
+        // architecture".
+        let managed_bounce =
+            self.config().memory_policy == MemoryPolicy::AllManaged && !memory.is_unified();
+
+        let inputs: Vec<NodeId> = node.inputs().to_vec();
+        let mut ready = inputs.iter().map(|i| self.ready[i.index()]).fold(0.0, f64::max);
+        let start = ready;
+        let mut memory_us = 0.0;
+
+        if naive || managed_bounce {
+            // Host-orchestrated boundary before a GPU kernel: an explicit
+            // H2D copy, or an on-demand page-fault storm for managed
+            // arrays on PCIe (scaled by the roundtrip fraction).
+            if proc == ProcessorKind::Gpu {
+                let (kind, dur) = if naive {
+                    (TraceKind::Copy, memory.copy_time_us(desc.bytes_in))
+                } else {
+                    (TraceKind::Migration, memory.migration_time_us(desc.bytes_in, false))
+                };
+                let dur = self.config().host_roundtrip_fraction * dur;
+                if dur > 0.0 {
+                    memory_us += dur;
+                    ready = self.timeline.schedule_bus(
+                        kind,
+                        ready,
+                        dur,
+                        Some(proc),
+                        format!("{name} h2d"),
+                    );
+                }
+            }
+        } else {
+            for input in &inputs {
+                ready = self.make_available(*input, proc, ready).max(ready);
+            }
+        }
+
+        // The zero-copy access penalty is a GPU-side effect (managed pages
+        // lose some coalescing); the CPU reads the same DRAM either way.
+        let ctx = ExecutionContext {
+            bandwidth_factor: if naive || proc == ProcessorKind::Cpu {
+                1.0
+            } else {
+                self.bandwidth_factor(id)
+            },
+            contention_factor: if corun { memory.corun_contention_factor } else { 1.0 },
+        };
+        let duration = self.jittered(spec.kernel_time_us(&desc, &ctx));
+        let mut end = self.timeline.schedule(proc, TraceKind::Kernel, ready, duration, name.clone());
+        let kernel_us = duration;
+
+        if (naive || managed_bounce) && proc == ProcessorKind::Gpu {
+            // ... and the host reads the output after it.
+            let (kind, dur) = if naive {
+                (TraceKind::Copy, memory.copy_time_us(desc.bytes_out))
+            } else {
+                (TraceKind::Migration, memory.migration_time_us(desc.bytes_out, false))
+            };
+            let dur = self.config().host_roundtrip_fraction * dur;
+            if dur > 0.0 {
+                memory_us += dur;
+                end = self.timeline.schedule_bus(
+                    kind,
+                    end,
+                    dur,
+                    Some(proc),
+                    format!("{name} d2h"),
+                );
+            }
+            self.loc[id.index()] = Loc::Both;
+        } else {
+            self.loc[id.index()] = Loc::of(proc);
+        }
+
+        self.ready[id.index()] = end;
+        self.layers.push(LayerTiming {
+            node: id.index(),
+            name,
+            class_tag: class.tag().to_string(),
+            assignment: self.plan.nodes[id.index()].assignment,
+            start_us: start,
+            end_us: end,
+            kernel_us,
+            memory_us,
+        });
+        Ok(())
+    }
+
+    /// Intra-kernel co-run: CPU computes `p` of the units, GPU the rest.
+    /// `by_input` selects the input-channel split (full-size partial sums
+    /// merged by addition) instead of the output-unit split.
+    fn exec_split(&mut self, id: NodeId, p_cpu: f64, by_input: bool) -> Result<()> {
+        let gpu = self.runtime.spec(ProcessorKind::Gpu)?.clone();
+        let cpu = self.runtime.platform.cpu.clone();
+        let memory = self.runtime.platform.memory.clone();
+        let node = self.graph.node(id)?;
+        let name = node.layer().name().to_string();
+        let class = node.layer().class();
+        let desc = kernel_desc(self.graph, id)?;
+        let naive = self.config().memory_policy == MemoryPolicy::AllExplicit;
+
+        let inputs: Vec<NodeId> = node.inputs().to_vec();
+        let mut ready = inputs.iter().map(|i| self.ready[i.index()]).fold(0.0, f64::max);
+        let start = ready;
+        let mut memory_us = 0.0;
+
+        // Both processors need the inputs. Under zero-copy this is free
+        // (the whole point of fine-grained co-running on unified memory);
+        // under the naive policy the GPU side re-uploads.
+        if naive {
+            let dur = self.config().host_roundtrip_fraction * memory.copy_time_us(desc.bytes_in);
+            if dur > 0.0 {
+                memory_us += dur;
+                ready = self.timeline.schedule_bus(
+                    TraceKind::Copy,
+                    ready,
+                    dur,
+                    Some(ProcessorKind::Gpu),
+                    format!("{name} h2d"),
+                );
+            }
+        } else {
+            for input in &inputs {
+                ready = self.make_available(*input, ProcessorKind::Cpu, ready).max(ready);
+                ready = self.make_available(*input, ProcessorKind::Gpu, ready).max(ready);
+            }
+        }
+
+        let bw = if naive { 1.0 } else { self.bandwidth_factor(id) };
+        let cpu_ctx = ExecutionContext {
+            bandwidth_factor: 1.0, // zero-copy penalty is GPU-side only
+            contention_factor: memory.corun_contention_factor,
+        };
+        let gpu_ctx = ExecutionContext {
+            bandwidth_factor: bw,
+            contention_factor: memory.corun_contention_factor,
+        };
+        let (cpu_desc, gpu_desc) = if by_input {
+            (scale_desc_input(&desc, p_cpu), scale_desc_input(&desc, 1.0 - p_cpu))
+        } else {
+            (scale_desc(&desc, p_cpu), scale_desc(&desc, 1.0 - p_cpu))
+        };
+        let t_cpu = self.jittered(cpu.kernel_time_us(&cpu_desc, &cpu_ctx));
+        let t_gpu = self.jittered(gpu.kernel_time_us(&gpu_desc, &gpu_ctx));
+        let cpu_end =
+            self.timeline.schedule(ProcessorKind::Cpu, TraceKind::Kernel, ready, t_cpu, format!("{name} [cpu part]"));
+        let gpu_end =
+            self.timeline.schedule(ProcessorKind::Gpu, TraceKind::Kernel, ready, t_gpu, format!("{name} [gpu part]"));
+        let mut end = cpu_end.max(gpu_end);
+        let kernel_us = t_cpu.max(t_gpu);
+
+        // Merge the CPU part into the canonical output array. An
+        // input-channel split produces a full-size partial sum on each
+        // processor, so the whole output volume crosses at the merge; an
+        // output split only moves the CPU's share.
+        let merge_bytes = if by_input {
+            desc.bytes_out
+        } else {
+            (desc.bytes_out as f64 * p_cpu) as u64
+        };
+        match self.alloc_of(id) {
+            AllocStrategy::Explicit => {
+                let dur = memory.copy_time_us(merge_bytes);
+                memory_us += dur;
+                end = self.timeline.schedule_bus(
+                    TraceKind::Copy,
+                    end,
+                    dur,
+                    Some(ProcessorKind::Gpu),
+                    format!("{name} merge"),
+                );
+            }
+            AllocStrategy::Managed => {
+                // An output split writes disjoint ranges of one managed
+                // array: only the pages straddling the partition boundary
+                // thrash. An input split's partial sums overlap on every
+                // page — the full race-condition case of Section IV-B.
+                let boundary = if by_input { merge_bytes } else { merge_bytes.min(128 << 10) };
+                let dur = memory.thrash_time_us(boundary);
+                memory_us += dur;
+                end = self.timeline.schedule_bus(
+                    TraceKind::Thrash,
+                    end,
+                    dur,
+                    None,
+                    format!("{name} boundary pages"),
+                );
+            }
+        }
+
+        // Co-run synchronization (kernel wait + worker join).
+        end += self.config().sync_overhead_us;
+        self.timeline.advance_to(end);
+
+        self.loc[id.index()] = if self.alloc_of(id) == AllocStrategy::Managed {
+            Loc::Both
+        } else {
+            Loc::Device
+        };
+        self.ready[id.index()] = end;
+        self.layers.push(LayerTiming {
+            node: id.index(),
+            name,
+            class_tag: class.tag().to_string(),
+            assignment: self.plan.nodes[id.index()].assignment,
+            start_us: start,
+            end_us: end,
+            kernel_us,
+            memory_us,
+        });
+        Ok(())
+    }
+
+    /// Executes a fork-join region: branches on their assigned processors,
+    /// concurrently when assignments differ.
+    fn exec_parallel(&mut self, branches: &[Vec<NodeId>], join: NodeId) -> Result<()> {
+        // A branch is CPU-assigned when its first node is.
+        let mut has_cpu = false;
+        let mut has_gpu = false;
+        for branch in branches {
+            match branch.first().map(|id| self.plan.nodes[id.index()].assignment) {
+                Some(Assignment::Cpu) => has_cpu = true,
+                Some(Assignment::Gpu)
+                | Some(Assignment::Split { .. })
+                | Some(Assignment::SplitInput { .. }) => has_gpu = true,
+                None => {}
+            }
+        }
+        let corun = has_cpu && has_gpu;
+
+        for branch in branches {
+            for &id in branch {
+                self.exec_node(id, corun)?;
+            }
+        }
+
+        if corun {
+            // The processors synchronize before the join layer
+            // (paper Figure 5: "CPU and GPU need to synchronize before
+            // going on to the concatenation layer").
+            let at = branches
+                .iter()
+                .flat_map(|b| b.last())
+                .map(|id| self.ready[id.index()])
+                .fold(0.0, f64::max)
+                + self.config().sync_overhead_us;
+            self.timeline.advance_to(at);
+            let join_name = self.graph.node(join)?.layer().name().to_string();
+            self.timeline.schedule_bus(
+                TraceKind::Sync,
+                at - self.config().sync_overhead_us,
+                self.config().sync_overhead_us,
+                None,
+                format!("barrier before {join_name}"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Final D2H of the class scores (the host consumes the result).
+    fn read_back_output(&mut self, output: NodeId) -> Result<()> {
+        let memory = self.runtime.platform.memory.clone();
+        let node = self.graph.node(output)?;
+        let bytes = (node.output_shape().num_elements() * 4) as u64;
+        let at = self.ready[output.index()];
+        if !self.loc[output.index()].available_to(ProcessorKind::Cpu) {
+            let dur = match self.alloc_of(output) {
+                AllocStrategy::Explicit => memory.copy_time_us(bytes),
+                AllocStrategy::Managed => memory.migration_time_us(bytes, false),
+            };
+            self.timeline.schedule_bus(
+                TraceKind::Copy,
+                at,
+                dur,
+                Some(ProcessorKind::Cpu),
+                "output read-back",
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ExecutionConfig, NodePlan};
+    use edgenn_nn::models::{build, ModelKind, ModelScale};
+    use edgenn_sim::platforms::{jetson_agx_xavier, raspberry_pi_4};
+
+    fn gpu_plan(graph: &Graph, config: ExecutionConfig) -> ExecutionPlan {
+        ExecutionPlan { config, nodes: vec![NodePlan::gpu_explicit(); graph.len()] }
+    }
+
+    fn cpu_plan(graph: &Graph, config: ExecutionConfig) -> ExecutionPlan {
+        ExecutionPlan {
+            config,
+            nodes: vec![
+                NodePlan {
+                    assignment: Assignment::Cpu,
+                    output_alloc: AllocStrategy::Explicit,
+                    prefetch_inputs: false,
+                };
+                graph.len()
+            ],
+        }
+    }
+
+    #[test]
+    fn gpu_baseline_runs_all_models() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Paper);
+            let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+            let report = runtime.simulate(&graph, &plan).unwrap();
+            assert!(report.total_us > 0.0, "{kind}");
+            assert!(report.summary.copy_us > 0.0, "{kind}: naive mode must copy");
+            assert!(report.energy.energy_mj > 0.0, "{kind}");
+            // Kernel events exist for every non-input layer.
+            assert_eq!(report.layers.len(), graph.len() - 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn cpu_only_runs_on_gpuless_platform() {
+        let platform = raspberry_pi_4();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = cpu_plan(&graph, ExecutionConfig::cpu_only());
+        let report = runtime.simulate(&graph, &plan).unwrap();
+        assert!(report.total_us > 0.0);
+        assert_eq!(report.energy.gpu_utilization, 0.0);
+    }
+
+    #[test]
+    fn gpu_plan_on_gpuless_platform_errors() {
+        let platform = raspberry_pi_4();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        assert!(matches!(runtime.simulate(&graph, &plan), Err(CoreError::NoGpu { .. })));
+    }
+
+    #[test]
+    fn managed_policy_eliminates_explicit_copies() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let naive = runtime
+            .simulate(&graph, &gpu_plan(&graph, ExecutionConfig::baseline_gpu()))
+            .unwrap();
+        let mut managed_cfg = ExecutionConfig::baseline_gpu();
+        managed_cfg.memory_policy = MemoryPolicy::AllManaged;
+        let managed = runtime.simulate(&graph, &gpu_plan(&graph, managed_cfg)).unwrap();
+        assert!(naive.summary.copy_us > 0.0);
+        assert!(managed.summary.copy_us < naive.summary.copy_us / 4.0);
+    }
+
+    #[test]
+    fn split_assignment_beats_gpu_only_on_fc_heavy_net() {
+        // FCNN's fc layers are memory-bound on the GPU; a tuned split
+        // should win despite sync overhead.
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::Fcnn, ModelScale::Paper);
+        let mut cfg = ExecutionConfig::edgenn();
+        cfg.memory_policy = MemoryPolicy::AllManaged;
+        let baseline = {
+            let mut plan = gpu_plan(&graph, cfg);
+            plan.config.memory_policy = MemoryPolicy::AllManaged;
+            runtime.simulate(&graph, &plan).unwrap()
+        };
+        // Hand-build a split plan on the large fc layers.
+        let mut plan = gpu_plan(&graph, cfg);
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            if node.layer().class() == LayerClass::Fc {
+                let (t_cpu, t_gpu) = runtime.node_times(&graph, NodeId(idx)).unwrap();
+                let p = t_gpu / (t_cpu + t_gpu);
+                plan.nodes[idx].assignment = Assignment::Split { cpu_fraction: p };
+            }
+        }
+        let split = runtime.simulate(&graph, &plan).unwrap();
+        assert!(
+            split.total_us < baseline.total_us,
+            "split {} should beat gpu-only {}",
+            split.total_us,
+            baseline.total_us
+        );
+    }
+
+    #[test]
+    fn jitter_changes_times_but_stays_deterministic_per_seed() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let mut cfg = ExecutionConfig::baseline_gpu();
+        cfg.jitter = 0.1;
+        cfg.jitter_seed = 1;
+        let a = runtime.simulate(&graph, &gpu_plan(&graph, cfg)).unwrap();
+        let b = runtime.simulate(&graph, &gpu_plan(&graph, cfg)).unwrap();
+        assert_eq!(a.total_us, b.total_us, "same seed, same result");
+        cfg.jitter_seed = 2;
+        let c = runtime.simulate(&graph, &gpu_plan(&graph, cfg)).unwrap();
+        assert_ne!(a.total_us, c.total_us, "different seed, different result");
+    }
+
+    #[test]
+    fn scale_desc_partitions_conserve_flops() {
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let desc = kernel_desc(&graph, NodeId(1)).unwrap();
+        let a = scale_desc(&desc, 0.3);
+        let b = scale_desc(&desc, 0.7);
+        let total = a.flops + b.flops;
+        assert!(total >= desc.flops - 1 && total <= desc.flops + 1);
+        assert_eq!(a.bytes_in, desc.bytes_in, "both parts read the whole input");
+        assert_eq!(a.working_set_bytes, desc.working_set_bytes);
+    }
+
+    #[test]
+    fn op_class_covers_all_layer_classes() {
+        assert_eq!(op_class(LayerClass::Conv), OpClass::Conv);
+        assert_eq!(op_class(LayerClass::Fc), OpClass::Fc);
+        assert_eq!(op_class(LayerClass::Pool), OpClass::Pool);
+        assert_eq!(op_class(LayerClass::Activation), OpClass::Activation);
+        assert_eq!(op_class(LayerClass::Norm), OpClass::Norm);
+        assert_eq!(op_class(LayerClass::Combine), OpClass::Combine);
+        assert_eq!(op_class(LayerClass::Input), OpClass::Combine);
+    }
+
+    #[test]
+    fn stream_throughput_at_least_matches_sequential() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let plan = {
+            let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
+            tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+        };
+        let single = runtime.simulate(&graph, &plan).unwrap();
+        let stream = runtime.simulate_stream(&graph, &plan, 8).unwrap();
+        assert_eq!(stream.requests, 8);
+        assert_eq!(stream.finish_times_us.len(), 8);
+        // Completions are ordered and the stream is no slower than 8
+        // strictly sequential runs.
+        for w in stream.finish_times_us.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(stream.total_us <= single.total_us * 8.0 + 1e-6);
+        assert!(stream.throughput_per_s >= 1e6 / single.total_us - 1e-6);
+        assert!(stream.inter_completion_us() <= single.total_us + 1e-6);
+        assert!(stream.energy.energy_mj > single.energy.energy_mj);
+    }
+
+    #[test]
+    fn poisson_stream_latency_grows_with_load() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let plan = {
+            let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
+            tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+        };
+        let single = runtime.simulate(&graph, &plan).unwrap();
+        let capacity = 1e6 / single.total_us; // requests/s the device sustains
+
+        let light = runtime
+            .simulate_poisson_stream(&graph, &plan, capacity * 0.3, 40, 7)
+            .unwrap();
+        let heavy = runtime
+            .simulate_poisson_stream(&graph, &plan, capacity * 0.95, 40, 7)
+            .unwrap();
+        assert!(light.p50_us >= single.total_us * 0.9, "latency floor is one inference");
+        assert!(
+            heavy.p95_us > light.p95_us,
+            "queueing under load must raise tail latency: {} vs {}",
+            heavy.p95_us,
+            light.p95_us
+        );
+        assert!(light.p50_us <= light.p95_us && light.p95_us <= light.p99_us);
+        // Determinism per seed.
+        let again = runtime
+            .simulate_poisson_stream(&graph, &plan, capacity * 0.3, 40, 7)
+            .unwrap();
+        assert_eq!(again.p99_us, light.p99_us);
+    }
+
+    #[test]
+    fn mixed_workload_runs_and_sjf_beats_fifo_on_mean_completion() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner_plan = |graph: &Graph| {
+            let tuner = crate::tuner::Tuner::new(graph, &runtime).unwrap();
+            tuner.plan(graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+        };
+        let vgg = build(ModelKind::Vgg16, ModelScale::Paper);
+        let lenet = build(ModelKind::LeNet, ModelScale::Paper);
+        let vgg_plan = tuner_plan(&vgg);
+        let lenet_plan = tuner_plan(&lenet);
+
+        // FIFO with the heavy job first vs shortest-job-first.
+        let fifo = runtime
+            .simulate_workload(&[(&vgg, &vgg_plan), (&lenet, &lenet_plan), (&lenet, &lenet_plan)])
+            .unwrap();
+        let sjf = runtime
+            .simulate_workload(&[(&lenet, &lenet_plan), (&lenet, &lenet_plan), (&vgg, &vgg_plan)])
+            .unwrap();
+        assert_eq!(fifo.requests, 3);
+        // The makespan is order-insensitive (same total work)...
+        assert!((fifo.total_us - sjf.total_us).abs() / fifo.total_us < 0.02);
+        // ...but mean completion strongly favors running the LeNets first.
+        assert!(
+            sjf.mean_completion_us() < fifo.mean_completion_us() * 0.6,
+            "sjf {} vs fifo {}",
+            sjf.mean_completion_us(),
+            fifo.mean_completion_us()
+        );
+    }
+
+    #[test]
+    fn stream_rejects_zero_requests() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        assert!(runtime.simulate_stream(&graph, &plan, 0).is_err());
+    }
+
+    #[test]
+    fn per_layer_timings_are_ordered_and_positive() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let report =
+            runtime.simulate(&graph, &gpu_plan(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        for layer in &report.layers {
+            assert!(layer.end_us >= layer.start_us, "{}", layer.name);
+            assert!(layer.kernel_us > 0.0, "{}", layer.name);
+        }
+        let sum_kernels: f64 = report.layers.iter().map(|l| l.kernel_us).sum();
+        assert!(sum_kernels <= report.total_us + 1e-6);
+    }
+}

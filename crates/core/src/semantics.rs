@@ -1,0 +1,160 @@
+//! Semantic-aware memory management (paper Section IV-B).
+//!
+//! > "The effect of applying zero-copy technique is not always positive
+//! > and is determined by data processing semantics. The memory should be
+//! > managed according to the semantics."
+//!
+//! Each array in the inference gets a [`ArrayRole`] describing how it is
+//! produced and consumed; the planner maps roles to allocation strategies:
+//!
+//! | role | producers/consumers | strategy |
+//! |---|---|---|
+//! | weights | written once at load, read by one processor | managed (zero-copy) |
+//! | network input | written by CPU once, read downstream | managed, prefetched |
+//! | chain activation | one producer, one consumer | managed |
+//! | co-run output | **written by both processors** | explicit (regular, merged) |
+//! | branch boundary | produced on one processor, consumed on the other | managed |
+//!
+//! The co-run-output row is the paper's key observation: write-sharing a
+//! managed array triggers fine-grained consistency traffic ("massive page
+//! faults and memory copies"), so those arrays revert to regular
+//! allocation with an explicit merge.
+
+use edgenn_nn::layer::LayerClass;
+use edgenn_sim::{AllocStrategy, MemorySpec};
+use serde::{Deserialize, Serialize};
+
+/// How an array is produced and consumed during one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayRole {
+    /// Model parameters: written at load time, read-only afterwards.
+    Weights,
+    /// The network input: written once by the CPU before inference.
+    NetworkInput,
+    /// An activation flowing along a chain: single producer, consumed by
+    /// the next layer on the same or the other processor.
+    ChainActivation,
+    /// A layer output produced by *both* processors co-running one kernel
+    /// (intra-kernel split): disjoint ranges written concurrently.
+    CoRunOutput,
+    /// A branch output crossing the fork-join boundary: produced entirely
+    /// on one processor, consumed at the join (possibly elsewhere).
+    BranchBoundary,
+    /// The final network output, read back by the host.
+    NetworkOutput,
+}
+
+/// One decision of the semantic planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDecision {
+    /// Chosen allocation strategy.
+    pub strategy: AllocStrategy,
+    /// Whether the runtime should issue a prefetch
+    /// (`cudaMemPrefetchAsync`) before the consuming kernel.
+    pub prefetch: bool,
+}
+
+/// Maps an array role to an allocation decision — the paper's rule table.
+pub fn decide(role: ArrayRole) -> MemoryDecision {
+    match role {
+        ArrayRole::Weights => MemoryDecision { strategy: AllocStrategy::Managed, prefetch: true },
+        ArrayRole::NetworkInput => {
+            // "If a GPU kernel uses the array long after the CPU has
+            // modified the array, an explicit memory prefetching ... can
+            // help prepare for the upcoming kernel" (Section IV-B).
+            MemoryDecision { strategy: AllocStrategy::Managed, prefetch: true }
+        }
+        ArrayRole::ChainActivation | ArrayRole::BranchBoundary | ArrayRole::NetworkOutput => {
+            MemoryDecision { strategy: AllocStrategy::Managed, prefetch: false }
+        }
+        ArrayRole::CoRunOutput => {
+            // Written by both processors: regular arrays + explicit merge.
+            MemoryDecision { strategy: AllocStrategy::Explicit, prefetch: false }
+        }
+    }
+}
+
+/// Cost-check refinement: even for roles where zero-copy is admissible,
+/// the adaptive tuner keeps the *regular* strategy when the managed-access
+/// penalty on this layer exceeds the copies it saves.
+///
+/// This implements the paper's Figure 10 finding from the planning side:
+/// pooling layers (pure memory traffic) can lose more to the managed
+/// bandwidth penalty than they gain from skipping two boundary copies.
+///
+/// `kernel_memory_us` is the layer's memory-bound time at full bandwidth,
+/// `boundary_bytes` the traffic the explicit strategy would copy.
+pub fn refine_by_cost(
+    base: MemoryDecision,
+    memory: &MemorySpec,
+    kernel_memory_us: f64,
+    boundary_bytes: u64,
+    class: LayerClass,
+) -> MemoryDecision {
+    if base.strategy == AllocStrategy::Explicit {
+        return base;
+    }
+    // Managed penalty: the kernel's memory phase is stretched by 1/factor.
+    let factor = memory.managed_bw_factor.max(1e-6);
+    let penalty_us = kernel_memory_us * (1.0 / factor - 1.0);
+    let copies_saved_us = 2.0 * memory.copy_time_us(boundary_bytes);
+    // Structural layers (concat/flatten) are pure copies either way; keep
+    // them managed — the explicit strategy would double-move their data.
+    if class == LayerClass::Combine {
+        return base;
+    }
+    if penalty_us > copies_saved_us {
+        MemoryDecision { strategy: AllocStrategy::Explicit, prefetch: false }
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_sim::platforms::jetson_agx_xavier;
+
+    #[test]
+    fn rule_table_matches_paper() {
+        assert_eq!(decide(ArrayRole::Weights).strategy, AllocStrategy::Managed);
+        assert!(decide(ArrayRole::Weights).prefetch);
+        assert_eq!(decide(ArrayRole::NetworkInput).strategy, AllocStrategy::Managed);
+        assert!(decide(ArrayRole::NetworkInput).prefetch);
+        assert_eq!(decide(ArrayRole::ChainActivation).strategy, AllocStrategy::Managed);
+        assert_eq!(
+            decide(ArrayRole::CoRunOutput).strategy,
+            AllocStrategy::Explicit,
+            "write-shared arrays must be regular (paper Section IV-B)"
+        );
+        assert_eq!(decide(ArrayRole::BranchBoundary).strategy, AllocStrategy::Managed);
+        assert_eq!(decide(ArrayRole::NetworkOutput).strategy, AllocStrategy::Managed);
+    }
+
+    #[test]
+    fn cost_refinement_reverts_bandwidth_bound_layers() {
+        let platform = jetson_agx_xavier();
+        let base = decide(ArrayRole::ChainActivation);
+        // A pooling layer moving lots of bytes with tiny boundary copies:
+        // the managed penalty dwarfs the copy saving -> explicit.
+        let refined = refine_by_cost(base, &platform.memory, 5_000.0, 10_000, LayerClass::Pool);
+        assert_eq!(refined.strategy, AllocStrategy::Explicit);
+        // A compute-bound conv layer with small memory phase and large
+        // boundary traffic keeps zero-copy.
+        let kept = refine_by_cost(base, &platform.memory, 50.0, 5_000_000, LayerClass::Conv);
+        assert_eq!(kept.strategy, AllocStrategy::Managed);
+    }
+
+    #[test]
+    fn cost_refinement_never_touches_explicit_or_combine() {
+        let platform = jetson_agx_xavier();
+        let explicit = decide(ArrayRole::CoRunOutput);
+        assert_eq!(
+            refine_by_cost(explicit, &platform.memory, 1e9, 0, LayerClass::Pool),
+            explicit
+        );
+        let base = decide(ArrayRole::ChainActivation);
+        let combine = refine_by_cost(base, &platform.memory, 1e9, 0, LayerClass::Combine);
+        assert_eq!(combine.strategy, AllocStrategy::Managed);
+    }
+}

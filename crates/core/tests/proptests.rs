@@ -1,0 +1,174 @@
+//! Property-based tests for EdgeNN's planning math and plan/runtime
+//! consistency.
+
+use edgenn_core::assign::{optimal_assignment, BranchCost};
+use edgenn_core::partition::{optimal_partition, t_total_us, PartitionInputs};
+use edgenn_core::plan::{Assignment, ExecutionConfig, ExecutionPlan, NodePlan};
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::{functional, Runtime};
+use edgenn_sim::platforms;
+use edgenn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_partition_inputs() -> impl Strategy<Value = PartitionInputs> {
+    (0.1f64..10_000.0, 0.1f64..10_000.0, 0u64..50_000_000, 0.1f64..50.0, 0.0f64..50.0).prop_map(
+        |(t_cpu_us, t_gpu_us, output_bytes, copy_rate_gbps, sync_overhead_us)| PartitionInputs {
+            t_cpu_us,
+            t_gpu_us,
+            output_bytes,
+            copy_rate_gbps,
+            sync_overhead_us,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn partition_decision_never_loses_to_endpoints(inputs in arb_partition_inputs()) {
+        let d = optimal_partition(&inputs);
+        prop_assert!(d.t_total_us <= t_total_us(&inputs, 0.0) + 1e-9, "vs GPU-only");
+        prop_assert!(d.t_total_us <= t_total_us(&inputs, 1.0) + 1e-9, "vs CPU-only");
+        prop_assert!((0.0..=1.0).contains(&d.p_cpu));
+        prop_assert!(d.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn partition_closed_form_is_global_optimum_without_sync(
+        inputs in arb_partition_inputs(),
+    ) {
+        // In the paper's idealized setting (no fixed sync cost), Eq. (4)
+        // must beat every sampled p.
+        let inputs = PartitionInputs { sync_overhead_us: 0.0, ..inputs };
+        let d = optimal_partition(&inputs);
+        for k in 0..=200 {
+            let p = k as f64 / 200.0;
+            prop_assert!(
+                d.t_total_us <= t_total_us(&inputs, p) + 1e-6,
+                "p_op {} beaten at p = {p}",
+                d.p_cpu
+            );
+        }
+    }
+
+    #[test]
+    fn partition_decision_monotone_in_merge_cost(
+        inputs in arb_partition_inputs(),
+        slower in 1.5f64..20.0,
+    ) {
+        // A slower merge rate can only reduce the attractiveness of
+        // splitting: the decision time never improves.
+        let worse = PartitionInputs {
+            copy_rate_gbps: inputs.copy_rate_gbps / slower,
+            ..inputs
+        };
+        let d1 = optimal_partition(&inputs);
+        let d2 = optimal_partition(&worse);
+        prop_assert!(d2.t_total_us >= d1.t_total_us - 1e-9);
+    }
+
+    #[test]
+    fn assignment_never_loses_to_all_gpu(
+        branches in prop::collection::vec(
+            (0.1f64..5000.0, 0.1f64..5000.0, 0u64..10_000_000),
+            2..5,
+        ),
+        rate in 0.1f64..50.0,
+        fixed in 0.0f64..30.0,
+        sync in 0.0f64..30.0,
+    ) {
+        let costs: Vec<BranchCost> = branches
+            .iter()
+            .map(|&(c, g, b)| BranchCost { t_cpu_us: c, t_gpu_us: g, output_bytes: b })
+            .collect();
+        let all_gpu: f64 = costs.iter().map(|b| b.t_gpu_us).sum();
+        let d = optimal_assignment(&costs, rate, fixed, sync);
+        prop_assert!(d.t_total_us <= all_gpu + 1e-9);
+        prop_assert!(d.t_gpu_only_us == all_gpu);
+        prop_assert!(d.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn random_plans_execute_losslessly(
+        assignments in prop::collection::vec(0usize..3, 32),
+        fractions in prop::collection::vec(0.05f64..0.95, 32),
+        seed in 0u64..200,
+    ) {
+        // Any structurally valid plan — random processor choices and split
+        // fractions — must produce exactly the reference output.
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+        for id in graph.topo_order() {
+            let node = graph.node(id).unwrap();
+            let shapes: Vec<_> = node
+                .inputs()
+                .iter()
+                .map(|i| graph.node(*i).unwrap().output_shape())
+                .collect();
+            let i = id.index();
+            let choice = assignments[i % assignments.len()];
+            let units = node.layer().partition_units(&shapes).unwrap_or(1);
+            nodes[i].assignment = match choice {
+                0 => Assignment::Gpu,
+                1 => Assignment::Cpu,
+                _ if node.layer().partitionable() && units >= 2 => {
+                    Assignment::Split { cpu_fraction: fractions[i % fractions.len()] }
+                }
+                _ => Assignment::Gpu,
+            };
+        }
+        let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
+        let reference = graph.forward(&input).unwrap();
+        let outcome = functional::execute(&graph, &plan, &input).unwrap();
+        prop_assert!(outcome.output.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn simulation_time_positive_and_layers_ordered(seed in 0u64..100) {
+        let jetson = platforms::jetson_agx_xavier();
+        let runtime = Runtime::new(&jetson);
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let mut config = ExecutionConfig::edgenn();
+        config.jitter = 0.1;
+        config.jitter_seed = seed;
+        let plan = tuner.plan(&graph, &runtime, config).unwrap();
+        let report = runtime.simulate(&graph, &plan).unwrap();
+        prop_assert!(report.total_us > 0.0);
+        for layer in &report.layers {
+            prop_assert!(layer.end_us >= layer.start_us);
+            prop_assert!(layer.end_us <= report.total_us + 1e-6);
+        }
+        // Events are consistent: no event ends after the reported total,
+        // and no processor ever runs two activities at once.
+        for event in &report.events {
+            prop_assert!(event.end_us <= report.total_us + 1e-6);
+            prop_assert!(event.duration_us() >= -1e-9);
+        }
+        prop_assert!(
+            edgenn_sim::trace::validate_events(&report.events).is_ok(),
+            "{:?}",
+            edgenn_sim::trace::validate_events(&report.events)
+        );
+    }
+
+    #[test]
+    fn jitter_bounds_total_time(seed in 0u64..50) {
+        // With jitter amplitude a, the total must stay within the
+        // [1-a, 1+a]-scaled envelope of the jitter-free run (all kernel
+        // durations scale by at most that factor; fixed costs don't grow).
+        let jetson = platforms::jetson_agx_xavier();
+        let runtime = Runtime::new(&jetson);
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let clean_plan = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+        let clean = runtime.simulate(&graph, &clean_plan).unwrap();
+        let mut config = ExecutionConfig::baseline_gpu();
+        config.jitter = 0.2;
+        config.jitter_seed = seed;
+        let jittered_plan = tuner.plan(&graph, &runtime, config).unwrap();
+        let jittered = runtime.simulate(&graph, &jittered_plan).unwrap();
+        prop_assert!(jittered.total_us >= clean.total_us * 0.8 - 1.0);
+        prop_assert!(jittered.total_us <= clean.total_us * 1.2 + 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Stress tests: the full EdgeNN pipeline over generated networks the
+//! planner has never seen — structural fuzzing beyond the six benchmarks.
+
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::{functional, Runtime};
+use edgenn_nn::models::synthetic::{random_cnn, SyntheticSpec};
+use edgenn_sim::platforms;
+use edgenn_tensor::Tensor;
+
+#[test]
+fn edgenn_never_loses_on_random_networks() {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    for seed in 0..20 {
+        let graph = random_cnn(seed, SyntheticSpec::default()).unwrap();
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let baseline_plan = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+        let edgenn_plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        edgenn_plan.validate(&graph).unwrap();
+        let baseline = runtime.simulate(&graph, &baseline_plan).unwrap();
+        let edgenn = runtime.simulate(&graph, &edgenn_plan).unwrap();
+        assert!(
+            edgenn.total_us <= baseline.total_us * 1.001,
+            "seed {seed}: EdgeNN {} vs baseline {}",
+            edgenn.total_us,
+            baseline.total_us
+        );
+    }
+}
+
+#[test]
+fn tuned_plans_execute_losslessly_on_random_networks() {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let spec = SyntheticSpec { stages: 4, resolution: 16, ..SyntheticSpec::default() };
+    for seed in 100..112 {
+        let graph = random_cnn(seed, spec).unwrap();
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
+        let reference = graph.forward(&input).unwrap();
+        let outcome = functional::execute(&graph, &plan, &input).unwrap();
+        assert!(
+            outcome.output.approx_eq(&reference, 1e-4),
+            "seed {seed}: diverged by {}",
+            outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
+        );
+    }
+}
+
+#[test]
+fn all_configs_plan_and_simulate_on_random_networks() {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let configs = [
+        ExecutionConfig::edgenn(),
+        ExecutionConfig::baseline_gpu(),
+        ExecutionConfig::memory_only(),
+        ExecutionConfig::hybrid_only(),
+        ExecutionConfig::inter_kernel_only(),
+        ExecutionConfig::edgenn_energy_aware(),
+        ExecutionConfig::cpu_only(),
+    ];
+    for seed in 200..210 {
+        let graph = random_cnn(seed, SyntheticSpec::default()).unwrap();
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        for config in configs {
+            let plan = tuner.plan(&graph, &runtime, config).unwrap();
+            let report = runtime.simulate(&graph, &plan).unwrap();
+            assert!(report.total_us > 0.0, "seed {seed} {config:?}");
+            assert!(report.energy.energy_mj > 0.0, "seed {seed} {config:?}");
+        }
+    }
+}
+
+#[test]
+fn deep_networks_stay_plannable() {
+    // A 20-stage generated network exercises long DP chains and many
+    // fork-join regions at once.
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let graph = random_cnn(
+        7,
+        SyntheticSpec { stages: 20, resolution: 64, base_channels: 16, classes: 100 },
+    )
+    .unwrap();
+    assert!(graph.len() > 40);
+    let tuner = Tuner::new(&graph, &runtime).unwrap();
+    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let baseline = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+    let fast = runtime.simulate(&graph, &plan).unwrap();
+    let slow = runtime.simulate(&graph, &baseline).unwrap();
+    assert!(fast.total_us <= slow.total_us);
+}

@@ -1,0 +1,113 @@
+//! Error type for network construction and execution.
+
+use std::fmt;
+
+use edgenn_tensor::TensorError;
+
+/// Errors from layer execution and graph construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A layer received the wrong number of inputs.
+    ArityMismatch {
+        /// Layer name.
+        layer: String,
+        /// Inputs the layer requires.
+        expected: usize,
+        /// Inputs supplied.
+        actual: usize,
+    },
+    /// A layer received an input of an unsupported shape.
+    BadInputShape {
+        /// Layer name.
+        layer: String,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// A partition range was invalid for the layer's output.
+    BadPartition {
+        /// Layer name.
+        layer: String,
+        /// Requested range start.
+        start: usize,
+        /// Requested range end (exclusive).
+        end: usize,
+        /// Number of available partition units.
+        units: usize,
+    },
+    /// The layer cannot be partitioned (e.g. softmax) and a strict
+    /// sub-range was requested.
+    NotPartitionable {
+        /// Layer name.
+        layer: String,
+    },
+    /// A graph node referenced an id that does not exist (yet).
+    UnknownNode {
+        /// The offending node id.
+        id: usize,
+    },
+    /// The graph has a structural defect (no nodes, multiple sinks, …).
+    InvalidGraph {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::ArityMismatch { layer, expected, actual } => {
+                write!(f, "layer '{layer}' expected {expected} inputs, got {actual}")
+            }
+            Self::BadInputShape { layer, reason } => {
+                write!(f, "layer '{layer}' rejected input: {reason}")
+            }
+            Self::BadPartition { layer, start, end, units } => write!(
+                f,
+                "layer '{layer}': partition {start}..{end} invalid for {units} units"
+            ),
+            Self::NotPartitionable { layer } => {
+                write!(f, "layer '{layer}' does not support partial execution")
+            }
+            Self::UnknownNode { id } => write!(f, "unknown graph node id {id}"),
+            Self::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let e: NnError = TensorError::EmptyRange { start: 1, end: 1 }.into();
+        assert!(matches!(e, NnError::Tensor(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_includes_layer_names() {
+        let e = NnError::BadPartition { layer: "conv1".into(), start: 2, end: 9, units: 8 };
+        assert_eq!(e.to_string(), "layer 'conv1': partition 2..9 invalid for 8 units");
+        let e = NnError::ArityMismatch { layer: "concat".into(), expected: 2, actual: 1 };
+        assert!(e.to_string().contains("concat"));
+    }
+}

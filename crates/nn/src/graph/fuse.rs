@@ -1,0 +1,213 @@
+//! ReLU fusion: an optimization pass folding activation nodes into their
+//! producers.
+//!
+//! Every kernel launch on the integrated GPU costs ~10 µs of dispatch
+//! (paper Challenge 2 territory: LeNet's latency is dominated by such
+//! overheads). Since `relu(concat(a, b)) == concat(relu(a), relu(b))`,
+//! a producer's output-range partials stay valid after fusion, so the
+//! fused layer remains fully compatible with EdgeNN's intra-kernel
+//! co-running. Input-channel splitting is disabled on fused layers —
+//! ReLU does not distribute over the partial *sums* that split produces.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use edgenn_tensor::{ops, Shape, Tensor};
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::layer::{Layer, LayerClass};
+use crate::{Result, Workload};
+
+/// A producer layer with a ReLU folded into its epilogue.
+pub struct FusedRelu {
+    name: String,
+    inner: Arc<dyn Layer>,
+}
+
+impl FusedRelu {
+    /// Fuses a ReLU into `inner`.
+    pub fn new(inner: Arc<dyn Layer>) -> Self {
+        Self { name: format!("{}+relu", inner.name()), inner }
+    }
+}
+
+impl Layer for FusedRelu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        self.inner.class()
+    }
+
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        self.inner.output_shape(inputs)
+    }
+
+    fn partitionable(&self) -> bool {
+        self.inner.partitionable()
+    }
+
+    fn partition_units(&self, inputs: &[&Shape]) -> Result<usize> {
+        self.inner.partition_units(inputs)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        let mut out = self.inner.forward_partial(inputs, range)?;
+        ops::relu_in_place(out.as_mut_slice());
+        Ok(out)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        let mut w = self.inner.workload(inputs)?;
+        // The fused epilogue clamps each output element in registers: one
+        // extra op per element, no extra memory traffic.
+        w.flops += w.output_bytes / 4;
+        Ok(w)
+    }
+
+    fn working_set_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        self.inner.working_set_bytes(inputs)
+    }
+}
+
+/// Folds every ReLU whose producer has no other consumer into that
+/// producer, returning the optimized graph.
+///
+/// The pass preserves semantics exactly (tests assert bit-level output
+/// agreement) and the fork-join structure: a ReLU acting as a fork node
+/// (multiple consumers) is left alone.
+///
+/// # Errors
+/// Propagates graph-construction failures.
+pub fn fuse_relu(graph: &Graph) -> Result<Graph> {
+    // relu node -> producer it fuses into.
+    let mut fused_into: Vec<Option<NodeId>> = vec![None; graph.len()];
+    for id in graph.topo_order().skip(1) {
+        let node = graph.node(id)?;
+        if !node.layer().is_relu() {
+            continue;
+        }
+        let producer = node.inputs()[0];
+        if producer == graph.input_id() {
+            continue; // nothing to fuse into
+        }
+        // The producer must feed only this ReLU, and must not itself be a
+        // fused/relu node (no double fusion of relu->relu chains).
+        if graph.successors(producer).len() == 1
+            && !graph.node(producer)?.layer().is_relu()
+            && fused_into[producer.index()].is_none()
+        {
+            fused_into[id.index()] = Some(producer);
+        }
+    }
+
+    let mut builder = GraphBuilder::new(graph.name(), graph.input_shape().clone());
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    remap[0] = Some(builder.input_id());
+
+    for id in graph.topo_order().skip(1) {
+        let node = graph.node(id)?;
+        if let Some(producer) = fused_into[id.index()] {
+            // The ReLU disappears; it resolves to the fused producer.
+            remap[id.index()] = remap[producer.index()];
+            continue;
+        }
+        let inputs: Vec<NodeId> = node
+            .inputs()
+            .iter()
+            .map(|i| remap[i.index()].expect("topological order"))
+            .collect();
+        // Does a ReLU fuse into this node?
+        let fuses = graph
+            .successors(id)
+            .iter()
+            .any(|s| fused_into[s.index()] == Some(id));
+        let new_id = if fuses {
+            builder.add_arc(Arc::new(FusedRelu::new(node.layer_arc())), &inputs)?
+        } else {
+            builder.add_arc(node.layer_arc(), &inputs)?
+        };
+        remap[id.index()] = Some(new_id);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{build, ModelKind, ModelScale};
+
+    #[test]
+    fn fusion_preserves_outputs_for_all_models() {
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let fused = fuse_relu(&graph).unwrap();
+            assert!(fused.len() < graph.len(), "{kind}: fusion should remove nodes");
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 77);
+            let a = graph.forward(&input).unwrap();
+            let b = fused.forward(&input).unwrap();
+            assert!(
+                a.approx_eq(&b, 1e-5),
+                "{kind}: fusion changed the output by {}",
+                a.max_abs_diff(&b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_counts_match_relu_topology() {
+        // AlexNet: 7 conv/fc-adjacent ReLUs fuse (conv1..conv5, fc6, fc7);
+        // the dropout/norm interleavings don't block them because the ReLU
+        // directly follows its conv/fc producer in our builder.
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let fused = fuse_relu(&graph).unwrap();
+        let removed = graph.len() - fused.len();
+        assert_eq!(removed, 7, "AlexNet has 7 fusible ReLUs");
+        assert!(fused.nodes().iter().any(|n| n.layer().name() == "conv1+relu"));
+    }
+
+    #[test]
+    fn fork_join_structure_survives_fusion() {
+        // SqueezeNet's squeeze ReLU is the fork node; fusing it into the
+        // squeeze conv makes the fused node the fork — the fork-join
+        // structure must survive intact.
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let fused = fuse_relu(&graph).unwrap();
+        assert!(
+            fused.nodes().iter().any(|n| n.layer().name() == "fire2_squeeze+relu"),
+            "the fork ReLU fuses into the squeeze conv"
+        );
+        assert!(fused.nodes().iter().any(|n| n.layer().name() == "fire2_e1+relu"));
+        // Structure survives: still 8 fork-join regions.
+        assert_eq!(fused.structure().unwrap().parallel_segment_count(), 8);
+    }
+
+    #[test]
+    fn fused_layers_keep_the_merge_invariant() {
+        use crate::layer::Conv2d;
+        let conv = Arc::new(Conv2d::new("c", 3, 6, 3, 1, 1, 9));
+        let fused = FusedRelu::new(conv);
+        let x = Tensor::random(&[3, 6, 6], 1.0, 10);
+        let full = fused.forward(&[&x]).unwrap();
+        assert!(full.as_slice().iter().all(|&v| v >= 0.0), "relu applied");
+        for cut in 1..6 {
+            let a = fused.forward_partial(&[&x], 0..cut).unwrap();
+            let b = fused.forward_partial(&[&x], cut..6).unwrap();
+            let merged = Tensor::concat_axis0(&[&a, &b]).unwrap();
+            assert!(merged.approx_eq(&full, 1e-5), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_flop_double_counting_but_keeps_totals_close() {
+        let graph = build(ModelKind::Vgg16, ModelScale::Paper);
+        let fused = fuse_relu(&graph).unwrap();
+        let ratio = fused.total_flops() as f64 / graph.total_flops() as f64;
+        assert!((0.99..=1.01).contains(&ratio), "flops preserved, got {ratio}");
+    }
+}

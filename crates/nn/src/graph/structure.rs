@@ -1,0 +1,289 @@
+//! Chain/branch decomposition of the inference DAG.
+//!
+//! EdgeNN's fine-grained tuner (paper Section IV-D) distinguishes two
+//! structural cases:
+//!
+//! - **Chain** segments ("input → conv → relu → squeeze" in the paper's
+//!   Figure 5) must run in sequence; the only co-running opportunity is
+//!   *intra-kernel* — splitting each layer's output units between CPU and
+//!   GPU at proportion `p_cpu`.
+//! - **Parallel** segments (the fire module's `expand1x1` / `expand3x3`
+//!   branches, or a ResNet block's residual pair) contain independent
+//!   branch chains between a fork and a join; here *inter-kernel*
+//!   co-running assigns whole branches to different processors.
+//!
+//! The decomposition handles the fork-join family that covers all six
+//! benchmark networks (branches are simple chains; forks do not nest) and
+//! reports [`NnError::InvalidGraph`] otherwise.
+
+use crate::graph::{Graph, NodeId};
+use crate::{NnError, Result};
+
+/// One structural segment of the DAG, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// A maximal sequence of nodes each feeding exactly the next.
+    Chain(Vec<NodeId>),
+    /// Independent branch chains between a fork (last node of the previous
+    /// chain) and `join` (first node of the following chain). A branch may
+    /// be empty: a direct fork→join edge (ResNet identity shortcut).
+    Parallel {
+        /// Per-branch node lists, each a chain.
+        branches: Vec<Vec<NodeId>>,
+        /// The node where the branches reconverge.
+        join: NodeId,
+    },
+}
+
+impl Segment {
+    /// Nodes contained in this segment (join nodes belong to the segment
+    /// that follows, forks to the one before).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Self::Chain(nodes) => nodes.clone(),
+            Self::Parallel { branches, .. } => branches.iter().flatten().copied().collect(),
+        }
+    }
+}
+
+/// The ordered decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    segments: Vec<Segment>,
+}
+
+impl Structure {
+    /// The segments in execution order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// True when the whole network is a single chain (FCNN, LeNet,
+    /// AlexNet, VGG in the paper's benchmark set).
+    pub fn is_pure_chain(&self) -> bool {
+        self.segments.iter().all(|s| matches!(s, Segment::Chain(_)))
+    }
+
+    /// Number of parallel (fork-join) segments (SqueezeNet fire modules,
+    /// ResNet blocks).
+    pub fn parallel_segment_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Parallel { .. }))
+            .count()
+    }
+}
+
+/// Decomposes `graph` into chains and fork-join parallel segments.
+///
+/// # Errors
+/// Returns [`NnError::InvalidGraph`] for nested forks, branches that
+/// dead-end, or branches that reconverge at different joins.
+pub fn decompose(graph: &Graph) -> Result<Structure> {
+    let in_degree: Vec<usize> =
+        graph.nodes().iter().map(|n| n.inputs().len()).collect();
+    let mut segments = Vec::new();
+    let mut chain: Vec<NodeId> = Vec::new();
+    let mut cur = graph.input_id();
+
+    loop {
+        chain.push(cur);
+        let succ = graph.successors(cur);
+        match succ.len() {
+            0 => break,
+            1 => {
+                let next = succ[0];
+                if in_degree[next.index()] > 1 {
+                    return Err(NnError::InvalidGraph {
+                        reason: format!(
+                            "node {next} joins multiple inputs outside a fork-join region"
+                        ),
+                    });
+                }
+                cur = next;
+            }
+            _ => {
+                segments.push(Segment::Chain(std::mem::take(&mut chain)));
+                let mut join: Option<NodeId> = None;
+                let mut branches = Vec::with_capacity(succ.len());
+                for &start in succ {
+                    let (nodes, branch_join) = walk_branch(graph, &in_degree, start)?;
+                    match join {
+                        None => join = Some(branch_join),
+                        Some(j) if j == branch_join => {}
+                        Some(j) => {
+                            return Err(NnError::InvalidGraph {
+                                reason: format!(
+                                    "branches reconverge at different joins {j} and {branch_join}"
+                                ),
+                            });
+                        }
+                    }
+                    branches.push(nodes);
+                }
+                let join = join.expect("fork has at least two successors");
+                segments.push(Segment::Parallel { branches, join });
+                cur = join;
+            }
+        }
+    }
+    segments.push(Segment::Chain(chain));
+    // Drop empty chains (possible when a join is immediately followed by a fork).
+    let segments: Vec<Segment> = segments
+        .into_iter()
+        .filter(|s| !matches!(s, Segment::Chain(v) if v.is_empty()))
+        .collect();
+    Ok(Structure { segments })
+}
+
+/// Walks one branch from `start` until a join node (in-degree > 1).
+///
+/// Returns the branch's interior nodes (empty for a direct fork→join edge)
+/// and the join id.
+fn walk_branch(
+    graph: &Graph,
+    in_degree: &[usize],
+    start: NodeId,
+) -> Result<(Vec<NodeId>, NodeId)> {
+    let mut nodes = Vec::new();
+    let mut cur = start;
+    loop {
+        if in_degree[cur.index()] > 1 {
+            return Ok((nodes, cur));
+        }
+        nodes.push(cur);
+        let succ = graph.successors(cur);
+        match succ.len() {
+            0 => {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("branch starting at {start} dead-ends at {cur}"),
+                })
+            }
+            1 => cur = succ[0],
+            _ => {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("nested fork at {cur} is not supported"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::layer::{AddResidual, Concat, Conv2d, Relu};
+    use edgenn_tensor::Shape;
+
+    fn chain_graph() -> Graph {
+        let mut b = GraphBuilder::new("chain", Shape::new(&[2, 8, 8]));
+        let x = b.input_id();
+        let a = b.add(Conv2d::new("c1", 2, 4, 3, 1, 1, 0), &[x]).unwrap();
+        let a = b.add(Relu::new("r1"), &[a]).unwrap();
+        let _ = b.add(Conv2d::new("c2", 4, 4, 3, 1, 1, 1), &[a]).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn fire_graph() -> Graph {
+        // input -> squeeze -> {e1, e3} -> concat -> relu
+        let mut b = GraphBuilder::new("fire", Shape::new(&[4, 8, 8]));
+        let x = b.input_id();
+        let s = b.add(Conv2d::new("squeeze", 4, 2, 1, 1, 0, 0), &[x]).unwrap();
+        let e1 = b.add(Conv2d::new("e1", 2, 4, 1, 1, 0, 1), &[s]).unwrap();
+        let e3 = b.add(Conv2d::new("e3", 2, 4, 3, 1, 1, 2), &[s]).unwrap();
+        let c = b.add(Concat::new("cat", 2), &[e1, e3]).unwrap();
+        let _ = b.add(Relu::new("r"), &[c]).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn residual_graph() -> Graph {
+        // input -> conv -> {conv-relu chain, identity} -> add -> relu
+        let mut b = GraphBuilder::new("res", Shape::new(&[4, 8, 8]));
+        let x = b.input_id();
+        let stem = b.add(Conv2d::new("stem", 4, 4, 3, 1, 1, 0), &[x]).unwrap();
+        let c1 = b.add(Conv2d::new("c1", 4, 4, 3, 1, 1, 1), &[stem]).unwrap();
+        let r1 = b.add(Relu::new("r1"), &[c1]).unwrap();
+        let add = b.add(AddResidual::new("add"), &[r1, stem]).unwrap();
+        let _ = b.add(Relu::new("r2"), &[add]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn pure_chain_is_one_segment() {
+        let s = chain_graph().structure().unwrap();
+        assert!(s.is_pure_chain());
+        assert_eq!(s.segments().len(), 1);
+        assert_eq!(s.segments()[0].nodes().len(), 4);
+    }
+
+    #[test]
+    fn fire_module_decomposes_into_fork_join() {
+        let g = fire_graph();
+        let s = g.structure().unwrap();
+        assert_eq!(s.parallel_segment_count(), 1);
+        assert_eq!(s.segments().len(), 3);
+        match &s.segments()[1] {
+            Segment::Parallel { branches, join } => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[0].len(), 1);
+                assert_eq!(branches[1].len(), 1);
+                assert_eq!(g.node(*join).unwrap().layer().name(), "cat");
+            }
+            other => panic!("expected parallel segment, got {other:?}"),
+        }
+        // Join starts the trailing chain.
+        match &s.segments()[2] {
+            Segment::Chain(nodes) => {
+                assert_eq!(g.node(nodes[0]).unwrap().layer().name(), "cat")
+            }
+            other => panic!("expected chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_shortcut_becomes_empty_branch() {
+        let s = residual_graph().structure().unwrap();
+        match &s.segments()[1] {
+            Segment::Parallel { branches, .. } => {
+                let lens: Vec<usize> = branches.iter().map(Vec::len).collect();
+                assert!(lens.contains(&0), "identity branch should be empty: {lens:?}");
+                assert!(lens.contains(&2));
+            }
+            other => panic!("expected parallel segment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segments_cover_every_node_exactly_once() {
+        for graph in [chain_graph(), fire_graph(), residual_graph()] {
+            let s = graph.structure().unwrap();
+            let mut seen = vec![0usize; graph.len()];
+            for seg in s.segments() {
+                for id in seg.nodes() {
+                    seen[id.index()] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{}: coverage {seen:?}",
+                graph.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nested_fork_is_rejected() {
+        // input -> {a -> {b, c} -> cat2, d} -> cat1 : fork inside a branch.
+        let mut bld = GraphBuilder::new("nested", Shape::new(&[2, 4, 4]));
+        let x = bld.input_id();
+        let a = bld.add(Relu::new("a"), &[x]).unwrap();
+        let b = bld.add(Relu::new("b"), &[a]).unwrap();
+        let c = bld.add(Relu::new("c"), &[a]).unwrap();
+        let cat2 = bld.add(Concat::new("cat2", 2), &[b, c]).unwrap();
+        let d = bld.add(Relu::new("d"), &[x]).unwrap();
+        let _ = bld.add(Concat::new("cat1", 2), &[cat2, d]).unwrap();
+        let g = bld.finish().unwrap();
+        assert!(matches!(g.structure(), Err(NnError::InvalidGraph { .. })));
+    }
+}

@@ -1,0 +1,230 @@
+//! Element-wise activations, dropout, and softmax.
+
+use std::ops::Range;
+
+use edgenn_tensor::{ops, Shape, Tensor};
+
+use crate::layer::{check_arity, require_full_range, validate_range, Layer, LayerClass};
+use crate::{Result, Workload};
+
+/// Rectified linear unit.
+///
+/// Element-wise, so any axis-0 partition of the input maps directly onto
+/// the same partition of the output — the cheapest possible layer to
+/// co-run.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_relu(&self) -> bool {
+        true
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Activation
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        Ok(inputs[0].clone())
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        let units = inputs[0].shape().dim(0)?;
+        validate_range(&self.name, &range, units)?;
+        let mut part = if range.start == 0 && range.end == units {
+            inputs[0].clone()
+        } else {
+            inputs[0].slice_axis0(range.start, range.end)?
+        };
+        ops::relu_in_place(part.as_mut_slice());
+        Ok(part)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        let elems = inputs[0].num_elements() as u64;
+        Ok(Workload { flops: elems, input_bytes: elems * 4, output_bytes: elems * 4, weight_bytes: 0 })
+    }
+}
+
+/// Inference-time dropout: the identity function.
+///
+/// The paper's AlexNet and VGG include dropout layers; at inference they
+/// perform no work (inverted-dropout convention), but they still appear in
+/// the DAG, so we keep them as explicit zero-FLOP nodes with pure
+/// pass-through semantics.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    name: String,
+}
+
+impl Dropout {
+    /// Creates an inference-time dropout layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Activation
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        Ok(inputs[0].clone())
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        let units = inputs[0].shape().dim(0)?;
+        validate_range(&self.name, &range, units)?;
+        if range.start == 0 && range.end == units {
+            Ok(inputs[0].clone())
+        } else {
+            Ok(inputs[0].slice_axis0(range.start, range.end)?)
+        }
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        let bytes = (inputs[0].num_elements() * 4) as u64;
+        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+    }
+}
+
+/// Softmax over a rank-1 score vector.
+///
+/// **Not partitionable**: the normalizing sum couples every output, so the
+/// tuner must schedule it on a single processor (the DAG decomposition
+/// treats it as an unsplittable chain node).
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    name: String,
+}
+
+impl Softmax {
+    /// Creates a softmax layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Activation
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        Ok(inputs[0].clone())
+    }
+
+    fn partitionable(&self) -> bool {
+        false
+    }
+
+    fn partition_units(&self, _inputs: &[&Shape]) -> Result<usize> {
+        Ok(1)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        require_full_range(&self.name, &range, 1)?;
+        let mut out = inputs[0].clone();
+        ops::softmax_in_place(out.as_mut_slice());
+        Ok(out)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        let elems = inputs[0].num_elements() as u64;
+        Ok(Workload {
+            // exp + subtract + divide + two reductions, ~5 ops per element
+            flops: 5 * elems,
+            input_bytes: elems * 4,
+            output_bytes: elems * 4,
+            weight_bytes: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::test_support::assert_merge_invariant;
+    use crate::NnError;
+
+    #[test]
+    fn relu_matches_reference() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[4]).unwrap();
+        let y = Relu::new("r").forward(&[&x]).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_merge_invariant() {
+        let x = Tensor::random(&[6, 3, 3], 1.0, 1);
+        assert_merge_invariant(&Relu::new("r"), &[&x]);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let x = Tensor::random(&[5, 2], 1.0, 2);
+        let y = Dropout::new("d").forward(&[&x]).unwrap();
+        assert_eq!(y, x);
+        assert_merge_invariant(&Dropout::new("d"), &[&x]);
+        assert_eq!(Dropout::new("d").workload(&[x.shape()]).unwrap().flops, 0);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[3]).unwrap();
+        let y = Softmax::new("s").forward(&[&x]).unwrap();
+        assert!((y.sum() - 1.0).abs() < 1e-6);
+        assert_eq!(y.argmax(), Some(2));
+    }
+
+    #[test]
+    fn softmax_rejects_partitioning() {
+        let s = Softmax::new("s");
+        let x = Tensor::random(&[4], 1.0, 0);
+        assert!(!s.partitionable());
+        assert_eq!(s.partition_units(&[x.shape()]).unwrap(), 1);
+        assert!(matches!(
+            s.forward_partial(&[&x], 0..0),
+            Err(NnError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn activation_shapes_are_identity() {
+        let shape = Shape::new(&[3, 4, 4]);
+        assert_eq!(Relu::new("r").output_shape(&[&shape]).unwrap(), shape);
+        assert_eq!(Dropout::new("d").output_shape(&[&shape]).unwrap(), shape);
+        assert_eq!(Softmax::new("s").output_shape(&[&shape]).unwrap(), shape);
+    }
+}

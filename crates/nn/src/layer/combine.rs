@@ -1,0 +1,270 @@
+//! Structural layers: channel concatenation, residual addition, flatten.
+
+use std::ops::Range;
+
+use edgenn_tensor::{Shape, Tensor};
+
+use crate::layer::{check_arity, require_full_range, validate_range, Layer, LayerClass};
+use crate::{NnError, Result, Workload};
+
+/// Channel-axis concatenation of two or more CHW maps.
+///
+/// This is SqueezeNet's fire-module join (`concat` in the paper's Figure 5)
+/// and the synchronization point where EdgeNN's inter-kernel co-running
+/// merges independent CPU and GPU branches.
+#[derive(Debug, Clone)]
+pub struct Concat {
+    name: String,
+    arity: usize,
+}
+
+impl Concat {
+    /// Creates a concat layer joining `arity` inputs.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Self { name: name.into(), arity }
+    }
+
+    fn check_shapes(&self, inputs: &[&Shape]) -> Result<()> {
+        check_arity(&self.name, self.arity, inputs)?;
+        let first = inputs[0];
+        for s in inputs.iter().skip(1) {
+            if s.rank() != first.rank() || s.dims()[1..] != first.dims()[1..] {
+                return Err(NnError::BadInputShape {
+                    layer: self.name.clone(),
+                    reason: format!("trailing dims differ: {first} vs {s}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Concat {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Combine
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        self.check_shapes(inputs)?;
+        let axis0 = inputs.iter().map(|s| s.dims()[0]).sum();
+        inputs[0].with_dim(0, axis0).map_err(Into::into)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+        self.check_shapes(&shapes)?;
+        let total: usize = shapes.iter().map(|s| s.dims()[0]).sum();
+        validate_range(&self.name, &range, total)?;
+        // Map the global output range onto per-input sub-ranges.
+        let mut parts: Vec<Tensor> = Vec::new();
+        let mut offset = 0usize;
+        for input in inputs {
+            let len = input.shape().dim(0)?;
+            let lo = range.start.max(offset);
+            let hi = range.end.min(offset + len);
+            if lo < hi {
+                parts.push(input.slice_axis0(lo - offset, hi - offset)?);
+            }
+            offset += len;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat_axis0(&refs).map_err(Into::into)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        self.check_shapes(inputs)?;
+        let bytes: u64 = inputs.iter().map(|s| (s.num_elements() * 4) as u64).sum();
+        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+    }
+}
+
+/// Element-wise residual addition of two equal-shape maps (ResNet).
+#[derive(Debug, Clone)]
+pub struct AddResidual {
+    name: String,
+}
+
+impl AddResidual {
+    /// Creates a residual-add layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for AddResidual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Combine
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 2, inputs)?;
+        if inputs[0] != inputs[1] {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!("residual shapes differ: {} vs {}", inputs[0], inputs[1]),
+            });
+        }
+        Ok(inputs[0].clone())
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 2, inputs)?;
+        let shape = self.output_shape(&[inputs[0].shape(), inputs[1].shape()])?;
+        let units = shape.dim(0)?;
+        validate_range(&self.name, &range, units)?;
+        let a = inputs[0].slice_axis0(range.start, range.end)?;
+        let b = inputs[1].slice_axis0(range.start, range.end)?;
+        a.add(&b).map_err(Into::into)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 2, inputs)?;
+        let elems = inputs[0].num_elements() as u64;
+        Ok(Workload {
+            flops: elems,
+            input_bytes: 2 * elems * 4,
+            output_bytes: elems * 4,
+            weight_bytes: 0,
+        })
+    }
+}
+
+/// Flattens any tensor to rank 1.
+///
+/// Pure data movement with no reordering (tensors are already contiguous
+/// row-major), so it is modelled as zero-FLOP. Not partitionable: it sits
+/// between conv and fc stages where the partition axis changes meaning.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    name: String,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Combine
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        Ok(Shape::new(&[inputs[0].num_elements()]))
+    }
+
+    fn partitionable(&self) -> bool {
+        false
+    }
+
+    fn partition_units(&self, _inputs: &[&Shape]) -> Result<usize> {
+        Ok(1)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        require_full_range(&self.name, &range, 1)?;
+        inputs[0].reshape(&[inputs[0].len()]).map_err(Into::into)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        let bytes = (inputs[0].num_elements() * 4) as u64;
+        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::test_support::assert_merge_invariant;
+
+    #[test]
+    fn concat_joins_channels() {
+        let a = Tensor::filled(&[2, 2, 2], 1.0);
+        let b = Tensor::filled(&[3, 2, 2], 2.0);
+        let cat = Concat::new("cat", 2);
+        let y = cat.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.dims(), &[5, 2, 2]);
+        assert_eq!(y.as_slice()[0], 1.0);
+        assert_eq!(y.as_slice()[8], 2.0);
+    }
+
+    #[test]
+    fn concat_partial_spans_input_boundary() {
+        let a = Tensor::arange(&[2, 1, 1]);
+        let b = Tensor::arange(&[2, 1, 1]).scale(10.0);
+        let cat = Concat::new("cat", 2);
+        let part = cat.forward_partial(&[&a, &b], 1..3).unwrap();
+        assert_eq!(part.as_slice(), &[1.0, 0.0]);
+        assert_merge_invariant(&cat, &[&a, &b]);
+    }
+
+    #[test]
+    fn concat_validates_trailing_dims_and_arity() {
+        let a = Tensor::zeros(&[2, 2, 2]);
+        let b = Tensor::zeros(&[2, 3, 2]);
+        let cat = Concat::new("cat", 2);
+        assert!(matches!(cat.forward(&[&a, &b]), Err(NnError::BadInputShape { .. })));
+        assert!(matches!(cat.forward(&[&a]), Err(NnError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn residual_adds_elementwise() {
+        let a = Tensor::arange(&[2, 2, 2]);
+        let b = Tensor::ones(&[2, 2, 2]);
+        let add = AddResidual::new("add");
+        let y = add.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.as_slice()[3], 4.0);
+        assert_merge_invariant(&add, &[&a, &b]);
+    }
+
+    #[test]
+    fn residual_requires_equal_shapes() {
+        let add = AddResidual::new("add");
+        assert!(add
+            .output_shape(&[&Shape::new(&[2, 2, 2]), &Shape::new(&[2, 2, 3])])
+            .is_err());
+    }
+
+    #[test]
+    fn flatten_reshapes_without_reordering() {
+        let x = Tensor::arange(&[2, 3, 4]);
+        let f = Flatten::new("flat");
+        let y = f.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[24]);
+        assert_eq!(y.as_slice(), x.as_slice());
+        assert!(!f.partitionable());
+    }
+
+    #[test]
+    fn combine_workloads_are_pure_traffic() {
+        let s = Shape::new(&[4, 4, 4]);
+        assert_eq!(Concat::new("c", 2).workload(&[&s, &s]).unwrap().flops, 0);
+        assert_eq!(Flatten::new("f").workload(&[&s]).unwrap().flops, 0);
+        assert!(AddResidual::new("a").workload(&[&s, &s]).unwrap().flops > 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! 2-D convolution via im2col + GEMM.
+
+use std::ops::Range;
+
+use edgenn_tensor::{gemm, im2col, Conv2dGeometry, Shape, Tensor};
+
+use crate::layer::params::LazyParam;
+use crate::layer::{check_arity, validate_range, Layer, LayerClass};
+use crate::{NnError, Result, Workload};
+
+/// A 2-D convolution layer over CHW feature maps.
+///
+/// Weights are stored pre-flattened as `(out_channels, in_channels*kh*kw)`
+/// so that intra-kernel partitioning is a row-range GEMM — exactly the way
+/// the paper splits "the convolution results of the first k input channels"
+/// between GPU and CPU (Section IV-D uses output-channel partitioning of
+/// the first convolutional layer as its running example).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: LazyParam,
+    bias: LazyParam,
+    in_channels: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with deterministic pseudo-random parameters.
+    ///
+    /// `seed` keeps weights reproducible across runs; magnitude is scaled
+    /// by fan-in (He-style) so deep paper-scale nets stay numerically
+    /// tame. Parameters materialize lazily on first functional use — the
+    /// simulator-driven experiments never pay for them.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (2.0 / fan_in).sqrt();
+        let weight =
+            LazyParam::new(&[out_channels, in_channels * kernel * kernel], bound, seed, 0.0);
+        let bias = LazyParam::new(&[out_channels], 0.01, seed.wrapping_add(1), 0.0);
+        Self {
+            name: name.into(),
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            weight,
+            bias,
+            in_channels,
+        }
+    }
+
+    /// Replaces the parameters with explicit tensors.
+    ///
+    /// # Errors
+    /// Returns [`NnError::BadInputShape`] when the tensors do not match
+    /// the declared geometry (`weight: [out_c, in_c*k*k]`, `bias: [out_c]`).
+    pub fn with_params(mut self, weight: Tensor, bias: Tensor) -> Result<Self> {
+        let taps = self.in_channels * self.kernel * self.kernel;
+        if weight.dims() != [self.out_channels, taps] || bias.dims() != [self.out_channels] {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!(
+                    "weight {:?} / bias {:?} incompatible with [{}, {}] / [{}]",
+                    weight.dims(),
+                    bias.dims(),
+                    self.out_channels,
+                    taps,
+                    self.out_channels
+                ),
+            });
+        }
+        self.weight = LazyParam::from_tensor(weight);
+        self.bias = LazyParam::from_tensor(bias);
+        Ok(self)
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    fn geometry(&self, input: &Shape) -> Result<Conv2dGeometry> {
+        if input.rank() != 3 {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!("expected CHW input, got rank {}", input.rank()),
+            });
+        }
+        if input.dim(0)? != self.in_channels {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!(
+                    "expected {} input channels, got {}",
+                    self.in_channels,
+                    input.dim(0)?
+                ),
+            });
+        }
+        let g = Conv2dGeometry {
+            in_channels: self.in_channels,
+            in_h: input.dim(1)?,
+            in_w: input.dim(2)?,
+            kernel_h: self.kernel,
+            kernel_w: self.kernel,
+            stride_h: self.stride,
+            stride_w: self.stride,
+            pad_h: self.pad,
+            pad_w: self.pad,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Conv
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        let g = self.geometry(inputs[0])?;
+        Ok(Shape::new(&[self.out_channels, g.out_h(), g.out_w()]))
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        validate_range(&self.name, &range, self.out_channels)?;
+        let g = self.geometry(inputs[0].shape())?;
+        let cols = im2col(inputs[0], &g)?;
+        let w_part = self.weight.get().slice_axis0(range.start, range.end)?;
+        let out = gemm(&w_part, &cols)?;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = out.into_vec();
+        let plane = oh * ow;
+        let bias_full = self.bias.get();
+        let bias = bias_full.as_slice();
+        for (c, chunk) in out.chunks_mut(plane).enumerate() {
+            let b = bias[range.start + c];
+            for v in chunk {
+                *v += b;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[range.len(), oh, ow])?)
+    }
+
+    fn input_split_supported(&self) -> bool {
+        true
+    }
+
+    fn input_channels(&self, inputs: &[&Shape]) -> Result<usize> {
+        check_arity(&self.name, 1, inputs)?;
+        self.geometry(inputs[0])?;
+        Ok(self.in_channels)
+    }
+
+    fn forward_partial_inputs(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        validate_range(&self.name, &range, self.in_channels)?;
+        let g = self.geometry(inputs[0].shape())?;
+        // Slice the input channels and the matching weight columns; the
+        // result is a full-size partial sum over this channel subset.
+        let input_part = inputs[0].slice_axis0(range.start, range.end)?;
+        let part_geometry = Conv2dGeometry { in_channels: range.len(), ..g };
+        let cols = im2col(&input_part, &part_geometry)?;
+
+        let taps_per_channel = self.kernel * self.kernel;
+        let full_taps = self.in_channels * taps_per_channel;
+        let w = self.weight.get().as_slice();
+        let mut w_part = Vec::with_capacity(self.out_channels * range.len() * taps_per_channel);
+        for oc in 0..self.out_channels {
+            let row = &w[oc * full_taps..(oc + 1) * full_taps];
+            w_part.extend_from_slice(
+                &row[range.start * taps_per_channel..range.end * taps_per_channel],
+            );
+        }
+        let w_part =
+            Tensor::from_vec(w_part, &[self.out_channels, range.len() * taps_per_channel])?;
+
+        let out = gemm(&w_part, &cols)?;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = out.into_vec();
+        if range.start == 0 {
+            // The bias is contributed exactly once, by the first partial.
+            let plane = oh * ow;
+            let bias_full = self.bias.get();
+            let bias = bias_full.as_slice();
+            for (c, chunk) in out.chunks_mut(plane).enumerate() {
+                let b = bias[c];
+                for v in chunk {
+                    *v += b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[self.out_channels, oh, ow])?)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        let g = self.geometry(inputs[0])?;
+        let out_elems = (self.out_channels * g.out_h() * g.out_w()) as u64;
+        let taps = (self.in_channels * self.kernel * self.kernel) as u64;
+        Ok(Workload {
+            flops: 2 * out_elems * taps,
+            input_bytes: (inputs[0].num_elements() * 4) as u64,
+            output_bytes: out_elems * 4,
+            weight_bytes: (self.weight.len() + self.bias.len()) as u64 * 4,
+        })
+    }
+
+    fn working_set_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        check_arity(&self.name, 1, inputs)?;
+        let g = self.geometry(inputs[0])?;
+        // im2col patch matrix + the weight matrix streamed against it.
+        let taps = (self.in_channels * self.kernel * self.kernel) as u64;
+        let cols = (g.out_h() * g.out_w()) as u64;
+        Ok((taps * cols + self.weight.len() as u64) * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::test_support::assert_merge_invariant;
+
+    fn input(c: usize, hw: usize, seed: u64) -> Tensor {
+        Tensor::random(&[c, hw, hw], 1.0, seed)
+    }
+
+    #[test]
+    fn output_shape_follows_conv_arithmetic() {
+        let conv = Conv2d::new("c", 3, 96, 11, 4, 0, 0);
+        let shape = conv.output_shape(&[&Shape::new(&[3, 227, 227])]).unwrap();
+        assert_eq!(shape.dims(), &[96, 55, 55]);
+    }
+
+    #[test]
+    fn rejects_wrong_rank_and_channels() {
+        let conv = Conv2d::new("c", 3, 8, 3, 1, 1, 0);
+        assert!(matches!(
+            conv.output_shape(&[&Shape::new(&[3, 8])]),
+            Err(NnError::BadInputShape { .. })
+        ));
+        assert!(matches!(
+            conv.output_shape(&[&Shape::new(&[4, 8, 8])]),
+            Err(NnError::BadInputShape { .. })
+        ));
+        assert!(matches!(conv.output_shape(&[]), Err(NnError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn identity_1x1_conv_reproduces_input_channel() {
+        // A 1x1 conv whose weight row selects channel 0 with bias 0.
+        let conv = Conv2d::new("c", 2, 1, 1, 1, 0, 0)
+            .with_params(
+                Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap(),
+                Tensor::zeros(&[1]),
+            )
+            .unwrap();
+        let x = Tensor::arange(&[2, 3, 3]);
+        let y = conv.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 3]);
+        assert_eq!(y.as_slice(), &x.as_slice()[0..9]);
+    }
+
+    #[test]
+    fn hand_checked_2x2_convolution() {
+        // 1-channel 3x3 input, single 2x2 all-ones kernel, bias 10:
+        // each output = window sum + 10.
+        let conv = Conv2d::new("c", 1, 1, 2, 1, 0, 0)
+            .with_params(Tensor::ones(&[1, 4]), Tensor::filled(&[1], 10.0))
+            .unwrap();
+        let x = Tensor::arange(&[1, 3, 3]);
+        let y = conv.forward(&[&x]).unwrap();
+        assert_eq!(y.as_slice(), &[18.0, 22.0, 30.0, 34.0]);
+    }
+
+    #[test]
+    fn bias_is_applied_per_output_channel() {
+        let conv = Conv2d::new("c", 1, 2, 1, 1, 0, 0)
+            .with_params(
+                Tensor::zeros(&[2, 1]),
+                Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap(),
+            )
+            .unwrap();
+        let x = Tensor::ones(&[1, 2, 2]);
+        let y = conv.forward(&[&x]).unwrap();
+        assert_eq!(&y.as_slice()[0..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..8], &[-2.5; 4]);
+    }
+
+    #[test]
+    fn merge_invariant_holds() {
+        let conv = Conv2d::new("c", 3, 7, 3, 1, 1, 9);
+        let x = input(3, 6, 1);
+        assert_merge_invariant(&conv, &[&x]);
+    }
+
+    #[test]
+    fn merge_invariant_holds_with_stride_and_pad() {
+        let conv = Conv2d::new("c", 2, 5, 3, 2, 1, 4);
+        let x = input(2, 9, 2);
+        assert_merge_invariant(&conv, &[&x]);
+    }
+
+    #[test]
+    fn partial_bias_uses_global_channel_index() {
+        let conv = Conv2d::new("c", 1, 3, 1, 1, 0, 0)
+            .with_params(
+                Tensor::zeros(&[3, 1]),
+                Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap(),
+            )
+            .unwrap();
+        let x = Tensor::ones(&[1, 2, 2]);
+        let part = conv.forward_partial(&[&x], 1..3).unwrap();
+        assert_eq!(&part.as_slice()[0..4], &[2.0; 4]);
+        assert_eq!(&part.as_slice()[4..8], &[3.0; 4]);
+    }
+
+    #[test]
+    fn input_split_sum_invariant() {
+        // Adding the partials of disjoint input-channel ranges must equal
+        // the full forward pass (the paper's Section IV-D split).
+        let conv = Conv2d::new("c", 6, 5, 3, 1, 1, 21);
+        let x = input(6, 7, 22);
+        let full = conv.forward(&[&x]).unwrap();
+        for cut in 1..6 {
+            let a = conv.forward_partial_inputs(&[&x], 0..cut).unwrap();
+            let b = conv.forward_partial_inputs(&[&x], cut..6).unwrap();
+            let merged = a.add(&b).unwrap();
+            assert!(
+                merged.approx_eq(&full, 1e-4),
+                "cut {cut}: max diff {}",
+                merged.max_abs_diff(&full).unwrap()
+            );
+        }
+        assert!(conv.input_split_supported());
+        assert_eq!(conv.input_channels(&[x.shape()]).unwrap(), 6);
+    }
+
+    #[test]
+    fn input_split_three_way_sum() {
+        let conv = Conv2d::new("c", 9, 4, 3, 2, 1, 31);
+        let x = input(9, 8, 32);
+        let full = conv.forward(&[&x]).unwrap();
+        let p1 = conv.forward_partial_inputs(&[&x], 0..3).unwrap();
+        let p2 = conv.forward_partial_inputs(&[&x], 3..7).unwrap();
+        let p3 = conv.forward_partial_inputs(&[&x], 7..9).unwrap();
+        let merged = p1.add(&p2).unwrap().add(&p3).unwrap();
+        assert!(merged.approx_eq(&full, 1e-4));
+    }
+
+    #[test]
+    fn input_split_bias_counted_once() {
+        let conv = Conv2d::new("c", 2, 1, 1, 1, 0, 0)
+            .with_params(
+                Tensor::zeros(&[1, 2]),
+                Tensor::filled(&[1], 5.0),
+            )
+            .unwrap();
+        let x = Tensor::ones(&[2, 2, 2]);
+        let a = conv.forward_partial_inputs(&[&x], 0..1).unwrap();
+        let b = conv.forward_partial_inputs(&[&x], 1..2).unwrap();
+        assert_eq!(a.as_slice(), &[5.0; 4], "first partial carries the bias");
+        assert_eq!(b.as_slice(), &[0.0; 4], "second partial must not re-add it");
+    }
+
+    #[test]
+    fn input_split_validates_range() {
+        let conv = Conv2d::new("c", 4, 2, 3, 1, 1, 0);
+        let x = input(4, 6, 1);
+        assert!(matches!(
+            conv.forward_partial_inputs(&[&x], 2..2),
+            Err(NnError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            conv.forward_partial_inputs(&[&x], 0..5),
+            Err(NnError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn workload_counts_macs() {
+        let conv = Conv2d::new("c", 3, 4, 3, 1, 1, 0);
+        let w = conv.workload(&[&Shape::new(&[3, 8, 8])]).unwrap();
+        // out elems = 4*8*8 = 256; taps = 27; flops = 2*256*27.
+        assert_eq!(w.flops, 2 * 256 * 27);
+        assert_eq!(w.input_bytes, 3 * 8 * 8 * 4);
+        assert_eq!(w.output_bytes, 256 * 4);
+        assert_eq!(w.weight_bytes, (4 * 27 + 4) * 4);
+    }
+
+    #[test]
+    fn workload_partial_scales_with_channels() {
+        let conv = Conv2d::new("c", 3, 4, 3, 1, 1, 0);
+        let shape = Shape::new(&[3, 8, 8]);
+        let full = conv.workload(&[&shape]).unwrap();
+        let half = conv.workload_partial(&[&shape], 0..2).unwrap();
+        assert_eq!(half.flops, full.flops / 2);
+        assert_eq!(half.input_bytes, full.input_bytes);
+    }
+}

@@ -1,0 +1,234 @@
+//! Fully-connected layer.
+
+use std::ops::Range;
+
+use edgenn_tensor::{matvec, Shape, Tensor};
+
+use crate::layer::params::LazyParam;
+use crate::layer::{check_arity, validate_range, Layer, LayerClass};
+use crate::{NnError, Result, Workload};
+
+/// A fully-connected (dense) layer: `y = W x + b` over a rank-1 input.
+///
+/// With batch size 1 (the paper's inference setting) this is a mat-vec.
+/// Fully-connected layers are the ones the paper finds benefit most from
+/// CPU-GPU co-running (Table I: AlexNet fc layers improve 53.8% on average
+/// with hybrid execution + zero-copy) because they are memory-bound on the
+/// integrated GPU, so partition units here are output neurons.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weight: LazyParam,
+    bias: LazyParam,
+}
+
+impl Dense {
+    /// Creates a dense layer with deterministic pseudo-random parameters.
+    ///
+    /// Parameters materialize lazily on first functional use, so building
+    /// paper-scale models (AlexNet's fc layers alone hold ~58M weights)
+    /// for analytic simulation costs nothing.
+    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, seed: u64) -> Self {
+        let bound = (2.0 / in_features as f32).sqrt();
+        let weight = LazyParam::new(&[out_features, in_features], bound, seed, 0.0);
+        let bias = LazyParam::new(&[out_features], 0.01, seed.wrapping_add(1), 0.0);
+        Self { name: name.into(), in_features, out_features, weight, bias }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Replaces the parameters (test/doc support).
+    ///
+    /// # Errors
+    /// Returns [`NnError::BadInputShape`] when the shapes do not match the
+    /// declared feature counts.
+    pub fn with_params(mut self, weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.dims() != [self.out_features, self.in_features]
+            || bias.dims() != [self.out_features]
+        {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!(
+                    "weight {:?} / bias {:?} incompatible with {}x{}",
+                    weight.dims(),
+                    bias.dims(),
+                    self.out_features,
+                    self.in_features
+                ),
+            });
+        }
+        self.weight = LazyParam::from_tensor(weight);
+        self.bias = LazyParam::from_tensor(bias);
+        Ok(self)
+    }
+
+    fn check_input(&self, input: &Shape) -> Result<()> {
+        if input.rank() != 1 || input.dim(0)? != self.in_features {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!(
+                    "expected [{}] input, got {}",
+                    self.in_features, input
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Fc
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        Ok(Shape::new(&[self.out_features]))
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0].shape())?;
+        validate_range(&self.name, &range, self.out_features)?;
+        let w_part = self.weight.get().slice_axis0(range.start, range.end)?;
+        let mut y = matvec(&w_part, inputs[0])?;
+        let bias_full = self.bias.get();
+        let bias = bias_full.as_slice();
+        for (i, v) in y.as_mut_slice().iter_mut().enumerate() {
+            *v += bias[range.start + i];
+        }
+        Ok(y)
+    }
+
+    fn input_split_supported(&self) -> bool {
+        true
+    }
+
+    fn input_channels(&self, inputs: &[&Shape]) -> Result<usize> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        Ok(self.in_features)
+    }
+
+    fn forward_partial_inputs(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0].shape())?;
+        validate_range(&self.name, &range, self.in_features)?;
+        let x = &inputs[0].as_slice()[range.clone()];
+        let w = self.weight.get().as_slice();
+        let bias_full = self.bias.get();
+        let bias = bias_full.as_slice();
+        let data: Vec<f32> = (0..self.out_features)
+            .map(|o| {
+                let row = &w[o * self.in_features + range.start..o * self.in_features + range.end];
+                let dot: f32 = row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+                if range.start == 0 {
+                    dot + bias[o]
+                } else {
+                    dot
+                }
+            })
+            .collect();
+        Ok(Tensor::from_vec(data, &[self.out_features])?)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        Ok(Workload {
+            flops: 2 * (self.out_features as u64) * (self.in_features as u64),
+            input_bytes: (self.in_features * 4) as u64,
+            output_bytes: (self.out_features * 4) as u64,
+            weight_bytes: ((self.out_features * self.in_features + self.out_features) * 4) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::test_support::assert_merge_invariant;
+
+    #[test]
+    fn hand_checked_matvec() {
+        let dense = Dense::new("fc", 2, 2, 0)
+            .with_params(
+                Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+                Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+            )
+            .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let y = dense.forward(&[&x]).unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn output_shape_and_arity() {
+        let dense = Dense::new("fc", 8, 3, 1);
+        assert_eq!(dense.output_shape(&[&Shape::new(&[8])]).unwrap().dims(), &[3]);
+        assert!(dense.output_shape(&[&Shape::new(&[9])]).is_err());
+        assert!(dense.output_shape(&[&Shape::new(&[8, 1])]).is_err());
+        assert_eq!(dense.out_features(), 3);
+    }
+
+    #[test]
+    fn merge_invariant_holds() {
+        let dense = Dense::new("fc", 13, 7, 5);
+        let x = Tensor::random(&[13], 1.0, 6);
+        assert_merge_invariant(&dense, &[&x]);
+    }
+
+    #[test]
+    fn partial_bias_indexing_is_global() {
+        let dense = Dense::new("fc", 1, 3, 0)
+            .with_params(
+                Tensor::zeros(&[3, 1]),
+                Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap(),
+            )
+            .unwrap();
+        let x = Tensor::ones(&[1]);
+        let tail = dense.forward_partial(&[&x], 2..3).unwrap();
+        assert_eq!(tail.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn with_params_validates_shapes() {
+        let dense = Dense::new("fc", 4, 2, 0);
+        assert!(dense.with_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn input_split_sum_invariant() {
+        let dense = Dense::new("fc", 11, 7, 13);
+        let x = Tensor::random(&[11], 1.0, 14);
+        let full = dense.forward(&[&x]).unwrap();
+        for cut in 1..11 {
+            let a = dense.forward_partial_inputs(&[&x], 0..cut).unwrap();
+            let b = dense.forward_partial_inputs(&[&x], cut..11).unwrap();
+            let merged = a.add(&b).unwrap();
+            assert!(merged.approx_eq(&full, 1e-4), "cut {cut}");
+        }
+        assert!(dense.input_split_supported());
+        assert_eq!(dense.input_channels(&[x.shape()]).unwrap(), 11);
+    }
+
+    #[test]
+    fn workload_is_2mn_flops() {
+        let dense = Dense::new("fc", 256, 10, 0);
+        let w = dense.workload(&[&Shape::new(&[256])]).unwrap();
+        assert_eq!(w.flops, 2 * 256 * 10);
+        assert_eq!(w.weight_bytes, (256 * 10 + 10) * 4);
+        // fc layers are memory-bound: intensity ~2 flops/weight-byte / 4.
+        assert!(w.arithmetic_intensity() < 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fully connected neural network (paper benchmark 1).
+//!
+//! The paper specifies "three hidden layers" (Section V-A); width choices
+//! follow common MLP-on-MNIST practice (784-inputs, wide hidden layers)
+//! and are documented here because the paper does not publish them.
+
+use edgenn_tensor::Shape;
+
+use crate::graph::Graph;
+use crate::layer::{Dense, Relu, Softmax};
+use crate::models::{ModelCtx, ModelScale};
+use crate::Result;
+
+/// Builds the FCNN benchmark.
+pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
+    let (input, hidden, classes) = match scale {
+        ModelScale::Paper => (784usize, [4096usize, 4096, 1024], 10usize),
+        ModelScale::Tiny => (64, [48, 48, 24], 10),
+    };
+    let mut ctx = ModelCtx::new("FCNN", Shape::new(&[input]), 0xFC_00);
+    let mut in_features = input;
+    for (i, &width) in hidden.iter().enumerate() {
+        let seed = ctx.next_seed();
+        ctx.push(Dense::new(format!("fc{}", i + 1), in_features, width, seed))?;
+        ctx.push(Relu::new(format!("relu{}", i + 1)))?;
+        in_features = width;
+    }
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc_out", in_features, classes, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerClass;
+
+    #[test]
+    fn paper_fcnn_has_three_hidden_layers() {
+        let g = build(ModelScale::Paper).unwrap();
+        let dense_count = g
+            .nodes()
+            .iter()
+            .filter(|n| n.layer().class() == LayerClass::Fc)
+            .count();
+        assert_eq!(dense_count, 4, "3 hidden + 1 output dense layers");
+        assert_eq!(g.input_shape().dims(), &[784]);
+        assert_eq!(g.output_shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn fcnn_is_fc_dominated() {
+        // Sanity for the simulator: nearly all FLOPs should be in fc layers.
+        let g = build(ModelScale::Paper).unwrap();
+        assert!(g.total_flops() > 40_000_000);
+        assert!(g.param_bytes() > g.total_flops() / 2, "fc nets are weight-dominated");
+    }
+}

@@ -1,0 +1,80 @@
+//! LeNet-5 (paper benchmark 2): the classic 7-layer CNN of LeCun et al.
+
+use edgenn_tensor::Shape;
+
+use crate::graph::Graph;
+use crate::layer::{Dense, Flatten, MaxPool2d, Relu, Softmax};
+use crate::models::{ModelCtx, ModelScale};
+use crate::Result;
+
+/// Builds LeNet-5.
+///
+/// Paper scale follows the published architecture on 1x32x32 inputs:
+/// conv(6@5x5) -> pool -> conv(16@5x5) -> pool -> fc120 -> fc84 -> fc10.
+/// ReLU replaces the historical tanh, matching the paper's CUDA benchmark
+/// implementations.
+pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
+    match scale {
+        ModelScale::Paper => build_paper(),
+        ModelScale::Tiny => build_tiny(),
+    }
+}
+
+fn build_paper() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("LeNet", Shape::new(&[1, 32, 32]), 0x1E_5E7);
+    ctx.conv_relu("conv1", 1, 6, 5, 1, 0)?; // 6x28x28
+    ctx.push(MaxPool2d::new("pool1", 2, 2))?; // 6x14x14
+    ctx.conv_relu("conv2", 6, 16, 5, 1, 0)?; // 16x10x10
+    ctx.push(MaxPool2d::new("pool2", 2, 2))?; // 16x5x5
+    ctx.push(Flatten::new("flatten"))?; // 400
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc1", 400, 120, seed))?;
+    ctx.push(Relu::new("fc1_relu"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc2", 120, 84, seed))?;
+    ctx.push(Relu::new("fc2_relu"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc3", 84, 10, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+fn build_tiny() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("LeNet", Shape::new(&[1, 16, 16]), 0x1E_5E7);
+    ctx.conv_relu("conv1", 1, 4, 3, 1, 0)?; // 4x14x14
+    ctx.push(MaxPool2d::new("pool1", 2, 2))?; // 4x7x7
+    ctx.conv_relu("conv2", 4, 8, 3, 1, 0)?; // 8x5x5
+    ctx.push(MaxPool2d::new("pool2", 2, 2))?; // 8x2x2
+    ctx.push(Flatten::new("flatten"))?; // 32
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc1", 32, 16, seed))?;
+    ctx.push(Relu::new("fc1_relu"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc2", 16, 10, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lenet_shapes_follow_lecun_1998() {
+        let g = build(ModelScale::Paper).unwrap();
+        assert_eq!(g.input_shape().dims(), &[1, 32, 32]);
+        assert_eq!(g.output_shape().dims(), &[10]);
+        // conv1 output: 6x28x28, conv2 output: 16x10x10.
+        let conv1 = g.nodes().iter().find(|n| n.layer().name() == "conv1").unwrap();
+        assert_eq!(conv1.output_shape().dims(), &[6, 28, 28]);
+        let conv2 = g.nodes().iter().find(|n| n.layer().name() == "conv2").unwrap();
+        assert_eq!(conv2.output_shape().dims(), &[16, 10, 10]);
+    }
+
+    #[test]
+    fn lenet_is_light() {
+        // LeNet is the paper's smallest CNN; ~0.5-1 MFLOPs per inference.
+        let g = build(ModelScale::Paper).unwrap();
+        assert!(g.total_flops() < 10_000_000);
+    }
+}

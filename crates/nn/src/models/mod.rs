@@ -1,0 +1,258 @@
+//! Builders for the six benchmark networks the paper evaluates
+//! (Section V-A): FCNN, LeNet-5, AlexNet, VGG-16, SqueezeNet v1.0 and
+//! ResNet-18.
+//!
+//! Every network comes in two scales:
+//!
+//! - [`ModelScale::Paper`] — the published architecture at its published
+//!   input resolution. Used by the simulator-driven experiments (analytic
+//!   workloads only; no tensor math required).
+//! - [`ModelScale::Tiny`] — a structurally identical reduction (same layer
+//!   types, same chain/branch topology) small enough for real forward
+//!   passes in tests and examples.
+
+mod alexnet;
+mod fcnn;
+mod lenet;
+mod resnet;
+mod squeezenet;
+pub mod synthetic;
+mod vgg;
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::layer::{Conv2d, Relu};
+use crate::Result;
+use edgenn_tensor::Shape;
+
+/// Which benchmark network to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Fully connected neural network with three hidden layers.
+    Fcnn,
+    /// LeNet-5 convolutional network.
+    LeNet,
+    /// AlexNet (ImageNet classification CNN).
+    AlexNet,
+    /// VGG-16.
+    Vgg16,
+    /// SqueezeNet v1.0 with fire modules.
+    SqueezeNet,
+    /// ResNet-18 with basic residual blocks.
+    ResNet18,
+}
+
+impl ModelKind {
+    /// All six benchmarks, in the order the paper's figures list them.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Fcnn,
+        ModelKind::LeNet,
+        ModelKind::AlexNet,
+        ModelKind::Vgg16,
+        ModelKind::SqueezeNet,
+        ModelKind::ResNet18,
+    ];
+
+    /// Display name used in reports (matches the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fcnn => "FCNN",
+            Self::LeNet => "LeNet",
+            Self::AlexNet => "AlexNet",
+            Self::Vgg16 => "VGG",
+            Self::SqueezeNet => "SqueezeNet",
+            Self::ResNet18 => "ResNet",
+        }
+    }
+
+    /// True for networks whose DAG contains independent branches
+    /// (the paper notes only SqueezeNet and ResNet have them, Section V-F).
+    pub fn has_parallel_branches(&self) -> bool {
+        matches!(self, Self::SqueezeNet | Self::ResNet18)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build scale: published architecture vs. test-sized reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelScale {
+    /// Published architecture and input resolution.
+    Paper,
+    /// Structurally identical, drastically smaller variant for fast
+    /// functional execution in tests and examples.
+    Tiny,
+}
+
+/// Builds one benchmark network.
+///
+/// # Panics
+/// Never panics for the shipped architectures; construction errors in the
+/// hand-written builders are programming bugs and are unwrapped internally.
+pub fn build(kind: ModelKind, scale: ModelScale) -> Graph {
+    let result = match kind {
+        ModelKind::Fcnn => fcnn::build(scale),
+        ModelKind::LeNet => lenet::build(scale),
+        ModelKind::AlexNet => alexnet::build(scale),
+        ModelKind::Vgg16 => vgg::build(scale),
+        ModelKind::SqueezeNet => squeezenet::build(scale),
+        ModelKind::ResNet18 => resnet::build(scale),
+    };
+    result.expect("benchmark model builders construct valid graphs")
+}
+
+/// Convenience wrapper used by the model builders: a [`GraphBuilder`]
+/// extended with a running layer counter (for unique names and
+/// deterministic per-layer weight seeds) and a cursor over the last node.
+pub(crate) struct ModelCtx {
+    builder: GraphBuilder,
+    cursor: NodeId,
+    seed: u64,
+}
+
+impl ModelCtx {
+    pub(crate) fn new(name: &str, input_shape: Shape, seed: u64) -> Self {
+        let builder = GraphBuilder::new(name, input_shape);
+        let cursor = builder.input_id();
+        Self { builder, cursor, seed }
+    }
+
+    /// Current tip of the chain being built.
+    pub(crate) fn cursor(&self) -> NodeId {
+        self.cursor
+    }
+
+    /// Fresh deterministic seed for the next parameterized layer.
+    pub(crate) fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed
+    }
+
+    /// Appends a layer fed by explicit inputs and moves the cursor to it.
+    pub(crate) fn add(
+        &mut self,
+        layer: impl crate::layer::Layer + 'static,
+        inputs: &[NodeId],
+    ) -> Result<NodeId> {
+        let id = self.builder.add(layer, inputs)?;
+        self.cursor = id;
+        Ok(id)
+    }
+
+    /// Appends a layer fed by the cursor and advances it.
+    pub(crate) fn push(&mut self, layer: impl crate::layer::Layer + 'static) -> Result<NodeId> {
+        let cursor = self.cursor;
+        self.add(layer, &[cursor])
+    }
+
+    /// Appends `conv -> relu` fed by the cursor.
+    pub(crate) fn conv_relu(
+        &mut self,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<NodeId> {
+        let seed = self.next_seed();
+        self.push(Conv2d::new(name.to_string(), in_ch, out_ch, kernel, stride, pad, seed))?;
+        self.push(Relu::new(format!("{name}_relu")))
+    }
+
+    pub(crate) fn finish(self) -> Result<Graph> {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_tensor::Tensor;
+
+    #[test]
+    fn all_models_build_at_both_scales() {
+        for kind in ModelKind::ALL {
+            for scale in [ModelScale::Paper, ModelScale::Tiny] {
+                let g = build(kind, scale);
+                assert!(g.len() > 3, "{kind} {scale:?} suspiciously small");
+                assert!(g.total_flops() > 0, "{kind} {scale:?} has zero flops");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_models_run_functionally() {
+        for kind in ModelKind::ALL {
+            let g = build(kind, ModelScale::Tiny);
+            let input = Tensor::random(g.input_shape().dims(), 1.0, 11);
+            let out = g.forward(&input).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(out.dims(), g.output_shape().dims(), "{kind}");
+            assert!(
+                out.as_slice().iter().all(|x| x.is_finite()),
+                "{kind} produced non-finite outputs"
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_outputs_are_probability_vectors() {
+        for kind in ModelKind::ALL {
+            let g = build(kind, ModelScale::Tiny);
+            let input = Tensor::random(g.input_shape().dims(), 1.0, 3);
+            let out = g.forward(&input).unwrap();
+            let sum = out.sum();
+            assert!((sum - 1.0).abs() < 1e-4, "{kind}: softmax sum {sum}");
+            assert!(out.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)), "{kind}");
+        }
+    }
+
+    #[test]
+    fn structure_matches_paper_claims() {
+        for kind in ModelKind::ALL {
+            for scale in [ModelScale::Paper, ModelScale::Tiny] {
+                let s = build(kind, scale).structure().unwrap();
+                if kind.has_parallel_branches() {
+                    assert!(
+                        s.parallel_segment_count() > 0,
+                        "{kind} {scale:?} should have independent branches"
+                    );
+                } else {
+                    assert!(s.is_pure_chain(), "{kind} {scale:?} should be a chain");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_flop_ordering_is_sane() {
+        // VGG-16 is by far the heaviest network; LeNet and FCNN the lightest.
+        let flops: Vec<(ModelKind, u64)> = ModelKind::ALL
+            .iter()
+            .map(|&k| (k, build(k, ModelScale::Paper).total_flops()))
+            .collect();
+        let get = |k: ModelKind| flops.iter().find(|(m, _)| *m == k).unwrap().1;
+        assert!(get(ModelKind::Vgg16) > get(ModelKind::AlexNet));
+        assert!(get(ModelKind::AlexNet) > get(ModelKind::LeNet));
+        assert!(get(ModelKind::Vgg16) > 1e10 as u64, "VGG-16 is ~15.5 GFLOPs/inference");
+        assert!(get(ModelKind::ResNet18) > get(ModelKind::SqueezeNet));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        let names: Vec<&str> = ModelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"]);
+    }
+
+    #[test]
+    fn paper_alexnet_has_25_layers() {
+        // The paper states "AlexNet has 25 layers" (Section III-B); the
+        // Caffe topology it refers to counts the data layer, which maps to
+        // our input pseudo-node, so the whole graph has 25 nodes.
+        let g = build(ModelKind::AlexNet, ModelScale::Paper);
+        assert_eq!(g.len(), 25);
+    }
+}

@@ -1,0 +1,173 @@
+//! ResNet-18 (paper benchmark 6): basic residual blocks whose shortcut
+//! edge gives the DAG its second source of independent branches
+//! (Section V-F notes only SqueezeNet and ResNet have them).
+
+use edgenn_tensor::Shape;
+
+use crate::graph::{Graph, NodeId};
+use crate::layer::{
+    AddResidual, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, MaxPool2d, Relu, Softmax,
+};
+use crate::models::{ModelCtx, ModelScale};
+use crate::Result;
+
+/// Appends one basic residual block; returns the post-activation node.
+///
+/// `stride > 1` (or a channel change) adds the projection shortcut
+/// (1x1 conv + batch norm) on the identity path.
+fn basic_block(
+    ctx: &mut ModelCtx,
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let entry = ctx.cursor();
+
+    let seed = ctx.next_seed();
+    ctx.add(
+        Conv2d::new(format!("{name}_conv1"), in_ch, out_ch, 3, stride, 1, seed),
+        &[entry],
+    )?;
+    let seed = ctx.next_seed();
+    ctx.push(BatchNorm2d::new(format!("{name}_bn1"), out_ch, seed))?;
+    ctx.push(Relu::new(format!("{name}_relu1")))?;
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new(format!("{name}_conv2"), out_ch, out_ch, 3, 1, 1, seed))?;
+    let seed = ctx.next_seed();
+    let main = ctx.push(BatchNorm2d::new(format!("{name}_bn2"), out_ch, seed))?;
+
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        let seed = ctx.next_seed();
+        ctx.add(
+            Conv2d::new(format!("{name}_down"), in_ch, out_ch, 1, stride, 0, seed),
+            &[entry],
+        )?;
+        let seed = ctx.next_seed();
+        ctx.push(BatchNorm2d::new(format!("{name}_down_bn"), out_ch, seed))?
+    } else {
+        entry
+    };
+
+    ctx.add(AddResidual::new(format!("{name}_add")), &[main, shortcut])?;
+    ctx.push(Relu::new(format!("{name}_relu2")))
+}
+
+/// Builds ResNet-18.
+pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
+    match scale {
+        ModelScale::Paper => build_paper(),
+        ModelScale::Tiny => build_tiny(),
+    }
+}
+
+fn build_paper() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("ResNet", Shape::new(&[3, 224, 224]), 0x2E5);
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new("conv1", 3, 64, 7, 2, 3, seed))?; // 64x112x112
+    let seed = ctx.next_seed();
+    ctx.push(BatchNorm2d::new("bn1", 64, seed))?;
+    ctx.push(Relu::new("relu1"))?;
+    ctx.push(MaxPool2d::with_pad("pool1", 3, 2, 1))?; // 64x56x56
+
+    let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
+    let mut in_ch = 64usize;
+    for (stage, &(out_ch, stride)) in stages.iter().enumerate() {
+        for block in 0..2 {
+            let s = if block == 0 { stride } else { 1 };
+            basic_block(
+                &mut ctx,
+                &format!("layer{}_{}", stage + 1, block + 1),
+                in_ch,
+                out_ch,
+                s,
+            )?;
+            in_ch = out_ch;
+        }
+    }
+
+    ctx.push(GlobalAvgPool::new("gap"))?; // 512
+    ctx.push(Flatten::new("flatten"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc", 512, 1000, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+fn build_tiny() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("ResNet", Shape::new(&[3, 16, 16]), 0x2E5);
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new("conv1", 3, 8, 3, 1, 1, seed))?;
+    let seed = ctx.next_seed();
+    ctx.push(BatchNorm2d::new("bn1", 8, seed))?;
+    ctx.push(Relu::new("relu1"))?;
+    basic_block(&mut ctx, "layer1_1", 8, 8, 1)?;
+    basic_block(&mut ctx, "layer2_1", 8, 16, 2)?;
+    ctx.push(GlobalAvgPool::new("gap"))?;
+    ctx.push(Flatten::new("flatten"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc", 16, 10, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Segment;
+
+    #[test]
+    fn paper_resnet18_has_eight_blocks() {
+        let g = build(ModelScale::Paper).unwrap();
+        let s = g.structure().unwrap();
+        assert_eq!(s.parallel_segment_count(), 8, "2 blocks x 4 stages");
+    }
+
+    #[test]
+    fn identity_blocks_have_empty_shortcut_branch() {
+        let g = build(ModelScale::Paper).unwrap();
+        let s = g.structure().unwrap();
+        let mut empty_shortcuts = 0;
+        let mut projection_shortcuts = 0;
+        for seg in s.segments() {
+            if let Segment::Parallel { branches, .. } = seg {
+                let min = branches.iter().map(Vec::len).min().unwrap();
+                if min == 0 {
+                    empty_shortcuts += 1;
+                } else {
+                    projection_shortcuts += 1;
+                }
+            }
+        }
+        // Stage 1 has two identity blocks; stages 2-4 start with a
+        // projection block followed by an identity block.
+        assert_eq!(empty_shortcuts, 5);
+        assert_eq!(projection_shortcuts, 3);
+    }
+
+    #[test]
+    fn paper_shapes_match_published_resnet18() {
+        let g = build(ModelScale::Paper).unwrap();
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.layer().name() == name)
+                .unwrap()
+                .output_shape()
+                .dims()
+                .to_vec()
+        };
+        assert_eq!(shape_of("pool1"), vec![64, 56, 56]);
+        assert_eq!(shape_of("layer1_2_relu2"), vec![64, 56, 56]);
+        assert_eq!(shape_of("layer2_1_relu2"), vec![128, 28, 28]);
+        assert_eq!(shape_of("layer4_2_relu2"), vec![512, 7, 7]);
+        assert_eq!(shape_of("gap"), vec![512]);
+    }
+
+    #[test]
+    fn paper_resnet_flops_in_expected_band() {
+        let g = build(ModelScale::Paper).unwrap();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((3.0..5.0).contains(&gflops), "ResNet-18 is ~3.6 GFLOPs, got {gflops}");
+    }
+}

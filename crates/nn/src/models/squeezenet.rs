@@ -1,0 +1,147 @@
+//! SqueezeNet v1.0 (paper benchmark 5).
+//!
+//! The fire module is the paper's running example of *independent
+//! execution chains* (Figure 5): after the squeeze convolution, the
+//! `expand1x1` and `expand3x3` paths have no mutual dependency and can be
+//! assigned to different processors (inter-kernel co-running) before
+//! reconverging at the concat layer.
+
+use edgenn_tensor::Shape;
+
+use crate::graph::{Graph, NodeId};
+use crate::layer::{Concat, Conv2d, Dropout, GlobalAvgPool, MaxPool2d, Relu, Softmax};
+use crate::models::{ModelCtx, ModelScale};
+use crate::Result;
+
+/// Appends one fire module after `ctx.cursor()`; returns the concat node.
+fn fire(
+    ctx: &mut ModelCtx,
+    name: &str,
+    in_ch: usize,
+    squeeze: usize,
+    expand: usize,
+) -> Result<NodeId> {
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new(format!("{name}_squeeze"), in_ch, squeeze, 1, 1, 0, seed))?;
+    let fork = ctx.push(Relu::new(format!("{name}_squeeze_relu")))?;
+
+    let seed = ctx.next_seed();
+    ctx.add(Conv2d::new(format!("{name}_e1"), squeeze, expand, 1, 1, 0, seed), &[fork])?;
+    let e1 = ctx.push(Relu::new(format!("{name}_e1_relu")))?;
+
+    let seed = ctx.next_seed();
+    ctx.add(Conv2d::new(format!("{name}_e3"), squeeze, expand, 3, 1, 1, seed), &[fork])?;
+    let e3 = ctx.push(Relu::new(format!("{name}_e3_relu")))?;
+
+    ctx.add(Concat::new(format!("{name}_concat"), 2), &[e1, e3])
+}
+
+/// Builds SqueezeNet v1.0.
+pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
+    match scale {
+        ModelScale::Paper => build_paper(),
+        ModelScale::Tiny => build_tiny(),
+    }
+}
+
+fn build_paper() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("SqueezeNet", Shape::new(&[3, 224, 224]), 0x5EE2);
+    ctx.conv_relu("conv1", 3, 96, 7, 2, 2)?; // 96x111x111
+    ctx.push(MaxPool2d::new("pool1", 3, 2))?; // 96x55x55
+    fire(&mut ctx, "fire2", 96, 16, 64)?;
+    fire(&mut ctx, "fire3", 128, 16, 64)?;
+    fire(&mut ctx, "fire4", 128, 32, 128)?;
+    ctx.push(MaxPool2d::new("pool4", 3, 2))?; // 256x27x27
+    fire(&mut ctx, "fire5", 256, 32, 128)?;
+    fire(&mut ctx, "fire6", 256, 48, 192)?;
+    fire(&mut ctx, "fire7", 384, 48, 192)?;
+    fire(&mut ctx, "fire8", 384, 64, 256)?;
+    ctx.push(MaxPool2d::new("pool8", 3, 2))?; // 512x13x13
+    fire(&mut ctx, "fire9", 512, 64, 256)?;
+    ctx.push(Dropout::new("drop9"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new("conv10", 512, 1000, 1, 1, 0, seed))?;
+    ctx.push(Relu::new("conv10_relu"))?;
+    ctx.push(GlobalAvgPool::new("gap"))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+fn build_tiny() -> Result<Graph> {
+    let mut ctx = ModelCtx::new("SqueezeNet", Shape::new(&[3, 32, 32]), 0x5EE2);
+    ctx.conv_relu("conv1", 3, 8, 3, 2, 1, )?; // 8x16x16
+    ctx.push(MaxPool2d::new("pool1", 2, 2))?; // 8x8x8
+    fire(&mut ctx, "fire2", 8, 4, 8)?;
+    fire(&mut ctx, "fire3", 16, 4, 8)?;
+    ctx.push(MaxPool2d::new("pool3", 2, 2))?; // 16x4x4
+    fire(&mut ctx, "fire4", 16, 8, 16)?;
+    ctx.push(Dropout::new("drop"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Conv2d::new("conv10", 32, 10, 1, 1, 0, seed))?;
+    ctx.push(Relu::new("conv10_relu"))?;
+    ctx.push(GlobalAvgPool::new("gap"))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Segment;
+
+    #[test]
+    fn paper_squeezenet_has_eight_fire_modules() {
+        let g = build(ModelScale::Paper).unwrap();
+        let s = g.structure().unwrap();
+        assert_eq!(s.parallel_segment_count(), 8);
+        // Paper: "SqueezeNet has more than 60 layers" (Section III-B).
+        assert!(g.len() - 1 > 60, "got {} layers", g.len() - 1);
+    }
+
+    #[test]
+    fn fire_branches_are_expand_paths() {
+        let g = build(ModelScale::Paper).unwrap();
+        let s = g.structure().unwrap();
+        let first_parallel = s
+            .segments()
+            .iter()
+            .find_map(|seg| match seg {
+                Segment::Parallel { branches, join } => Some((branches.clone(), *join)),
+                _ => None,
+            })
+            .unwrap();
+        let (branches, join) = first_parallel;
+        assert_eq!(branches.len(), 2);
+        for branch in &branches {
+            assert_eq!(branch.len(), 2, "expand conv + relu");
+        }
+        assert!(g.node(join).unwrap().layer().name().ends_with("concat"));
+    }
+
+    #[test]
+    fn paper_squeezenet_is_parameter_frugal() {
+        // SqueezeNet's design goal: AlexNet accuracy with 50x fewer params
+        // (~1.25M params ~ 5MB fp32).
+        let g = build(ModelScale::Paper).unwrap();
+        let mb = g.param_bytes() as f64 / 1e6;
+        assert!((3.0..8.0).contains(&mb), "expected ~5 MB of fp32 params, got {mb:.1} MB");
+    }
+
+    #[test]
+    fn paper_feature_maps_match_published_sizes() {
+        let g = build(ModelScale::Paper).unwrap();
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.layer().name() == name)
+                .unwrap()
+                .output_shape()
+                .dims()
+                .to_vec()
+        };
+        assert_eq!(shape_of("pool1"), vec![96, 55, 55]);
+        assert_eq!(shape_of("fire2_concat"), vec![128, 55, 55]);
+        assert_eq!(shape_of("pool8"), vec![512, 13, 13]);
+        assert_eq!(shape_of("gap"), vec![1000]);
+    }
+}

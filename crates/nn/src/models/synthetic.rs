@@ -1,0 +1,205 @@
+//! Synthetic network generator: deterministic, structurally valid random
+//! CNNs for stress-testing the planner beyond the six paper benchmarks.
+//!
+//! The generator emits the same structural vocabulary the benchmarks use
+//! — conv/relu chains, pooling, normalization, fire-style fork-joins, and
+//! residual blocks — so every network a fuzzer draws is a network the
+//! chain/branch decomposition, the tuner, and both runtimes must handle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use edgenn_tensor::Shape;
+
+use crate::graph::Graph;
+use crate::layer::{
+    AddResidual, AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, Flatten, GlobalAvgPool,
+    LocalResponseNorm, MaxPool2d, Relu, Softmax,
+};
+use crate::models::ModelCtx;
+use crate::Result;
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSpec {
+    /// Number of body stages (each a chain block, fire module, or
+    /// residual block).
+    pub stages: usize,
+    /// Input spatial resolution (square).
+    pub resolution: usize,
+    /// Initial channel count.
+    pub base_channels: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self { stages: 6, resolution: 32, base_channels: 8, classes: 10 }
+    }
+}
+
+/// Builds a deterministic pseudo-random CNN from `seed`.
+///
+/// The same seed always produces the same graph; different seeds vary the
+/// stage mix, channel growth, kernel sizes and pooling placement.
+///
+/// # Errors
+/// Never fails for valid specs (`stages >= 1`, `resolution >= 8`); errors
+/// surface only on degenerate inputs.
+pub fn random_cnn(seed: u64, spec: SyntheticSpec) -> Result<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = ModelCtx::new(
+        &format!("Synthetic-{seed:x}"),
+        Shape::new(&[3, spec.resolution, spec.resolution]),
+        seed,
+    );
+
+    // Stem.
+    let mut channels = spec.base_channels;
+    let mut hw = spec.resolution;
+    ctx.conv_relu("stem", 3, channels, 3, 1, 1)?;
+
+    for stage in 0..spec.stages {
+        match rng.gen_range(0..4u32) {
+            // Plain conv block, sometimes growing channels.
+            0 => {
+                let out = if rng.gen_bool(0.5) { channels * 2 } else { channels };
+                let kernel = if rng.gen_bool(0.3) { 5 } else { 3 };
+                if hw + 2 < kernel {
+                    continue;
+                }
+                ctx.conv_relu(
+                    &format!("s{stage}_conv"),
+                    channels,
+                    out,
+                    kernel,
+                    1,
+                    kernel / 2,
+                )?;
+                if rng.gen_bool(0.4) {
+                    let seed = ctx.next_seed();
+                    ctx.push(BatchNorm2d::new(format!("s{stage}_bn"), out, seed))?;
+                } else if rng.gen_bool(0.3) {
+                    ctx.push(LocalResponseNorm::alexnet_default(format!("s{stage}_lrn")))?;
+                }
+                channels = out;
+            }
+            // Fire-style fork-join.
+            1 => {
+                let squeeze = (channels / 2).max(1);
+                let expand = channels.max(2);
+                let seed = ctx.next_seed();
+                ctx.push(Conv2d::new(
+                    format!("s{stage}_squeeze"),
+                    channels,
+                    squeeze,
+                    1,
+                    1,
+                    0,
+                    seed,
+                ))?;
+                let fork = ctx.push(Relu::new(format!("s{stage}_squeeze_relu")))?;
+                let seed = ctx.next_seed();
+                ctx.add(
+                    Conv2d::new(format!("s{stage}_e1"), squeeze, expand, 1, 1, 0, seed),
+                    &[fork],
+                )?;
+                let e1 = ctx.push(Relu::new(format!("s{stage}_e1_relu")))?;
+                let seed = ctx.next_seed();
+                ctx.add(
+                    Conv2d::new(format!("s{stage}_e3"), squeeze, expand, 3, 1, 1, seed),
+                    &[fork],
+                )?;
+                let e3 = ctx.push(Relu::new(format!("s{stage}_e3_relu")))?;
+                ctx.add(Concat::new(format!("s{stage}_concat"), 2), &[e1, e3])?;
+                channels = expand * 2;
+            }
+            // Residual block (identity shortcut).
+            2 => {
+                let entry = ctx.cursor();
+                let seed = ctx.next_seed();
+                ctx.add(
+                    Conv2d::new(format!("s{stage}_rconv1"), channels, channels, 3, 1, 1, seed),
+                    &[entry],
+                )?;
+                ctx.push(Relu::new(format!("s{stage}_rrelu1")))?;
+                let seed = ctx.next_seed();
+                let main = ctx.push(Conv2d::new(
+                    format!("s{stage}_rconv2"),
+                    channels,
+                    channels,
+                    3,
+                    1,
+                    1,
+                    seed,
+                ))?;
+                ctx.add(AddResidual::new(format!("s{stage}_add")), &[main, entry])?;
+                ctx.push(Relu::new(format!("s{stage}_rrelu2")))?;
+            }
+            // Pooling (only while the map stays comfortably large).
+            _ => {
+                if hw >= 8 {
+                    if rng.gen_bool(0.5) {
+                        ctx.push(MaxPool2d::new(format!("s{stage}_pool"), 2, 2))?;
+                    } else {
+                        ctx.push(AvgPool2d::new(format!("s{stage}_pool"), 2, 2))?;
+                    }
+                    hw /= 2;
+                }
+            }
+        }
+    }
+
+    // Head.
+    ctx.push(GlobalAvgPool::new("gap"))?;
+    ctx.push(Flatten::new("flatten"))?;
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc", channels, spec.classes, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_tensor::Tensor;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_cnn(42, SyntheticSpec::default()).unwrap();
+        let b = random_cnn(42, SyntheticSpec::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (na, nb) in a.nodes().iter().zip(b.nodes().iter()) {
+            assert_eq!(na.layer().name(), nb.layer().name());
+            assert_eq!(na.output_shape(), nb.output_shape());
+        }
+    }
+
+    #[test]
+    fn many_seeds_build_and_run() {
+        for seed in 0..24 {
+            let graph = random_cnn(seed, SyntheticSpec::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(graph.len() > 6, "seed {seed}");
+            // Structure decomposes (no nested forks by construction).
+            let structure = graph.structure().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let covered: usize = structure.segments().iter().map(|s| s.nodes().len()).sum();
+            assert_eq!(covered, graph.len(), "seed {seed}: coverage");
+            // A real forward pass works and is a probability vector.
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
+            let out = graph.forward(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!((out.sum() - 1.0).abs() < 1e-4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn spec_controls_size() {
+        let small =
+            random_cnn(7, SyntheticSpec { stages: 2, ..SyntheticSpec::default() }).unwrap();
+        let large =
+            random_cnn(7, SyntheticSpec { stages: 12, ..SyntheticSpec::default() }).unwrap();
+        assert!(large.len() > small.len());
+        assert!(large.total_flops() > small.total_flops());
+    }
+}

@@ -1,0 +1,112 @@
+//! VGG-16 (paper benchmark 4): 13 convolutions in five blocks plus three
+//! fully-connected layers — the heaviest network in the paper's suite and
+//! the one where cloud offload beats EdgeNN (Figure 12).
+
+use edgenn_tensor::Shape;
+
+use crate::graph::Graph;
+use crate::layer::{Dense, Dropout, Flatten, MaxPool2d, Relu, Softmax};
+use crate::models::{ModelCtx, ModelScale};
+use crate::Result;
+
+/// Builds VGG-16.
+pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
+    let (input_hw, blocks, fc_widths, classes): (usize, Vec<Vec<usize>>, [usize; 2], usize) =
+        match scale {
+            ModelScale::Paper => (
+                224,
+                vec![
+                    vec![64, 64],
+                    vec![128, 128],
+                    vec![256, 256, 256],
+                    vec![512, 512, 512],
+                    vec![512, 512, 512],
+                ],
+                [4096, 4096],
+                1000,
+            ),
+            ModelScale::Tiny => (
+                32,
+                vec![vec![4, 4], vec![8, 8], vec![8, 8, 8], vec![16, 16, 16], vec![16, 16, 16]],
+                [32, 32],
+                10,
+            ),
+        };
+
+    let mut ctx = ModelCtx::new("VGG", Shape::new(&[3, input_hw, input_hw]), 0x7667);
+    let mut in_ch = 3usize;
+    let mut hw = input_hw;
+    for (b, widths) in blocks.iter().enumerate() {
+        for (i, &out_ch) in widths.iter().enumerate() {
+            ctx.conv_relu(&format!("conv{}_{}", b + 1, i + 1), in_ch, out_ch, 3, 1, 1)?;
+            in_ch = out_ch;
+        }
+        ctx.push(MaxPool2d::new(format!("pool{}", b + 1), 2, 2))?;
+        hw /= 2;
+    }
+    ctx.push(Flatten::new("flatten"))?;
+    let mut in_features = in_ch * hw * hw;
+    for (i, &width) in fc_widths.iter().enumerate() {
+        let seed = ctx.next_seed();
+        ctx.push(Dense::new(format!("fc{}", i + 6), in_features, width, seed))?;
+        ctx.push(Relu::new(format!("fc{}_relu", i + 6)))?;
+        ctx.push(Dropout::new(format!("drop{}", i + 6)))?;
+        in_features = width;
+    }
+    let seed = ctx.next_seed();
+    ctx.push(Dense::new("fc8", in_features, classes, seed))?;
+    ctx.push(Softmax::new("softmax"))?;
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vgg16_has_16_weight_layers_and_40_total() {
+        let g = build(ModelScale::Paper).unwrap();
+        let weight_layers = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.layer().class(),
+                    crate::layer::LayerClass::Conv | crate::layer::LayerClass::Fc
+                )
+            })
+            .count();
+        assert_eq!(weight_layers, 16, "VGG-16 means 16 weight layers");
+        // The paper quotes "VGG has 40 layers" (Section III-B): 13 conv +
+        // 13 relu + 5 pool + flatten + 3 fc + 2 fc-relu + 2 dropout +
+        // softmax = 40 (excluding the input pseudo-node).
+        assert_eq!(g.len() - 1, 40);
+    }
+
+    #[test]
+    fn paper_vgg_flops_are_about_15_gflops() {
+        let g = build(ModelScale::Paper).unwrap();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!(
+            (25.0..36.0).contains(&gflops),
+            "VGG-16 is ~30.9 GFLOPs with MACs counted as 2 ops, got {gflops}"
+        );
+    }
+
+    #[test]
+    fn spatial_resolution_halves_per_block() {
+        let g = build(ModelScale::Paper).unwrap();
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.layer().name() == name)
+                .unwrap()
+                .output_shape()
+                .dims()
+                .to_vec()
+        };
+        assert_eq!(shape_of("pool1"), vec![64, 112, 112]);
+        assert_eq!(shape_of("pool5"), vec![512, 7, 7]);
+        assert_eq!(shape_of("flatten"), vec![25088]);
+    }
+}

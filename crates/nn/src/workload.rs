@@ -1,0 +1,115 @@
+//! Analytic per-layer workload model.
+
+/// Static cost profile of one layer execution.
+///
+/// The EdgeNN simulator turns this into kernel time with a roofline model:
+/// compute time from `flops`, memory time from the byte traffic. The
+/// semantic memory planner additionally uses the byte fields to size
+/// copies/migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Workload {
+    /// Floating-point operations (multiply-accumulate counted as 2).
+    pub flops: u64,
+    /// Bytes of activation input read.
+    pub input_bytes: u64,
+    /// Bytes of activation output written.
+    pub output_bytes: u64,
+    /// Bytes of parameters (weights + biases) read.
+    pub weight_bytes: u64,
+}
+
+impl Workload {
+    /// Total bytes moved through memory by the kernel.
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes + self.output_bytes + self.weight_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (0 when no bytes move).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+
+    /// Sums two workloads (used when aggregating a chain of layers).
+    pub fn merged(&self, other: &Workload) -> Workload {
+        Workload {
+            flops: self.flops + other.flops,
+            input_bytes: self.input_bytes + other.input_bytes,
+            output_bytes: self.output_bytes + other.output_bytes,
+            weight_bytes: self.weight_bytes + other.weight_bytes,
+        }
+    }
+
+    /// Scales the workload to a fraction of its partition units.
+    ///
+    /// A layer computing `part` of `total` output channels performs
+    /// proportionally fewer FLOPs, writes proportionally fewer output
+    /// bytes, and (for weight-bearing layers) reads proportionally fewer
+    /// weights; the *input* is read in full by both partitions, which is
+    /// exactly why intra-kernel co-running stresses unified-memory
+    /// bandwidth on the integrated device.
+    pub fn scaled(&self, part: usize, total: usize) -> Workload {
+        if total == 0 {
+            return *self;
+        }
+        let f = |v: u64| ((v as u128 * part as u128) / total as u128) as u64;
+        Workload {
+            flops: f(self.flops),
+            input_bytes: self.input_bytes,
+            output_bytes: f(self.output_bytes),
+            weight_bytes: f(self.weight_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        Workload { flops: 1000, input_bytes: 100, output_bytes: 60, weight_bytes: 40 }
+    }
+
+    #[test]
+    fn totals_and_intensity() {
+        let w = sample();
+        assert_eq!(w.total_bytes(), 200);
+        assert!((w.arithmetic_intensity() - 5.0).abs() < 1e-9);
+        assert_eq!(Workload::default().arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let w = sample().merged(&sample());
+        assert_eq!(w.flops, 2000);
+        assert_eq!(w.total_bytes(), 400);
+    }
+
+    #[test]
+    fn scaled_keeps_full_input_reads() {
+        let w = sample().scaled(1, 4);
+        assert_eq!(w.flops, 250);
+        assert_eq!(w.output_bytes, 15);
+        assert_eq!(w.weight_bytes, 10);
+        assert_eq!(w.input_bytes, 100, "both partitions read the whole input");
+    }
+
+    #[test]
+    fn scaled_handles_zero_total() {
+        let w = sample().scaled(1, 0);
+        assert_eq!(w, sample());
+    }
+
+    #[test]
+    fn scaled_partitions_cover_whole_workload() {
+        let w = sample();
+        let a = w.scaled(1, 4);
+        let b = w.scaled(3, 4);
+        assert_eq!(a.flops + b.flops, w.flops);
+        assert_eq!(a.output_bytes + b.output_bytes, w.output_bytes);
+    }
+}

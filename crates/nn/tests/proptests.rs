@@ -1,0 +1,189 @@
+//! Property-based tests for layer and graph invariants.
+
+use std::ops::Range;
+
+use edgenn_nn::graph::{GraphBuilder, Segment};
+use edgenn_nn::layer::{
+    AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, Layer, LocalResponseNorm, MaxPool2d, Relu,
+};
+use edgenn_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// Checks `concat(partials over cuts) == forward` for an arbitrary set of
+/// cut points.
+fn check_merge(layer: &dyn Layer, inputs: &[&Tensor], cuts: &[usize]) {
+    let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+    let units = layer.partition_units(&shapes).unwrap();
+    let full = layer.forward(inputs).unwrap();
+
+    let mut bounds: Vec<usize> = vec![0];
+    bounds.extend(cuts.iter().map(|c| c % units).filter(|&c| c > 0));
+    bounds.push(units);
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut parts = Vec::new();
+    for w in bounds.windows(2) {
+        let range: Range<usize> = w[0]..w[1];
+        parts.push(layer.forward_partial(inputs, range).unwrap());
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    let merged = Tensor::concat_axis0(&refs).unwrap().reshape(full.dims()).unwrap();
+    assert!(
+        merged.approx_eq(&full, 1e-4),
+        "merge invariant broken for {} with bounds {bounds:?}",
+        layer.name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_merge_invariant_over_random_geometry(
+        in_c in 1usize..4,
+        out_c in 2usize..9,
+        hw in 4usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..500,
+        cuts in prop::collection::vec(1usize..64, 0..3),
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let conv = Conv2d::new("c", in_c, out_c, k, stride, pad, seed);
+        let x = Tensor::random(&[in_c, hw, hw], 1.0, seed + 1);
+        check_merge(&conv, &[&x], &cuts);
+    }
+
+    #[test]
+    fn dense_merge_invariant(
+        inf in 1usize..32,
+        outf in 2usize..32,
+        seed in 0u64..500,
+        cuts in prop::collection::vec(1usize..64, 0..3),
+    ) {
+        let dense = Dense::new("fc", inf, outf, seed);
+        let x = Tensor::random(&[inf], 1.0, seed + 1);
+        check_merge(&dense, &[&x], &cuts);
+    }
+
+    #[test]
+    fn pool_and_norm_merge_invariants(
+        c in 2usize..8,
+        hw in 4usize..10,
+        seed in 0u64..500,
+        cuts in prop::collection::vec(1usize..64, 0..3),
+    ) {
+        let x = Tensor::random(&[c, hw, hw], 1.0, seed);
+        check_merge(&MaxPool2d::new("mp", 2, 2), &[&x], &cuts);
+        check_merge(&AvgPool2d::new("ap", 2, 1), &[&x], &cuts);
+        check_merge(&Relu::new("r"), &[&x], &cuts);
+        check_merge(&LocalResponseNorm::alexnet_default("lrn"), &[&x], &cuts);
+        check_merge(&BatchNorm2d::new("bn", c, seed), &[&x], &cuts);
+    }
+
+    #[test]
+    fn concat_merge_invariant(
+        c1 in 1usize..5,
+        c2 in 1usize..5,
+        hw in 2usize..6,
+        seed in 0u64..500,
+        cuts in prop::collection::vec(1usize..32, 0..3),
+    ) {
+        let a = Tensor::random(&[c1, hw, hw], 1.0, seed);
+        let b = Tensor::random(&[c2, hw, hw], 1.0, seed + 1);
+        check_merge(&Concat::new("cat", 2), &[&a, &b], &cuts);
+    }
+
+    #[test]
+    fn random_chain_graphs_are_consistent(
+        widths in prop::collection::vec(2usize..16, 1..5),
+        seed in 0u64..500,
+    ) {
+        // Build a random MLP chain; forward twice must agree, and the
+        // structure must decompose to a single chain covering every node.
+        let input_dim = 8usize;
+        let mut b = GraphBuilder::new("rand-mlp", Shape::new(&[input_dim]));
+        let mut prev = b.input_id();
+        let mut in_dim = input_dim;
+        for (i, &w) in widths.iter().enumerate() {
+            prev = b.add(Dense::new(format!("fc{i}"), in_dim, w, seed + i as u64), &[prev]).unwrap();
+            prev = b.add(Relu::new(format!("r{i}")), &[prev]).unwrap();
+            in_dim = w;
+        }
+        let graph = b.finish().unwrap();
+        let x = Tensor::random(&[input_dim], 1.0, seed);
+        let y1 = graph.forward(&x).unwrap();
+        let y2 = graph.forward(&x).unwrap();
+        prop_assert_eq!(&y1, &y2);
+        prop_assert_eq!(y1.dims(), &[*widths.last().unwrap()]);
+
+        let s = graph.structure().unwrap();
+        prop_assert!(s.is_pure_chain());
+        let covered: usize = s.segments().iter().map(|seg| seg.nodes().len()).sum();
+        prop_assert_eq!(covered, graph.len());
+    }
+
+    #[test]
+    fn random_forkjoin_graphs_decompose(
+        branch_a in 1usize..4,
+        branch_b in 1usize..4,
+        c in 2usize..6,
+        seed in 0u64..300,
+    ) {
+        // input -> relu (fork) -> two relu chains -> concat.
+        let mut b = GraphBuilder::new("rand-fork", Shape::new(&[c, 4, 4]));
+        let fork = b.add(Relu::new("fork"), &[b.input_id()]).unwrap();
+        let mut a_tip = fork;
+        for i in 0..branch_a {
+            a_tip = b.add(Relu::new(format!("a{i}")), &[a_tip]).unwrap();
+        }
+        let mut b_tip = fork;
+        for i in 0..branch_b {
+            b_tip = b.add(Relu::new(format!("b{i}")), &[b_tip]).unwrap();
+        }
+        let _ = b.add(Concat::new("join", 2), &[a_tip, b_tip]).unwrap();
+        let graph = b.finish().unwrap();
+
+        let s = graph.structure().unwrap();
+        prop_assert_eq!(s.parallel_segment_count(), 1);
+        let parallel = s
+            .segments()
+            .iter()
+            .find_map(|seg| match seg {
+                Segment::Parallel { branches, .. } => Some(branches.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut lens: Vec<usize> = parallel.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        let mut expected = vec![branch_a, branch_b];
+        expected.sort_unstable();
+        prop_assert_eq!(lens, expected);
+
+        // Functional execution still matches across runs.
+        let x = Tensor::random(&[c, 4, 4], 1.0, seed);
+        let y = graph.forward(&x).unwrap();
+        prop_assert_eq!(y.dims()[0], 2 * c);
+    }
+
+    #[test]
+    fn workload_partial_is_monotone_in_range(
+        out_c in 4usize..12,
+        seed in 0u64..200,
+    ) {
+        let conv = Conv2d::new("c", 3, out_c, 3, 1, 1, seed);
+        let shape = Shape::new(&[3usize, 8, 8]);
+        let shapes = [&shape];
+        let mut prev = 0u64;
+        for end in 1..=out_c {
+            let w = conv.workload_partial(&shapes, 0..end).unwrap();
+            prop_assert!(w.flops >= prev, "flops must grow with the range");
+            prev = w.flops;
+        }
+        let full = conv.workload(&shapes).unwrap();
+        let whole = conv.workload_partial(&shapes, 0..out_c).unwrap();
+        prop_assert_eq!(whole.flops, full.flops);
+    }
+}

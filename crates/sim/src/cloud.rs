@@ -1,0 +1,68 @@
+//! Cloud-offload link model (paper Section V-D).
+//!
+//! The paper computes on-cloud inference time as
+//! `t = v_in / b + cloud_delay + t_compute`, measuring `b ≈ 1 MB/s` between
+//! the edge device and an Alibaba Cloud server and `cloud_delay ≈ 100 ms`.
+//! We implement the same formula with the same measured constants as
+//! defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Network + cloud-service model for offloaded inference.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CloudLink {
+    /// Uplink bandwidth in MB/s.
+    pub uplink_mbps: f64,
+    /// Fixed cloud-side delay in microseconds (queueing, scheduling,
+    /// round-trip latency — the paper measured ~100 ms).
+    pub cloud_delay_us: f64,
+}
+
+impl CloudLink {
+    /// The paper's measured conditions: 1 MB/s uplink, 100 ms cloud delay.
+    pub fn paper_measured() -> Self {
+        Self { uplink_mbps: 1.0, cloud_delay_us: 100_000.0 }
+    }
+
+    /// Upload time for `bytes` of input, in microseconds.
+    pub fn upload_time_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.uplink_mbps // bytes / (MB/s) = us
+    }
+
+    /// Total offload time: upload + cloud delay + remote compute.
+    ///
+    /// The result (class scores) is a few kilobytes; the paper folds its
+    /// return transfer into the measured cloud delay, and so do we.
+    pub fn offload_time_us(&self, input_bytes: u64, remote_compute_us: f64) -> f64 {
+        self.upload_time_us(input_bytes) + self.cloud_delay_us + remote_compute_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let link = CloudLink::paper_measured();
+        assert_eq!(link.uplink_mbps, 1.0);
+        assert_eq!(link.cloud_delay_us, 100_000.0);
+    }
+
+    #[test]
+    fn upload_time_matches_formula() {
+        let link = CloudLink::paper_measured();
+        // The paper's 400 KB compressed image at 1 MB/s = 400 ms.
+        assert!((link.upload_time_us(400_000) - 400_000.0).abs() < 1e-6);
+        // Doubling bandwidth halves upload time.
+        let fast = CloudLink { uplink_mbps: 2.0, ..link };
+        assert!((fast.upload_time_us(400_000) - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offload_sums_components() {
+        let link = CloudLink::paper_measured();
+        let t = link.offload_time_us(400_000, 5_000.0);
+        assert!((t - (400_000.0 + 100_000.0 + 5_000.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Memory-system model: unified vs. discrete architectures and the two
+//! allocation strategies of the paper's semantic-aware memory management
+//! (Section IV-B).
+
+use serde::{Deserialize, Serialize};
+
+/// How an array is allocated — the two mechanisms EdgeNN chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocStrategy {
+    /// `cudaMallocManaged` zero-copy array in unified memory: both
+    /// processors access the same pages, no explicit copies, but accesses
+    /// pay a managed-memory bandwidth penalty and cross-processor
+    /// write-sharing causes consistency thrash.
+    Managed,
+    /// `cudaMalloc` + host array: two copies, explicit `cudaMemcpy` at
+    /// every producer/consumer boundary that crosses processors.
+    Explicit,
+}
+
+impl std::fmt::Display for AllocStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Managed => "managed",
+            Self::Explicit => "explicit",
+        })
+    }
+}
+
+/// The physical memory organization of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemoryArchitecture {
+    /// Integrated SoC: one DRAM shared by CPU and GPU (Jetson-style).
+    /// "The integrated edge device does not use discrete memory for GPU
+    /// but uses unified DRAM memory shared with CPU" (paper Section II).
+    Unified,
+    /// Discrete GPU: separate host DRAM and device GDDR joined by PCIe.
+    Discrete {
+        /// Effective PCIe bandwidth in GB/s.
+        pcie_bw_gbps: f64,
+        /// Per-transfer latency in microseconds (driver + DMA setup).
+        pcie_latency_us: f64,
+    },
+}
+
+/// Full memory-system specification of a platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Architecture (unified or discrete).
+    pub architecture: MemoryArchitecture,
+    /// Effective CPU<->GPU copy bandwidth in GB/s. On a unified device
+    /// this is DRAM-to-DRAM `memcpy` (read + write on the same bus); on a
+    /// discrete device it equals the PCIe bandwidth.
+    pub copy_bw_gbps: f64,
+    /// Fixed cost of one explicit copy in microseconds (`cudaMemcpy`
+    /// dispatch, driver work).
+    pub copy_latency_us: f64,
+    /// Bandwidth multiplier (≤ 1) for kernels touching managed arrays —
+    /// the zero-copy access penalty. This is what makes the paper's
+    /// pooling layers *slower* under zero-copy (Figure 10): they are pure
+    /// memory traffic, so the penalty is not hidden by compute.
+    pub managed_bw_factor: f64,
+    /// Cost per byte (in microseconds per MB) of migrating managed pages
+    /// when a processor first touches data last written by the other
+    /// processor, without prefetching. On a discrete architecture this is
+    /// a PCIe page-by-page transfer (slower than a bulk copy); on an
+    /// integrated SoC it is only a page-table/coherence walk over the
+    /// shared DRAM.
+    pub page_migration_us_per_mb: f64,
+    /// Fixed page-fault servicing overhead per migration event, in
+    /// microseconds.
+    pub page_fault_overhead_us: f64,
+    /// Multiplier (> 1) on migration cost when both processors write the
+    /// same managed array in one step — the consistency-thrash case that
+    /// drives EdgeNN to allocate per-layer output arrays explicitly
+    /// ("zero-copy incurs massive page faults and memory copies to
+    /// guarantee fine-grained memory consistency", Section IV-B).
+    pub thrash_multiplier: f64,
+    /// Bandwidth multiplier (≤ 1) applied to *each* processor when both
+    /// compute simultaneously on a unified device (shared memory
+    /// controller contention, paper Challenge 1). Ignored for discrete.
+    pub corun_contention_factor: f64,
+}
+
+impl MemorySpec {
+    /// Time of one explicit CPU<->GPU copy of `bytes`, in microseconds.
+    pub fn copy_time_us(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.copy_latency_us + bytes as f64 / (self.copy_bw_gbps * 1e3)
+    }
+
+    /// Time to service on-demand page migration of `bytes` of managed
+    /// data, in microseconds. `prefetched` models
+    /// `cudaMemPrefetchAsync`: the fixed fault overhead is avoided and
+    /// the pages move ahead of the kernel at the better of the bulk copy
+    /// bandwidth and the architecture's page-walk rate — prefetching is
+    /// never slower than faulting on demand.
+    pub fn migration_time_us(&self, bytes: u64, prefetched: bool) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let mb = bytes as f64 / 1e6;
+        let page_walk = mb * self.page_migration_us_per_mb;
+        if prefetched {
+            let bulk = bytes as f64 / (self.copy_bw_gbps * 1e3);
+            bulk.min(page_walk)
+        } else {
+            self.page_fault_overhead_us + page_walk
+        }
+    }
+
+    /// Consistency-thrash penalty when both processors mutate a managed
+    /// array of `bytes` within one step, in microseconds.
+    pub fn thrash_time_us(&self, bytes: u64) -> f64 {
+        self.migration_time_us(bytes, false) * self.thrash_multiplier
+    }
+
+    /// True for integrated (unified-DRAM) platforms.
+    pub fn is_unified(&self) -> bool {
+        matches!(self.architecture, MemoryArchitecture::Unified)
+    }
+
+    /// Bandwidth factor a kernel sees for arrays under `strategy`.
+    pub fn bandwidth_factor(&self, strategy: AllocStrategy) -> f64 {
+        match strategy {
+            AllocStrategy::Managed => self.managed_bw_factor,
+            AllocStrategy::Explicit => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unified() -> MemorySpec {
+        MemorySpec {
+            architecture: MemoryArchitecture::Unified,
+            copy_bw_gbps: 10.0,
+            copy_latency_us: 10.0,
+            managed_bw_factor: 0.7,
+            page_migration_us_per_mb: 250.0,
+            page_fault_overhead_us: 15.0,
+            thrash_multiplier: 4.0,
+            corun_contention_factor: 0.65,
+        }
+    }
+
+    #[test]
+    fn copy_time_is_latency_plus_linear() {
+        let m = unified();
+        assert_eq!(m.copy_time_us(0), 0.0);
+        // 10 MB at 10 GB/s = 1000 us + 10 latency.
+        assert!((m.copy_time_us(10_000_000) - 1010.0).abs() < 1e-6);
+        // Linearity: doubling bytes doubles the variable part.
+        let t1 = m.copy_time_us(1_000_000) - 10.0;
+        let t2 = m.copy_time_us(2_000_000) - 10.0;
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_avoids_fault_overhead() {
+        let m = unified();
+        let on_demand = m.migration_time_us(1_000_000, false);
+        let prefetched = m.migration_time_us(1_000_000, true);
+        assert!(on_demand > prefetched);
+        assert!((on_demand - (15.0 + 250.0)).abs() < 1e-6);
+        assert!((prefetched - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thrash_amplifies_migration() {
+        let m = unified();
+        assert!(
+            (m.thrash_time_us(1_000_000) - 4.0 * m.migration_time_us(1_000_000, false)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn managed_strategy_reduces_bandwidth() {
+        let m = unified();
+        assert_eq!(m.bandwidth_factor(AllocStrategy::Explicit), 1.0);
+        assert_eq!(m.bandwidth_factor(AllocStrategy::Managed), 0.7);
+    }
+
+    #[test]
+    fn unified_flag_matches_architecture() {
+        assert!(unified().is_unified());
+        let discrete = MemorySpec {
+            architecture: MemoryArchitecture::Discrete { pcie_bw_gbps: 12.0, pcie_latency_us: 20.0 },
+            ..unified()
+        };
+        assert!(!discrete.is_unified());
+    }
+
+    #[test]
+    fn zero_byte_migrations_are_free() {
+        let m = unified();
+        assert_eq!(m.migration_time_us(0, false), 0.0);
+        assert_eq!(m.thrash_time_us(0), 0.0);
+    }
+}

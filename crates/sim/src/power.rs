@@ -1,0 +1,140 @@
+//! Power and energy model.
+//!
+//! The paper measures actual power with jetson-stats / a power meter /
+//! nvidia-smi and reports performance-per-watt ratios (Figures 7 and 13).
+//! We model each processor's draw as idle power plus a dynamic component
+//! proportional to its busy fraction — the paper itself observes that
+//! "processors' utilization is positively related to power consumption"
+//! (Section V-B2), which is exactly this model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Timeline;
+use crate::processor::ProcessorKind;
+
+/// Linear-in-utilization power model for one platform.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Board/base power always drawn (W): DRAM, regulators, idle SoC.
+    pub base_w: f64,
+    /// CPU additional draw at 100% utilization (W).
+    pub cpu_dynamic_w: f64,
+    /// GPU additional draw at 100% utilization (W). Zero for CPU-only
+    /// platforms.
+    pub gpu_dynamic_w: f64,
+}
+
+/// Energy accounting for one simulated run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Wall-clock makespan of the run (us).
+    pub duration_us: f64,
+    /// Average power over the run (W).
+    pub avg_power_w: f64,
+    /// Total energy (millijoules).
+    pub energy_mj: f64,
+    /// CPU busy fraction during the run.
+    pub cpu_utilization: f64,
+    /// GPU busy fraction during the run.
+    pub gpu_utilization: f64,
+}
+
+impl PowerModel {
+    /// Instantaneous power at the given utilizations (W).
+    pub fn power_w(&self, cpu_util: f64, gpu_util: f64) -> f64 {
+        self.base_w
+            + self.cpu_dynamic_w * cpu_util.clamp(0.0, 1.0)
+            + self.gpu_dynamic_w * gpu_util.clamp(0.0, 1.0)
+    }
+
+    /// Integrates energy over a finished timeline.
+    pub fn energy(&self, timeline: &Timeline) -> EnergyReport {
+        let duration_us = timeline.makespan_us();
+        let cpu_utilization = timeline.busy_fraction(ProcessorKind::Cpu);
+        let gpu_utilization = timeline.busy_fraction(ProcessorKind::Gpu);
+        let avg_power_w = self.power_w(cpu_utilization, gpu_utilization);
+        // W * us = uJ; /1000 = mJ.
+        let energy_mj = avg_power_w * duration_us / 1000.0;
+        EnergyReport { duration_us, avg_power_w, energy_mj, cpu_utilization, gpu_utilization }
+    }
+}
+
+impl EnergyReport {
+    /// Inferences per joule for a run of one inference — the
+    /// performance/power numerator used in Figures 7(a) and 13(a).
+    pub fn perf_per_watt(&self) -> f64 {
+        if self.duration_us <= 0.0 || self.avg_power_w <= 0.0 {
+            return 0.0;
+        }
+        // performance = 1/latency (inferences per second); /W.
+        let inferences_per_s = 1e6 / self.duration_us;
+        inferences_per_s / self.avg_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    fn model() -> PowerModel {
+        PowerModel { base_w: 3.0, cpu_dynamic_w: 10.0, gpu_dynamic_w: 17.0 }
+    }
+
+    #[test]
+    fn power_is_linear_in_utilization() {
+        let m = model();
+        assert_eq!(m.power_w(0.0, 0.0), 3.0);
+        assert_eq!(m.power_w(1.0, 0.0), 13.0);
+        assert_eq!(m.power_w(1.0, 1.0), 30.0);
+        assert_eq!(m.power_w(0.5, 0.5), 3.0 + 5.0 + 8.5);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let m = model();
+        assert_eq!(m.power_w(2.0, -1.0), 13.0);
+    }
+
+    #[test]
+    fn energy_integrates_busy_fractions() {
+        let m = model();
+        let mut t = Timeline::new();
+        t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, 1000.0, "k");
+        t.schedule(ProcessorKind::Cpu, TraceKind::Kernel, 0.0, 500.0, "c");
+        let e = m.energy(&t);
+        assert_eq!(e.duration_us, 1000.0);
+        assert!((e.gpu_utilization - 1.0).abs() < 1e-9);
+        assert!((e.cpu_utilization - 0.5).abs() < 1e-9);
+        let expected_w = 3.0 + 10.0 * 0.5 + 17.0;
+        assert!((e.avg_power_w - expected_w).abs() < 1e-9);
+        assert!((e.energy_mj - expected_w * 1000.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perf_per_watt_favors_fast_low_power_runs() {
+        let fast_low = EnergyReport {
+            duration_us: 1000.0,
+            avg_power_w: 10.0,
+            energy_mj: 10.0,
+            cpu_utilization: 1.0,
+            gpu_utilization: 1.0,
+        };
+        let slow_high = EnergyReport { duration_us: 2000.0, avg_power_w: 50.0, ..fast_low };
+        assert!(fast_low.perf_per_watt() > slow_high.perf_per_watt());
+        // 1000 inferences/s at 10 W = 100 inf/J.
+        assert!((fast_low.perf_per_watt() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_reports_are_zero() {
+        let r = EnergyReport {
+            duration_us: 0.0,
+            avg_power_w: 0.0,
+            energy_mj: 0.0,
+            cpu_utilization: 0.0,
+            gpu_utilization: 0.0,
+        };
+        assert_eq!(r.perf_per_watt(), 0.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Processor models: roofline kernel timing with occupancy and
+//! cache-pressure effects.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a processor is a CPU or a GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// Latency-oriented multicore CPU.
+    Cpu,
+    /// Throughput-oriented GPU.
+    Gpu,
+}
+
+impl std::fmt::Display for ProcessorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Cpu => "CPU",
+            Self::Gpu => "GPU",
+        })
+    }
+}
+
+/// Operation class of a kernel — mirrors the layer classes in `edgenn-nn`.
+///
+/// Classes carry different efficiency factors because the paper's
+/// layer-wise measurements (Figures 10-11, Table I) hinge on those
+/// differences: convolutions approach a device's compute roofline while
+/// fully-connected layers and pooling are bandwidth-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// 2-D convolution.
+    Conv,
+    /// Fully-connected layer (mat-vec at batch 1).
+    Fc,
+    /// Pooling.
+    Pool,
+    /// Element-wise activation.
+    Activation,
+    /// Normalization.
+    Norm,
+    /// Structural data movement (concat/add/flatten).
+    Combine,
+}
+
+impl OpClass {
+    /// All classes (for tables and tests).
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Conv,
+        OpClass::Fc,
+        OpClass::Pool,
+        OpClass::Activation,
+        OpClass::Norm,
+        OpClass::Combine,
+    ];
+}
+
+/// Per-class fraction of peak FLOP throughput a processor attains.
+///
+/// These model kernel quality: the paper's artifact uses hand-written CUDA
+/// kernels (not cuDNN), which reach a modest fraction of peak.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EfficiencyTable {
+    /// Convolution compute efficiency.
+    pub conv: f64,
+    /// Fully-connected compute efficiency.
+    pub fc: f64,
+    /// Pooling compute efficiency.
+    pub pool: f64,
+    /// Activation compute efficiency.
+    pub activation: f64,
+    /// Normalization compute efficiency.
+    pub norm: f64,
+    /// Structural-op compute efficiency.
+    pub combine: f64,
+}
+
+impl EfficiencyTable {
+    /// Uniform table (useful in tests).
+    pub fn uniform(eff: f64) -> Self {
+        Self { conv: eff, fc: eff, pool: eff, activation: eff, norm: eff, combine: eff }
+    }
+
+    /// Looks up the factor for a class.
+    pub fn get(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Conv => self.conv,
+            OpClass::Fc => self.fc,
+            OpClass::Pool => self.pool,
+            OpClass::Activation => self.activation,
+            OpClass::Norm => self.norm,
+            OpClass::Combine => self.combine,
+        }
+    }
+}
+
+/// Static description of one kernel launch, derived from a layer's
+/// analytic workload by `edgenn-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Operation class.
+    pub class: OpClass,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Activation bytes read.
+    pub bytes_in: u64,
+    /// Activation bytes written.
+    pub bytes_out: u64,
+    /// Parameter bytes read.
+    pub weight_bytes: u64,
+    /// Independent output elements (GPU occupancy proxy).
+    pub parallelism: u64,
+    /// Bytes the kernel keeps live while computing (CPU cache proxy);
+    /// for convolution this is the im2col-expanded patch matrix.
+    pub working_set_bytes: u64,
+}
+
+impl KernelDesc {
+    /// Total bytes the kernel moves through memory.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out + self.weight_bytes
+    }
+}
+
+/// Modifiers applied to one kernel execution by the memory system and the
+/// co-running state.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionContext {
+    /// Multiplier (≤ 1) on attainable memory bandwidth: managed-memory
+    /// (zero-copy) access penalty, from [`crate::memory::MemorySpec`].
+    pub bandwidth_factor: f64,
+    /// Multiplier (≤ 1) on attainable memory bandwidth when the other
+    /// processor is computing at the same time (shared-DRAM contention on
+    /// the integrated device, paper Challenge 1).
+    pub contention_factor: f64,
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self { bandwidth_factor: 1.0, contention_factor: 1.0 }
+    }
+}
+
+/// One processor of a platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// Human-readable name ("Carmel ARMv8.2 x8", "Volta iGPU 512c", …).
+    pub name: String,
+    /// CPU or GPU.
+    pub kind: ProcessorKind,
+    /// Peak fp32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Attainable memory bandwidth in GB/s (already discounted from the
+    /// DRAM spec number for this processor's access path).
+    pub mem_bw_gbps: f64,
+    /// Fixed overhead per kernel launch, in microseconds (CUDA launch or
+    /// OpenMP fork-join).
+    pub launch_overhead_us: f64,
+    /// Per-class compute efficiency.
+    pub efficiency: EfficiencyTable,
+    /// Per-class *bandwidth* attainment: fraction of `mem_bw_gbps` a
+    /// kernel of that class actually sustains. Hand-written kernels are
+    /// far from STREAM-optimal — e.g. a naive GPU mat-vec (fc) reaches
+    /// less than half of the device bandwidth, which is precisely why the
+    /// paper's CPU co-running helps fully-connected layers so much
+    /// (Table I).
+    pub bw_efficiency: EfficiencyTable,
+    /// Output elements needed to saturate the device (GPUs only; a kernel
+    /// with fewer independent elements runs at proportionally lower
+    /// efficiency). `0` disables the effect.
+    pub saturation_parallelism: u64,
+    /// Last-level cache size in bytes (CPUs only; kernels whose working
+    /// set exceeds it lose compute efficiency). `0` disables the effect.
+    pub cache_bytes: u64,
+    /// Efficiency floor once the working set thrashes the cache.
+    pub cache_thrash_floor: f64,
+}
+
+impl ProcessorSpec {
+    /// Effective compute efficiency for a kernel, folding in occupancy
+    /// (GPU) and cache pressure (CPU).
+    pub fn effective_efficiency(&self, desc: &KernelDesc) -> f64 {
+        let mut eff = self.efficiency.get(desc.class);
+        if self.saturation_parallelism > 0 && desc.parallelism < self.saturation_parallelism {
+            // Under-occupied GPU: efficiency scales with the fraction of
+            // the device the kernel can fill.
+            let occupancy = desc.parallelism as f64 / self.saturation_parallelism as f64;
+            eff *= occupancy.max(1e-3);
+        }
+        if self.cache_bytes > 0 && desc.working_set_bytes > self.cache_bytes {
+            // Cache-thrashed CPU kernel: quadratic falloff with working-set
+            // ratio, floored (streaming kernels still make progress).
+            let ratio = self.cache_bytes as f64 / desc.working_set_bytes as f64;
+            eff *= (ratio * ratio).max(self.cache_thrash_floor);
+        }
+        eff
+    }
+
+    /// Kernel execution time in microseconds under `ctx`.
+    ///
+    /// Roofline: the kernel takes the longer of its compute time at the
+    /// effective FLOP rate and its memory time at the effective bandwidth,
+    /// plus the fixed launch overhead.
+    pub fn kernel_time_us(&self, desc: &KernelDesc, ctx: &ExecutionContext) -> f64 {
+        let eff = self.effective_efficiency(desc);
+        let gflops = (self.peak_gflops * eff).max(1e-6);
+        let compute_us = desc.flops as f64 / gflops * 1e-3; // flops / (GFLOP/s) = ns
+        let bw = (self.mem_bw_gbps
+            * self.bw_efficiency.get(desc.class)
+            * ctx.bandwidth_factor
+            * ctx.contention_factor)
+            .max(1e-6);
+        let memory_us = desc.total_bytes() as f64 / bw * 1e-3; // bytes / (GB/s) = ns
+        self.launch_overhead_us + compute_us.max(memory_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> ProcessorSpec {
+        ProcessorSpec {
+            name: "test-gpu".into(),
+            kind: ProcessorKind::Gpu,
+            peak_gflops: 1000.0,
+            mem_bw_gbps: 100.0,
+            launch_overhead_us: 10.0,
+            efficiency: EfficiencyTable::uniform(0.5),
+            bw_efficiency: EfficiencyTable::uniform(1.0),
+            saturation_parallelism: 10_000,
+            cache_bytes: 0,
+            cache_thrash_floor: 0.1,
+        }
+    }
+
+    fn cpu() -> ProcessorSpec {
+        ProcessorSpec {
+            name: "test-cpu".into(),
+            kind: ProcessorKind::Cpu,
+            peak_gflops: 100.0,
+            mem_bw_gbps: 40.0,
+            launch_overhead_us: 2.0,
+            efficiency: EfficiencyTable::uniform(0.5),
+            bw_efficiency: EfficiencyTable::uniform(1.0),
+            saturation_parallelism: 0,
+            cache_bytes: 4 << 20,
+            cache_thrash_floor: 0.2,
+        }
+    }
+
+    fn conv_kernel(flops: u64, parallelism: u64, ws: u64) -> KernelDesc {
+        KernelDesc {
+            class: OpClass::Conv,
+            flops,
+            bytes_in: 1000,
+            bytes_out: 1000,
+            weight_bytes: 1000,
+            parallelism,
+            working_set_bytes: ws,
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_time_scales_with_flops() {
+        let g = gpu();
+        let ctx = ExecutionContext::default();
+        let t1 = g.kernel_time_us(&conv_kernel(1_000_000_000, 1_000_000, 0), &ctx);
+        let t2 = g.kernel_time_us(&conv_kernel(2_000_000_000, 1_000_000, 0), &ctx);
+        // 1 GFLOP at 500 GFLOP/s = 2000 us (+10 launch).
+        assert!((t1 - 2010.0).abs() < 1.0, "t1 = {t1}");
+        assert!((t2 - t1 - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_ignores_flops() {
+        let g = gpu();
+        let ctx = ExecutionContext::default();
+        let desc = KernelDesc {
+            class: OpClass::Pool,
+            flops: 1,
+            bytes_in: 100_000_000,
+            bytes_out: 0,
+            weight_bytes: 0,
+            parallelism: 1_000_000,
+            working_set_bytes: 0,
+        };
+        // 100 MB at 100 GB/s = 1000 us.
+        let t = g.kernel_time_us(&desc, &ctx);
+        assert!((t - 1010.0).abs() < 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn gpu_under_occupancy_slows_small_kernels() {
+        let g = gpu();
+        let ctx = ExecutionContext::default();
+        let saturated = g.kernel_time_us(&conv_kernel(100_000_000, 100_000, 0), &ctx);
+        let starved = g.kernel_time_us(&conv_kernel(100_000_000, 1_000, 0), &ctx);
+        assert!(
+            starved > 5.0 * saturated,
+            "under-occupied GPU should be much slower: {starved} vs {saturated}"
+        );
+    }
+
+    #[test]
+    fn cpu_cache_thrash_slows_big_working_sets() {
+        let c = cpu();
+        let ctx = ExecutionContext::default();
+        let fits = c.kernel_time_us(&conv_kernel(100_000_000, 1000, 1 << 20), &ctx);
+        let thrashes = c.kernel_time_us(&conv_kernel(100_000_000, 1000, 64 << 20), &ctx);
+        assert!(thrashes > 2.0 * fits, "{thrashes} vs {fits}");
+        // Floor bounds the penalty.
+        let worse = c.kernel_time_us(&conv_kernel(100_000_000, 1000, 1 << 40), &ctx);
+        let floor_time = 100_000_000f64 / (100.0 * 0.5 * 0.2) * 1e-3 + 2.0;
+        assert!((worse - floor_time).abs() < 1.0);
+    }
+
+    #[test]
+    fn context_factors_scale_bandwidth() {
+        let g = gpu();
+        let desc = KernelDesc {
+            class: OpClass::Fc,
+            flops: 1,
+            bytes_in: 10_000_000,
+            bytes_out: 0,
+            weight_bytes: 0,
+            parallelism: 1_000_000,
+            working_set_bytes: 0,
+        };
+        let base = g.kernel_time_us(&desc, &ExecutionContext::default());
+        let managed = g.kernel_time_us(
+            &desc,
+            &ExecutionContext { bandwidth_factor: 0.5, contention_factor: 1.0 },
+        );
+        let contended = g.kernel_time_us(
+            &desc,
+            &ExecutionContext { bandwidth_factor: 0.5, contention_factor: 0.5 },
+        );
+        assert!((managed - 10.0) / (base - 10.0) > 1.9);
+        assert!((contended - 10.0) / (managed - 10.0) > 1.9);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let g = gpu();
+        let t = g.kernel_time_us(&conv_kernel(1000, 100, 0), &ExecutionContext::default());
+        assert!((10.0..11.0).contains(&t), "tiny kernel ~ launch overhead, got {t}");
+    }
+
+    #[test]
+    fn efficiency_table_lookup() {
+        let t = EfficiencyTable {
+            conv: 0.5,
+            fc: 0.4,
+            pool: 0.3,
+            activation: 0.2,
+            norm: 0.1,
+            combine: 0.05,
+        };
+        assert_eq!(t.get(OpClass::Conv), 0.5);
+        assert_eq!(t.get(OpClass::Fc), 0.4);
+        assert_eq!(t.get(OpClass::Pool), 0.3);
+        assert_eq!(t.get(OpClass::Activation), 0.2);
+        assert_eq!(t.get(OpClass::Norm), 0.1);
+        assert_eq!(t.get(OpClass::Combine), 0.05);
+        assert_eq!(OpClass::ALL.len(), 6);
+    }
+}

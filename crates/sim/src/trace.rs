@@ -1,0 +1,279 @@
+//! Execution traces: a per-event record of everything the simulated
+//! platform did, used by tests, reports, and the adaptive tuner's
+//! feedback loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::processor::ProcessorKind;
+
+/// What kind of activity an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A compute kernel.
+    Kernel,
+    /// An explicit CPU<->GPU copy.
+    Copy,
+    /// Managed-memory page migration (zero-copy on-demand paging).
+    Migration,
+    /// Consistency thrash on a write-shared managed array.
+    Thrash,
+    /// Synchronization / merge of partitioned results.
+    Sync,
+    /// Idle gap (recorded only in summaries, not as events).
+    Idle,
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Kernel => "kernel",
+            Self::Copy => "copy",
+            Self::Migration => "migration",
+            Self::Thrash => "thrash",
+            Self::Sync => "sync",
+            Self::Idle => "idle",
+        })
+    }
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Processor the event occupies (`None` for bus-level activity such
+    /// as copies, which occupy the interconnect rather than a core).
+    pub processor: Option<ProcessorKind>,
+    /// Start time in microseconds since simulation start.
+    pub start_us: f64,
+    /// End time in microseconds.
+    pub end_us: f64,
+    /// Free-form label ("conv1", "fc6 merge", …).
+    pub label: String,
+}
+
+impl TraceEvent {
+    /// Event duration in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Aggregated view of a trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total kernel time (sum over events; co-run overlap counted twice).
+    pub kernel_us: f64,
+    /// Total explicit-copy time.
+    pub copy_us: f64,
+    /// Total migration time.
+    pub migration_us: f64,
+    /// Total thrash time.
+    pub thrash_us: f64,
+    /// Total synchronization/merge time.
+    pub sync_us: f64,
+}
+
+impl TraceSummary {
+    /// Builds a summary from raw events.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = Self::default();
+        for e in events {
+            let d = e.duration_us();
+            match e.kind {
+                TraceKind::Kernel => s.kernel_us += d,
+                TraceKind::Copy => s.copy_us += d,
+                TraceKind::Migration => s.migration_us += d,
+                TraceKind::Thrash => s.thrash_us += d,
+                TraceKind::Sync => s.sync_us += d,
+                TraceKind::Idle => {}
+            }
+        }
+        s
+    }
+
+    /// Total memory-management time (copies + migrations + thrash).
+    pub fn memory_us(&self) -> f64 {
+        self.copy_us + self.migration_us + self.thrash_us
+    }
+}
+
+/// Validates structural invariants of a trace: every event has
+/// non-negative duration, and no two events assigned to the same
+/// processor overlap in time (a core cannot run two kernels at once; bus
+/// events may overlap freely).
+///
+/// # Errors
+/// Returns a description of the first violation found.
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    for event in events {
+        if event.end_us < event.start_us {
+            return Err(format!(
+                "event '{}' has negative duration ({} -> {})",
+                event.label, event.start_us, event.end_us
+            ));
+        }
+    }
+    for proc in [ProcessorKind::Cpu, ProcessorKind::Gpu] {
+        let mut spans: Vec<(f64, f64, &str)> = events
+            .iter()
+            .filter(|e| e.processor == Some(proc))
+            .map(|e| (e.start_us, e.end_us, e.label.as_str()))
+            .collect();
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        for pair in spans.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b.0 < a.1 - 1e-9 {
+                return Err(format!(
+                    "{proc} events overlap: '{}' [{}, {}] and '{}' [{}, {}]",
+                    a.2, a.0, a.1, b.2, b.0, b.1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes events into the Chrome trace-event format (the JSON array
+/// flavor), loadable in `chrome://tracing` or Perfetto. Kernels appear on
+/// a "CPU" or "GPU" track, bus activity (copies, migrations, thrash,
+/// syncs) on a "Bus" track.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut entries = Vec::with_capacity(events.len());
+    for event in events {
+        let track = match event.processor {
+            Some(ProcessorKind::Cpu) => "CPU",
+            Some(ProcessorKind::Gpu) => "GPU",
+            None => "Bus",
+        };
+        let tid = match event.processor {
+            Some(ProcessorKind::Cpu) => 1,
+            Some(ProcessorKind::Gpu) => 2,
+            None => 3,
+        };
+        entries.push(serde_json::json!({
+            "name": event.label,
+            "cat": event.kind.to_string(),
+            "ph": "X",
+            "ts": event.start_us,
+            "dur": event.duration_us(),
+            "pid": 1,
+            "tid": tid,
+            "args": { "track": track },
+        }));
+    }
+    serde_json::to_string_pretty(&entries).expect("trace events are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, start: f64, end: f64) -> TraceEvent {
+        TraceEvent { kind, processor: None, start_us: start, end_us: end, label: "t".into() }
+    }
+
+    #[test]
+    fn summary_buckets_by_kind() {
+        let events = vec![
+            ev(TraceKind::Kernel, 0.0, 10.0),
+            ev(TraceKind::Copy, 10.0, 13.0),
+            ev(TraceKind::Kernel, 13.0, 20.0),
+            ev(TraceKind::Migration, 20.0, 21.0),
+            ev(TraceKind::Thrash, 21.0, 25.0),
+            ev(TraceKind::Sync, 25.0, 26.0),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.kernel_us, 17.0);
+        assert_eq!(s.copy_us, 3.0);
+        assert_eq!(s.migration_us, 1.0);
+        assert_eq!(s.thrash_us, 4.0);
+        assert_eq!(s.sync_us, 1.0);
+        assert_eq!(s.memory_us(), 8.0);
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let e = TraceEvent {
+            kind: TraceKind::Kernel,
+            processor: Some(ProcessorKind::Gpu),
+            start_us: 1.5,
+            end_us: 2.5,
+            label: "conv1".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.duration_us(), 1.0);
+    }
+
+    #[test]
+    fn validation_accepts_serial_and_rejects_overlap() {
+        let ok = vec![
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Gpu),
+                start_us: 0.0,
+                end_us: 5.0,
+                label: "a".into(),
+            },
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Gpu),
+                start_us: 5.0,
+                end_us: 9.0,
+                label: "b".into(),
+            },
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Cpu),
+                start_us: 1.0,
+                end_us: 8.0,
+                label: "c".into(),
+            },
+        ];
+        assert!(validate_events(&ok).is_ok(), "cross-processor overlap is fine");
+
+        let mut bad = ok.clone();
+        bad[1].start_us = 4.0; // overlaps event 'a' on the GPU
+        assert!(validate_events(&bad).is_err());
+
+        let mut negative = ok;
+        negative[0].end_us = -1.0;
+        assert!(validate_events(&negative).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_contains_all_events_on_correct_tracks() {
+        let events = vec![
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Gpu),
+                start_us: 0.0,
+                end_us: 5.0,
+                label: "conv1".into(),
+            },
+            TraceEvent {
+                kind: TraceKind::Copy,
+                processor: None,
+                start_us: 5.0,
+                end_us: 7.0,
+                label: "h2d".into(),
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["name"], "conv1");
+        assert_eq!(arr[0]["tid"], 2);
+        assert_eq!(arr[1]["args"]["track"], "Bus");
+        assert_eq!(arr[1]["dur"], 2.0);
+    }
+
+    #[test]
+    fn kind_display_tags() {
+        assert_eq!(TraceKind::Kernel.to_string(), "kernel");
+        assert_eq!(TraceKind::Thrash.to_string(), "thrash");
+    }
+}

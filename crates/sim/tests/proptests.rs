@@ -1,0 +1,154 @@
+//! Property-based tests for simulator invariants.
+
+use edgenn_sim::engine::Timeline;
+use edgenn_sim::processor::{EfficiencyTable, ExecutionContext, KernelDesc, OpClass, ProcessorKind, ProcessorSpec};
+use edgenn_sim::trace::TraceKind;
+use edgenn_sim::{platforms, PowerModel};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        0u64..10_000_000_000,
+        0u64..100_000_000,
+        0u64..100_000_000,
+        0u64..100_000_000,
+        1u64..10_000_000,
+        0u64..100_000_000,
+    )
+        .prop_map(|(flops, bi, bo, wb, par, ws)| KernelDesc {
+            class: OpClass::Conv,
+            flops,
+            bytes_in: bi,
+            bytes_out: bo,
+            weight_bytes: wb,
+            parallelism: par,
+            working_set_bytes: ws,
+        })
+}
+
+fn test_proc(kind: ProcessorKind) -> ProcessorSpec {
+    ProcessorSpec {
+        name: "p".into(),
+        kind,
+        peak_gflops: 500.0,
+        mem_bw_gbps: 50.0,
+        launch_overhead_us: 5.0,
+        efficiency: EfficiencyTable::uniform(0.4),
+        bw_efficiency: EfficiencyTable::uniform(0.8),
+        saturation_parallelism: if kind == ProcessorKind::Gpu { 10_000 } else { 0 },
+        cache_bytes: if kind == ProcessorKind::Cpu { 4 << 20 } else { 0 },
+        cache_thrash_floor: 0.25,
+    }
+}
+
+proptest! {
+    #[test]
+    fn kernel_time_is_positive_and_bounded_below_by_launch(desc in arb_kernel()) {
+        let spec = test_proc(ProcessorKind::Gpu);
+        let t = spec.kernel_time_us(&desc, &ExecutionContext::default());
+        prop_assert!(t >= spec.launch_overhead_us);
+        prop_assert!(t.is_finite());
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_flops(desc in arb_kernel(), extra in 1u64..1_000_000_000) {
+        let spec = test_proc(ProcessorKind::Cpu);
+        let ctx = ExecutionContext::default();
+        let base = spec.kernel_time_us(&desc, &ctx);
+        let more = KernelDesc { flops: desc.flops.saturating_add(extra), ..desc };
+        prop_assert!(spec.kernel_time_us(&more, &ctx) >= base - 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_factors_never_speed_kernels_up(
+        desc in arb_kernel(),
+        bw in 0.05f64..1.0,
+        cont in 0.05f64..1.0,
+    ) {
+        let spec = test_proc(ProcessorKind::Gpu);
+        let base = spec.kernel_time_us(&desc, &ExecutionContext::default());
+        let degraded = spec.kernel_time_us(
+            &desc,
+            &ExecutionContext { bandwidth_factor: bw, contention_factor: cont },
+        );
+        prop_assert!(degraded >= base - 1e-9, "degraded {degraded} < base {base}");
+    }
+
+    #[test]
+    fn copy_time_is_monotone_and_superadditive_in_latency(
+        a in 0u64..100_000_000,
+        b in 0u64..100_000_000,
+    ) {
+        let memory = platforms::jetson_agx_xavier().memory;
+        let ta = memory.copy_time_us(a);
+        let tb = memory.copy_time_us(b);
+        let tab = memory.copy_time_us(a + b);
+        prop_assert!(tab >= ta.max(tb) - 1e-9, "monotonicity");
+        if a > 0 && b > 0 {
+            // One big copy beats two small ones (single latency charge).
+            prop_assert!(tab <= ta + tb + 1e-9, "latency amortization");
+        }
+    }
+
+    #[test]
+    fn timeline_makespan_never_decreases(
+        durations in prop::collection::vec((0usize..2, 0.0f64..1000.0), 1..40),
+    ) {
+        let mut timeline = Timeline::new();
+        let mut last = 0.0f64;
+        for (proc, dur) in durations {
+            let proc = if proc == 0 { ProcessorKind::Cpu } else { ProcessorKind::Gpu };
+            timeline.schedule(proc, TraceKind::Kernel, 0.0, dur, "w");
+            let m = timeline.makespan_us();
+            prop_assert!(m >= last - 1e-9);
+            last = m;
+        }
+        // Busy time on each processor never exceeds the makespan.
+        for proc in [ProcessorKind::Cpu, ProcessorKind::Gpu] {
+            prop_assert!(timeline.busy_us(proc) <= timeline.makespan_us() + 1e-9);
+            let f = timeline.busy_fraction(proc);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_duration_and_utilization(
+        busy_cpu in 0.0f64..1000.0,
+        busy_gpu in 0.0f64..1000.0,
+    ) {
+        let power = PowerModel { base_w: 2.0, cpu_dynamic_w: 3.0, gpu_dynamic_w: 4.0 };
+        let mut t = Timeline::new();
+        t.schedule(ProcessorKind::Cpu, TraceKind::Kernel, 0.0, busy_cpu, "c");
+        t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, busy_gpu, "g");
+        let e = power.energy(&t);
+        let makespan = busy_cpu.max(busy_gpu);
+        // Energy is at least the idle floor and at most the all-out draw.
+        prop_assert!(e.energy_mj >= 2.0 * makespan / 1000.0 - 1e-9);
+        prop_assert!(e.energy_mj <= 9.0 * makespan / 1000.0 + 1e-9);
+        prop_assert!(e.avg_power_w >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn migration_prefetch_never_slower(bytes in 1u64..200_000_000) {
+        let memory = platforms::jetson_agx_xavier().memory;
+        prop_assert!(
+            memory.migration_time_us(bytes, true)
+                <= memory.migration_time_us(bytes, false) + 1e-9
+        );
+        // Thrash is always at least as bad as a plain migration.
+        prop_assert!(memory.thrash_time_us(bytes) >= memory.migration_time_us(bytes, false));
+    }
+
+    #[test]
+    fn cloud_offload_monotone_in_bandwidth(
+        bytes in 1u64..10_000_000,
+        b1 in 0.1f64..100.0,
+        b2 in 0.1f64..100.0,
+    ) {
+        use edgenn_sim::CloudLink;
+        prop_assume!(b1 < b2);
+        let slow = CloudLink { uplink_mbps: b1, cloud_delay_us: 100_000.0 };
+        let fast = CloudLink { uplink_mbps: b2, cloud_delay_us: 100_000.0 };
+        prop_assert!(fast.offload_time_us(bytes, 0.0) < slow.offload_time_us(bytes, 0.0));
+    }
+}

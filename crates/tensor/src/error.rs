@@ -1,0 +1,149 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+///
+/// Every fallible operation in this crate reports *why* it failed with the
+/// concrete shapes/indices involved, so that layer-level code in
+/// `edgenn-nn` can surface actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the buffer length.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// Matrix multiply inner dimensions disagree.
+    MatmulDimMismatch {
+        /// `(rows, cols)` of the left matrix.
+        left: (usize, usize),
+        /// `(rows, cols)` of the right matrix.
+        right: (usize, usize),
+    },
+    /// A tensor had the wrong rank for the requested operation.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// An index or range fell outside a dimension.
+    OutOfBounds {
+        /// The dimension (axis) being indexed.
+        axis: usize,
+        /// The offending index (for ranges, the exclusive end).
+        index: usize,
+        /// The size of that axis.
+        size: usize,
+    },
+    /// A range was empty or inverted (`start >= end`).
+    EmptyRange {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (exclusive).
+        end: usize,
+    },
+    /// A reshape changed the number of elements.
+    ReshapeMismatch {
+        /// Element count before reshape.
+        from: usize,
+        /// Element count the new shape implies.
+        to: usize,
+    },
+    /// Convolution geometry is invalid (e.g. kernel larger than padded input).
+    InvalidConvGeometry {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape element count {expected}"
+            ),
+            Self::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            Self::MatmulDimMismatch { left, right } => write!(
+                f,
+                "matmul dimension mismatch: {}x{} * {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Self::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            Self::OutOfBounds { axis, index, size } => {
+                write!(f, "index {index} out of bounds for axis {axis} of size {size}")
+            }
+            Self::EmptyRange { start, end } => {
+                write!(f, "empty or inverted range {start}..{end}")
+            }
+            Self::ReshapeMismatch { from, to } => {
+                write!(f, "reshape would change element count from {from} to {to}")
+            }
+            Self::InvalidConvGeometry { reason } => {
+                write!(f, "invalid convolution geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TensorError, &str)> = vec![
+            (
+                TensorError::LengthMismatch { expected: 4, actual: 3 },
+                "buffer length 3 does not match shape element count 4",
+            ),
+            (
+                TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+                "shape mismatch: [2] vs [3]",
+            ),
+            (
+                TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) },
+                "matmul dimension mismatch: 2x3 * 4x5",
+            ),
+            (
+                TensorError::RankMismatch { expected: 3, actual: 1 },
+                "expected rank 3, got rank 1",
+            ),
+            (
+                TensorError::OutOfBounds { axis: 0, index: 9, size: 4 },
+                "index 9 out of bounds for axis 0 of size 4",
+            ),
+            (TensorError::EmptyRange { start: 3, end: 3 }, "empty or inverted range 3..3"),
+            (
+                TensorError::ReshapeMismatch { from: 6, to: 8 },
+                "reshape would change element count from 6 to 8",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::EmptyRange { start: 1, end: 1 });
+    }
+}

@@ -1,0 +1,178 @@
+//! Matrix multiplication kernels.
+//!
+//! The convolutional layers in `edgenn-nn` lower to GEMM via im2col, so
+//! this is the hot loop of the functional execution path. We use the
+//! classic `i-k-j` loop order: the innermost loop walks both the output row
+//! and the right-hand matrix row contiguously, which lets LLVM
+//! auto-vectorize without any `unsafe`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
+/// and [`TensorError::MatmulDimMismatch`] when the inner dimensions differ.
+pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.shape().rank() });
+    }
+    if b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.shape().rank() });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw GEMM on slices; `out` must hold `m * n` zero-initialized elements.
+///
+/// Exposed so that layer kernels can partition the output rows across
+/// worker threads without re-wrapping tensors.
+pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Matrix-vector product: `(m, k) x (k,) -> (m,)`.
+///
+/// Fully-connected layers with batch size 1 are mat-vec, not mat-mat; a
+/// dedicated kernel avoids the degenerate `n = 1` GEMM layout.
+///
+/// # Errors
+/// Returns [`TensorError::RankMismatch`] when `a` is not rank 2 or `x` is
+/// not rank 1, and [`TensorError::MatmulDimMismatch`] when dims disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.shape().rank() });
+    }
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, actual: x.shape().rank() });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if k != x.dims()[0] {
+        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (x.dims()[0], 1) });
+    }
+    let xs = x.as_slice();
+    let data: Vec<f32> = (0..m)
+        .map(|i| {
+            a.as_slice()[i * k..(i + 1) * k]
+                .iter()
+                .zip(xs.iter())
+                .map(|(&w, &v)| w * v)
+                .sum()
+        })
+        .collect();
+    Tensor::from_vec(data, &[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.get(&[i, p]).unwrap() * b.get(&[p, j]).unwrap();
+                }
+                out.set(&[i, j], acc).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_matches_hand_example() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_random_inputs() {
+        for seed in 0..4 {
+            let a = Tensor::random(&[7, 11], 1.0, seed);
+            let b = Tensor::random(&[11, 5], 1.0, seed + 100);
+            let fast = gemm(&a, &b).unwrap();
+            let slow = naive_gemm(&a, &b);
+            assert!(fast.approx_eq(&slow, 1e-4), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = Tensor::random(&[4, 4], 2.0, 1);
+        assert!(gemm(&a, &Tensor::eye(4)).unwrap().approx_eq(&a, 1e-6));
+        assert!(gemm(&Tensor::eye(4), &a).unwrap().approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn gemm_validates_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(gemm(&a, &b), Err(TensorError::MatmulDimMismatch { .. })));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(gemm(&v, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(gemm(&a, &v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn gemm_skips_zero_rows_correctly() {
+        // The a_ip == 0.0 fast path must not change results.
+        let mut a = Tensor::random(&[6, 6], 1.0, 3);
+        for i in 0..6 {
+            a.set(&[i, i], 0.0).unwrap();
+        }
+        let b = Tensor::random(&[6, 6], 1.0, 4);
+        assert!(gemm(&a, &b).unwrap().approx_eq(&naive_gemm(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_gemm_column() {
+        let a = Tensor::random(&[5, 9], 1.0, 11);
+        let x = Tensor::random(&[9], 1.0, 12);
+        let mv = matvec(&a, &x).unwrap();
+        let as_col = x.reshape(&[9, 1]).unwrap();
+        let mm = gemm(&a, &as_col).unwrap();
+        assert!(mv.approx_eq(&mm.reshape(&[5]).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn matvec_validates_shapes() {
+        let a = Tensor::zeros(&[5, 9]);
+        assert!(matches!(
+            matvec(&a, &Tensor::zeros(&[8])),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        assert!(matches!(
+            matvec(&a, &Tensor::zeros(&[8, 1])),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,237 @@
+//! im2col lowering for 2-D convolution.
+//!
+//! A convolution over a CHW feature map becomes a GEMM between the weight
+//! matrix `(out_channels, in_channels * kh * kw)` and the im2col patch
+//! matrix `(in_channels * kh * kw, out_h * out_w)`. This is the standard
+//! lowering the paper's CUDA kernels use; reproducing it keeps the FLOP
+//! counts the simulator models aligned with what the functional engine
+//! actually executes.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Static geometry of a 2-D convolution (or pooling) window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride along height.
+    pub stride_h: usize,
+    /// Stride along width.
+    pub stride_w: usize,
+    /// Zero padding along height (both sides).
+    pub pad_h: usize,
+    /// Zero padding along width (both sides).
+    pub pad_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad_h - self.kernel_h) / self.stride_h + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad_w - self.kernel_w) / self.stride_w + 1
+    }
+
+    /// Validates that the window fits the padded input and strides are nonzero.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidConvGeometry`] with a description of
+    /// the first inconsistency found.
+    pub fn validate(&self) -> Result<()> {
+        if self.stride_h == 0 || self.stride_w == 0 {
+            return Err(TensorError::InvalidConvGeometry {
+                reason: "stride must be nonzero".to_string(),
+            });
+        }
+        if self.kernel_h == 0 || self.kernel_w == 0 {
+            return Err(TensorError::InvalidConvGeometry {
+                reason: "kernel must be nonzero".to_string(),
+            });
+        }
+        if self.in_h + 2 * self.pad_h < self.kernel_h || self.in_w + 2 * self.pad_w < self.kernel_w
+        {
+            return Err(TensorError::InvalidConvGeometry {
+                reason: format!(
+                    "kernel {}x{} larger than padded input {}x{}",
+                    self.kernel_h,
+                    self.kernel_w,
+                    self.in_h + 2 * self.pad_h,
+                    self.in_w + 2 * self.pad_w
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shape of the feature map a convolution with `geometry` and
+/// `out_channels` produces: `[out_channels, out_h, out_w]`.
+pub fn col2im_shape(geometry: &Conv2dGeometry, out_channels: usize) -> [usize; 3] {
+    [out_channels, geometry.out_h(), geometry.out_w()]
+}
+
+/// Unfolds a CHW input into the im2col patch matrix
+/// `(in_channels * kernel_h * kernel_w, out_h * out_w)`.
+///
+/// Out-of-range (padding) taps contribute zeros.
+///
+/// # Errors
+/// Returns geometry validation errors and
+/// [`TensorError::ShapeMismatch`] when `input` does not match the declared
+/// input dimensions.
+pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
+    geometry.validate()?;
+    let expected = [geometry.in_channels, geometry.in_h, geometry.in_w];
+    if input.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: expected.to_vec(),
+            right: input.dims().to_vec(),
+        });
+    }
+    let (out_h, out_w) = (geometry.out_h(), geometry.out_w());
+    let patch = geometry.in_channels * geometry.kernel_h * geometry.kernel_w;
+    let cols = out_h * out_w;
+    let mut data = vec![0.0f32; patch * cols];
+    let src = input.as_slice();
+    let plane = geometry.in_h * geometry.in_w;
+
+    let mut row = 0usize;
+    for c in 0..geometry.in_channels {
+        for kh in 0..geometry.kernel_h {
+            for kw in 0..geometry.kernel_w {
+                let dst_row = &mut data[row * cols..(row + 1) * cols];
+                let mut col = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * geometry.stride_h + kh) as isize - geometry.pad_h as isize;
+                    if iy < 0 || iy >= geometry.in_h as isize {
+                        col += out_w;
+                        continue;
+                    }
+                    let base = c * plane + iy as usize * geometry.in_w;
+                    for ox in 0..out_w {
+                        let ix = (ox * geometry.stride_w + kw) as isize - geometry.pad_w as isize;
+                        if ix >= 0 && ix < geometry.in_w as isize {
+                            dst_row[col] = src[base + ix as usize];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(data, &[patch, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride_h: s,
+            stride_w: s,
+            pad_h: p,
+            pad_w: p,
+        }
+    }
+
+    #[test]
+    fn output_dims_match_formula() {
+        let g = geo(3, 224, 224, 11, 4, 2);
+        assert_eq!(g.out_h(), 55);
+        assert_eq!(g.out_w(), 55);
+        let g = geo(1, 28, 28, 5, 1, 2);
+        assert_eq!(g.out_h(), 28);
+    }
+
+    #[test]
+    fn validate_catches_degenerate_geometry() {
+        assert!(geo(1, 4, 4, 3, 1, 0).validate().is_ok());
+        assert!(matches!(
+            geo(1, 4, 4, 3, 0, 0).validate(),
+            Err(TensorError::InvalidConvGeometry { .. })
+        ));
+        assert!(matches!(
+            geo(1, 2, 2, 5, 1, 0).validate(),
+            Err(TensorError::InvalidConvGeometry { .. })
+        ));
+        assert!(matches!(
+            Conv2dGeometry { kernel_h: 0, ..geo(1, 4, 4, 3, 1, 0) }.validate(),
+            Err(TensorError::InvalidConvGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is just a reshape.
+        let input = Tensor::arange(&[2, 3, 3]);
+        let g = geo(2, 3, 3, 1, 1, 0);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col_hand_checked_3x3_input_2x2_kernel() {
+        // input (1 channel):
+        // 0 1 2
+        // 3 4 5
+        // 6 7 8
+        let input = Tensor::arange(&[1, 3, 3]);
+        let g = geo(1, 3, 3, 2, 1, 0);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // rows are kernel taps (kh,kw), columns are output positions.
+        assert_eq!(
+            cols.as_slice(),
+            &[
+                0.0, 1.0, 3.0, 4.0, // tap (0,0)
+                1.0, 2.0, 4.0, 5.0, // tap (0,1)
+                3.0, 4.0, 6.0, 7.0, // tap (1,0)
+                4.0, 5.0, 7.0, 8.0, // tap (1,1)
+            ]
+        );
+    }
+
+    #[test]
+    fn im2col_padding_contributes_zeros() {
+        let input = Tensor::ones(&[1, 2, 2]);
+        let g = geo(1, 2, 2, 3, 1, 1);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Corner tap (0,0) sees padding everywhere except output (1,1).
+        assert_eq!(&cols.as_slice()[0..4], &[0.0, 0.0, 0.0, 1.0]);
+        // Center tap (1,1) always lands in-bounds.
+        assert_eq!(&cols.as_slice()[16..20], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_input_shape() {
+        let input = Tensor::zeros(&[2, 3, 3]);
+        let g = geo(1, 3, 3, 2, 1, 0);
+        assert!(matches!(im2col(&input, &g), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn col2im_shape_matches_geometry() {
+        let g = geo(3, 8, 8, 3, 1, 1);
+        assert_eq!(col2im_shape(&g, 16), [16, 8, 8]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # edgenn-tensor
+//!
+//! Dense `f32` tensor substrate for the EdgeNN reproduction.
+//!
+//! The EdgeNN paper (ICDE 2023) evaluates CUDA kernels; this crate provides
+//! the arithmetic those kernels perform so that the rest of the workspace
+//! can execute *real* forward passes (and verify that hybrid CPU-GPU
+//! partitioning is numerically lossless) without any GPU.
+//!
+//! Design notes:
+//! - Tensors are owned, contiguous, row-major `Vec<f32>` buffers. Inference
+//!   with batch size 1 (the paper's setting) never needs strided views, so
+//!   we keep the representation simple and cache-friendly.
+//! - The crate is deliberately free of external math dependencies: GEMM and
+//!   im2col are implemented here, which keeps the reproduction
+//!   self-contained per the build rules.
+//!
+//! ```
+//! use edgenn_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod gemm;
+mod im2col;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use gemm::{gemm, matvec};
+pub use im2col::{col2im_shape, im2col, Conv2dGeometry};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

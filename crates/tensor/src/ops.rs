@@ -1,0 +1,98 @@
+//! Numeric slice routines shared by layer kernels.
+//!
+//! These operate on raw `&mut [f32]` so that the partitioned (intra-kernel)
+//! execution paths in `edgenn-nn` can apply them to sub-ranges of an output
+//! buffer without materializing intermediate tensors.
+
+/// Rectified linear unit, in place.
+pub fn relu_in_place(data: &mut [f32]) {
+    for x in data {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Numerically stable softmax, in place.
+///
+/// Subtracts the maximum before exponentiating; an all-`-inf` or empty
+/// slice is left untouched.
+pub fn softmax_in_place(data: &mut [f32]) {
+    let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in data.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in data.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(data: &[f32]) -> f32 {
+    data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f32>() / data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut v = vec![-2.0, -0.0, 0.5, 3.0];
+        relu_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_preserved() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[0] < v[1] && v[1] < v[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_degenerate_inputs() {
+        let mut empty: Vec<f32> = vec![];
+        softmax_in_place(&mut empty);
+        assert!(empty.is_empty());
+        let mut ninf = vec![f32::NEG_INFINITY, f32::NEG_INFINITY];
+        softmax_in_place(&mut ninf);
+        assert!(ninf.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn norm_and_mean() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Shape and stride arithmetic for row-major tensors.
+
+use crate::{Result, TensorError};
+
+/// The dimensions of a tensor, in row-major (C) order.
+///
+/// EdgeNN inference uses batch size 1, so the common shapes are
+/// `[features]` for fully-connected activations and
+/// `[channels, height, width]` for convolutional feature maps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// Zero-sized dimensions are permitted (they describe empty tensors,
+    /// which arise naturally from empty partition ranges).
+    pub fn new(dims: &[usize]) -> Self {
+        Self { dims: dims.to_vec() }
+    }
+
+    /// The dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Size of one axis.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::OutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims.get(axis).copied().ok_or(TensorError::OutOfBounds {
+            axis,
+            index: axis,
+            size: self.dims.len(),
+        })
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides: `strides[i]` is the linear distance between
+    /// consecutive indices along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] if the index rank differs, or
+    /// [`TensorError::OutOfBounds`] if any coordinate exceeds its axis.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        let mut offset = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.dims.len()).rev() {
+            let idx = index[axis];
+            let size = self.dims[axis];
+            if idx >= size {
+                return Err(TensorError::OutOfBounds { axis, index: idx, size });
+            }
+            offset += idx * stride;
+            stride *= size;
+        }
+        Ok(offset)
+    }
+
+    /// Replaces the size of one axis, returning the new shape.
+    ///
+    /// Used when slicing a channel range out of a feature map.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::OutOfBounds`] if `axis >= rank`.
+    pub fn with_dim(&self, axis: usize, size: usize) -> Result<Self> {
+        if axis >= self.dims.len() {
+            return Err(TensorError::OutOfBounds {
+                axis,
+                index: axis,
+                size: self.dims.len(),
+            });
+        }
+        let mut dims = self.dims.clone();
+        dims[axis] = size;
+        Ok(Self { dims })
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::new(&[7]).num_elements(), 7);
+        assert_eq!(Shape::new(&[]).num_elements(), 1);
+        assert_eq!(Shape::new(&[0, 5]).num_elements(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let shape = Shape::new(&[2, 3, 4]);
+        assert_eq!(shape.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(shape.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(shape.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_bounds() {
+        let shape = Shape::new(&[2, 3]);
+        assert_eq!(
+            shape.offset(&[1]).unwrap_err(),
+            TensorError::RankMismatch { expected: 2, actual: 1 }
+        );
+        assert_eq!(
+            shape.offset(&[2, 0]).unwrap_err(),
+            TensorError::OutOfBounds { axis: 0, index: 2, size: 2 }
+        );
+    }
+
+    #[test]
+    fn with_dim_replaces_axis() {
+        let shape = Shape::new(&[16, 8, 8]);
+        let sliced = shape.with_dim(0, 4).unwrap();
+        assert_eq!(sliced.dims(), &[4, 8, 8]);
+        assert!(shape.with_dim(3, 1).is_err());
+    }
+
+    #[test]
+    fn display_renders_dims() {
+        assert_eq!(Shape::new(&[3, 224, 224]).to_string(), "[3, 224, 224]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn dim_accessor_checks_bounds() {
+        let shape = Shape::new(&[4, 5]);
+        assert_eq!(shape.dim(1).unwrap(), 5);
+        assert!(shape.dim(2).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Watch the fine-grained adaptive tuner converge.
+//!
+//! The paper's tuner "applies different strategies each time and
+//! discovers the optimal partitioning strategy" from measured feedback
+//! (Section IV-D). This example injects run-to-run measurement noise and
+//! shows the tuner's plan and latency settling over iterations, then
+//! compares the adaptive result against the one-shot plan.
+//!
+//! ```bash
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::Runtime;
+use edgenn_sim::platforms;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+    let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+
+    // Simulate a noisy device: each profiling run wobbles by up to 20%.
+    let noise = 0.20;
+    let mut config = ExecutionConfig::edgenn();
+    config.jitter = 0.05; // execution-time variance of the runs themselves
+    config.jitter_seed = 7;
+
+    let mut tuner = Tuner::new(&graph, &runtime)?;
+    println!("adaptive tuning of {} on {} (profiling noise ±{:.0}%):", graph.name(), jetson.name, noise * 100.0);
+
+    let mut last_corun = usize::MAX;
+    for round in 0..8 {
+        let plan = tuner.plan(&graph, &runtime, config)?;
+        let report = runtime.simulate(&graph, &plan)?;
+        let changed = if plan.corun_count() != last_corun { "  <- plan changed" } else { "" };
+        println!(
+            "  round {round}: predicted {:>8.0} us, {:>2} co-run layers, {:>2} zero-copy arrays{changed}",
+            report.total_us,
+            plan.corun_count(),
+            plan.managed_count(),
+        );
+        last_corun = plan.corun_count();
+        tuner.observe(&graph, &runtime, noise, round as u64 + 100)?;
+    }
+
+    // The converged plan should match (or beat) the noise-free one-shot.
+    let clean_tuner = Tuner::new(&graph, &runtime)?;
+    let clean_plan = clean_tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?;
+    let clean = runtime.simulate(&graph, &clean_plan)?;
+    let adapted_plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?;
+    let adapted = runtime.simulate(&graph, &adapted_plan)?;
+    println!(
+        "\none-shot plan: {:.0} us | adapted plan after noise: {:.0} us ({:+.2}%)",
+        clean.total_us,
+        adapted.total_us,
+        (adapted.total_us - clean.total_us) / clean.total_us * 100.0
+    );
+    Ok(())
+}

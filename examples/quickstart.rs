@@ -1,0 +1,54 @@
+//! Quickstart: run EdgeNN on the simulated Jetson AGX Xavier and compare
+//! it with direct GPU execution — the paper's headline experiment in a
+//! dozen lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use edgenn_core::prelude::*;
+use edgenn_sim::platforms;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jetson = platforms::jetson_agx_xavier();
+    println!("platform: {} (${})", jetson.name, jetson.price_usd);
+    println!("{:<12} {:>12} {:>12} {:>9} {:>8} {:>8}", "model", "baseline us", "edgenn us", "gain %", "co-run", "managed");
+
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Paper);
+
+        // The paper's baseline: the original programs, GPU only, explicit
+        // memory with host-orchestrated copies.
+        let baseline = GpuOnly::new(&jetson).infer(&graph)?;
+
+        // EdgeNN: semantic-aware memory + inter/intra-kernel co-running,
+        // planned by the fine-grained adaptive tuner.
+        let edgenn = EdgeNn::new(&jetson);
+        let plan = edgenn.plan(&graph)?;
+        let report = edgenn.infer(&graph)?;
+
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>8.1}% {:>8} {:>8}",
+            kind.name(),
+            baseline.total_us,
+            report.total_us,
+            report.improvement_over(&baseline) * 100.0,
+            plan.corun_count(),
+            plan.managed_count(),
+        );
+    }
+
+    // The hybrid execution is numerically lossless: run the real tensors.
+    let graph = build(ModelKind::SqueezeNet, ModelScale::Tiny);
+    let plan = EdgeNn::new(&jetson).plan(&graph)?;
+    let input = edgenn_tensor::Tensor::random(graph.input_shape().dims(), 1.0, 42);
+    let reference = graph.forward(&input)?;
+    let outcome = edgenn_core::runtime::functional::execute(&graph, &plan, &input)?;
+    assert!(outcome.output.approx_eq(&reference, 1e-4));
+    println!(
+        "\nfunctional check: SqueezeNet hybrid output == reference \
+         ({} co-run layers, {} parallel regions)",
+        outcome.corun_layers, outcome.parallel_regions
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace facade re-exporting the EdgeNN public API.
+pub use edgenn_core as core;
+pub use edgenn_nn as nn;
+pub use edgenn_sim as sim;
+pub use edgenn_tensor as tensor;

@@ -1,0 +1,213 @@
+//! Paper-shape assertions: the qualitative results the paper reports must
+//! hold in the reproduction (who wins, in which direction, where the
+//! crossovers fall). The quantitative comparison lives in EXPERIMENTS.md
+//! and the `edgenn-bench` figure binaries.
+
+use edgenn_core::prelude::*;
+use edgenn_sim::platforms;
+
+/// Section IV-B / Figure 10: zero-copy is not universally good — pooling
+/// (pure memory traffic) slows down, convolution (compute-bound) does not.
+#[test]
+fn zero_copy_hurts_bandwidth_bound_layers_only() {
+    use edgenn_core::runtime::Runtime;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+    let runtime = Runtime::new(&jetson);
+    let tuner = Tuner::new(&graph, &runtime).unwrap();
+
+    let explicit =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap()).unwrap();
+    let mut managed_cfg = ExecutionConfig::baseline_gpu();
+    managed_cfg.memory_policy = MemoryPolicy::AllManaged;
+    let managed =
+        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, managed_cfg).unwrap()).unwrap();
+
+    for (e, m) in explicit.layers.iter().zip(managed.layers.iter()) {
+        match e.class_tag.as_str() {
+            "pool" => assert!(
+                m.kernel_us > e.kernel_us,
+                "{}: pooling must slow down under zero-copy",
+                e.name
+            ),
+            "conv" => assert!(
+                (m.kernel_us - e.kernel_us).abs() / e.kernel_us < 0.02,
+                "{}: convolution must be unaffected by zero-copy",
+                e.name
+            ),
+            _ => {}
+        }
+    }
+    assert!(managed.total_us < explicit.total_us, "zero-copy still wins end to end");
+}
+
+/// Section IV-D: the tuner's decisions follow the paper's per-class
+/// findings — fully-connected layers co-run, the pooling/activation glue
+/// follows its chain, and nothing is ever assigned to a nonexistent GPU.
+#[test]
+fn tuner_decisions_follow_layer_economics() {
+    use edgenn_core::plan::Assignment;
+    use edgenn_core::runtime::Runtime;
+    use edgenn_nn::layer::LayerClass;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+    let runtime = Runtime::new(&jetson);
+    let tuner = Tuner::new(&graph, &runtime).unwrap();
+    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+
+    let mut fc_corun = 0;
+    let mut fc_total = 0;
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        if node.layer().class() == LayerClass::Fc {
+            fc_total += 1;
+            if matches!(plan.nodes[idx].assignment, Assignment::Split { .. }) {
+                fc_corun += 1;
+            }
+        }
+    }
+    assert_eq!(fc_corun, fc_total, "every AlexNet fc layer should co-run");
+}
+
+/// Figure 5 / Section V-F: only networks with independent branches profit
+/// from inter-kernel co-running.
+#[test]
+fn inter_kernel_gains_need_branches() {
+    let jetson = platforms::jetson_agx_xavier();
+    let mem_only = |g: &edgenn_nn::graph::Graph| {
+        EdgeNn::with_config(&jetson, ExecutionConfig::memory_only()).infer(g).unwrap()
+    };
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Paper);
+        let base = mem_only(&graph);
+        let inter = InterKernelOnly::new(&jetson).infer(&graph).unwrap();
+        let gain = inter.improvement_over(&base);
+        if kind.has_parallel_branches() {
+            assert!(gain >= 0.0, "{kind}: inter-kernel must not lose");
+        } else {
+            assert!(
+                gain.abs() < 0.01,
+                "{kind}: a chain network cannot gain from inter-kernel co-running ({gain})"
+            );
+        }
+    }
+}
+
+/// Figure 12's crossover: the cloud wins only on the heaviest network.
+#[test]
+fn cloud_crossover_sits_at_vgg() {
+    let jetson = platforms::jetson_agx_xavier();
+    let server = platforms::rtx_2080ti_server();
+    let edgenn = EdgeNn::new(&jetson);
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Paper);
+        let edge = edgenn.infer(&graph).unwrap();
+        let cloud = CloudOffload::new(&server).infer(&graph).unwrap();
+        if kind == ModelKind::Vgg16 {
+            assert!(
+                cloud.total_us < edge.total_us,
+                "VGG: the cloud path must win ({} vs {})",
+                cloud.total_us,
+                edge.total_us
+            );
+        } else {
+            assert!(
+                edge.total_us < cloud.total_us,
+                "{kind}: the edge must win ({} vs {})",
+                edge.total_us,
+                cloud.total_us
+            );
+        }
+    }
+}
+
+/// Section V-B2: co-running raises both processors' utilization on the
+/// integrated device relative to the GPU-only baseline.
+#[test]
+fn hybrid_execution_raises_cpu_utilization() {
+    use edgenn_sim::ProcessorKind;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+    let baseline = GpuOnly::new(&jetson).infer(&graph).unwrap();
+    let edgenn = EdgeNn::new(&jetson).infer(&graph).unwrap();
+    assert!(
+        edgenn.utilization(ProcessorKind::Cpu) > baseline.utilization(ProcessorKind::Cpu),
+        "co-running must occupy the previously idle CPU"
+    );
+    assert!(edgenn.utilization(ProcessorKind::Gpu) > 0.5);
+}
+
+/// Challenge 1: co-running on the shared DRAM costs each processor some
+/// bandwidth — a forced 50/50 split of a bandwidth-bound layer is slower
+/// than the tuner's optimum.
+#[test]
+fn tuned_fraction_beats_naive_half_split() {
+    use edgenn_core::plan::{Assignment, ExecutionPlan, NodePlan};
+    use edgenn_core::runtime::Runtime;
+    use edgenn_nn::layer::LayerClass;
+    use edgenn_sim::AllocStrategy;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let graph = build(ModelKind::Fcnn, ModelScale::Paper);
+    let runtime = Runtime::new(&jetson);
+    let tuner = Tuner::new(&graph, &runtime).unwrap();
+    let tuned = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let tuned_report = runtime.simulate(&graph, &tuned).unwrap();
+
+    // Same structure, but fc splits forced to 50/50.
+    let mut naive = tuned.clone();
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        if node.layer().class() == LayerClass::Fc {
+            naive.nodes[idx] = NodePlan {
+                assignment: Assignment::Split { cpu_fraction: 0.5 },
+                output_alloc: AllocStrategy::Managed,
+                prefetch_inputs: false,
+            };
+        }
+    }
+    let naive = ExecutionPlan { config: tuned.config, nodes: naive.nodes };
+    let naive_report = runtime.simulate(&graph, &naive).unwrap();
+    assert!(
+        tuned_report.total_us <= naive_report.total_us,
+        "Eq. (4)'s fraction ({}) must beat a blind 50/50 ({})",
+        tuned_report.total_us,
+        naive_report.total_us
+    );
+}
+
+/// Section IV-B: "the usage of CUDA unified memory brings no benefit for
+/// the discrete architecture due to the PCIe transmission overhead" —
+/// all-managed allocation must not beat explicit copies on the 2080 Ti,
+/// while it clearly does on the integrated device.
+#[test]
+fn managed_memory_only_pays_on_integrated_architectures() {
+    use edgenn_core::runtime::Runtime;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let server = platforms::rtx_2080ti_server();
+    let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+
+    let run = |platform: &edgenn_sim::Platform, policy: MemoryPolicy| {
+        let runtime = Runtime::new(platform);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let mut config = ExecutionConfig::baseline_gpu();
+        config.memory_policy = policy;
+        let plan = tuner.plan(&graph, &runtime, config).unwrap();
+        runtime.simulate(&graph, &plan).unwrap().total_us
+    };
+
+    let jetson_gain = (run(&jetson, MemoryPolicy::AllExplicit)
+        - run(&jetson, MemoryPolicy::AllManaged))
+        / run(&jetson, MemoryPolicy::AllExplicit);
+    let server_gain = (run(&server, MemoryPolicy::AllExplicit)
+        - run(&server, MemoryPolicy::AllManaged))
+        / run(&server, MemoryPolicy::AllExplicit);
+
+    assert!(jetson_gain > 0.02, "zero-copy must help the integrated SoC ({jetson_gain})");
+    assert!(
+        server_gain < jetson_gain,
+        "zero-copy must pay less on PCIe ({server_gain} vs {jetson_gain})"
+    );
+}

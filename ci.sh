@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repository CI gate. Run from the repo root:
+#   ./ci.sh
+#
+# 1. formatting        (cargo fmt --check)
+# 2. lints             (cargo clippy, warnings are errors)
+# 3. tier-1            (release build + root-package tests)
+# 4. full test suite   (every workspace crate)
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "CI OK"

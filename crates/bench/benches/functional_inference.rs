@@ -1,38 +1,32 @@
-//! Criterion benchmarks of the functional inference engine: reference
-//! single-threaded forward passes vs the tuned hybrid (multi-threaded
-//! partition + merge) execution, on the tiny model variants.
+//! Timing of the functional inference engine: reference single-threaded
+//! forward passes vs the tuned hybrid (multi-threaded partition + merge)
+//! execution, on the tiny model variants.
+//!
+//! Plain wall-clock harness (no external bench framework so the
+//! workspace builds offline). Run with `cargo bench -p edgenn-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgenn_bench::timing::time;
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::functional;
 use edgenn_sim::platforms;
 use edgenn_tensor::Tensor;
 
-fn bench_reference_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reference_forward");
+fn main() {
     for kind in ModelKind::ALL {
         let graph = build(kind, ModelScale::Tiny);
         let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| g.forward(black_box(&input)).unwrap());
+        time(&format!("reference_forward/{}", kind.name()), 20, || {
+            graph.forward(&input).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_hybrid_forward(c: &mut Criterion) {
     let jetson = platforms::jetson_agx_xavier();
-    let mut group = c.benchmark_group("hybrid_forward");
     for kind in [ModelKind::Fcnn, ModelKind::SqueezeNet, ModelKind::ResNet18] {
         let graph = build(kind, ModelScale::Tiny);
         let plan = EdgeNn::new(&jetson).plan(&graph).unwrap();
         let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| functional::execute(black_box(g), &plan, &input).unwrap());
+        time(&format!("hybrid_forward/{}", kind.name()), 20, || {
+            functional::execute(&graph, &plan, &input).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_reference_forward, bench_hybrid_forward);
-criterion_main!(benches);

@@ -1,53 +1,43 @@
-//! Criterion benchmarks of EdgeNN's planning machinery: profiling,
-//! plan construction (the DP + Eq. 4 evaluations), and one analytic
-//! simulation pass — the costs a deployment pays per tuning round.
+//! Timing of EdgeNN's planning machinery: profiling, plan construction
+//! (the DP + Eq. 4 evaluations), and one analytic simulation pass — the
+//! costs a deployment pays per tuning round.
+//!
+//! Plain wall-clock harness (no external bench framework so the
+//! workspace builds offline). Run with `cargo bench -p edgenn-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgenn_bench::timing::time;
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::Runtime;
 use edgenn_sim::platforms;
 
-fn bench_profile(c: &mut Criterion) {
+fn main() {
     let jetson = platforms::jetson_agx_xavier();
     let runtime = Runtime::new(&jetson);
-    let mut group = c.benchmark_group("tuner_profile");
+
     for kind in [ModelKind::LeNet, ModelKind::SqueezeNet, ModelKind::Vgg16] {
         let graph = build(kind, ModelScale::Paper);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| Tuner::new(black_box(g), &runtime).unwrap());
+        time(&format!("tuner_profile/{}", kind.name()), 20, || {
+            Tuner::new(&graph, &runtime).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_plan(c: &mut Criterion) {
-    let jetson = platforms::jetson_agx_xavier();
-    let runtime = Runtime::new(&jetson);
-    let mut group = c.benchmark_group("tuner_plan");
-    for kind in [ModelKind::AlexNet, ModelKind::SqueezeNet, ModelKind::ResNet18] {
+    for kind in [
+        ModelKind::AlexNet,
+        ModelKind::SqueezeNet,
+        ModelKind::ResNet18,
+    ] {
         let graph = build(kind, ModelScale::Paper);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| tuner.plan(black_box(g), &runtime, ExecutionConfig::edgenn()).unwrap());
+        time(&format!("tuner_plan/{}", kind.name()), 20, || {
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
+        });
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
+        time(&format!("simulate/{}", kind.name()), 20, || {
+            runtime.simulate(&graph, &plan).unwrap()
         });
     }
-    group.finish();
 }
-
-fn bench_simulate(c: &mut Criterion) {
-    let jetson = platforms::jetson_agx_xavier();
-    let runtime = Runtime::new(&jetson);
-    let mut group = c.benchmark_group("simulate");
-    for kind in [ModelKind::AlexNet, ModelKind::SqueezeNet] {
-        let graph = build(kind, ModelScale::Paper);
-        let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &graph, |b, g| {
-            b.iter(|| runtime.simulate(black_box(g), &plan).unwrap());
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_profile, bench_plan, bench_simulate);
-criterion_main!(benches);

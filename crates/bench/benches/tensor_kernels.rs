@@ -1,41 +1,27 @@
-//! Criterion microbenchmarks for the tensor substrate's hot kernels:
-//! GEMM (the conv lowering target), mat-vec (fc layers at batch 1), and
-//! im2col (the conv patch expansion).
+//! Microbenchmarks for the tensor substrate's hot kernels: GEMM (the
+//! conv lowering target), mat-vec (fc layers at batch 1), and im2col
+//! (the conv patch expansion).
+//!
+//! Plain wall-clock harness (no external bench framework so the
+//! workspace builds offline). Run with `cargo bench -p edgenn-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgenn_bench::timing::time;
 use edgenn_tensor::{gemm, im2col, matvec, Conv2dGeometry, Tensor};
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
+fn main() {
     for &n in &[32usize, 64, 128] {
         let a = Tensor::random(&[n, n], 1.0, 1);
         let b = Tensor::random(&[n, n], 1.0, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| gemm(black_box(&a), black_box(&b)).unwrap());
-        });
+        time(&format!("gemm/{n}"), 50, || gemm(&a, &b).unwrap());
     }
-    group.finish();
-}
 
-fn bench_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matvec");
     // LeNet fc1 (120x400) and an AlexNet-fc8-like slice (1000x4096).
     for &(m, k) in &[(120usize, 400usize), (1000, 4096)] {
         let a = Tensor::random(&[m, k], 1.0, 3);
         let x = Tensor::random(&[k], 1.0, 4);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{k}")),
-            &(m, k),
-            |bench, _| {
-                bench.iter(|| matvec(black_box(&a), black_box(&x)).unwrap());
-            },
-        );
+        time(&format!("matvec/{m}x{k}"), 50, || matvec(&a, &x).unwrap());
     }
-    group.finish();
-}
 
-fn bench_im2col(c: &mut Criterion) {
-    let mut group = c.benchmark_group("im2col");
     // LeNet conv2 geometry and a mid-size VGG-style geometry.
     let cases = [
         ("lenet_conv2", 6usize, 14usize, 5usize, 1usize, 0usize),
@@ -54,12 +40,8 @@ fn bench_im2col(c: &mut Criterion) {
             pad_h: p,
             pad_w: p,
         };
-        group.bench_function(name, |bench| {
-            bench.iter(|| im2col(black_box(&input), black_box(&geometry)).unwrap());
+        time(&format!("im2col/{name}"), 50, || {
+            im2col(&input, &geometry).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm, bench_matvec, bench_im2col);
-criterion_main!(benches);

@@ -2,6 +2,7 @@
 
 fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
-    let report = edgenn_bench::experiments::ablation_tuner_convergence(&lab).expect("ablation failed");
+    let report =
+        edgenn_bench::experiments::ablation_tuner_convergence(&lab).expect("ablation failed");
     print!("{}", report.render());
 }

@@ -7,7 +7,10 @@ fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
     let reports = lab.run_all().expect("experiments failed");
     if json {
-        println!("{}", serde_json::to_string_pretty(&reports).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("serialize")
+        );
     } else {
         println!("# EdgeNN reproduction — all paper experiments\n");
         for report in &reports {

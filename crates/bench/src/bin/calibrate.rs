@@ -24,8 +24,20 @@ fn main() {
     }
     let measured = measure(&platform).expect("measure");
     println!("\nfit quality (measured vs paper):");
-    println!("  fig6 jetson-cpu speedup : {:.2} vs {:.2}", measured.fig6, targets.fig6_jetson_cpu_speedup);
-    println!("  fig8 edgenn improvement : {:.1}% vs {:.1}%", measured.fig8_full, targets.fig8_edgenn_improvement);
-    println!("  fig8 memory improvement : {:.1}% vs {:.1}%", measured.fig8_memory, targets.fig8_memory_improvement);
-    println!("  fig9 copy proportion    : {:.1}% vs {:.1}%", measured.fig9, targets.fig9_integrated_copy);
+    println!(
+        "  fig6 jetson-cpu speedup : {:.2} vs {:.2}",
+        measured.fig6, targets.fig6_jetson_cpu_speedup
+    );
+    println!(
+        "  fig8 edgenn improvement : {:.1}% vs {:.1}%",
+        measured.fig8_full, targets.fig8_edgenn_improvement
+    );
+    println!(
+        "  fig8 memory improvement : {:.1}% vs {:.1}%",
+        measured.fig8_memory, targets.fig8_memory_improvement
+    );
+    println!(
+        "  fig9 copy proportion    : {:.1}% vs {:.1}%",
+        measured.fig9, targets.fig9_integrated_copy
+    );
 }

@@ -2,6 +2,7 @@
 
 fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
-    let report = edgenn_bench::experiments::fig10_alexnet_zerocopy_layers(&lab).expect("experiment failed");
+    let report =
+        edgenn_bench::experiments::fig10_alexnet_zerocopy_layers(&lab).expect("experiment failed");
     print!("{}", report.render());
 }

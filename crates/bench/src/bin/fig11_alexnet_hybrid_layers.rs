@@ -2,6 +2,7 @@
 
 fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
-    let report = edgenn_bench::experiments::fig11_alexnet_hybrid_layers(&lab).expect("experiment failed");
+    let report =
+        edgenn_bench::experiments::fig11_alexnet_hybrid_layers(&lab).expect("experiment failed");
     print!("{}", report.render());
 }

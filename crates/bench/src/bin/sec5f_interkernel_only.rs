@@ -2,6 +2,7 @@
 
 fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
-    let report = edgenn_bench::experiments::sec5f_interkernel_only(&lab).expect("experiment failed");
+    let report =
+        edgenn_bench::experiments::sec5f_interkernel_only(&lab).expect("experiment failed");
     print!("{}", report.render());
 }

@@ -2,6 +2,7 @@
 
 fn main() {
     let lab = edgenn_bench::experiments::Lab::new();
-    let report = edgenn_bench::experiments::sec6_platform_generality(&lab).expect("experiment failed");
+    let report =
+        edgenn_bench::experiments::sec6_platform_generality(&lab).expect("experiment failed");
     print!("{}", report.render());
 }

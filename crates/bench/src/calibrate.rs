@@ -27,8 +27,12 @@ pub enum Knob {
 
 impl Knob {
     /// All fitted knobs.
-    pub const ALL: [Knob; 4] =
-        [Knob::GpuConvEff, Knob::CpuConvEff, Knob::GpuFcBwEff, Knob::CopyBwGbps];
+    pub const ALL: [Knob; 4] = [
+        Knob::GpuConvEff,
+        Knob::CpuConvEff,
+        Knob::GpuFcBwEff,
+        Knob::CopyBwGbps,
+    ];
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -198,11 +202,7 @@ pub fn objective(measured: &Measured, targets: &Targets) -> f64 {
 ///
 /// # Errors
 /// Propagates simulation failures.
-pub fn descend(
-    platform: &Platform,
-    targets: &Targets,
-    factors: &[f64],
-) -> Result<(Platform, f64)> {
+pub fn descend(platform: &Platform, targets: &Targets, factors: &[f64]) -> Result<(Platform, f64)> {
     let mut best = platform.clone();
     let mut best_score = objective(&measure(&best)?, targets);
     for knob in Knob::ALL {
@@ -253,13 +253,19 @@ mod tests {
         );
         // The shipped fit must honor the hard shape constraints exactly.
         let measured = measure(&platform).unwrap();
-        assert!(measured.fig12_vgg_edge_ms > measured.fig12_vgg_cloud_ms, "VGG crossover");
+        assert!(
+            measured.fig12_vgg_edge_ms > measured.fig12_vgg_cloud_ms,
+            "VGG crossover"
+        );
         assert!(measured.tab1_alexnet_conv_gain < targets.tab1_alexnet_conv_cap);
 
         let (fitted, improved) = descend(&platform, &targets, &[0.7, 1.4]).unwrap();
         assert!(improved <= shipped + 1e-9, "descent must not regress");
         let remeasured = objective(&measure(&fitted).unwrap(), &targets);
-        assert!((remeasured - improved).abs() < 1e-9, "reported score must be real");
+        assert!(
+            (remeasured - improved).abs() < 1e-9,
+            "reported score must be real"
+        );
     }
 
     #[test]
@@ -275,10 +281,17 @@ mod tests {
             tab1_alexnet_conv_gain: 10.0,
         };
         assert!(objective(&m, &t) < 1e-12);
-        let off = Measured { fig6: t.fig6_jetson_cpu_speedup * 2.0, ..m };
+        let off = Measured {
+            fig6: t.fig6_jetson_cpu_speedup * 2.0,
+            ..m
+        };
         assert!(objective(&off, &t) > 0.1);
         // Breaking the crossover costs more than any smooth term.
-        let broken = Measured { fig12_vgg_edge_ms: 100.0, fig12_vgg_cloud_ms: 570.0, ..m };
+        let broken = Measured {
+            fig12_vgg_edge_ms: 100.0,
+            fig12_vgg_cloud_ms: 570.0,
+            ..m
+        };
         assert!(objective(&broken, &t) > objective(&off, &t));
     }
 }

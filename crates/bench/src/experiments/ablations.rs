@@ -22,9 +22,11 @@ pub fn ablation_memory_policy(lab: &Lab) -> Result<ExperimentReport> {
         let graph = lab.model(kind);
         let tuner = Tuner::new(&graph, &runtime)?;
         let mut times = Vec::new();
-        for policy in
-            [MemoryPolicy::AllExplicit, MemoryPolicy::AllManaged, MemoryPolicy::SemanticAware]
-        {
+        for policy in [
+            MemoryPolicy::AllExplicit,
+            MemoryPolicy::AllManaged,
+            MemoryPolicy::SemanticAware,
+        ] {
             let mut config = ExecutionConfig::edgenn();
             config.memory_policy = policy;
             let plan = tuner.plan(&graph, &runtime, config)?;
@@ -190,9 +192,16 @@ pub fn ablation_tuner_convergence(lab: &Lab) -> Result<ExperimentReport> {
     Ok(ExperimentReport {
         id: "Ablation D".to_string(),
         title: "adaptive tuner recovery from corrupted statistics (AlexNet)".to_string(),
-        columns: vec!["plan latency (us)".to_string(), "gap to clean plan (%)".to_string()],
+        columns: vec![
+            "plan latency (us)".to_string(),
+            "gap to clean plan (%)".to_string(),
+        ],
         rows,
-        comparisons: vec![Comparison::new("final gap to clean plan (%)", 0.0, final_gap)],
+        comparisons: vec![Comparison::new(
+            "final gap to clean plan (%)",
+            0.0,
+            final_gap,
+        )],
         notes: vec![
             "The EMA feedback loop (paper Section IV-D) re-converges to the clean plan \
              within a few observation rounds even after a 90%-noise measurement."
@@ -240,7 +249,10 @@ mod tests {
     fn closed_form_matches_sweep() {
         let lab = Lab::new();
         let report = ablation_popt_sweep(&lab).unwrap();
-        assert!(report.comparisons[0].measured > 50.0, "should check many layers");
+        assert!(
+            report.comparisons[0].measured > 50.0,
+            "should check many layers"
+        );
         assert!(
             report.comparisons[1].measured < 1e-4,
             "Eq. (4) must match the sweep, gap {}",

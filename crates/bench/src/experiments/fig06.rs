@@ -47,9 +47,21 @@ pub fn fig06_edge_cpu_speedups(lab: &Lab) -> Result<ExperimentReport> {
         ],
         rows,
         comparisons: vec![
-            Comparison::new("avg speedup vs Jetson CPU", 3.97, arithmetic_mean(&jetson_speedups)),
-            Comparison::new("avg speedup vs phone CPU", 3.12, arithmetic_mean(&phone_speedups)),
-            Comparison::new("avg speedup vs Raspberry Pi", 8.80, arithmetic_mean(&rpi_speedups)),
+            Comparison::new(
+                "avg speedup vs Jetson CPU",
+                3.97,
+                arithmetic_mean(&jetson_speedups),
+            ),
+            Comparison::new(
+                "avg speedup vs phone CPU",
+                3.12,
+                arithmetic_mean(&phone_speedups),
+            ),
+            Comparison::new(
+                "avg speedup vs Raspberry Pi",
+                8.80,
+                arithmetic_mean(&rpi_speedups),
+            ),
         ],
         notes: vec![
             "Shape targets: every speedup > 1; the phone CPU is the fastest edge CPU \
@@ -81,7 +93,10 @@ mod tests {
         // Ordering: phone < jetson-cpu < rpi on average.
         let avg = |i: usize| report.comparisons[i].measured;
         assert!(avg(1) < avg(0), "phone CPU should be the fastest edge CPU");
-        assert!(avg(2) > avg(0), "Raspberry Pi should be the slowest edge CPU");
+        assert!(
+            avg(2) > avg(0),
+            "Raspberry Pi should be the slowest edge CPU"
+        );
         // Factors within ~2.5x of the paper's averages.
         for c in &report.comparisons {
             let ratio = c.ratio().unwrap();

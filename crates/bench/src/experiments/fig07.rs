@@ -46,7 +46,10 @@ pub fn fig07_power_price_edge(lab: &Lab) -> Result<ExperimentReport> {
     Ok(ExperimentReport {
         id: "Figure 7".to_string(),
         title: "perf/power and perf/price vs the edge CPU (Raspberry Pi)".to_string(),
-        columns: vec!["perf/power ratio".to_string(), "perf/price ratio".to_string()],
+        columns: vec![
+            "perf/power ratio".to_string(),
+            "perf/price ratio".to_string(),
+        ],
         rows,
         comparisons: vec![
             Comparison::new(
@@ -59,7 +62,11 @@ pub fn fig07_power_price_edge(lab: &Lab) -> Result<ExperimentReport> {
                 0.94,
                 arithmetic_mean(&price_ratios),
             ),
-            Comparison::new("perf/price ratio (geomean)", 0.61, geometric_mean(&price_ratios)),
+            Comparison::new(
+                "perf/price ratio (geomean)",
+                0.61,
+                geometric_mean(&price_ratios),
+            ),
             Comparison::new(
                 "Jetson CPU utilization (avg)",
                 0.75,
@@ -90,9 +97,15 @@ mod tests {
         let report = fig07_power_price_edge(&lab).unwrap();
         let power_geo = report.comparisons[0].measured;
         let price_geo = report.comparisons[2].measured;
-        assert!(power_geo > 3.0, "EdgeNN must be much more energy-efficient, got {power_geo}");
+        assert!(
+            power_geo > 3.0,
+            "EdgeNN must be much more energy-efficient, got {power_geo}"
+        );
         // Paper's crossover: the edge CPU is more cost-effective overall.
-        assert!(price_geo < 2.0, "perf/price should stay near or below 1, got {price_geo}");
+        assert!(
+            price_geo < 2.0,
+            "perf/price should stay near or below 1, got {price_geo}"
+        );
         // Per-model power ratios all favor EdgeNN.
         for (model, values) in &report.rows {
             assert!(values[0] > 1.0, "{model}: power ratio {}", values[0]);

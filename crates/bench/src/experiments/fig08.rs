@@ -54,18 +54,46 @@ pub fn fig08_ablation(lab: &Lab) -> Result<ExperimentReport> {
         ],
         rows,
         comparisons: vec![
-            Comparison::new("memory mgmt avg improvement %", 9.93, arithmetic_mean(&mem_gains)),
-            Comparison::new("memory mgmt min (FCNN) %", 2.97, find(ModelKind::Fcnn, &mem_gains)),
-            Comparison::new("memory mgmt max (LeNet) %", 17.50, find(ModelKind::LeNet, &mem_gains)),
-            Comparison::new("hybrid avg improvement %", 10.76, arithmetic_mean(&hybrid_gains)),
+            Comparison::new(
+                "memory mgmt avg improvement %",
+                9.93,
+                arithmetic_mean(&mem_gains),
+            ),
+            Comparison::new(
+                "memory mgmt min (FCNN) %",
+                2.97,
+                find(ModelKind::Fcnn, &mem_gains),
+            ),
+            Comparison::new(
+                "memory mgmt max (LeNet) %",
+                17.50,
+                find(ModelKind::LeNet, &mem_gains),
+            ),
+            Comparison::new(
+                "hybrid avg improvement %",
+                10.76,
+                arithmetic_mean(&hybrid_gains),
+            ),
             Comparison::new(
                 "hybrid max (AlexNet) %",
                 19.53,
                 find(ModelKind::AlexNet, &hybrid_gains),
             ),
-            Comparison::new("EdgeNN avg improvement %", 22.02, arithmetic_mean(&full_gains)),
-            Comparison::new("EdgeNN min (VGG) %", 16.29, find(ModelKind::Vgg16, &full_gains)),
-            Comparison::new("EdgeNN max (AlexNet) %", 27.22, find(ModelKind::AlexNet, &full_gains)),
+            Comparison::new(
+                "EdgeNN avg improvement %",
+                22.02,
+                arithmetic_mean(&full_gains),
+            ),
+            Comparison::new(
+                "EdgeNN min (VGG) %",
+                16.29,
+                find(ModelKind::Vgg16, &full_gains),
+            ),
+            Comparison::new(
+                "EdgeNN max (AlexNet) %",
+                27.22,
+                find(ModelKind::AlexNet, &full_gains),
+            ),
         ],
         notes: vec![
             "Shape targets: every cell positive; EdgeNN >= each single design per model; \
@@ -96,6 +124,9 @@ mod tests {
         }
         // Averages in the paper's neighbourhood.
         let avg_full = report.comparisons[5].measured;
-        assert!((8.0..45.0).contains(&avg_full), "EdgeNN avg improvement {avg_full}%");
+        assert!(
+            (8.0..45.0).contains(&avg_full),
+            "EdgeNN avg improvement {avg_full}%"
+        );
     }
 }

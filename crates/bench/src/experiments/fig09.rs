@@ -34,7 +34,10 @@ pub fn fig09_copy_proportion(lab: &Lab) -> Result<ExperimentReport> {
     Ok(ExperimentReport {
         id: "Figure 9".to_string(),
         title: "copy-time proportion under explicit memory (%)".to_string(),
-        columns: vec!["integrated architecture".to_string(), "discrete architecture".to_string()],
+        columns: vec![
+            "integrated architecture".to_string(),
+            "discrete architecture".to_string(),
+        ],
         rows,
         comparisons: vec![
             Comparison::new("integrated avg %", 11.46, arithmetic_mean(&integrated)),
@@ -58,13 +61,19 @@ mod tests {
         let report = fig09_copy_proportion(&lab).unwrap();
         let int_avg = report.comparisons[0].measured;
         let dis_avg = report.comparisons[1].measured;
-        assert!(int_avg > 1.0, "integrated copies must be visible, got {int_avg}%");
+        assert!(
+            int_avg > 1.0,
+            "integrated copies must be visible, got {int_avg}%"
+        );
         assert!(
             dis_avg > int_avg,
             "discrete proportion ({dis_avg}%) must exceed integrated ({int_avg}%)"
         );
         for (model, values) in &report.rows {
-            assert!(values[1] > values[0] * 0.8, "{model}: discrete should not be far below");
+            assert!(
+                values[1] > values[0] * 0.8,
+                "{model}: discrete should not be far below"
+            );
         }
     }
 }

@@ -51,7 +51,10 @@ pub fn fig10_alexnet_zerocopy_layers(lab: &Lab) -> Result<ExperimentReport> {
     Ok(ExperimentReport {
         id: "Figure 10".to_string(),
         title: "AlexNet per-layer kernel time, without vs with zero-copy (us)".to_string(),
-        columns: vec!["without zero-copy".to_string(), "with zero-copy".to_string()],
+        columns: vec![
+            "without zero-copy".to_string(),
+            "with zero-copy".to_string(),
+        ],
         rows,
         comparisons: vec![
             Comparison::measured_only("pool layer slowdown factor (avg)", avg(&pool_slowdowns)),
@@ -90,6 +93,9 @@ mod tests {
             (0.98..1.05).contains(&conv_change),
             "conv layers should be nearly unchanged, got {conv_change}"
         );
-        assert!(total_ratio < 1.0, "zero-copy must win end to end, got {total_ratio}");
+        assert!(
+            total_ratio < 1.0,
+            "zero-copy must win end to end, got {total_ratio}"
+        );
     }
 }

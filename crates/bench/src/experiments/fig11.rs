@@ -44,16 +44,24 @@ pub fn fig11_alexnet_hybrid_layers(lab: &Lab) -> Result<ExperimentReport> {
     let tuner = Tuner::new(&graph, &runtime)?;
 
     // Without zero-copy: explicit baseline vs explicit hybrid.
-    let explicit_base =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu())?)?;
-    let explicit_hybrid =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::hybrid_only())?)?;
+    let explicit_base = runtime.simulate(
+        &graph,
+        &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu())?,
+    )?;
+    let explicit_hybrid = runtime.simulate(
+        &graph,
+        &tuner.plan(&graph, &runtime, ExecutionConfig::hybrid_only())?,
+    )?;
     // With zero-copy: memory-only vs full EdgeNN (isolates hybrid's gain
     // under the semantic-aware memory policy).
-    let zc_base =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?)?;
-    let zc_hybrid =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?)?;
+    let zc_base = runtime.simulate(
+        &graph,
+        &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?,
+    )?;
+    let zc_hybrid = runtime.simulate(
+        &graph,
+        &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?,
+    )?;
 
     let mut rows = Vec::new();
     for i in 0..explicit_base.layers.len() {
@@ -115,8 +123,14 @@ mod tests {
         let fc_no_zc = report.comparisons[0].measured;
         let fc_zc = report.comparisons[1].measured;
         let conv_zc = report.comparisons[2].measured;
-        assert!(fc_no_zc > 10.0, "fc layers must gain from hybrid execution, got {fc_no_zc}%");
-        assert!(fc_zc > 15.0, "fc layers must gain with zero-copy, got {fc_zc}%");
+        assert!(
+            fc_no_zc > 10.0,
+            "fc layers must gain from hybrid execution, got {fc_no_zc}%"
+        );
+        assert!(
+            fc_zc > 15.0,
+            "fc layers must gain with zero-copy, got {fc_zc}%"
+        );
         assert!(
             conv_zc.abs() < 25.0,
             "AlexNet convolution gains should stay modest, got {conv_zc}%"

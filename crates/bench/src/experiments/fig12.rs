@@ -33,7 +33,11 @@ pub fn fig12_cloud(lab: &Lab) -> Result<ExperimentReport> {
         }
         rows.push((
             kind.name().to_string(),
-            vec![edgenn.total_us / 1e3, cloud.compute_us / 1e3, cloud.total_us / 1e3],
+            vec![
+                edgenn.total_us / 1e3,
+                cloud.compute_us / 1e3,
+                cloud.total_us / 1e3,
+            ],
         ));
     }
 
@@ -92,8 +96,14 @@ mod tests {
                 edge_wins += 1;
             }
         }
-        assert!(edge_wins >= 4, "EdgeNN should win most networks, won {edge_wins}/6");
+        assert!(
+            edge_wins >= 4,
+            "EdgeNN should win most networks, won {edge_wins}/6"
+        );
         // The VGG crossover: cloud wins on the heaviest network.
-        assert_eq!(report.comparisons[1].measured, 1.0, "cloud should win on VGG");
+        assert_eq!(
+            report.comparisons[1].measured, 1.0,
+            "cloud should win on VGG"
+        );
     }
 }

@@ -34,12 +34,23 @@ pub fn fig13_power_price_discrete(lab: &Lab) -> Result<ExperimentReport> {
     Ok(ExperimentReport {
         id: "Figure 13".to_string(),
         title: "perf/power and perf/price of EdgeNN vs the discrete GPU".to_string(),
-        columns: vec!["perf/power ratio".to_string(), "perf/price ratio".to_string()],
+        columns: vec![
+            "perf/power ratio".to_string(),
+            "perf/price ratio".to_string(),
+        ],
         rows,
         comparisons: vec![
-            Comparison::new("perf/power ratio (avg)", 5.70, arithmetic_mean(&power_ratios)),
+            Comparison::new(
+                "perf/power ratio (avg)",
+                5.70,
+                arithmetic_mean(&power_ratios),
+            ),
             Comparison::measured_only("perf/power ratio (geomean)", geometric_mean(&power_ratios)),
-            Comparison::new("perf/price ratio (avg)", 1.25, arithmetic_mean(&price_ratios)),
+            Comparison::new(
+                "perf/price ratio (avg)",
+                1.25,
+                arithmetic_mean(&price_ratios),
+            ),
         ],
         notes: vec![
             "Shape targets: the 260 W discrete server computes faster but burns so much \
@@ -64,7 +75,10 @@ mod tests {
         let power = report.comparisons[0].measured;
         let price = report.comparisons[1].measured;
         assert!(power > 1.5, "edge must win per watt, got {power}");
-        assert!(price > 0.5, "edge should be at least price-competitive, got {price}");
+        assert!(
+            price > 0.5,
+            "edge should be at least price-competitive, got {price}"
+        );
         assert!(
             power > price,
             "the energy advantage ({power}) must exceed the price advantage ({price})"

@@ -85,7 +85,11 @@ mod tests {
             // Fusing changes the tuner's per-node cost profile, so plans
             // can shift by a fraction of a percent in either direction on
             // branch-heavy networks; beyond that, fusion must not hurt.
-            assert!(values[2] > -1.0, "{model}: fusion must not hurt ({}%)", values[2]);
+            assert!(
+                values[2] > -1.0,
+                "{model}: fusion must not hurt ({}%)",
+                values[2]
+            );
             assert!(values[3] > 0.0, "{model}: some ReLUs must fuse");
         }
         let lenet = report.comparisons[0].measured;

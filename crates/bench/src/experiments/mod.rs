@@ -19,8 +19,7 @@ mod sensitivity;
 mod tab1;
 
 pub use ablations::{
-    ablation_hybrid_modes, ablation_memory_policy, ablation_popt_sweep,
-    ablation_tuner_convergence,
+    ablation_hybrid_modes, ablation_memory_policy, ablation_popt_sweep, ablation_tuner_convergence,
 };
 pub use fig06::fig06_edge_cpu_speedups;
 pub use fig07::fig07_power_price_edge;

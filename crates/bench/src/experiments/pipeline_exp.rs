@@ -81,7 +81,10 @@ mod tests {
             assert!(values[2] >= 1.0, "{model}: cut must be interior");
             // Neither strategy should collapse versus the other.
             let ratio = values[1] / values[0];
-            assert!((0.2..5.0).contains(&ratio), "{model}: throughput ratio {ratio}");
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "{model}: throughput ratio {ratio}"
+            );
         }
     }
 }

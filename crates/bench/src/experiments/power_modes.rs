@@ -51,8 +51,7 @@ pub fn power_mode_sweep(_lab: &Lab) -> Result<ExperimentReport> {
 
     Ok(ExperimentReport {
         id: "Power modes".to_string(),
-        title: "EdgeNN across the Xavier's nvpmodel budgets (averages over 6 networks)"
-            .to_string(),
+        title: "EdgeNN across the Xavier's nvpmodel budgets (averages over 6 networks)".to_string(),
         columns: vec![
             "avg latency (ms)".to_string(),
             "avg energy (mJ)".to_string(),

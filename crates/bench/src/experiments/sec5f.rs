@@ -48,10 +48,17 @@ pub fn sec5f_interkernel_only(lab: &Lab) -> Result<ExperimentReport> {
         id: "Section V-F".to_string(),
         title: "inter-kernel-only co-running vs full EdgeNN (improvement %, same baseline)"
             .to_string(),
-        columns: vec!["inter-kernel only".to_string(), "EdgeNN (inter+intra)".to_string()],
+        columns: vec![
+            "inter-kernel only".to_string(),
+            "EdgeNN (inter+intra)".to_string(),
+        ],
         rows,
         comparisons: vec![
-            Comparison::new("SqueezeNet gain from inter-kernel only %", 8.27, squeezenet_gain),
+            Comparison::new(
+                "SqueezeNet gain from inter-kernel only %",
+                8.27,
+                squeezenet_gain,
+            ),
             Comparison::new("max gain on chain networks %", 0.0, max_chain_gain),
         ],
         notes: vec![
@@ -82,6 +89,9 @@ mod tests {
         // chain network (which should gain ~only the shared memory-policy
         // part, near the comparator's zero-copy benefit).
         let sq = report.comparisons[0].measured;
-        assert!(sq > 0.0, "SqueezeNet must gain from inter-kernel co-running, got {sq}%");
+        assert!(
+            sq > 0.0,
+            "SqueezeNet must gain from inter-kernel co-running, got {sq}%"
+        );
     }
 }

@@ -19,8 +19,11 @@ use crate::report::{Comparison, ExperimentReport};
 /// # Errors
 /// Propagates simulation failures.
 pub fn sec6_platform_generality(lab: &Lab) -> Result<ExperimentReport> {
-    let targets =
-        [lab.jetson.clone(), platforms::amd_embedded_apu(), platforms::apple_silicon_m1()];
+    let targets = [
+        lab.jetson.clone(),
+        platforms::amd_embedded_apu(),
+        platforms::apple_silicon_m1(),
+    ];
     let mut rows = Vec::new();
     let mut per_platform_avgs = Vec::new();
 
@@ -39,7 +42,10 @@ pub fn sec6_platform_generality(lab: &Lab) -> Result<ExperimentReport> {
         rows.push((platform.name.clone(), values));
     }
 
-    let mut columns: Vec<String> = ModelKind::ALL.iter().map(|k| k.name().to_string()).collect();
+    let mut columns: Vec<String> = ModelKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
     columns.push("avg".to_string());
 
     Ok(ExperimentReport {
@@ -74,7 +80,10 @@ mod tests {
             let avg = *values.last().unwrap();
             assert!(avg > 3.0, "{platform}: average improvement only {avg}%");
             for (model, gain) in ModelKind::ALL.iter().zip(values.iter()) {
-                assert!(*gain > -1.0, "{platform}/{model}: EdgeNN must not regress ({gain}%)");
+                assert!(
+                    *gain > -1.0,
+                    "{platform}/{model}: EdgeNN must not regress ({gain}%)"
+                );
             }
         }
     }

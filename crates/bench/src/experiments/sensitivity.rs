@@ -23,30 +23,48 @@ struct Variant {
 }
 
 fn variants(base: &Platform) -> Vec<Variant> {
-    let mut out = vec![Variant { label: "calibrated".to_string(), platform: base.clone() }];
+    let mut out = vec![Variant {
+        label: "calibrated".to_string(),
+        platform: base.clone(),
+    }];
     for factor in [0.5, 2.0] {
         let mut p = base.clone();
         p.memory.managed_bw_factor = (1.0 - (1.0 - p.memory.managed_bw_factor) * factor).max(0.3);
-        out.push(Variant { label: format!("zero-copy penalty x{factor}"), platform: p });
+        out.push(Variant {
+            label: format!("zero-copy penalty x{factor}"),
+            platform: p,
+        });
 
         let mut p = base.clone();
         p.memory.corun_contention_factor =
             (1.0 - (1.0 - p.memory.corun_contention_factor) * factor).clamp(0.3, 1.0);
-        out.push(Variant { label: format!("co-run contention x{factor}"), platform: p });
+        out.push(Variant {
+            label: format!("co-run contention x{factor}"),
+            platform: p,
+        });
 
         let mut p = base.clone();
         p.memory.copy_bw_gbps *= factor;
-        out.push(Variant { label: format!("copy bandwidth x{factor}"), platform: p });
+        out.push(Variant {
+            label: format!("copy bandwidth x{factor}"),
+            platform: p,
+        });
 
         let mut p = base.clone();
         if let Some(gpu) = p.gpu.as_mut() {
             gpu.efficiency.conv *= factor;
         }
-        out.push(Variant { label: format!("GPU conv efficiency x{factor}"), platform: p });
+        out.push(Variant {
+            label: format!("GPU conv efficiency x{factor}"),
+            platform: p,
+        });
 
         let mut p = base.clone();
         p.cpu.launch_overhead_us *= factor;
-        out.push(Variant { label: format!("CPU fork-join overhead x{factor}"), platform: p });
+        out.push(Variant {
+            label: format!("CPU fork-join overhead x{factor}"),
+            platform: p,
+        });
     }
     out
 }
@@ -73,13 +91,15 @@ pub fn sensitivity_sweep(lab: &Lab) -> Result<ExperimentReport> {
         let avg = arithmetic_mean(&gains);
         let holds = worst > -0.5;
         all_hold &= holds;
-        rows.push((variant.label, vec![avg, worst, if holds { 1.0 } else { 0.0 }]));
+        rows.push((
+            variant.label,
+            vec![avg, worst, if holds { 1.0 } else { 0.0 }],
+        ));
     }
 
     Ok(ExperimentReport {
         id: "Sensitivity".to_string(),
-        title: "robustness of 'EdgeNN beats the GPU baseline' to calibration constants"
-            .to_string(),
+        title: "robustness of 'EdgeNN beats the GPU baseline' to calibration constants".to_string(),
         columns: vec![
             "avg improvement %".to_string(),
             "worst-model improvement %".to_string(),
@@ -113,7 +133,11 @@ mod tests {
                 "claim broke under '{label}': worst-model improvement {}%",
                 values[1]
             );
-            assert!(values[0] > 3.0, "'{label}': average improvement collapsed to {}%", values[0]);
+            assert!(
+                values[0] > 3.0,
+                "'{label}': average improvement collapsed to {}%",
+                values[0]
+            );
         }
     }
 }

@@ -39,7 +39,11 @@ fn class_stats(
         }
     }
     if gains.is_empty() {
-        return ClassStats { min: 0.0, max: 0.0, avg: 0.0 };
+        return ClassStats {
+            min: 0.0,
+            max: 0.0,
+            avg: 0.0,
+        };
     }
     ClassStats {
         min: gains.iter().copied().fold(f64::INFINITY, f64::min),
@@ -55,7 +59,11 @@ fn class_stats(
 pub fn tab1_hybrid_layer_improvement(lab: &Lab) -> Result<ExperimentReport> {
     // (model, paper conv min/max/avg, paper fc min/max/avg)
     let cases = [
-        (ModelKind::LeNet, [4.95, 36.25, 20.60], [31.56, 41.24, 36.40]),
+        (
+            ModelKind::LeNet,
+            [4.95, 36.25, 20.60],
+            [31.56, 41.24, 36.40],
+        ),
         (ModelKind::AlexNet, [0.0, 0.0, 0.0], [48.43, 58.32, 53.81]),
         (ModelKind::Vgg16, [0.0, 19.15, 4.12], [16.07, 43.09, 31.43]),
     ];
@@ -67,10 +75,14 @@ pub fn tab1_hybrid_layer_improvement(lab: &Lab) -> Result<ExperimentReport> {
         let graph = lab.model(kind);
         let tuner = Tuner::new(&graph, &runtime)?;
         // Isolate hybrid execution under zero-copy: memory-only vs EdgeNN.
-        let base = runtime
-            .simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?)?;
-        let hybrid =
-            runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?)?;
+        let base = runtime.simulate(
+            &graph,
+            &tuner.plan(&graph, &runtime, ExecutionConfig::memory_only())?,
+        )?;
+        let hybrid = runtime.simulate(
+            &graph,
+            &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?,
+        )?;
         let conv = class_stats(&base, &hybrid, "conv");
         let fc = class_stats(&base, &hybrid, "fc");
         rows.push((
@@ -83,7 +95,11 @@ pub fn tab1_hybrid_layer_improvement(lab: &Lab) -> Result<ExperimentReport> {
             paper_conv[2],
             conv.avg,
         ));
-        comparisons.push(Comparison::new(format!("{} fc avg %", kind.name()), paper_fc[2], fc.avg));
+        comparisons.push(Comparison::new(
+            format!("{} fc avg %", kind.name()),
+            paper_fc[2],
+            fc.avg,
+        ));
         comparisons.push(Comparison::new(
             format!("{} fc max %", kind.name()),
             paper_fc[1],
@@ -134,7 +150,11 @@ mod tests {
         // AlexNet's big convolutions gain far less than its fc layers
         // (the paper reports exactly 0; see EXPERIMENTS.md for why our
         // model retains a modest gain).
-        assert!(alexnet_conv[2] < 25.0, "AlexNet conv avg {}", alexnet_conv[2]);
+        assert!(
+            alexnet_conv[2] < 25.0,
+            "AlexNet conv avg {}",
+            alexnet_conv[2]
+        );
         assert!(
             alexnet_fc[2] > 1.5 * alexnet_conv[2],
             "fc gains ({}) must dwarf conv gains ({})",

@@ -22,5 +22,6 @@
 pub mod calibrate;
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use report::{Comparison, ExperimentReport};

@@ -17,12 +17,20 @@ pub struct Comparison {
 impl Comparison {
     /// Creates a comparison against a paper-reported number.
     pub fn new(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
-        Self { metric: metric.into(), paper: Some(paper), measured }
+        Self {
+            metric: metric.into(),
+            paper: Some(paper),
+            measured,
+        }
     }
 
     /// Creates a measured-only entry (the paper reports no number).
     pub fn measured_only(metric: impl Into<String>, measured: f64) -> Self {
-        Self { metric: metric.into(), paper: None, measured }
+        Self {
+            metric: metric.into(),
+            paper: None,
+            measured,
+        }
     }
 
     /// Ratio measured/paper (`None` without a paper value or with paper 0).
@@ -83,8 +91,10 @@ impl ExperimentReport {
             out.push_str("| metric | paper | measured | measured/paper |\n|---|---|---|---|\n");
             for c in &self.comparisons {
                 let paper = c.paper.map(fmt_value).unwrap_or_else(|| "—".to_string());
-                let ratio =
-                    c.ratio().map(|r| format!("{r:.2}x")).unwrap_or_else(|| "—".to_string());
+                let ratio = c
+                    .ratio()
+                    .map(|r| format!("{r:.2}x"))
+                    .unwrap_or_else(|| "—".to_string());
                 out.push_str(&format!(
                     "| {} | {} | {} | {} |\n",
                     c.metric,

@@ -1,0 +1,32 @@
+//! Tiny wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the bench targets use this instead of
+//! an external framework: one warmup call, then the mean over a fixed
+//! iteration count, printed as `label  mean us/iter`.
+
+use std::time::Instant;
+
+/// Times `f` and prints `label` with the mean per-iteration cost.
+/// Returns the mean in microseconds so callers can assert on it.
+pub fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean_us = start.elapsed().as_secs_f64() / f64::from(iters) * 1e6;
+    println!("{label:<48} {mean_us:>12.1} us/iter");
+    mean_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_a_positive_mean() {
+        let mean = time("noop", 10, || std::hint::black_box(1 + 1));
+        assert!(mean >= 0.0);
+    }
+}

@@ -69,7 +69,9 @@ pub fn parse_model(name: &str) -> Result<ModelKind, String> {
 /// Resolves a `--platform` name.
 pub fn parse_platform(name: &str) -> Result<Platform, String> {
     match name.to_ascii_lowercase().as_str() {
-        "jetson" | "xavier" | "jetson-agx-xavier" => Ok(platforms::jetson_agx_xavier()),
+        "jetson" | "xavier" | "jetson-xavier" | "jetson-agx-xavier" | "agx-xavier" => {
+            Ok(platforms::jetson_agx_xavier())
+        }
         "rpi" | "raspberry-pi" | "raspberrypi" => Ok(platforms::raspberry_pi_4()),
         "phone" | "dimensity" | "dimensity-8100" => Ok(platforms::dimensity_8100()),
         "server" | "2080ti" | "rtx-2080ti" => Ok(platforms::rtx_2080ti_server()),
@@ -108,7 +110,9 @@ mod tests {
 
     #[test]
     fn parses_positionals_and_flags() {
-        let o = opts(&["simulate", "--model", "alexnet", "--json", "--trace", "t.json"]);
+        let o = opts(&[
+            "simulate", "--model", "alexnet", "--json", "--trace", "t.json",
+        ]);
         assert_eq!(o.positional(0), Some("simulate"));
         assert_eq!(o.value("model"), Some("alexnet"));
         assert!(o.has("json"));
@@ -133,6 +137,10 @@ mod tests {
     #[test]
     fn platform_names_resolve() {
         assert!(parse_platform("jetson").unwrap().is_integrated());
+        assert_eq!(
+            parse_platform("jetson-xavier").unwrap().name,
+            parse_platform("jetson").unwrap().name
+        );
         assert!(!parse_platform("rpi").unwrap().has_gpu());
         assert!(parse_platform("apple").unwrap().is_integrated());
         assert!(parse_platform("gameboy").is_err());
@@ -141,9 +149,18 @@ mod tests {
     #[test]
     fn config_names_resolve() {
         use edgenn_core::plan::{HybridMode, TuneObjective};
-        assert_eq!(parse_config("edgenn").unwrap().hybrid, HybridMode::InterAndIntra);
-        assert_eq!(parse_config("baseline").unwrap().hybrid, HybridMode::GpuOnly);
-        assert_eq!(parse_config("energy").unwrap().objective, TuneObjective::Energy);
+        assert_eq!(
+            parse_config("edgenn").unwrap().hybrid,
+            HybridMode::InterAndIntra
+        );
+        assert_eq!(
+            parse_config("baseline").unwrap().hybrid,
+            HybridMode::GpuOnly
+        );
+        assert_eq!(
+            parse_config("energy").unwrap().objective,
+            TuneObjective::Energy
+        );
         assert!(parse_config("warp-speed").is_err());
     }
 }

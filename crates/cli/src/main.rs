@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! edgenn simulate --model alexnet --platform jetson [--config edgenn]
-//!                 [--scale paper|tiny] [--json] [--layers] [--trace FILE]
+//!                 [--scale paper|tiny] [--json] [--layers]
+//!                 [--trace-out FILE] [--metrics-out FILE]
+//! edgenn explain  --model alexnet --platform jetson [--config edgenn]
 //! edgenn plan     --model alexnet --platform jetson [--config edgenn]
 //! edgenn compare  --model alexnet --platform jetson
+//!                 [--trace-out FILE] [--metrics-out FILE]
 //! edgenn models
 //! edgenn platforms
 //! ```
@@ -12,33 +15,44 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{parse_config, parse_model, parse_platform, Options};
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::Runtime;
 use edgenn_nn::models::{build, ModelScale};
-use edgenn_sim::trace::to_chrome_trace;
+use edgenn_obs::{Labels, Recorder};
+use edgenn_sim::trace::to_chrome_trace_with_counters;
+use edgenn_sim::Platform;
 
 const USAGE: &str = "\
 edgenn — EdgeNN (ICDE 2023) reproduction CLI
 
 USAGE:
     edgenn simulate  --model M --platform P [--config C] [--scale paper|tiny]
-                     [--json] [--layers] [--trace FILE]
+                     [--json] [--layers] [--trace-out FILE] [--metrics-out FILE]
+    edgenn explain   --model M --platform P [--config C] [--json]
     edgenn plan      --model M --platform P [--config C] [--explain]
-    edgenn compare   --model M --platform P
+    edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
     edgenn inspect   --model M [--scale paper|tiny]
     edgenn models
     edgenn platforms
 
 MODELS:     fcnn lenet alexnet vgg squeezenet resnet
-PLATFORMS:  jetson rpi phone server apu apple
-CONFIGS:    edgenn baseline cpu-only memory-only hybrid-only inter-only energy";
+PLATFORMS:  jetson (jetson-xavier) rpi phone server apu apple
+CONFIGS:    edgenn baseline cpu-only memory-only hybrid-only inter-only energy
+
+OBSERVABILITY:
+    --trace-out FILE    Perfetto/chrome://tracing trace with counter tracks
+                        (bandwidth, outstanding managed pages, EMA evolution)
+    --metrics-out FILE  JSON metrics snapshot (counters, gauges, p50/p95/p99
+                        latency histograms from a serving run)";
 
 fn main() -> ExitCode {
     let options = Options::parse(std::env::args().skip(1));
     let result = match options.positional(0) {
         Some("simulate") => cmd_simulate(&options),
+        Some("explain") => cmd_explain(&options),
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
         Some("inspect") => cmd_inspect(&options),
@@ -53,6 +67,89 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Output sinks requested on the command line (`--trace-out` /
+/// `--metrics-out`; `--trace` is kept as an alias of `--trace-out`).
+struct ObsOutputs<'o> {
+    trace_out: Option<&'o str>,
+    metrics_out: Option<&'o str>,
+    recorder: Option<Recorder>,
+}
+
+impl<'o> ObsOutputs<'o> {
+    fn from_options(
+        options: &'o Options,
+        graph_name: &str,
+        platform: &Platform,
+    ) -> Result<Self, String> {
+        for key in ["trace-out", "trace", "metrics-out"] {
+            if options.has(key) && options.value(key).is_none() {
+                return Err(format!("--{key} requires a file path"));
+            }
+        }
+        let trace_out = options
+            .value("trace-out")
+            .or_else(|| options.value("trace"));
+        let metrics_out = options.value("metrics-out");
+        let recorder = (trace_out.is_some() || metrics_out.is_some()).then(|| {
+            Recorder::with_labels(
+                Labels::new()
+                    .with("model", graph_name)
+                    .with("platform", &platform.name)
+                    .with("policy", options.value("config").unwrap_or("edgenn")),
+            )
+        });
+        Ok(Self {
+            trace_out,
+            metrics_out,
+            recorder,
+        })
+    }
+
+    fn wanted(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    fn runtime<'a>(&self, platform: &'a Platform) -> Runtime<'a> {
+        match &self.recorder {
+            Some(rec) => Runtime::with_observer(platform, Arc::new(rec.clone())),
+            None => Runtime::new(platform),
+        }
+    }
+
+    fn write_trace(&self, events: &[edgenn_sim::TraceEvent]) -> Result<(), String> {
+        let Some(path) = self.trace_out else {
+            return Ok(());
+        };
+        let extra = self
+            .recorder
+            .as_ref()
+            .map(|r| r.counter_samples())
+            .unwrap_or_default();
+        std::fs::write(path, to_chrome_trace_with_counters(events, &extra))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
+        Ok(())
+    }
+
+    fn write_metrics(&self) -> Result<(), String> {
+        let Some(path) = self.metrics_out else {
+            return Ok(());
+        };
+        let rec = self
+            .recorder
+            .as_ref()
+            .expect("metrics-out implies a recorder");
+        let json =
+            serde_json::to_string_pretty(&rec.metrics().to_json()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        for warning in rec.warnings() {
+            eprintln!("warning: {warning}");
+        }
+        eprintln!("metrics snapshot written to {path}");
+        Ok(())
     }
 }
 
@@ -71,26 +168,54 @@ fn cmd_simulate(options: &Options) -> Result<(), String> {
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
 
-    let runtime = Runtime::new(&platform);
-    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
-    let plan = tuner.plan(&graph, &runtime, config).map_err(|e| e.to_string())?;
-    let report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+    let obs = ObsOutputs::from_options(options, graph.name(), &platform)?;
+    let runtime = obs.runtime(&platform);
+    let mut tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = if obs.wanted() {
+        // Run the adaptive loop so the EMA counter tracks and the plan
+        // regeneration markers appear in the exported trace.
+        let (plan, _) = tuner
+            .adapt(&graph, &runtime, config, 3, 0.05)
+            .map_err(|e| e.to_string())?;
+        plan
+    } else {
+        tuner
+            .plan(&graph, &runtime, config)
+            .map_err(|e| e.to_string())?
+    };
+    let decisions = tuner
+        .explain(&graph, &runtime, &plan)
+        .map_err(|e| e.to_string())?;
+    let report = runtime
+        .simulate(&graph, &plan)
+        .map_err(|e| e.to_string())?
+        .with_decisions(decisions);
 
-    if let Some(path) = options.value("trace") {
-        std::fs::write(path, to_chrome_trace(&report.events))
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("chrome trace written to {path} (load in chrome://tracing)");
+    obs.write_trace(&report.events)?;
+    if obs.metrics_out.is_some() {
+        // A short serving run feeds the request-latency histogram so the
+        // snapshot carries meaningful p50/p95/p99.
+        runtime
+            .simulate_stream(&graph, &plan, 32)
+            .map_err(|e| e.to_string())?;
     }
+    obs.write_metrics()?;
 
     if options.has("json") {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
         return Ok(());
     }
 
     println!("{} on {}", report.model, report.platform);
     println!("  latency      : {:.3} ms", report.total_us / 1e3);
     println!("  avg power    : {:.2} W", report.energy.avg_power_w);
-    println!("  energy       : {:.3} mJ/inference", report.energy.energy_mj);
+    println!(
+        "  energy       : {:.3} mJ/inference",
+        report.energy.energy_mj
+    );
     println!(
         "  utilization  : CPU {:.0}% / GPU {:.0}%",
         report.energy.cpu_utilization * 100.0,
@@ -118,7 +243,10 @@ fn cmd_simulate(options: &Options) -> Result<(), String> {
         footprint.peak_activation_bytes as f64 / (1 << 20) as f64
     );
     if options.has("layers") {
-        println!("\n  {:<22} {:>12} {:>10} {:>10}  assignment", "layer", "start us", "kernel", "memory");
+        println!(
+            "\n  {:<22} {:>12} {:>10} {:>10}  assignment",
+            "layer", "start us", "kernel", "memory"
+        );
         for layer in &report.layers {
             println!(
                 "  {:<22} {:>12.1} {:>10.1} {:>10.1}  {:?}",
@@ -129,35 +257,127 @@ fn cmd_simulate(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Compact rendering of an assignment for the decision tables.
+fn assignment_cell(assignment: &edgenn_core::plan::Assignment) -> String {
+    use edgenn_core::plan::Assignment;
+    match assignment {
+        Assignment::Cpu => "cpu".to_string(),
+        Assignment::Gpu => "gpu".to_string(),
+        Assignment::Split { cpu_fraction } => {
+            format!("split {:.0}%c", cpu_fraction * 100.0)
+        }
+        Assignment::SplitInput { cpu_fraction } => {
+            format!("split-in {:.0}%c", cpu_fraction * 100.0)
+        }
+    }
+}
+
+fn cmd_explain(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = tuner
+        .plan(&graph, &runtime, config)
+        .map_err(|e| e.to_string())?;
+    let report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+    let rows = tuner
+        .explain(&graph, &runtime, &plan)
+        .map_err(|e| e.to_string())?;
+
+    if options.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    // Simulated per-layer wall time, keyed by node id.
+    let mut simulated = vec![f64::NAN; graph.len()];
+    for layer in &report.layers {
+        simulated[layer.node] = layer.total_us();
+    }
+
+    println!(
+        "{} on {} — per-layer tuner decisions",
+        graph.name(),
+        platform.name
+    );
+    println!(
+        "{:<22} {:<6} {:<13} {:>11} {:>11} {:<9}  rationale",
+        "layer", "class", "assignment", "predicted", "simulated", "memory"
+    );
+    for row in &rows {
+        let sim = simulated
+            .get(row.node)
+            .copied()
+            .filter(|t| t.is_finite())
+            .map_or_else(|| "—".to_string(), |t| format!("{t:.1}"));
+        println!(
+            "{:<22} {:<6} {:<13} {:>11.1} {:>11} {:<9}  {}",
+            row.name,
+            row.class,
+            assignment_cell(&row.assignment),
+            row.predicted_us,
+            sim,
+            row.output_alloc.to_string(),
+            row.rationale
+        );
+    }
+    println!(
+        "\ntotal: predicted {:.1} us over {} layers, simulated end-to-end {:.1} us",
+        rows.iter().map(|r| r.predicted_us).sum::<f64>(),
+        rows.len(),
+        report.total_us
+    );
+    Ok(())
+}
+
 fn cmd_plan(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
     let runtime = Runtime::new(&platform);
     let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
-    let plan = tuner.plan(&graph, &runtime, config).map_err(|e| e.to_string())?;
+    let plan = tuner
+        .plan(&graph, &runtime, config)
+        .map_err(|e| e.to_string())?;
     if options.has("explain") {
-        let rows = tuner.explain(&graph, &plan).map_err(|e| e.to_string())?;
+        let rows = tuner
+            .explain(&graph, &runtime, &plan)
+            .map_err(|e| e.to_string())?;
         println!(
             "{:<24} {:<8} {:>12} {:>12}  decision",
             "layer", "class", "t_cpu us", "t_gpu us"
         );
         for row in rows {
             println!(
-                "{:<24} {:<8} {:>12.1} {:>12.1}  {:?} / {}",
-                row.name, row.class, row.t_cpu_us, row.t_gpu_us, row.assignment, row.output_alloc
+                "{:<24} {:<8} {:>12.1} {:>12.1}  {} / {}",
+                row.name,
+                row.class,
+                row.t_cpu_us,
+                row.t_gpu_us,
+                assignment_cell(&row.assignment),
+                row.output_alloc
             );
         }
         return Ok(());
     }
-    println!("{}", serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
 fn cmd_compare(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let runtime = Runtime::new(&platform);
+    let obs = ObsOutputs::from_options(options, graph.name(), &platform)?;
+    let runtime = obs.runtime(&platform);
     let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
 
     let configs: &[(&str, ExecutionConfig)] = &[
@@ -166,25 +386,42 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
         ("hybrid-only (explicit)", ExecutionConfig::hybrid_only()),
         ("inter-kernel only", ExecutionConfig::inter_kernel_only()),
         ("edgenn", ExecutionConfig::edgenn()),
-        ("edgenn (energy-aware)", ExecutionConfig::edgenn_energy_aware()),
+        (
+            "edgenn (energy-aware)",
+            ExecutionConfig::edgenn_energy_aware(),
+        ),
         ("cpu-only", ExecutionConfig::cpu_only()),
     ];
 
     println!("{} on {}", graph.name(), platform.name);
-    println!("{:<26} {:>12} {:>10} {:>12}", "config", "latency ms", "power W", "energy mJ");
+    println!(
+        "{:<26} {:>12} {:>10} {:>12}",
+        "config", "latency ms", "power W", "energy mJ"
+    );
     let mut baseline_us = None;
+    let mut traced_events: Option<Vec<edgenn_sim::TraceEvent>> = None;
     for (name, config) in configs {
         if !platform.has_gpu() && *name != "cpu-only" {
             continue;
         }
-        let plan = tuner.plan(&graph, &runtime, *config).map_err(|e| e.to_string())?;
+        let plan = tuner
+            .plan(&graph, &runtime, *config)
+            .map_err(|e| e.to_string())?;
         let report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+        // Trace the headline edgenn run (or the first run when edgenn
+        // never executes, e.g. on CPU-only platforms).
+        if traced_events.is_none() || *name == "edgenn" {
+            traced_events = Some(report.events.clone());
+        }
         let delta = match baseline_us {
             None => {
                 baseline_us = Some(report.total_us);
                 String::new()
             }
-            Some(base) => format!("  ({:+.1}% vs baseline)", (report.total_us - base) / base * 100.0),
+            Some(base) => format!(
+                "  ({:+.1}% vs baseline)",
+                (report.total_us - base) / base * 100.0
+            ),
         };
         println!(
             "{:<26} {:>12.3} {:>10.2} {:>12.3}{delta}",
@@ -194,6 +431,10 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
             report.energy.energy_mj
         );
     }
+    if let Some(events) = &traced_events {
+        obs.write_trace(events)?;
+    }
+    obs.write_metrics()?;
     Ok(())
 }
 
@@ -202,17 +443,25 @@ fn cmd_inspect(options: &Options) -> Result<(), String> {
     print!("{}", graph.summary());
     let structure = graph.structure().map_err(|e| e.to_string())?;
     if structure.is_pure_chain() {
-        println!("
-structure: pure chain");
+        println!(
+            "
+structure: pure chain"
+        );
     } else {
-        println!("
-structure: {} fork-join region(s)", structure.parallel_segment_count());
+        println!(
+            "
+structure: {} fork-join region(s)",
+            structure.parallel_segment_count()
+        );
     }
     Ok(())
 }
 
 fn cmd_models() -> Result<(), String> {
-    println!("{:<12} {:>10} {:>12} {:>8}  structure", "model", "layers", "GFLOPs", "params");
+    println!(
+        "{:<12} {:>10} {:>12} {:>8}  structure",
+        "model", "layers", "GFLOPs", "params"
+    );
     for kind in ModelKind::ALL {
         let graph = build(kind, ModelScale::Paper);
         let structure = graph.structure().map_err(|e| e.to_string())?;
@@ -241,9 +490,16 @@ fn cmd_platforms() -> Result<(), String> {
         edgenn_sim::platforms::amd_embedded_apu(),
         edgenn_sim::platforms::apple_silicon_m1(),
     ];
-    println!("{:<22} {:>12} {:>12} {:>8} {:>10}  kind", "platform", "cpu GFLOPS", "gpu GFLOPS", "price", "max W");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>10}  kind",
+        "platform", "cpu GFLOPS", "gpu GFLOPS", "price", "max W"
+    );
     for p in platforms {
-        let gpu = p.gpu.as_ref().map(|g| format!("{:.0}", g.peak_gflops)).unwrap_or_else(|| "—".into());
+        let gpu = p
+            .gpu
+            .as_ref()
+            .map(|g| format!("{:.0}", g.peak_gflops))
+            .unwrap_or_else(|| "—".into());
         let kind = if p.is_integrated() {
             "integrated"
         } else if p.has_gpu() {

@@ -17,7 +17,10 @@ fn models_lists_all_six_benchmarks() {
     for name in ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"] {
         assert!(text.contains(name), "missing {name}:\n{text}");
     }
-    assert!(text.contains("fork-join"), "SqueezeNet/ResNet structure shown");
+    assert!(
+        text.contains("fork-join"),
+        "SqueezeNet/ResNet structure shown"
+    );
 }
 
 #[test]
@@ -33,8 +36,19 @@ fn platforms_lists_integrated_and_discrete() {
 
 #[test]
 fn simulate_json_is_machine_readable() {
-    let out = edgenn(&["simulate", "--model", "lenet", "--platform", "jetson", "--json"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = edgenn(&[
+        "simulate",
+        "--model",
+        "lenet",
+        "--platform",
+        "jetson",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
     assert!(report["total_us"].as_f64().unwrap() > 0.0);
     assert_eq!(report["model"], "LeNet");
@@ -43,7 +57,14 @@ fn simulate_json_is_machine_readable() {
 
 #[test]
 fn simulate_human_output_has_breakdown_and_layers() {
-    let out = edgenn(&["simulate", "--model", "alexnet", "--platform", "jetson", "--layers"]);
+    let out = edgenn(&[
+        "simulate",
+        "--model",
+        "alexnet",
+        "--platform",
+        "jetson",
+        "--layers",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("latency"));
@@ -57,7 +78,10 @@ fn plan_dump_parses_and_validates() {
     let out = edgenn(&["plan", "--model", "squeezenet", "--platform", "jetson"]);
     assert!(out.status.success());
     let plan: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
-    assert!(plan["nodes"].as_array().unwrap().len() > 60, "SqueezeNet has > 60 nodes");
+    assert!(
+        plan["nodes"].as_array().unwrap().len() > 60,
+        "SqueezeNet has > 60 nodes"
+    );
 }
 
 #[test]
@@ -85,7 +109,13 @@ fn compare_reports_all_configs() {
     let out = edgenn(&["compare", "--model", "fcnn", "--platform", "jetson"]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for config in ["baseline", "memory-only", "hybrid-only", "edgenn", "cpu-only"] {
+    for config in [
+        "baseline",
+        "memory-only",
+        "hybrid-only",
+        "edgenn",
+        "cpu-only",
+    ] {
         assert!(text.contains(config), "missing {config}:\n{text}");
     }
 }
@@ -96,16 +126,36 @@ fn cpu_only_platform_skips_gpu_configs() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("cpu-only"));
-    assert!(!text.contains("edgenn (energy-aware)"), "no GPU configs on the RPi");
+    assert!(
+        !text.contains("edgenn (energy-aware)"),
+        "no GPU configs on the RPi"
+    );
 }
 
 #[test]
 fn bad_inputs_fail_with_useful_messages() {
     let cases: &[(&[&str], &str)] = &[
         (&["simulate", "--platform", "jetson"], "--model is required"),
-        (&["simulate", "--model", "bert", "--platform", "jetson"], "unknown model"),
-        (&["simulate", "--model", "lenet", "--platform", "ps5"], "unknown platform"),
-        (&["simulate", "--model", "lenet", "--platform", "jetson", "--config", "x"], "unknown config"),
+        (
+            &["simulate", "--model", "bert", "--platform", "jetson"],
+            "unknown model",
+        ),
+        (
+            &["simulate", "--model", "lenet", "--platform", "ps5"],
+            "unknown platform",
+        ),
+        (
+            &[
+                "simulate",
+                "--model",
+                "lenet",
+                "--platform",
+                "jetson",
+                "--config",
+                "x",
+            ],
+            "unknown config",
+        ),
         (&["frobnicate"], "unknown command"),
         (&[], "USAGE"),
     ];
@@ -113,7 +163,10 @@ fn bad_inputs_fail_with_useful_messages() {
         let out = edgenn(args);
         assert!(!out.status.success(), "{args:?} should fail");
         let text = String::from_utf8(out.stderr).unwrap();
-        assert!(text.contains(needle), "{args:?}: expected '{needle}' in:\n{text}");
+        assert!(
+            text.contains(needle),
+            "{args:?}: expected '{needle}' in:\n{text}"
+        );
     }
 }
 
@@ -132,8 +185,20 @@ fn inspect_prints_per_layer_table() {
 
 #[test]
 fn tiny_scale_simulates_quickly() {
-    let out = edgenn(&["simulate", "--model", "resnet", "--platform", "apple", "--scale", "tiny"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = edgenn(&[
+        "simulate",
+        "--model",
+        "resnet",
+        "--platform",
+        "apple",
+        "--scale",
+        "tiny",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Apple Silicon"));
 }

@@ -96,8 +96,12 @@ pub fn optimal_assignment(
 
     for (i, cpu_branch) in branches.iter().enumerate() {
         // Branch i on CPU; all others sequentially on the GPU.
-        let t_gpu_side: f64 =
-            branches.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, b)| b.t_gpu_us).sum();
+        let t_gpu_side: f64 = branches
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, b)| b.t_gpu_us)
+            .sum();
         let merge_us = if copy_rate_gbps > 0.0 {
             merge_fixed_us + cpu_branch.output_bytes as f64 / (copy_rate_gbps * 1e3)
         } else {
@@ -120,7 +124,11 @@ mod tests {
     use super::*;
 
     fn branch(t_cpu: f64, t_gpu: f64, bytes: u64) -> BranchCost {
-        BranchCost { t_cpu_us: t_cpu, t_gpu_us: t_gpu, output_bytes: bytes }
+        BranchCost {
+            t_cpu_us: t_cpu,
+            t_gpu_us: t_gpu,
+            output_bytes: bytes,
+        }
     }
 
     #[test]
@@ -147,7 +155,10 @@ mod tests {
     #[test]
     fn huge_merge_volume_keeps_everything_on_gpu() {
         // 1 GB branch output at 10 GB/s = 100 ms of merge: never worth it.
-        let branches = [branch(120.0, 100.0, 1_000_000_000), branch(120.0, 100.0, 1_000_000_000)];
+        let branches = [
+            branch(120.0, 100.0, 1_000_000_000),
+            branch(120.0, 100.0, 1_000_000_000),
+        ];
         let d = optimal_assignment(&branches, 10.0, 0.0, 5.0);
         assert_eq!(d.assignment, BranchAssignment::AllGpu);
     }
@@ -188,8 +199,11 @@ mod tests {
 
     #[test]
     fn three_branch_regions_are_supported() {
-        let branches =
-            [branch(100.0, 90.0, 1000), branch(100.0, 90.0, 1000), branch(100.0, 90.0, 1000)];
+        let branches = [
+            branch(100.0, 90.0, 1000),
+            branch(100.0, 90.0, 1000),
+            branch(100.0, 90.0, 1000),
+        ];
         let d = optimal_assignment(&branches, 10.0, 0.0, 0.0);
         // Best split: one branch on CPU (100) vs two on GPU (180) -> 180.1.
         assert!(matches!(d.assignment, BranchAssignment::Split { .. }));

@@ -11,12 +11,14 @@ use crate::runtime::Runtime;
 use crate::tuner::Tuner;
 use crate::Result;
 
-/// Shared implementation: tune a plan under `config` and simulate it.
+/// Shared implementation: tune a plan under `config`, simulate it, and
+/// attach the tuner's decision provenance to the report.
 fn run(platform: &Platform, graph: &Graph, config: ExecutionConfig) -> Result<InferenceReport> {
     let runtime = Runtime::new(platform);
     let tuner = Tuner::new(graph, &runtime)?;
     let plan = tuner.plan(graph, &runtime, config)?;
-    runtime.simulate(graph, &plan)
+    let decisions = tuner.explain(graph, &runtime, &plan)?;
+    Ok(runtime.simulate(graph, &plan)?.with_decisions(decisions))
 }
 
 /// Full EdgeNN: semantic-aware memory + inter/intra-kernel hybrid
@@ -29,7 +31,10 @@ pub struct EdgeNn<'p> {
 impl<'p> EdgeNn<'p> {
     /// EdgeNN on `platform` with the default configuration.
     pub fn new(platform: &'p Platform) -> Self {
-        Self { platform, config: ExecutionConfig::edgenn() }
+        Self {
+            platform,
+            config: ExecutionConfig::edgenn(),
+        }
     }
 
     /// Overrides the configuration (ablations).
@@ -59,7 +64,8 @@ impl<'p> EdgeNn<'p> {
         let runtime = Runtime::new(self.platform);
         let mut tuner = Tuner::new(graph, &runtime)?;
         let (plan, history) = tuner.adapt(graph, &runtime, self.config, iterations, jitter)?;
-        let report = runtime.simulate(graph, &plan)?;
+        let decisions = tuner.explain(graph, &runtime, &plan)?;
+        let report = runtime.simulate(graph, &plan)?.with_decisions(decisions);
         Ok((report, history))
     }
 
@@ -163,7 +169,11 @@ impl<'p> CloudOffload<'p> {
     /// Offload to `server` over the paper's measured link conditions with
     /// the paper's 400 KB compressed input.
     pub fn new(server: &'p Platform) -> Self {
-        Self { server, link: CloudLink::paper_measured(), input_bytes: 400_000 }
+        Self {
+            server,
+            link: CloudLink::paper_measured(),
+            input_bytes: 400_000,
+        }
     }
 
     /// Overrides the link model.
@@ -245,7 +255,10 @@ mod tests {
         let graph = build(ModelKind::AlexNet, ModelScale::Paper);
         let edgenn = EdgeNn::new(&jetson).infer(&graph).unwrap();
         let cloud = CloudOffload::new(&server).infer(&graph).unwrap();
-        assert!(cloud.compute_us < edgenn.total_us, "server compute is faster");
+        assert!(
+            cloud.compute_us < edgenn.total_us,
+            "server compute is faster"
+        );
         assert!(cloud.total_us > edgenn.total_us, "offload total is slower");
         assert!(cloud.total_us >= cloud.upload_us + cloud.cloud_delay_us);
     }
@@ -275,8 +288,9 @@ mod tests {
     fn adaptive_inference_returns_history() {
         let platform = jetson_agx_xavier();
         let graph = build(ModelKind::LeNet, ModelScale::Paper);
-        let (report, history) =
-            EdgeNn::new(&platform).infer_adaptive(&graph, 4, 0.1).unwrap();
+        let (report, history) = EdgeNn::new(&platform)
+            .infer_adaptive(&graph, 4, 0.1)
+            .unwrap();
         assert_eq!(history.len(), 4);
         assert!(report.total_us > 0.0);
     }
@@ -286,7 +300,10 @@ mod tests {
         let server = rtx_2080ti_server();
         let graph = build(ModelKind::LeNet, ModelScale::Paper);
         let cloud = CloudOffload::new(&server)
-            .with_link(CloudLink { uplink_mbps: 2.0, cloud_delay_us: 50_000.0 })
+            .with_link(CloudLink {
+                uplink_mbps: 2.0,
+                cloud_delay_us: 50_000.0,
+            })
             .with_input_bytes(200_000)
             .infer(&graph)
             .unwrap();

@@ -37,7 +37,10 @@ impl fmt::Display for CoreError {
             Self::Tensor(e) => write!(f, "tensor error: {e}"),
             Self::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
             Self::NoGpu { platform } => {
-                write!(f, "platform '{platform}' has no GPU for the requested execution")
+                write!(
+                    f,
+                    "platform '{platform}' has no GPU for the requested execution"
+                )
             }
             Self::Internal { reason } => write!(f, "internal error: {reason}"),
         }
@@ -76,8 +79,12 @@ mod tests {
         assert!(e.to_string().contains("unknown graph node id 3"));
         let e: CoreError = TensorError::EmptyRange { start: 0, end: 0 }.into();
         assert!(matches!(e, CoreError::Tensor(_)));
-        let e = CoreError::NoGpu { platform: "Raspberry Pi 4B".into() };
+        let e = CoreError::NoGpu {
+            platform: "Raspberry Pi 4B".into(),
+        };
         assert!(e.to_string().contains("Raspberry Pi 4B"));
-        assert!(std::error::Error::source(&CoreError::Nn(NnError::UnknownNode { id: 0 })).is_some());
+        assert!(
+            std::error::Error::source(&CoreError::Nn(NnError::UnknownNode { id: 0 })).is_some()
+        );
     }
 }

@@ -119,20 +119,25 @@ mod tests {
     #[test]
     fn explicit_arrays_double_activation_memory() {
         let graph = build(ModelKind::AlexNet, ModelScale::Paper);
-        let explicit = footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        let explicit =
+            footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
         let mut managed_cfg = ExecutionConfig::baseline_gpu();
         managed_cfg.memory_policy = MemoryPolicy::AllManaged;
         let managed = footprint(&graph, &plan_for(&graph, managed_cfg)).unwrap();
         assert_eq!(explicit.weight_bytes, managed.weight_bytes);
         // "two copies for the CPU and the GPU separately": exactly 2x.
-        assert_eq!(explicit.peak_activation_bytes, 2 * managed.peak_activation_bytes);
+        assert_eq!(
+            explicit.peak_activation_bytes,
+            2 * managed.peak_activation_bytes
+        );
         assert!(explicit.peak_bytes > managed.peak_bytes);
     }
 
     #[test]
     fn semantic_policy_sits_between_the_pure_policies() {
         let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
-        let explicit = footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        let explicit =
+            footprint(&graph, &plan_for(&graph, ExecutionConfig::baseline_gpu())).unwrap();
         let semantic = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
         let mut managed_cfg = ExecutionConfig::baseline_gpu();
         managed_cfg.memory_policy = MemoryPolicy::AllManaged;
@@ -149,7 +154,11 @@ mod tests {
         for kind in ModelKind::ALL {
             let graph = build(kind, ModelScale::Paper);
             let fp = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
-            assert!(fp.peak_mib() < 32.0 * 1024.0, "{kind}: {} MiB", fp.peak_mib());
+            assert!(
+                fp.peak_mib() < 32.0 * 1024.0,
+                "{kind}: {} MiB",
+                fp.peak_mib()
+            );
             peaks.push((kind, fp.peak_bytes));
         }
         let max = peaks.iter().max_by_key(|(_, b)| *b).unwrap();

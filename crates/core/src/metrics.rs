@@ -2,11 +2,13 @@
 //! derived metrics the paper's figures plot.
 
 use edgenn_nn::layer::LayerClass;
+use edgenn_obs::{EventSink, SinkEvent};
 use edgenn_sim::trace::TraceSummary;
 use edgenn_sim::{EnergyReport, Platform, ProcessorKind, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::Assignment;
+use crate::tuner::NodeExplanation;
 
 /// Timing of one layer within an inference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,17 +61,68 @@ pub struct InferenceReport {
     pub layers: Vec<LayerTiming>,
     /// Raw trace events.
     pub events: Vec<TraceEvent>,
+    /// Tuner decision provenance (empty when the plan was hand-written
+    /// rather than produced by [`crate::tuner::Tuner`]).
+    pub decisions: Vec<NodeExplanation>,
 }
 
 impl InferenceReport {
+    /// Attaches tuner decision provenance to the report.
+    pub fn with_decisions(mut self, decisions: Vec<NodeExplanation>) -> Self {
+        self.decisions = decisions;
+        self
+    }
+
     /// Fraction of end-to-end time spent on CPU<->GPU memory management
     /// (explicit copies + migrations + thrash) — the quantity Figure 9
-    /// plots for the explicit baseline.
+    /// plots for the explicit baseline. Clamped to 1.0 for plotting;
+    /// [`Self::audit`] surfaces the accounting violation when the raw
+    /// value exceeds 1.0 instead of hiding it.
     pub fn copy_proportion(&self) -> f64 {
+        self.copy_proportion_raw().min(1.0)
+    }
+
+    /// The unclamped memory proportion: exceeds 1.0 when per-layer
+    /// attribution double-counts co-run overlap and the summed memory
+    /// time outruns the wall clock.
+    pub fn copy_proportion_raw(&self) -> f64 {
         if self.total_us <= 0.0 {
             return 0.0;
         }
-        (self.summary.memory_us() / self.total_us).min(1.0)
+        self.summary.memory_us() / self.total_us
+    }
+
+    /// Checks the report's accounting invariants, emitting one
+    /// [`SinkEvent::Warning`] per violation into `sink`. Returns the
+    /// number of warnings raised (0 for a clean report).
+    pub fn audit(&self, sink: &dyn EventSink) -> usize {
+        let mut raised = 0;
+        let raw = self.copy_proportion_raw();
+        if raw > 1.0 {
+            sink.emit(SinkEvent::Warning {
+                source: "metrics",
+                message: format!(
+                    "{}: memory time {:.1} us exceeds end-to-end {:.1} us \
+                     (copy_proportion clamped from {:.3} to 1.0)",
+                    self.model,
+                    self.summary.memory_us(),
+                    self.total_us,
+                    raw
+                ),
+            });
+            raised += 1;
+        }
+        if self.summary.busy_us > self.total_us + 1e-6 {
+            sink.emit(SinkEvent::Warning {
+                source: "metrics",
+                message: format!(
+                    "{}: busy time {:.1} us exceeds end-to-end {:.1} us",
+                    self.model, self.summary.busy_us, self.total_us
+                ),
+            });
+            raised += 1;
+        }
+        raised
     }
 
     /// Inferences per second.
@@ -154,7 +207,10 @@ mod tests {
             model: "m".into(),
             platform: "p".into(),
             total_us: total,
-            summary: TraceSummary { copy_us: copy, ..Default::default() },
+            summary: TraceSummary {
+                copy_us: copy,
+                ..Default::default()
+            },
             energy: EnergyReport {
                 duration_us: total,
                 avg_power_w: 10.0,
@@ -164,6 +220,7 @@ mod tests {
             },
             layers: vec![],
             events: vec![],
+            decisions: vec![],
         }
     }
 
@@ -175,12 +232,49 @@ mod tests {
     }
 
     #[test]
+    fn raw_copy_proportion_exceeds_one_and_audit_warns() {
+        use edgenn_obs::Recorder;
+        // Co-run double counting: 150 us of attributed memory time in a
+        // 100 us run. The clamped value stays plottable; the raw value
+        // and the audit expose the violation.
+        let r = report(100.0, 150.0);
+        assert!(
+            (r.copy_proportion() - 1.0).abs() < 1e-9,
+            "clamped for plotting"
+        );
+        assert!(
+            (r.copy_proportion_raw() - 1.5).abs() < 1e-9,
+            "raw value unclamped"
+        );
+        let rec = Recorder::new();
+        assert_eq!(r.audit(&rec), 1);
+        assert_eq!(
+            rec.metrics().counter_value("edgenn_warnings_total"),
+            Some(1.0)
+        );
+        assert!(
+            rec.warnings()[0].contains("clamped from 1.500"),
+            "{:?}",
+            rec.warnings()
+        );
+
+        // A clean report raises nothing.
+        let clean = report(1000.0, 150.0);
+        let rec = Recorder::new();
+        assert_eq!(clean.audit(&rec), 0);
+        assert!(rec.warnings().is_empty());
+    }
+
+    #[test]
     fn improvement_and_speedup_relations() {
         let fast = report(800.0, 0.0);
         let slow = report(1000.0, 0.0);
         assert!((fast.improvement_over(&slow) - 0.2).abs() < 1e-9);
         assert!((fast.speedup_over(&slow) - 1.25).abs() < 1e-9);
-        assert!(slow.improvement_over(&fast) < 0.0, "regressions are negative");
+        assert!(
+            slow.improvement_over(&fast) < 0.0,
+            "regressions are negative"
+        );
     }
 
     #[test]

@@ -84,8 +84,7 @@ pub fn optimal_partition(inputs: &PartitionInputs) -> PartitionDecision {
     let v_over_s = t_data_us(1.0, inputs.output_bytes, inputs.copy_rate_gbps);
 
     // Eq. (4): p_op = 0 when v_o/s >= t_gpu, else t_gpu / (t_cpu + t_gpu).
-    let p_closed_form = if v_over_s >= inputs.t_gpu_us || inputs.t_cpu_us + inputs.t_gpu_us <= 0.0
-    {
+    let p_closed_form = if v_over_s >= inputs.t_gpu_us || inputs.t_cpu_us + inputs.t_gpu_us <= 0.0 {
         0.0
     } else {
         inputs.t_gpu_us / (inputs.t_cpu_us + inputs.t_gpu_us)
@@ -100,7 +99,11 @@ pub fn optimal_partition(inputs: &PartitionInputs) -> PartitionDecision {
     for &p in &candidates {
         let t = t_total_us(inputs, p);
         if t < best.t_total_us {
-            best = PartitionDecision { p_cpu: p, t_total_us: t, t_gpu_only_us: t_gpu_only };
+            best = PartitionDecision {
+                p_cpu: p,
+                t_total_us: t,
+                t_gpu_only_us: t_gpu_only,
+            };
         }
     }
     best
@@ -199,7 +202,10 @@ mod tests {
         // Tiny kernels where the GPU's launch overhead dominates: with a
         // realistic sync overhead, splitting cannot pay for itself and the
         // whole layer moves to the CPU (LeNet case).
-        let i = PartitionInputs { sync_overhead_us: 2.0, ..inputs(5.0, 50.0, 100, 10.0) };
+        let i = PartitionInputs {
+            sync_overhead_us: 2.0,
+            ..inputs(5.0, 50.0, 100, 10.0)
+        };
         let d = optimal_partition(&i);
         assert_eq!(d.p_cpu, 1.0);
         assert!(d.t_total_us < d.t_gpu_only_us);

@@ -12,6 +12,7 @@
 //! picking the one with the best predicted bottleneck time.
 
 use edgenn_nn::graph::Graph;
+use edgenn_obs::SinkEvent;
 use edgenn_sim::AllocStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +46,9 @@ pub fn plan_pipeline(
     config: ExecutionConfig,
 ) -> Result<PipelinePlan> {
     if !runtime.platform().has_gpu() {
-        return Err(CoreError::NoGpu { platform: runtime.platform().name.clone() });
+        return Err(CoreError::NoGpu {
+            platform: runtime.platform().name.clone(),
+        });
     }
     let tuner = Tuner::new(graph, runtime)?;
     let stats = tuner.stats();
@@ -64,31 +67,69 @@ pub fn plan_pipeline(
         // Front = nodes [1, cut), back = [cut, n).
         let candidates = [
             // CPU front, GPU back.
-            (true, (cpu_prefix[cut] - cpu_prefix[1]), gpu_prefix[n] - gpu_prefix[cut]),
+            (
+                true,
+                (cpu_prefix[cut] - cpu_prefix[1]),
+                gpu_prefix[n] - gpu_prefix[cut],
+            ),
             // GPU front, CPU back.
-            (false, (gpu_prefix[cut] - gpu_prefix[1]), cpu_prefix[n] - cpu_prefix[cut]),
+            (
+                false,
+                (gpu_prefix[cut] - gpu_prefix[1]),
+                cpu_prefix[n] - cpu_prefix[cut],
+            ),
         ];
+        let mut cut_best = f64::INFINITY;
         for (cpu_first, front, back) in candidates {
             let bottleneck = front.max(back);
+            cut_best = cut_best.min(bottleneck);
             if best.map(|(_, _, b)| bottleneck < b).unwrap_or(true) {
                 best = Some((cut, cpu_first, bottleneck));
             }
         }
+        if let Some(sink) = runtime.observer() {
+            // The sweep itself, as a counter track over cut positions.
+            sink.emit(SinkEvent::Counter {
+                track: "pipeline_bottleneck_us".to_string(),
+                t_us: cut as f64,
+                value: cut_best,
+            });
+        }
     }
-    let (cut, cpu_first, bottleneck_us) =
-        best.ok_or_else(|| CoreError::Internal { reason: "graph has no layers".to_string() })?;
+    let (cut, cpu_first, bottleneck_us) = best.ok_or_else(|| CoreError::Internal {
+        reason: "graph has no layers".to_string(),
+    })?;
+    if let Some(sink) = runtime.observer() {
+        sink.emit(SinkEvent::Instant {
+            category: "pipeline",
+            label: format!(
+                "cut at node {cut} ({} front), predicted bottleneck {bottleneck_us:.1} us",
+                if cpu_first { "cpu" } else { "gpu" }
+            ),
+            t_us: cut as f64,
+        });
+    }
 
     let mut nodes = vec![NodePlan::gpu_explicit(); n];
     for (idx, node) in nodes.iter_mut().enumerate() {
         let in_front = idx < cut;
         let on_cpu = in_front == cpu_first;
-        node.assignment = if on_cpu { Assignment::Cpu } else { Assignment::Gpu };
+        node.assignment = if on_cpu {
+            Assignment::Cpu
+        } else {
+            Assignment::Gpu
+        };
         // Zero-copy hand-off between the stages.
         node.output_alloc = AllocStrategy::Managed;
     }
     let plan = ExecutionPlan { config, nodes };
     plan.validate(graph)?;
-    Ok(PipelinePlan { plan, cut, cpu_first, bottleneck_us })
+    Ok(PipelinePlan {
+        plan,
+        cut,
+        cpu_first,
+        bottleneck_us,
+    })
 }
 
 #[cfg(test)]
@@ -115,9 +156,12 @@ mod tests {
         assert!(pipeline.cut > 0 && pipeline.cut < graph.len());
 
         let requests = 16;
-        let latency_stream = runtime.simulate_stream(&graph, &latency_plan, requests).unwrap();
-        let pipeline_stream =
-            runtime.simulate_stream(&graph, &pipeline.plan, requests).unwrap();
+        let latency_stream = runtime
+            .simulate_stream(&graph, &latency_plan, requests)
+            .unwrap();
+        let pipeline_stream = runtime
+            .simulate_stream(&graph, &pipeline.plan, requests)
+            .unwrap();
 
         // The pipelined stream overlaps stages across requests: its
         // steady-state completion gap must beat its own single-inference
@@ -152,6 +196,36 @@ mod tests {
             "prediction {} vs measured {}",
             pipeline.bottleneck_us,
             gap
+        );
+    }
+
+    #[test]
+    fn pipeline_planning_reports_its_sweep_and_choice() {
+        use edgenn_obs::Recorder;
+        use std::sync::Arc;
+
+        let platform = jetson_agx_xavier();
+        let recorder = Recorder::new();
+        let runtime = Runtime::with_observer(&platform, Arc::new(recorder.clone()));
+        let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+        let pipeline = plan_pipeline(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+
+        // One bottleneck sample per candidate cut position.
+        let sweep: Vec<_> = recorder
+            .counter_samples()
+            .into_iter()
+            .filter(|s| s.track == "pipeline_bottleneck_us")
+            .collect();
+        assert_eq!(sweep.len(), graph.len() - 1);
+        // The chosen cut is the sweep's argmin.
+        let min = sweep.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+        assert!((min - pipeline.bottleneck_us).abs() < 1e-9);
+        // And the choice is marked as an instant event.
+        assert_eq!(
+            recorder
+                .metrics()
+                .counter_value("edgenn_pipeline_events_total"),
+            Some(1.0)
         );
     }
 

@@ -93,17 +93,29 @@ impl ExecutionConfig {
 
     /// The paper's baseline: original programs, GPU only, explicit memory.
     pub fn baseline_gpu() -> Self {
-        Self { memory_policy: MemoryPolicy::AllExplicit, hybrid: HybridMode::GpuOnly, ..Self::edgenn() }
+        Self {
+            memory_policy: MemoryPolicy::AllExplicit,
+            hybrid: HybridMode::GpuOnly,
+            ..Self::edgenn()
+        }
     }
 
     /// CPU-only execution (edge-CPU platforms).
     pub fn cpu_only() -> Self {
-        Self { memory_policy: MemoryPolicy::AllExplicit, hybrid: HybridMode::CpuOnly, ..Self::edgenn() }
+        Self {
+            memory_policy: MemoryPolicy::AllExplicit,
+            hybrid: HybridMode::CpuOnly,
+            ..Self::edgenn()
+        }
     }
 
     /// Memory-management-only ablation (zero-copy without co-running).
     pub fn memory_only() -> Self {
-        Self { memory_policy: MemoryPolicy::SemanticAware, hybrid: HybridMode::GpuOnly, ..Self::edgenn() }
+        Self {
+            memory_policy: MemoryPolicy::SemanticAware,
+            hybrid: HybridMode::GpuOnly,
+            ..Self::edgenn()
+        }
     }
 
     /// Hybrid-execution-only ablation (co-running without zero-copy).
@@ -118,7 +130,10 @@ impl ExecutionConfig {
     /// EdgeNN tuned for energy per inference instead of latency
     /// (reproduction extension).
     pub fn edgenn_energy_aware() -> Self {
-        Self { objective: TuneObjective::Energy, ..Self::edgenn() }
+        Self {
+            objective: TuneObjective::Energy,
+            ..Self::edgenn()
+        }
     }
 
     /// The Section V-F comparator: inter-kernel co-running only.
@@ -157,7 +172,10 @@ pub enum Assignment {
 impl Assignment {
     /// True when both processors participate.
     pub fn is_corun(&self) -> bool {
-        matches!(self, Assignment::Split { .. } | Assignment::SplitInput { .. })
+        matches!(
+            self,
+            Assignment::Split { .. } | Assignment::SplitInput { .. }
+        )
     }
 }
 
@@ -227,12 +245,18 @@ impl ExecutionPlan {
 
     /// Number of nodes co-run by both processors.
     pub fn corun_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.assignment.is_corun()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.assignment.is_corun())
+            .count()
     }
 
     /// Number of nodes whose output uses zero-copy.
     pub fn managed_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.output_alloc == AllocStrategy::Managed).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.output_alloc == AllocStrategy::Managed)
+            .count()
     }
 }
 
@@ -250,8 +274,14 @@ mod tests {
         assert_eq!(b.memory_policy, MemoryPolicy::AllExplicit);
         assert_eq!(b.hybrid, HybridMode::GpuOnly);
         assert_eq!(ExecutionConfig::memory_only().hybrid, HybridMode::GpuOnly);
-        assert_eq!(ExecutionConfig::hybrid_only().memory_policy, MemoryPolicy::AllExplicit);
-        assert_eq!(ExecutionConfig::inter_kernel_only().hybrid, HybridMode::InterKernelOnly);
+        assert_eq!(
+            ExecutionConfig::hybrid_only().memory_policy,
+            MemoryPolicy::AllExplicit
+        );
+        assert_eq!(
+            ExecutionConfig::inter_kernel_only().hybrid,
+            HybridMode::InterKernelOnly
+        );
     }
 
     #[test]
@@ -264,14 +294,20 @@ mod tests {
         assert!(plan.validate(&graph).is_ok());
 
         plan.nodes.pop();
-        assert!(matches!(plan.validate(&graph), Err(CoreError::PlanMismatch { .. })));
+        assert!(matches!(
+            plan.validate(&graph),
+            Err(CoreError::PlanMismatch { .. })
+        ));
 
         plan.nodes.push(NodePlan {
             assignment: Assignment::Split { cpu_fraction: 1.5 },
             output_alloc: AllocStrategy::Explicit,
             prefetch_inputs: false,
         });
-        assert!(matches!(plan.validate(&graph), Err(CoreError::PlanMismatch { .. })));
+        assert!(matches!(
+            plan.validate(&graph),
+            Err(CoreError::PlanMismatch { .. })
+        ));
     }
 
     #[test]

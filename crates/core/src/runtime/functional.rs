@@ -67,9 +67,12 @@ pub fn execute(graph: &Graph, plan: &ExecutionPlan, input: &Tensor) -> Result<Fu
         }
     }
 
-    outcome.output = outputs[graph.output_id().index()]
-        .take()
-        .ok_or_else(|| CoreError::Internal { reason: "output never computed".to_string() })?;
+    outcome.output =
+        outputs[graph.output_id().index()]
+            .take()
+            .ok_or_else(|| CoreError::Internal {
+                reason: "output never computed".to_string(),
+            })?;
     Ok(outcome)
 }
 
@@ -98,18 +101,25 @@ fn exec_branches(
     // earlier); branch interiors are disjoint, so each worker builds its
     // own local results and we merge afterwards.
     let snapshot: Vec<Option<Tensor>> = outputs.to_vec();
-    let results: Vec<Result<Vec<BranchNodeResult>>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = non_empty
-                .iter()
-                .map(|branch| {
-                    let snapshot = &snapshot;
-                    scope.spawn(move |_| run_branch(graph, plan, branch, snapshot))
+    let results: Vec<Result<Vec<BranchNodeResult>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = non_empty
+            .iter()
+            .map(|branch| {
+                let snapshot = &snapshot;
+                scope.spawn(move || run_branch(graph, plan, branch, snapshot))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CoreError::Internal {
+                        reason: "branch worker panicked".to_string(),
+                    })
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("branch worker panicked")).collect()
-        })
-        .map_err(|_| CoreError::Internal { reason: "branch scope panicked".to_string() })?;
+            })
+            .collect()
+    });
 
     for branch_result in results {
         for (id, tensor, corun, cpu) in branch_result? {
@@ -171,9 +181,11 @@ fn exec_node(
         .inputs()
         .iter()
         .map(|i| {
-            outputs[i.index()].clone().ok_or_else(|| CoreError::Internal {
-                reason: format!("input {i} not computed before {id}"),
-            })
+            outputs[i.index()]
+                .clone()
+                .ok_or_else(|| CoreError::Internal {
+                    reason: format!("input {i} not computed before {id}"),
+                })
         })
         .collect::<Result<_>>()?;
     let refs: Vec<&Tensor> = inputs.iter().collect();
@@ -203,20 +215,21 @@ fn forward_assigned(
             if !node.layer().input_split_supported() || channels < 2 {
                 return Ok((layer.forward(inputs)?, false, 0));
             }
-            let cpu_channels = ((cpu_fraction * channels as f64).round() as usize)
-                .clamp(1, channels - 1);
+            let cpu_channels =
+                ((cpu_fraction * channels as f64).round() as usize).clamp(1, channels - 1);
             let gpu_channels = channels - cpu_channels;
             // The GPU takes the first channels (the paper's "first k input
             // channels"), the CPU the remainder; partial sums are added.
-            let (gpu_part, cpu_part) = crossbeam::thread::scope(|scope| {
+            let (gpu_part, cpu_part) = std::thread::scope(|scope| {
                 let cpu_handle = scope
-                    .spawn(move |_| layer.forward_partial_inputs(inputs, gpu_channels..channels));
+                    .spawn(move || layer.forward_partial_inputs(inputs, gpu_channels..channels));
                 let gpu_part = layer.forward_partial_inputs(inputs, 0..gpu_channels);
-                let cpu_part = cpu_handle.join().expect("cpu worker panicked");
+                let cpu_part = cpu_handle.join().map_err(|_| CoreError::Internal {
+                    reason: "cpu worker panicked".to_string(),
+                });
                 (gpu_part, cpu_part)
-            })
-            .map_err(|_| CoreError::Internal { reason: "split scope panicked".to_string() })?;
-            let merged = gpu_part?.add(&cpu_part?)?;
+            });
+            let merged = gpu_part?.add(&cpu_part??)?;
             Ok((merged, true, 0))
         }
         Assignment::Split { cpu_fraction } => {
@@ -230,15 +243,16 @@ fn forward_assigned(
             // The paper's convention: the GPU computes the first units,
             // the CPU the remainder (Section IV-D).
             let gpu_units = units - cpu_units;
-            let (gpu_part, cpu_part) = crossbeam::thread::scope(|scope| {
+            let (gpu_part, cpu_part) = std::thread::scope(|scope| {
                 let cpu_handle =
-                    scope.spawn(move |_| layer.forward_partial(inputs, gpu_units..units));
+                    scope.spawn(move || layer.forward_partial(inputs, gpu_units..units));
                 let gpu_part = layer.forward_partial(inputs, 0..gpu_units);
-                let cpu_part = cpu_handle.join().expect("cpu worker panicked");
+                let cpu_part = cpu_handle.join().map_err(|_| CoreError::Internal {
+                    reason: "cpu worker panicked".to_string(),
+                });
                 (gpu_part, cpu_part)
-            })
-            .map_err(|_| CoreError::Internal { reason: "split scope panicked".to_string() })?;
-            let (gpu_part, cpu_part) = (gpu_part?, cpu_part?);
+            });
+            let (gpu_part, cpu_part) = (gpu_part?, cpu_part??);
             let merged = Tensor::concat_axis0(&[&gpu_part, &cpu_part])?;
             // Rank-restore: concat preserves rank but the layer's full
             // output shape is authoritative.
@@ -261,7 +275,9 @@ mod tests {
         let platform = jetson_agx_xavier();
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(graph, &runtime).unwrap();
-        tuner.plan(graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+        tuner
+            .plan(graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap()
     }
 
     #[test]
@@ -330,7 +346,10 @@ mod tests {
                     };
                 }
             }
-            let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+            let plan = ExecutionPlan {
+                config: ExecutionConfig::edgenn(),
+                nodes,
+            };
             let input = Tensor::random(graph.input_shape().dims(), 1.0, 11);
             let reference = graph.forward(&input).unwrap();
             let outcome = execute(&graph, &plan, &input).unwrap();
@@ -371,7 +390,10 @@ mod tests {
             if forced == 0 {
                 continue;
             }
-            let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+            let plan = ExecutionPlan {
+                config: ExecutionConfig::edgenn(),
+                nodes,
+            };
             let input = Tensor::random(graph.input_shape().dims(), 1.0, 17);
             let reference = graph.forward(&input).unwrap();
             let outcome = execute(&graph, &plan, &input).unwrap();

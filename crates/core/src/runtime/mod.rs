@@ -4,12 +4,14 @@
 
 pub mod functional;
 
+use std::sync::Arc;
+
 use edgenn_nn::graph::{Graph, NodeId, Segment};
 use edgenn_nn::layer::LayerClass;
+use edgenn_obs::{EventSink, SinkEvent};
 use edgenn_sim::processor::ExecutionContext;
 use edgenn_sim::{
-    AllocStrategy, KernelDesc, OpClass, Platform, ProcessorKind, ProcessorSpec, Timeline,
-    TraceKind,
+    AllocStrategy, KernelDesc, OpClass, Platform, ProcessorKind, ProcessorSpec, Timeline, TraceKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -137,12 +139,46 @@ impl Loc {
 /// copies, migrations, and syncs to the simulated [`Timeline`].
 pub struct Runtime<'a> {
     platform: &'a Platform,
+    observer: Option<Arc<dyn EventSink>>,
 }
 
 impl<'a> Runtime<'a> {
     /// Creates a runtime for `platform`.
     pub fn new(platform: &'a Platform) -> Self {
-        Self { platform }
+        Self {
+            platform,
+            observer: None,
+        }
+    }
+
+    /// Creates a runtime that mirrors every simulated activity (kernel
+    /// launches, copies, migrations, stalls), tuner decision, and
+    /// per-request latency into `observer`.
+    pub fn with_observer(platform: &'a Platform, observer: Arc<dyn EventSink>) -> Self {
+        Self {
+            platform,
+            observer: Some(observer),
+        }
+    }
+
+    /// The attached observer sink, if any (the tuner and pipeline use
+    /// this to report their decisions alongside the runtime's events).
+    pub fn observer(&self) -> Option<&Arc<dyn EventSink>> {
+        self.observer.as_ref()
+    }
+
+    fn emit(&self, event: SinkEvent) {
+        if let Some(obs) = &self.observer {
+            obs.emit(event);
+        }
+    }
+
+    /// A fresh timeline wired to the observer when one is attached.
+    fn new_timeline(&self) -> Timeline {
+        match &self.observer {
+            Some(obs) => Timeline::with_sink(Arc::clone(obs)),
+            None => Timeline::new(),
+        }
     }
 
     /// The platform this runtime simulates.
@@ -182,11 +218,14 @@ impl<'a> Runtime<'a> {
     /// Fails on plan/graph mismatches, missing GPU, or workload errors.
     pub fn simulate(&self, graph: &Graph, plan: &ExecutionPlan) -> Result<InferenceReport> {
         plan.validate(graph)?;
-        let mut timeline = Timeline::new();
+        let mut timeline = self.new_timeline();
         let layers = self.run_request(graph, plan, &mut timeline, 0)?;
         let total_us = timeline.makespan_us();
+        self.emit(SinkEvent::Request {
+            latency_us: total_us,
+        });
         let energy = self.platform.power.energy(&timeline);
-        Ok(InferenceReport {
+        let report = InferenceReport {
             model: graph.name().to_string(),
             platform: self.platform.name.clone(),
             total_us,
@@ -194,7 +233,12 @@ impl<'a> Runtime<'a> {
             energy,
             layers,
             events: timeline.events().to_vec(),
-        })
+            decisions: Vec::new(),
+        };
+        if let Some(sink) = &self.observer {
+            report.audit(sink.as_ref());
+        }
+        Ok(report)
     }
 
     /// Simulates a back-to-back stream of `requests` inferences sharing
@@ -214,14 +258,23 @@ impl<'a> Runtime<'a> {
     ) -> Result<StreamReport> {
         plan.validate(graph)?;
         if requests == 0 {
-            return Err(CoreError::Internal { reason: "stream of zero requests".to_string() });
+            return Err(CoreError::Internal {
+                reason: "stream of zero requests".to_string(),
+            });
         }
-        let mut timeline = Timeline::new();
+        let mut timeline = self.new_timeline();
         let mut finish_times = Vec::with_capacity(requests);
         for request in 0..requests {
             let layers = self.run_request(graph, plan, &mut timeline, request as u64)?;
-            let finished =
-                layers.iter().map(|l| l.end_us).fold(0.0f64, f64::max).max(timeline.makespan_us());
+            let finished = layers
+                .iter()
+                .map(|l| l.end_us)
+                .fold(0.0f64, f64::max)
+                .max(timeline.makespan_us());
+            let started = layers.iter().map(|l| l.start_us).fold(finished, f64::min);
+            self.emit(SinkEvent::Request {
+                latency_us: finished - started,
+            });
             finish_times.push(finished);
         }
         let total_us = timeline.makespan_us();
@@ -243,22 +296,28 @@ impl<'a> Runtime<'a> {
     ///
     /// # Errors
     /// Fails on plan/graph mismatches or an empty job list.
-    pub fn simulate_workload(
-        &self,
-        jobs: &[(&Graph, &ExecutionPlan)],
-    ) -> Result<StreamReport> {
+    pub fn simulate_workload(&self, jobs: &[(&Graph, &ExecutionPlan)]) -> Result<StreamReport> {
         if jobs.is_empty() {
-            return Err(CoreError::Internal { reason: "empty workload".to_string() });
+            return Err(CoreError::Internal {
+                reason: "empty workload".to_string(),
+            });
         }
         for (graph, plan) in jobs {
             plan.validate(graph)?;
         }
-        let mut timeline = Timeline::new();
+        let mut timeline = self.new_timeline();
         let mut finish_times = Vec::with_capacity(jobs.len());
         for (request, (graph, plan)) in jobs.iter().enumerate() {
             let layers = self.run_request(graph, plan, &mut timeline, request as u64)?;
-            let finished =
-                layers.iter().map(|l| l.end_us).fold(0.0f64, f64::max).max(timeline.makespan_us());
+            let finished = layers
+                .iter()
+                .map(|l| l.end_us)
+                .fold(0.0f64, f64::max)
+                .max(timeline.makespan_us());
+            let started = layers.iter().map(|l| l.start_us).fold(finished, f64::min);
+            self.emit(SinkEvent::Request {
+                latency_us: finished - started,
+            });
             finish_times.push(finished);
         }
         let total_us = timeline.makespan_us();
@@ -295,7 +354,7 @@ impl<'a> Runtime<'a> {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mean_gap_us = 1e6 / rate_per_s;
-        let mut timeline = Timeline::new();
+        let mut timeline = self.new_timeline();
         let mut arrival = 0.0f64;
         let mut latencies = Vec::with_capacity(requests);
         for request in 0..requests {
@@ -305,6 +364,9 @@ impl<'a> Runtime<'a> {
             let layers =
                 self.run_request_at(graph, plan, &mut timeline, request as u64, arrival)?;
             let finished = layers.iter().map(|l| l.end_us).fold(arrival, f64::max);
+            self.emit(SinkEvent::Request {
+                latency_us: finished - arrival,
+            });
             latencies.push(finished - arrival);
         }
         let total_us = timeline.makespan_us();
@@ -494,7 +556,8 @@ impl Sim<'_, '_> {
         let end = match self.alloc_of(id) {
             AllocStrategy::Explicit => {
                 let dur = memory.copy_time_us(bytes);
-                self.timeline.schedule_bus(TraceKind::Copy, at, dur, Some(proc), label)
+                self.timeline
+                    .schedule_bus(TraceKind::Copy, at, dur, bytes, Some(proc), label)
             }
             AllocStrategy::Managed => {
                 let prefetched = self.plan.nodes[id.index()].prefetch_inputs
@@ -504,7 +567,8 @@ impl Sim<'_, '_> {
                         .iter()
                         .any(|s| self.plan.nodes[s.index()].prefetch_inputs);
                 let dur = memory.migration_time_us(bytes, prefetched);
-                self.timeline.schedule_bus(TraceKind::Migration, at, dur, Some(proc), label)
+                self.timeline
+                    .schedule_bus(TraceKind::Migration, at, dur, bytes, Some(proc), label)
             }
         };
         self.loc[id.index()] = Loc::Both;
@@ -549,7 +613,10 @@ impl Sim<'_, '_> {
             self.config().memory_policy == MemoryPolicy::AllManaged && !memory.is_unified();
 
         let inputs: Vec<NodeId> = node.inputs().to_vec();
-        let mut ready = inputs.iter().map(|i| self.ready[i.index()]).fold(0.0, f64::max);
+        let mut ready = inputs
+            .iter()
+            .map(|i| self.ready[i.index()])
+            .fold(0.0, f64::max);
         let start = ready;
         let mut memory_us = 0.0;
 
@@ -561,7 +628,10 @@ impl Sim<'_, '_> {
                 let (kind, dur) = if naive {
                     (TraceKind::Copy, memory.copy_time_us(desc.bytes_in))
                 } else {
-                    (TraceKind::Migration, memory.migration_time_us(desc.bytes_in, false))
+                    (
+                        TraceKind::Migration,
+                        memory.migration_time_us(desc.bytes_in, false),
+                    )
                 };
                 let dur = self.config().host_roundtrip_fraction * dur;
                 if dur > 0.0 {
@@ -570,6 +640,7 @@ impl Sim<'_, '_> {
                         kind,
                         ready,
                         dur,
+                        desc.bytes_in,
                         Some(proc),
                         format!("{name} h2d"),
                     );
@@ -589,10 +660,16 @@ impl Sim<'_, '_> {
             } else {
                 self.bandwidth_factor(id)
             },
-            contention_factor: if corun { memory.corun_contention_factor } else { 1.0 },
+            contention_factor: if corun {
+                memory.corun_contention_factor
+            } else {
+                1.0
+            },
         };
         let duration = self.jittered(spec.kernel_time_us(&desc, &ctx));
-        let mut end = self.timeline.schedule(proc, TraceKind::Kernel, ready, duration, name.clone());
+        let mut end =
+            self.timeline
+                .schedule(proc, TraceKind::Kernel, ready, duration, name.clone());
         let kernel_us = duration;
 
         if (naive || managed_bounce) && proc == ProcessorKind::Gpu {
@@ -600,7 +677,10 @@ impl Sim<'_, '_> {
             let (kind, dur) = if naive {
                 (TraceKind::Copy, memory.copy_time_us(desc.bytes_out))
             } else {
-                (TraceKind::Migration, memory.migration_time_us(desc.bytes_out, false))
+                (
+                    TraceKind::Migration,
+                    memory.migration_time_us(desc.bytes_out, false),
+                )
             };
             let dur = self.config().host_roundtrip_fraction * dur;
             if dur > 0.0 {
@@ -609,6 +689,7 @@ impl Sim<'_, '_> {
                     kind,
                     end,
                     dur,
+                    desc.bytes_out,
                     Some(proc),
                     format!("{name} d2h"),
                 );
@@ -646,7 +727,10 @@ impl Sim<'_, '_> {
         let naive = self.config().memory_policy == MemoryPolicy::AllExplicit;
 
         let inputs: Vec<NodeId> = node.inputs().to_vec();
-        let mut ready = inputs.iter().map(|i| self.ready[i.index()]).fold(0.0, f64::max);
+        let mut ready = inputs
+            .iter()
+            .map(|i| self.ready[i.index()])
+            .fold(0.0, f64::max);
         let start = ready;
         let mut memory_us = 0.0;
 
@@ -661,18 +745,27 @@ impl Sim<'_, '_> {
                     TraceKind::Copy,
                     ready,
                     dur,
+                    desc.bytes_in,
                     Some(ProcessorKind::Gpu),
                     format!("{name} h2d"),
                 );
             }
         } else {
             for input in &inputs {
-                ready = self.make_available(*input, ProcessorKind::Cpu, ready).max(ready);
-                ready = self.make_available(*input, ProcessorKind::Gpu, ready).max(ready);
+                ready = self
+                    .make_available(*input, ProcessorKind::Cpu, ready)
+                    .max(ready);
+                ready = self
+                    .make_available(*input, ProcessorKind::Gpu, ready)
+                    .max(ready);
             }
         }
 
-        let bw = if naive { 1.0 } else { self.bandwidth_factor(id) };
+        let bw = if naive {
+            1.0
+        } else {
+            self.bandwidth_factor(id)
+        };
         let cpu_ctx = ExecutionContext {
             bandwidth_factor: 1.0, // zero-copy penalty is GPU-side only
             contention_factor: memory.corun_contention_factor,
@@ -682,16 +775,29 @@ impl Sim<'_, '_> {
             contention_factor: memory.corun_contention_factor,
         };
         let (cpu_desc, gpu_desc) = if by_input {
-            (scale_desc_input(&desc, p_cpu), scale_desc_input(&desc, 1.0 - p_cpu))
+            (
+                scale_desc_input(&desc, p_cpu),
+                scale_desc_input(&desc, 1.0 - p_cpu),
+            )
         } else {
             (scale_desc(&desc, p_cpu), scale_desc(&desc, 1.0 - p_cpu))
         };
         let t_cpu = self.jittered(cpu.kernel_time_us(&cpu_desc, &cpu_ctx));
         let t_gpu = self.jittered(gpu.kernel_time_us(&gpu_desc, &gpu_ctx));
-        let cpu_end =
-            self.timeline.schedule(ProcessorKind::Cpu, TraceKind::Kernel, ready, t_cpu, format!("{name} [cpu part]"));
-        let gpu_end =
-            self.timeline.schedule(ProcessorKind::Gpu, TraceKind::Kernel, ready, t_gpu, format!("{name} [gpu part]"));
+        let cpu_end = self.timeline.schedule(
+            ProcessorKind::Cpu,
+            TraceKind::Kernel,
+            ready,
+            t_cpu,
+            format!("{name} [cpu part]"),
+        );
+        let gpu_end = self.timeline.schedule(
+            ProcessorKind::Gpu,
+            TraceKind::Kernel,
+            ready,
+            t_gpu,
+            format!("{name} [gpu part]"),
+        );
         let mut end = cpu_end.max(gpu_end);
         let kernel_us = t_cpu.max(t_gpu);
 
@@ -712,6 +818,7 @@ impl Sim<'_, '_> {
                     TraceKind::Copy,
                     end,
                     dur,
+                    merge_bytes,
                     Some(ProcessorKind::Gpu),
                     format!("{name} merge"),
                 );
@@ -721,13 +828,18 @@ impl Sim<'_, '_> {
                 // array: only the pages straddling the partition boundary
                 // thrash. An input split's partial sums overlap on every
                 // page — the full race-condition case of Section IV-B.
-                let boundary = if by_input { merge_bytes } else { merge_bytes.min(128 << 10) };
+                let boundary = if by_input {
+                    merge_bytes
+                } else {
+                    merge_bytes.min(128 << 10)
+                };
                 let dur = memory.thrash_time_us(boundary);
                 memory_us += dur;
                 end = self.timeline.schedule_bus(
                     TraceKind::Thrash,
                     end,
                     dur,
+                    boundary,
                     None,
                     format!("{name} boundary pages"),
                 );
@@ -764,7 +876,10 @@ impl Sim<'_, '_> {
         let mut has_cpu = false;
         let mut has_gpu = false;
         for branch in branches {
-            match branch.first().map(|id| self.plan.nodes[id.index()].assignment) {
+            match branch
+                .first()
+                .map(|id| self.plan.nodes[id.index()].assignment)
+            {
                 Some(Assignment::Cpu) => has_cpu = true,
                 Some(Assignment::Gpu)
                 | Some(Assignment::Split { .. })
@@ -796,6 +911,7 @@ impl Sim<'_, '_> {
                 TraceKind::Sync,
                 at - self.config().sync_overhead_us,
                 self.config().sync_overhead_us,
+                0,
                 None,
                 format!("barrier before {join_name}"),
             );
@@ -818,6 +934,7 @@ impl Sim<'_, '_> {
                 TraceKind::Copy,
                 at,
                 dur,
+                bytes,
                 Some(ProcessorKind::Cpu),
                 "output read-back",
             );
@@ -834,7 +951,10 @@ mod tests {
     use edgenn_sim::platforms::{jetson_agx_xavier, raspberry_pi_4};
 
     fn gpu_plan(graph: &Graph, config: ExecutionConfig) -> ExecutionPlan {
-        ExecutionPlan { config, nodes: vec![NodePlan::gpu_explicit(); graph.len()] }
+        ExecutionPlan {
+            config,
+            nodes: vec![NodePlan::gpu_explicit(); graph.len()],
+        }
     }
 
     fn cpu_plan(graph: &Graph, config: ExecutionConfig) -> ExecutionPlan {
@@ -884,7 +1004,10 @@ mod tests {
         let runtime = Runtime::new(&platform);
         let graph = build(ModelKind::LeNet, ModelScale::Paper);
         let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
-        assert!(matches!(runtime.simulate(&graph, &plan), Err(CoreError::NoGpu { .. })));
+        assert!(matches!(
+            runtime.simulate(&graph, &plan),
+            Err(CoreError::NoGpu { .. })
+        ));
     }
 
     #[test]
@@ -897,7 +1020,9 @@ mod tests {
             .unwrap();
         let mut managed_cfg = ExecutionConfig::baseline_gpu();
         managed_cfg.memory_policy = MemoryPolicy::AllManaged;
-        let managed = runtime.simulate(&graph, &gpu_plan(&graph, managed_cfg)).unwrap();
+        let managed = runtime
+            .simulate(&graph, &gpu_plan(&graph, managed_cfg))
+            .unwrap();
         assert!(naive.summary.copy_us > 0.0);
         assert!(managed.summary.copy_us < naive.summary.copy_us / 4.0);
     }
@@ -980,7 +1105,9 @@ mod tests {
         let graph = build(ModelKind::AlexNet, ModelScale::Paper);
         let plan = {
             let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
-            tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
         };
         let single = runtime.simulate(&graph, &plan).unwrap();
         let stream = runtime.simulate_stream(&graph, &plan, 8).unwrap();
@@ -1004,7 +1131,9 @@ mod tests {
         let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
         let plan = {
             let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
-            tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
         };
         let single = runtime.simulate(&graph, &plan).unwrap();
         let capacity = 1e6 / single.total_us; // requests/s the device sustains
@@ -1015,7 +1144,10 @@ mod tests {
         let heavy = runtime
             .simulate_poisson_stream(&graph, &plan, capacity * 0.95, 40, 7)
             .unwrap();
-        assert!(light.p50_us >= single.total_us * 0.9, "latency floor is one inference");
+        assert!(
+            light.p50_us >= single.total_us * 0.9,
+            "latency floor is one inference"
+        );
         assert!(
             heavy.p95_us > light.p95_us,
             "queueing under load must raise tail latency: {} vs {}",
@@ -1036,7 +1168,9 @@ mod tests {
         let runtime = Runtime::new(&platform);
         let tuner_plan = |graph: &Graph| {
             let tuner = crate::tuner::Tuner::new(graph, &runtime).unwrap();
-            tuner.plan(graph, &runtime, ExecutionConfig::edgenn()).unwrap()
+            tuner
+                .plan(graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
         };
         let vgg = build(ModelKind::Vgg16, ModelScale::Paper);
         let lenet = build(ModelKind::LeNet, ModelScale::Paper);
@@ -1045,10 +1179,18 @@ mod tests {
 
         // FIFO with the heavy job first vs shortest-job-first.
         let fifo = runtime
-            .simulate_workload(&[(&vgg, &vgg_plan), (&lenet, &lenet_plan), (&lenet, &lenet_plan)])
+            .simulate_workload(&[
+                (&vgg, &vgg_plan),
+                (&lenet, &lenet_plan),
+                (&lenet, &lenet_plan),
+            ])
             .unwrap();
         let sjf = runtime
-            .simulate_workload(&[(&lenet, &lenet_plan), (&lenet, &lenet_plan), (&vgg, &vgg_plan)])
+            .simulate_workload(&[
+                (&lenet, &lenet_plan),
+                (&lenet, &lenet_plan),
+                (&vgg, &vgg_plan),
+            ])
             .unwrap();
         assert_eq!(fifo.requests, 3);
         // The makespan is order-insensitive (same total work)...
@@ -1076,8 +1218,9 @@ mod tests {
         let platform = jetson_agx_xavier();
         let runtime = Runtime::new(&platform);
         let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
-        let report =
-            runtime.simulate(&graph, &gpu_plan(&graph, ExecutionConfig::baseline_gpu())).unwrap();
+        let report = runtime
+            .simulate(&graph, &gpu_plan(&graph, ExecutionConfig::baseline_gpu()))
+            .unwrap();
         for layer in &report.layers {
             assert!(layer.end_us >= layer.start_us, "{}", layer.name);
             assert!(layer.kernel_us > 0.0, "{}", layer.name);

@@ -57,19 +57,31 @@ pub struct MemoryDecision {
 /// Maps an array role to an allocation decision — the paper's rule table.
 pub fn decide(role: ArrayRole) -> MemoryDecision {
     match role {
-        ArrayRole::Weights => MemoryDecision { strategy: AllocStrategy::Managed, prefetch: true },
+        ArrayRole::Weights => MemoryDecision {
+            strategy: AllocStrategy::Managed,
+            prefetch: true,
+        },
         ArrayRole::NetworkInput => {
             // "If a GPU kernel uses the array long after the CPU has
             // modified the array, an explicit memory prefetching ... can
             // help prepare for the upcoming kernel" (Section IV-B).
-            MemoryDecision { strategy: AllocStrategy::Managed, prefetch: true }
+            MemoryDecision {
+                strategy: AllocStrategy::Managed,
+                prefetch: true,
+            }
         }
         ArrayRole::ChainActivation | ArrayRole::BranchBoundary | ArrayRole::NetworkOutput => {
-            MemoryDecision { strategy: AllocStrategy::Managed, prefetch: false }
+            MemoryDecision {
+                strategy: AllocStrategy::Managed,
+                prefetch: false,
+            }
         }
         ArrayRole::CoRunOutput => {
             // Written by both processors: regular arrays + explicit merge.
-            MemoryDecision { strategy: AllocStrategy::Explicit, prefetch: false }
+            MemoryDecision {
+                strategy: AllocStrategy::Explicit,
+                prefetch: false,
+            }
         }
     }
 }
@@ -104,7 +116,10 @@ pub fn refine_by_cost(
         return base;
     }
     if penalty_us > copies_saved_us {
-        MemoryDecision { strategy: AllocStrategy::Explicit, prefetch: false }
+        MemoryDecision {
+            strategy: AllocStrategy::Explicit,
+            prefetch: false,
+        }
     } else {
         base
     }
@@ -119,16 +134,28 @@ mod tests {
     fn rule_table_matches_paper() {
         assert_eq!(decide(ArrayRole::Weights).strategy, AllocStrategy::Managed);
         assert!(decide(ArrayRole::Weights).prefetch);
-        assert_eq!(decide(ArrayRole::NetworkInput).strategy, AllocStrategy::Managed);
+        assert_eq!(
+            decide(ArrayRole::NetworkInput).strategy,
+            AllocStrategy::Managed
+        );
         assert!(decide(ArrayRole::NetworkInput).prefetch);
-        assert_eq!(decide(ArrayRole::ChainActivation).strategy, AllocStrategy::Managed);
+        assert_eq!(
+            decide(ArrayRole::ChainActivation).strategy,
+            AllocStrategy::Managed
+        );
         assert_eq!(
             decide(ArrayRole::CoRunOutput).strategy,
             AllocStrategy::Explicit,
             "write-shared arrays must be regular (paper Section IV-B)"
         );
-        assert_eq!(decide(ArrayRole::BranchBoundary).strategy, AllocStrategy::Managed);
-        assert_eq!(decide(ArrayRole::NetworkOutput).strategy, AllocStrategy::Managed);
+        assert_eq!(
+            decide(ArrayRole::BranchBoundary).strategy,
+            AllocStrategy::Managed
+        );
+        assert_eq!(
+            decide(ArrayRole::NetworkOutput).strategy,
+            AllocStrategy::Managed
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use edgenn_nn::graph::{Graph, NodeId, Segment};
 use edgenn_nn::layer::LayerClass;
+use edgenn_obs::SinkEvent;
 use edgenn_sim::AllocStrategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,6 +62,35 @@ enum ChainStart {
     Synced,
 }
 
+/// The inputs the tuner fed to the Equation (1)-(4) closed form for one
+/// node: contended solo times and the merge model. Kept for decision
+/// provenance so an `explain` consumer can re-derive the optimum.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EqInputs {
+    /// CPU time under co-run contention (us) — Eq. (1)'s CPU term.
+    pub t_cpu_corun_us: f64,
+    /// GPU time under co-run contention and the policy's zero-copy
+    /// bandwidth penalty (us) — Eq. (1)'s GPU term.
+    pub t_gpu_corun_us: f64,
+    /// Output bytes an explicit merge would copy — Eq. (3)'s volume.
+    pub output_bytes: u64,
+    /// Explicit copy bandwidth (GB/s) of the merge model.
+    pub copy_rate_gbps: f64,
+    /// Per-split synchronization overhead (us).
+    pub sync_overhead_us: f64,
+}
+
+/// One candidate the tuner priced for a node, kept for provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateCost {
+    /// Candidate label ("cpu", "gpu", "output split 40% cpu", ...).
+    pub label: String,
+    /// Predicted execution time (us) under the active memory policy.
+    pub predicted_us: f64,
+    /// True for the candidate the plan settled on.
+    pub chosen: bool,
+}
+
 /// Per-node candidate costs considered by the chain DP.
 #[derive(Debug, Clone)]
 struct NodeCandidates {
@@ -71,6 +101,8 @@ struct NodeCandidates {
     /// Intra-kernel co-run candidate, when the layer is splittable and
     /// Eq. (4) yields an interior optimum.
     split: Option<SplitCandidate>,
+    /// The closed-form inputs, when the layer was splittable at all.
+    eq: Option<EqInputs>,
     /// Activation bytes the node reads (handoff sizing).
     input_bytes: u64,
 }
@@ -104,6 +136,14 @@ pub struct NodeExplanation {
     pub assignment: Assignment,
     /// The output allocation strategy.
     pub output_alloc: AllocStrategy,
+    /// Predicted time of the chosen candidate (us).
+    pub predicted_us: f64,
+    /// Every candidate the tuner priced, including the rejected ones.
+    pub candidates: Vec<CandidateCost>,
+    /// The Eq. (1)-(4) inputs, when the layer was splittable.
+    pub eq_inputs: Option<EqInputs>,
+    /// One-line justification of the decision.
+    pub rationale: String,
 }
 
 /// The adaptive tuner.
@@ -121,10 +161,17 @@ impl Tuner {
     /// # Errors
     /// Propagates workload failures from profiling.
     pub fn new(graph: &Graph, runtime: &Runtime<'_>) -> Result<Self> {
-        let mut tuner = Self { stats: Vec::with_capacity(graph.len()), alpha: 0.4 };
+        let mut tuner = Self {
+            stats: Vec::with_capacity(graph.len()),
+            alpha: 0.4,
+        };
         for id in graph.topo_order() {
             let (t_cpu_us, t_gpu_us) = runtime.node_times(graph, id)?;
-            tuner.stats.push(NodeStats { t_cpu_us, t_gpu_us, samples: 1 });
+            tuner.stats.push(NodeStats {
+                t_cpu_us,
+                t_gpu_us,
+                samples: 1,
+            });
         }
         Ok(tuner)
     }
@@ -192,6 +239,25 @@ impl Tuner {
                 s.t_gpu_us += self.alpha * (t_gpu - s.t_gpu_us);
             }
             s.samples += 1;
+            let (ema_cpu, ema_gpu, round) = (s.t_cpu_us, s.t_gpu_us, s.samples);
+            if let Some(sink) = runtime.observer() {
+                let node = graph.node(id)?;
+                if node.layer().class() != LayerClass::Input {
+                    let name = node.layer().name();
+                    sink.emit(SinkEvent::Counter {
+                        track: format!("ema_cpu_us/{name}"),
+                        t_us: f64::from(round),
+                        value: ema_cpu,
+                    });
+                    if ema_gpu.is_finite() {
+                        sink.emit(SinkEvent::Counter {
+                            track: format!("ema_gpu_us/{name}"),
+                            t_us: f64::from(round),
+                            value: ema_gpu,
+                        });
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -233,9 +299,15 @@ impl Tuner {
         // --- Hybrid-execution decisions -------------------------------
         let structure = graph.structure()?;
         let allow_intra = platform.has_gpu()
-            && matches!(config.hybrid, HybridMode::IntraKernelOnly | HybridMode::InterAndIntra);
+            && matches!(
+                config.hybrid,
+                HybridMode::IntraKernelOnly | HybridMode::InterAndIntra
+            );
         let allow_inter = platform.has_gpu()
-            && matches!(config.hybrid, HybridMode::InterKernelOnly | HybridMode::InterAndIntra);
+            && matches!(
+                config.hybrid,
+                HybridMode::InterKernelOnly | HybridMode::InterAndIntra
+            );
 
         let mut first_chain = true;
         for segment in structure.segments() {
@@ -245,8 +317,13 @@ impl Tuner {
                         // The first chain starts at the input node (data on
                         // the host); later chains start at a join, where the
                         // processors have just synchronized.
-                        let start = if first_chain { ChainStart::Host } else { ChainStart::Synced };
-                        let _ = self.decide_chain(graph, runtime, &config, chain, start, &mut nodes)?;
+                        let start = if first_chain {
+                            ChainStart::Host
+                        } else {
+                            ChainStart::Synced
+                        };
+                        let _ =
+                            self.decide_chain(graph, runtime, &config, chain, start, &mut nodes)?;
                     }
                     first_chain = false;
                 }
@@ -278,7 +355,11 @@ impl Tuner {
                                 &mut inter_nodes,
                                 platform,
                             )?;
-                            nodes = if inter_cost < intra_cost { inter_nodes } else { intra_nodes };
+                            nodes = if inter_cost < intra_cost {
+                                inter_nodes
+                            } else {
+                                intra_nodes
+                            };
                         }
                         (true, false) => {
                             self.decide_branches(graph, &config, branches, &mut nodes, platform)?;
@@ -319,31 +400,88 @@ impl Tuner {
         Ok(plan)
     }
 
-    /// Explains a plan node by node: profiled times next to the chosen
-    /// assignment and allocation — the "why" behind every decision.
+    /// Explains a plan node by node: profiled times, every candidate the
+    /// planner priced (with the rejected costs), the Eq. (1)-(4) inputs,
+    /// and a one-line rationale — the "why" behind every decision.
     ///
     /// # Errors
     /// Returns [`crate::CoreError::PlanMismatch`] when the plan or the
     /// statistics do not cover `graph`.
-    pub fn explain(&self, graph: &Graph, plan: &ExecutionPlan) -> Result<Vec<NodeExplanation>> {
+    pub fn explain(
+        &self,
+        graph: &Graph,
+        runtime: &Runtime<'_>,
+        plan: &ExecutionPlan,
+    ) -> Result<Vec<NodeExplanation>> {
         plan.validate(graph)?;
         if self.stats.len() != graph.len() {
             return Err(crate::CoreError::PlanMismatch {
                 reason: "statistics do not cover the graph".to_string(),
             });
         }
+        let has_gpu = runtime.platform().has_gpu();
         let mut rows = Vec::with_capacity(graph.len().saturating_sub(1));
         for id in graph.topo_order().skip(1) {
             let node = graph.node(id)?;
             let stats = self.stats[id.index()];
+            let assignment = plan.nodes[id.index()].assignment;
+            let output_alloc = plan.nodes[id.index()].output_alloc;
+
+            // Re-derive the candidate costs the planner weighed (the
+            // policy-adjusted GPU time and the launch-aware split).
+            let cand = if has_gpu {
+                Some(self.node_candidates(graph, runtime, &plan.config, id)?)
+            } else {
+                None
+            };
+            let t_cpu = cand.as_ref().map_or(stats.t_cpu_us, |c| c.t_cpu_us);
+            let t_gpu = cand.as_ref().map_or(stats.t_gpu_us, |c| c.t_gpu_us);
+            let split = cand.as_ref().and_then(|c| c.split.clone());
+
+            let mut candidates = vec![CandidateCost {
+                label: "cpu".to_string(),
+                predicted_us: t_cpu,
+                chosen: matches!(assignment, Assignment::Cpu),
+            }];
+            if has_gpu {
+                candidates.push(CandidateCost {
+                    label: "gpu".to_string(),
+                    predicted_us: t_gpu,
+                    chosen: matches!(assignment, Assignment::Gpu),
+                });
+            }
+            if let Some(s) = &split {
+                candidates.push(CandidateCost {
+                    label: format!(
+                        "{} split {:.0}% cpu",
+                        if s.by_input {
+                            "input-channel"
+                        } else {
+                            "output"
+                        },
+                        s.cpu_fraction * 100.0
+                    ),
+                    predicted_us: s.t_total_us,
+                    chosen: assignment.is_corun(),
+                });
+            }
+            let predicted_us = candidates
+                .iter()
+                .find(|c| c.chosen)
+                .map_or_else(|| t_cpu.min(t_gpu), |c| c.predicted_us);
+            let rationale = rationale_line(assignment, t_cpu, t_gpu, split.as_ref(), output_alloc);
             rows.push(NodeExplanation {
                 node: id.index(),
                 name: node.layer().name().to_string(),
                 class: node.layer().class().tag().to_string(),
                 t_cpu_us: stats.t_cpu_us,
                 t_gpu_us: stats.t_gpu_us,
-                assignment: plan.nodes[id.index()].assignment,
-                output_alloc: plan.nodes[id.index()].output_alloc,
+                assignment,
+                output_alloc,
+                predicted_us,
+                candidates,
+                eq_inputs: cand.and_then(|c| c.eq),
+                rationale,
             });
         }
         Ok(rows)
@@ -370,6 +508,18 @@ impl Tuner {
             history.push(report.total_us);
             self.observe(graph, runtime, jitter, round as u64 + 1)?;
             plan = self.plan(graph, runtime, config)?;
+            if let Some(sink) = runtime.observer() {
+                sink.emit(SinkEvent::Instant {
+                    category: "plan",
+                    label: format!(
+                        "plan regenerated after round {} ({} co-run layers, {} zero-copy arrays)",
+                        round + 1,
+                        plan.corun_count(),
+                        plan.managed_count()
+                    ),
+                    t_us: (round + 1) as f64,
+                });
+            }
         }
         Ok((plan, history))
     }
@@ -412,9 +562,12 @@ impl Tuner {
             .iter()
             .map(|i| graph.node(*i).map(|n| n.output_shape()))
             .collect::<std::result::Result<_, _>>()?;
-        let units =
-            if node.layer().partitionable() { node.layer().partition_units(&shapes)? } else { 1 };
-        let split = if units >= 2 {
+        let units = if node.layer().partitionable() {
+            node.layer().partition_units(&shapes)?
+        } else {
+            1
+        };
+        let (split, eq) = if units >= 2 {
             let cpu_spec = &runtime.platform().cpu;
             let cpu_corun = edgenn_sim::processor::ExecutionContext {
                 bandwidth_factor: 1.0,
@@ -472,17 +625,17 @@ impl Tuner {
             let candidates: &[(f64, bool)] = match config.memory_policy {
                 MemoryPolicy::AllExplicit => &[(explicit_decision.p_cpu, true)],
                 MemoryPolicy::AllManaged => &[(managed_decision.p_cpu, false)],
-                MemoryPolicy::SemanticAware => {
-                    &[(explicit_decision.p_cpu, true), (managed_decision.p_cpu, false)]
-                }
+                MemoryPolicy::SemanticAware => &[
+                    (explicit_decision.p_cpu, true),
+                    (managed_decision.p_cpu, false),
+                ],
             };
             for &(p_raw, explicit_merge) in candidates {
                 if p_raw <= 0.0 || p_raw >= 1.0 {
                     continue;
                 }
                 // Snap to whole partition units, as the runtime will.
-                let cpu_units =
-                    ((p_raw * units as f64).round() as usize).clamp(1, units - 1);
+                let cpu_units = ((p_raw * units as f64).round() as usize).clamp(1, units - 1);
                 let p = cpu_units as f64 / units as f64;
                 let t = evaluate(p, explicit_merge);
                 if best.as_ref().map(|b| t < b.t_total_us).unwrap_or(true) {
@@ -522,12 +675,10 @@ impl Tuner {
                     let t_c = cpu_spec
                         .kernel_time_us(&crate::runtime::scale_desc_input(&desc, p), &cpu_corun)
                         * ema_cpu;
-                    let t_g = gpu_spec
-                        .kernel_time_us(
-                            &crate::runtime::scale_desc_input(&desc, 1.0 - p),
-                            &gpu_corun,
-                        )
-                        * ema_gpu;
+                    let t_g = gpu_spec.kernel_time_us(
+                        &crate::runtime::scale_desc_input(&desc, 1.0 - p),
+                        &gpu_corun,
+                    ) * ema_gpu;
                     let t = t_c.max(t_g) + merge_full + config.sync_overhead_us;
                     if best.as_ref().map(|b| t < b.t_total_us).unwrap_or(true) {
                         best = Some(SplitCandidate {
@@ -539,13 +690,26 @@ impl Tuner {
                     }
                 }
             }
-            best
+            let eq = EqInputs {
+                t_cpu_corun_us: t_cpu_co,
+                t_gpu_corun_us: t_gpu_co,
+                output_bytes: v_o,
+                copy_rate_gbps: memory.copy_bw_gbps,
+                sync_overhead_us: config.sync_overhead_us,
+            };
+            (best, Some(eq))
         } else {
-            None
+            (None, None)
         };
 
         let input_bytes = desc.bytes_in;
-        Ok(NodeCandidates { t_gpu_us: t_gpu, t_cpu_us: t_cpu, split, input_bytes })
+        Ok(NodeCandidates {
+            t_gpu_us: t_gpu,
+            t_cpu_us: t_cpu,
+            split,
+            eq,
+            input_bytes,
+        })
     }
 
     /// Assigns a whole chain with a dynamic program over per-node states
@@ -626,7 +790,10 @@ impl Tuner {
             let node_cost = [
                 cand.t_gpu_us * weight(GPU),
                 cand.t_cpu_us * weight(CPU),
-                cand.split.as_ref().map(|s| s.t_total_us * weight(2)).unwrap_or(inf),
+                cand.split
+                    .as_ref()
+                    .map(|s| s.t_total_us * weight(2))
+                    .unwrap_or(inf),
             ];
             for state in 0..3 {
                 if node_cost[state].is_infinite() {
@@ -671,11 +838,18 @@ impl Tuner {
                 GPU => nodes[idx].assignment = Assignment::Gpu,
                 CPU => nodes[idx].assignment = Assignment::Cpu,
                 _ => {
-                    let split = candidates[i].split.as_ref().expect("split state implies candidate");
+                    let split = candidates[i]
+                        .split
+                        .as_ref()
+                        .expect("split state implies candidate");
                     nodes[idx].assignment = if split.by_input {
-                        Assignment::SplitInput { cpu_fraction: split.cpu_fraction }
+                        Assignment::SplitInput {
+                            cpu_fraction: split.cpu_fraction,
+                        }
                     } else {
-                        Assignment::Split { cpu_fraction: split.cpu_fraction }
+                        Assignment::Split {
+                            cpu_fraction: split.cpu_fraction,
+                        }
                     };
                     if config.memory_policy == MemoryPolicy::SemanticAware {
                         nodes[idx].output_alloc = split.alloc;
@@ -702,8 +876,14 @@ impl Tuner {
         let costs: Vec<BranchCost> = branches
             .iter()
             .map(|branch| {
-                let t_cpu: f64 = branch.iter().map(|id| self.stats[id.index()].t_cpu_us).sum();
-                let t_gpu: f64 = branch.iter().map(|id| self.stats[id.index()].t_gpu_us).sum();
+                let t_cpu: f64 = branch
+                    .iter()
+                    .map(|id| self.stats[id.index()].t_cpu_us)
+                    .sum();
+                let t_gpu: f64 = branch
+                    .iter()
+                    .map(|id| self.stats[id.index()].t_gpu_us)
+                    .sum();
                 let output_bytes = branch
                     .last()
                     .map(|id| {
@@ -713,7 +893,11 @@ impl Tuner {
                             .unwrap_or(0)
                     })
                     .unwrap_or(0);
-                BranchCost { t_cpu_us: t_cpu, t_gpu_us: t_gpu, output_bytes }
+                BranchCost {
+                    t_cpu_us: t_cpu,
+                    t_gpu_us: t_gpu,
+                    output_bytes,
+                }
             })
             .collect();
 
@@ -721,9 +905,10 @@ impl Tuner {
         // explicit copy under the naive policy, a zero-copy coherence
         // handoff (no data movement on the integrated SoC) otherwise.
         let (merge_rate_gbps, merge_fixed_us) = match config.memory_policy {
-            MemoryPolicy::AllExplicit => {
-                (platform.memory.copy_bw_gbps, platform.memory.copy_latency_us)
-            }
+            MemoryPolicy::AllExplicit => (
+                platform.memory.copy_bw_gbps,
+                platform.memory.copy_latency_us,
+            ),
             _ => (
                 1e3 / platform.memory.page_migration_us_per_mb.max(1e-3),
                 platform.memory.page_fault_overhead_us,
@@ -836,6 +1021,66 @@ impl Tuner {
     }
 }
 
+/// One-line justification for a node's assignment given the candidate
+/// costs the planner weighed.
+fn rationale_line(
+    assignment: Assignment,
+    t_cpu_us: f64,
+    t_gpu_us: f64,
+    split: Option<&SplitCandidate>,
+    alloc: AllocStrategy,
+) -> String {
+    match assignment {
+        Assignment::Cpu => {
+            if t_cpu_us <= t_gpu_us {
+                format!("CPU solo {t_cpu_us:.1} us beats GPU {t_gpu_us:.1} us; output {alloc}")
+            } else {
+                format!(
+                    "on the CPU by a region decision (branch overlap or handoff avoidance) \
+                     despite GPU solo {t_gpu_us:.1} us < CPU {t_cpu_us:.1} us; output {alloc}"
+                )
+            }
+        }
+        Assignment::Gpu => {
+            let split_note = match split {
+                Some(s) => format!("; split rejected at {:.1} us", s.t_total_us),
+                None => "; no viable split".to_string(),
+            };
+            if t_gpu_us <= t_cpu_us {
+                format!(
+                    "GPU solo {t_gpu_us:.1} us beats CPU {t_cpu_us:.1} us{split_note}; \
+                     output {alloc}"
+                )
+            } else {
+                format!(
+                    "kept on the GPU by a region decision despite CPU solo {t_cpu_us:.1} us \
+                     < GPU {t_gpu_us:.1} us; output {alloc}"
+                )
+            }
+        }
+        Assignment::Split { cpu_fraction } | Assignment::SplitInput { cpu_fraction } => {
+            let kind = if matches!(assignment, Assignment::SplitInput { .. }) {
+                "input-channel"
+            } else {
+                "output"
+            };
+            match split {
+                Some(s) => format!(
+                    "co-run ({kind} split, {:.0}% cpu) predicted {:.1} us beats \
+                     GPU {t_gpu_us:.1} us and CPU {t_cpu_us:.1} us; output {alloc}",
+                    cpu_fraction * 100.0,
+                    s.t_total_us
+                ),
+                None => format!(
+                    "co-run ({kind} split, {:.0}% cpu) chosen over GPU {t_gpu_us:.1} us \
+                     and CPU {t_cpu_us:.1} us; output {alloc}",
+                    cpu_fraction * 100.0
+                ),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -851,9 +1096,14 @@ mod tests {
         let (graph, platform) = setup(ModelKind::AlexNet);
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
         assert!(plan.corun_count() > 0, "AlexNet fc layers should co-run");
-        assert!(plan.managed_count() > plan.nodes.len() / 2, "most arrays zero-copy");
+        assert!(
+            plan.managed_count() > plan.nodes.len() / 2,
+            "most arrays zero-copy"
+        );
     }
 
     #[test]
@@ -863,7 +1113,9 @@ mod tests {
         let (graph, platform) = setup(ModelKind::AlexNet);
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
         for (idx, node) in graph.nodes().iter().enumerate() {
             match node.layer().class() {
                 LayerClass::Fc => assert!(
@@ -886,9 +1138,14 @@ mod tests {
         let (graph, platform) = setup(ModelKind::SqueezeNet);
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::baseline_gpu())
+            .unwrap();
         assert_eq!(plan.corun_count(), 0);
-        assert!(plan.nodes.iter().all(|n| !matches!(n.assignment, Assignment::Cpu)));
+        assert!(plan
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.assignment, Assignment::Cpu)));
         assert_eq!(plan.managed_count(), 0, "baseline is all-explicit");
     }
 
@@ -897,11 +1154,16 @@ mod tests {
         let (graph, platform) = setup(ModelKind::SqueezeNet);
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::inter_kernel_only()).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::inter_kernel_only())
+            .unwrap();
         assert_eq!(plan.corun_count(), 0, "no intra-kernel splits allowed");
         // Some branch moved to the CPU.
-        let cpu_nodes =
-            plan.nodes.iter().filter(|n| matches!(n.assignment, Assignment::Cpu)).count();
+        let cpu_nodes = plan
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.assignment, Assignment::Cpu))
+            .count();
         assert!(cpu_nodes > 0, "fire-module branches should use the CPU");
     }
 
@@ -911,8 +1173,13 @@ mod tests {
         let platform = raspberry_pi_4();
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::cpu_only()).unwrap();
-        assert!(plan.nodes.iter().all(|n| matches!(n.assignment, Assignment::Cpu)));
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::cpu_only())
+            .unwrap();
+        assert!(plan
+            .nodes
+            .iter()
+            .all(|n| matches!(n.assignment, Assignment::Cpu)));
         let report = runtime.simulate(&graph, &plan).unwrap();
         assert!(report.total_us > 0.0);
     }
@@ -926,7 +1193,10 @@ mod tests {
         tuner.observe(&graph, &runtime, 0.3, 42).unwrap();
         let after = tuner.stats()[1];
         assert_eq!(after.samples, before.samples + 1);
-        assert_ne!(after.t_cpu_us, before.t_cpu_us, "jittered observation shifts the EMA");
+        assert_ne!(
+            after.t_cpu_us, before.t_cpu_us,
+            "jittered observation shifts the EMA"
+        );
     }
 
     #[test]
@@ -934,11 +1204,14 @@ mod tests {
         let (graph, platform) = setup(ModelKind::AlexNet);
         let runtime = Runtime::new(&platform);
         let mut tuner = Tuner::new(&graph, &runtime).unwrap();
-        let (plan, history) =
-            tuner.adapt(&graph, &runtime, ExecutionConfig::edgenn(), 6, 0.15).unwrap();
+        let (plan, history) = tuner
+            .adapt(&graph, &runtime, ExecutionConfig::edgenn(), 6, 0.15)
+            .unwrap();
         assert_eq!(history.len(), 6);
         // Re-planning from the converged stats yields the same plan.
-        let replanned = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let replanned = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
         assert_eq!(replanned.corun_count(), plan.corun_count());
     }
 
@@ -947,22 +1220,91 @@ mod tests {
         let (graph, platform) = setup(ModelKind::AlexNet);
         let runtime = Runtime::new(&platform);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
-        let rows = tuner.explain(&graph, &plan).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
+        let rows = tuner.explain(&graph, &runtime, &plan).unwrap();
         assert_eq!(rows.len(), graph.len() - 1);
         for row in &rows {
             assert!(row.t_cpu_us > 0.0 && row.t_gpu_us > 0.0, "{}", row.name);
             assert_eq!(row.assignment, plan.nodes[row.node].assignment);
+            assert!(!row.rationale.is_empty(), "{} lacks a rationale", row.name);
+            assert!(
+                row.candidates.len() >= 2,
+                "{} lists too few candidates",
+                row.name
+            );
+            assert!(
+                row.candidates.iter().filter(|c| c.chosen).count() <= 1,
+                "{} marks several candidates chosen",
+                row.name
+            );
+            assert!(row.predicted_us > 0.0, "{}", row.name);
         }
-        // Every co-run fc layer is visible in the explanation.
-        let corun_fc = rows
+        // Every co-run fc layer is visible in the explanation, carries the
+        // Eq. (1)-(4) inputs, and shows the rejected solo candidates.
+        let corun: Vec<_> = rows
             .iter()
             .filter(|r| r.class == "fc" && r.assignment.is_corun())
-            .count();
-        assert!(corun_fc > 0, "AlexNet's fc layers should show as co-run");
+            .collect();
+        assert!(
+            !corun.is_empty(),
+            "AlexNet's fc layers should show as co-run"
+        );
+        for row in corun {
+            let eq = row.eq_inputs.expect("splittable layer records Eq. inputs");
+            assert!(eq.t_cpu_corun_us > 0.0 && eq.t_gpu_corun_us > 0.0);
+            let rejected: Vec<_> = row.candidates.iter().filter(|c| !c.chosen).collect();
+            assert!(
+                rejected.len() >= 2,
+                "{} should show rejected solo costs",
+                row.name
+            );
+            assert!(row.rationale.contains("co-run"), "{}", row.rationale);
+        }
         // A plan from another graph is rejected.
         let other = build(ModelKind::LeNet, ModelScale::Paper);
-        assert!(tuner.explain(&other, &plan).is_err());
+        assert!(tuner.explain(&other, &runtime, &plan).is_err());
+    }
+
+    #[test]
+    fn observe_and_adapt_emit_provenance_events() {
+        use edgenn_obs::Recorder;
+        use std::sync::Arc;
+
+        let (graph, platform) = setup(ModelKind::AlexNet);
+        let recorder = Recorder::new();
+        let runtime = Runtime::with_observer(&platform, Arc::new(recorder.clone()));
+        let mut tuner = Tuner::new(&graph, &runtime).unwrap();
+        tuner
+            .adapt(&graph, &runtime, ExecutionConfig::edgenn(), 3, 0.1)
+            .unwrap();
+
+        // EMA evolution: one counter track per layer and processor, one
+        // sample per observed round.
+        let samples = recorder.counter_samples();
+        let ema_tracks: std::collections::BTreeSet<_> = samples
+            .iter()
+            .filter(|s| s.track.starts_with("ema_"))
+            .map(|s| s.track.clone())
+            .collect();
+        assert_eq!(
+            ema_tracks.len(),
+            2 * (graph.len() - 1),
+            "cpu+gpu track per layer"
+        );
+        let fc_cpu: Vec<_> = samples
+            .iter()
+            .filter(|s| s.track.starts_with("ema_cpu_us/fc"))
+            .collect();
+        assert!(fc_cpu.len() >= 3, "one EMA sample per adaptation round");
+
+        // Plan regenerations are marked.
+        let regen = recorder
+            .metrics()
+            .counter_value("edgenn_plan_events_total")
+            .unwrap_or(0.0);
+        assert_eq!(regen, 3.0, "one plan-regeneration marker per round");
     }
 
     #[test]
@@ -971,14 +1313,21 @@ mod tests {
         let runtime = Runtime::new(&platform);
         let mut tuner = Tuner::new(&graph, &runtime).unwrap();
         tuner.observe(&graph, &runtime, 0.1, 5).unwrap();
-        let original = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let original = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
 
         // Persist and restore the statistics (e.g. across a device reboot).
         let json = serde_json::to_string(tuner.stats()).unwrap();
         let stats: Vec<NodeStats> = serde_json::from_str(&json).unwrap();
         let restored = Tuner::from_stats(&graph, stats).unwrap();
-        let replanned = restored.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
-        assert_eq!(replanned, original, "restored stats must reproduce the plan");
+        let replanned = restored
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
+        assert_eq!(
+            replanned, original,
+            "restored stats must reproduce the plan"
+        );
 
         // Mismatched statistics are rejected.
         let other = build(ModelKind::LeNet, ModelScale::Paper);
@@ -996,7 +1345,12 @@ mod tests {
             let graph = build(kind, ModelScale::Paper);
             let tuner = Tuner::new(&graph, &runtime).unwrap();
             let fast = runtime
-                .simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap())
+                .simulate(
+                    &graph,
+                    &tuner
+                        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                        .unwrap(),
+                )
                 .unwrap();
             let frugal = runtime
                 .simulate(
@@ -1016,7 +1370,10 @@ mod tests {
                 better_somewhere = true;
             }
         }
-        assert!(better_somewhere, "the energy objective should matter on some network");
+        assert!(
+            better_somewhere,
+            "the energy objective should matter on some network"
+        );
     }
 
     #[test]

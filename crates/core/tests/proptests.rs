@@ -1,5 +1,8 @@
-//! Property-based tests for EdgeNN's planning math and plan/runtime
-//! consistency.
+//! Randomized (seeded, deterministic) tests for EdgeNN's planning math and
+//! plan/runtime consistency.
+//!
+//! These were originally property-based tests; they now draw cases from a
+//! fixed-seed RNG so the suite is reproducible and dependency-free.
 
 use edgenn_core::assign::{optimal_assignment, BranchCost};
 use edgenn_core::partition::{optimal_partition, t_total_us, PartitionInputs};
@@ -8,53 +11,67 @@ use edgenn_core::prelude::*;
 use edgenn_core::runtime::{functional, Runtime};
 use edgenn_sim::platforms;
 use edgenn_tensor::Tensor;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
-fn arb_partition_inputs() -> impl Strategy<Value = PartitionInputs> {
-    (0.1f64..10_000.0, 0.1f64..10_000.0, 0u64..50_000_000, 0.1f64..50.0, 0.0f64..50.0).prop_map(
-        |(t_cpu_us, t_gpu_us, output_bytes, copy_rate_gbps, sync_overhead_us)| PartitionInputs {
-            t_cpu_us,
-            t_gpu_us,
-            output_bytes,
-            copy_rate_gbps,
-            sync_overhead_us,
-        },
-    )
+const CASES: usize = 64;
+
+fn arb_partition_inputs(rng: &mut rand::rngs::StdRng) -> PartitionInputs {
+    PartitionInputs {
+        t_cpu_us: rng.gen_range(0.1f64..10_000.0),
+        t_gpu_us: rng.gen_range(0.1f64..10_000.0),
+        output_bytes: rng.gen_range(0u64..50_000_000),
+        copy_rate_gbps: rng.gen_range(0.1f64..50.0),
+        sync_overhead_us: rng.gen_range(0.0f64..50.0),
+    }
 }
 
-proptest! {
-    #[test]
-    fn partition_decision_never_loses_to_endpoints(inputs in arb_partition_inputs()) {
+#[test]
+fn partition_decision_never_loses_to_endpoints() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0001);
+    for _ in 0..CASES {
+        let inputs = arb_partition_inputs(&mut rng);
         let d = optimal_partition(&inputs);
-        prop_assert!(d.t_total_us <= t_total_us(&inputs, 0.0) + 1e-9, "vs GPU-only");
-        prop_assert!(d.t_total_us <= t_total_us(&inputs, 1.0) + 1e-9, "vs CPU-only");
-        prop_assert!((0.0..=1.0).contains(&d.p_cpu));
-        prop_assert!(d.improvement() >= 0.0);
+        assert!(
+            d.t_total_us <= t_total_us(&inputs, 0.0) + 1e-9,
+            "vs GPU-only"
+        );
+        assert!(
+            d.t_total_us <= t_total_us(&inputs, 1.0) + 1e-9,
+            "vs CPU-only"
+        );
+        assert!((0.0..=1.0).contains(&d.p_cpu));
+        assert!(d.improvement() >= 0.0);
     }
+}
 
-    #[test]
-    fn partition_closed_form_is_global_optimum_without_sync(
-        inputs in arb_partition_inputs(),
-    ) {
+#[test]
+fn partition_closed_form_is_global_optimum_without_sync() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0002);
+    for _ in 0..CASES {
         // In the paper's idealized setting (no fixed sync cost), Eq. (4)
         // must beat every sampled p.
-        let inputs = PartitionInputs { sync_overhead_us: 0.0, ..inputs };
+        let inputs = PartitionInputs {
+            sync_overhead_us: 0.0,
+            ..arb_partition_inputs(&mut rng)
+        };
         let d = optimal_partition(&inputs);
         for k in 0..=200 {
             let p = k as f64 / 200.0;
-            prop_assert!(
+            assert!(
                 d.t_total_us <= t_total_us(&inputs, p) + 1e-6,
                 "p_op {} beaten at p = {p}",
                 d.p_cpu
             );
         }
     }
+}
 
-    #[test]
-    fn partition_decision_monotone_in_merge_cost(
-        inputs in arb_partition_inputs(),
-        slower in 1.5f64..20.0,
-    ) {
+#[test]
+fn partition_decision_monotone_in_merge_cost() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0003);
+    for _ in 0..CASES {
+        let inputs = arb_partition_inputs(&mut rng);
+        let slower = rng.gen_range(1.5f64..20.0);
         // A slower merge rate can only reduce the attractiveness of
         // splitting: the decision time never improves.
         let worse = PartitionInputs {
@@ -63,36 +80,40 @@ proptest! {
         };
         let d1 = optimal_partition(&inputs);
         let d2 = optimal_partition(&worse);
-        prop_assert!(d2.t_total_us >= d1.t_total_us - 1e-9);
+        assert!(d2.t_total_us >= d1.t_total_us - 1e-9);
     }
+}
 
-    #[test]
-    fn assignment_never_loses_to_all_gpu(
-        branches in prop::collection::vec(
-            (0.1f64..5000.0, 0.1f64..5000.0, 0u64..10_000_000),
-            2..5,
-        ),
-        rate in 0.1f64..50.0,
-        fixed in 0.0f64..30.0,
-        sync in 0.0f64..30.0,
-    ) {
-        let costs: Vec<BranchCost> = branches
-            .iter()
-            .map(|&(c, g, b)| BranchCost { t_cpu_us: c, t_gpu_us: g, output_bytes: b })
+#[test]
+fn assignment_never_loses_to_all_gpu() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..5);
+        let costs: Vec<BranchCost> = (0..n)
+            .map(|_| BranchCost {
+                t_cpu_us: rng.gen_range(0.1f64..5000.0),
+                t_gpu_us: rng.gen_range(0.1f64..5000.0),
+                output_bytes: rng.gen_range(0u64..10_000_000),
+            })
             .collect();
+        let rate = rng.gen_range(0.1f64..50.0);
+        let fixed = rng.gen_range(0.0f64..30.0);
+        let sync = rng.gen_range(0.0f64..30.0);
         let all_gpu: f64 = costs.iter().map(|b| b.t_gpu_us).sum();
         let d = optimal_assignment(&costs, rate, fixed, sync);
-        prop_assert!(d.t_total_us <= all_gpu + 1e-9);
-        prop_assert!(d.t_gpu_only_us == all_gpu);
-        prop_assert!(d.improvement() >= 0.0);
+        assert!(d.t_total_us <= all_gpu + 1e-9);
+        assert!(d.t_gpu_only_us == all_gpu);
+        assert!(d.improvement() >= 0.0);
     }
+}
 
-    #[test]
-    fn random_plans_execute_losslessly(
-        assignments in prop::collection::vec(0usize..3, 32),
-        fractions in prop::collection::vec(0.05f64..0.95, 32),
-        seed in 0u64..200,
-    ) {
+#[test]
+fn random_plans_execute_losslessly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0005);
+    for _ in 0..16 {
+        let assignments: Vec<usize> = (0..32).map(|_| rng.gen_range(0usize..3)).collect();
+        let fractions: Vec<f64> = (0..32).map(|_| rng.gen_range(0.05f64..0.95)).collect();
+        let seed = rng.gen_range(0u64..200);
         // Any structurally valid plan — random processor choices and split
         // fractions — must produce exactly the reference output.
         let graph = build(ModelKind::LeNet, ModelScale::Tiny);
@@ -110,21 +131,28 @@ proptest! {
             nodes[i].assignment = match choice {
                 0 => Assignment::Gpu,
                 1 => Assignment::Cpu,
-                _ if node.layer().partitionable() && units >= 2 => {
-                    Assignment::Split { cpu_fraction: fractions[i % fractions.len()] }
-                }
+                _ if node.layer().partitionable() && units >= 2 => Assignment::Split {
+                    cpu_fraction: fractions[i % fractions.len()],
+                },
                 _ => Assignment::Gpu,
             };
         }
-        let plan = ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+        let plan = ExecutionPlan {
+            config: ExecutionConfig::edgenn(),
+            nodes,
+        };
         let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
         let reference = graph.forward(&input).unwrap();
         let outcome = functional::execute(&graph, &plan, &input).unwrap();
-        prop_assert!(outcome.output.approx_eq(&reference, 1e-4));
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
     }
+}
 
-    #[test]
-    fn simulation_time_positive_and_layers_ordered(seed in 0u64..100) {
+#[test]
+fn simulation_time_positive_and_layers_ordered() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0006);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..100);
         let jetson = platforms::jetson_agx_xavier();
         let runtime = Runtime::new(&jetson);
         let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
@@ -134,26 +162,30 @@ proptest! {
         config.jitter_seed = seed;
         let plan = tuner.plan(&graph, &runtime, config).unwrap();
         let report = runtime.simulate(&graph, &plan).unwrap();
-        prop_assert!(report.total_us > 0.0);
+        assert!(report.total_us > 0.0);
         for layer in &report.layers {
-            prop_assert!(layer.end_us >= layer.start_us);
-            prop_assert!(layer.end_us <= report.total_us + 1e-6);
+            assert!(layer.end_us >= layer.start_us);
+            assert!(layer.end_us <= report.total_us + 1e-6);
         }
         // Events are consistent: no event ends after the reported total,
         // and no processor ever runs two activities at once.
         for event in &report.events {
-            prop_assert!(event.end_us <= report.total_us + 1e-6);
-            prop_assert!(event.duration_us() >= -1e-9);
+            assert!(event.end_us <= report.total_us + 1e-6);
+            assert!(event.duration_us() >= -1e-9);
         }
-        prop_assert!(
+        assert!(
             edgenn_sim::trace::validate_events(&report.events).is_ok(),
             "{:?}",
             edgenn_sim::trace::validate_events(&report.events)
         );
     }
+}
 
-    #[test]
-    fn jitter_bounds_total_time(seed in 0u64..50) {
+#[test]
+fn jitter_bounds_total_time() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0007);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0u64..50);
         // With jitter amplitude a, the total must stay within the
         // [1-a, 1+a]-scaled envelope of the jitter-free run (all kernel
         // durations scale by at most that factor; fixed costs don't grow).
@@ -161,14 +193,16 @@ proptest! {
         let runtime = Runtime::new(&jetson);
         let graph = build(ModelKind::AlexNet, ModelScale::Paper);
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let clean_plan = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+        let clean_plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::baseline_gpu())
+            .unwrap();
         let clean = runtime.simulate(&graph, &clean_plan).unwrap();
         let mut config = ExecutionConfig::baseline_gpu();
         config.jitter = 0.2;
         config.jitter_seed = seed;
         let jittered_plan = tuner.plan(&graph, &runtime, config).unwrap();
         let jittered = runtime.simulate(&graph, &jittered_plan).unwrap();
-        prop_assert!(jittered.total_us >= clean.total_us * 0.8 - 1.0);
-        prop_assert!(jittered.total_us <= clean.total_us * 1.2 + 1.0);
+        assert!(jittered.total_us >= clean.total_us * 0.8 - 1.0);
+        assert!(jittered.total_us <= clean.total_us * 1.2 + 1.0);
     }
 }

@@ -14,8 +14,12 @@ fn edgenn_never_loses_on_random_networks() {
     for seed in 0..20 {
         let graph = random_cnn(seed, SyntheticSpec::default()).unwrap();
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let baseline_plan = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
-        let edgenn_plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let baseline_plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::baseline_gpu())
+            .unwrap();
+        let edgenn_plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
         edgenn_plan.validate(&graph).unwrap();
         let baseline = runtime.simulate(&graph, &baseline_plan).unwrap();
         let edgenn = runtime.simulate(&graph, &edgenn_plan).unwrap();
@@ -32,11 +36,17 @@ fn edgenn_never_loses_on_random_networks() {
 fn tuned_plans_execute_losslessly_on_random_networks() {
     let jetson = platforms::jetson_agx_xavier();
     let runtime = Runtime::new(&jetson);
-    let spec = SyntheticSpec { stages: 4, resolution: 16, ..SyntheticSpec::default() };
+    let spec = SyntheticSpec {
+        stages: 4,
+        resolution: 16,
+        ..SyntheticSpec::default()
+    };
     for seed in 100..112 {
         let graph = random_cnn(seed, spec).unwrap();
         let tuner = Tuner::new(&graph, &runtime).unwrap();
-        let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
         let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
         let reference = graph.forward(&input).unwrap();
         let outcome = functional::execute(&graph, &plan, &input).unwrap();
@@ -81,13 +91,22 @@ fn deep_networks_stay_plannable() {
     let runtime = Runtime::new(&jetson);
     let graph = random_cnn(
         7,
-        SyntheticSpec { stages: 20, resolution: 64, base_channels: 16, classes: 100 },
+        SyntheticSpec {
+            stages: 20,
+            resolution: 64,
+            base_channels: 16,
+            classes: 100,
+        },
     )
     .unwrap();
     assert!(graph.len() > 40);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
-    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
-    let baseline = tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap();
+    let plan = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
+    let baseline = tuner
+        .plan(&graph, &runtime, ExecutionConfig::baseline_gpu())
+        .unwrap();
     let fast = runtime.simulate(&graph, &plan).unwrap();
     let slow = runtime.simulate(&graph, &baseline).unwrap();
     assert!(fast.total_us <= slow.total_us);

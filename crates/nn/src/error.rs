@@ -58,13 +58,25 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Tensor(e) => write!(f, "tensor error: {e}"),
-            Self::ArityMismatch { layer, expected, actual } => {
-                write!(f, "layer '{layer}' expected {expected} inputs, got {actual}")
+            Self::ArityMismatch {
+                layer,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "layer '{layer}' expected {expected} inputs, got {actual}"
+                )
             }
             Self::BadInputShape { layer, reason } => {
                 write!(f, "layer '{layer}' rejected input: {reason}")
             }
-            Self::BadPartition { layer, start, end, units } => write!(
+            Self::BadPartition {
+                layer,
+                start,
+                end,
+                units,
+            } => write!(
                 f,
                 "layer '{layer}': partition {start}..{end} invalid for {units} units"
             ),
@@ -105,9 +117,21 @@ mod tests {
 
     #[test]
     fn display_includes_layer_names() {
-        let e = NnError::BadPartition { layer: "conv1".into(), start: 2, end: 9, units: 8 };
-        assert_eq!(e.to_string(), "layer 'conv1': partition 2..9 invalid for 8 units");
-        let e = NnError::ArityMismatch { layer: "concat".into(), expected: 2, actual: 1 };
+        let e = NnError::BadPartition {
+            layer: "conv1".into(),
+            start: 2,
+            end: 9,
+            units: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "layer 'conv1': partition 2..9 invalid for 8 units"
+        );
+        let e = NnError::ArityMismatch {
+            layer: "concat".into(),
+            expected: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("concat"));
     }
 }

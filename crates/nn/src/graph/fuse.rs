@@ -27,7 +27,10 @@ pub struct FusedRelu {
 impl FusedRelu {
     /// Fuses a ReLU into `inner`.
     pub fn new(inner: Arc<dyn Layer>) -> Self {
-        Self { name: format!("{}+relu", inner.name()), inner }
+        Self {
+            name: format!("{}+relu", inner.name()),
+            inner,
+        }
     }
 }
 
@@ -147,7 +150,10 @@ mod tests {
         for kind in ModelKind::ALL {
             let graph = build(kind, ModelScale::Tiny);
             let fused = fuse_relu(&graph).unwrap();
-            assert!(fused.len() < graph.len(), "{kind}: fusion should remove nodes");
+            assert!(
+                fused.len() < graph.len(),
+                "{kind}: fusion should remove nodes"
+            );
             let input = Tensor::random(graph.input_shape().dims(), 1.0, 77);
             let a = graph.forward(&input).unwrap();
             let b = fused.forward(&input).unwrap();
@@ -168,7 +174,10 @@ mod tests {
         let fused = fuse_relu(&graph).unwrap();
         let removed = graph.len() - fused.len();
         assert_eq!(removed, 7, "AlexNet has 7 fusible ReLUs");
-        assert!(fused.nodes().iter().any(|n| n.layer().name() == "conv1+relu"));
+        assert!(fused
+            .nodes()
+            .iter()
+            .any(|n| n.layer().name() == "conv1+relu"));
     }
 
     #[test]
@@ -179,10 +188,16 @@ mod tests {
         let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
         let fused = fuse_relu(&graph).unwrap();
         assert!(
-            fused.nodes().iter().any(|n| n.layer().name() == "fire2_squeeze+relu"),
+            fused
+                .nodes()
+                .iter()
+                .any(|n| n.layer().name() == "fire2_squeeze+relu"),
             "the fork ReLU fuses into the squeeze conv"
         );
-        assert!(fused.nodes().iter().any(|n| n.layer().name() == "fire2_e1+relu"));
+        assert!(fused
+            .nodes()
+            .iter()
+            .any(|n| n.layer().name() == "fire2_e1+relu"));
         // Structure survives: still 8 fork-join regions.
         assert_eq!(fused.structure().unwrap().parallel_segment_count(), 8);
     }
@@ -208,6 +223,9 @@ mod tests {
         let graph = build(ModelKind::Vgg16, ModelScale::Paper);
         let fused = fuse_relu(&graph).unwrap();
         let ratio = fused.total_flops() as f64 / graph.total_flops() as f64;
-        assert!((0.99..=1.01).contains(&ratio), "flops preserved, got {ratio}");
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "flops preserved, got {ratio}"
+        );
     }
 }

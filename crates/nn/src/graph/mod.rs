@@ -112,7 +112,9 @@ impl Graph {
     /// # Errors
     /// Returns [`NnError::UnknownNode`] for an out-of-range id.
     pub fn node(&self, id: NodeId) -> Result<&Node> {
-        self.nodes.get(id.index()).ok_or(NnError::UnknownNode { id: id.index() })
+        self.nodes
+            .get(id.index())
+            .ok_or(NnError::UnknownNode { id: id.index() })
     }
 
     /// The input pseudo-node id (always `NodeId(0)`).
@@ -171,7 +173,9 @@ impl Graph {
                 .collect();
             outputs[idx] = Some(node.layer.forward(&inputs)?);
         }
-        Ok(outputs[self.output.index()].take().expect("output computed"))
+        Ok(outputs[self.output.index()]
+            .take()
+            .expect("output computed"))
     }
 
     /// Chain/branch decomposition of the DAG (paper Section IV-D).
@@ -231,7 +235,10 @@ impl Graph {
                     .iter()
                     .map(|i| self.nodes[i.index()].output_shape())
                     .collect();
-                node.layer.workload(&shapes).map(|w| w.weight_bytes).unwrap_or(0)
+                node.layer
+                    .workload(&shapes)
+                    .map(|w| w.weight_bytes)
+                    .unwrap_or(0)
             })
             .sum()
     }
@@ -310,11 +317,17 @@ impl GraphBuilder {
                 return Err(NnError::UnknownNode { id: id.index() });
             }
         }
-        let shapes: Vec<&Shape> =
-            inputs.iter().map(|id| self.nodes[id.index()].output_shape()).collect();
+        let shapes: Vec<&Shape> = inputs
+            .iter()
+            .map(|id| self.nodes[id.index()].output_shape())
+            .collect();
         let output_shape = layer.output_shape(&shapes)?;
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { layer, inputs: inputs.to_vec(), output_shape });
+        self.nodes.push(Node {
+            layer,
+            inputs: inputs.to_vec(),
+            output_shape,
+        });
         Ok(id)
     }
 
@@ -325,7 +338,9 @@ impl GraphBuilder {
     /// or more than one sink.
     pub fn finish(self) -> Result<Graph> {
         if self.nodes.len() < 2 {
-            return Err(NnError::InvalidGraph { reason: "graph has no layers".to_string() });
+            return Err(NnError::InvalidGraph {
+                reason: "graph has no layers".to_string(),
+            });
         }
         let mut successors: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
         for (idx, node) in self.nodes.iter().enumerate() {
@@ -344,7 +359,12 @@ impl GraphBuilder {
                 reason: format!("expected exactly one sink, found {}", sinks.len()),
             });
         }
-        Ok(Graph { name: self.name, nodes: self.nodes, successors, output: sinks[0] })
+        Ok(Graph {
+            name: self.name,
+            nodes: self.nodes,
+            successors,
+            output: sinks[0],
+        })
     }
 }
 

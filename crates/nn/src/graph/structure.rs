@@ -80,8 +80,7 @@ impl Structure {
 /// Returns [`NnError::InvalidGraph`] for nested forks, branches that
 /// dead-end, or branches that reconverge at different joins.
 pub fn decompose(graph: &Graph) -> Result<Structure> {
-    let in_degree: Vec<usize> =
-        graph.nodes().iter().map(|n| n.inputs().len()).collect();
+    let in_degree: Vec<usize> = graph.nodes().iter().map(|n| n.inputs().len()).collect();
     let mut segments = Vec::new();
     let mut chain: Vec<NodeId> = Vec::new();
     let mut cur = graph.input_id();
@@ -140,11 +139,7 @@ pub fn decompose(graph: &Graph) -> Result<Structure> {
 ///
 /// Returns the branch's interior nodes (empty for a direct fork→join edge)
 /// and the join id.
-fn walk_branch(
-    graph: &Graph,
-    in_degree: &[usize],
-    start: NodeId,
-) -> Result<(Vec<NodeId>, NodeId)> {
+fn walk_branch(graph: &Graph, in_degree: &[usize], start: NodeId) -> Result<(Vec<NodeId>, NodeId)> {
     let mut nodes = Vec::new();
     let mut cur = start;
     loop {
@@ -189,7 +184,9 @@ mod tests {
         // input -> squeeze -> {e1, e3} -> concat -> relu
         let mut b = GraphBuilder::new("fire", Shape::new(&[4, 8, 8]));
         let x = b.input_id();
-        let s = b.add(Conv2d::new("squeeze", 4, 2, 1, 1, 0, 0), &[x]).unwrap();
+        let s = b
+            .add(Conv2d::new("squeeze", 4, 2, 1, 1, 0, 0), &[x])
+            .unwrap();
         let e1 = b.add(Conv2d::new("e1", 2, 4, 1, 1, 0, 1), &[s]).unwrap();
         let e3 = b.add(Conv2d::new("e3", 2, 4, 3, 1, 1, 2), &[s]).unwrap();
         let c = b.add(Concat::new("cat", 2), &[e1, e3]).unwrap();
@@ -247,7 +244,10 @@ mod tests {
         match &s.segments()[1] {
             Segment::Parallel { branches, .. } => {
                 let lens: Vec<usize> = branches.iter().map(Vec::len).collect();
-                assert!(lens.contains(&0), "identity branch should be empty: {lens:?}");
+                assert!(
+                    lens.contains(&0),
+                    "identity branch should be empty: {lens:?}"
+                );
                 assert!(lens.contains(&2));
             }
             other => panic!("expected parallel segment, got {other:?}"),

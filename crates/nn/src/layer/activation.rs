@@ -58,7 +58,12 @@ impl Layer for Relu {
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
         check_arity(&self.name, 1, inputs)?;
         let elems = inputs[0].num_elements() as u64;
-        Ok(Workload { flops: elems, input_bytes: elems * 4, output_bytes: elems * 4, weight_bytes: 0 })
+        Ok(Workload {
+            flops: elems,
+            input_bytes: elems * 4,
+            output_bytes: elems * 4,
+            weight_bytes: 0,
+        })
     }
 }
 
@@ -108,7 +113,12 @@ impl Layer for Dropout {
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
         check_arity(&self.name, 1, inputs)?;
         let bytes = (inputs[0].num_elements() * 4) as u64;
-        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+        Ok(Workload {
+            flops: 0,
+            input_bytes: bytes,
+            output_bytes: bytes,
+            weight_bytes: 0,
+        })
     }
 }
 

@@ -21,7 +21,10 @@ pub struct Concat {
 impl Concat {
     /// Creates a concat layer joining `arity` inputs.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        Self { name: name.into(), arity }
+        Self {
+            name: name.into(),
+            arity,
+        }
     }
 
     fn check_shapes(&self, inputs: &[&Shape]) -> Result<()> {
@@ -82,7 +85,12 @@ impl Layer for Concat {
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
         self.check_shapes(inputs)?;
         let bytes: u64 = inputs.iter().map(|s| (s.num_elements() * 4) as u64).sum();
-        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+        Ok(Workload {
+            flops: 0,
+            input_bytes: bytes,
+            output_bytes: bytes,
+            weight_bytes: 0,
+        })
     }
 }
 
@@ -193,7 +201,12 @@ impl Layer for Flatten {
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
         check_arity(&self.name, 1, inputs)?;
         let bytes = (inputs[0].num_elements() * 4) as u64;
-        Ok(Workload { flops: 0, input_bytes: bytes, output_bytes: bytes, weight_bytes: 0 })
+        Ok(Workload {
+            flops: 0,
+            input_bytes: bytes,
+            output_bytes: bytes,
+            weight_bytes: 0,
+        })
     }
 }
 
@@ -228,8 +241,14 @@ mod tests {
         let a = Tensor::zeros(&[2, 2, 2]);
         let b = Tensor::zeros(&[2, 3, 2]);
         let cat = Concat::new("cat", 2);
-        assert!(matches!(cat.forward(&[&a, &b]), Err(NnError::BadInputShape { .. })));
-        assert!(matches!(cat.forward(&[&a]), Err(NnError::ArityMismatch { .. })));
+        assert!(matches!(
+            cat.forward(&[&a, &b]),
+            Err(NnError::BadInputShape { .. })
+        ));
+        assert!(matches!(
+            cat.forward(&[&a]),
+            Err(NnError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -45,8 +45,12 @@ impl Conv2d {
     ) -> Self {
         let fan_in = (in_channels * kernel * kernel) as f32;
         let bound = (2.0 / fan_in).sqrt();
-        let weight =
-            LazyParam::new(&[out_channels, in_channels * kernel * kernel], bound, seed, 0.0);
+        let weight = LazyParam::new(
+            &[out_channels, in_channels * kernel * kernel],
+            bound,
+            seed,
+            0.0,
+        );
         let bias = LazyParam::new(&[out_channels], 0.01, seed.wrapping_add(1), 0.0);
         Self {
             name: name.into(),
@@ -181,7 +185,10 @@ impl Layer for Conv2d {
         // Slice the input channels and the matching weight columns; the
         // result is a full-size partial sum over this channel subset.
         let input_part = inputs[0].slice_axis0(range.start, range.end)?;
-        let part_geometry = Conv2dGeometry { in_channels: range.len(), ..g };
+        let part_geometry = Conv2dGeometry {
+            in_channels: range.len(),
+            ..g
+        };
         let cols = im2col(&input_part, &part_geometry)?;
 
         let taps_per_channel = self.kernel * self.kernel;
@@ -265,7 +272,10 @@ mod tests {
             conv.output_shape(&[&Shape::new(&[4, 8, 8])]),
             Err(NnError::BadInputShape { .. })
         ));
-        assert!(matches!(conv.output_shape(&[]), Err(NnError::ArityMismatch { .. })));
+        assert!(matches!(
+            conv.output_shape(&[]),
+            Err(NnError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -373,10 +383,7 @@ mod tests {
     #[test]
     fn input_split_bias_counted_once() {
         let conv = Conv2d::new("c", 2, 1, 1, 1, 0, 0)
-            .with_params(
-                Tensor::zeros(&[1, 2]),
-                Tensor::filled(&[1], 5.0),
-            )
+            .with_params(Tensor::zeros(&[1, 2]), Tensor::filled(&[1], 5.0))
             .unwrap();
         let x = Tensor::ones(&[2, 2, 2]);
         let a = conv.forward_partial_inputs(&[&x], 0..1).unwrap();

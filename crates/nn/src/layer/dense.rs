@@ -30,11 +30,22 @@ impl Dense {
     /// Parameters materialize lazily on first functional use, so building
     /// paper-scale models (AlexNet's fc layers alone hold ~58M weights)
     /// for analytic simulation costs nothing.
-    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, seed: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Self {
         let bound = (2.0 / in_features as f32).sqrt();
         let weight = LazyParam::new(&[out_features, in_features], bound, seed, 0.0);
         let bias = LazyParam::new(&[out_features], 0.01, seed.wrapping_add(1), 0.0);
-        Self { name: name.into(), in_features, out_features, weight, bias }
+        Self {
+            name: name.into(),
+            in_features,
+            out_features,
+            weight,
+            bias,
+        }
     }
 
     /// Output feature count.
@@ -71,10 +82,7 @@ impl Dense {
         if input.rank() != 1 || input.dim(0)? != self.in_features {
             return Err(NnError::BadInputShape {
                 layer: self.name.clone(),
-                reason: format!(
-                    "expected [{}] input, got {}",
-                    self.in_features, input
-                ),
+                reason: format!("expected [{}] input, got {}", self.in_features, input),
             });
         }
         Ok(())
@@ -175,7 +183,10 @@ mod tests {
     #[test]
     fn output_shape_and_arity() {
         let dense = Dense::new("fc", 8, 3, 1);
-        assert_eq!(dense.output_shape(&[&Shape::new(&[8])]).unwrap().dims(), &[3]);
+        assert_eq!(
+            dense.output_shape(&[&Shape::new(&[8])]).unwrap().dims(),
+            &[3]
+        );
         assert!(dense.output_shape(&[&Shape::new(&[9])]).is_err());
         assert!(dense.output_shape(&[&Shape::new(&[8, 1])]).is_err());
         assert_eq!(dense.out_features(), 3);
@@ -204,7 +215,9 @@ mod tests {
     #[test]
     fn with_params_validates_shapes() {
         let dense = Dense::new("fc", 4, 2, 0);
-        assert!(dense.with_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2])).is_err());
+        assert!(dense
+            .with_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2]))
+            .is_err());
     }
 
     #[test]

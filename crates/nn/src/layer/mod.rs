@@ -163,7 +163,9 @@ pub trait Layer: Send + Sync {
     /// is invalid.
     fn forward_partial_inputs(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
         let _ = (inputs, range);
-        Err(NnError::NotPartitionable { layer: self.name().to_string() })
+        Err(NnError::NotPartitionable {
+            layer: self.name().to_string(),
+        })
     }
 
     /// Analytic cost of the full forward pass.
@@ -229,7 +231,9 @@ pub(crate) fn validate_range(layer: &str, range: &Range<usize>, units: usize) ->
 pub(crate) fn require_full_range(layer: &str, range: &Range<usize>, units: usize) -> Result<()> {
     validate_range(layer, range, units)?;
     if range.start != 0 || range.end != units {
-        return Err(NnError::NotPartitionable { layer: layer.to_string() });
+        return Err(NnError::NotPartitionable {
+            layer: layer.to_string(),
+        });
     }
     Ok(())
 }

@@ -28,12 +28,24 @@ pub struct LocalResponseNorm {
 impl LocalResponseNorm {
     /// Creates an LRN layer with AlexNet's published constants.
     pub fn alexnet_default(name: impl Into<String>) -> Self {
-        Self { name: name.into(), size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+        Self {
+            name: name.into(),
+            size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
     }
 
     /// Creates an LRN layer with explicit constants.
     pub fn new(name: impl Into<String>, size: usize, alpha: f32, beta: f32, k: f32) -> Self {
-        Self { name: name.into(), size, alpha, beta, k }
+        Self {
+            name: name.into(),
+            size,
+            alpha,
+            beta,
+            k,
+        }
     }
 
     fn check_input(&self, input: &Shape) -> Result<()> {
@@ -84,7 +96,11 @@ impl Layer for LocalResponseNorm {
                 data.push(src[c * plane + p] / denom);
             }
         }
-        let dims = [range.len(), inputs[0].shape().dim(1)?, inputs[0].shape().dim(2)?];
+        let dims = [
+            range.len(),
+            inputs[0].shape().dim(1)?,
+            inputs[0].shape().dim(2)?,
+        ];
         Ok(Tensor::from_vec(data, &dims)?)
     }
 
@@ -119,7 +135,11 @@ impl BatchNorm2d {
     pub fn new(name: impl Into<String>, channels: usize, seed: u64) -> Self {
         let scale = LazyParam::new(&[channels], 0.1, seed, 1.0);
         let shift = LazyParam::new(&[channels], 0.1, seed.wrapping_add(1), 0.0);
-        Self { name: name.into(), scale, shift }
+        Self {
+            name: name.into(),
+            scale,
+            shift,
+        }
     }
 
     /// Creates a batch-norm layer from explicit folded parameters.
@@ -187,7 +207,11 @@ impl Layer for BatchNorm2d {
             let (g, b) = (scale.as_slice()[c], shift.as_slice()[c]);
             data.extend(src[c * plane..(c + 1) * plane].iter().map(|&x| x * g + b));
         }
-        let dims = [range.len(), inputs[0].shape().dim(1)?, inputs[0].shape().dim(2)?];
+        let dims = [
+            range.len(),
+            inputs[0].shape().dim(1)?,
+            inputs[0].shape().dim(2)?,
+        ];
         Ok(Tensor::from_vec(data, &dims)?)
     }
 
@@ -261,12 +285,7 @@ mod tests {
 
     #[test]
     fn batchnorm_validates_params_and_input() {
-        assert!(BatchNorm2d::from_params(
-            "bn",
-            Tensor::zeros(&[2]),
-            Tensor::zeros(&[3])
-        )
-        .is_err());
+        assert!(BatchNorm2d::from_params("bn", Tensor::zeros(&[2]), Tensor::zeros(&[3])).is_err());
         let bn = BatchNorm2d::new("bn", 4, 0);
         assert!(bn.output_shape(&[&Shape::new(&[5, 2, 2])]).is_err());
         assert!(bn.output_shape(&[&Shape::new(&[4, 2])]).is_err());
@@ -275,7 +294,19 @@ mod tests {
     #[test]
     fn norm_workloads_have_positive_flops() {
         let shape = Shape::new(&[4, 8, 8]);
-        assert!(LocalResponseNorm::alexnet_default("l").workload(&[&shape]).unwrap().flops > 0);
-        assert!(BatchNorm2d::new("b", 4, 0).workload(&[&shape]).unwrap().flops > 0);
+        assert!(
+            LocalResponseNorm::alexnet_default("l")
+                .workload(&[&shape])
+                .unwrap()
+                .flops
+                > 0
+        );
+        assert!(
+            BatchNorm2d::new("b", 4, 0)
+                .workload(&[&shape])
+                .unwrap()
+                .flops
+                > 0
+        );
     }
 }

@@ -27,7 +27,13 @@ impl LazyParam {
     /// Declares a parameter of `dims` drawn uniformly from
     /// `offset + [-bound, bound)` with a fixed seed.
     pub(crate) fn new(dims: &[usize], bound: f32, seed: u64, offset: f32) -> Self {
-        Self { dims: dims.to_vec(), bound, seed, offset, cell: OnceLock::new() }
+        Self {
+            dims: dims.to_vec(),
+            bound,
+            seed,
+            offset,
+            cell: OnceLock::new(),
+        }
     }
 
     /// Declares a parameter pre-set to an explicit tensor.
@@ -35,7 +41,13 @@ impl LazyParam {
         let dims = tensor.dims().to_vec();
         let cell = OnceLock::new();
         cell.set(tensor).expect("fresh cell");
-        Self { dims, bound: 0.0, seed: 0, offset: 0.0, cell }
+        Self {
+            dims,
+            bound: 0.0,
+            seed: 0,
+            offset: 0.0,
+            cell,
+        }
     }
 
     /// Element count (available without materializing).

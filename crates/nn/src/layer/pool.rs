@@ -39,12 +39,24 @@ pub struct MaxPool2d;
 impl MaxPool2d {
     /// Creates a max-pooling layer.
     pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Pool2d {
-        Pool2d { name: name.into(), kind: PoolKind::Max, kernel, stride, pad: 0 }
+        Pool2d {
+            name: name.into(),
+            kind: PoolKind::Max,
+            kernel,
+            stride,
+            pad: 0,
+        }
     }
 
     /// Creates a padded max-pooling layer.
     pub fn with_pad(name: impl Into<String>, kernel: usize, stride: usize, pad: usize) -> Pool2d {
-        Pool2d { name: name.into(), kind: PoolKind::Max, kernel, stride, pad }
+        Pool2d {
+            name: name.into(),
+            kind: PoolKind::Max,
+            kernel,
+            stride,
+            pad,
+        }
     }
 }
 
@@ -55,7 +67,13 @@ pub struct AvgPool2d;
 impl AvgPool2d {
     /// Creates an average-pooling layer.
     pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Pool2d {
-        Pool2d { name: name.into(), kind: PoolKind::Avg, kernel, stride, pad: 0 }
+        Pool2d {
+            name: name.into(),
+            kind: PoolKind::Avg,
+            kernel,
+            stride,
+            pad: 0,
+        }
     }
 }
 
@@ -266,7 +284,13 @@ mod tests {
         // All-ones input with padding: averages must stay exactly 1.0
         // because padded taps are excluded, not counted as zeros.
         let x = Tensor::ones(&[1, 3, 3]);
-        let pool = Pool2d { name: "p".into(), kind: PoolKind::Avg, kernel: 3, stride: 2, pad: 1 };
+        let pool = Pool2d {
+            name: "p".into(),
+            kind: PoolKind::Avg,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         let y = pool.forward(&[&x]).unwrap();
         assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
     }

@@ -112,8 +112,11 @@ mod tests {
         let mut fc = 0u64;
         for id in g.topo_order() {
             let node = g.node(id).unwrap();
-            let shapes: Vec<_> =
-                node.inputs().iter().map(|i| g.node(*i).unwrap().output_shape()).collect();
+            let shapes: Vec<_> = node
+                .inputs()
+                .iter()
+                .map(|i| g.node(*i).unwrap().output_shape())
+                .collect();
             let flops = node.layer().workload(&shapes).map(|w| w.flops).unwrap_or(0);
             match node.layer().class() {
                 LayerClass::Conv => conv += flops,

@@ -54,6 +54,9 @@ mod tests {
         // Sanity for the simulator: nearly all FLOPs should be in fc layers.
         let g = build(ModelScale::Paper).unwrap();
         assert!(g.total_flops() > 40_000_000);
-        assert!(g.param_bytes() > g.total_flops() / 2, "fc nets are weight-dominated");
+        assert!(
+            g.param_bytes() > g.total_flops() / 2,
+            "fc nets are weight-dominated"
+        );
     }
 }

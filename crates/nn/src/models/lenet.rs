@@ -65,9 +65,17 @@ mod tests {
         assert_eq!(g.input_shape().dims(), &[1, 32, 32]);
         assert_eq!(g.output_shape().dims(), &[10]);
         // conv1 output: 6x28x28, conv2 output: 16x10x10.
-        let conv1 = g.nodes().iter().find(|n| n.layer().name() == "conv1").unwrap();
+        let conv1 = g
+            .nodes()
+            .iter()
+            .find(|n| n.layer().name() == "conv1")
+            .unwrap();
         assert_eq!(conv1.output_shape().dims(), &[6, 28, 28]);
-        let conv2 = g.nodes().iter().find(|n| n.layer().name() == "conv2").unwrap();
+        let conv2 = g
+            .nodes()
+            .iter()
+            .find(|n| n.layer().name() == "conv2")
+            .unwrap();
         assert_eq!(conv2.output_shape().dims(), &[16, 10, 10]);
     }
 

@@ -117,7 +117,11 @@ impl ModelCtx {
     pub(crate) fn new(name: &str, input_shape: Shape, seed: u64) -> Self {
         let builder = GraphBuilder::new(name, input_shape);
         let cursor = builder.input_id();
-        Self { builder, cursor, seed }
+        Self {
+            builder,
+            cursor,
+            seed,
+        }
     }
 
     /// Current tip of the chain being built.
@@ -127,7 +131,10 @@ impl ModelCtx {
 
     /// Fresh deterministic seed for the next parameterized layer.
     pub(crate) fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.seed
     }
 
@@ -159,7 +166,15 @@ impl ModelCtx {
         pad: usize,
     ) -> Result<NodeId> {
         let seed = self.next_seed();
-        self.push(Conv2d::new(name.to_string(), in_ch, out_ch, kernel, stride, pad, seed))?;
+        self.push(Conv2d::new(
+            name.to_string(),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            seed,
+        ))?;
         self.push(Relu::new(format!("{name}_relu")))
     }
 
@@ -206,7 +221,10 @@ mod tests {
             let out = g.forward(&input).unwrap();
             let sum = out.sum();
             assert!((sum - 1.0).abs() < 1e-4, "{kind}: softmax sum {sum}");
-            assert!(out.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)), "{kind}");
+            assert!(
+                out.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)),
+                "{kind}"
+            );
         }
     }
 
@@ -237,14 +255,20 @@ mod tests {
         let get = |k: ModelKind| flops.iter().find(|(m, _)| *m == k).unwrap().1;
         assert!(get(ModelKind::Vgg16) > get(ModelKind::AlexNet));
         assert!(get(ModelKind::AlexNet) > get(ModelKind::LeNet));
-        assert!(get(ModelKind::Vgg16) > 1e10 as u64, "VGG-16 is ~15.5 GFLOPs/inference");
+        assert!(
+            get(ModelKind::Vgg16) > 1e10 as u64,
+            "VGG-16 is ~15.5 GFLOPs/inference"
+        );
         assert!(get(ModelKind::ResNet18) > get(ModelKind::SqueezeNet));
     }
 
     #[test]
     fn names_match_paper_labels() {
         let names: Vec<&str> = ModelKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"]);
+        assert_eq!(
+            names,
+            ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"]
+        );
     }
 
     #[test]

@@ -33,7 +33,15 @@ fn basic_block(
     ctx.push(BatchNorm2d::new(format!("{name}_bn1"), out_ch, seed))?;
     ctx.push(Relu::new(format!("{name}_relu1")))?;
     let seed = ctx.next_seed();
-    ctx.push(Conv2d::new(format!("{name}_conv2"), out_ch, out_ch, 3, 1, 1, seed))?;
+    ctx.push(Conv2d::new(
+        format!("{name}_conv2"),
+        out_ch,
+        out_ch,
+        3,
+        1,
+        1,
+        seed,
+    ))?;
     let seed = ctx.next_seed();
     let main = ctx.push(BatchNorm2d::new(format!("{name}_bn2"), out_ch, seed))?;
 
@@ -168,6 +176,9 @@ mod tests {
     fn paper_resnet_flops_in_expected_band() {
         let g = build(ModelScale::Paper).unwrap();
         let gflops = g.total_flops() as f64 / 1e9;
-        assert!((3.0..5.0).contains(&gflops), "ResNet-18 is ~3.6 GFLOPs, got {gflops}");
+        assert!(
+            (3.0..5.0).contains(&gflops),
+            "ResNet-18 is ~3.6 GFLOPs, got {gflops}"
+        );
     }
 }

@@ -22,15 +22,29 @@ fn fire(
     expand: usize,
 ) -> Result<NodeId> {
     let seed = ctx.next_seed();
-    ctx.push(Conv2d::new(format!("{name}_squeeze"), in_ch, squeeze, 1, 1, 0, seed))?;
+    ctx.push(Conv2d::new(
+        format!("{name}_squeeze"),
+        in_ch,
+        squeeze,
+        1,
+        1,
+        0,
+        seed,
+    ))?;
     let fork = ctx.push(Relu::new(format!("{name}_squeeze_relu")))?;
 
     let seed = ctx.next_seed();
-    ctx.add(Conv2d::new(format!("{name}_e1"), squeeze, expand, 1, 1, 0, seed), &[fork])?;
+    ctx.add(
+        Conv2d::new(format!("{name}_e1"), squeeze, expand, 1, 1, 0, seed),
+        &[fork],
+    )?;
     let e1 = ctx.push(Relu::new(format!("{name}_e1_relu")))?;
 
     let seed = ctx.next_seed();
-    ctx.add(Conv2d::new(format!("{name}_e3"), squeeze, expand, 3, 1, 1, seed), &[fork])?;
+    ctx.add(
+        Conv2d::new(format!("{name}_e3"), squeeze, expand, 3, 1, 1, seed),
+        &[fork],
+    )?;
     let e3 = ctx.push(Relu::new(format!("{name}_e3_relu")))?;
 
     ctx.add(Concat::new(format!("{name}_concat"), 2), &[e1, e3])
@@ -69,7 +83,7 @@ fn build_paper() -> Result<Graph> {
 
 fn build_tiny() -> Result<Graph> {
     let mut ctx = ModelCtx::new("SqueezeNet", Shape::new(&[3, 32, 32]), 0x5EE2);
-    ctx.conv_relu("conv1", 3, 8, 3, 2, 1, )?; // 8x16x16
+    ctx.conv_relu("conv1", 3, 8, 3, 2, 1)?; // 8x16x16
     ctx.push(MaxPool2d::new("pool1", 2, 2))?; // 8x8x8
     fire(&mut ctx, "fire2", 8, 4, 8)?;
     fire(&mut ctx, "fire3", 16, 4, 8)?;
@@ -124,7 +138,10 @@ mod tests {
         // (~1.25M params ~ 5MB fp32).
         let g = build(ModelScale::Paper).unwrap();
         let mb = g.param_bytes() as f64 / 1e6;
-        assert!((3.0..8.0).contains(&mb), "expected ~5 MB of fp32 params, got {mb:.1} MB");
+        assert!(
+            (3.0..8.0).contains(&mb),
+            "expected ~5 MB of fp32 params, got {mb:.1} MB"
+        );
     }
 
     #[test]

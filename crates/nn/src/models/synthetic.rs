@@ -35,7 +35,12 @@ pub struct SyntheticSpec {
 
 impl Default for SyntheticSpec {
     fn default() -> Self {
-        Self { stages: 6, resolution: 32, base_channels: 8, classes: 10 }
+        Self {
+            stages: 6,
+            resolution: 32,
+            base_channels: 8,
+            classes: 10,
+        }
     }
 }
 
@@ -64,7 +69,11 @@ pub fn random_cnn(seed: u64, spec: SyntheticSpec) -> Result<Graph> {
         match rng.gen_range(0..4u32) {
             // Plain conv block, sometimes growing channels.
             0 => {
-                let out = if rng.gen_bool(0.5) { channels * 2 } else { channels };
+                let out = if rng.gen_bool(0.5) {
+                    channels * 2
+                } else {
+                    channels
+                };
                 let kernel = if rng.gen_bool(0.3) { 5 } else { 3 };
                 if hw + 2 < kernel {
                     continue;
@@ -120,7 +129,15 @@ pub fn random_cnn(seed: u64, spec: SyntheticSpec) -> Result<Graph> {
                 let entry = ctx.cursor();
                 let seed = ctx.next_seed();
                 ctx.add(
-                    Conv2d::new(format!("s{stage}_rconv1"), channels, channels, 3, 1, 1, seed),
+                    Conv2d::new(
+                        format!("s{stage}_rconv1"),
+                        channels,
+                        channels,
+                        3,
+                        1,
+                        1,
+                        seed,
+                    ),
                     &[entry],
                 )?;
                 ctx.push(Relu::new(format!("s{stage}_rrelu1")))?;
@@ -183,22 +200,38 @@ mod tests {
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(graph.len() > 6, "seed {seed}");
             // Structure decomposes (no nested forks by construction).
-            let structure = graph.structure().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let structure = graph
+                .structure()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let covered: usize = structure.segments().iter().map(|s| s.nodes().len()).sum();
             assert_eq!(covered, graph.len(), "seed {seed}: coverage");
             // A real forward pass works and is a probability vector.
             let input = Tensor::random(graph.input_shape().dims(), 1.0, seed);
-            let out = graph.forward(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let out = graph
+                .forward(&input)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!((out.sum() - 1.0).abs() < 1e-4, "seed {seed}");
         }
     }
 
     #[test]
     fn spec_controls_size() {
-        let small =
-            random_cnn(7, SyntheticSpec { stages: 2, ..SyntheticSpec::default() }).unwrap();
-        let large =
-            random_cnn(7, SyntheticSpec { stages: 12, ..SyntheticSpec::default() }).unwrap();
+        let small = random_cnn(
+            7,
+            SyntheticSpec {
+                stages: 2,
+                ..SyntheticSpec::default()
+            },
+        )
+        .unwrap();
+        let large = random_cnn(
+            7,
+            SyntheticSpec {
+                stages: 12,
+                ..SyntheticSpec::default()
+            },
+        )
+        .unwrap();
         assert!(large.len() > small.len());
         assert!(large.total_flops() > small.total_flops());
     }

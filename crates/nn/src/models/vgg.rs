@@ -27,7 +27,13 @@ pub(crate) fn build(scale: ModelScale) -> Result<Graph> {
             ),
             ModelScale::Tiny => (
                 32,
-                vec![vec![4, 4], vec![8, 8], vec![8, 8, 8], vec![16, 16, 16], vec![16, 16, 16]],
+                vec![
+                    vec![4, 4],
+                    vec![8, 8],
+                    vec![8, 8, 8],
+                    vec![16, 16, 16],
+                    vec![16, 16, 16],
+                ],
                 [32, 32],
                 10,
             ),

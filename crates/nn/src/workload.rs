@@ -71,7 +71,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Workload {
-        Workload { flops: 1000, input_bytes: 100, output_bytes: 60, weight_bytes: 40 }
+        Workload {
+            flops: 1000,
+            input_bytes: 100,
+            output_bytes: 60,
+            weight_bytes: 40,
+        }
     }
 
     #[test]

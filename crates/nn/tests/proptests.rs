@@ -1,4 +1,7 @@
-//! Property-based tests for layer and graph invariants.
+//! Randomized (seeded, deterministic) tests for layer and graph invariants.
+//!
+//! These were originally property-based tests; they now draw cases from a
+//! fixed-seed RNG so the suite is reproducible and dependency-free.
 
 use std::ops::Range;
 
@@ -7,7 +10,14 @@ use edgenn_nn::layer::{
     AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, Layer, LocalResponseNorm, MaxPool2d, Relu,
 };
 use edgenn_tensor::{Shape, Tensor};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 48;
+
+fn random_cuts(rng: &mut rand::rngs::StdRng, upper: usize) -> Vec<usize> {
+    let n = rng.gen_range(0usize..3);
+    (0..n).map(|_| rng.gen_range(1usize..upper)).collect()
+}
 
 /// Checks `concat(partials over cuts) == forward` for an arbitrary set of
 /// cut points.
@@ -28,7 +38,10 @@ fn check_merge(layer: &dyn Layer, inputs: &[&Tensor], cuts: &[usize]) {
         parts.push(layer.forward_partial(inputs, range).unwrap());
     }
     let refs: Vec<&Tensor> = parts.iter().collect();
-    let merged = Tensor::concat_axis0(&refs).unwrap().reshape(full.dims()).unwrap();
+    let merged = Tensor::concat_axis0(&refs)
+        .unwrap()
+        .reshape(full.dims())
+        .unwrap();
     assert!(
         merged.approx_eq(&full, 1e-4),
         "merge invariant broken for {} with bounds {bounds:?}",
@@ -36,45 +49,51 @@ fn check_merge(layer: &dyn Layer, inputs: &[&Tensor], cuts: &[usize]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn conv_merge_invariant_over_random_geometry(
-        in_c in 1usize..4,
-        out_c in 2usize..9,
-        hw in 4usize..10,
-        k in 1usize..4,
-        stride in 1usize..3,
-        pad in 0usize..2,
-        seed in 0u64..500,
-        cuts in prop::collection::vec(1usize..64, 0..3),
-    ) {
-        prop_assume!(hw + 2 * pad >= k);
+#[test]
+fn conv_merge_invariant_over_random_geometry() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0001);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let in_c = rng.gen_range(1usize..4);
+        let out_c = rng.gen_range(2usize..9);
+        let hw = rng.gen_range(4usize..10);
+        let k = rng.gen_range(1usize..4);
+        let stride = rng.gen_range(1usize..3);
+        let pad = rng.gen_range(0usize..2);
+        let seed = rng.gen_range(0u64..500);
+        let cuts = random_cuts(&mut rng, 64);
+        if hw + 2 * pad < k {
+            continue;
+        }
+        checked += 1;
         let conv = Conv2d::new("c", in_c, out_c, k, stride, pad, seed);
         let x = Tensor::random(&[in_c, hw, hw], 1.0, seed + 1);
         check_merge(&conv, &[&x], &cuts);
     }
+}
 
-    #[test]
-    fn dense_merge_invariant(
-        inf in 1usize..32,
-        outf in 2usize..32,
-        seed in 0u64..500,
-        cuts in prop::collection::vec(1usize..64, 0..3),
-    ) {
+#[test]
+fn dense_merge_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0002);
+    for _ in 0..CASES {
+        let inf = rng.gen_range(1usize..32);
+        let outf = rng.gen_range(2usize..32);
+        let seed = rng.gen_range(0u64..500);
+        let cuts = random_cuts(&mut rng, 64);
         let dense = Dense::new("fc", inf, outf, seed);
         let x = Tensor::random(&[inf], 1.0, seed + 1);
         check_merge(&dense, &[&x], &cuts);
     }
+}
 
-    #[test]
-    fn pool_and_norm_merge_invariants(
-        c in 2usize..8,
-        hw in 4usize..10,
-        seed in 0u64..500,
-        cuts in prop::collection::vec(1usize..64, 0..3),
-    ) {
+#[test]
+fn pool_and_norm_merge_invariants() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0003);
+    for _ in 0..CASES {
+        let c = rng.gen_range(2usize..8);
+        let hw = rng.gen_range(4usize..10);
+        let seed = rng.gen_range(0u64..500);
+        let cuts = random_cuts(&mut rng, 64);
         let x = Tensor::random(&[c, hw, hw], 1.0, seed);
         check_merge(&MaxPool2d::new("mp", 2, 2), &[&x], &cuts);
         check_merge(&AvgPool2d::new("ap", 2, 1), &[&x], &cuts);
@@ -82,25 +101,30 @@ proptest! {
         check_merge(&LocalResponseNorm::alexnet_default("lrn"), &[&x], &cuts);
         check_merge(&BatchNorm2d::new("bn", c, seed), &[&x], &cuts);
     }
+}
 
-    #[test]
-    fn concat_merge_invariant(
-        c1 in 1usize..5,
-        c2 in 1usize..5,
-        hw in 2usize..6,
-        seed in 0u64..500,
-        cuts in prop::collection::vec(1usize..32, 0..3),
-    ) {
+#[test]
+fn concat_merge_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0004);
+    for _ in 0..CASES {
+        let c1 = rng.gen_range(1usize..5);
+        let c2 = rng.gen_range(1usize..5);
+        let hw = rng.gen_range(2usize..6);
+        let seed = rng.gen_range(0u64..500);
+        let cuts = random_cuts(&mut rng, 32);
         let a = Tensor::random(&[c1, hw, hw], 1.0, seed);
         let b = Tensor::random(&[c2, hw, hw], 1.0, seed + 1);
         check_merge(&Concat::new("cat", 2), &[&a, &b], &cuts);
     }
+}
 
-    #[test]
-    fn random_chain_graphs_are_consistent(
-        widths in prop::collection::vec(2usize..16, 1..5),
-        seed in 0u64..500,
-    ) {
+#[test]
+fn random_chain_graphs_are_consistent() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0005);
+    for _ in 0..CASES {
+        let n_layers = rng.gen_range(1usize..5);
+        let widths: Vec<usize> = (0..n_layers).map(|_| rng.gen_range(2usize..16)).collect();
+        let seed = rng.gen_range(0u64..500);
         // Build a random MLP chain; forward twice must agree, and the
         // structure must decompose to a single chain covering every node.
         let input_dim = 8usize;
@@ -108,7 +132,12 @@ proptest! {
         let mut prev = b.input_id();
         let mut in_dim = input_dim;
         for (i, &w) in widths.iter().enumerate() {
-            prev = b.add(Dense::new(format!("fc{i}"), in_dim, w, seed + i as u64), &[prev]).unwrap();
+            prev = b
+                .add(
+                    Dense::new(format!("fc{i}"), in_dim, w, seed + i as u64),
+                    &[prev],
+                )
+                .unwrap();
             prev = b.add(Relu::new(format!("r{i}")), &[prev]).unwrap();
             in_dim = w;
         }
@@ -116,22 +145,24 @@ proptest! {
         let x = Tensor::random(&[input_dim], 1.0, seed);
         let y1 = graph.forward(&x).unwrap();
         let y2 = graph.forward(&x).unwrap();
-        prop_assert_eq!(&y1, &y2);
-        prop_assert_eq!(y1.dims(), &[*widths.last().unwrap()]);
+        assert_eq!(&y1, &y2);
+        assert_eq!(y1.dims(), &[*widths.last().unwrap()]);
 
         let s = graph.structure().unwrap();
-        prop_assert!(s.is_pure_chain());
+        assert!(s.is_pure_chain());
         let covered: usize = s.segments().iter().map(|seg| seg.nodes().len()).sum();
-        prop_assert_eq!(covered, graph.len());
+        assert_eq!(covered, graph.len());
     }
+}
 
-    #[test]
-    fn random_forkjoin_graphs_decompose(
-        branch_a in 1usize..4,
-        branch_b in 1usize..4,
-        c in 2usize..6,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn random_forkjoin_graphs_decompose() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0006);
+    for _ in 0..CASES {
+        let branch_a = rng.gen_range(1usize..4);
+        let branch_b = rng.gen_range(1usize..4);
+        let c = rng.gen_range(2usize..6);
+        let seed = rng.gen_range(0u64..300);
         // input -> relu (fork) -> two relu chains -> concat.
         let mut b = GraphBuilder::new("rand-fork", Shape::new(&[c, 4, 4]));
         let fork = b.add(Relu::new("fork"), &[b.input_id()]).unwrap();
@@ -147,7 +178,7 @@ proptest! {
         let graph = b.finish().unwrap();
 
         let s = graph.structure().unwrap();
-        prop_assert_eq!(s.parallel_segment_count(), 1);
+        assert_eq!(s.parallel_segment_count(), 1);
         let parallel = s
             .segments()
             .iter()
@@ -160,30 +191,32 @@ proptest! {
         lens.sort_unstable();
         let mut expected = vec![branch_a, branch_b];
         expected.sort_unstable();
-        prop_assert_eq!(lens, expected);
+        assert_eq!(lens, expected);
 
         // Functional execution still matches across runs.
         let x = Tensor::random(&[c, 4, 4], 1.0, seed);
         let y = graph.forward(&x).unwrap();
-        prop_assert_eq!(y.dims()[0], 2 * c);
+        assert_eq!(y.dims()[0], 2 * c);
     }
+}
 
-    #[test]
-    fn workload_partial_is_monotone_in_range(
-        out_c in 4usize..12,
-        seed in 0u64..200,
-    ) {
+#[test]
+fn workload_partial_is_monotone_in_range() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0007);
+    for _ in 0..CASES {
+        let out_c = rng.gen_range(4usize..12);
+        let seed = rng.gen_range(0u64..200);
         let conv = Conv2d::new("c", 3, out_c, 3, 1, 1, seed);
         let shape = Shape::new(&[3usize, 8, 8]);
         let shapes = [&shape];
         let mut prev = 0u64;
         for end in 1..=out_c {
             let w = conv.workload_partial(&shapes, 0..end).unwrap();
-            prop_assert!(w.flops >= prev, "flops must grow with the range");
+            assert!(w.flops >= prev, "flops must grow with the range");
             prev = w.flops;
         }
         let full = conv.workload(&shapes).unwrap();
         let whole = conv.workload_partial(&shapes, 0..out_c).unwrap();
-        prop_assert_eq!(whole.flops, full.flops);
+        assert_eq!(whole.flops, full.flops);
     }
 }

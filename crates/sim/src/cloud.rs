@@ -21,7 +21,10 @@ pub struct CloudLink {
 impl CloudLink {
     /// The paper's measured conditions: 1 MB/s uplink, 100 ms cloud delay.
     pub fn paper_measured() -> Self {
-        Self { uplink_mbps: 1.0, cloud_delay_us: 100_000.0 }
+        Self {
+            uplink_mbps: 1.0,
+            cloud_delay_us: 100_000.0,
+        }
     }
 
     /// Upload time for `bytes` of input, in microseconds.
@@ -55,7 +58,10 @@ mod tests {
         // The paper's 400 KB compressed image at 1 MB/s = 400 ms.
         assert!((link.upload_time_us(400_000) - 400_000.0).abs() < 1e-6);
         // Doubling bandwidth halves upload time.
-        let fast = CloudLink { uplink_mbps: 2.0, ..link };
+        let fast = CloudLink {
+            uplink_mbps: 2.0,
+            ..link
+        };
         assert!((fast.upload_time_us(400_000) - 200_000.0).abs() < 1e-6);
     }
 

@@ -3,7 +3,13 @@
 //! The runtime in `edgenn-core` decides *what* happens (which kernels on
 //! which processor, which copies, which syncs); this timeline tracks
 //! *when*: per-processor clocks, busy-time accounting (for utilization and
-//! power), and the full event trace.
+//! power), and the full event trace. When an observer sink is attached,
+//! every scheduled activity — and every contention stall in front of one —
+//! is mirrored into it as a span.
+
+use std::sync::Arc;
+
+use edgenn_obs::{EventSink, SinkEvent};
 
 use crate::processor::ProcessorKind;
 use crate::trace::{TraceEvent, TraceKind, TraceSummary};
@@ -17,6 +23,28 @@ struct ProcState {
     busy: f64,
 }
 
+/// Stalls shorter than this are scheduling noise, not contention worth
+/// reporting (us).
+const STALL_EPSILON_US: f64 = 1e-9;
+
+fn track_name(proc: ProcessorKind) -> &'static str {
+    match proc {
+        ProcessorKind::Cpu => "cpu",
+        ProcessorKind::Gpu => "gpu",
+    }
+}
+
+fn category_name(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Kernel => "kernel",
+        TraceKind::Copy => "copy",
+        TraceKind::Migration => "migration",
+        TraceKind::Thrash => "thrash",
+        TraceKind::Sync => "sync",
+        TraceKind::Idle => "idle",
+    }
+}
+
 /// A simulated execution timeline over one CPU and one GPU.
 ///
 /// All times are in microseconds from simulation start. Activities are
@@ -25,17 +53,48 @@ struct ProcState {
 /// data-dependency `ready_at` time; `schedule_bus` places interconnect
 /// work (copies/migrations) that occupies *both* processors' memory path
 /// logically but is attributed to the bus.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Timeline {
     cpu: ProcState,
     gpu: ProcState,
     events: Vec<TraceEvent>,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timeline")
+            .field("cpu", &self.cpu)
+            .field("gpu", &self.gpu)
+            .field("events", &self.events)
+            .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
+            .finish()
+    }
 }
 
 impl Timeline {
     /// Fresh timeline at t = 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh timeline mirroring every activity into `sink`.
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Self {
+            sink: Some(sink),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches (or replaces) the observer sink.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    fn emit(&self, event: SinkEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(event);
+        }
     }
 
     fn state_mut(&mut self, proc: ProcessorKind) -> &mut ProcState {
@@ -73,36 +132,60 @@ impl Timeline {
         label: impl Into<String>,
     ) -> f64 {
         debug_assert!(duration_us >= 0.0, "negative duration");
-        let start = self.state(proc).free_at.max(ready_at);
+        let label = label.into();
+        let free_at = self.state(proc).free_at;
+        let start = free_at.max(ready_at);
+        // Data was ready but the processor was occupied: contention stall.
+        if free_at > ready_at + STALL_EPSILON_US {
+            self.emit(SinkEvent::span(
+                "stall",
+                track_name(proc),
+                format!("{label} (wait)"),
+                ready_at,
+                free_at,
+                0,
+            ));
+        }
         let end = start + duration_us;
         let state = self.state_mut(proc);
         state.free_at = end;
         state.busy += duration_us;
+        self.emit(SinkEvent::span(
+            category_name(kind),
+            track_name(proc),
+            label.clone(),
+            start,
+            end,
+            0,
+        ));
         self.events.push(TraceEvent {
             kind,
             processor: Some(proc),
             start_us: start,
             end_us: end,
-            label: label.into(),
+            label,
+            bytes: 0,
         });
         end
     }
 
     /// Schedules interconnect work (an explicit copy or page migration)
-    /// that must wait for both processors' pending work touching the data;
-    /// the caller passes the dependency time. The bus activity advances
-    /// *both* processors' availability (a `cudaMemcpy` is synchronous with
-    /// respect to the stream on integrated devices) and counts as busy
-    /// time on `attributed_to` if given.
+    /// moving `bytes` that must wait for both processors' pending work
+    /// touching the data; the caller passes the dependency time. The bus
+    /// activity advances *both* processors' availability (a `cudaMemcpy`
+    /// is synchronous with respect to the stream on integrated devices)
+    /// and counts as busy time on `attributed_to` if given.
     pub fn schedule_bus(
         &mut self,
         kind: TraceKind,
         ready_at: f64,
         duration_us: f64,
+        bytes: u64,
         attributed_to: Option<ProcessorKind>,
         label: impl Into<String>,
     ) -> f64 {
         debug_assert!(duration_us >= 0.0, "negative duration");
+        let label = label.into();
         let start = ready_at.max(self.cpu.free_at.min(self.gpu.free_at));
         let end = start + duration_us;
         if let Some(proc) = attributed_to {
@@ -110,12 +193,21 @@ impl Timeline {
             state.free_at = state.free_at.max(end);
             state.busy += duration_us;
         }
+        self.emit(SinkEvent::span(
+            category_name(kind),
+            "bus",
+            label.clone(),
+            start,
+            end,
+            bytes,
+        ));
         self.events.push(TraceEvent {
             kind,
             processor: attributed_to,
             start_us: start,
             end_us: end,
-            label: label.into(),
+            label,
+            bytes,
         });
         end
     }
@@ -125,12 +217,16 @@ impl Timeline {
     pub fn sync_all(&mut self, label: impl Into<String>) -> f64 {
         let t = self.makespan_us();
         if (self.cpu.free_at - self.gpu.free_at).abs() > f64::EPSILON {
+            let label = label.into();
+            let start = self.cpu.free_at.min(self.gpu.free_at);
+            self.emit(SinkEvent::span("sync", "bus", label.clone(), start, t, 0));
             self.events.push(TraceEvent {
                 kind: TraceKind::Sync,
                 processor: None,
-                start_us: self.cpu.free_at.min(self.gpu.free_at),
+                start_us: start,
                 end_us: t,
-                label: label.into(),
+                label,
+                bytes: 0,
             });
         }
         self.cpu.free_at = t;
@@ -174,6 +270,7 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edgenn_obs::Recorder;
 
     #[test]
     fn sequential_scheduling_advances_one_clock() {
@@ -231,23 +328,64 @@ mod tests {
     fn bus_copy_attributed_to_processor_advances_it() {
         let mut t = Timeline::new();
         t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, 10.0, "k");
-        let end = t.schedule_bus(TraceKind::Copy, 10.0, 3.0, Some(ProcessorKind::Gpu), "d2h");
+        let end = t.schedule_bus(
+            TraceKind::Copy,
+            10.0,
+            3.0,
+            4096,
+            Some(ProcessorKind::Gpu),
+            "d2h",
+        );
         assert_eq!(end, 13.0);
         assert_eq!(t.free_at(ProcessorKind::Gpu), 13.0);
         assert_eq!(t.free_at(ProcessorKind::Cpu), 0.0);
         assert_eq!(t.summary().copy_us, 3.0);
+        assert_eq!(t.events().last().unwrap().bytes, 4096);
     }
 
     #[test]
     fn summary_reflects_all_events() {
         let mut t = Timeline::new();
         t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, 7.0, "k");
-        t.schedule_bus(TraceKind::Migration, 7.0, 2.0, Some(ProcessorKind::Gpu), "fault");
-        t.schedule_bus(TraceKind::Thrash, 9.0, 1.0, None, "shared write");
+        t.schedule_bus(
+            TraceKind::Migration,
+            7.0,
+            2.0,
+            8192,
+            Some(ProcessorKind::Gpu),
+            "fault",
+        );
+        t.schedule_bus(TraceKind::Thrash, 9.0, 1.0, 4096, None, "shared write");
         let s = t.summary();
         assert_eq!(s.kernel_us, 7.0);
         assert_eq!(s.migration_us, 2.0);
         assert_eq!(s.thrash_us, 1.0);
         assert_eq!(s.memory_us(), 3.0);
+        assert_eq!(s.bytes_moved, 12288);
+    }
+
+    #[test]
+    fn sink_mirrors_activities_and_reports_stalls() {
+        let recorder = Recorder::new();
+        let mut t = Timeline::with_sink(Arc::new(recorder.clone()));
+        t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, 10.0, "k1");
+        // Ready at t=2 but the GPU is busy until t=10: an 8us stall.
+        t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 2.0, 5.0, "k2");
+        t.schedule_bus(
+            TraceKind::Copy,
+            15.0,
+            3.0,
+            1 << 20,
+            Some(ProcessorKind::Gpu),
+            "d2h",
+        );
+        let m = recorder.metrics();
+        assert_eq!(m.counter_value("edgenn_kernel_total"), Some(2.0));
+        assert_eq!(m.counter_value("edgenn_stall_total"), Some(1.0));
+        assert_eq!(m.counter_value("edgenn_stall_us_total"), Some(8.0));
+        assert_eq!(
+            m.counter_value("edgenn_copy_bytes_total"),
+            Some((1 << 20) as f64)
+        );
     }
 }

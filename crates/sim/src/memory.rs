@@ -189,7 +189,10 @@ mod tests {
     fn unified_flag_matches_architecture() {
         assert!(unified().is_unified());
         let discrete = MemorySpec {
-            architecture: MemoryArchitecture::Discrete { pcie_bw_gbps: 12.0, pcie_latency_us: 20.0 },
+            architecture: MemoryArchitecture::Discrete {
+                pcie_bw_gbps: 12.0,
+                pcie_latency_us: 20.0,
+            },
             ..unified()
         };
         assert!(!discrete.is_unified());

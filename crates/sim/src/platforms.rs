@@ -80,7 +80,7 @@ pub fn jetson_agx_xavier() -> Platform {
             launch_overhead_us: 20.0, // OpenMP parallel-for fork/join across 8 cores
             efficiency: EfficiencyTable {
                 conv: 0.13, // calibrated: naive OpenMP conv loops (not a
-                            // blocked GEMM) — ~19 GFLOP/s effective
+                // blocked GEMM) — ~19 GFLOP/s effective
                 fc: 0.40,
                 pool: 0.45,
                 activation: 0.50,
@@ -107,10 +107,10 @@ pub fn jetson_agx_xavier() -> Platform {
             launch_overhead_us: 9.0, // CUDA launch on Tegra
             efficiency: EfficiencyTable {
                 conv: 0.030, // calibrated: hand-written CUDA conv (no
-                             // shared-memory tiling). The paper's own
-                             // Figure 12 requires VGG-16 on the Xavier to
-                             // lose to a ~0.57 s cloud round trip, i.e.
-                             // ~42 GFLOP/s effective conv throughput
+                // shared-memory tiling). The paper's own
+                // Figure 12 requires VGG-16 on the Xavier to
+                // lose to a ~0.57 s cloud round trip, i.e.
+                // ~42 GFLOP/s effective conv throughput
                 fc: 0.45,
                 pool: 0.50,
                 activation: 0.55,
@@ -119,9 +119,9 @@ pub fn jetson_agx_xavier() -> Platform {
             },
             bw_efficiency: EfficiencyTable {
                 conv: 0.85,
-                fc: 0.42,   // calibrated: naive mat-vec, poorly coalesced —
-                            // the reason Table I's fc layers gain ~50% from
-                            // CPU co-running
+                fc: 0.42, // calibrated: naive mat-vec, poorly coalesced —
+                // the reason Table I's fc layers gain ~50% from
+                // CPU co-running
                 pool: 0.60, // naive pooling kernel
                 activation: 0.85,
                 norm: 0.60,
@@ -146,7 +146,11 @@ pub fn jetson_agx_xavier() -> Platform {
             thrash_multiplier: 6.0, // coherence ping-pong on write-shared pages
             corun_contention_factor: 0.85, // calibrated: shared-controller loss
         },
-        power: PowerModel { base_w: 2.0, cpu_dynamic_w: 3.4, gpu_dynamic_w: 2.5 },
+        power: PowerModel {
+            base_w: 2.0,
+            cpu_dynamic_w: 3.4,
+            gpu_dynamic_w: 2.5,
+        },
         price_usd: 699.0,
     }
 }
@@ -229,7 +233,11 @@ pub fn raspberry_pi_4() -> Platform {
         },
         gpu: None,
         memory: cpu_only_memory(),
-        power: PowerModel { base_w: 2.7, cpu_dynamic_w: 3.7, gpu_dynamic_w: 0.0 },
+        power: PowerModel {
+            base_w: 2.7,
+            cpu_dynamic_w: 3.7,
+            gpu_dynamic_w: 0.0,
+        },
         price_usd: 75.0,
     }
 }
@@ -277,7 +285,11 @@ pub fn dimensity_8100() -> Platform {
         },
         gpu: None,
         memory: cpu_only_memory(),
-        power: PowerModel { base_w: 1.5, cpu_dynamic_w: 5.0, gpu_dynamic_w: 0.0 },
+        power: PowerModel {
+            base_w: 1.5,
+            cpu_dynamic_w: 5.0,
+            gpu_dynamic_w: 0.0,
+        },
         price_usd: 349.0,
     }
 }
@@ -364,7 +376,11 @@ pub fn rtx_2080ti_server() -> Platform {
             thrash_multiplier: 8.0,
             corun_contention_factor: 1.0, // separate memories: no shared bus
         },
-        power: PowerModel { base_w: 55.0, cpu_dynamic_w: 85.0, gpu_dynamic_w: 205.0 },
+        power: PowerModel {
+            base_w: 55.0,
+            cpu_dynamic_w: 85.0,
+            gpu_dynamic_w: 205.0,
+        },
         price_usd: 3_999.0,
     }
 }
@@ -446,7 +462,11 @@ pub fn amd_embedded_apu() -> Platform {
             thrash_multiplier: 6.0,
             corun_contention_factor: 0.70, // a narrower bus than the Xavier's
         },
-        power: PowerModel { base_w: 6.0, cpu_dynamic_w: 12.0, gpu_dynamic_w: 10.0 },
+        power: PowerModel {
+            base_w: 6.0,
+            cpu_dynamic_w: 12.0,
+            gpu_dynamic_w: 10.0,
+        },
         price_usd: 399.0,
     }
 }
@@ -526,7 +546,11 @@ pub fn apple_silicon_m1() -> Platform {
             thrash_multiplier: 4.0,
             corun_contention_factor: 0.85,
         },
-        power: PowerModel { base_w: 4.0, cpu_dynamic_w: 9.0, gpu_dynamic_w: 8.0 },
+        power: PowerModel {
+            base_w: 4.0,
+            cpu_dynamic_w: 9.0,
+            gpu_dynamic_w: 8.0,
+        },
         price_usd: 699.0,
     }
 }
@@ -626,8 +650,14 @@ mod tests {
         let jetson = jetson_agx_xavier().cpu.kernel_time_us(&desc, &ctx);
         let phone = dimensity_8100().cpu.kernel_time_us(&desc, &ctx);
         let rpi = raspberry_pi_4().cpu.kernel_time_us(&desc, &ctx);
-        assert!(phone < jetson, "phone {phone} should beat jetson cpu {jetson}");
-        assert!(rpi > 2.0 * jetson, "rpi {rpi} should trail far behind {jetson}");
+        assert!(
+            phone < jetson,
+            "phone {phone} should beat jetson cpu {jetson}"
+        );
+        assert!(
+            rpi > 2.0 * jetson,
+            "rpi {rpi} should trail far behind {jetson}"
+        );
     }
 
     #[test]
@@ -643,17 +673,32 @@ mod tests {
             working_set_bytes: 2_000_000,
         };
         let ctx = ExecutionContext::default();
-        let t30 = jetson_agx_xavier_mode(JetsonPowerMode::W30).gpu().kernel_time_us(&desc, &ctx);
-        let t15 = jetson_agx_xavier_mode(JetsonPowerMode::W15).gpu().kernel_time_us(&desc, &ctx);
-        let t10 = jetson_agx_xavier_mode(JetsonPowerMode::W10).gpu().kernel_time_us(&desc, &ctx);
-        assert!(t10 > t15 && t15 > t30, "lower budgets must be slower: {t10} {t15} {t30}");
+        let t30 = jetson_agx_xavier_mode(JetsonPowerMode::W30)
+            .gpu()
+            .kernel_time_us(&desc, &ctx);
+        let t15 = jetson_agx_xavier_mode(JetsonPowerMode::W15)
+            .gpu()
+            .kernel_time_us(&desc, &ctx);
+        let t10 = jetson_agx_xavier_mode(JetsonPowerMode::W10)
+            .gpu()
+            .kernel_time_us(&desc, &ctx);
+        assert!(
+            t10 > t15 && t15 > t30,
+            "lower budgets must be slower: {t10} {t15} {t30}"
+        );
 
-        let p30 = jetson_agx_xavier_mode(JetsonPowerMode::W30).power.power_w(1.0, 1.0);
-        let p10 = jetson_agx_xavier_mode(JetsonPowerMode::W10).power.power_w(1.0, 1.0);
+        let p30 = jetson_agx_xavier_mode(JetsonPowerMode::W30)
+            .power
+            .power_w(1.0, 1.0);
+        let p10 = jetson_agx_xavier_mode(JetsonPowerMode::W10)
+            .power
+            .power_w(1.0, 1.0);
         assert!(p10 < p30, "lower budgets must draw less: {p10} vs {p30}");
         // The 30 W preset is the evaluation default.
         assert_eq!(
-            jetson_agx_xavier_mode(JetsonPowerMode::W30).gpu().peak_gflops,
+            jetson_agx_xavier_mode(JetsonPowerMode::W30)
+                .gpu()
+                .peak_gflops,
             jetson_agx_xavier().gpu().peak_gflops
         );
     }

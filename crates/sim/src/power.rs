@@ -55,7 +55,13 @@ impl PowerModel {
         let avg_power_w = self.power_w(cpu_utilization, gpu_utilization);
         // W * us = uJ; /1000 = mJ.
         let energy_mj = avg_power_w * duration_us / 1000.0;
-        EnergyReport { duration_us, avg_power_w, energy_mj, cpu_utilization, gpu_utilization }
+        EnergyReport {
+            duration_us,
+            avg_power_w,
+            energy_mj,
+            cpu_utilization,
+            gpu_utilization,
+        }
     }
 }
 
@@ -78,7 +84,11 @@ mod tests {
     use crate::trace::TraceKind;
 
     fn model() -> PowerModel {
-        PowerModel { base_w: 3.0, cpu_dynamic_w: 10.0, gpu_dynamic_w: 17.0 }
+        PowerModel {
+            base_w: 3.0,
+            cpu_dynamic_w: 10.0,
+            gpu_dynamic_w: 17.0,
+        }
     }
 
     #[test]
@@ -120,7 +130,11 @@ mod tests {
             cpu_utilization: 1.0,
             gpu_utilization: 1.0,
         };
-        let slow_high = EnergyReport { duration_us: 2000.0, avg_power_w: 50.0, ..fast_low };
+        let slow_high = EnergyReport {
+            duration_us: 2000.0,
+            avg_power_w: 50.0,
+            ..fast_low
+        };
         assert!(fast_low.perf_per_watt() > slow_high.perf_per_watt());
         // 1000 inferences/s at 10 W = 100 inf/J.
         assert!((fast_low.perf_per_watt() - 100.0).abs() < 1e-9);

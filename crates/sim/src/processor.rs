@@ -78,7 +78,14 @@ pub struct EfficiencyTable {
 impl EfficiencyTable {
     /// Uniform table (useful in tests).
     pub fn uniform(eff: f64) -> Self {
-        Self { conv: eff, fc: eff, pool: eff, activation: eff, norm: eff, combine: eff }
+        Self {
+            conv: eff,
+            fc: eff,
+            pool: eff,
+            activation: eff,
+            norm: eff,
+            combine: eff,
+        }
     }
 
     /// Looks up the factor for a class.
@@ -137,7 +144,10 @@ pub struct ExecutionContext {
 
 impl Default for ExecutionContext {
     fn default() -> Self {
-        Self { bandwidth_factor: 1.0, contention_factor: 1.0 }
+        Self {
+            bandwidth_factor: 1.0,
+            contention_factor: 1.0,
+        }
     }
 }
 
@@ -330,11 +340,17 @@ mod tests {
         let base = g.kernel_time_us(&desc, &ExecutionContext::default());
         let managed = g.kernel_time_us(
             &desc,
-            &ExecutionContext { bandwidth_factor: 0.5, contention_factor: 1.0 },
+            &ExecutionContext {
+                bandwidth_factor: 0.5,
+                contention_factor: 1.0,
+            },
         );
         let contended = g.kernel_time_us(
             &desc,
-            &ExecutionContext { bandwidth_factor: 0.5, contention_factor: 0.5 },
+            &ExecutionContext {
+                bandwidth_factor: 0.5,
+                contention_factor: 0.5,
+            },
         );
         assert!((managed - 10.0) / (base - 10.0) > 1.9);
         assert!((contended - 10.0) / (managed - 10.0) > 1.9);
@@ -344,7 +360,10 @@ mod tests {
     fn launch_overhead_dominates_tiny_kernels() {
         let g = gpu();
         let t = g.kernel_time_us(&conv_kernel(1000, 100, 0), &ExecutionContext::default());
-        assert!((10.0..11.0).contains(&t), "tiny kernel ~ launch overhead, got {t}");
+        assert!(
+            (10.0..11.0).contains(&t),
+            "tiny kernel ~ launch overhead, got {t}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! platform did, used by tests, reports, and the adaptive tuner's
 //! feedback loop.
 
+use edgenn_obs::CounterSample;
 use serde::{Deserialize, Serialize};
 
 use crate::processor::ProcessorKind;
@@ -50,6 +51,9 @@ pub struct TraceEvent {
     pub end_us: f64,
     /// Free-form label ("conv1", "fc6 merge", …).
     pub label: String,
+    /// Bytes moved over the interconnect by this event (0 for pure
+    /// compute and synchronization events).
+    pub bytes: u64,
 }
 
 impl TraceEvent {
@@ -72,6 +76,17 @@ pub struct TraceSummary {
     pub thrash_us: f64,
     /// Total synchronization/merge time.
     pub sync_us: f64,
+    /// Wall-clock time during which *at least one* activity was in
+    /// flight: the length of the interval union over all events. Unlike
+    /// the per-kind sums above, co-running CPU and GPU kernels are
+    /// counted once here.
+    pub busy_us: f64,
+    /// Wall-clock time (within `[0, last event end]`) during which
+    /// nothing at all was happening.
+    pub idle_us: f64,
+    /// Total bytes moved over the interconnect (copies + migrations +
+    /// thrash refetches).
+    pub bytes_moved: u64,
 }
 
 impl TraceSummary {
@@ -88,7 +103,16 @@ impl TraceSummary {
                 TraceKind::Sync => s.sync_us += d,
                 TraceKind::Idle => {}
             }
+            s.bytes_moved += e.bytes;
         }
+        let spans: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.kind != TraceKind::Idle)
+            .map(|e| (e.start_us, e.end_us))
+            .collect();
+        s.busy_us = interval_union_us(&spans);
+        let horizon = spans.iter().map(|&(_, end)| end).fold(0.0f64, f64::max);
+        s.idle_us = (horizon - s.busy_us).max(0.0);
         s
     }
 
@@ -98,10 +122,40 @@ impl TraceSummary {
     }
 }
 
+/// Length of the union of a set of (possibly overlapping) intervals.
+/// This is the wall-clock busy time: co-running activities on different
+/// tracks are counted once, not once per track.
+pub fn interval_union_us(spans: &[(f64, f64)]) -> f64 {
+    let mut spans: Vec<(f64, f64)> = spans
+        .iter()
+        .copied()
+        .filter(|&(start, end)| end > start)
+        .collect();
+    spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for (start, end) in spans {
+        match current {
+            Some((cs, ce)) if start <= ce => current = Some((cs, ce.max(end))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                current = Some((start, end));
+            }
+            None => current = Some((start, end)),
+        }
+    }
+    if let Some((cs, ce)) = current {
+        total += ce - cs;
+    }
+    total
+}
+
 /// Validates structural invariants of a trace: every event has
-/// non-negative duration, and no two events assigned to the same
-/// processor overlap in time (a core cannot run two kernels at once; bus
-/// events may overlap freely).
+/// non-negative duration, and no two *kernels* assigned to the same
+/// processor overlap in time (a core cannot run two kernels at once).
+/// Memory-traffic events occupy the interconnect, not a core — their
+/// `processor` field is attribution for accounting — so they may overlap
+/// each other and the kernels freely (DMA engines run alongside compute).
 ///
 /// # Errors
 /// Returns a description of the first violation found.
@@ -117,7 +171,7 @@ pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
     for proc in [ProcessorKind::Cpu, ProcessorKind::Gpu] {
         let mut spans: Vec<(f64, f64, &str)> = events
             .iter()
-            .filter(|e| e.processor == Some(proc))
+            .filter(|e| e.kind == TraceKind::Kernel && e.processor == Some(proc))
             .map(|e| (e.start_us, e.end_us, e.label.as_str()))
             .collect();
         spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
@@ -134,33 +188,140 @@ pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
     Ok(())
 }
 
+/// Assumed managed-memory page size for the outstanding-pages counter.
+const PAGE_BYTES: f64 = 4096.0;
+
+fn span_entry(event: &TraceEvent) -> serde_json::Value {
+    let track = match event.processor {
+        Some(ProcessorKind::Cpu) => "CPU",
+        Some(ProcessorKind::Gpu) => "GPU",
+        None => "Bus",
+    };
+    let tid = match event.processor {
+        Some(ProcessorKind::Cpu) => 1u64,
+        Some(ProcessorKind::Gpu) => 2,
+        None => 3,
+    };
+    let mut args = serde_json::Map::new();
+    args.insert("track", serde_json::Value::from(track));
+    if event.bytes > 0 {
+        args.insert("bytes", serde_json::Value::from(event.bytes as f64));
+    }
+    let mut m = serde_json::Map::new();
+    m.insert("name", serde_json::Value::from(event.label.as_str()));
+    m.insert("cat", serde_json::Value::from(event.kind.to_string()));
+    m.insert("ph", serde_json::Value::from("X"));
+    m.insert("ts", serde_json::Value::from(event.start_us));
+    m.insert("dur", serde_json::Value::from(event.duration_us()));
+    m.insert("pid", serde_json::Value::from(1.0));
+    m.insert("tid", serde_json::Value::from(tid as f64));
+    m.insert("args", serde_json::Value::Object(args));
+    serde_json::Value::Object(m)
+}
+
+fn counter_entry(track: &str, ts: f64, value: f64, pid: u64) -> serde_json::Value {
+    let mut args = serde_json::Map::new();
+    args.insert("value", serde_json::Value::from(value));
+    let mut m = serde_json::Map::new();
+    m.insert("name", serde_json::Value::from(track));
+    m.insert("ph", serde_json::Value::from("C"));
+    m.insert("ts", serde_json::Value::from(ts));
+    m.insert("pid", serde_json::Value::from(pid as f64));
+    m.insert("args", serde_json::Value::Object(args));
+    serde_json::Value::Object(m)
+}
+
+/// Instantaneous interconnect bandwidth (GB/s) as a step function:
+/// change-point sweep over every byte-moving event. Returns `(t_us,
+/// gbps)` samples, one per distinct change point.
+fn bandwidth_samples(events: &[TraceEvent]) -> Vec<(f64, f64)> {
+    let mut deltas: Vec<(f64, f64)> = Vec::new();
+    for e in events {
+        let dur = e.duration_us();
+        if e.bytes > 0 && dur > 0.0 {
+            // bytes / us -> GB/s is a factor of 1e-3.
+            let gbps = e.bytes as f64 / dur * 1e-3;
+            deltas.push((e.start_us, gbps));
+            deltas.push((e.end_us, -gbps));
+        }
+    }
+    deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut samples = Vec::new();
+    let mut level = 0.0;
+    let mut i = 0;
+    while i < deltas.len() {
+        let t = deltas[i].0;
+        while i < deltas.len() && deltas[i].0 == t {
+            level += deltas[i].1;
+            i += 1;
+        }
+        samples.push((t, level.max(0.0)));
+    }
+    samples
+}
+
+/// Outstanding managed pages over time: migrations page data in, a
+/// thrash invalidates the pages for its duration before they come back.
+/// Returns `(t_us, pages)` samples.
+fn managed_page_samples(events: &[TraceEvent]) -> Vec<(f64, f64)> {
+    let mut deltas: Vec<(f64, f64)> = Vec::new();
+    for e in events {
+        let pages = (e.bytes as f64 / PAGE_BYTES).ceil();
+        if pages <= 0.0 {
+            continue;
+        }
+        match e.kind {
+            TraceKind::Migration => deltas.push((e.end_us, pages)),
+            TraceKind::Thrash => {
+                deltas.push((e.start_us, -pages));
+                deltas.push((e.end_us, pages));
+            }
+            _ => {}
+        }
+    }
+    deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut samples = Vec::new();
+    let mut level = 0.0;
+    let mut i = 0;
+    while i < deltas.len() {
+        let t = deltas[i].0;
+        while i < deltas.len() && deltas[i].0 == t {
+            level += deltas[i].1;
+            i += 1;
+        }
+        samples.push((t, level.max(0.0)));
+    }
+    samples
+}
+
 /// Serializes events into the Chrome trace-event format (the JSON array
 /// flavor), loadable in `chrome://tracing` or Perfetto. Kernels appear on
 /// a "CPU" or "GPU" track, bus activity (copies, migrations, thrash,
-/// syncs) on a "Bus" track.
+/// syncs) on a "Bus" track. Byte-moving events additionally feed two
+/// `"ph":"C"` counter tracks: instantaneous interconnect bandwidth and
+/// outstanding managed pages.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    to_chrome_trace_with_counters(events, &[])
+}
+
+/// Like [`to_chrome_trace`], with additional counter tracks appended
+/// from `extra` samples (e.g. the tuner's per-node EMA evolution,
+/// collected through an `edgenn_obs::Recorder`). Extra counters render
+/// on their own process row (`pid` 2) so they group separately from the
+/// simulated hardware.
+pub fn to_chrome_trace_with_counters(events: &[TraceEvent], extra: &[CounterSample]) -> String {
     let mut entries = Vec::with_capacity(events.len());
     for event in events {
-        let track = match event.processor {
-            Some(ProcessorKind::Cpu) => "CPU",
-            Some(ProcessorKind::Gpu) => "GPU",
-            None => "Bus",
-        };
-        let tid = match event.processor {
-            Some(ProcessorKind::Cpu) => 1,
-            Some(ProcessorKind::Gpu) => 2,
-            None => 3,
-        };
-        entries.push(serde_json::json!({
-            "name": event.label,
-            "cat": event.kind.to_string(),
-            "ph": "X",
-            "ts": event.start_us,
-            "dur": event.duration_us(),
-            "pid": 1,
-            "tid": tid,
-            "args": { "track": track },
-        }));
+        entries.push(span_entry(event));
+    }
+    for (ts, gbps) in bandwidth_samples(events) {
+        entries.push(counter_entry("bandwidth_gbps", ts, gbps, 1));
+    }
+    for (ts, pages) in managed_page_samples(events) {
+        entries.push(counter_entry("managed_pages_outstanding", ts, pages, 1));
+    }
+    for sample in extra {
+        entries.push(counter_entry(&sample.track, sample.t_us, sample.value, 2));
     }
     serde_json::to_string_pretty(&entries).expect("trace events are serializable")
 }
@@ -170,7 +331,14 @@ mod tests {
     use super::*;
 
     fn ev(kind: TraceKind, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { kind, processor: None, start_us: start, end_us: end, label: "t".into() }
+        TraceEvent {
+            kind,
+            processor: None,
+            start_us: start,
+            end_us: end,
+            label: "t".into(),
+            bytes: 0,
+        }
     }
 
     #[test]
@@ -190,6 +358,70 @@ mod tests {
         assert_eq!(s.thrash_us, 4.0);
         assert_eq!(s.sync_us, 1.0);
         assert_eq!(s.memory_us(), 8.0);
+        // Back-to-back events: always busy, never idle.
+        assert_eq!(s.busy_us, 26.0);
+        assert_eq!(s.idle_us, 0.0);
+    }
+
+    #[test]
+    fn busy_counts_corun_overlap_once() {
+        // CPU [0, 10] and GPU [5, 15] co-run: per-kind kernel time
+        // double-counts the overlap (15 + 10 = 20 over a 15us window);
+        // the wall-clock union must not.
+        let events = vec![
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Cpu),
+                start_us: 0.0,
+                end_us: 10.0,
+                label: "cpu".into(),
+                bytes: 0,
+            },
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Gpu),
+                start_us: 5.0,
+                end_us: 15.0,
+                label: "gpu".into(),
+                bytes: 0,
+            },
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.kernel_us, 20.0, "per-kind sum still double-counts");
+        assert_eq!(s.busy_us, 15.0, "interval union counts the overlap once");
+        assert_eq!(s.idle_us, 0.0);
+    }
+
+    #[test]
+    fn idle_is_the_gap_between_activities() {
+        let events = vec![
+            ev(TraceKind::Kernel, 0.0, 5.0),
+            ev(TraceKind::Kernel, 10.0, 15.0),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.busy_us, 10.0);
+        assert_eq!(s.idle_us, 5.0);
+    }
+
+    #[test]
+    fn interval_union_merges_contained_and_touching_spans() {
+        assert_eq!(interval_union_us(&[]), 0.0);
+        assert_eq!(
+            interval_union_us(&[(0.0, 10.0), (2.0, 4.0)]),
+            10.0,
+            "contained"
+        );
+        assert_eq!(
+            interval_union_us(&[(0.0, 5.0), (5.0, 9.0)]),
+            9.0,
+            "touching"
+        );
+        assert_eq!(
+            interval_union_us(&[(6.0, 8.0), (0.0, 1.0)]),
+            3.0,
+            "disjoint, unsorted"
+        );
+        assert_eq!(interval_union_us(&[(3.0, 3.0)]), 0.0, "zero-width ignored");
     }
 
     #[test]
@@ -200,6 +432,7 @@ mod tests {
             start_us: 1.5,
             end_us: 2.5,
             label: "conv1".into(),
+            bytes: 4096,
         };
         let json = serde_json::to_string(&e).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();
@@ -216,6 +449,7 @@ mod tests {
                 start_us: 0.0,
                 end_us: 5.0,
                 label: "a".into(),
+                bytes: 0,
             },
             TraceEvent {
                 kind: TraceKind::Kernel,
@@ -223,6 +457,7 @@ mod tests {
                 start_us: 5.0,
                 end_us: 9.0,
                 label: "b".into(),
+                bytes: 0,
             },
             TraceEvent {
                 kind: TraceKind::Kernel,
@@ -230,9 +465,13 @@ mod tests {
                 start_us: 1.0,
                 end_us: 8.0,
                 label: "c".into(),
+                bytes: 0,
             },
         ];
-        assert!(validate_events(&ok).is_ok(), "cross-processor overlap is fine");
+        assert!(
+            validate_events(&ok).is_ok(),
+            "cross-processor overlap is fine"
+        );
 
         let mut bad = ok.clone();
         bad[1].start_us = 4.0; // overlaps event 'a' on the GPU
@@ -252,6 +491,7 @@ mod tests {
                 start_us: 0.0,
                 end_us: 5.0,
                 label: "conv1".into(),
+                bytes: 0,
             },
             TraceEvent {
                 kind: TraceKind::Copy,
@@ -259,6 +499,7 @@ mod tests {
                 start_us: 5.0,
                 end_us: 7.0,
                 label: "h2d".into(),
+                bytes: 0,
             },
         ];
         let json = to_chrome_trace(&events);
@@ -269,6 +510,72 @@ mod tests {
         assert_eq!(arr[0]["tid"], 2);
         assert_eq!(arr[1]["args"]["track"], "Bus");
         assert_eq!(arr[1]["dur"], 2.0);
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_tracks_for_byte_movers() {
+        let events = vec![
+            TraceEvent {
+                kind: TraceKind::Copy,
+                processor: None,
+                start_us: 0.0,
+                end_us: 10.0,
+                label: "h2d".into(),
+                bytes: 10_000, // 1000 bytes/us = 1 GB/s for 10us
+            },
+            TraceEvent {
+                kind: TraceKind::Migration,
+                processor: None,
+                start_us: 10.0,
+                end_us: 12.0,
+                label: "fault".into(),
+                bytes: 8192, // 2 pages
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        let counters: Vec<&serde_json::Value> = arr.iter().filter(|e| e["ph"] == "C").collect();
+        assert!(!counters.is_empty());
+        let bw_on: Vec<&&serde_json::Value> = counters
+            .iter()
+            .filter(|e| e["name"] == "bandwidth_gbps" && e["ts"] == 0.0)
+            .collect();
+        assert_eq!(bw_on.len(), 1);
+        assert!((bw_on[0]["args"]["value"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+        let pages: Vec<&&serde_json::Value> = counters
+            .iter()
+            .filter(|e| e["name"] == "managed_pages_outstanding")
+            .collect();
+        assert_eq!(pages.len(), 1, "one sample at the migration's end");
+        assert_eq!(pages[0]["args"]["value"].as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn chrome_trace_appends_extra_counter_samples() {
+        let extra = vec![
+            CounterSample {
+                track: "ema_cpu_us/conv1".into(),
+                t_us: 0.0,
+                value: 120.0,
+            },
+            CounterSample {
+                track: "ema_cpu_us/conv1".into(),
+                t_us: 1.0,
+                value: 110.0,
+            },
+        ];
+        let json = to_chrome_trace_with_counters(&[], &extra);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["ph"], "C");
+        assert_eq!(arr[0]["name"], "ema_cpu_us/conv1");
+        assert_eq!(
+            arr[0]["pid"], 2,
+            "tuner counters live on their own process row"
+        );
+        assert_eq!(arr[1]["args"]["value"], 110.0);
     }
 
     #[test]

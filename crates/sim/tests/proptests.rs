@@ -1,29 +1,28 @@
-//! Property-based tests for simulator invariants.
+//! Randomized (seeded, deterministic) tests for simulator invariants.
+//!
+//! These were originally property-based tests; they now draw cases from a
+//! fixed-seed RNG so the suite is reproducible and dependency-free.
 
 use edgenn_sim::engine::Timeline;
-use edgenn_sim::processor::{EfficiencyTable, ExecutionContext, KernelDesc, OpClass, ProcessorKind, ProcessorSpec};
+use edgenn_sim::processor::{
+    EfficiencyTable, ExecutionContext, KernelDesc, OpClass, ProcessorKind, ProcessorSpec,
+};
 use edgenn_sim::trace::TraceKind;
 use edgenn_sim::{platforms, PowerModel};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
-fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
-    (
-        0u64..10_000_000_000,
-        0u64..100_000_000,
-        0u64..100_000_000,
-        0u64..100_000_000,
-        1u64..10_000_000,
-        0u64..100_000_000,
-    )
-        .prop_map(|(flops, bi, bo, wb, par, ws)| KernelDesc {
-            class: OpClass::Conv,
-            flops,
-            bytes_in: bi,
-            bytes_out: bo,
-            weight_bytes: wb,
-            parallelism: par,
-            working_set_bytes: ws,
-        })
+const CASES: usize = 64;
+
+fn arb_kernel(rng: &mut rand::rngs::StdRng) -> KernelDesc {
+    KernelDesc {
+        class: OpClass::Conv,
+        flops: rng.gen_range(0u64..10_000_000_000),
+        bytes_in: rng.gen_range(0u64..100_000_000),
+        bytes_out: rng.gen_range(0u64..100_000_000),
+        weight_bytes: rng.gen_range(0u64..100_000_000),
+        parallelism: rng.gen_range(1u64..10_000_000),
+        working_set_bytes: rng.gen_range(0u64..100_000_000),
+    }
 }
 
 fn test_proc(kind: ProcessorKind) -> ProcessorSpec {
@@ -35,120 +34,173 @@ fn test_proc(kind: ProcessorKind) -> ProcessorSpec {
         launch_overhead_us: 5.0,
         efficiency: EfficiencyTable::uniform(0.4),
         bw_efficiency: EfficiencyTable::uniform(0.8),
-        saturation_parallelism: if kind == ProcessorKind::Gpu { 10_000 } else { 0 },
-        cache_bytes: if kind == ProcessorKind::Cpu { 4 << 20 } else { 0 },
+        saturation_parallelism: if kind == ProcessorKind::Gpu {
+            10_000
+        } else {
+            0
+        },
+        cache_bytes: if kind == ProcessorKind::Cpu {
+            4 << 20
+        } else {
+            0
+        },
         cache_thrash_floor: 0.25,
     }
 }
 
-proptest! {
-    #[test]
-    fn kernel_time_is_positive_and_bounded_below_by_launch(desc in arb_kernel()) {
-        let spec = test_proc(ProcessorKind::Gpu);
+#[test]
+fn kernel_time_is_positive_and_bounded_below_by_launch() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0001);
+    let spec = test_proc(ProcessorKind::Gpu);
+    for _ in 0..CASES {
+        let desc = arb_kernel(&mut rng);
         let t = spec.kernel_time_us(&desc, &ExecutionContext::default());
-        prop_assert!(t >= spec.launch_overhead_us);
-        prop_assert!(t.is_finite());
+        assert!(t >= spec.launch_overhead_us);
+        assert!(t.is_finite());
     }
+}
 
-    #[test]
-    fn kernel_time_monotone_in_flops(desc in arb_kernel(), extra in 1u64..1_000_000_000) {
-        let spec = test_proc(ProcessorKind::Cpu);
-        let ctx = ExecutionContext::default();
+#[test]
+fn kernel_time_monotone_in_flops() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0002);
+    let spec = test_proc(ProcessorKind::Cpu);
+    let ctx = ExecutionContext::default();
+    for _ in 0..CASES {
+        let desc = arb_kernel(&mut rng);
+        let extra = rng.gen_range(1u64..1_000_000_000);
         let base = spec.kernel_time_us(&desc, &ctx);
-        let more = KernelDesc { flops: desc.flops.saturating_add(extra), ..desc };
-        prop_assert!(spec.kernel_time_us(&more, &ctx) >= base - 1e-9);
+        let more = KernelDesc {
+            flops: desc.flops.saturating_add(extra),
+            ..desc
+        };
+        assert!(spec.kernel_time_us(&more, &ctx) >= base - 1e-9);
     }
+}
 
-    #[test]
-    fn bandwidth_factors_never_speed_kernels_up(
-        desc in arb_kernel(),
-        bw in 0.05f64..1.0,
-        cont in 0.05f64..1.0,
-    ) {
-        let spec = test_proc(ProcessorKind::Gpu);
+#[test]
+fn bandwidth_factors_never_speed_kernels_up() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0003);
+    let spec = test_proc(ProcessorKind::Gpu);
+    for _ in 0..CASES {
+        let desc = arb_kernel(&mut rng);
+        let bw = rng.gen_range(0.05f64..1.0);
+        let cont = rng.gen_range(0.05f64..1.0);
         let base = spec.kernel_time_us(&desc, &ExecutionContext::default());
         let degraded = spec.kernel_time_us(
             &desc,
-            &ExecutionContext { bandwidth_factor: bw, contention_factor: cont },
+            &ExecutionContext {
+                bandwidth_factor: bw,
+                contention_factor: cont,
+            },
         );
-        prop_assert!(degraded >= base - 1e-9, "degraded {degraded} < base {base}");
+        assert!(degraded >= base - 1e-9, "degraded {degraded} < base {base}");
     }
+}
 
-    #[test]
-    fn copy_time_is_monotone_and_superadditive_in_latency(
-        a in 0u64..100_000_000,
-        b in 0u64..100_000_000,
-    ) {
-        let memory = platforms::jetson_agx_xavier().memory;
+#[test]
+fn copy_time_is_monotone_and_superadditive_in_latency() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0004);
+    let memory = platforms::jetson_agx_xavier().memory;
+    for _ in 0..CASES {
+        let a = rng.gen_range(0u64..100_000_000);
+        let b = rng.gen_range(0u64..100_000_000);
         let ta = memory.copy_time_us(a);
         let tb = memory.copy_time_us(b);
         let tab = memory.copy_time_us(a + b);
-        prop_assert!(tab >= ta.max(tb) - 1e-9, "monotonicity");
+        assert!(tab >= ta.max(tb) - 1e-9, "monotonicity");
         if a > 0 && b > 0 {
             // One big copy beats two small ones (single latency charge).
-            prop_assert!(tab <= ta + tb + 1e-9, "latency amortization");
+            assert!(tab <= ta + tb + 1e-9, "latency amortization");
         }
     }
+}
 
-    #[test]
-    fn timeline_makespan_never_decreases(
-        durations in prop::collection::vec((0usize..2, 0.0f64..1000.0), 1..40),
-    ) {
+#[test]
+fn timeline_makespan_never_decreases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0005);
+    for _ in 0..CASES {
+        let count = rng.gen_range(1usize..40);
         let mut timeline = Timeline::new();
         let mut last = 0.0f64;
-        for (proc, dur) in durations {
-            let proc = if proc == 0 { ProcessorKind::Cpu } else { ProcessorKind::Gpu };
+        for _ in 0..count {
+            let proc = if rng.gen_bool(0.5) {
+                ProcessorKind::Cpu
+            } else {
+                ProcessorKind::Gpu
+            };
+            let dur = rng.gen_range(0.0f64..1000.0);
             timeline.schedule(proc, TraceKind::Kernel, 0.0, dur, "w");
             let m = timeline.makespan_us();
-            prop_assert!(m >= last - 1e-9);
+            assert!(m >= last - 1e-9);
             last = m;
         }
         // Busy time on each processor never exceeds the makespan.
         for proc in [ProcessorKind::Cpu, ProcessorKind::Gpu] {
-            prop_assert!(timeline.busy_us(proc) <= timeline.makespan_us() + 1e-9);
+            assert!(timeline.busy_us(proc) <= timeline.makespan_us() + 1e-9);
             let f = timeline.busy_fraction(proc);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&f));
         }
     }
+}
 
-    #[test]
-    fn energy_scales_with_duration_and_utilization(
-        busy_cpu in 0.0f64..1000.0,
-        busy_gpu in 0.0f64..1000.0,
-    ) {
-        let power = PowerModel { base_w: 2.0, cpu_dynamic_w: 3.0, gpu_dynamic_w: 4.0 };
+#[test]
+fn energy_scales_with_duration_and_utilization() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0006);
+    for _ in 0..CASES {
+        let busy_cpu = rng.gen_range(0.0f64..1000.0);
+        let busy_gpu = rng.gen_range(0.0f64..1000.0);
+        let power = PowerModel {
+            base_w: 2.0,
+            cpu_dynamic_w: 3.0,
+            gpu_dynamic_w: 4.0,
+        };
         let mut t = Timeline::new();
         t.schedule(ProcessorKind::Cpu, TraceKind::Kernel, 0.0, busy_cpu, "c");
         t.schedule(ProcessorKind::Gpu, TraceKind::Kernel, 0.0, busy_gpu, "g");
         let e = power.energy(&t);
         let makespan = busy_cpu.max(busy_gpu);
         // Energy is at least the idle floor and at most the all-out draw.
-        prop_assert!(e.energy_mj >= 2.0 * makespan / 1000.0 - 1e-9);
-        prop_assert!(e.energy_mj <= 9.0 * makespan / 1000.0 + 1e-9);
-        prop_assert!(e.avg_power_w >= 2.0 - 1e-9);
+        assert!(e.energy_mj >= 2.0 * makespan / 1000.0 - 1e-9);
+        assert!(e.energy_mj <= 9.0 * makespan / 1000.0 + 1e-9);
+        assert!(e.avg_power_w >= 2.0 - 1e-9);
     }
+}
 
-    #[test]
-    fn migration_prefetch_never_slower(bytes in 1u64..200_000_000) {
-        let memory = platforms::jetson_agx_xavier().memory;
-        prop_assert!(
-            memory.migration_time_us(bytes, true)
-                <= memory.migration_time_us(bytes, false) + 1e-9
+#[test]
+fn migration_prefetch_never_slower() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0007);
+    let memory = platforms::jetson_agx_xavier().memory;
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(1u64..200_000_000);
+        assert!(
+            memory.migration_time_us(bytes, true) <= memory.migration_time_us(bytes, false) + 1e-9
         );
         // Thrash is always at least as bad as a plain migration.
-        prop_assert!(memory.thrash_time_us(bytes) >= memory.migration_time_us(bytes, false));
+        assert!(memory.thrash_time_us(bytes) >= memory.migration_time_us(bytes, false));
     }
+}
 
-    #[test]
-    fn cloud_offload_monotone_in_bandwidth(
-        bytes in 1u64..10_000_000,
-        b1 in 0.1f64..100.0,
-        b2 in 0.1f64..100.0,
-    ) {
-        use edgenn_sim::CloudLink;
-        prop_assume!(b1 < b2);
-        let slow = CloudLink { uplink_mbps: b1, cloud_delay_us: 100_000.0 };
-        let fast = CloudLink { uplink_mbps: b2, cloud_delay_us: 100_000.0 };
-        prop_assert!(fast.offload_time_us(bytes, 0.0) < slow.offload_time_us(bytes, 0.0));
+#[test]
+fn cloud_offload_monotone_in_bandwidth() {
+    use edgenn_sim::CloudLink;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B0_0008);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let bytes = rng.gen_range(1u64..10_000_000);
+        let b1 = rng.gen_range(0.1f64..100.0);
+        let b2 = rng.gen_range(0.1f64..100.0);
+        if b1 >= b2 {
+            continue;
+        }
+        checked += 1;
+        let slow = CloudLink {
+            uplink_mbps: b1,
+            cloud_delay_us: 100_000.0,
+        };
+        let fast = CloudLink {
+            uplink_mbps: b2,
+            cloud_delay_us: 100_000.0,
+        };
+        assert!(fast.offload_time_us(bytes, 0.0) < slow.offload_time_us(bytes, 0.0));
     }
 }

@@ -86,7 +86,10 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected}, got rank {actual}")
             }
             Self::OutOfBounds { axis, index, size } => {
-                write!(f, "index {index} out of bounds for axis {axis} of size {size}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} of size {size}"
+                )
             }
             Self::EmptyRange { start, end } => {
                 write!(f, "empty or inverted range {start}..{end}")
@@ -111,26 +114,45 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(TensorError, &str)> = vec![
             (
-                TensorError::LengthMismatch { expected: 4, actual: 3 },
+                TensorError::LengthMismatch {
+                    expected: 4,
+                    actual: 3,
+                },
                 "buffer length 3 does not match shape element count 4",
             ),
             (
-                TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+                TensorError::ShapeMismatch {
+                    left: vec![2],
+                    right: vec![3],
+                },
                 "shape mismatch: [2] vs [3]",
             ),
             (
-                TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) },
+                TensorError::MatmulDimMismatch {
+                    left: (2, 3),
+                    right: (4, 5),
+                },
                 "matmul dimension mismatch: 2x3 * 4x5",
             ),
             (
-                TensorError::RankMismatch { expected: 3, actual: 1 },
+                TensorError::RankMismatch {
+                    expected: 3,
+                    actual: 1,
+                },
                 "expected rank 3, got rank 1",
             ),
             (
-                TensorError::OutOfBounds { axis: 0, index: 9, size: 4 },
+                TensorError::OutOfBounds {
+                    axis: 0,
+                    index: 9,
+                    size: 4,
+                },
                 "index 9 out of bounds for axis 0 of size 4",
             ),
-            (TensorError::EmptyRange { start: 3, end: 3 }, "empty or inverted range 3..3"),
+            (
+                TensorError::EmptyRange { start: 3, end: 3 },
+                "empty or inverted range 3..3",
+            ),
             (
                 TensorError::ReshapeMismatch { from: 6, to: 8 },
                 "reshape would change element count from 6 to 8",

@@ -15,15 +15,24 @@ use crate::{Result, Tensor, TensorError};
 /// and [`TensorError::MatmulDimMismatch`] when the inner dimensions differ.
 pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.shape().rank(),
+        });
     }
     if b.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.shape().rank(),
+        });
     }
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
     }
     let mut out = vec![0.0f32; m * n];
     gemm_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
@@ -63,14 +72,23 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
 /// not rank 1, and [`TensorError::MatmulDimMismatch`] when dims disagree.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.shape().rank(),
+        });
     }
     if x.shape().rank() != 1 {
-        return Err(TensorError::RankMismatch { expected: 1, actual: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: x.shape().rank(),
+        });
     }
     let (m, k) = (a.dims()[0], a.dims()[1]);
     if k != x.dims()[0] {
-        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (x.dims()[0], 1) });
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (x.dims()[0], 1),
+        });
     }
     let xs = x.as_slice();
     let data: Vec<f32> = (0..m)
@@ -136,10 +154,19 @@ mod tests {
     fn gemm_validates_shapes() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
-        assert!(matches!(gemm(&a, &b), Err(TensorError::MatmulDimMismatch { .. })));
+        assert!(matches!(
+            gemm(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(gemm(&v, &b), Err(TensorError::RankMismatch { .. })));
-        assert!(matches!(gemm(&a, &v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            gemm(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(matches!(
+            gemm(&a, &v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -173,7 +173,11 @@ mod tests {
             Err(TensorError::InvalidConvGeometry { .. })
         ));
         assert!(matches!(
-            Conv2dGeometry { kernel_h: 0, ..geo(1, 4, 4, 3, 1, 0) }.validate(),
+            Conv2dGeometry {
+                kernel_h: 0,
+                ..geo(1, 4, 4, 3, 1, 0)
+            }
+            .validate(),
             Err(TensorError::InvalidConvGeometry { .. })
         ));
     }
@@ -226,7 +230,10 @@ mod tests {
     fn im2col_rejects_wrong_input_shape() {
         let input = Tensor::zeros(&[2, 3, 3]);
         let g = geo(1, 3, 3, 2, 1, 0);
-        assert!(matches!(im2col(&input, &g), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            im2col(&input, &g),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

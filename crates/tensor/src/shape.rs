@@ -18,7 +18,9 @@ impl Shape {
     /// Zero-sized dimensions are permitted (they describe empty tensors,
     /// which arise naturally from empty partition ranges).
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimension list.
@@ -38,11 +40,14 @@ impl Shape {
     /// # Errors
     /// Returns [`TensorError::OutOfBounds`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize> {
-        self.dims.get(axis).copied().ok_or(TensorError::OutOfBounds {
-            axis,
-            index: axis,
-            size: self.dims.len(),
-        })
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::OutOfBounds {
+                axis,
+                index: axis,
+                size: self.dims.len(),
+            })
     }
 
     /// Total number of elements.
@@ -79,7 +84,11 @@ impl Shape {
             let idx = index[axis];
             let size = self.dims[axis];
             if idx >= size {
-                return Err(TensorError::OutOfBounds { axis, index: idx, size });
+                return Err(TensorError::OutOfBounds {
+                    axis,
+                    index: idx,
+                    size,
+                });
             }
             offset += idx * stride;
             stride *= size;
@@ -164,11 +173,18 @@ mod tests {
         let shape = Shape::new(&[2, 3]);
         assert_eq!(
             shape.offset(&[1]).unwrap_err(),
-            TensorError::RankMismatch { expected: 2, actual: 1 }
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1
+            }
         );
         assert_eq!(
             shape.offset(&[2, 0]).unwrap_err(),
-            TensorError::OutOfBounds { axis: 0, index: 2, size: 2 }
+            TensorError::OutOfBounds {
+                axis: 0,
+                index: 2,
+                size: 2
+            }
         );
     }
 

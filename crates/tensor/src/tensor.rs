@@ -38,7 +38,10 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![0.0; shape.num_elements()], shape }
+        Self {
+            data: vec![0.0; shape.num_elements()],
+            shape,
+        }
     }
 
     /// All-ones tensor.
@@ -49,7 +52,10 @@ impl Tensor {
     /// Tensor filled with a constant.
     pub fn filled(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![value; shape.num_elements()], shape }
+        Self {
+            data: vec![value; shape.num_elements()],
+            shape,
+        }
     }
 
     /// Square identity matrix of size `n`.
@@ -58,7 +64,10 @@ impl Tensor {
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        Self { data, shape: Shape::new(&[n, n]) }
+        Self {
+            data,
+            shape: Shape::new(&[n, n]),
+        }
     }
 
     /// Deterministic pseudo-random tensor in `[-bound, bound)`.
@@ -70,7 +79,9 @@ impl Tensor {
         let shape = Shape::new(dims);
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new(-bound, bound);
-        let data = (0..shape.num_elements()).map(|_| dist.sample(&mut rng)).collect();
+        let data = (0..shape.num_elements())
+            .map(|_| dist.sample(&mut rng))
+            .collect();
         Self { data, shape }
     }
 
@@ -158,7 +169,10 @@ impl Tensor {
                 to: shape.num_elements(),
             });
         }
-        Ok(Self { data: self.data.clone(), shape })
+        Ok(Self {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Copies out the sub-tensor `start..end` along axis 0.
@@ -176,7 +190,11 @@ impl Tensor {
         }
         let axis0 = self.shape.dim(0)?;
         if end > axis0 {
-            return Err(TensorError::OutOfBounds { axis: 0, index: end, size: axis0 });
+            return Err(TensorError::OutOfBounds {
+                axis: 0,
+                index: end,
+                size: axis0,
+            });
         }
         let inner: usize = self.shape.dims()[1..].iter().product();
         let data = self.data[start * inner..end * inner].to_vec();
@@ -194,7 +212,9 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when trailing dims disagree
     /// and [`TensorError::EmptyRange`] when `parts` is empty.
     pub fn concat_axis0(parts: &[&Tensor]) -> Result<Self> {
-        let first = parts.first().ok_or(TensorError::EmptyRange { start: 0, end: 0 })?;
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyRange { start: 0, end: 0 })?;
         let trailing = &first.shape.dims()[1..];
         let mut axis0 = 0usize;
         let mut total = 0usize;
@@ -214,7 +234,10 @@ impl Tensor {
         }
         let mut dims = first.shape.dims().to_vec();
         dims[0] = axis0;
-        Ok(Self { data, shape: Shape::new(&dims) })
+        Ok(Self {
+            data,
+            shape: Shape::new(&dims),
+        })
     }
 
     /// Applies `f` to every element, producing a new tensor.
@@ -242,7 +265,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Self { data, shape: self.shape.clone() })
+        Ok(Self {
+            data,
+            shape: self.shape.clone(),
+        })
     }
 
     /// Element-wise sum.
@@ -323,7 +349,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         assert_eq!(
             Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err(),
-            TensorError::LengthMismatch { expected: 6, actual: 5 }
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
         );
     }
 
@@ -331,7 +360,10 @@ mod tests {
     fn constructors_fill_as_documented() {
         assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
         assert!(Tensor::ones(&[3]).as_slice().iter().all(|&x| x == 1.0));
-        assert!(Tensor::filled(&[2, 2], 2.5).as_slice().iter().all(|&x| x == 2.5));
+        assert!(Tensor::filled(&[2, 2], 2.5)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 2.5));
         assert_eq!(Tensor::eye(3).get(&[1, 1]).unwrap(), 1.0);
         assert_eq!(Tensor::eye(3).get(&[1, 2]).unwrap(), 0.0);
         assert_eq!(Tensor::arange(&[2, 2]).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
@@ -374,8 +406,14 @@ mod tests {
     #[test]
     fn slice_axis0_validates_range() {
         let t = Tensor::arange(&[4, 2]);
-        assert!(matches!(t.slice_axis0(2, 2), Err(TensorError::EmptyRange { .. })));
-        assert!(matches!(t.slice_axis0(3, 5), Err(TensorError::OutOfBounds { .. })));
+        assert!(matches!(
+            t.slice_axis0(2, 2),
+            Err(TensorError::EmptyRange { .. })
+        ));
+        assert!(matches!(
+            t.slice_axis0(3, 5),
+            Err(TensorError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -26,13 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.jitter_seed = 7;
 
     let mut tuner = Tuner::new(&graph, &runtime)?;
-    println!("adaptive tuning of {} on {} (profiling noise ±{:.0}%):", graph.name(), jetson.name, noise * 100.0);
+    println!(
+        "adaptive tuning of {} on {} (profiling noise ±{:.0}%):",
+        graph.name(),
+        jetson.name,
+        noise * 100.0
+    );
 
     let mut last_corun = usize::MAX;
     for round in 0..8 {
         let plan = tuner.plan(&graph, &runtime, config)?;
         let report = runtime.simulate(&graph, &plan)?;
-        let changed = if plan.corun_count() != last_corun { "  <- plan changed" } else { "" };
+        let changed = if plan.corun_count() != last_corun {
+            "  <- plan changed"
+        } else {
+            ""
+        };
         println!(
             "  round {round}: predicted {:>8.0} us, {:>2} co-run layers, {:>2} zero-copy arrays{changed}",
             report.total_us,

@@ -29,16 +29,24 @@ fn build_custom() -> edgenn_nn::graph::Graph {
     let c = b.add(MaxPool2d::new("pool1", 2, 2), &[c]).unwrap();
 
     // Fire-style fork-join (inter-kernel co-running opportunity).
-    let s = b.add(Conv2d::new("squeeze", 8, 4, 1, 1, 0, 2), &[c]).unwrap();
+    let s = b
+        .add(Conv2d::new("squeeze", 8, 4, 1, 1, 0, 2), &[c])
+        .unwrap();
     let fork = b.add(Relu::new("squeeze_relu"), &[s]).unwrap();
-    let e1 = b.add(Conv2d::new("expand1", 4, 8, 1, 1, 0, 3), &[fork]).unwrap();
+    let e1 = b
+        .add(Conv2d::new("expand1", 4, 8, 1, 1, 0, 3), &[fork])
+        .unwrap();
     let e1 = b.add(Relu::new("expand1_relu"), &[e1]).unwrap();
-    let e3 = b.add(Conv2d::new("expand3", 4, 8, 3, 1, 1, 4), &[fork]).unwrap();
+    let e3 = b
+        .add(Conv2d::new("expand3", 4, 8, 3, 1, 1, 4), &[fork])
+        .unwrap();
     let e3 = b.add(Relu::new("expand3_relu"), &[e3]).unwrap();
     let cat = b.add(Concat::new("concat", 2), &[e1, e3]).unwrap();
 
     // Residual block with identity shortcut.
-    let r = b.add(Conv2d::new("res_conv", 16, 16, 3, 1, 1, 5), &[cat]).unwrap();
+    let r = b
+        .add(Conv2d::new("res_conv", 16, 16, 3, 1, 1, 5), &[cat])
+        .unwrap();
     let r = b.add(Relu::new("res_relu"), &[r]).unwrap();
     let add = b.add(AddResidual::new("res_add"), &[r, cat]).unwrap();
 
@@ -58,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime)?;
 
-    let baseline = runtime
-        .simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu())?)?;
+    let baseline = runtime.simulate(
+        &graph,
+        &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu())?,
+    )?;
     let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?;
     let edgenn = runtime.simulate(&graph, &plan)?;
     println!(

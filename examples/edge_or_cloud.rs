@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let edgenn = EdgeNn::new(&jetson);
 
     let bandwidths_mbps = [0.5, 1.0, 2.0, 5.0, 10.0, 50.0];
-    println!(
-        "decision per network and uplink bandwidth (E = run on edge, C = offload to cloud)\n"
-    );
+    println!("decision per network and uplink bandwidth (E = run on edge, C = offload to cloud)\n");
     print!("{:<12} {:>10}", "model", "edge ms");
     for b in bandwidths_mbps {
         print!(" {:>8}", format!("{b} MB/s"));
@@ -31,9 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let edge = edgenn.infer(&graph)?;
         print!("{:<12} {:>10.2}", kind.name(), edge.total_us / 1e3);
         for b in bandwidths_mbps {
-            let link = CloudLink { uplink_mbps: b, cloud_delay_us: 100_000.0 };
+            let link = CloudLink {
+                uplink_mbps: b,
+                cloud_delay_us: 100_000.0,
+            };
             let cloud = CloudOffload::new(&server).with_link(link).infer(&graph)?;
-            let choice = if edge.total_us <= cloud.total_us { "E" } else { "C" };
+            let choice = if edge.total_us <= cloud.total_us {
+                "E"
+            } else {
+                "C"
+            };
             print!(" {:>8}", format!("{choice} {:.0}", cloud.total_us / 1e3));
         }
         println!();

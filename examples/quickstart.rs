@@ -12,7 +12,10 @@ use edgenn_sim::platforms;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jetson = platforms::jetson_agx_xavier();
     println!("platform: {} (${})", jetson.name, jetson.price_usd);
-    println!("{:<12} {:>12} {:>12} {:>9} {:>8} {:>8}", "model", "baseline us", "edgenn us", "gain %", "co-run", "managed");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "model", "baseline us", "edgenn us", "gain %", "co-run", "managed"
+    );
 
     for kind in ModelKind::ALL {
         let graph = build(kind, ModelScale::Paper);

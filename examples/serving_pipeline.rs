@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tuner = Tuner::new(&graph, &runtime)?;
     let requests = 32;
 
-    println!("serving {requests} SqueezeNet requests on {}:\n", jetson.name);
+    println!(
+        "serving {requests} SqueezeNet requests on {}:\n",
+        jetson.name
+    );
     println!(
         "{:<26} {:>12} {:>12} {:>10} {:>12}",
         "plan", "thruput/s", "p-last ms", "power W", "mJ/request"
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let configs = [
         ("edgenn (latency)", ExecutionConfig::edgenn()),
-        ("edgenn (energy-aware)", ExecutionConfig::edgenn_energy_aware()),
+        (
+            "edgenn (energy-aware)",
+            ExecutionConfig::edgenn_energy_aware(),
+        ),
         ("gpu-only baseline", ExecutionConfig::baseline_gpu()),
     ];
     for (name, config) in configs {
@@ -50,12 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn())?;
     let single = runtime.simulate(&graph, &plan)?;
     let capacity = 1e6 / single.total_us;
-    println!("
-open-loop latency under Poisson arrivals (capacity ~{capacity:.1} req/s):");
-    println!("{:>12} {:>10} {:>10} {:>10}", "load", "p50 ms", "p95 ms", "p99 ms");
+    println!(
+        "
+open-loop latency under Poisson arrivals (capacity ~{capacity:.1} req/s):"
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "load", "p50 ms", "p95 ms", "p99 ms"
+    );
     for frac in [0.25, 0.5, 0.75, 0.9] {
-        let report =
-            runtime.simulate_poisson_stream(&graph, &plan, capacity * frac, 64, 42)?;
+        let report = runtime.simulate_poisson_stream(&graph, &plan, capacity * frac, 64, 42)?;
         println!(
             "{:>11.0}% {:>10.2} {:>10.2} {:>10.2}",
             frac * 100.0,

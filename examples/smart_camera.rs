@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = edgenn.infer(&paper_model)?;
     let fps = 1e6 / report.total_us;
     println!("SqueezeNet on {}:", jetson.name);
-    println!("  latency      : {:.2} ms/frame ({fps:.1} fps)", report.total_us / 1e3);
+    println!(
+        "  latency      : {:.2} ms/frame ({fps:.1} fps)",
+        report.total_us / 1e3
+    );
     println!("  avg power    : {:.1} W", report.energy.avg_power_w);
     println!("  energy/frame : {:.2} mJ", report.energy.energy_mj);
     println!(
@@ -60,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // The hybrid result must match the single-threaded reference.
         let reference = model.forward(&frame)?;
-        assert_eq!(reference.argmax(), Some(class), "hybrid execution changed the answer");
+        assert_eq!(
+            reference.argmax(),
+            Some(class),
+            "hybrid execution changed the answer"
+        );
 
         println!(
             "  frame {frame_no}: class {class:2} (p = {confidence:.3}), \

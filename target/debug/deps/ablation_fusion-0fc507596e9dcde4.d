@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fusion-0fc507596e9dcde4.d: crates/bench/src/bin/ablation_fusion.rs
+
+/root/repo/target/debug/deps/ablation_fusion-0fc507596e9dcde4: crates/bench/src/bin/ablation_fusion.rs
+
+crates/bench/src/bin/ablation_fusion.rs:

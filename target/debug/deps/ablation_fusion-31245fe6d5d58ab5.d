@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fusion-31245fe6d5d58ab5.d: crates/bench/src/bin/ablation_fusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fusion-31245fe6d5d58ab5.rmeta: crates/bench/src/bin/ablation_fusion.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

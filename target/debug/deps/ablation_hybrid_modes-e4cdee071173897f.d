@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hybrid_modes-e4cdee071173897f.d: crates/bench/src/bin/ablation_hybrid_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hybrid_modes-e4cdee071173897f.rmeta: crates/bench/src/bin/ablation_hybrid_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

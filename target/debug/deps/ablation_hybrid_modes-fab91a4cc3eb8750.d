@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid_modes-fab91a4cc3eb8750.d: crates/bench/src/bin/ablation_hybrid_modes.rs
+
+/root/repo/target/debug/deps/ablation_hybrid_modes-fab91a4cc3eb8750: crates/bench/src/bin/ablation_hybrid_modes.rs
+
+crates/bench/src/bin/ablation_hybrid_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_memory_policy-91a197aafccd6f85.d: crates/bench/src/bin/ablation_memory_policy.rs
+
+/root/repo/target/debug/deps/ablation_memory_policy-91a197aafccd6f85: crates/bench/src/bin/ablation_memory_policy.rs
+
+crates/bench/src/bin/ablation_memory_policy.rs:

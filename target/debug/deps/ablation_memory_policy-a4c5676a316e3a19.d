@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_memory_policy-a4c5676a316e3a19.d: crates/bench/src/bin/ablation_memory_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_memory_policy-a4c5676a316e3a19.rmeta: crates/bench/src/bin/ablation_memory_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_memory_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_memory_policy-b1ca65b2cf01fa0c.d: crates/bench/src/bin/ablation_memory_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_memory_policy-b1ca65b2cf01fa0c.rmeta: crates/bench/src/bin/ablation_memory_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_memory_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

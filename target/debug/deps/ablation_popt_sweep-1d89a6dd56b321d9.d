@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_popt_sweep-1d89a6dd56b321d9.d: crates/bench/src/bin/ablation_popt_sweep.rs
+
+/root/repo/target/debug/deps/ablation_popt_sweep-1d89a6dd56b321d9: crates/bench/src/bin/ablation_popt_sweep.rs
+
+crates/bench/src/bin/ablation_popt_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_popt_sweep-2cd5304d9eadfc06.d: crates/bench/src/bin/ablation_popt_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_popt_sweep-2cd5304d9eadfc06.rmeta: crates/bench/src/bin/ablation_popt_sweep.rs Cargo.toml
+
+crates/bench/src/bin/ablation_popt_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

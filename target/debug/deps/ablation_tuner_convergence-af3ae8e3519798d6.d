@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tuner_convergence-af3ae8e3519798d6.d: crates/bench/src/bin/ablation_tuner_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tuner_convergence-af3ae8e3519798d6.rmeta: crates/bench/src/bin/ablation_tuner_convergence.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tuner_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

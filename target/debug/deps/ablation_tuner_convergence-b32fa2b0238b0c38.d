@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tuner_convergence-b32fa2b0238b0c38.d: crates/bench/src/bin/ablation_tuner_convergence.rs
+
+/root/repo/target/debug/deps/ablation_tuner_convergence-b32fa2b0238b0c38: crates/bench/src/bin/ablation_tuner_convergence.rs
+
+crates/bench/src/bin/ablation_tuner_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-c174d883a9ed8120.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-c174d883a9ed8120: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-b35e5d13cddca3d8.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-b35e5d13cddca3d8: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

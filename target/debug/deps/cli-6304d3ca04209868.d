@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-6304d3ca04209868.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-6304d3ca04209868: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_edgenn=/root/repo/target/debug/edgenn

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-dd641a96b13d8c70.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-dd641a96b13d8c70: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_edgenn=/root/repo/target/debug/edgenn

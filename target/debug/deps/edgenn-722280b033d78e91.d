@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgenn-722280b033d78e91.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/edgenn-722280b033d78e91: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

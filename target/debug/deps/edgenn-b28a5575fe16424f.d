@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgenn-b28a5575fe16424f.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/edgenn-b28a5575fe16424f: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

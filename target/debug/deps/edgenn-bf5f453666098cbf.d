@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgenn-bf5f453666098cbf.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/edgenn-bf5f453666098cbf: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

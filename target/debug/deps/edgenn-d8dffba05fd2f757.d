@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edgenn-d8dffba05fd2f757.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/edgenn-d8dffba05fd2f757: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/edgenn_bench-f72f96b5c4fe973b.d: crates/bench/src/lib.rs crates/bench/src/calibrate.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fusion.rs crates/bench/src/experiments/pipeline_exp.rs crates/bench/src/experiments/power_modes.rs crates/bench/src/experiments/sec5f.rs crates/bench/src/experiments/sec6.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tab1.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libedgenn_bench-f72f96b5c4fe973b.rlib: crates/bench/src/lib.rs crates/bench/src/calibrate.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fusion.rs crates/bench/src/experiments/pipeline_exp.rs crates/bench/src/experiments/power_modes.rs crates/bench/src/experiments/sec5f.rs crates/bench/src/experiments/sec6.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tab1.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libedgenn_bench-f72f96b5c4fe973b.rmeta: crates/bench/src/lib.rs crates/bench/src/calibrate.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fusion.rs crates/bench/src/experiments/pipeline_exp.rs crates/bench/src/experiments/power_modes.rs crates/bench/src/experiments/sec5f.rs crates/bench/src/experiments/sec6.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tab1.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/calibrate.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig06.rs:
+crates/bench/src/experiments/fig07.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig13.rs:
+crates/bench/src/experiments/fusion.rs:
+crates/bench/src/experiments/pipeline_exp.rs:
+crates/bench/src/experiments/power_modes.rs:
+crates/bench/src/experiments/sec5f.rs:
+crates/bench/src/experiments/sec6.rs:
+crates/bench/src/experiments/sensitivity.rs:
+crates/bench/src/experiments/tab1.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:

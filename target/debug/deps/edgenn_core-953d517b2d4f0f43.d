@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/edgenn_core-953d517b2d4f0f43.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libedgenn_core-953d517b2d4f0f43.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libedgenn_core-953d517b2d4f0f43.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/baselines.rs:
+crates/core/src/error.rs:
+crates/core/src/footprint.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partition.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/functional.rs:
+crates/core/src/semantics.rs:
+crates/core/src/tuner.rs:

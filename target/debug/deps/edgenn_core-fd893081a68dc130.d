@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/edgenn_core-fd893081a68dc130.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_core-fd893081a68dc130.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/baselines.rs:
+crates/core/src/error.rs:
+crates/core/src/footprint.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partition.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/functional.rs:
+crates/core/src/semantics.rs:
+crates/core/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

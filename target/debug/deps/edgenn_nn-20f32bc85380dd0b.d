@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/edgenn_nn-20f32bc85380dd0b.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_nn-20f32bc85380dd0b.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/graph/mod.rs:
+crates/nn/src/graph/fuse.rs:
+crates/nn/src/graph/structure.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/activation.rs:
+crates/nn/src/layer/combine.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/dense.rs:
+crates/nn/src/layer/norm.rs:
+crates/nn/src/layer/params.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/models/mod.rs:
+crates/nn/src/models/alexnet.rs:
+crates/nn/src/models/fcnn.rs:
+crates/nn/src/models/lenet.rs:
+crates/nn/src/models/resnet.rs:
+crates/nn/src/models/squeezenet.rs:
+crates/nn/src/models/synthetic.rs:
+crates/nn/src/models/vgg.rs:
+crates/nn/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/edgenn_nn-8bb27e5ae4d6d533.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs
+
+/root/repo/target/debug/deps/edgenn_nn-8bb27e5ae4d6d533: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/graph/mod.rs:
+crates/nn/src/graph/fuse.rs:
+crates/nn/src/graph/structure.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/activation.rs:
+crates/nn/src/layer/combine.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/dense.rs:
+crates/nn/src/layer/norm.rs:
+crates/nn/src/layer/params.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/models/mod.rs:
+crates/nn/src/models/alexnet.rs:
+crates/nn/src/models/fcnn.rs:
+crates/nn/src/models/lenet.rs:
+crates/nn/src/models/resnet.rs:
+crates/nn/src/models/squeezenet.rs:
+crates/nn/src/models/synthetic.rs:
+crates/nn/src/models/vgg.rs:
+crates/nn/src/workload.rs:

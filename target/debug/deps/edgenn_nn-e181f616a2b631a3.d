@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/edgenn_nn-e181f616a2b631a3.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs
+
+/root/repo/target/debug/deps/libedgenn_nn-e181f616a2b631a3.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs
+
+/root/repo/target/debug/deps/libedgenn_nn-e181f616a2b631a3.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/graph/mod.rs crates/nn/src/graph/fuse.rs crates/nn/src/graph/structure.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/activation.rs crates/nn/src/layer/combine.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/dense.rs crates/nn/src/layer/norm.rs crates/nn/src/layer/params.rs crates/nn/src/layer/pool.rs crates/nn/src/models/mod.rs crates/nn/src/models/alexnet.rs crates/nn/src/models/fcnn.rs crates/nn/src/models/lenet.rs crates/nn/src/models/resnet.rs crates/nn/src/models/squeezenet.rs crates/nn/src/models/synthetic.rs crates/nn/src/models/vgg.rs crates/nn/src/workload.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/graph/mod.rs:
+crates/nn/src/graph/fuse.rs:
+crates/nn/src/graph/structure.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/activation.rs:
+crates/nn/src/layer/combine.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/dense.rs:
+crates/nn/src/layer/norm.rs:
+crates/nn/src/layer/params.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/models/mod.rs:
+crates/nn/src/models/alexnet.rs:
+crates/nn/src/models/fcnn.rs:
+crates/nn/src/models/lenet.rs:
+crates/nn/src/models/resnet.rs:
+crates/nn/src/models/squeezenet.rs:
+crates/nn/src/models/synthetic.rs:
+crates/nn/src/models/vgg.rs:
+crates/nn/src/workload.rs:

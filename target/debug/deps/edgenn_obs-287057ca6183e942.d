@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edgenn_obs-287057ca6183e942.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libedgenn_obs-287057ca6183e942.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libedgenn_obs-287057ca6183e942.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

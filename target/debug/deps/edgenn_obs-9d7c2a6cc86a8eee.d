@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edgenn_obs-9d7c2a6cc86a8eee.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_obs-9d7c2a6cc86a8eee.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edgenn_obs-f61f3988152aad31.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/edgenn_obs-f61f3988152aad31: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edgenn_sim-777a2667f37fa2b0.d: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libedgenn_sim-777a2667f37fa2b0.rlib: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libedgenn_sim-777a2667f37fa2b0.rmeta: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cloud.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/platforms.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edgenn_sim-8f43e372fcce7d26.d: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/edgenn_sim-8f43e372fcce7d26: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cloud.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/platforms.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/trace.rs:

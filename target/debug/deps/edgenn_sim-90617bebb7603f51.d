@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/edgenn_sim-90617bebb7603f51.d: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_sim-90617bebb7603f51.rmeta: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cloud.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/platforms.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/edgenn_sim-a2fc77b600fbe9be.d: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libedgenn_sim-a2fc77b600fbe9be.rlib: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libedgenn_sim-a2fc77b600fbe9be.rmeta: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cloud.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/platforms.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edgenn_suite-5da1d4a4474b51b5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_suite-5da1d4a4474b51b5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

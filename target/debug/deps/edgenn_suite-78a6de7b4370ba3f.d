@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edgenn_suite-78a6de7b4370ba3f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedgenn_suite-78a6de7b4370ba3f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedgenn_suite-78a6de7b4370ba3f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edgenn_suite-c5ddce5d1275a358.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_suite-c5ddce5d1275a358.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

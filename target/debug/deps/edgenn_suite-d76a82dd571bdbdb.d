@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edgenn_suite-d76a82dd571bdbdb.d: src/lib.rs
+
+/root/repo/target/debug/deps/edgenn_suite-d76a82dd571bdbdb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/edgenn_tensor-2ceecb6406610706.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libedgenn_tensor-2ceecb6406610706.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libedgenn_tensor-2ceecb6406610706.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/im2col.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/edgenn_tensor-3d7ce71692a6ff13.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedgenn_tensor-3d7ce71692a6ff13.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/im2col.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

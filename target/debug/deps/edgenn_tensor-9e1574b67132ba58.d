@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/edgenn_tensor-9e1574b67132ba58.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/edgenn_tensor-9e1574b67132ba58: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/im2col.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c4a653b5320b68c6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c4a653b5320b68c6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_edge_cpu_speedups-6a806ba4ce038539.d: crates/bench/src/bin/fig06_edge_cpu_speedups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_edge_cpu_speedups-6a806ba4ce038539.rmeta: crates/bench/src/bin/fig06_edge_cpu_speedups.rs Cargo.toml
+
+crates/bench/src/bin/fig06_edge_cpu_speedups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_edge_cpu_speedups-7668f40db309ce0c.d: crates/bench/src/bin/fig06_edge_cpu_speedups.rs
+
+/root/repo/target/debug/deps/fig06_edge_cpu_speedups-7668f40db309ce0c: crates/bench/src/bin/fig06_edge_cpu_speedups.rs
+
+crates/bench/src/bin/fig06_edge_cpu_speedups.rs:

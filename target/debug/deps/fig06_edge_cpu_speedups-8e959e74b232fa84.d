@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_edge_cpu_speedups-8e959e74b232fa84.d: crates/bench/src/bin/fig06_edge_cpu_speedups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_edge_cpu_speedups-8e959e74b232fa84.rmeta: crates/bench/src/bin/fig06_edge_cpu_speedups.rs Cargo.toml
+
+crates/bench/src/bin/fig06_edge_cpu_speedups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_power_price_edge-53981b33a14eb781.d: crates/bench/src/bin/fig07_power_price_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_power_price_edge-53981b33a14eb781.rmeta: crates/bench/src/bin/fig07_power_price_edge.rs Cargo.toml
+
+crates/bench/src/bin/fig07_power_price_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_power_price_edge-cf887bbdcc1cffd9.d: crates/bench/src/bin/fig07_power_price_edge.rs
+
+/root/repo/target/debug/deps/fig07_power_price_edge-cf887bbdcc1cffd9: crates/bench/src/bin/fig07_power_price_edge.rs
+
+crates/bench/src/bin/fig07_power_price_edge.rs:

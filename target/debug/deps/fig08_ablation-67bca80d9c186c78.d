@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_ablation-67bca80d9c186c78.d: crates/bench/src/bin/fig08_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_ablation-67bca80d9c186c78.rmeta: crates/bench/src/bin/fig08_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig08_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_ablation-7f315e71e30f8020.d: crates/bench/src/bin/fig08_ablation.rs
+
+/root/repo/target/debug/deps/fig08_ablation-7f315e71e30f8020: crates/bench/src/bin/fig08_ablation.rs
+
+crates/bench/src/bin/fig08_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_copy_proportion-0fe4f34f8788c752.d: crates/bench/src/bin/fig09_copy_proportion.rs
+
+/root/repo/target/debug/deps/fig09_copy_proportion-0fe4f34f8788c752: crates/bench/src/bin/fig09_copy_proportion.rs
+
+crates/bench/src/bin/fig09_copy_proportion.rs:

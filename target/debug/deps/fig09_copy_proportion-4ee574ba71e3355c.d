@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_copy_proportion-4ee574ba71e3355c.d: crates/bench/src/bin/fig09_copy_proportion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_copy_proportion-4ee574ba71e3355c.rmeta: crates/bench/src/bin/fig09_copy_proportion.rs Cargo.toml
+
+crates/bench/src/bin/fig09_copy_proportion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_alexnet_zerocopy_layers-2b1382d67181332f.d: crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs
+
+/root/repo/target/debug/deps/fig10_alexnet_zerocopy_layers-2b1382d67181332f: crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs
+
+crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs:

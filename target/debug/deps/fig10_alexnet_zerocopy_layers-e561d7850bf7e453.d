@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_alexnet_zerocopy_layers-e561d7850bf7e453.d: crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_alexnet_zerocopy_layers-e561d7850bf7e453.rmeta: crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs Cargo.toml
+
+crates/bench/src/bin/fig10_alexnet_zerocopy_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

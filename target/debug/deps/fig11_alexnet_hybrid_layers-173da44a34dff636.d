@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_alexnet_hybrid_layers-173da44a34dff636.d: crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs
+
+/root/repo/target/debug/deps/fig11_alexnet_hybrid_layers-173da44a34dff636: crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs
+
+crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs:

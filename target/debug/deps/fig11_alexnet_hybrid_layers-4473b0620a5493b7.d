@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_alexnet_hybrid_layers-4473b0620a5493b7.d: crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_alexnet_hybrid_layers-4473b0620a5493b7.rmeta: crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs Cargo.toml
+
+crates/bench/src/bin/fig11_alexnet_hybrid_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_cloud-5d6c68eed9e22e11.d: crates/bench/src/bin/fig12_cloud.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_cloud-5d6c68eed9e22e11.rmeta: crates/bench/src/bin/fig12_cloud.rs Cargo.toml
+
+crates/bench/src/bin/fig12_cloud.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cloud-81560e18302a9724.d: crates/bench/src/bin/fig12_cloud.rs
+
+/root/repo/target/debug/deps/fig12_cloud-81560e18302a9724: crates/bench/src/bin/fig12_cloud.rs
+
+crates/bench/src/bin/fig12_cloud.rs:

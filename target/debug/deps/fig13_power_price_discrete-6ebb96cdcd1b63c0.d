@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_power_price_discrete-6ebb96cdcd1b63c0.d: crates/bench/src/bin/fig13_power_price_discrete.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_power_price_discrete-6ebb96cdcd1b63c0.rmeta: crates/bench/src/bin/fig13_power_price_discrete.rs Cargo.toml
+
+crates/bench/src/bin/fig13_power_price_discrete.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_power_price_discrete-ed2639b39c00cfc5.d: crates/bench/src/bin/fig13_power_price_discrete.rs
+
+/root/repo/target/debug/deps/fig13_power_price_discrete-ed2639b39c00cfc5: crates/bench/src/bin/fig13_power_price_discrete.rs
+
+crates/bench/src/bin/fig13_power_price_discrete.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_inference-5f80784a5f71fbf6.d: crates/bench/benches/functional_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_inference-5f80784a5f71fbf6.rmeta: crates/bench/benches/functional_inference.rs Cargo.toml
+
+crates/bench/benches/functional_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-381fa57eec2ed03d.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-381fa57eec2ed03d: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

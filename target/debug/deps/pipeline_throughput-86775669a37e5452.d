@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_throughput-86775669a37e5452.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/debug/deps/pipeline_throughput-86775669a37e5452: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planning-8bad3d9b60ac30e1.d: crates/bench/benches/planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanning-8bad3d9b60ac30e1.rmeta: crates/bench/benches/planning.rs Cargo.toml
+
+crates/bench/benches/planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

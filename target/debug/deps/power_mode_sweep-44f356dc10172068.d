@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_mode_sweep-44f356dc10172068.d: crates/bench/src/bin/power_mode_sweep.rs
+
+/root/repo/target/debug/deps/power_mode_sweep-44f356dc10172068: crates/bench/src/bin/power_mode_sweep.rs
+
+crates/bench/src/bin/power_mode_sweep.rs:

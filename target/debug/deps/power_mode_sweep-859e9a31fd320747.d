@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_mode_sweep-859e9a31fd320747.d: crates/bench/src/bin/power_mode_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_mode_sweep-859e9a31fd320747.rmeta: crates/bench/src/bin/power_mode_sweep.rs Cargo.toml
+
+crates/bench/src/bin/power_mode_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_mode_sweep-e7c0acb3d8404aa5.d: crates/bench/src/bin/power_mode_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_mode_sweep-e7c0acb3d8404aa5.rmeta: crates/bench/src/bin/power_mode_sweep.rs Cargo.toml
+
+crates/bench/src/bin/power_mode_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

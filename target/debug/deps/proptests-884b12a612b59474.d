@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-884b12a612b59474.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-884b12a612b59474: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

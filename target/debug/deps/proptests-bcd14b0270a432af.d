@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bcd14b0270a432af.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bcd14b0270a432af: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bf4ec08831502a06.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bf4ec08831502a06: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

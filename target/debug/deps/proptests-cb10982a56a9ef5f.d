@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cb10982a56a9ef5f.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cb10982a56a9ef5f: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5f_interkernel_only-8819adcb13a8cce0.d: crates/bench/src/bin/sec5f_interkernel_only.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5f_interkernel_only-8819adcb13a8cce0.rmeta: crates/bench/src/bin/sec5f_interkernel_only.rs Cargo.toml
+
+crates/bench/src/bin/sec5f_interkernel_only.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

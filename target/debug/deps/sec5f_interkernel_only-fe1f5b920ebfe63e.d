@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5f_interkernel_only-fe1f5b920ebfe63e.d: crates/bench/src/bin/sec5f_interkernel_only.rs
+
+/root/repo/target/debug/deps/sec5f_interkernel_only-fe1f5b920ebfe63e: crates/bench/src/bin/sec5f_interkernel_only.rs
+
+crates/bench/src/bin/sec5f_interkernel_only.rs:

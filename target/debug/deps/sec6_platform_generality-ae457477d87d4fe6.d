@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_platform_generality-ae457477d87d4fe6.d: crates/bench/src/bin/sec6_platform_generality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_platform_generality-ae457477d87d4fe6.rmeta: crates/bench/src/bin/sec6_platform_generality.rs Cargo.toml
+
+crates/bench/src/bin/sec6_platform_generality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_platform_generality-cc9b1cf7b71056a7.d: crates/bench/src/bin/sec6_platform_generality.rs
+
+/root/repo/target/debug/deps/sec6_platform_generality-cc9b1cf7b71056a7: crates/bench/src/bin/sec6_platform_generality.rs
+
+crates/bench/src/bin/sec6_platform_generality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity_sweep-5eb9cd4cbb996fe2.d: crates/bench/src/bin/sensitivity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity_sweep-5eb9cd4cbb996fe2.rmeta: crates/bench/src/bin/sensitivity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

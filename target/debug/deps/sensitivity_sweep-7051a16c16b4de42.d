@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity_sweep-7051a16c16b4de42.d: crates/bench/src/bin/sensitivity_sweep.rs
+
+/root/repo/target/debug/deps/sensitivity_sweep-7051a16c16b4de42: crates/bench/src/bin/sensitivity_sweep.rs
+
+crates/bench/src/bin/sensitivity_sweep.rs:

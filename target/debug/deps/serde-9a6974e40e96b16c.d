@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c.d: vendor/serde/src/lib.rs vendor/serde/src/json.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c: vendor/serde/src/lib.rs vendor/serde/src/json.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/json.rs:
+vendor/serde/src/value.rs:

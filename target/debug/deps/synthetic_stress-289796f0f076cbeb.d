@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthetic_stress-289796f0f076cbeb.d: crates/core/tests/synthetic_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthetic_stress-289796f0f076cbeb.rmeta: crates/core/tests/synthetic_stress.rs Cargo.toml
+
+crates/core/tests/synthetic_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthetic_stress-5fd5c4589f2f1b6f.d: crates/core/tests/synthetic_stress.rs
+
+/root/repo/target/debug/deps/synthetic_stress-5fd5c4589f2f1b6f: crates/core/tests/synthetic_stress.rs
+
+crates/core/tests/synthetic_stress.rs:

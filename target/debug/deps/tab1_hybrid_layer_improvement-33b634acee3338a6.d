@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_hybrid_layer_improvement-33b634acee3338a6.d: crates/bench/src/bin/tab1_hybrid_layer_improvement.rs
+
+/root/repo/target/debug/deps/tab1_hybrid_layer_improvement-33b634acee3338a6: crates/bench/src/bin/tab1_hybrid_layer_improvement.rs
+
+crates/bench/src/bin/tab1_hybrid_layer_improvement.rs:

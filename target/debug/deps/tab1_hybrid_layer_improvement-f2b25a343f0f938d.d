@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab1_hybrid_layer_improvement-f2b25a343f0f938d.d: crates/bench/src/bin/tab1_hybrid_layer_improvement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab1_hybrid_layer_improvement-f2b25a343f0f938d.rmeta: crates/bench/src/bin/tab1_hybrid_layer_improvement.rs Cargo.toml
+
+crates/bench/src/bin/tab1_hybrid_layer_improvement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tensor_kernels-79fec8cbd140b3c3.d: crates/bench/benches/tensor_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_kernels-79fec8cbd140b3c3.rmeta: crates/bench/benches/tensor_kernels.rs Cargo.toml
+
+crates/bench/benches/tensor_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_tuning-1c173db67b5aee28.d: examples/adaptive_tuning.rs
+
+/root/repo/target/debug/examples/adaptive_tuning-1c173db67b5aee28: examples/adaptive_tuning.rs
+
+examples/adaptive_tuning.rs:

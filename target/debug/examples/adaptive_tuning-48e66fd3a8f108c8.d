@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_tuning-48e66fd3a8f108c8.d: examples/adaptive_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_tuning-48e66fd3a8f108c8.rmeta: examples/adaptive_tuning.rs Cargo.toml
+
+examples/adaptive_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

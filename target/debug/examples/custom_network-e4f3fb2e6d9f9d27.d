@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_network-e4f3fb2e6d9f9d27.d: examples/custom_network.rs
+
+/root/repo/target/debug/examples/custom_network-e4f3fb2e6d9f9d27: examples/custom_network.rs
+
+examples/custom_network.rs:

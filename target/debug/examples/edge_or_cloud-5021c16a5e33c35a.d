@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_or_cloud-5021c16a5e33c35a.d: examples/edge_or_cloud.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_or_cloud-5021c16a5e33c35a.rmeta: examples/edge_or_cloud.rs Cargo.toml
+
+examples/edge_or_cloud.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

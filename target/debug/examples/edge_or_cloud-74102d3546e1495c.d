@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_or_cloud-74102d3546e1495c.d: examples/edge_or_cloud.rs
+
+/root/repo/target/debug/examples/edge_or_cloud-74102d3546e1495c: examples/edge_or_cloud.rs
+
+examples/edge_or_cloud.rs:

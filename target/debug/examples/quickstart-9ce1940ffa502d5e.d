@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ce1940ffa502d5e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ce1940ffa502d5e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving_pipeline-ad0d040516acc9ff.d: examples/serving_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving_pipeline-ad0d040516acc9ff.rmeta: examples/serving_pipeline.rs Cargo.toml
+
+examples/serving_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving_pipeline-f5cc84203d0d05bb.d: examples/serving_pipeline.rs
+
+/root/repo/target/debug/examples/serving_pipeline-f5cc84203d0d05bb: examples/serving_pipeline.rs
+
+examples/serving_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_camera-0d0a77823ac8c957.d: examples/smart_camera.rs
+
+/root/repo/target/debug/examples/smart_camera-0d0a77823ac8c957: examples/smart_camera.rs
+
+examples/smart_camera.rs:

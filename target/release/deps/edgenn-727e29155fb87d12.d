@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/edgenn-727e29155fb87d12.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/edgenn-727e29155fb87d12: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

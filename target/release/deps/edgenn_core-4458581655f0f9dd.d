@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/edgenn_core-4458581655f0f9dd.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libedgenn_core-4458581655f0f9dd.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libedgenn_core-4458581655f0f9dd.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/baselines.rs crates/core/src/error.rs crates/core/src/footprint.rs crates/core/src/metrics.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/functional.rs crates/core/src/semantics.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/baselines.rs:
+crates/core/src/error.rs:
+crates/core/src/footprint.rs:
+crates/core/src/metrics.rs:
+crates/core/src/partition.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/functional.rs:
+crates/core/src/semantics.rs:
+crates/core/src/tuner.rs:

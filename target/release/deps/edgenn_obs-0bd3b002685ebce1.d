@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/edgenn_obs-0bd3b002685ebce1.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libedgenn_obs-0bd3b002685ebce1.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libedgenn_obs-0bd3b002685ebce1.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/edgenn_sim-c93531b9fc5919c2.d: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libedgenn_sim-c93531b9fc5919c2.rlib: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libedgenn_sim-c93531b9fc5919c2.rmeta: crates/sim/src/lib.rs crates/sim/src/cloud.rs crates/sim/src/engine.rs crates/sim/src/memory.rs crates/sim/src/platforms.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cloud.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/platforms.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/trace.rs:

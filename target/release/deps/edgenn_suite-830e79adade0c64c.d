@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edgenn_suite-830e79adade0c64c.d: src/lib.rs
+
+/root/repo/target/release/deps/libedgenn_suite-830e79adade0c64c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedgenn_suite-830e79adade0c64c.rmeta: src/lib.rs
+
+src/lib.rs:

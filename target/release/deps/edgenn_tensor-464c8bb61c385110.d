@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/edgenn_tensor-464c8bb61c385110.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libedgenn_tensor-464c8bb61c385110.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libedgenn_tensor-464c8bb61c385110.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/gemm.rs crates/tensor/src/im2col.rs crates/tensor/src/ops.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/im2col.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

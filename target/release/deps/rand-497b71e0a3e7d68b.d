@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-497b71e0a3e7d68b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-497b71e0a3e7d68b.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-497b71e0a3e7d68b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2c2994bd20142c3c.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2c2994bd20142c3c.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-743286904187a175.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-743286904187a175.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-743286904187a175.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

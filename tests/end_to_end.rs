@@ -29,6 +29,8 @@ fn tuned_hybrid_execution_is_lossless_for_all_models() {
 
 /// The paper's central claim (Figure 8): EdgeNN improves on direct GPU
 /// execution for every benchmark, and each single design alone also helps.
+/// Every report's event stream must also pass the trace validator (no
+/// negative durations, no same-processor overlaps).
 #[test]
 fn edgenn_improves_every_benchmark_at_paper_scale() {
     let jetson = platforms::jetson_agx_xavier();
@@ -36,14 +38,22 @@ fn edgenn_improves_every_benchmark_at_paper_scale() {
         let graph = build(kind, ModelScale::Paper);
         let baseline = GpuOnly::new(&jetson).infer(&graph).unwrap();
         let full = EdgeNn::new(&jetson).infer(&graph).unwrap();
-        let memory_only =
-            EdgeNn::with_config(&jetson, ExecutionConfig::memory_only()).infer(&graph).unwrap();
+        let memory_only = EdgeNn::with_config(&jetson, ExecutionConfig::memory_only())
+            .infer(&graph)
+            .unwrap();
+        for report in [&baseline, &full, &memory_only] {
+            edgenn_sim::trace::validate_events(&report.events)
+                .unwrap_or_else(|e| panic!("{kind}: invalid trace: {e}"));
+        }
         assert!(full.total_us < baseline.total_us, "{kind}: EdgeNN must win");
         assert!(
             memory_only.total_us <= baseline.total_us,
             "{kind}: zero-copy alone must not lose"
         );
-        assert!(baseline.summary.copy_us > 0.0, "{kind}: the baseline must copy");
+        assert!(
+            baseline.summary.copy_us > 0.0,
+            "{kind}: the baseline must copy"
+        );
         assert!(
             full.summary.copy_us < baseline.summary.copy_us,
             "{kind}: EdgeNN must copy less"
@@ -58,7 +68,9 @@ fn simulation_is_deterministic() {
     let graph = build(ModelKind::ResNet18, ModelScale::Paper);
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
-    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let plan = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
     let a = runtime.simulate(&graph, &plan).unwrap();
     let b = runtime.simulate(&graph, &plan).unwrap();
     assert_eq!(a.total_us, b.total_us);
@@ -74,7 +86,9 @@ fn plans_round_trip_through_json() {
     let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
-    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let plan = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
     let json = serde_json::to_string(&plan).unwrap();
     let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
     assert_eq!(back, plan);
@@ -124,8 +138,9 @@ fn adaptive_loop_is_stable_under_noise() {
     let runtime = Runtime::new(&jetson);
     let baseline = GpuOnly::new(&jetson).infer(&graph).unwrap();
     let mut tuner = Tuner::new(&graph, &runtime).unwrap();
-    let (plan, history) =
-        tuner.adapt(&graph, &runtime, ExecutionConfig::edgenn(), 10, 0.25).unwrap();
+    let (plan, history) = tuner
+        .adapt(&graph, &runtime, ExecutionConfig::edgenn(), 10, 0.25)
+        .unwrap();
     plan.validate(&graph).unwrap();
     assert_eq!(history.len(), 10);
     for (round, t) in history.iter().enumerate() {
@@ -161,19 +176,80 @@ fn extreme_split_fractions_stay_correct() {
                 && node.layer().partition_units(&shapes).unwrap_or(1) >= 2
             {
                 nodes[id.index()] = NodePlan {
-                    assignment: Assignment::Split { cpu_fraction: fraction },
+                    assignment: Assignment::Split {
+                        cpu_fraction: fraction,
+                    },
                     output_alloc: AllocStrategy::Managed,
                     prefetch_inputs: false,
                 };
             }
         }
-        let plan = edgenn_core::plan::ExecutionPlan { config: ExecutionConfig::edgenn(), nodes };
+        let plan = edgenn_core::plan::ExecutionPlan {
+            config: ExecutionConfig::edgenn(),
+            nodes,
+        };
         let outcome = functional::execute(&graph, &plan, &input).unwrap();
         assert!(
             outcome.output.approx_eq(&reference, 1e-4),
             "fraction {fraction}: diverged"
         );
     }
+}
+
+/// The observability stack end to end: an observed run mirrors every
+/// activity into the sink, decision provenance rides in the report (and
+/// its JSON), and the exported chrome trace carries counter tracks.
+#[test]
+fn observability_spans_the_stack() {
+    use edgenn_obs::Recorder;
+    use std::sync::Arc;
+
+    let jetson = platforms::jetson_agx_xavier();
+    let graph = build(ModelKind::AlexNet, ModelScale::Paper);
+    let recorder = Recorder::new();
+    let runtime = Runtime::with_observer(&jetson, Arc::new(recorder.clone()));
+    let mut tuner = Tuner::new(&graph, &runtime).unwrap();
+    let (plan, _) = tuner
+        .adapt(&graph, &runtime, ExecutionConfig::edgenn(), 2, 0.1)
+        .unwrap();
+    let decisions = tuner.explain(&graph, &runtime, &plan).unwrap();
+    let report = runtime
+        .simulate(&graph, &plan)
+        .unwrap()
+        .with_decisions(decisions);
+
+    edgenn_sim::trace::validate_events(&report.events).unwrap();
+
+    // Decision provenance is attached and serializes with the report.
+    assert_eq!(report.decisions.len(), graph.len() - 1);
+    assert!(report.decisions.iter().all(|d| !d.rationale.is_empty()));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: InferenceReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.decisions.len(), report.decisions.len());
+    assert_eq!(
+        back.decisions[0].candidates.len(),
+        report.decisions[0].candidates.len()
+    );
+
+    // The sink saw kernels, requests, and the tuner's EMA evolution.
+    let metrics = recorder.metrics();
+    assert!(metrics.counter_value("edgenn_kernel_total").unwrap_or(0.0) > 0.0);
+    assert!(
+        metrics
+            .counter_value("edgenn_requests_total")
+            .unwrap_or(0.0)
+            >= 3.0
+    );
+    assert_eq!(metrics.counter_value("edgenn_plan_events_total"), Some(2.0));
+    let samples = recorder.counter_samples();
+    assert!(samples.iter().any(|s| s.track.starts_with("ema_")));
+
+    // The exported trace carries both span and counter entries.
+    let trace = edgenn_sim::trace::to_chrome_trace_with_counters(&report.events, &samples);
+    assert!(trace.contains("\"ph\": \"X\""));
+    assert!(trace.contains("\"ph\": \"C\""));
+    assert!(trace.contains("bandwidth_gbps"));
+    assert!(trace.contains("ema_"));
 }
 
 /// The facade crate re-exports the full API.
@@ -184,7 +260,9 @@ fn suite_facade_reexports_work() {
         edgenn_suite::nn::models::ModelKind::LeNet,
         edgenn_suite::nn::models::ModelScale::Tiny,
     );
-    let report = edgenn_suite::core::baselines::EdgeNn::new(&platform).infer(&graph).unwrap();
+    let report = edgenn_suite::core::baselines::EdgeNn::new(&platform)
+        .infer(&graph)
+        .unwrap();
     assert!(report.total_us > 0.0);
     let t = edgenn_suite::tensor::Tensor::ones(&[2, 2]);
     assert_eq!(t.sum(), 4.0);

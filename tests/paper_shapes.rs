@@ -17,12 +17,19 @@ fn zero_copy_hurts_bandwidth_bound_layers_only() {
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
 
-    let explicit =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, ExecutionConfig::baseline_gpu()).unwrap()).unwrap();
+    let explicit = runtime
+        .simulate(
+            &graph,
+            &tuner
+                .plan(&graph, &runtime, ExecutionConfig::baseline_gpu())
+                .unwrap(),
+        )
+        .unwrap();
     let mut managed_cfg = ExecutionConfig::baseline_gpu();
     managed_cfg.memory_policy = MemoryPolicy::AllManaged;
-    let managed =
-        runtime.simulate(&graph, &tuner.plan(&graph, &runtime, managed_cfg).unwrap()).unwrap();
+    let managed = runtime
+        .simulate(&graph, &tuner.plan(&graph, &runtime, managed_cfg).unwrap())
+        .unwrap();
 
     for (e, m) in explicit.layers.iter().zip(managed.layers.iter()) {
         match e.class_tag.as_str() {
@@ -39,7 +46,10 @@ fn zero_copy_hurts_bandwidth_bound_layers_only() {
             _ => {}
         }
     }
-    assert!(managed.total_us < explicit.total_us, "zero-copy still wins end to end");
+    assert!(
+        managed.total_us < explicit.total_us,
+        "zero-copy still wins end to end"
+    );
 }
 
 /// Section IV-D: the tuner's decisions follow the paper's per-class
@@ -55,7 +65,9 @@ fn tuner_decisions_follow_layer_economics() {
     let graph = build(ModelKind::AlexNet, ModelScale::Paper);
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
-    let plan = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let plan = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
 
     let mut fc_corun = 0;
     let mut fc_total = 0;
@@ -76,7 +88,9 @@ fn tuner_decisions_follow_layer_economics() {
 fn inter_kernel_gains_need_branches() {
     let jetson = platforms::jetson_agx_xavier();
     let mem_only = |g: &edgenn_nn::graph::Graph| {
-        EdgeNn::with_config(&jetson, ExecutionConfig::memory_only()).infer(g).unwrap()
+        EdgeNn::with_config(&jetson, ExecutionConfig::memory_only())
+            .infer(g)
+            .unwrap()
     };
     for kind in ModelKind::ALL {
         let graph = build(kind, ModelScale::Paper);
@@ -153,7 +167,9 @@ fn tuned_fraction_beats_naive_half_split() {
     let graph = build(ModelKind::Fcnn, ModelScale::Paper);
     let runtime = Runtime::new(&jetson);
     let tuner = Tuner::new(&graph, &runtime).unwrap();
-    let tuned = tuner.plan(&graph, &runtime, ExecutionConfig::edgenn()).unwrap();
+    let tuned = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
     let tuned_report = runtime.simulate(&graph, &tuned).unwrap();
 
     // Same structure, but fc splits forced to 50/50.
@@ -167,7 +183,10 @@ fn tuned_fraction_beats_naive_half_split() {
             };
         }
     }
-    let naive = ExecutionPlan { config: tuned.config, nodes: naive.nodes };
+    let naive = ExecutionPlan {
+        config: tuned.config,
+        nodes: naive.nodes,
+    };
     let naive_report = runtime.simulate(&graph, &naive).unwrap();
     assert!(
         tuned_report.total_us <= naive_report.total_us,
@@ -205,7 +224,10 @@ fn managed_memory_only_pays_on_integrated_architectures() {
         - run(&server, MemoryPolicy::AllManaged))
         / run(&server, MemoryPolicy::AllExplicit);
 
-    assert!(jetson_gain > 0.02, "zero-copy must help the integrated SoC ({jetson_gain})");
+    assert!(
+        jetson_gain > 0.02,
+        "zero-copy must help the integrated SoC ({jetson_gain})"
+    );
     assert!(
         server_gain < jetson_gain,
         "zero-copy must pay less on PCIe ({server_gain} vs {jetson_gain})"

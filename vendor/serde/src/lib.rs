@@ -1,0 +1,338 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The EdgeNN workspace must build with no network access, so instead of
+//! the crates.io `serde` it vendors this minimal implementation. It keeps
+//! the *names* the workspace imports (`serde::Serialize`,
+//! `serde::Deserialize`, `#[derive(Serialize, Deserialize)]`) but uses a
+//! simpler trait shape: serialization goes through an owned JSON
+//! [`Value`] tree rather than a streaming `Serializer`. Every derived
+//! type in this workspace is a named-field struct or a unit/struct-variant
+//! enum, and the produced JSON matches serde's default externally-tagged
+//! representation, so documents are interchangeable with real serde.
+//!
+//! Non-finite floats (which real serde_json refuses to emit) are encoded
+//! as the strings `"NaN"`, `"Infinity"`, and `"-Infinity"` and decoded
+//! back, so reports from CPU-only platforms (infinite GPU times)
+//! round-trip losslessly.
+
+#![warn(missing_docs)]
+
+mod json;
+mod value;
+
+pub use value::{Map, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Wraps `inner` with the location (`Type.field`) it occurred at.
+    pub fn context(at: &str, inner: Error) -> Self {
+        Self {
+            msg: format!("{at}: {}", inner.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Builds the JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    /// Returns an [`Error`] when `value` has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(*self)
+        } else if self.is_nan() {
+            Value::String("NaN".to_string())
+        } else if *self > 0.0 {
+            Value::String("Infinity".to_string())
+        } else {
+            Value::String("-Infinity".to_string())
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_f64().ok_or_else(|| Error::custom("expected number"))?;
+                if n.fract() != 0.0 {
+                    return Err(Error::custom(format!("expected integer, got {n}")));
+                }
+                Ok(n as $ty)
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            Value::String(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "Infinity" => Ok(f64::INFINITY),
+                "-Infinity" => Ok(f64::NEG_INFINITY),
+                other => Err(Error::custom(format!(
+                    "expected number, got string '{other}'"
+                ))),
+            },
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected 2-tuple array"))?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2 elements, got {}",
+                items.len()
+            )));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected 3-tuple array"))?;
+        if items.len() != 3 {
+            return Err(Error::custom(format!(
+                "expected 3 elements, got {}",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = f64::from_value(&v.to_value()).unwrap();
+            assert_eq!(back.is_nan(), v.is_nan());
+            if !v.is_nan() {
+                assert_eq!(back, v);
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_numbers_are_not_integers() {
+        assert!(u32::from_value(&Value::Number(1.5)).is_err());
+    }
+
+    #[test]
+    fn tuples_serialize_as_arrays() {
+        let v = ("row".to_string(), vec![1.0f64, 2.0]).to_value();
+        assert_eq!(v[0], "row");
+        assert_eq!(v[1][1], 2.0);
+        let back: (String, Vec<f64>) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.0, "row");
+    }
+}

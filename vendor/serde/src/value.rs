@@ -1,0 +1,355 @@
+//! The JSON document tree: [`Value`] and the insertion-ordered [`Map`].
+
+use crate::json;
+
+/// A JSON value.
+///
+/// Numbers are stored as `f64` (every numeric field in this workspace
+/// fits the 53-bit integer lattice); integral values print without a
+/// fractional part, matching serde_json's output for integer types.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Map),
+}
+
+/// A JSON object that preserves insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `key`, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl PartialEq for Map {
+    /// Order-insensitive equality: two objects are equal when they hold
+    /// the same key set with equal values.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl Value {
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integral content, if this is a whole number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The non-negative integral content, if this is a whole number ≥ 0.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup that tolerates non-objects (returns `None`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
+    /// Array element lookup that tolerates non-arrays (returns `None`).
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        self.as_array().and_then(|items| items.get(index))
+    }
+
+    /// Compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        json::write_compact(self)
+    }
+
+    /// Pretty JSON text (two-space indentation, serde_json style).
+    pub fn to_json_string_pretty(&self) -> String {
+        json::write_pretty(self)
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    /// Returns a message describing the first syntax error.
+    pub fn parse_json(text: &str) -> Result<Value, String> {
+        json::parse(text)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Missing keys and non-objects index to `Null`, like serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Out-of-range and non-arrays index to `Null`, like serde_json.
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! value_eq_number {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map)
+    }
+}
+
+macro_rules! value_from_number {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(n: $ty) -> Self {
+                Value::Number(n as f64)
+            }
+        }
+    )*};
+}
+
+value_from_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_tolerates_missing_paths() {
+        let mut map = Map::new();
+        map.insert("a", Value::Number(1.0));
+        let v = Value::Object(map);
+        assert_eq!(v["a"], 1);
+        assert!(v["missing"].is_null());
+        assert!(v["missing"]["deeper"][3].is_null());
+    }
+
+    #[test]
+    fn object_equality_ignores_order() {
+        let mut a = Map::new();
+        a.insert("x", Value::Number(1.0));
+        a.insert("y", Value::Number(2.0));
+        let mut b = Map::new();
+        b.insert("y", Value::Number(2.0));
+        b.insert("x", Value::Number(1.0));
+        assert_eq!(Value::Object(a), Value::Object(b));
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("k", Value::Number(1.0));
+        let old = m.insert("k", Value::Number(2.0));
+        assert_eq!(old, Some(Value::Number(1.0)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&Value::Number(2.0)));
+    }
+}

@@ -1,0 +1,373 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` crate.
+//!
+//! Implemented with hand-rolled token walking instead of `syn`/`quote` so
+//! the workspace builds with zero registry dependencies. Supports exactly
+//! the shapes this workspace derives on:
+//!
+//! - structs with named fields
+//! - enums with unit variants and struct (named-field) variants
+//!
+//! Generated JSON follows serde's default externally-tagged convention:
+//! structs become objects, unit variants become `"Variant"`, and struct
+//! variants become `{"Variant": {..fields..}}`. Generics, tuple structs,
+//! and `#[serde(...)]` attributes are intentionally unsupported and fail
+//! with a clear compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Fields of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (the vendored trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+                "serde derive (vendored): tuple struct `{name}` is not supported"
+            )),
+            _ => Ok(Shape::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            _ => Err(format!("serde derive (vendored): malformed enum `{name}`")),
+        },
+        other => Err(format!(
+            "serde derive (vendored): cannot derive on `{other}`"
+        )),
+    }
+}
+
+/// Skips any number of `#[...]` attributes at `tokens[*i]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(tokens.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at `tokens[*i]`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde derive (vendored): expected identifier, found {other:?}"
+        )),
+    }
+}
+
+/// Parses `name: Type, ...` inside a brace group, returning field names.
+/// Types are skipped, not parsed: the generated code never needs them
+/// because `from_value`'s target type is inferred from the struct literal.
+fn parse_named_fields(group: &Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde derive (vendored): expected ':' after field `{name}`"
+                ))
+            }
+        }
+        // Skip the type: angle brackets are the only grouping that is not
+        // already a single token tree (parens/brackets/braces are Groups).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants inside a brace group.
+fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde derive (vendored): tuple variant `{name}` is not supported"
+                ));
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation. Impls are built as strings and re-parsed; all paths
+// are fully qualified so the output works in any module.
+// ---------------------------------------------------------------------
+
+const IMPL_HEADER: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn named(fields: &Fields) -> &[String] {
+    match fields {
+        Fields::Named(names) => names,
+        Fields::Unit => &[],
+    }
+}
+
+/// Emits statements serializing `fields` (accessed via `prefix`) into a
+/// fresh `Map` named `map`.
+fn serialize_fields_into(out: &mut String, fields: &[String], prefix: &str) {
+    out.push_str("let mut map = ::serde::Map::new();\n");
+    for field in fields {
+        let _ = writeln!(
+            out,
+            "map.insert(\"{field}\", ::serde::Serialize::to_value({prefix}{field}));"
+        );
+    }
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let mut out = String::from(IMPL_HEADER);
+    let _ = writeln!(out, "impl ::serde::Serialize for {name} {{");
+    out.push_str("fn to_value(&self) -> ::serde::Value {\n");
+    serialize_fields_into(&mut out, named(fields), "&self.");
+    out.push_str("::serde::Value::Object(map)\n}\n}\n");
+    out
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from(IMPL_HEADER);
+    let _ = writeln!(out, "impl ::serde::Serialize for {name} {{");
+    out.push_str("fn to_value(&self) -> ::serde::Value {\nmatch self {\n");
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    out,
+                    "Self::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                );
+            }
+            Fields::Named(fields) => {
+                let bindings = fields.join(", ");
+                let _ = writeln!(out, "Self::{vname} {{ {bindings} }} => {{");
+                serialize_fields_into(&mut out, fields, "");
+                out.push_str("let mut tagged = ::serde::Map::new();\n");
+                let _ = writeln!(
+                    out,
+                    "tagged.insert(\"{vname}\", ::serde::Value::Object(map));"
+                );
+                out.push_str("::serde::Value::Object(tagged)\n},\n");
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+    out
+}
+
+/// Emits a struct-literal body `{ field: ..., }` reading each field out
+/// of the object expression `obj`, attributing errors to `context`.
+fn deserialize_fields_literal(out: &mut String, fields: &[String], context: &str) {
+    out.push_str("{\n");
+    for field in fields {
+        let _ = writeln!(
+            out,
+            "{field}: ::serde::Deserialize::from_value(obj.get(\"{field}\")\
+             .unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::Error::context(\"{context}.{field}\", e))?,"
+        );
+    }
+    out.push_str("}\n");
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let mut out = String::from(IMPL_HEADER);
+    let _ = writeln!(out, "impl ::serde::Deserialize for {name} {{");
+    out.push_str(
+        "fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    let _ = writeln!(
+        out,
+        "let obj = value.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"expected object for {name}\"))?;"
+    );
+    out.push_str("Ok(Self ");
+    deserialize_fields_literal(&mut out, named(fields), name);
+    out.push_str(")\n}\n}\n");
+    out
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Named(_)))
+        .collect();
+
+    let mut out = String::from(IMPL_HEADER);
+    let _ = writeln!(out, "impl ::serde::Deserialize for {name} {{");
+    out.push_str(
+        "fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    if !unit.is_empty() {
+        out.push_str("if let Some(tag) = value.as_str() {\nreturn match tag {\n");
+        for variant in &unit {
+            let _ = writeln!(out, "\"{0}\" => Ok(Self::{0}),", variant.name);
+        }
+        let _ = writeln!(
+            out,
+            "other => Err(::serde::Error::custom(format!(\
+             \"unknown {name} variant '{{other}}'\"))),\n}};\n}}"
+        );
+    }
+    if !data.is_empty() {
+        out.push_str("if let Some(tagged) = value.as_object() {\n");
+        for variant in &data {
+            let vname = &variant.name;
+            let _ = writeln!(out, "if let Some(inner) = tagged.get(\"{vname}\") {{");
+            let _ = writeln!(
+                out,
+                "let obj = inner.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;"
+            );
+            let _ = write!(out, "return Ok(Self::{vname} ");
+            deserialize_fields_literal(
+                &mut out,
+                named(&variant.fields),
+                &format!("{name}::{vname}"),
+            );
+            out.push_str(");\n}\n");
+        }
+        out.push_str("}\n");
+    }
+    let _ = writeln!(
+        out,
+        "Err(::serde::Error::custom(format!(\"invalid {name} value: {{value}}\")))\n}}\n}}"
+    );
+    out
+}

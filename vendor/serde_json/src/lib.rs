@@ -1,0 +1,126 @@
+//! Offline drop-in subset of the `serde_json` API, backed by the
+//! vendored [`serde`] crate's [`Value`] tree.
+//!
+//! Provides the exact call surface the EdgeNN workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_value`], [`from_str`],
+//! [`from_slice`], [`from_value`], and the [`Value`]/[`Map`] types with
+//! serde_json-style indexing and comparisons.
+
+#![warn(missing_docs)]
+
+pub use serde::{Map, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error (message-only, like serde_json's
+/// for the purposes of this workspace: callers only `Display` it).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self { msg: e.to_string() }
+    }
+}
+
+/// Crate-wide result alias, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+/// Never fails in this implementation; the `Result` keeps the
+/// serde_json-compatible signature.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Serializes to compact JSON text.
+///
+/// # Errors
+/// Never fails in this implementation (non-finite floats are encoded as
+/// strings rather than rejected).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serializes to pretty (two-space indented) JSON text.
+///
+/// # Errors
+/// Never fails in this implementation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = Value::parse_json(text).map_err(|msg| Error { msg })?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON bytes (must be UTF-8) into any deserializable type.
+///
+/// # Errors
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error {
+        msg: format!("invalid utf-8: {e}"),
+    })?;
+    from_str(text)
+}
+
+/// Reinterprets a [`Value`] tree as any deserializable type.
+///
+/// # Errors
+/// Fails on a shape mismatch.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    Ok(T::from_value(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v: Value =
+            from_str(r#"{"total_us": 12.5, "model": "LeNet", "layers": [1, 2]}"#).unwrap();
+        assert_eq!(v["model"], "LeNet");
+        assert_eq!(v["total_us"].as_f64(), Some(12.5));
+        assert_eq!(v["layers"].as_array().unwrap().len(), 2);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let a: Value = from_slice(br#"{"x": 1}"#).unwrap();
+        let b: Value = from_str(r#"{"x": 1}"#).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn typed_collections_round_trip() {
+        let rows = vec![
+            ("a".to_string(), vec![1.0f64, 2.0]),
+            ("b".to_string(), vec![3.0]),
+        ];
+        let text = to_string(&rows).unwrap();
+        let back: Vec<(String, Vec<f64>)> = from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+}

@@ -6,6 +6,7 @@
 # 2. lints             (cargo clippy, warnings are errors)
 # 3. tier-1            (release build + root-package tests)
 # 4. full test suite   (every workspace crate)
+# 5. static checker    (edgenn check over every bundled model x platform)
 set -eu
 
 echo "==> cargo fmt --check"
@@ -20,5 +21,30 @@ cargo test -q
 
 echo "==> full workspace tests"
 cargo test --workspace -q
+
+echo "==> edgenn check: every model x platform"
+# Every diagnostic report is archived as JSON; any error-severity
+# diagnostic fails the gate (the CLI exits non-zero on errors).
+cargo build --release -p edgenn-cli
+CHECK_DIR=target/check
+mkdir -p "$CHECK_DIR"
+for model in fcnn lenet alexnet vgg squeezenet resnet; do
+    for platform in jetson rpi phone server apu apple; do
+        # GPU-less platforms take the CPU-only config; the tuner
+        # (correctly) refuses to plan GPU work for them.
+        case "$platform" in
+            rpi|phone) config=cpu-only ;;
+            *)         config=edgenn ;;
+        esac
+        out="$CHECK_DIR/$model-$platform.json"
+        if ! ./target/release/edgenn check \
+                --model "$model" --platform "$platform" --config "$config" \
+                --json > "$out"; then
+            echo "check FAILED for $model on $platform (see $out)"
+            exit 1
+        fi
+    done
+done
+echo "    36/36 clean; reports archived in $CHECK_DIR/"
 
 echo "CI OK"

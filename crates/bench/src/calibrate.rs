@@ -141,7 +141,7 @@ pub fn measure(platform: &Platform) -> Result<Measured> {
         speedups.push(edgenn.speedup_over(&cpu));
         full.push(edgenn.improvement_over(&baseline) * 100.0);
         memory.push(mem_only.improvement_over(&baseline) * 100.0);
-        copies.push(baseline.copy_proportion() * 100.0);
+        copies.push(baseline.copy_proportion_clamped() * 100.0);
         if kind == ModelKind::Vgg16 {
             vgg_edge_ms = edgenn.total_us / 1e3;
         }

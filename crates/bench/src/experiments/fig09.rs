@@ -24,8 +24,8 @@ pub fn fig09_copy_proportion(lab: &Lab) -> Result<ExperimentReport> {
         let graph = lab.model(kind);
         let on_jetson = GpuOnly::new(&lab.jetson).infer(&graph)?;
         let on_server = GpuOnly::new(&lab.server).infer(&graph)?;
-        let p_int = on_jetson.copy_proportion() * 100.0;
-        let p_dis = on_server.copy_proportion() * 100.0;
+        let p_int = on_jetson.copy_proportion_clamped() * 100.0;
+        let p_dis = on_server.copy_proportion_clamped() * 100.0;
         integrated.push(p_int);
         discrete.push(p_dis);
         rows.push((kind.name().to_string(), vec![p_int, p_dis]));

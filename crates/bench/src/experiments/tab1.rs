@@ -135,8 +135,7 @@ mod tests {
                 .rows
                 .iter()
                 .find(|(l, _)| l == label)
-                .map(|(_, v)| v.clone())
-                .unwrap_or_else(|| panic!("missing row {label}"))
+                .map_or_else(|| panic!("missing row {label}"), |(_, v)| v.clone())
         };
         let lenet_conv = get("LeNet conv");
         let alexnet_conv = get("AlexNet conv");

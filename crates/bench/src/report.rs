@@ -90,11 +90,10 @@ impl ExperimentReport {
         if !self.comparisons.is_empty() {
             out.push_str("| metric | paper | measured | measured/paper |\n|---|---|---|---|\n");
             for c in &self.comparisons {
-                let paper = c.paper.map(fmt_value).unwrap_or_else(|| "—".to_string());
+                let paper = c.paper.map_or_else(|| "—".to_string(), fmt_value);
                 let ratio = c
                     .ratio()
-                    .map(|r| format!("{r:.2}x"))
-                    .unwrap_or_else(|| "—".to_string());
+                    .map_or_else(|| "—".to_string(), |r| format!("{r:.2}x"));
                 out.push_str(&format!(
                     "| {} | {} | {} | {} |\n",
                     c.metric,

@@ -1,0 +1,275 @@
+//! The stable diagnostic-code registry.
+//!
+//! Codes are grouped by tier: `EC00x` graph analysis, `EC01x` plan
+//! analysis, `EC02x` trace race detection, `EC03x` report accounting.
+//! Codes are append-only — a released code never changes meaning, so
+//! tooling (CI gates, dashboards) can match on them forever.
+
+use crate::Severity;
+
+/// Tier A: a node consumes a value defined at or after itself.
+pub const DEF_BEFORE_USE: &str = "EC001";
+/// Tier A: a node's output reaches no sink.
+pub const DEAD_NODE: &str = "EC002";
+/// Tier A: stored output shape disagrees with shape inference.
+pub const SHAPE_MISMATCH: &str = "EC003";
+/// Tier A: input count disagrees with the layer's declared arity.
+pub const ARITY_MISMATCH: &str = "EC004";
+/// Tier A: a `+relu`-fused layer that must not carry the fusion.
+pub const ILLEGAL_FUSION: &str = "EC005";
+/// Tier A: the DAG falls outside the fork-join family the planner
+/// decomposes.
+pub const UNDECOMPOSABLE: &str = "EC006";
+
+/// Tier B: plan and graph disagree on node count.
+pub const PLAN_SIZE_MISMATCH: &str = "EC010";
+/// Tier B: a split fraction outside `(0, 1]` (or non-finite).
+pub const SPLIT_FRACTION_RANGE: &str = "EC011";
+/// Tier B: managed output on an input-split co-run under semantic-aware
+/// policy (write-shared partial sums; `semantics.rs` prescribes
+/// explicit).
+pub const MANAGED_CORUN_OUTPUT: &str = "EC012";
+/// Tier B: an assignment the config's hybrid mode or the layer's
+/// capabilities forbid.
+pub const ASSIGNMENT_FORBIDDEN: &str = "EC013";
+/// Tier B: GPU work planned on a platform without a GPU.
+pub const GPU_WORK_WITHOUT_GPU: &str = "EC014";
+/// Tier B: a split so skewed one processor receives no whole partition
+/// unit.
+pub const DEGENERATE_SPLIT: &str = "EC015";
+/// Tier B: a profiled time outside Eq. 1–4's domain (negative or NaN).
+pub const INVALID_PROFILE_TIME: &str = "EC016";
+/// Tier B: an execution-config field outside its documented range.
+pub const CONFIG_FIELD_RANGE: &str = "EC017";
+/// Tier B: the plan's memory footprint exceeds platform DRAM.
+pub const FOOTPRINT_EXCEEDS_DRAM: &str = "EC018";
+
+/// Tier C: two kernels overlap on one processor.
+pub const KERNEL_OVERLAP: &str = "EC020";
+/// Tier C: an event with non-finite timestamps or negative duration.
+pub const MALFORMED_EVENT: &str = "EC021";
+/// Tier C: CPU and GPU write one region concurrently.
+pub const WRITE_WRITE_RACE: &str = "EC022";
+/// Tier C: a DMA transfer concurrent with a kernel (or transfer) on the
+/// same region.
+pub const ORDERING_HAZARD: &str = "EC023";
+/// Tier C: a single transfer faster than the platform's fastest link.
+pub const BANDWIDTH_EXCEEDED: &str = "EC024";
+/// Tier C: concurrent transfers that sum past the link capacity.
+pub const AGGREGATE_BANDWIDTH: &str = "EC025";
+
+/// Report: raw copy proportion outside `[0, 1]`.
+pub const COPY_PROPORTION_OUT_OF_RANGE: &str = "EC030";
+/// Report: busy time exceeds wall-clock time.
+pub const BUSY_EXCEEDS_WALL: &str = "EC031";
+
+/// Registry entry: one stable code with its default severity and a
+/// one-line remediation (mirrored into `docs/diagnostics.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// The stable `EC0xx` code.
+    pub code: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line remediation.
+    pub remediation: &'static str,
+}
+
+/// Every registered diagnostic code, in code order.
+#[must_use]
+pub fn registry() -> &'static [CodeInfo] {
+    use Severity::{Error, Warning};
+    &[
+        CodeInfo {
+            code: DEF_BEFORE_USE,
+            title: "def-before-use violation",
+            severity: Error,
+            remediation: "Build graphs through GraphBuilder::add so every input id precedes its consumer.",
+        },
+        CodeInfo {
+            code: DEAD_NODE,
+            title: "dead node",
+            severity: Warning,
+            remediation: "Remove the unused layer or wire its output toward the sink.",
+        },
+        CodeInfo {
+            code: SHAPE_MISMATCH,
+            title: "shape inference mismatch",
+            severity: Error,
+            remediation: "Recompute stored output shapes with Layer::output_shape over the actual input shapes.",
+        },
+        CodeInfo {
+            code: ARITY_MISMATCH,
+            title: "arity mismatch",
+            severity: Error,
+            remediation: "Feed the node exactly Layer::arity() inputs.",
+        },
+        CodeInfo {
+            code: ILLEGAL_FUSION,
+            title: "illegal ReLU fusion",
+            severity: Error,
+            remediation: "Only fuse ReLU into a non-ReLU producer whose partial results are final (no input splits).",
+        },
+        CodeInfo {
+            code: UNDECOMPOSABLE,
+            title: "undecomposable structure",
+            severity: Warning,
+            remediation: "Restructure nested forks into the flat fork-join family, or accept single-processor plans.",
+        },
+        CodeInfo {
+            code: PLAN_SIZE_MISMATCH,
+            title: "plan/graph size mismatch",
+            severity: Error,
+            remediation: "Regenerate the plan from the same graph it will execute.",
+        },
+        CodeInfo {
+            code: SPLIT_FRACTION_RANGE,
+            title: "split fraction out of range",
+            severity: Error,
+            remediation: "Clamp planner output to (0, 1]; a 0-fraction split should be a plain GPU assignment.",
+        },
+        CodeInfo {
+            code: MANAGED_CORUN_OUTPUT,
+            title: "managed co-run partial sums",
+            severity: Warning,
+            remediation: "Allocate input-split co-run outputs explicitly (semantics.rs: CoRunOutput -> Explicit).",
+        },
+        CodeInfo {
+            code: ASSIGNMENT_FORBIDDEN,
+            title: "assignment violates mode or capability",
+            severity: Error,
+            remediation: "Only emit split assignments when the hybrid mode allows intra-kernel co-running and the layer supports the split axis.",
+        },
+        CodeInfo {
+            code: GPU_WORK_WITHOUT_GPU,
+            title: "GPU work on CPU-only platform",
+            severity: Error,
+            remediation: "Plan against the target platform: CPU-only devices take Assignment::Cpu everywhere.",
+        },
+        CodeInfo {
+            code: DEGENERATE_SPLIT,
+            title: "degenerate split",
+            severity: Warning,
+            remediation: "Round the fraction to at least one whole partition unit per processor, or assign the node solo.",
+        },
+        CodeInfo {
+            code: INVALID_PROFILE_TIME,
+            title: "invalid profiled time",
+            severity: Error,
+            remediation: "Re-profile the node; Eq. 1-4 need non-negative finite times (infinite GPU time is the no-GPU sentinel).",
+        },
+        CodeInfo {
+            code: CONFIG_FIELD_RANGE,
+            title: "config field out of range",
+            severity: Error,
+            remediation: "Keep sync overhead >= 0, host roundtrip fraction in [0, 1], jitter in [0, 1).",
+        },
+        CodeInfo {
+            code: FOOTPRINT_EXCEEDS_DRAM,
+            title: "footprint exceeds DRAM",
+            severity: Error,
+            remediation: "Shrink the model scale or prefer managed (single-copy) allocations on the biggest arrays.",
+        },
+        CodeInfo {
+            code: KERNEL_OVERLAP,
+            title: "kernel overlap on one processor",
+            severity: Error,
+            remediation: "Serialize kernels per processor through the timeline's free_at clock.",
+        },
+        CodeInfo {
+            code: MALFORMED_EVENT,
+            title: "malformed trace event",
+            severity: Error,
+            remediation: "Emit finite, non-negative-duration intervals for every event.",
+        },
+        CodeInfo {
+            code: WRITE_WRITE_RACE,
+            title: "CPU/GPU write-write race",
+            severity: Error,
+            remediation: "Give concurrent writers disjoint ranges (split part labels) or order them via a sync.",
+        },
+        CodeInfo {
+            code: ORDERING_HAZARD,
+            title: "kernel/DMA ordering hazard",
+            severity: Error,
+            remediation: "Schedule transfers of a region strictly before or after the kernels touching it.",
+        },
+        CodeInfo {
+            code: BANDWIDTH_EXCEEDED,
+            title: "transfer beats link capacity",
+            severity: Error,
+            remediation: "Lengthen the transfer to bytes / link bandwidth; no single stream can beat the memory system.",
+        },
+        CodeInfo {
+            code: AGGREGATE_BANDWIDTH,
+            title: "aggregate bandwidth over capacity",
+            severity: Warning,
+            remediation: "Serialize concurrent bus transfers or model per-stream contention.",
+        },
+        CodeInfo {
+            code: COPY_PROPORTION_OUT_OF_RANGE,
+            title: "copy proportion out of range",
+            severity: Error,
+            remediation: "Fix the accounting: memory time within one wall-clock interval cannot exceed that interval; use --lenient only for plotting.",
+        },
+        CodeInfo {
+            code: BUSY_EXCEEDS_WALL,
+            title: "busy time exceeds wall clock",
+            severity: Error,
+            remediation: "Check interval-union accounting: the busy union is bounded by total latency.",
+        },
+    ]
+}
+
+/// Looks up one code's registry entry.
+#[must_use]
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    registry().iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_unique_and_complete() {
+        let reg = registry();
+        assert_eq!(reg.len(), 23);
+        for pair in reg.windows(2) {
+            assert!(pair[0].code < pair[1].code, "codes must stay sorted");
+        }
+        for info in reg {
+            assert!(info.code.starts_with("EC0"));
+            assert!(!info.remediation.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_and_rejects_unknown() {
+        assert_eq!(code_info("EC020").unwrap().severity, Severity::Error);
+        assert_eq!(code_info("EC025").unwrap().severity, Severity::Warning);
+        assert!(code_info("EC999").is_none());
+    }
+
+    #[test]
+    fn docs_list_every_code_with_its_severity() {
+        let docs = include_str!("../../../docs/diagnostics.md");
+        for info in registry() {
+            let row = docs
+                .lines()
+                .find(|l| l.starts_with(&format!("| {} ", info.code)))
+                .unwrap_or_else(|| panic!("{} missing from docs/diagnostics.md", info.code));
+            let want = match info.severity {
+                Severity::Error => "| error |",
+                Severity::Warning => "| warning |",
+            };
+            assert!(
+                row.contains(want),
+                "{} severity drifted from docs: {row}",
+                info.code
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Tier C: happens-before race detection over simulated traces.
+//!
+//! The interval algebra lives in `edgenn_sim::trace` (next to the event
+//! type it judges); this module maps its violations onto the stable
+//! diagnostic codes and spans.
+
+use edgenn_sim::platforms::Platform;
+use edgenn_sim::trace::{check_trace, LinkCaps, TraceViolation, TraceViolationKind};
+use edgenn_sim::TraceEvent;
+
+use crate::{codes, Diagnostic, Span};
+
+fn code_for(kind: TraceViolationKind) -> &'static str {
+    match kind {
+        TraceViolationKind::MalformedEvent => codes::MALFORMED_EVENT,
+        TraceViolationKind::KernelOverlap => codes::KERNEL_OVERLAP,
+        TraceViolationKind::WriteWriteRace => codes::WRITE_WRITE_RACE,
+        TraceViolationKind::OrderingHazard => codes::ORDERING_HAZARD,
+        TraceViolationKind::BandwidthExceeded => codes::BANDWIDTH_EXCEEDED,
+        TraceViolationKind::AggregateBandwidth => codes::AGGREGATE_BANDWIDTH,
+    }
+}
+
+fn to_diagnostic(v: &TraceViolation) -> Diagnostic {
+    let span = match v.second {
+        Some(second) => Span::Events(v.first, second),
+        None => Span::Event(v.first),
+    };
+    Diagnostic::new(code_for(v.kind), span, v.detail.clone())
+}
+
+/// Runs the happens-before race detector over one single-request trace,
+/// with the bandwidth-conservation ceiling derived from `platform`'s
+/// fastest physical path (EC020–EC025).
+#[must_use]
+pub fn check_trace_events(events: &[TraceEvent], platform: &Platform) -> Vec<Diagnostic> {
+    let caps = LinkCaps::from_platform(platform);
+    check_trace(events, Some(&caps))
+        .iter()
+        .map(to_diagnostic)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_sim::platforms::jetson_agx_xavier;
+    use edgenn_sim::{ProcessorKind, TraceKind};
+
+    fn ev(
+        label: &str,
+        kind: TraceKind,
+        proc: Option<ProcessorKind>,
+        start: f64,
+        end: f64,
+        bytes: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind,
+            processor: proc,
+            start_us: start,
+            end_us: end,
+            label: label.to_string(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn dma_overlapping_compute_is_permitted() {
+        let events = vec![
+            ev(
+                "conv1",
+                TraceKind::Kernel,
+                Some(ProcessorKind::Gpu),
+                0.0,
+                100.0,
+                0,
+            ),
+            // A different region's DMA rides alongside the kernel.
+            ev(
+                "conv2 h2d",
+                TraceKind::Copy,
+                Some(ProcessorKind::Gpu),
+                10.0,
+                40.0,
+                1 << 20,
+            ),
+        ];
+        let diags = check_trace_events(&events, &jetson_agx_xavier());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn overlapping_kernels_on_one_processor_are_rejected() {
+        let events = vec![
+            ev(
+                "conv1",
+                TraceKind::Kernel,
+                Some(ProcessorKind::Gpu),
+                0.0,
+                100.0,
+                0,
+            ),
+            ev(
+                "conv2",
+                TraceKind::Kernel,
+                Some(ProcessorKind::Gpu),
+                50.0,
+                150.0,
+                0,
+            ),
+        ];
+        let diags = check_trace_events(&events, &jetson_agx_xavier());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::KERNEL_OVERLAP && d.span == Span::Events(0, 1)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cross_processor_race_and_hazard_map_to_their_codes() {
+        let events = vec![
+            ev(
+                "fc1",
+                TraceKind::Kernel,
+                Some(ProcessorKind::Cpu),
+                0.0,
+                50.0,
+                0,
+            ),
+            ev(
+                "fc1",
+                TraceKind::Kernel,
+                Some(ProcessorKind::Gpu),
+                10.0,
+                60.0,
+                0,
+            ),
+            ev(
+                "fc1 h2d",
+                TraceKind::Copy,
+                Some(ProcessorKind::Gpu),
+                20.0,
+                30.0,
+                4096,
+            ),
+        ];
+        let diags = check_trace_events(&events, &jetson_agx_xavier());
+        assert!(diags.iter().any(|d| d.code == codes::WRITE_WRITE_RACE));
+        assert!(diags.iter().any(|d| d.code == codes::ORDERING_HAZARD));
+    }
+
+    #[test]
+    fn impossible_transfer_rate_maps_to_ec024() {
+        // 1 GiB in 1 us is far beyond any preset's memory system.
+        let events = vec![ev(
+            "blob h2d",
+            TraceKind::Copy,
+            Some(ProcessorKind::Gpu),
+            0.0,
+            1.0,
+            1 << 30,
+        )];
+        let diags = check_trace_events(&events, &jetson_agx_xavier());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::BANDWIDTH_EXCEEDED && d.span == Span::Event(0)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_event_maps_to_ec021() {
+        let events = vec![ev(
+            "bad",
+            TraceKind::Kernel,
+            Some(ProcessorKind::Cpu),
+            10.0,
+            5.0,
+            0,
+        )];
+        let diags = check_trace_events(&events, &jetson_agx_xavier());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::MALFORMED_EVENT);
+    }
+}

@@ -1,0 +1,182 @@
+//! Randomized (seeded, deterministic) tests for the checker.
+//!
+//! The contract under test: tuner-produced plans over builder-built
+//! graphs pass every tier, and a single targeted mutation of a valid
+//! artifact trips exactly the diagnostic code registered for that
+//! defect class.
+
+use edgenn_check::{
+    check_config, check_graph, check_plan, check_profile, codes, CheckReport, Severity,
+};
+use edgenn_core::plan::{Assignment, ExecutionConfig, ExecutionPlan, HybridMode, NodePlan};
+use edgenn_core::runtime::Runtime;
+use edgenn_core::tuner::{NodeStats, Tuner};
+use edgenn_nn::models::{build, ModelKind, ModelScale};
+use edgenn_sim::platforms::{self, Platform};
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 32;
+
+fn arb_model(rng: &mut rand::rngs::StdRng) -> ModelKind {
+    match rng.gen_range(0u32..6) {
+        0 => ModelKind::Fcnn,
+        1 => ModelKind::LeNet,
+        2 => ModelKind::AlexNet,
+        3 => ModelKind::Vgg16,
+        4 => ModelKind::SqueezeNet,
+        _ => ModelKind::ResNet18,
+    }
+}
+
+fn arb_gpu_platform(rng: &mut rand::rngs::StdRng) -> Platform {
+    match rng.gen_range(0u32..4) {
+        0 => platforms::jetson_agx_xavier(),
+        1 => platforms::rtx_2080ti_server(),
+        2 => platforms::amd_embedded_apu(),
+        _ => platforms::apple_silicon_m1(),
+    }
+}
+
+fn arb_config(rng: &mut rand::rngs::StdRng) -> ExecutionConfig {
+    match rng.gen_range(0u32..6) {
+        0 => ExecutionConfig::edgenn(),
+        1 => ExecutionConfig::baseline_gpu(),
+        2 => ExecutionConfig::memory_only(),
+        3 => ExecutionConfig::hybrid_only(),
+        4 => ExecutionConfig::inter_kernel_only(),
+        _ => ExecutionConfig::edgenn_energy_aware(),
+    }
+}
+
+/// Tuner-produced plans over builder-built graphs pass tiers A and B on
+/// the platform they were planned for.
+#[test]
+fn random_valid_plans_pass_the_checker() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0001);
+    for _ in 0..CASES {
+        let graph = build(arb_model(&mut rng), ModelScale::Tiny);
+        let platform = arb_gpu_platform(&mut rng);
+        let config = arb_config(&mut rng);
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(&graph, &runtime).expect("profile");
+        let plan = tuner.plan(&graph, &runtime, config).expect("plan");
+
+        let mut report = CheckReport::new(check_graph(&graph));
+        report.extend(check_profile(tuner.stats()));
+        report.extend(check_plan(&graph, &plan, &platform));
+        assert!(
+            report.is_clean(),
+            "{:?} on {}: {}",
+            graph.name(),
+            platform.name,
+            report.render_table()
+        );
+    }
+}
+
+/// Negating one profiled time trips EC016 and nothing in tier A.
+#[test]
+fn negative_profile_time_mutation_trips_ec016() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0002);
+    for _ in 0..CASES {
+        let graph = build(arb_model(&mut rng), ModelScale::Tiny);
+        let platform = platforms::jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(&graph, &runtime).expect("profile");
+        let mut stats: Vec<NodeStats> = tuner.stats().to_vec();
+        let victim = rng.gen_range(0usize..stats.len());
+        if rng.gen_range(0u32..2) == 0 {
+            stats[victim].t_cpu_us = -stats[victim].t_cpu_us.max(1.0);
+        } else {
+            stats[victim].t_gpu_us = f64::NAN;
+        }
+        let diags = check_profile(&stats);
+        assert!(
+            diags.iter().any(|d| d.code == codes::INVALID_PROFILE_TIME),
+            "mutated node {victim} not caught: {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+}
+
+/// Pushing one split fraction outside (0, 1] trips EC011.
+#[test]
+fn out_of_range_fraction_mutation_trips_ec011() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0003);
+    for _ in 0..CASES {
+        let graph = build(arb_model(&mut rng), ModelScale::Tiny);
+        let platform = platforms::jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(&graph, &runtime).expect("profile");
+        let mut plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .expect("plan");
+        let victim = rng.gen_range(1usize..plan.nodes.len());
+        let bad = if rng.gen_range(0u32..2) == 0 {
+            rng.gen_range(1.001f64..10.0)
+        } else {
+            -rng.gen_range(0.001f64..10.0)
+        };
+        plan.nodes[victim].assignment = Assignment::Split { cpu_fraction: bad };
+        let diags = check_plan(&graph, &plan, &platform);
+        assert!(
+            diags.iter().any(|d| d.code == codes::SPLIT_FRACTION_RANGE),
+            "fraction {bad} on n{victim} not caught: {diags:?}"
+        );
+    }
+}
+
+/// Swapping a placement against the platform or mode trips EC013/EC014.
+#[test]
+fn swapped_placement_mutation_trips_ec013_or_ec014() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0004);
+    for _ in 0..CASES {
+        let graph = build(arb_model(&mut rng), ModelScale::Tiny);
+
+        // GPU work planned onto a GPU-less platform: EC014.
+        let cpu_only_platform = platforms::raspberry_pi_4();
+        let plan = ExecutionPlan {
+            config: ExecutionConfig::baseline_gpu(),
+            nodes: vec![NodePlan::gpu_explicit(); graph.len()],
+        };
+        let diags = check_plan(&graph, &plan, &cpu_only_platform);
+        assert!(
+            diags.iter().any(|d| d.code == codes::GPU_WORK_WITHOUT_GPU),
+            "{diags:?}"
+        );
+
+        // A split under a mode that forbids intra-kernel co-running: EC013.
+        let platform = arb_gpu_platform(&mut rng);
+        let mut plan = ExecutionPlan {
+            config: ExecutionConfig::baseline_gpu(),
+            nodes: vec![NodePlan::gpu_explicit(); graph.len()],
+        };
+        assert_eq!(plan.config.hybrid, HybridMode::GpuOnly);
+        let victim = rng.gen_range(1usize..plan.nodes.len());
+        plan.nodes[victim].assignment = Assignment::Split { cpu_fraction: 0.5 };
+        let diags = check_plan(&graph, &plan, &platform);
+        assert!(
+            diags.iter().any(|d| d.code == codes::ASSIGNMENT_FORBIDDEN),
+            "split on n{victim} under GpuOnly not caught: {diags:?}"
+        );
+    }
+}
+
+/// Random config mutations outside the documented ranges trip EC017.
+#[test]
+fn config_field_mutations_trip_ec017() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0005);
+    for _ in 0..CASES {
+        let mut config = arb_config(&mut rng);
+        match rng.gen_range(0u32..3) {
+            0 => config.sync_overhead_us = -rng.gen_range(0.001f64..100.0),
+            1 => config.host_roundtrip_fraction = rng.gen_range(1.001f64..5.0),
+            _ => config.jitter = rng.gen_range(1.0f64..4.0),
+        }
+        let diags = check_config(&config);
+        assert!(
+            diags.iter().any(|d| d.code == codes::CONFIG_FIELD_RANGE),
+            "{config:?}: {diags:?}"
+        );
+    }
+}

@@ -105,7 +105,7 @@ mod tests {
     use super::*;
 
     fn opts(args: &[&str]) -> Options {
-        Options::parse(args.iter().map(|s| s.to_string()))
+        Options::parse(args.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

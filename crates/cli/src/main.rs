@@ -34,6 +34,8 @@ USAGE:
     edgenn explain   --model M --platform P [--config C] [--json]
     edgenn plan      --model M --platform P [--config C] [--explain]
     edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
+    edgenn check     --model M --platform P [--config C] [--scale paper|tiny]
+                     [--json] [--lenient]
     edgenn inspect   --model M [--scale paper|tiny]
     edgenn models
     edgenn platforms
@@ -46,7 +48,17 @@ OBSERVABILITY:
     --trace-out FILE    Perfetto/chrome://tracing trace with counter tracks
                         (bandwidth, outstanding managed pages, EMA evolution)
     --metrics-out FILE  JSON metrics snapshot (counters, gauges, p50/p95/p99
-                        latency histograms from a serving run)";
+                        latency histograms from a serving run)
+
+CHECK:
+    Runs the edgenn-check static verifier: graph dataflow (tier A), plan
+    legality on the target platform (tier B), then a simulated trace through
+    the happens-before race detector plus report accounting (tier C).
+    Diagnostics carry stable EC0xx codes (see docs/diagnostics.md).
+    --json      machine-readable report instead of the table
+    --lenient   downgrade the accounting codes EC030/EC031 to warnings
+                (plotting pipelines that accept a clamped copy proportion)
+    Exit status is non-zero when any error-severity diagnostic fires.";
 
 fn main() -> ExitCode {
     let options = Options::parse(std::env::args().skip(1));
@@ -55,9 +67,13 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&options),
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
+        Some("check") => cmd_check(&options),
         Some("inspect") => cmd_inspect(&options),
         Some("models") => cmd_models(),
-        Some("platforms") => cmd_platforms(),
+        Some("platforms") => {
+            cmd_platforms();
+            Ok(())
+        }
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     };
@@ -126,7 +142,7 @@ impl<'o> ObsOutputs<'o> {
         let extra = self
             .recorder
             .as_ref()
-            .map(|r| r.counter_samples())
+            .map(edgenn_obs::Recorder::counter_samples)
             .unwrap_or_default();
         std::fs::write(path, to_chrome_trace_with_counters(events, &extra))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -438,6 +454,58 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_check(options: &Options) -> Result<(), String> {
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+
+    let mut report = edgenn_check::CheckReport::default();
+
+    // Tier A: the graph itself.
+    report.extend(edgenn_check::check_graph(&graph));
+
+    // Tier B: the profile the tuner plans from, then the plan it emits.
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    report.extend(edgenn_check::check_profile(tuner.stats()));
+    let plan = tuner
+        .plan(&graph, &runtime, config)
+        .map_err(|e| e.to_string())?;
+    report.extend(edgenn_check::check_plan(&graph, &plan, &platform));
+
+    // Tier C: one simulated inference, its trace through the
+    // happens-before detector, and the report's accounting invariants.
+    let sim_report = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+    report.extend(edgenn_check::check_trace_events(
+        &sim_report.events,
+        &platform,
+    ));
+    report.extend(edgenn_check::check_report(&sim_report));
+
+    if options.has("lenient") {
+        report.downgrade_accounting();
+    }
+
+    if options.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render_table());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "check failed: {} error(s) on {} x {}",
+            report.error_count(),
+            graph.name(),
+            platform.name
+        ))
+    }
+}
+
 fn cmd_inspect(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     print!("{}", graph.summary());
@@ -481,7 +549,7 @@ fn cmd_models() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_platforms() -> Result<(), String> {
+fn cmd_platforms() {
     let platforms = [
         edgenn_sim::platforms::jetson_agx_xavier(),
         edgenn_sim::platforms::raspberry_pi_4(),
@@ -498,8 +566,7 @@ fn cmd_platforms() -> Result<(), String> {
         let gpu = p
             .gpu
             .as_ref()
-            .map(|g| format!("{:.0}", g.peak_gflops))
-            .unwrap_or_else(|| "—".into());
+            .map_or_else(|| "—".into(), |g| format!("{:.0}", g.peak_gflops));
         let kind = if p.is_integrated() {
             "integrated"
         } else if p.has_gpu() {
@@ -516,5 +583,4 @@ fn cmd_platforms() -> Result<(), String> {
             p.power.power_w(1.0, 1.0),
         );
     }
-    Ok(())
 }

@@ -75,11 +75,12 @@ impl InferenceReport {
 
     /// Fraction of end-to-end time spent on CPU<->GPU memory management
     /// (explicit copies + migrations + thrash) — the quantity Figure 9
-    /// plots for the explicit baseline. Clamped to 1.0 for plotting;
-    /// [`Self::audit`] surfaces the accounting violation when the raw
-    /// value exceeds 1.0 instead of hiding it.
+    /// plots for the explicit baseline. Unclamped: a value past 1.0 is an
+    /// accounting violation, and `edgenn check` reports it as `EC030`
+    /// instead of this method hiding it. Plotting pipelines that prefer a
+    /// bounded axis call [`Self::copy_proportion_clamped`].
     pub fn copy_proportion(&self) -> f64 {
-        self.copy_proportion_raw().min(1.0)
+        self.copy_proportion_raw()
     }
 
     /// The unclamped memory proportion: exceeds 1.0 when per-layer
@@ -90,6 +91,13 @@ impl InferenceReport {
             return 0.0;
         }
         self.summary.memory_us() / self.total_us
+    }
+
+    /// [`Self::copy_proportion`] clamped into `[0, 1]` — the lenient
+    /// plotting variant (`edgenn check --lenient` downgrades the matching
+    /// `EC030` diagnostic to a warning for the same reason).
+    pub fn copy_proportion_clamped(&self) -> f64 {
+        self.copy_proportion_raw().clamp(0.0, 1.0)
     }
 
     /// Checks the report's accounting invariants, emitting one
@@ -103,7 +111,7 @@ impl InferenceReport {
                 source: "metrics",
                 message: format!(
                     "{}: memory time {:.1} us exceeds end-to-end {:.1} us \
-                     (copy_proportion clamped from {:.3} to 1.0)",
+                     (raw copy_proportion {:.3}; checker code EC030)",
                     self.model,
                     self.summary.memory_us(),
                     self.total_us,
@@ -235,12 +243,16 @@ mod tests {
     fn raw_copy_proportion_exceeds_one_and_audit_warns() {
         use edgenn_obs::Recorder;
         // Co-run double counting: 150 us of attributed memory time in a
-        // 100 us run. The clamped value stays plottable; the raw value
-        // and the audit expose the violation.
+        // 100 us run. The default accessor reports the violation as-is;
+        // only the explicit clamped variant bounds it for plotting.
         let r = report(100.0, 150.0);
         assert!(
-            (r.copy_proportion() - 1.0).abs() < 1e-9,
-            "clamped for plotting"
+            (r.copy_proportion() - 1.5).abs() < 1e-9,
+            "default accessor is unclamped"
+        );
+        assert!(
+            (r.copy_proportion_clamped() - 1.0).abs() < 1e-9,
+            "clamped variant bounds the plot axis"
         );
         assert!(
             (r.copy_proportion_raw() - 1.5).abs() < 1e-9,
@@ -252,11 +264,7 @@ mod tests {
             rec.metrics().counter_value("edgenn_warnings_total"),
             Some(1.0)
         );
-        assert!(
-            rec.warnings()[0].contains("clamped from 1.500"),
-            "{:?}",
-            rec.warnings()
-        );
+        assert!(rec.warnings()[0].contains("EC030"), "{:?}", rec.warnings());
 
         // A clean report raises nothing.
         let clean = report(1000.0, 150.0);

@@ -83,7 +83,7 @@ pub fn plan_pipeline(
         for (cpu_first, front, back) in candidates {
             let bottleneck = front.max(back);
             cut_best = cut_best.min(bottleneck);
-            if best.map(|(_, _, b)| bottleneck < b).unwrap_or(true) {
+            if best.is_none_or(|(_, _, b)| bottleneck < b) {
                 best = Some((cut, cpu_first, bottleneck));
             }
         }

@@ -41,7 +41,7 @@ pub fn kernel_desc(graph: &Graph, id: NodeId) -> Result<KernelDesc> {
     let shapes: Vec<_> = node
         .inputs()
         .iter()
-        .map(|i| graph.node(*i).map(|n| n.output_shape()))
+        .map(|i| graph.node(*i).map(edgenn_nn::graph::Node::output_shape))
         .collect::<std::result::Result<_, _>>()?;
     let w = node.layer().workload(&shapes)?;
     let ws = node.layer().working_set_bytes(&shapes)?;
@@ -237,6 +237,25 @@ impl<'a> Runtime<'a> {
         };
         if let Some(sink) = &self.observer {
             report.audit(sink.as_ref());
+        }
+        // Debug builds gate every single-request simulation on a clean
+        // happens-before check of the trace just produced: a scheduling
+        // regression (overlapping kernels, racing DMA) fails loudly here
+        // instead of skewing results downstream. Release builds skip the
+        // O(n^2) pass; `edgenn check` runs the same detector on demand.
+        #[cfg(debug_assertions)]
+        {
+            let caps = edgenn_sim::trace::LinkCaps::from_platform(self.platform);
+            let violations: Vec<_> = edgenn_sim::trace::check_trace(&report.events, Some(&caps))
+                .into_iter()
+                .filter(|v| v.kind != edgenn_sim::trace::TraceViolationKind::AggregateBandwidth)
+                .collect();
+            debug_assert!(
+                violations.is_empty(),
+                "runtime produced a racy trace for '{}' on '{}': {violations:?}",
+                report.model,
+                report.platform
+            );
         }
         Ok(report)
     }

@@ -354,7 +354,7 @@ impl Tuner {
                                 branches,
                                 &mut inter_nodes,
                                 platform,
-                            )?;
+                            );
                             nodes = if inter_cost < intra_cost {
                                 inter_nodes
                             } else {
@@ -362,7 +362,7 @@ impl Tuner {
                             };
                         }
                         (true, false) => {
-                            self.decide_branches(graph, &config, branches, &mut nodes, platform)?;
+                            self.decide_branches(graph, &config, branches, &mut nodes, platform);
                         }
                         (false, true) => {
                             for branch in branches {
@@ -560,7 +560,7 @@ impl Tuner {
         let shapes: Vec<_> = node
             .inputs()
             .iter()
-            .map(|i| graph.node(*i).map(|n| n.output_shape()))
+            .map(|i| graph.node(*i).map(edgenn_nn::graph::Node::output_shape))
             .collect::<std::result::Result<_, _>>()?;
         let units = if node.layer().partitionable() {
             node.layer().partition_units(&shapes)?
@@ -638,7 +638,7 @@ impl Tuner {
                 let cpu_units = ((p_raw * units as f64).round() as usize).clamp(1, units - 1);
                 let p = cpu_units as f64 / units as f64;
                 let t = evaluate(p, explicit_merge);
-                if best.as_ref().map(|b| t < b.t_total_us).unwrap_or(true) {
+                if best.as_ref().is_none_or(|b| t < b.t_total_us) {
                     best = Some(SplitCandidate {
                         cpu_fraction: p,
                         t_total_us: t,
@@ -680,7 +680,7 @@ impl Tuner {
                         &gpu_corun,
                     ) * ema_gpu;
                     let t = t_c.max(t_g) + merge_full + config.sync_overhead_us;
-                    if best.as_ref().map(|b| t < b.t_total_us).unwrap_or(true) {
+                    if best.as_ref().is_none_or(|b| t < b.t_total_us) {
                         best = Some(SplitCandidate {
                             cpu_fraction: p,
                             t_total_us: t,
@@ -752,8 +752,7 @@ impl Tuner {
             .filter(|id| {
                 graph
                     .node(*id)
-                    .map(|n| n.layer().class() != LayerClass::Input)
-                    .unwrap_or(false)
+                    .is_ok_and(|n| n.layer().class() != LayerClass::Input)
             })
             .collect();
         if ids.is_empty() {
@@ -792,8 +791,7 @@ impl Tuner {
                 cand.t_cpu_us * weight(CPU),
                 cand.split
                     .as_ref()
-                    .map(|s| s.t_total_us * weight(2))
-                    .unwrap_or(inf),
+                    .map_or(inf, |s| s.t_total_us * weight(2)),
             ];
             for state in 0..3 {
                 if node_cost[state].is_infinite() {
@@ -872,7 +870,7 @@ impl Tuner {
         branches: &[Vec<NodeId>],
         nodes: &mut [NodePlan],
         platform: &edgenn_sim::Platform,
-    ) -> Result<f64> {
+    ) -> f64 {
         let costs: Vec<BranchCost> = branches
             .iter()
             .map(|branch| {
@@ -884,15 +882,11 @@ impl Tuner {
                     .iter()
                     .map(|id| self.stats[id.index()].t_gpu_us)
                     .sum();
-                let output_bytes = branch
-                    .last()
-                    .map(|id| {
-                        graph
-                            .node(*id)
-                            .map(|n| (n.output_shape().num_elements() * 4) as u64)
-                            .unwrap_or(0)
-                    })
-                    .unwrap_or(0);
+                let output_bytes = branch.last().map_or(0, |id| {
+                    graph
+                        .node(*id)
+                        .map_or(0, |n| (n.output_shape().num_elements() * 4) as u64)
+                });
                 BranchCost {
                     t_cpu_us: t_cpu,
                     t_gpu_us: t_gpu,
@@ -955,7 +949,7 @@ impl Tuner {
                 }
             }
         }
-        Ok(decision.t_total_us)
+        decision.t_total_us
     }
 
     /// Semantic memory decisions (with cost refinement) for every node.
@@ -982,8 +976,7 @@ impl Tuner {
             .platform()
             .gpu
             .as_ref()
-            .map(|g| g.mem_bw_gbps)
-            .unwrap_or(runtime.platform().cpu.mem_bw_gbps);
+            .map_or(runtime.platform().cpu.mem_bw_gbps, |g| g.mem_bw_gbps);
 
         for id in graph.topo_order() {
             let node = graph.node(id)?;

@@ -44,6 +44,18 @@ pub struct Node {
 }
 
 impl Node {
+    /// Assembles a node directly, with no shape inference or input
+    /// validation. Exists for analysis tooling (`edgenn-check`) and tests
+    /// that need to represent *malformed* graphs; inference paths should
+    /// always go through [`GraphBuilder::add`].
+    pub fn new(layer: Arc<dyn Layer>, inputs: Vec<NodeId>, output_shape: Shape) -> Self {
+        Self {
+            layer,
+            inputs,
+            output_shape,
+        }
+    }
+
     /// The layer kernel.
     pub fn layer(&self) -> &dyn Layer {
         self.layer.as_ref()
@@ -87,6 +99,32 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Assembles a graph from raw parts without any of the
+    /// [`GraphBuilder::finish`] invariant checks (single sink, backward
+    /// edges, inferred shapes). Successor lists are still derived, with
+    /// out-of-range input ids skipped rather than rejected.
+    ///
+    /// This is the ingestion point for graphs whose invariants are *not*
+    /// trusted — the static verifier in `edgenn-check` diagnoses such
+    /// graphs instead of panicking on them. Executing a graph built this
+    /// way is undefined unless it passes the checker.
+    pub fn from_parts(name: impl Into<String>, nodes: Vec<Node>, output: NodeId) -> Self {
+        let mut successors: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (idx, node) in nodes.iter().enumerate() {
+            for input in &node.inputs {
+                if input.index() < successors.len() {
+                    successors[input.index()].push(NodeId(idx));
+                }
+            }
+        }
+        Self {
+            name: name.into(),
+            nodes,
+            successors,
+            output,
+        }
+    }
+
     /// The model name.
     pub fn name(&self) -> &str {
         &self.name
@@ -235,10 +273,7 @@ impl Graph {
                     .iter()
                     .map(|i| self.nodes[i.index()].output_shape())
                     .collect();
-                node.layer
-                    .workload(&shapes)
-                    .map(|w| w.weight_bytes)
-                    .unwrap_or(0)
+                node.layer.workload(&shapes).map_or(0, |w| w.weight_bytes)
             })
             .sum()
     }
@@ -253,7 +288,7 @@ impl Graph {
                     .iter()
                     .map(|i| self.nodes[i.index()].output_shape())
                     .collect();
-                node.layer.workload(&shapes).map(|w| w.flops).unwrap_or(0)
+                node.layer.workload(&shapes).map_or(0, |w| w.flops)
             })
             .sum()
     }

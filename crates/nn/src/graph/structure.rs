@@ -232,7 +232,7 @@ mod tests {
         // Join starts the trailing chain.
         match &s.segments()[2] {
             Segment::Chain(nodes) => {
-                assert_eq!(g.node(nodes[0]).unwrap().layer().name(), "cat")
+                assert_eq!(g.node(nodes[0]).unwrap().layer().name(), "cat");
             }
             other => panic!("expected chain, got {other:?}"),
         }

@@ -117,7 +117,7 @@ mod tests {
                 .iter()
                 .map(|i| g.node(*i).unwrap().output_shape())
                 .collect();
-            let flops = node.layer().workload(&shapes).map(|w| w.flops).unwrap_or(0);
+            let flops = node.layer().workload(&shapes).map_or(0, |w| w.flops);
             match node.layer().class() {
                 LayerClass::Conv => conv += flops,
                 LayerClass::Fc => fc += flops,

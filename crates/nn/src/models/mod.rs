@@ -264,7 +264,7 @@ mod tests {
 
     #[test]
     fn names_match_paper_labels() {
-        let names: Vec<&str> = ModelKind::ALL.iter().map(|k| k.name()).collect();
+        let names: Vec<&str> = ModelKind::ALL.iter().map(super::ModelKind::name).collect();
         assert_eq!(
             names,
             ["FCNN", "LeNet", "AlexNet", "VGG", "SqueezeNet", "ResNet"]

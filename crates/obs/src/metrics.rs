@@ -215,7 +215,9 @@ impl MetricsRegistry {
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
         // A poisoned lock only happens if a panicking thread died mid-
         // update; metrics are best-effort, so keep serving.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Adds `by` to a counter (creates it at 0 first).

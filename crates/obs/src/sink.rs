@@ -58,6 +58,19 @@ pub enum SinkEvent {
         /// End-to-end latency of the request (us).
         latency_us: f64,
     },
+    /// One static-analysis finding from the `edgenn-check` verifier,
+    /// mirrored into the session so recorded runs carry the checker's
+    /// verdict next to the trace it judged.
+    Diagnostic {
+        /// Stable `EC0xx` code.
+        code: String,
+        /// `"error"` or `"warning"`.
+        severity: String,
+        /// Rendered source span (`n3`, `e3/e4`, `-`).
+        span: String,
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl SinkEvent {
@@ -160,7 +173,9 @@ impl Recorder {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The aggregated metrics.
@@ -241,6 +256,11 @@ impl Recorder {
                 self.metrics.inc_counter("edgenn_requests_total", 1.0);
                 self.metrics
                     .observe("edgenn_request_latency_us", *latency_us);
+            }
+            SinkEvent::Diagnostic { severity, .. } => {
+                self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);
+                self.metrics
+                    .inc_counter(&format!("edgenn_diagnostics_{severity}_total"), 1.0);
             }
         }
     }

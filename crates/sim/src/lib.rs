@@ -46,4 +46,6 @@ pub use memory::{AllocStrategy, MemoryArchitecture, MemorySpec};
 pub use platforms::Platform;
 pub use power::{EnergyReport, PowerModel};
 pub use processor::{KernelDesc, OpClass, ProcessorKind, ProcessorSpec};
-pub use trace::{TraceEvent, TraceKind};
+pub use trace::{
+    check_trace, HappensBefore, LinkCaps, TraceEvent, TraceKind, TraceViolation, TraceViolationKind,
+};

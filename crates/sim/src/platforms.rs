@@ -26,6 +26,11 @@ pub struct Platform {
     pub memory: MemorySpec,
     /// Power model.
     pub power: PowerModel,
+    /// Installed DRAM capacity in bytes (host DRAM on discrete systems —
+    /// the side that must hold the host copies of explicit arrays plus
+    /// every managed page). Zero means "unknown"; capacity checks are
+    /// skipped.
+    pub dram_bytes: u64,
     /// Retail price in USD (performance/price figures).
     pub price_usd: f64,
 }
@@ -151,6 +156,7 @@ pub fn jetson_agx_xavier() -> Platform {
             cpu_dynamic_w: 3.4,
             gpu_dynamic_w: 2.5,
         },
+        dram_bytes: 32 << 30,
         price_usd: 699.0,
     }
 }
@@ -238,6 +244,7 @@ pub fn raspberry_pi_4() -> Platform {
             cpu_dynamic_w: 3.7,
             gpu_dynamic_w: 0.0,
         },
+        dram_bytes: 8 << 30,
         price_usd: 75.0,
     }
 }
@@ -290,6 +297,7 @@ pub fn dimensity_8100() -> Platform {
             cpu_dynamic_w: 5.0,
             gpu_dynamic_w: 0.0,
         },
+        dram_bytes: 8 << 30,
         price_usd: 349.0,
     }
 }
@@ -381,6 +389,7 @@ pub fn rtx_2080ti_server() -> Platform {
             cpu_dynamic_w: 85.0,
             gpu_dynamic_w: 205.0,
         },
+        dram_bytes: 64 << 30,
         price_usd: 3_999.0,
     }
 }
@@ -467,6 +476,7 @@ pub fn amd_embedded_apu() -> Platform {
             cpu_dynamic_w: 12.0,
             gpu_dynamic_w: 10.0,
         },
+        dram_bytes: 8 << 30,
         price_usd: 399.0,
     }
 }
@@ -551,6 +561,7 @@ pub fn apple_silicon_m1() -> Platform {
             cpu_dynamic_w: 9.0,
             gpu_dynamic_w: 8.0,
         },
+        dram_bytes: 16 << 30,
         price_usd: 699.0,
     }
 }

@@ -188,6 +188,337 @@ pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
     Ok(())
 }
 
+// --- Happens-before race detection -----------------------------------
+//
+// The engine's timeline realizes a happens-before partial order: kernels
+// on one processor are serialized through `free_at`, bus transfers start
+// no earlier than their producer's ready time, and co-run merges lift
+// both clocks. Two events are therefore HB-ordered exactly when their
+// intervals are disjoint, and *concurrent* when they overlap. The
+// detector below reconstructs that order from a finished trace, derives
+// which data region each event touches from the engine's label
+// conventions, and reports conflicting concurrent accesses — the checks
+// a real CUDA stream-race tool would do on an Nsight timeline.
+
+/// Sub-microsecond slack for interval comparisons: events that merely
+/// touch at an endpoint (producer end == consumer start) are ordered,
+/// not concurrent.
+const HB_TOLERANCE_US: f64 = 1e-6;
+
+/// Class of invariant a trace event (pair) violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceViolationKind {
+    /// Non-finite timestamps or negative duration.
+    MalformedEvent,
+    /// Two kernels overlap on one processor (a core cannot run two
+    /// kernels at once).
+    KernelOverlap,
+    /// CPU and GPU kernels write the same output region concurrently.
+    WriteWriteRace,
+    /// A DMA transfer of a region is concurrent with a kernel that
+    /// produces or consumes that same region (read-write hazard), or two
+    /// transfers move the same region at once.
+    OrderingHazard,
+    /// A single transfer's implied rate exceeds the platform's fastest
+    /// physical link.
+    BandwidthExceeded,
+    /// The instantaneous *sum* of concurrent transfer rates exceeds the
+    /// link capacity (advisory: the engine does not serialize bus
+    /// events against each other).
+    AggregateBandwidth,
+}
+
+impl std::fmt::Display for TraceViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::MalformedEvent => "malformed event",
+            Self::KernelOverlap => "kernel overlap",
+            Self::WriteWriteRace => "write-write race",
+            Self::OrderingHazard => "ordering hazard",
+            Self::BandwidthExceeded => "bandwidth exceeded",
+            Self::AggregateBandwidth => "aggregate bandwidth",
+        })
+    }
+}
+
+/// One violation found by [`check_trace`], pointing back into the event
+/// slice by index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceViolation {
+    /// Violation class.
+    pub kind: TraceViolationKind,
+    /// Index of the (first) offending event.
+    pub first: usize,
+    /// Index of the second event for pairwise violations.
+    pub second: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Physical link capacity the trace must conserve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkCaps {
+    /// The fastest physical path data can take on the platform, in GB/s:
+    /// the DRAM bandwidth on a unified SoC, `max(PCIe, DRAM)` on a
+    /// discrete system. Apparent per-event rates can legitimately exceed
+    /// the copy bandwidth (the engine scales transfer *durations* by the
+    /// host-roundtrip fraction while recording full array sizes), but
+    /// nothing can beat the memory system itself.
+    pub link_gbps: f64,
+}
+
+impl LinkCaps {
+    /// Capacity bound for `platform`: the fastest of the DRAM interfaces,
+    /// the bulk copy engine, and the modeled page-walk rate (some presets
+    /// calibrate `page_migration_us_per_mb` faster than their DRAM
+    /// figure; prefetched migrations legitimately move at that rate).
+    pub fn from_platform(platform: &crate::platforms::Platform) -> Self {
+        let dram = platform.gpu.as_ref().map_or(platform.cpu.mem_bw_gbps, |g| {
+            g.mem_bw_gbps.max(platform.cpu.mem_bw_gbps)
+        });
+        let page_walk_gbps = if platform.memory.page_migration_us_per_mb > 0.0 {
+            1e3 / platform.memory.page_migration_us_per_mb
+        } else {
+            0.0
+        };
+        Self {
+            link_gbps: dram.max(platform.memory.copy_bw_gbps).max(page_walk_gbps),
+        }
+    }
+}
+
+/// The data region an event touches, derived from the engine's label
+/// conventions (`"conv1 h2d"`, `"conv1 [cpu part]"`, `"pool2 -> GPU"`,
+/// …). Returns `None` for events that touch no array (syncs, stalls).
+pub fn data_region(event: &TraceEvent) -> Option<&str> {
+    if matches!(event.kind, TraceKind::Sync | TraceKind::Idle) {
+        return None;
+    }
+    let label = event.label.as_str();
+    for suffix in [
+        " h2d",
+        " d2h",
+        " merge",
+        " boundary pages",
+        " [cpu part]",
+        " [gpu part]",
+        " -> CPU",
+        " -> GPU",
+    ] {
+        if let Some(base) = label.strip_suffix(suffix) {
+            return Some(base);
+        }
+    }
+    Some(label)
+}
+
+/// The reconstructed happens-before relation over one trace.
+///
+/// Indices refer back into the event slice the relation was built from.
+#[derive(Debug)]
+pub struct HappensBefore<'a> {
+    events: &'a [TraceEvent],
+}
+
+impl<'a> HappensBefore<'a> {
+    /// Builds the relation for `events`.
+    pub fn new(events: &'a [TraceEvent]) -> Self {
+        Self { events }
+    }
+
+    /// True when event `a` happens-before event `b`: `a` retires before
+    /// `b` starts (endpoint contact counts as ordered).
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        self.events[a].end_us <= self.events[b].start_us + HB_TOLERANCE_US
+    }
+
+    /// True when neither event is ordered before the other — they run
+    /// concurrently on the timeline.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.ordered(a, b) && !self.ordered(b, a)
+    }
+}
+
+/// True when `e` moves bytes over the interconnect.
+fn moves_bytes(e: &TraceEvent) -> bool {
+    matches!(
+        e.kind,
+        TraceKind::Copy | TraceKind::Migration | TraceKind::Thrash
+    ) && e.bytes > 0
+}
+
+/// Race- and conservation-checks one finished trace.
+///
+/// Checks, in order: malformed events, same-processor kernel overlap,
+/// CPU/GPU write-write conflicts on one region, kernel/DMA ordering
+/// hazards, and (when `caps` is given) per-event and aggregate
+/// bandwidth conservation. Returns every violation found; an empty
+/// vector means the trace is consistent with the happens-before order
+/// the engine claims to enforce.
+///
+/// The label-derived region model assumes each label names one request's
+/// arrays: apply this to single-request traces only (pipelined stream
+/// traces legitimately reuse labels across in-flight requests).
+pub fn check_trace(events: &[TraceEvent], caps: Option<&LinkCaps>) -> Vec<TraceViolation> {
+    let mut out = Vec::new();
+
+    // Malformed events disqualify themselves from the pairwise checks.
+    let mut well_formed = vec![true; events.len()];
+    for (i, e) in events.iter().enumerate() {
+        if !e.start_us.is_finite() || !e.end_us.is_finite() || e.end_us < e.start_us {
+            well_formed[i] = false;
+            out.push(TraceViolation {
+                kind: TraceViolationKind::MalformedEvent,
+                first: i,
+                second: None,
+                detail: format!(
+                    "event '{}' has invalid interval [{}, {}]",
+                    e.label, e.start_us, e.end_us
+                ),
+            });
+        }
+    }
+
+    let hb = HappensBefore::new(events);
+    let idx: Vec<usize> = (0..events.len()).filter(|&i| well_formed[i]).collect();
+
+    // Same-processor kernel serialization (per-core exclusivity).
+    for proc in [ProcessorKind::Cpu, ProcessorKind::Gpu] {
+        let mut kernels: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| events[i].kind == TraceKind::Kernel && events[i].processor == Some(proc))
+            .collect();
+        kernels.sort_by(|&a, &b| {
+            events[a]
+                .start_us
+                .partial_cmp(&events[b].start_us)
+                .expect("finite times")
+        });
+        for pair in kernels.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if hb.concurrent(a, b) {
+                out.push(TraceViolation {
+                    kind: TraceViolationKind::KernelOverlap,
+                    first: a,
+                    second: Some(b),
+                    detail: format!(
+                        "{proc} kernels '{}' and '{}' overlap",
+                        events[a].label, events[b].label
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cross-processor conflicts on one data region. Kernels write their
+    // region; transfers read and write theirs. Split halves carry
+    // distinct "[cpu part]"/"[gpu part]" labels over disjoint ranges of
+    // the shared output, so only *identical* kernel labels conflict.
+    for (n, &i) in idx.iter().enumerate() {
+        let Some(region_i) = data_region(&events[i]) else {
+            continue;
+        };
+        for &j in &idx[n + 1..] {
+            let Some(region_j) = data_region(&events[j]) else {
+                continue;
+            };
+            if region_i != region_j || !hb.concurrent(i, j) {
+                continue;
+            }
+            let (a, b) = (&events[i], &events[j]);
+            match (a.kind, b.kind) {
+                (TraceKind::Kernel, TraceKind::Kernel) => {
+                    if a.processor != b.processor && a.label == b.label {
+                        out.push(TraceViolation {
+                            kind: TraceViolationKind::WriteWriteRace,
+                            first: i,
+                            second: Some(j),
+                            detail: format!("CPU and GPU both write '{}' concurrently", a.label),
+                        });
+                    }
+                }
+                (TraceKind::Kernel, _) | (_, TraceKind::Kernel) => {
+                    let transfer = if a.kind == TraceKind::Kernel { b } else { a };
+                    if moves_bytes(transfer) {
+                        out.push(TraceViolation {
+                            kind: TraceViolationKind::OrderingHazard,
+                            first: i,
+                            second: Some(j),
+                            detail: format!(
+                                "'{}' and '{}' touch region '{region_i}' concurrently",
+                                a.label, b.label
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    if moves_bytes(a) && moves_bytes(b) {
+                        out.push(TraceViolation {
+                            kind: TraceViolationKind::OrderingHazard,
+                            first: i,
+                            second: Some(j),
+                            detail: format!(
+                                "transfers '{}' and '{}' move region '{region_i}' concurrently",
+                                a.label, b.label
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Bandwidth conservation: no transfer, alone or summed with its
+    // concurrent peers, may beat the fastest physical link. 5% slack
+    // absorbs float noise in calibrated rates.
+    if let Some(caps) = caps {
+        let cap = caps.link_gbps * 1.05;
+        let mut deltas: Vec<(f64, f64, usize)> = Vec::new();
+        for &i in &idx {
+            let e = &events[i];
+            let dur = e.duration_us();
+            if !moves_bytes(e) || dur <= 0.0 {
+                continue;
+            }
+            let gbps = e.bytes as f64 / dur * 1e-3;
+            if gbps > cap {
+                out.push(TraceViolation {
+                    kind: TraceViolationKind::BandwidthExceeded,
+                    first: i,
+                    second: None,
+                    detail: format!(
+                        "'{}' implies {gbps:.1} GB/s over a {:.1} GB/s link",
+                        e.label, caps.link_gbps
+                    ),
+                });
+            }
+            deltas.push((e.start_us, gbps, i));
+            deltas.push((e.end_us, -gbps, i));
+        }
+        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut level = 0.0;
+        let mut flagged = false;
+        for &(_, delta, i) in &deltas {
+            level += delta;
+            if level > cap && !flagged {
+                flagged = true;
+                out.push(TraceViolation {
+                    kind: TraceViolationKind::AggregateBandwidth,
+                    first: i,
+                    second: None,
+                    detail: format!(
+                        "concurrent transfers sum to {level:.1} GB/s over a {:.1} GB/s link",
+                        caps.link_gbps
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
 /// Assumed managed-memory page size for the outstanding-pages counter.
 const PAGE_BYTES: f64 = 4096.0;
 
@@ -582,5 +913,157 @@ mod tests {
     fn kind_display_tags() {
         assert_eq!(TraceKind::Kernel.to_string(), "kernel");
         assert_eq!(TraceKind::Thrash.to_string(), "thrash");
+    }
+
+    fn kernel(label: &str, proc: ProcessorKind, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceKind::Kernel,
+            processor: Some(proc),
+            start_us: start,
+            end_us: end,
+            label: label.into(),
+            bytes: 0,
+        }
+    }
+
+    fn copy(label: &str, start: f64, end: f64, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceKind::Copy,
+            processor: Some(ProcessorKind::Gpu),
+            start_us: start,
+            end_us: end,
+            label: label.into(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn region_model_strips_engine_label_suffixes() {
+        assert_eq!(data_region(&copy("conv1 h2d", 0.0, 1.0, 4)), Some("conv1"));
+        assert_eq!(
+            data_region(&copy("pool2 -> GPU", 0.0, 1.0, 4)),
+            Some("pool2")
+        );
+        assert_eq!(
+            data_region(&kernel("fc6 [cpu part]", ProcessorKind::Cpu, 0.0, 1.0)),
+            Some("fc6")
+        );
+        assert_eq!(
+            data_region(&ev(TraceKind::Sync, 0.0, 1.0)),
+            None,
+            "syncs touch no array"
+        );
+    }
+
+    #[test]
+    fn happens_before_matches_interval_order() {
+        let events = vec![
+            kernel("a", ProcessorKind::Gpu, 0.0, 10.0),
+            kernel("b", ProcessorKind::Gpu, 10.0, 20.0),
+            kernel("c", ProcessorKind::Cpu, 5.0, 15.0),
+        ];
+        let hb = HappensBefore::new(&events);
+        assert!(hb.ordered(0, 1), "endpoint contact is ordered");
+        assert!(!hb.ordered(1, 0));
+        assert!(hb.concurrent(0, 2) && hb.concurrent(2, 1));
+    }
+
+    #[test]
+    fn dma_may_overlap_compute_but_kernels_may_not_share_a_core() {
+        // The PR-1 overlap rule: a copy of one region runs alongside a
+        // kernel producing a *different* region — legal DMA/compute
+        // overlap, no violations.
+        let clean = vec![
+            kernel("conv1", ProcessorKind::Gpu, 0.0, 10.0),
+            copy("input -> GPU", 2.0, 6.0, 1_000),
+        ];
+        assert!(check_trace(&clean, None).is_empty());
+
+        // Two kernels on one processor overlapping is the race.
+        let racy = vec![
+            kernel("conv1", ProcessorKind::Gpu, 0.0, 10.0),
+            kernel("conv2", ProcessorKind::Gpu, 5.0, 15.0),
+        ];
+        let v = check_trace(&racy, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, TraceViolationKind::KernelOverlap);
+        assert_eq!((v[0].first, v[0].second), (0, Some(1)));
+    }
+
+    #[test]
+    fn cross_processor_same_label_is_a_write_write_race() {
+        let events = vec![
+            kernel("fc6", ProcessorKind::Cpu, 0.0, 10.0),
+            kernel("fc6", ProcessorKind::Gpu, 3.0, 12.0),
+        ];
+        let v = check_trace(&events, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, TraceViolationKind::WriteWriteRace);
+
+        // Sanctioned split halves carry distinct part labels.
+        let split = vec![
+            kernel("fc6 [cpu part]", ProcessorKind::Cpu, 0.0, 10.0),
+            kernel("fc6 [gpu part]", ProcessorKind::Gpu, 0.0, 9.0),
+        ];
+        assert!(check_trace(&split, None).is_empty());
+    }
+
+    #[test]
+    fn dma_racing_its_own_kernel_is_an_ordering_hazard() {
+        let events = vec![
+            kernel("conv1", ProcessorKind::Gpu, 0.0, 10.0),
+            copy("conv1 h2d", 5.0, 8.0, 1_000),
+        ];
+        let v = check_trace(&events, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, TraceViolationKind::OrderingHazard);
+    }
+
+    #[test]
+    fn bandwidth_conservation_flags_impossible_transfers() {
+        let caps = LinkCaps { link_gbps: 10.0 };
+        // 1 MB in 1 us = 1000 GB/s over a 10 GB/s link.
+        let impossible = vec![copy("x h2d", 0.0, 1.0, 1_000_000)];
+        let v = check_trace(&impossible, Some(&caps));
+        assert!(v
+            .iter()
+            .any(|v| v.kind == TraceViolationKind::BandwidthExceeded));
+
+        // Two 6 GB/s transfers of *different* regions at once: each is
+        // fine alone, their sum beats the link — aggregate advisory.
+        let pair = vec![
+            copy("a h2d", 0.0, 1.0, 6_000),
+            copy("b h2d", 0.0, 1.0, 6_000),
+        ];
+        let v = check_trace(&pair, Some(&caps));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, TraceViolationKind::AggregateBandwidth);
+    }
+
+    #[test]
+    fn malformed_events_are_reported_once_and_quarantined() {
+        let events = vec![
+            TraceEvent {
+                kind: TraceKind::Kernel,
+                processor: Some(ProcessorKind::Gpu),
+                start_us: 10.0,
+                end_us: f64::NAN,
+                label: "bad".into(),
+                bytes: 0,
+            },
+            kernel("good", ProcessorKind::Gpu, 0.0, 5.0),
+        ];
+        let v = check_trace(&events, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, TraceViolationKind::MalformedEvent);
+    }
+
+    #[test]
+    fn link_caps_take_the_fastest_physical_path() {
+        let jetson = crate::platforms::jetson_agx_xavier();
+        let caps = LinkCaps::from_platform(&jetson);
+        assert_eq!(caps.link_gbps, 100.0, "GPU's DRAM share dominates");
+        let rpi = crate::platforms::raspberry_pi_4();
+        assert_eq!(LinkCaps::from_platform(&rpi).link_gbps, 6.0);
     }
 }

@@ -322,7 +322,7 @@ impl Tensor {
 
     /// True when every pairwise difference is within `tol`.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
-        self.shape == other.shape && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+        self.shape == other.shape && self.max_abs_diff(other).is_ok_and(|d| d <= tol)
     }
 
     /// Index of the maximum element (first occurrence), or `None` if empty.

@@ -7,6 +7,7 @@
 # 3. tier-1            (release build + root-package tests)
 # 4. full test suite   (every workspace crate)
 # 5. static checker    (edgenn check over every bundled model x platform)
+# 6. functional bench  (smoke run + schema check + regression gate)
 set -eu
 
 echo "==> cargo fmt --check"
@@ -46,5 +47,17 @@ for model in fcnn lenet alexnet vgg squeezenet resnet; do
     done
 done
 echo "    36/36 clean; reports archived in $CHECK_DIR/"
+
+echo "==> functional bench: smoke run, schema check, regression gate"
+# A short measurement of the real execution engine. The gate compares
+# each model's hybrid/reference time *ratio* against the committed
+# baseline (BENCH_functional.json), so it is machine-portable: a >25%
+# relative regression of the engine over the raw kernels fails CI.
+cargo build --release -p edgenn-bench
+./target/release/bench_functional validate BENCH_functional.json
+./target/release/bench_functional run --smoke --out target/BENCH_functional_smoke.json
+./target/release/bench_functional validate target/BENCH_functional_smoke.json
+./target/release/bench_functional gate \
+    target/BENCH_functional_smoke.json BENCH_functional.json --slack 0.25
 
 echo "CI OK"

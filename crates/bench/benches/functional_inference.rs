@@ -25,8 +25,15 @@ fn main() {
         let graph = build(kind, ModelScale::Tiny);
         let plan = EdgeNn::new(&jetson).plan(&graph).unwrap();
         let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+        // One-shot path: includes session setup/teardown every call.
         time(&format!("hybrid_forward/{}", kind.name()), 20, || {
             functional::execute(&graph, &plan, &input).unwrap()
+        });
+        // Warm session: the pool and scratch arenas are reused, which is
+        // how a deployed pipeline would run (see Executor::batch_execute).
+        let executor = functional::Executor::new(&graph).unwrap();
+        time(&format!("hybrid_session/{}", kind.name()), 20, || {
+            executor.execute(&plan, &input).unwrap()
         });
     }
 }

@@ -1,0 +1,91 @@
+//! Measures the functional execution engine and maintains
+//! `BENCH_functional.json` (see `docs/perf.md` for how to read it).
+//!
+//! ```bash
+//! cargo run --release -p edgenn-bench --bin bench_functional -- run
+//! cargo run -p edgenn-bench --bin bench_functional -- run --smoke --out /tmp/b.json
+//! cargo run -p edgenn-bench --bin bench_functional -- validate BENCH_functional.json
+//! cargo run -p edgenn-bench --bin bench_functional -- gate /tmp/b.json BENCH_functional.json --slack 0.25
+//! ```
+
+use std::process::ExitCode;
+
+use edgenn_bench::functional_bench::{gate, measure, validate, BenchReport};
+
+const FULL_ITERS: u32 = 60;
+const SMOKE_ITERS: u32 = 16;
+const DEFAULT_OUT: &str = "BENCH_functional.json";
+const DEFAULT_SLACK: f64 = 0.25;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut iters = FULL_ITERS;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => iters = SMOKE_ITERS,
+            "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
+            other => return Err(format!("unknown run flag {other:?}")),
+        }
+    }
+    let report = measure(iters);
+    validate(&report)?;
+    for row in &report.models {
+        println!(
+            "{:<12} reference {:>10.1} ns  hybrid {:>10.1} ns  batch {:>10.1} ns  speedup {:>5.2}x",
+            row.model, row.reference_ns, row.hybrid_ns, row.batch_ns, row.speedup
+        );
+    }
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, text + "\n").map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => run(rest),
+        Some((cmd, rest)) if cmd == "validate" => match rest {
+            [path] => load(path).and_then(|r| validate(&r)).map(|()| {
+                println!("{path}: schema ok");
+            }),
+            _ => Err("usage: validate <path>".to_string()),
+        },
+        Some((cmd, rest)) if cmd == "gate" => {
+            let (paths, flags) = rest.split_at(rest.len().min(2));
+            let slack = match flags {
+                [] => Ok(DEFAULT_SLACK),
+                [flag, value] if flag == "--slack" => {
+                    value.parse::<f64>().map_err(|e| e.to_string())
+                }
+                _ => Err("usage: gate <measured> <baseline> [--slack F]".to_string()),
+            };
+            match (paths, slack) {
+                ([measured, baseline], Ok(slack)) => load(measured)
+                    .and_then(|m| load(baseline).map(|b| (m, b)))
+                    .and_then(|(m, b)| {
+                        validate(&m)?;
+                        validate(&b)?;
+                        gate(&m, &b, slack)
+                    })
+                    .map(|()| println!("gate ok (slack {slack})")),
+                (_, Err(e)) => Err(e),
+                _ => Err("usage: gate <measured> <baseline> [--slack F]".to_string()),
+            }
+        }
+        _ => Err("usage: bench_functional <run|validate|gate> ...".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_functional: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The functional-engine benchmark behind `BENCH_functional.json`.
+//!
+//! Measures, per bundled model (Tiny scale): the reference
+//! single-threaded forward pass, the hybrid functional engine
+//! ([`edgenn_core::runtime::functional::Executor`]) under the tuned
+//! EdgeNN plan, and the batched steady state, together with the engine's
+//! own overhead counters (pool tasks, queue wait, scratch-arena bytes).
+//!
+//! The JSON this emits is committed as a performance trajectory and
+//! gated in CI: absolute times are machine-specific, so the gate
+//! compares the **hybrid/reference ratio** (engine overhead relative to
+//! raw kernel cost on the same machine) against the committed baseline,
+//! with a configurable slack.
+
+use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::runtime::functional::Executor;
+use edgenn_core::runtime::Runtime;
+use edgenn_core::tuner::Tuner;
+use edgenn_nn::models::{build, ModelKind, ModelScale};
+use edgenn_sim::platforms::jetson_agx_xavier;
+use edgenn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Schema identifier written into (and required from) the JSON file.
+pub const SCHEMA: &str = "edgenn-bench-functional/v1";
+
+/// Engine-overhead counters mirrored from the last measured run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Tasks completed by pool workers.
+    pub pool_tasks: u64,
+    /// Tasks reclaimed and run inline by the joining thread.
+    pub inline_tasks: u64,
+    /// Nanoseconds tasks spent queued before starting.
+    pub queue_wait_ns: u64,
+    /// Scratch bytes that needed fresh heap allocation (steady state: 0).
+    pub arena_fresh_bytes: u64,
+    /// Scratch bytes served from the warm arena without allocating.
+    pub arena_reused_bytes: u64,
+}
+
+/// One model's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRow {
+    /// Model name (`fcnn`, `lenet5`, ...).
+    pub model: String,
+    /// Best-of-N ns/iter of the reference single-threaded `graph.forward`.
+    pub reference_ns: f64,
+    /// Best-of-N ns/iter of the hybrid functional engine (warm session).
+    pub hybrid_ns: f64,
+    /// Best-of-N ns/inference inside one `batch_execute` call.
+    pub batch_ns: f64,
+    /// `reference_ns / hybrid_ns` (> 1 means the engine beats reference).
+    pub speedup: f64,
+    /// Engine counters of the final steady-state run.
+    pub engine: EngineCounters,
+}
+
+/// The whole benchmark file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Must equal [`SCHEMA`].
+    pub schema: String,
+    /// Timed iterations per measurement.
+    pub iters: u32,
+    /// Per-model rows, one per [`ModelKind`].
+    pub models: Vec<ModelRow>,
+}
+
+/// Best (minimum) per-iteration time. The minimum is the standard
+/// noise-robust estimator on shared machines: scheduler preemption and
+/// background load only ever add time, so the fastest observed
+/// iteration is the closest to the code's true cost — and the ratio of
+/// two minima is stable enough to gate on where means are not.
+fn best_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9
+}
+
+/// Runs the full measurement. `iters` trades precision for wall time
+/// (CI smoke mode passes a small count).
+///
+/// # Panics
+/// Panics when a bundled model fails to plan or execute — that is a bug,
+/// not a measurement outcome.
+#[must_use]
+pub fn measure(iters: u32) -> BenchReport {
+    let platform = jetson_agx_xavier();
+    let runtime = Runtime::new(&platform);
+    let mut models = Vec::new();
+    for kind in ModelKind::ALL {
+        let graph = build(kind, ModelScale::Tiny);
+        let tuner = Tuner::new(&graph, &runtime).expect("tuner");
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .expect("plan");
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+
+        let reference_ns = best_ns(iters, || graph.forward(&input).expect("reference"));
+
+        let executor = Executor::new(&graph).expect("executor");
+        let hybrid_ns = best_ns(iters, || executor.execute(&plan, &input).expect("hybrid"));
+
+        // Batched steady state: one pool spin-up for the whole batch.
+        let batch: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 20 + i))
+            .collect();
+        let batch_ns = best_ns(iters.div_ceil(4), || {
+            executor.batch_execute(&plan, &batch).expect("batch")
+        }) / batch.len() as f64;
+
+        // A final warm run for the steady-state engine counters.
+        let outcome = executor.execute(&plan, &input).expect("stats run");
+        let e = outcome.engine;
+        models.push(ModelRow {
+            model: kind.name().to_string(),
+            reference_ns,
+            hybrid_ns,
+            batch_ns,
+            speedup: reference_ns / hybrid_ns,
+            engine: EngineCounters {
+                pool_tasks: e.pool_tasks,
+                inline_tasks: e.inline_tasks,
+                queue_wait_ns: e.queue_wait_ns,
+                arena_fresh_bytes: e.arena_fresh_bytes,
+                arena_reused_bytes: e.arena_reused_bytes,
+            },
+        });
+    }
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        iters,
+        models,
+    }
+}
+
+/// Validates a parsed report against the schema expectations.
+///
+/// # Errors
+/// Returns a human-readable description of the first violation.
+pub fn validate(report: &BenchReport) -> Result<(), String> {
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "schema mismatch: expected {SCHEMA:?}, got {:?}",
+            report.schema
+        ));
+    }
+    if report.iters == 0 {
+        return Err("iters must be positive".to_string());
+    }
+    if report.models.is_empty() {
+        return Err("no model rows".to_string());
+    }
+    for row in &report.models {
+        if row.model.is_empty() {
+            return Err("empty model name".to_string());
+        }
+        for (field, value) in [
+            ("reference_ns", row.reference_ns),
+            ("hybrid_ns", row.hybrid_ns),
+            ("batch_ns", row.batch_ns),
+            ("speedup", row.speedup),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{}: {field} must be finite and > 0", row.model));
+            }
+        }
+        let recomputed = row.reference_ns / row.hybrid_ns;
+        if (row.speedup - recomputed).abs() > 1e-6 * recomputed.abs() {
+            return Err(format!(
+                "{}: speedup {} inconsistent with reference/hybrid = {recomputed}",
+                row.model, row.speedup
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Models whose baseline reference pass is faster than this are exempt
+/// from the gate. Below a few tens of microseconds the minimum-of-N
+/// estimator still carries scheduler-jitter noise comparable to the
+/// measurement itself (a single preempted cache line moves a 2 µs model
+/// by double-digit percents), so ratios on such models flap under CI
+/// load. The larger models are the meaningful regression detectors.
+pub const GATE_NOISE_FLOOR_NS: f64 = 20_000.0;
+
+/// Gates `measured` against `baseline`: for every model present in both,
+/// the hybrid/reference ratio (machine-independent engine overhead) must
+/// not exceed the baseline's ratio by more than `slack` (0.25 = 25%).
+/// Models whose baseline reference time sits under
+/// [`GATE_NOISE_FLOOR_NS`] are skipped as too noise-dominated to gate.
+///
+/// # Errors
+/// Returns a description of every regressed model.
+pub fn gate(measured: &BenchReport, baseline: &BenchReport, slack: f64) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for new in &measured.models {
+        let Some(old) = baseline.models.iter().find(|m| m.model == new.model) else {
+            continue; // model added since the baseline: nothing to gate
+        };
+        if old.reference_ns < GATE_NOISE_FLOOR_NS {
+            continue; // sub-floor model: timer jitter dwarfs the signal
+        }
+        let new_ratio = new.hybrid_ns / new.reference_ns;
+        let old_ratio = old.hybrid_ns / old.reference_ns;
+        if new_ratio > old_ratio * (1.0 + slack) {
+            failures.push(format!(
+                "{}: hybrid/reference ratio {new_ratio:.3} exceeds baseline {old_ratio:.3} \
+                 by more than {:.0}%",
+                new.model,
+                slack * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(model: &str, reference_ns: f64, hybrid_ns: f64) -> ModelRow {
+        ModelRow {
+            model: model.to_string(),
+            reference_ns,
+            hybrid_ns,
+            batch_ns: hybrid_ns,
+            speedup: reference_ns / hybrid_ns,
+            engine: EngineCounters::default(),
+        }
+    }
+
+    fn report(rows: Vec<ModelRow>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            iters: 3,
+            models: rows,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_a_consistent_report() {
+        let r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        assert_eq!(validate(&r), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_schema_and_value_violations() {
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.schema = "other/v9".to_string();
+        assert!(validate(&r).unwrap_err().contains("schema"));
+
+        let r = report(vec![]);
+        assert!(validate(&r).unwrap_err().contains("no model rows"));
+
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.models[0].hybrid_ns = -1.0;
+        assert!(validate(&r).is_err());
+
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.models[0].speedup = 9.0;
+        assert!(validate(&r).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn gate_passes_within_slack_and_fails_beyond_it() {
+        let baseline = report(vec![row("resnet18", 50_000.0, 100_000.0)]); // ratio 2.0
+        let ok = report(vec![row("resnet18", 50_000.0, 120_000.0)]); // ratio 2.4 < 2.5
+        assert_eq!(gate(&ok, &baseline, 0.25), Ok(()));
+        let bad = report(vec![row("resnet18", 50_000.0, 130_000.0)]); // ratio 2.6 > 2.5
+        assert!(gate(&bad, &baseline, 0.25)
+            .unwrap_err()
+            .contains("resnet18"));
+    }
+
+    #[test]
+    fn gate_skips_models_under_the_noise_floor() {
+        // Baseline reference 2 µs < 20 µs floor: even a 10x blow-up in
+        // the measured ratio must not fail the gate.
+        let baseline = report(vec![row("fcnn", 2000.0, 2000.0)]);
+        let measured = report(vec![row("fcnn", 2000.0, 20_000.0)]);
+        assert_eq!(gate(&measured, &baseline, 0.25), Ok(()));
+    }
+
+    #[test]
+    fn gate_ignores_models_missing_from_the_baseline() {
+        let baseline = report(vec![row("fcnn", 1000.0, 1000.0)]);
+        let measured = report(vec![row("brand_new", 1000.0, 9000.0)]);
+        assert_eq!(gate(&measured, &baseline, 0.25), Ok(()));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(validate(&back), Ok(()));
+        assert_eq!(back.models[0].model, "fcnn");
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod calibrate;
 pub mod experiments;
+pub mod functional_bench;
 pub mod report;
 pub mod timing;
 

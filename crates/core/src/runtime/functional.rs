@@ -6,259 +6,548 @@
 //! numerically identical (up to fp32 associativity) to the reference
 //! single-threaded forward pass. Intra-kernel splits really compute the
 //! two output ranges on different threads ("CPU" worker vs "GPU" worker)
-//! and concatenate; inter-kernel branches really run concurrently.
+//! and merge; inter-kernel branches really run concurrently.
+//!
+//! ## Execution core
+//!
+//! The engine is built to add as little overhead as possible on top of
+//! the kernels themselves:
+//!
+//! - **One worker pool per session** ([`pool::Pool`]): workers are
+//!   spawned once when an [`Executor`] session starts and park on a
+//!   condvar; every split layer and fork-join branch is a queue push,
+//!   not a `thread::scope` spawn. [`Executor::batch_execute`] shares the
+//!   pool (and the layers' warm scratch arenas) across a whole batch.
+//! - **Zero-copy dataflow**: node outputs live in [`OnceLock`] slots
+//!   that producers fill by move and consumers read by reference; the
+//!   network input is borrowed, never cloned; branch workers read the
+//!   shared slots directly instead of cloning a snapshot; split merges
+//!   append/add in place instead of concat-then-reshape copies.
+//! - **Engine observability**: every run reports [`EngineStats`] and,
+//!   when an observer is attached, emits `SinkEvent::EngineCounter`
+//!   events so traces show pool and arena behaviour next to the kernels.
 
-use edgenn_nn::graph::{Graph, NodeId, Segment};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use edgenn_nn::graph::{Graph, NodeId, Segment, Structure};
 use edgenn_nn::layer::LayerClass;
-use edgenn_tensor::Tensor;
+use edgenn_obs::{EventSink, SinkEvent};
+use edgenn_tensor::{scratch_stats, Tensor};
 
 use crate::plan::{Assignment, ExecutionPlan};
+use crate::runtime::pool::{Pool, ShutdownGuard};
 use crate::{CoreError, Result};
+
+/// What a pooled task yields: `Some` for split partials, `None` for
+/// branch bodies (their outputs go straight into the slots).
+type TaskResult = Result<Option<Tensor>>;
+
+/// Minimum layer size (flops) for a split to co-run through the pool.
+/// Waking a parked worker costs a condvar round trip (~10us on a busy
+/// core); below this the whole layer finishes faster than the handoff,
+/// so both partials run on the driver thread instead. The split/merge
+/// semantics are identical either way.
+const CORUN_MIN_FLOPS: u64 = 1 << 20;
+
+/// Engine-overhead counters for one functional run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tasks completed by pool workers.
+    pub pool_tasks: u64,
+    /// Tasks the waiter reclaimed and ran inline (help-first joins).
+    pub inline_tasks: u64,
+    /// Nanoseconds tasks spent queued before starting.
+    pub queue_wait_ns: u64,
+    /// Scratch-arena bytes that required fresh heap allocation.
+    pub arena_fresh_bytes: u64,
+    /// Scratch-arena bytes served without allocating (steady state).
+    pub arena_reused_bytes: u64,
+}
 
 /// Statistics of one functional run.
 #[derive(Debug, Clone)]
 pub struct FunctionalOutcome {
     /// The network output.
     pub output: Tensor,
-    /// Number of layers executed as genuine two-thread splits.
+    /// Number of layers executed as partition+merge splits. Splits above
+    /// [`CORUN_MIN_FLOPS`] co-run on two threads; smaller ones compute
+    /// both shares on the driver (the handoff would cost more than the
+    /// layer).
     pub corun_layers: usize,
     /// Number of layers executed wholly by the CPU-role worker.
     pub cpu_layers: usize,
     /// Number of fork-join regions whose branches ran on separate threads.
     pub parallel_regions: usize,
+    /// Engine-overhead accounting (pool + scratch arena).
+    pub engine: EngineStats,
+}
+
+/// A reusable functional execution session for one graph.
+///
+/// Construction resolves the graph's fork-join structure once;
+/// [`Executor::execute`] then runs any plan/input against it, and
+/// [`Executor::batch_execute`] amortizes worker-pool startup and
+/// scratch-arena warm-up across a batch of inputs.
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    structure: Structure,
+    observer: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("graph", &self.graph.name())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl<'g> Executor<'g> {
+    /// Prepares an executor for `graph` (resolves its segment structure).
+    ///
+    /// # Errors
+    /// Fails when the graph has no valid fork-join decomposition.
+    pub fn new(graph: &'g Graph) -> Result<Self> {
+        Ok(Self {
+            graph,
+            structure: graph.structure()?,
+            observer: None,
+        })
+    }
+
+    /// Mirrors engine counters of every run into `observer`.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn EventSink>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes `plan` functionally on one `input`.
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatch, shape errors, or if a worker thread
+    /// panics (surfaced as [`CoreError::Internal`]).
+    pub fn execute(&self, plan: &ExecutionPlan, input: &Tensor) -> Result<FunctionalOutcome> {
+        let mut outcomes = self.run_session(plan, &[input])?;
+        outcomes.pop().ok_or_else(|| CoreError::Internal {
+            reason: "session returned no outcome".to_string(),
+        })
+    }
+
+    /// Executes `plan` on a batch of inputs sharing one worker pool and
+    /// warm scratch arenas. Outcomes are returned in input order; the
+    /// batch fails as a whole on the first error.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Executor::execute`]; additionally fails
+    /// on an empty batch.
+    pub fn batch_execute(
+        &self,
+        plan: &ExecutionPlan,
+        inputs: &[Tensor],
+    ) -> Result<Vec<FunctionalOutcome>> {
+        if inputs.is_empty() {
+            return Err(CoreError::Internal {
+                reason: "empty batch".to_string(),
+            });
+        }
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        self.run_session(plan, &refs)
+    }
+
+    /// Runs one pool session over `inputs` sequentially.
+    fn run_session(
+        &self,
+        plan: &ExecutionPlan,
+        inputs: &[&Tensor],
+    ) -> Result<Vec<FunctionalOutcome>> {
+        plan.validate(self.graph)?;
+        for input in inputs {
+            if input.shape() != self.graph.input_shape() {
+                return Err(CoreError::PlanMismatch {
+                    reason: format!(
+                        "input shape {} does not match graph input {}",
+                        input.shape(),
+                        self.graph.input_shape()
+                    ),
+                });
+            }
+        }
+        let len = self.graph.len();
+        let mut all_slots: Vec<Vec<OnceLock<Tensor>>> = inputs
+            .iter()
+            .map(|_| (0..len).map(|_| OnceLock::new()).collect())
+            .collect();
+        let corun = AtomicUsize::new(0);
+        let cpu = AtomicUsize::new(0);
+        let pool: Pool<'_, TaskResult> = Pool::new();
+
+        let runs: Result<Vec<RunCounters>> = std::thread::scope(|scope| {
+            for _ in 0..Pool::<TaskResult>::default_workers() {
+                scope.spawn(|| pool.run_worker());
+            }
+            let _guard = ShutdownGuard(&pool);
+            inputs
+                .iter()
+                .zip(all_slots.iter())
+                .map(|(input, slots)| {
+                    run_one(
+                        Ctx {
+                            graph: self.graph,
+                            structure: &self.structure,
+                            plan,
+                            input,
+                            slots,
+                            corun: &corun,
+                            cpu: &cpu,
+                        },
+                        &pool,
+                    )
+                })
+                .collect()
+        });
+        // The queue may still hold completed task cells borrowing `'env`
+        // data; drop it before mutably borrowing the slots for extraction.
+        drop(pool);
+        let runs = runs?;
+
+        let output_idx = self.graph.output_id().index();
+        runs.into_iter()
+            .zip(all_slots.iter_mut())
+            .map(|(counters, slots)| {
+                let output = slots[output_idx]
+                    .take()
+                    .ok_or_else(|| CoreError::Internal {
+                        reason: "output never computed".to_string(),
+                    })?;
+                let outcome = FunctionalOutcome {
+                    output,
+                    corun_layers: counters.corun,
+                    cpu_layers: counters.cpu,
+                    parallel_regions: counters.parallel_regions,
+                    engine: counters.engine,
+                };
+                self.emit_engine_counters(&outcome.engine);
+                Ok(outcome)
+            })
+            .collect()
+    }
+
+    fn emit_engine_counters(&self, engine: &EngineStats) {
+        let Some(observer) = &self.observer else {
+            return;
+        };
+        for (name, value) in [
+            ("pool_tasks", engine.pool_tasks as f64),
+            ("pool_inline_tasks", engine.inline_tasks as f64),
+            ("pool_queue_wait_ns", engine.queue_wait_ns as f64),
+            ("arena_fresh_bytes", engine.arena_fresh_bytes as f64),
+            ("arena_reused_bytes", engine.arena_reused_bytes as f64),
+        ] {
+            observer.emit(SinkEvent::EngineCounter { name, value });
+        }
+    }
 }
 
 /// Executes `plan` functionally on `input`.
+///
+/// One-shot convenience over [`Executor`]: builds a session, runs the
+/// single input, and tears the pool down. Callers running many inputs
+/// should hold an [`Executor`] and use [`Executor::batch_execute`].
 ///
 /// # Errors
 /// Fails on plan/graph mismatch, shape errors, or if a worker thread
 /// panics (surfaced as [`CoreError::Internal`]).
 pub fn execute(graph: &Graph, plan: &ExecutionPlan, input: &Tensor) -> Result<FunctionalOutcome> {
-    plan.validate(graph)?;
-    if input.shape() != graph.input_shape() {
-        return Err(CoreError::PlanMismatch {
-            reason: format!(
-                "input shape {} does not match graph input {}",
-                input.shape(),
-                graph.input_shape()
-            ),
-        });
-    }
-    let structure = graph.structure()?;
-    let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
-    outputs[0] = Some(input.clone());
-    let mut outcome = FunctionalOutcome {
-        output: Tensor::zeros(&[1]),
-        corun_layers: 0,
-        cpu_layers: 0,
-        parallel_regions: 0,
-    };
+    Executor::new(graph)?.execute(plan, input)
+}
 
-    for segment in structure.segments() {
+/// Per-run counter deltas collected by [`run_one`].
+struct RunCounters {
+    corun: usize,
+    cpu: usize,
+    parallel_regions: usize,
+    engine: EngineStats,
+}
+
+/// Everything a node execution needs, shared by reference with pooled
+/// tasks. `Copy` so closures capture it wholesale. Deliberately does
+/// *not* carry the pool: a queued job borrowing the pool it sits in
+/// would make the session self-referential, so the pool travels as an
+/// explicit driver-side parameter instead.
+struct Ctx<'env> {
+    graph: &'env Graph,
+    structure: &'env Structure,
+    plan: &'env ExecutionPlan,
+    input: &'env Tensor,
+    slots: &'env [OnceLock<Tensor>],
+    corun: &'env AtomicUsize,
+    cpu: &'env AtomicUsize,
+}
+
+impl Clone for Ctx<'_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl Copy for Ctx<'_> {}
+
+/// Drives one input through every segment on the calling thread,
+/// delegating branch bodies and split partials to the pool.
+fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCounters> {
+    let pool_before = pool.stats();
+    let scratch_before = scratch_stats();
+    let corun_before = ctx.corun.load(Ordering::Relaxed);
+    let cpu_before = ctx.cpu.load(Ordering::Relaxed);
+    let mut parallel_regions = 0usize;
+
+    for segment in ctx.structure.segments() {
         match segment {
             Segment::Chain(nodes) => {
                 for &id in nodes {
-                    exec_node(graph, plan, id, &mut outputs, &mut outcome)?;
+                    exec_node(ctx, id, Some(pool))?;
                 }
             }
             Segment::Parallel { branches, .. } => {
-                exec_branches(graph, plan, branches, &mut outputs, &mut outcome)?;
+                let non_empty: Vec<&[NodeId]> = branches
+                    .iter()
+                    .filter(|b| !b.is_empty())
+                    .map(Vec::as_slice)
+                    .collect();
+                if non_empty.len() < 2 {
+                    // Zero or one real branch: nothing to parallelize.
+                    for &id in non_empty.into_iter().flatten() {
+                        exec_node(ctx, id, Some(pool))?;
+                    }
+                } else {
+                    parallel_regions += 1;
+                    exec_branches(ctx, pool, &non_empty)?;
+                }
             }
         }
     }
 
-    outcome.output =
-        outputs[graph.output_id().index()]
-            .take()
-            .ok_or_else(|| CoreError::Internal {
-                reason: "output never computed".to_string(),
-            })?;
-    Ok(outcome)
+    let pool_delta = pool_before.delta(&pool.stats());
+    let scratch_delta = scratch_before.delta(&scratch_stats());
+    Ok(RunCounters {
+        corun: ctx.corun.load(Ordering::Relaxed) - corun_before,
+        cpu: ctx.cpu.load(Ordering::Relaxed) - cpu_before,
+        parallel_regions,
+        engine: EngineStats {
+            pool_tasks: pool_delta.worker_tasks,
+            inline_tasks: pool_delta.inline_tasks,
+            queue_wait_ns: pool_delta.queue_wait_ns,
+            arena_fresh_bytes: scratch_delta.fresh_bytes,
+            arena_reused_bytes: scratch_delta.reused_bytes,
+        },
+    })
 }
 
-/// Per-node branch result: `(id, output, was_corun, cpu_layer_count)`.
-type BranchNodeResult = (NodeId, Tensor, bool, usize);
-
-/// Executes the branches of one fork-join region on scoped threads.
-fn exec_branches(
-    graph: &Graph,
-    plan: &ExecutionPlan,
-    branches: &[Vec<NodeId>],
-    outputs: &mut [Option<Tensor>],
-    outcome: &mut FunctionalOutcome,
+/// Runs the branches of one fork-join region: all but the last go to the
+/// pool, the last runs on this thread (it would idle waiting otherwise).
+/// Branches write disjoint slot ranges, so they share `ctx.slots`
+/// directly — no snapshot copy of previous outputs. Pooled branch
+/// bodies get no pool handle (a job may not borrow its own queue), so
+/// any splits inside them compute both partials on the worker thread;
+/// the inline branch keeps the pool and co-runs its splits.
+fn exec_branches<'env>(
+    ctx: Ctx<'env>,
+    pool: &Pool<'env, TaskResult>,
+    branches: &[&'env [NodeId]],
 ) -> Result<()> {
-    let non_empty: Vec<&Vec<NodeId>> = branches.iter().filter(|b| !b.is_empty()).collect();
-    if non_empty.len() < 2 {
-        // Zero or one real branch: nothing to parallelize.
-        for &id in non_empty.into_iter().flatten() {
-            exec_node(graph, plan, id, outputs, outcome)?;
+    let (last, rest) = branches.split_last().expect("caller checked len >= 2");
+    let handles: Vec<_> = rest
+        .iter()
+        .map(|&branch| {
+            pool.submit(Box::new(move || {
+                run_branch(ctx, branch, None).map(|()| None)
+            }))
+        })
+        .collect();
+    let mut first_err = run_branch(ctx, last, Some(pool)).err();
+    for handle in handles {
+        match handle.join(pool) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or(Some(CoreError::Internal {
+                    reason: "branch worker panicked".to_string(),
+                }));
+            }
         }
-        return Ok(());
     }
-    outcome.parallel_regions += 1;
+    first_err.map_or(Ok(()), Err)
+}
 
-    // Each branch only reads already-computed outputs (the fork node and
-    // earlier); branch interiors are disjoint, so each worker builds its
-    // own local results and we merge afterwards.
-    let snapshot: Vec<Option<Tensor>> = outputs.to_vec();
-    let results: Vec<Result<Vec<BranchNodeResult>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = non_empty
-            .iter()
-            .map(|branch| {
-                let snapshot = &snapshot;
-                scope.spawn(move || run_branch(graph, plan, branch, snapshot))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    Err(CoreError::Internal {
-                        reason: "branch worker panicked".to_string(),
-                    })
-                })
-            })
-            .collect()
-    });
-
-    for branch_result in results {
-        for (id, tensor, corun, cpu) in branch_result? {
-            outputs[id.index()] = Some(tensor);
-            outcome.corun_layers += corun as usize;
-            outcome.cpu_layers += cpu;
-        }
+/// Executes one branch's nodes in order (on whichever thread runs it).
+fn run_branch<'env>(
+    ctx: Ctx<'env>,
+    branch: &[NodeId],
+    pool: Option<&Pool<'env, TaskResult>>,
+) -> Result<()> {
+    for &id in branch {
+        exec_node(ctx, id, pool)?;
     }
     Ok(())
 }
 
-/// Runs one branch against an immutable snapshot, returning its node
-/// outputs and per-node counters `(id, output, was_corun, was_cpu)`.
-fn run_branch(
-    graph: &Graph,
-    plan: &ExecutionPlan,
-    branch: &[NodeId],
-    snapshot: &[Option<Tensor>],
-) -> Result<Vec<BranchNodeResult>> {
-    let mut local: Vec<BranchNodeResult> = Vec::with_capacity(branch.len());
-    let lookup = |id: NodeId, local: &[BranchNodeResult]| -> Option<Tensor> {
-        local
-            .iter()
-            .find(|(lid, ..)| *lid == id)
-            .map(|(_, t, ..)| t.clone())
-            .or_else(|| snapshot[id.index()].clone())
-    };
-    for &id in branch {
-        let node = graph.node(id)?;
-        let inputs: Vec<Tensor> = node
-            .inputs()
-            .iter()
-            .map(|i| {
-                lookup(*i, &local).ok_or_else(|| CoreError::Internal {
-                    reason: format!("branch input {i} unavailable"),
-                })
-            })
-            .collect::<Result<_>>()?;
-        let input_refs: Vec<&Tensor> = inputs.iter().collect();
-        let (tensor, corun, cpu) = forward_assigned(graph, plan, id, &input_refs)?;
-        local.push((id, tensor, corun, cpu));
+/// Resolves a node output: computed slots first, then the borrowed
+/// network input for the seed node.
+fn lookup<'env>(ctx: Ctx<'env>, id: NodeId) -> Result<&'env Tensor> {
+    if let Some(tensor) = ctx.slots[id.index()].get() {
+        return Ok(tensor);
     }
-    Ok(local)
+    if id.index() == 0 {
+        return Ok(ctx.input);
+    }
+    Err(CoreError::Internal {
+        reason: format!("input {id} not computed"),
+    })
 }
 
-/// Executes one node into `outputs`.
-fn exec_node(
-    graph: &Graph,
-    plan: &ExecutionPlan,
+/// Executes one node and moves its output into the slot.
+fn exec_node<'env>(
+    ctx: Ctx<'env>,
     id: NodeId,
-    outputs: &mut [Option<Tensor>],
-    outcome: &mut FunctionalOutcome,
+    pool: Option<&Pool<'env, TaskResult>>,
 ) -> Result<()> {
-    let node = graph.node(id)?;
+    let node = ctx.graph.node(id)?;
     if node.layer().class() == LayerClass::Input {
-        return Ok(()); // already seeded
+        return Ok(()); // resolved by `lookup` as the borrowed input
     }
-    let inputs: Vec<Tensor> = node
+    let inputs: Vec<&Tensor> = node
         .inputs()
         .iter()
-        .map(|i| {
-            outputs[i.index()]
-                .clone()
-                .ok_or_else(|| CoreError::Internal {
-                    reason: format!("input {i} not computed before {id}"),
-                })
-        })
+        .map(|i| lookup(ctx, *i))
         .collect::<Result<_>>()?;
-    let refs: Vec<&Tensor> = inputs.iter().collect();
-    let (tensor, corun, cpu) = forward_assigned(graph, plan, id, &refs)?;
-    outcome.corun_layers += corun as usize;
-    outcome.cpu_layers += cpu;
-    outputs[id.index()] = Some(tensor);
-    Ok(())
+    let (tensor, corun, cpu) = forward_assigned(ctx, id, inputs, pool)?;
+    ctx.corun.fetch_add(usize::from(corun), Ordering::Relaxed);
+    ctx.cpu.fetch_add(cpu, Ordering::Relaxed);
+    ctx.slots[id.index()]
+        .set(tensor)
+        .map_err(|_| CoreError::Internal {
+            reason: format!("node {id} computed twice"),
+        })
 }
 
-/// Computes one node per its assignment; splits run on two scoped threads.
-/// Returns `(output, was_corun, was_cpu as 0/1)`.
-fn forward_assigned(
-    graph: &Graph,
-    plan: &ExecutionPlan,
+/// Computes one node per its assignment; splits co-run as a pool task
+/// (the CPU share) plus inline work (the GPU share) when a pool is
+/// available, and fall back to computing both shares sequentially when
+/// already running inside a pooled branch body. Returns
+/// `(output, was_corun, was_cpu as 0/1)`.
+fn forward_assigned<'env>(
+    ctx: Ctx<'env>,
     id: NodeId,
-    inputs: &[&Tensor],
+    inputs: Vec<&'env Tensor>,
+    pool: Option<&Pool<'env, TaskResult>>,
 ) -> Result<(Tensor, bool, usize)> {
-    let node = graph.node(id)?;
+    let node = ctx.graph.node(id)?;
     let layer = node.layer();
-    match plan.nodes[id.index()].assignment {
-        Assignment::Gpu => Ok((layer.forward(inputs)?, false, 0)),
-        Assignment::Cpu => Ok((layer.forward(inputs)?, false, 1)),
+    match ctx.plan.nodes[id.index()].assignment {
+        Assignment::Gpu => Ok((layer.forward(&inputs)?, false, 0)),
+        Assignment::Cpu => Ok((layer.forward(&inputs)?, false, 1)),
         Assignment::SplitInput { cpu_fraction } => {
             let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
-            let channels = node.layer().input_channels(&shapes)?;
-            if !node.layer().input_split_supported() || channels < 2 {
-                return Ok((layer.forward(inputs)?, false, 0));
+            let channels = layer.input_channels(&shapes)?;
+            if !layer.input_split_supported() || channels < 2 {
+                return Ok((layer.forward(&inputs)?, false, 0));
             }
             let cpu_channels =
                 ((cpu_fraction * channels as f64).round() as usize).clamp(1, channels - 1);
             let gpu_channels = channels - cpu_channels;
+            let pool = pool.filter(|_| {
+                layer
+                    .workload(&shapes)
+                    .is_ok_and(|w| w.flops >= CORUN_MIN_FLOPS)
+            });
             // The GPU takes the first channels (the paper's "first k input
             // channels"), the CPU the remainder; partial sums are added.
-            let (gpu_part, cpu_part) = std::thread::scope(|scope| {
-                let cpu_handle = scope
-                    .spawn(move || layer.forward_partial_inputs(inputs, gpu_channels..channels));
-                let gpu_part = layer.forward_partial_inputs(inputs, 0..gpu_channels);
-                let cpu_part = cpu_handle.join().map_err(|_| CoreError::Internal {
-                    reason: "cpu worker panicked".to_string(),
+            let (gpu_part, cpu_part) = if let Some(pool) = pool {
+                let task_inputs = inputs.clone();
+                let cpu_task = pool.submit(Box::new(move || {
+                    Ok(Some(layer.forward_partial_inputs(
+                        &task_inputs,
+                        gpu_channels..channels,
+                    )?))
+                }));
+                let gpu_part = layer.forward_partial_inputs(&inputs, 0..gpu_channels);
+                (gpu_part, join_partial(cpu_task, pool)?)
+            } else {
+                let cpu_part = layer.forward_partial_inputs(&inputs, gpu_channels..channels)?;
+                (
+                    layer.forward_partial_inputs(&inputs, 0..gpu_channels),
+                    cpu_part,
+                )
+            };
+            let mut merged = gpu_part?;
+            if merged.shape() != cpu_part.shape() {
+                return Err(CoreError::Internal {
+                    reason: format!(
+                        "input-split partials disagree: {} vs {}",
+                        merged.shape(),
+                        cpu_part.shape()
+                    ),
                 });
-                (gpu_part, cpu_part)
-            });
-            let merged = gpu_part?.add(&cpu_part??)?;
+            }
+            // In-place partial-sum merge: no third allocation.
+            for (m, c) in merged.as_mut_slice().iter_mut().zip(cpu_part.as_slice()) {
+                *m += c;
+            }
             Ok((merged, true, 0))
         }
         Assignment::Split { cpu_fraction } => {
             let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
             let units = layer.partition_units(&shapes)?;
-            let cpu_units =
-                ((cpu_fraction * units as f64).round() as usize).clamp(1, units.saturating_sub(1));
             if units < 2 {
-                return Ok((layer.forward(inputs)?, false, 0));
+                return Ok((layer.forward(&inputs)?, false, 0));
             }
+            let cpu_units = ((cpu_fraction * units as f64).round() as usize).clamp(1, units - 1);
             // The paper's convention: the GPU computes the first units,
             // the CPU the remainder (Section IV-D).
             let gpu_units = units - cpu_units;
-            let (gpu_part, cpu_part) = std::thread::scope(|scope| {
-                let cpu_handle =
-                    scope.spawn(move || layer.forward_partial(inputs, gpu_units..units));
-                let gpu_part = layer.forward_partial(inputs, 0..gpu_units);
-                let cpu_part = cpu_handle.join().map_err(|_| CoreError::Internal {
-                    reason: "cpu worker panicked".to_string(),
-                });
-                (gpu_part, cpu_part)
+            let pool = pool.filter(|_| {
+                layer
+                    .workload(&shapes)
+                    .is_ok_and(|w| w.flops >= CORUN_MIN_FLOPS)
             });
-            let (gpu_part, cpu_part) = (gpu_part?, cpu_part??);
-            let merged = Tensor::concat_axis0(&[&gpu_part, &cpu_part])?;
-            // Rank-restore: concat preserves rank but the layer's full
-            // output shape is authoritative.
-            let out = merged.reshape(node.output_shape().dims())?;
+            let (gpu_part, cpu_part) = if let Some(pool) = pool {
+                let task_inputs = inputs.clone();
+                let cpu_task = pool.submit(Box::new(move || {
+                    Ok(Some(layer.forward_partial(&task_inputs, gpu_units..units)?))
+                }));
+                let gpu_part = layer.forward_partial(&inputs, 0..gpu_units);
+                (gpu_part, join_partial(cpu_task, pool)?)
+            } else {
+                let cpu_part = layer.forward_partial(&inputs, gpu_units..units)?;
+                (layer.forward_partial(&inputs, 0..gpu_units), cpu_part)
+            };
+            // Move-merge: extend the GPU buffer with the CPU share and
+            // restamp the layer's authoritative output shape — no
+            // concat-then-reshape round trip.
+            let mut data = gpu_part?.into_vec();
+            data.extend_from_slice(cpu_part.as_slice());
+            let out = Tensor::from_vec(data, node.output_shape().dims())?;
             Ok((out, true, 0))
         }
+    }
+}
+
+/// Joins a split-partial task, mapping pool-level failures to engine
+/// errors.
+fn join_partial<'env>(
+    task: crate::runtime::pool::TaskHandle<'env, TaskResult>,
+    pool: &Pool<'env, TaskResult>,
+) -> Result<Tensor> {
+    match task.join(pool) {
+        Ok(result) => result?.ok_or_else(|| CoreError::Internal {
+            reason: "split task returned no tensor".to_string(),
+        }),
+        Err(_) => Err(CoreError::Internal {
+            reason: "cpu worker panicked".to_string(),
+        }),
     }
 }
 
@@ -269,6 +558,7 @@ mod tests {
     use crate::runtime::Runtime;
     use crate::tuner::Tuner;
     use edgenn_nn::models::{build, ModelKind, ModelScale};
+    use edgenn_obs::Recorder;
     use edgenn_sim::platforms::jetson_agx_xavier;
 
     fn edgenn_plan(graph: &Graph) -> ExecutionPlan {
@@ -297,10 +587,87 @@ mod tests {
     }
 
     #[test]
+    fn batch_execute_matches_reference_for_all_models() {
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let plan = edgenn_plan(&graph);
+            let inputs: Vec<Tensor> = (0..3)
+                .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 40 + i))
+                .collect();
+            let executor = Executor::new(&graph).unwrap();
+            let outcomes = executor.batch_execute(&plan, &inputs).unwrap();
+            assert_eq!(outcomes.len(), inputs.len());
+            for (input, outcome) in inputs.iter().zip(&outcomes) {
+                let reference = graph.forward(input).unwrap();
+                assert!(
+                    outcome.output.approx_eq(&reference, 1e-4),
+                    "{kind}: batch diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_execute_rejects_empty_batch() {
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let executor = Executor::new(&graph).unwrap();
+        assert!(matches!(
+            executor.batch_execute(&plan, &[]),
+            Err(CoreError::Internal { .. })
+        ));
+    }
+
+    #[test]
+    fn executor_sessions_are_reusable() {
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let executor = Executor::new(&graph).unwrap();
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 9);
+        let a = executor.execute(&plan, &input).unwrap();
+        let b = executor.execute(&plan, &input).unwrap();
+        assert!(a.output.approx_eq(&b.output, 0.0), "runs are deterministic");
+        // The second run should hit a warm arena: most scratch bytes
+        // served without allocating.
+        assert!(
+            b.engine.arena_reused_bytes > 0,
+            "second run must reuse scratch: {:?}",
+            b.engine
+        );
+    }
+
+    #[test]
+    fn engine_counters_reach_the_observer() {
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let recorder = Recorder::new();
+        let executor = Executor::new(&graph)
+            .unwrap()
+            .with_observer(Arc::new(recorder.clone()));
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 5);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert!(outcome.parallel_regions > 0, "fire modules should fork");
+        let metrics = recorder.metrics();
+        let tasks = metrics
+            .counter_value("edgenn_engine_pool_tasks_total")
+            .unwrap_or(0.0)
+            + metrics
+                .counter_value("edgenn_engine_pool_inline_tasks_total")
+                .unwrap_or(0.0);
+        assert!(
+            tasks > 0.0,
+            "forked branches must run as pool tasks (worker or inline)"
+        );
+        assert!(metrics
+            .counter_value("edgenn_engine_arena_fresh_bytes_total")
+            .is_some());
+    }
+
+    #[test]
     fn splits_actually_happen_on_fc_heavy_models() {
         // Paper-scale FCNN: its wide fc layers are memory-bound on the
         // GPU, so the tuned plan must co-run them; the functional engine
-        // then really computes the two parts on separate threads.
+        // then really computes the two parts as separate pool tasks.
         let graph = build(ModelKind::Fcnn, ModelScale::Paper);
         let plan = edgenn_plan(&graph);
         assert!(plan.corun_count() > 0, "paper-scale fc layers should split");
@@ -308,6 +675,11 @@ mod tests {
         let reference = graph.forward(&input).unwrap();
         let outcome = execute(&graph, &plan, &input).unwrap();
         assert!(outcome.corun_layers > 0);
+        assert!(
+            outcome.engine.pool_tasks + outcome.engine.inline_tasks > 0,
+            "splits must go through the pool: {:?}",
+            outcome.engine
+        );
         assert!(outcome.output.approx_eq(&reference, 1e-4));
     }
 

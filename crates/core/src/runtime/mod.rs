@@ -3,6 +3,7 @@
 //! [`functional`]).
 
 pub mod functional;
+pub mod pool;
 
 use std::sync::Arc;
 

@@ -1,0 +1,419 @@
+//! Session-scoped worker pool for the functional engine.
+//!
+//! The previous engine spawned fresh OS threads for every split layer and
+//! every fork-join region — thread creation cost dwarfed the kernels it
+//! was parallelizing. This pool is created **once per execute session**:
+//! workers are spawned inside a `std::thread::scope`, park on a condvar,
+//! and every split/branch becomes a queue push instead of a `clone(2)`.
+//!
+//! Design constraints and how they are met:
+//!
+//! - **No `unsafe`** (workspace-wide deny): jobs are `Box<dyn FnOnce() ->
+//!   T + Send + 'env>` where `'env` is the scope environment lifetime, so
+//!   tasks can borrow the graph, plan, and output slots directly — no
+//!   `'static` laundering, no lifetime transmutes. The pool itself must be
+//!   declared *before* the `thread::scope` that spawns its workers, and
+//!   jobs must not borrow the pool they are queued on (the queue's drop
+//!   glue would make the type self-referential) — resubmission happens
+//!   from the driver side only.
+//! - **Deadlock freedom on any worker count** (including zero): `join`
+//!   uses help-first reclaim — if the task is still queued, the waiter
+//!   takes it back and runs it inline instead of blocking. On a one-core
+//!   edge target this is also the fastest schedule: no context switch.
+//! - **Panic containment**: worker and inline execution both run the job
+//!   under `catch_unwind`; a panicking kernel surfaces as
+//!   [`JoinError::Panicked`], never a hung scope join.
+//!
+//! Shut the pool down (or let [`ShutdownGuard`] do it) before the scope
+//! closes, otherwise the scope's implicit joins wait forever.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A unit of work: owns its captures (which may borrow `'env` data).
+pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// Why [`TaskHandle::join`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    /// The job panicked (on a worker or during inline reclaim).
+    Panicked,
+}
+
+/// Lifecycle of one submitted task.
+enum TaskState<'env, T> {
+    /// Queued; the job is still here and can be reclaimed by the waiter.
+    Pending(Job<'env, T>),
+    /// A worker took the job and is running it.
+    Running,
+    /// Finished; `None` means the job panicked.
+    Done(Option<T>),
+    /// The result was consumed by `join`.
+    Taken,
+}
+
+impl<T> std::fmt::Debug for TaskState<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TaskState::Pending(_) => "Pending",
+            TaskState::Running => "Running",
+            TaskState::Done(_) => "Done",
+            TaskState::Taken => "Taken",
+        })
+    }
+}
+
+/// One task cell, shared between the queue and the waiter's handle.
+struct Task<'env, T> {
+    state: Mutex<TaskState<'env, T>>,
+    done: Condvar,
+    queued_at: Instant,
+}
+
+/// Waiter-side handle returned by [`Pool::submit`].
+pub struct TaskHandle<'env, T>(Arc<Task<'env, T>>);
+
+struct QueueState<'env, T> {
+    queue: VecDeque<Arc<Task<'env, T>>>,
+    shutdown: bool,
+}
+
+/// Monotonic counters describing one pool session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Tasks completed by pool workers.
+    pub worker_tasks: u64,
+    /// Tasks reclaimed and run inline by the waiter (help-first join).
+    pub inline_tasks: u64,
+    /// Total nanoseconds tasks spent queued before starting.
+    pub queue_wait_ns: u64,
+}
+
+impl PoolStats {
+    /// Counter deltas between two snapshots (`later - self`).
+    pub fn delta(&self, later: &PoolStats) -> PoolStats {
+        PoolStats {
+            worker_tasks: later.worker_tasks.saturating_sub(self.worker_tasks),
+            inline_tasks: later.inline_tasks.saturating_sub(self.inline_tasks),
+            queue_wait_ns: later.queue_wait_ns.saturating_sub(self.queue_wait_ns),
+        }
+    }
+}
+
+/// The injector queue plus parked-worker signalling.
+///
+/// Declare it before `std::thread::scope`, spawn workers that call
+/// [`Pool::run_worker`], and push work with [`Pool::submit`].
+pub struct Pool<'env, T> {
+    state: Mutex<QueueState<'env, T>>,
+    work_available: Condvar,
+    worker_tasks: AtomicU64,
+    inline_tasks: AtomicU64,
+    queue_wait_ns: AtomicU64,
+}
+
+impl<T> std::fmt::Debug for Pool<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<T> Default for Pool<'_, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'env, T> Pool<'env, T> {
+    /// An empty pool. Workers are attached afterwards via
+    /// [`Pool::run_worker`] from scoped threads.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            worker_tasks: AtomicU64::new(0),
+            inline_tasks: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// How many workers an execute session should spawn: one per
+    /// available core beyond the driver thread. On a single-core machine
+    /// this is **zero** — help-first inline reclaim in [`TaskHandle::join`]
+    /// keeps every task completing on the driver, and skipping the spawn
+    /// avoids paying thread-creation plus futile context switches on a
+    /// core the driver already saturates.
+    ///
+    /// The core count is probed once and cached:
+    /// `available_parallelism` re-reads cgroup quota files on every call
+    /// on Linux, which costs more than an entire small-model inference.
+    pub fn default_workers() -> usize {
+        static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *WORKERS.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .saturating_sub(1)
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<'env, T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a job and wakes one parked worker.
+    ///
+    /// After shutdown, jobs are accepted but only ever run via inline
+    /// reclaim in [`TaskHandle::join`] (the session is winding down).
+    pub fn submit(&self, job: Job<'env, T>) -> TaskHandle<'env, T> {
+        let task = Arc::new(Task {
+            state: Mutex::new(TaskState::Pending(job)),
+            done: Condvar::new(),
+            queued_at: Instant::now(),
+        });
+        self.lock().queue.push_back(Arc::clone(&task));
+        self.work_available.notify_one();
+        TaskHandle(task)
+    }
+
+    /// Worker loop: pop tasks until shutdown, parking while the queue is
+    /// empty. Call from a scoped thread.
+    pub fn run_worker(&self) {
+        loop {
+            let task = {
+                let mut state = self.lock();
+                loop {
+                    if let Some(task) = state.queue.pop_front() {
+                        break Some(task);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                    state = self
+                        .work_available
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let Some(task) = task else { return };
+            self.run_task(&task, &self.worker_tasks);
+        }
+    }
+
+    /// Runs `task` if it is still pending (a joiner may have reclaimed
+    /// it), recording queue wait and crediting `counter`.
+    fn run_task(&self, task: &Task<'env, T>, counter: &AtomicU64) {
+        let job = {
+            let mut state = task
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match std::mem::replace(&mut *state, TaskState::Running) {
+                TaskState::Pending(job) => job,
+                // Reclaimed (or already finished): restore and bail.
+                other => {
+                    *state = other;
+                    return;
+                }
+            }
+        };
+        let wait_ns = u64::try_from(task.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(job)).ok();
+        let mut state = task
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *state = TaskState::Done(outcome);
+        task.done.notify_all();
+    }
+
+    /// Signals workers to exit once the queue drains. Idempotent. Must
+    /// run before the enclosing `thread::scope` ends (see
+    /// [`ShutdownGuard`]).
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work_available.notify_all();
+    }
+
+    /// Snapshot of the session counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            worker_tasks: self.worker_tasks.load(Ordering::Relaxed),
+            inline_tasks: self.inline_tasks.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<'env, T> TaskHandle<'env, T> {
+    /// Waits for the result. If the task has not started yet, the waiter
+    /// reclaims it and runs it inline (help-first scheduling) — so
+    /// `join` never deadlocks, whatever the worker count.
+    ///
+    /// # Errors
+    /// [`JoinError::Panicked`] when the job panicked.
+    pub fn join(self, pool: &Pool<'env, T>) -> Result<T, JoinError> {
+        // Try to reclaim a still-pending task: drop it from the shared
+        // queue view lazily (workers skip non-pending tasks) and run it
+        // on this thread.
+        let mut state = self
+            .0
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if matches!(*state, TaskState::Pending(_)) {
+            let TaskState::Pending(job) = std::mem::replace(&mut *state, TaskState::Running) else {
+                unreachable!("checked pending above");
+            };
+            drop(state);
+            let wait_ns = u64::try_from(self.0.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            pool.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+            pool.inline_tasks.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(job)).ok();
+            // Mark done so the queue's Arc clone is skipped by workers.
+            *self
+                .0
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = TaskState::Taken;
+            return outcome.ok_or(JoinError::Panicked);
+        }
+        loop {
+            match std::mem::replace(&mut *state, TaskState::Taken) {
+                TaskState::Done(outcome) => return outcome.ok_or(JoinError::Panicked),
+                other @ (TaskState::Running | TaskState::Taken) => {
+                    *state = other;
+                    state = self
+                        .0
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                TaskState::Pending(_) => unreachable!("pending handled before the wait loop"),
+            }
+        }
+    }
+}
+
+/// Shuts the pool down on drop, so an early `?` return or a panic in the
+/// driver never leaves workers parked forever inside a `thread::scope`.
+#[derive(Debug)]
+pub struct ShutdownGuard<'a, 'env, T>(pub &'a Pool<'env, T>);
+
+impl<T> Drop for ShutdownGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` with `workers` pool workers attached.
+    fn with_pool<T: Send, R>(workers: usize, f: impl FnOnce(&Pool<'_, T>) -> R) -> R {
+        let pool = Pool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| pool.run_worker());
+            }
+            let _guard = ShutdownGuard(&pool);
+            f(&pool)
+        })
+    }
+
+    #[test]
+    fn submit_and_join_round_trips() {
+        with_pool(2, |pool| {
+            let handles: Vec<_> = (0..16)
+                .map(|i| pool.submit(Box::new(move || i * 2)))
+                .collect();
+            let total: i32 = handles.into_iter().map(|h| h.join(pool).unwrap()).sum();
+            assert_eq!(total, (0..16).map(|i| i * 2).sum::<i32>());
+        });
+    }
+
+    #[test]
+    fn zero_workers_still_completes_via_inline_reclaim() {
+        with_pool(0, |pool| {
+            let h = pool.submit(Box::new(|| 41 + 1));
+            assert_eq!(h.join(pool), Ok(42));
+            let stats = pool.stats();
+            assert_eq!(stats.inline_tasks, 1);
+            assert_eq!(stats.worker_tasks, 0);
+        });
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_environment() {
+        let data = vec![1.0f32, 2.0, 3.0];
+        let pool: Pool<'_, f32> = Pool::new();
+        let sum = std::thread::scope(|scope| {
+            scope.spawn(|| pool.run_worker());
+            let _guard = ShutdownGuard(&pool);
+            let h = pool.submit(Box::new(|| data.iter().sum()));
+            h.join(&pool).unwrap()
+        });
+        assert_eq!(sum, 6.0);
+        // Spent task cells in the queue keep their borrows until the pool
+        // itself is dropped — the same discipline `run_session` follows.
+        drop(pool);
+        drop(data);
+    }
+
+    #[test]
+    fn panics_surface_as_join_errors_not_hangs() {
+        with_pool(1, |pool| {
+            let h = pool.submit(Box::new(|| -> u32 { panic!("kernel bug") }));
+            assert_eq!(h.join(pool), Err(JoinError::Panicked));
+            // The pool survives a panicking task.
+            let h = pool.submit(Box::new(|| 7));
+            assert_eq!(h.join(pool), Ok(7));
+        });
+    }
+
+    #[test]
+    fn stats_count_queue_wait() {
+        with_pool(1, |pool| {
+            let h = pool.submit(Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }));
+            h.join(pool).unwrap();
+            let stats = pool.stats();
+            assert_eq!(stats.worker_tasks + stats.inline_tasks, 1);
+        });
+    }
+
+    #[test]
+    fn default_workers_leaves_the_driver_a_core() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(Pool::<()>::default_workers(), cores - 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drains() {
+        let pool: Pool<'_, u32> = Pool::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| pool.run_worker());
+            scope.spawn(|| pool.run_worker());
+            let h = pool.submit(Box::new(|| 1));
+            pool.shutdown();
+            pool.shutdown();
+            // Submitted-but-unclaimed work after shutdown still completes
+            // through inline reclaim.
+            let late = pool.submit(Box::new(|| 2));
+            assert_eq!(h.join(&pool).unwrap() + late.join(&pool).unwrap(), 3);
+        });
+    }
+}

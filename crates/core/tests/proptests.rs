@@ -206,3 +206,55 @@ fn jitter_bounds_total_time() {
         assert!(jittered.total_us <= clean.total_us * 1.2 + 1.0);
     }
 }
+
+#[test]
+fn batch_execute_matches_forward_under_random_plans() {
+    // Differential test for the pooled session: random assignment plans
+    // over random models, executed as a batch through one Executor, must
+    // match the single-threaded reference on every input.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0008);
+    for _ in 0..12 {
+        let kind = ModelKind::ALL[rng.gen_range(0..ModelKind::ALL.len())];
+        let graph = build(kind, ModelScale::Tiny);
+        let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+        for id in graph.topo_order() {
+            let node = graph.node(id).unwrap();
+            let shapes: Vec<_> = node
+                .inputs()
+                .iter()
+                .map(|i| graph.node(*i).unwrap().output_shape())
+                .collect();
+            let units = node.layer().partition_units(&shapes).unwrap_or(1);
+            let channels = node.layer().input_channels(&shapes).unwrap_or(1);
+            nodes[id.index()].assignment = match rng.gen_range(0u8..4) {
+                0 => Assignment::Gpu,
+                1 => Assignment::Cpu,
+                2 if node.layer().partitionable() && units >= 2 => Assignment::Split {
+                    cpu_fraction: rng.gen_range(0.05f64..0.95),
+                },
+                3 if node.layer().input_split_supported() && channels >= 2 => {
+                    Assignment::SplitInput {
+                        cpu_fraction: rng.gen_range(0.05f64..0.95),
+                    }
+                }
+                _ => Assignment::Gpu,
+            };
+        }
+        let plan = ExecutionPlan {
+            config: ExecutionConfig::edgenn(),
+            nodes,
+        };
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::random(graph.input_shape().dims(), 1.0, rng.gen_range(0u64..1000)))
+            .collect();
+        let executor = functional::Executor::new(&graph).unwrap();
+        let outcomes = executor.batch_execute(&plan, &inputs).unwrap();
+        for (input, outcome) in inputs.iter().zip(&outcomes) {
+            let reference = graph.forward(input).unwrap();
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: pooled batch diverged from reference"
+            );
+        }
+    }
+}

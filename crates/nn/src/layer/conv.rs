@@ -2,7 +2,7 @@
 
 use std::ops::Range;
 
-use edgenn_tensor::{gemm, im2col, Conv2dGeometry, Shape, Tensor};
+use edgenn_tensor::{gemm_into, im2col_into, with_scratch, Conv2dGeometry, Shape, Tensor};
 
 use crate::layer::params::LazyParam;
 use crate::layer::{check_arity, validate_range, Layer, LayerClass};
@@ -151,15 +151,22 @@ impl Layer for Conv2d {
         check_arity(&self.name, 1, inputs)?;
         validate_range(&self.name, &range, self.out_channels)?;
         let g = self.geometry(inputs[0].shape())?;
-        let cols = im2col(inputs[0], &g)?;
-        let w_part = self.weight.get().slice_axis0(range.start, range.end)?;
-        let out = gemm(&w_part, &cols)?;
         let (oh, ow) = (g.out_h(), g.out_w());
-        let mut out = out.into_vec();
-        let plane = oh * ow;
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let cols = oh * ow;
+        // The weight matrix is pre-flattened row-major, so an output-channel
+        // range is a contiguous sub-slice — no copy, unlike `slice_axis0`.
+        let w = self.weight.get().as_slice();
+        let w_part = &w[range.start * patch..range.end * patch];
+        let mut out = vec![0.0f32; range.len() * cols];
+        with_scratch(patch * cols, |col_buf| {
+            im2col_into(inputs[0], &g, col_buf)?;
+            gemm_into(w_part, col_buf, &mut out, range.len(), patch, cols);
+            Ok::<(), edgenn_tensor::TensorError>(())
+        })?;
         let bias_full = self.bias.get();
         let bias = bias_full.as_slice();
-        for (c, chunk) in out.chunks_mut(plane).enumerate() {
+        for (c, chunk) in out.chunks_mut(cols).enumerate() {
             let b = bias[range.start + c];
             for v in chunk {
                 *v += b;
@@ -182,37 +189,40 @@ impl Layer for Conv2d {
         check_arity(&self.name, 1, inputs)?;
         validate_range(&self.name, &range, self.in_channels)?;
         let g = self.geometry(inputs[0].shape())?;
-        // Slice the input channels and the matching weight columns; the
-        // result is a full-size partial sum over this channel subset.
+        // Slice the input channels and gather the matching weight columns
+        // (strided in the flattened weight matrix, so they do need a
+        // gather — into scratch, not a fresh Vec); the result is a
+        // full-size partial sum over this channel subset.
         let input_part = inputs[0].slice_axis0(range.start, range.end)?;
         let part_geometry = Conv2dGeometry {
             in_channels: range.len(),
             ..g
         };
-        let cols = im2col(&input_part, &part_geometry)?;
-
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let cols = oh * ow;
         let taps_per_channel = self.kernel * self.kernel;
+        let part_taps = range.len() * taps_per_channel;
         let full_taps = self.in_channels * taps_per_channel;
         let w = self.weight.get().as_slice();
-        let mut w_part = Vec::with_capacity(self.out_channels * range.len() * taps_per_channel);
-        for oc in 0..self.out_channels {
-            let row = &w[oc * full_taps..(oc + 1) * full_taps];
-            w_part.extend_from_slice(
-                &row[range.start * taps_per_channel..range.end * taps_per_channel],
-            );
-        }
-        let w_part =
-            Tensor::from_vec(w_part, &[self.out_channels, range.len() * taps_per_channel])?;
-
-        let out = gemm(&w_part, &cols)?;
-        let (oh, ow) = (g.out_h(), g.out_w());
-        let mut out = out.into_vec();
+        let mut out = vec![0.0f32; self.out_channels * cols];
+        with_scratch(part_taps * cols, |col_buf| {
+            im2col_into(&input_part, &part_geometry, col_buf)?;
+            with_scratch(self.out_channels * part_taps, |w_buf| {
+                for (oc, dst) in w_buf.chunks_mut(part_taps).enumerate() {
+                    let row = &w[oc * full_taps..(oc + 1) * full_taps];
+                    dst.copy_from_slice(
+                        &row[range.start * taps_per_channel..range.end * taps_per_channel],
+                    );
+                }
+                gemm_into(w_buf, col_buf, &mut out, self.out_channels, part_taps, cols);
+            });
+            Ok::<(), edgenn_tensor::TensorError>(())
+        })?;
         if range.start == 0 {
             // The bias is contributed exactly once, by the first partial.
-            let plane = oh * ow;
             let bias_full = self.bias.get();
             let bias = bias_full.as_slice();
-            for (c, chunk) in out.chunks_mut(plane).enumerate() {
+            for (c, chunk) in out.chunks_mut(cols).enumerate() {
                 let b = bias[c];
                 for v in chunk {
                     *v += b;

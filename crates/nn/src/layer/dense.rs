@@ -2,7 +2,7 @@
 
 use std::ops::Range;
 
-use edgenn_tensor::{matvec, Shape, Tensor};
+use edgenn_tensor::{dot, Shape, Tensor};
 
 use crate::layer::params::LazyParam;
 use crate::layer::{check_arity, validate_range, Layer, LayerClass};
@@ -108,14 +108,18 @@ impl Layer for Dense {
         check_arity(&self.name, 1, inputs)?;
         self.check_input(inputs[0].shape())?;
         validate_range(&self.name, &range, self.out_features)?;
-        let w_part = self.weight.get().slice_axis0(range.start, range.end)?;
-        let mut y = matvec(&w_part, inputs[0])?;
+        // Weight rows for an output range are contiguous — dot against
+        // them directly instead of copying a sub-matrix out.
+        let w = self.weight.get().as_slice();
         let bias_full = self.bias.get();
         let bias = bias_full.as_slice();
-        for (i, v) in y.as_mut_slice().iter_mut().enumerate() {
-            *v += bias[range.start + i];
-        }
-        Ok(y)
+        let x = inputs[0].as_slice();
+        let k = self.in_features;
+        let data: Vec<f32> = range
+            .clone()
+            .map(|o| dot(&w[o * k..(o + 1) * k], x) + bias[o])
+            .collect();
+        Ok(Tensor::from_vec(data, &[range.len()])?)
     }
 
     fn input_split_supported(&self) -> bool {
@@ -139,11 +143,11 @@ impl Layer for Dense {
         let data: Vec<f32> = (0..self.out_features)
             .map(|o| {
                 let row = &w[o * self.in_features + range.start..o * self.in_features + range.end];
-                let dot: f32 = row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+                let partial = dot(row, x);
                 if range.start == 0 {
-                    dot + bias[o]
+                    partial + bias[o]
                 } else {
-                    dot
+                    partial
                 }
             })
             .collect();

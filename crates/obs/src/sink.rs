@@ -58,6 +58,19 @@ pub enum SinkEvent {
         /// End-to-end latency of the request (us).
         latency_us: f64,
     },
+    /// One engine-level counter from the functional execution core:
+    /// worker-pool task accounting and scratch-arena allocation behaviour.
+    /// Aggregated into `edgenn_engine_<name>_total` counters so traces
+    /// and `explain` output show how much overhead the engine itself
+    /// added to a run.
+    EngineCounter {
+        /// Counter name ("pool_tasks", "pool_inline_tasks",
+        /// "pool_queue_wait_ns", "arena_fresh_bytes",
+        /// "arena_reused_bytes").
+        name: &'static str,
+        /// Amount to add to the running total.
+        value: f64,
+    },
     /// One static-analysis finding from the `edgenn-check` verifier,
     /// mirrored into the session so recorded runs carry the checker's
     /// verdict next to the trace it judged.
@@ -257,6 +270,10 @@ impl Recorder {
                 self.metrics
                     .observe("edgenn_request_latency_us", *latency_us);
             }
+            SinkEvent::EngineCounter { name, value } => {
+                self.metrics
+                    .inc_counter(&format!("edgenn_engine_{name}_total"), *value);
+            }
             SinkEvent::Diagnostic { severity, .. } => {
                 self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);
                 self.metrics
@@ -357,6 +374,29 @@ mod tests {
         assert_eq!(
             rec.metrics().counter_value("edgenn_plan_events_total"),
             Some(5.0)
+        );
+    }
+
+    #[test]
+    fn engine_counters_accumulate() {
+        let rec = Recorder::new();
+        rec.emit(SinkEvent::EngineCounter {
+            name: "pool_tasks",
+            value: 3.0,
+        });
+        rec.emit(SinkEvent::EngineCounter {
+            name: "pool_tasks",
+            value: 2.0,
+        });
+        rec.emit(SinkEvent::EngineCounter {
+            name: "arena_reused_bytes",
+            value: 4096.0,
+        });
+        let m = rec.metrics();
+        assert_eq!(m.counter_value("edgenn_engine_pool_tasks_total"), Some(5.0));
+        assert_eq!(
+            m.counter_value("edgenn_engine_arena_reused_bytes_total"),
+            Some(4096.0)
         );
     }
 

@@ -1,12 +1,29 @@
 //! Matrix multiplication kernels.
 //!
 //! The convolutional layers in `edgenn-nn` lower to GEMM via im2col, so
-//! this is the hot loop of the functional execution path. We use the
-//! classic `i-k-j` loop order: the innermost loop walks both the output row
-//! and the right-hand matrix row contiguously, which lets LLVM
-//! auto-vectorize without any `unsafe`.
+//! this is the hot loop of the functional execution path. The fast path
+//! is a cache-blocked kernel in the BLIS style: the right-hand matrix is
+//! packed into panels of `NR` contiguous columns per `KC`-deep slab of
+//! the reduction dimension, and an `MR x NR` register-tiled microkernel
+//! accumulates into local arrays that LLVM keeps in vector registers.
+//! Every loop is over fixed-size safe slices, so the whole kernel
+//! auto-vectorizes without `unsafe`.
+//!
+//! [`naive_gemm`] keeps the original textbook triple loop as the
+//! differential-test oracle: every optimized path must match it within
+//! fp32 re-association tolerance (see `tests/proptests.rs`).
 
+use crate::scratch::with_scratch;
 use crate::{Result, Tensor, TensorError};
+
+/// Rows of the register microtile (output rows accumulated at once).
+const MR: usize = 4;
+/// Columns of the register microtile (one panel width; two f32x8 lanes).
+const NR: usize = 16;
+/// Reduction-dimension block: one packed slab is `KC x NR` = 16 KiB.
+const KC: usize = 256;
+/// Output-row block: an `MC x KC` slab of A stays resident in L2.
+const MC: usize = 64;
 
 /// Multiplies two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
 ///
@@ -39,21 +56,93 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// Raw GEMM on slices; `out` must hold `m * n` zero-initialized elements.
+/// Reference triple-loop GEMM, kept as the differential-test oracle for
+/// the blocked kernel. `(m, k) x (k, n) -> (m, n)`.
 ///
-/// Exposed so that layer kernels can partition the output rows across
-/// worker threads without re-wrapping tensors.
-pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// # Errors
+/// Same shape requirements as [`gemm`].
+pub fn naive_gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.shape().rank() != 2 {
+                a.shape().rank()
+            } else {
+                b.shape().rank()
+            },
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += av[i * k + p] * bv[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw blocked GEMM on slices: accumulates `a * b` into `out`, which must
+/// hold `m * n` elements (zero-initialized for a plain product).
+///
+/// Exposed so that layer kernels can run the hot loop directly on weight
+/// sub-slices and scratch-arena buffers without re-wrapping tensors.
+pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Tiny problems (mat-vec-ish shapes, unit tests) are faster without
+    // the packing round trip.
+    if m * n * k < 8 * 1024 {
+        gemm_small(a, b, out, m, k, n);
+        return;
+    }
+    let panels = n.div_ceil(NR);
+    with_scratch(panels * NR * KC.min(k), |packed| {
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            pack_b_panels(b, packed, kb, kc, n);
+            for mb in (0..m).step_by(MC) {
+                let mc = MC.min(m - mb);
+                for (panel, chunk) in packed.chunks(NR * kc).enumerate().take(panels) {
+                    let j0 = panel * NR;
+                    let nr = NR.min(n - j0);
+                    let mut i0 = 0;
+                    while i0 + MR <= mc {
+                        microkernel_full(a, chunk, out, mb + i0, kb, kc, k, n, j0, nr);
+                        i0 += MR;
+                    }
+                    for i in i0..mc {
+                        microkernel_row(a, chunk, out, mb + i, kb, kc, k, n, j0, nr);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The pre-blocking `i-k-j` kernel, still used for small problems: the
+/// innermost loop walks the output row and the B row contiguously.
+fn gemm_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
             let b_row = &b[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ip * b_pj;
@@ -62,10 +151,98 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     }
 }
 
+/// Packs rows `kb..kb+kc` of `b` into column panels: panel `p` holds
+/// columns `p*NR..p*NR+NR` stored as `kc` contiguous rows of `NR` floats,
+/// zero-padded when `n` is not a multiple of `NR`. The scratch buffer is
+/// pre-zeroed by the arena, but it is reused across `kb` slabs within one
+/// call, so the padding lanes are re-zeroed explicitly.
+fn pack_b_panels(b: &[f32], packed: &mut [f32], kb: usize, kc: usize, n: usize) {
+    let panels = n.div_ceil(NR);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let nr = NR.min(n - j0);
+        let dst_panel = &mut packed[panel * NR * kc..(panel + 1) * NR * kc];
+        for p in 0..kc {
+            let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + nr];
+            let dst = &mut dst_panel[p * NR..p * NR + NR];
+            dst[..nr].copy_from_slice(src);
+            dst[nr..].fill(0.0);
+        }
+    }
+}
+
+/// `MR x NR` register-tiled update: `out[i0..i0+MR, j0..j0+nr] +=`
+/// `a[i0..i0+MR, kb..kb+kc] * panel`. The accumulator lives in fixed-size
+/// local arrays, which LLVM promotes to vector registers; each loaded B
+/// row is reused `MR` times and each A element `NR` times.
+#[allow(clippy::too_many_arguments)]
+fn microkernel_full(
+    a: &[f32],
+    panel: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    kb: usize,
+    kc: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let a0 = &a[i0 * k + kb..i0 * k + kb + kc];
+    let a1 = &a[(i0 + 1) * k + kb..(i0 + 1) * k + kb + kc];
+    let a2 = &a[(i0 + 2) * k + kb..(i0 + 2) * k + kb + kc];
+    let a3 = &a[(i0 + 3) * k + kb..(i0 + 3) * k + kb + kc];
+    for (p, brow) in panel.chunks_exact(NR).take(kc).enumerate() {
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for (accr, &ar) in acc.iter_mut().zip(av.iter()) {
+            for (dst, &bv) in accr.iter_mut().zip(brow.iter()) {
+                *dst += ar * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
+        for (o, &v) in row.iter_mut().zip(accr.iter()) {
+            *o += v;
+        }
+    }
+}
+
+/// Single-row edge of the microtile (m remainder rows).
+#[allow(clippy::too_many_arguments)]
+fn microkernel_row(
+    a: &[f32],
+    panel: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kb: usize,
+    kc: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    nr: usize,
+) {
+    let mut acc = [0.0f32; NR];
+    let arow = &a[i * k + kb..i * k + kb + kc];
+    for (p, brow) in panel.chunks_exact(NR).take(kc).enumerate() {
+        let ar = arow[p];
+        for (dst, &bv) in acc.iter_mut().zip(brow.iter()) {
+            *dst += ar * bv;
+        }
+    }
+    let row = &mut out[i * n + j0..i * n + j0 + nr];
+    for (o, &v) in row.iter_mut().zip(acc.iter()) {
+        *o += v;
+    }
+}
+
 /// Matrix-vector product: `(m, k) x (k,) -> (m,)`.
 ///
 /// Fully-connected layers with batch size 1 are mat-vec, not mat-mat; a
-/// dedicated kernel avoids the degenerate `n = 1` GEMM layout.
+/// dedicated kernel avoids the degenerate `n = 1` GEMM layout. Each dot
+/// product runs over eight independent accumulators so the reduction
+/// vectorizes despite fp32 non-associativity.
 ///
 /// # Errors
 /// Returns [`TensorError::RankMismatch`] when `a` is not rank 2 or `x` is
@@ -92,36 +269,37 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     }
     let xs = x.as_slice();
     let data: Vec<f32> = (0..m)
-        .map(|i| {
-            a.as_slice()[i * k..(i + 1) * k]
-                .iter()
-                .zip(xs.iter())
-                .map(|(&w, &v)| w * v)
-                .sum()
-        })
+        .map(|i| dot(&a.as_slice()[i * k..(i + 1) * k], xs))
         .collect();
     Tensor::from_vec(data, &[m])
+}
+
+/// Vectorizable dot product: eight parallel partial sums plus a scalar
+/// tail. Also used by the dense layer's partial-input path.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for (ac, bc) in a
+        .chunks_exact(LANES)
+        .take(chunks)
+        .zip(b.chunks_exact(LANES))
+    {
+        for (l, dst) in acc.iter_mut().enumerate() {
+            *dst += ac[l] * bc[l];
+        }
+    }
+    let mut total: f32 = acc.iter().sum();
+    for (av, bv) in a[chunks * LANES..].iter().zip(&b[chunks * LANES..]) {
+        total += av * bv;
+    }
+    total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn naive_gemm(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = (a.dims()[0], a.dims()[1]);
-        let n = b.dims()[1];
-        let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a.get(&[i, p]).unwrap() * b.get(&[p, j]).unwrap();
-                }
-                out.set(&[i, j], acc).unwrap();
-            }
-        }
-        out
-    }
 
     #[test]
     fn gemm_matches_hand_example() {
@@ -138,9 +316,24 @@ mod tests {
             let a = Tensor::random(&[7, 11], 1.0, seed);
             let b = Tensor::random(&[11, 5], 1.0, seed + 100);
             let fast = gemm(&a, &b).unwrap();
-            let slow = naive_gemm(&a, &b);
+            let slow = naive_gemm(&a, &b).unwrap();
             assert!(fast.approx_eq(&slow, 1e-4), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_past_the_small_cutoff() {
+        // Big enough that the packed/blocked kernel runs, with dims that
+        // are not multiples of MR/NR/KC.
+        let a = Tensor::random(&[37, 301], 1.0, 5);
+        let b = Tensor::random(&[301, 29], 1.0, 6);
+        let fast = gemm(&a, &b).unwrap();
+        let slow = naive_gemm(&a, &b).unwrap();
+        assert!(
+            fast.approx_eq(&slow, 1e-3),
+            "max diff {}",
+            fast.max_abs_diff(&slow).unwrap()
+        );
     }
 
     #[test]
@@ -167,17 +360,23 @@ mod tests {
             gemm(&a, &v),
             Err(TensorError::RankMismatch { .. })
         ));
+        assert!(matches!(
+            naive_gemm(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        assert!(matches!(
+            naive_gemm(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
-    fn gemm_skips_zero_rows_correctly() {
-        // The a_ip == 0.0 fast path must not change results.
-        let mut a = Tensor::random(&[6, 6], 1.0, 3);
-        for i in 0..6 {
-            a.set(&[i, i], 0.0).unwrap();
-        }
-        let b = Tensor::random(&[6, 6], 1.0, 4);
-        assert!(gemm(&a, &b).unwrap().approx_eq(&naive_gemm(&a, &b), 1e-4));
+    fn zero_inner_dimension_yields_zero_matrix() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 4]);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[3, 4]);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -201,5 +400,14 @@ mod tests {
             matvec(&a, &Tensor::zeros(&[8, 1])),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn dot_handles_tails_and_empty() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        let a: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..19).map(|i| (i * 2) as f32).collect();
+        let expected: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - expected).abs() < 1e-3);
     }
 }

@@ -91,6 +91,22 @@ pub fn col2im_shape(geometry: &Conv2dGeometry, out_channels: usize) -> [usize; 3
 /// [`TensorError::ShapeMismatch`] when `input` does not match the declared
 /// input dimensions.
 pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
+    let patch = geometry.in_channels * geometry.kernel_h * geometry.kernel_w;
+    let mut data = vec![0.0f32; patch * geometry.out_h() * geometry.out_w()];
+    im2col_into(input, geometry, &mut data)?;
+    Tensor::from_vec(data, &[patch, geometry.out_h() * geometry.out_w()])
+}
+
+/// [`im2col`] into a caller-provided buffer (typically a scratch-arena
+/// slice), so steady-state conv lowering performs no heap allocation.
+///
+/// `out` must hold exactly `patch * out_h * out_w` floats and must be
+/// **zeroed**: padding taps are skipped, not written.
+///
+/// # Errors
+/// Same geometry/shape validation as [`im2col`], plus
+/// [`TensorError::ShapeMismatch`] when `out` has the wrong length.
+pub fn im2col_into(input: &Tensor, geometry: &Conv2dGeometry, out: &mut [f32]) -> Result<()> {
     geometry.validate()?;
     let expected = [geometry.in_channels, geometry.in_h, geometry.in_w];
     if input.dims() != expected {
@@ -102,7 +118,13 @@ pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
     let (out_h, out_w) = (geometry.out_h(), geometry.out_w());
     let patch = geometry.in_channels * geometry.kernel_h * geometry.kernel_w;
     let cols = out_h * out_w;
-    let mut data = vec![0.0f32; patch * cols];
+    if out.len() != patch * cols {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![patch, cols],
+            right: vec![out.len()],
+        });
+    }
+    let data = out;
     let src = input.as_slice();
     let plane = geometry.in_h * geometry.in_w;
 
@@ -131,7 +153,7 @@ pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(data, &[patch, cols])
+    Ok(())
 }
 
 #[cfg(test)]

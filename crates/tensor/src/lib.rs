@@ -31,12 +31,14 @@ mod error;
 mod gemm;
 mod im2col;
 pub mod ops;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{gemm, matvec};
-pub use im2col::{col2im_shape, im2col, Conv2dGeometry};
+pub use gemm::{dot, gemm, gemm_into, matvec, naive_gemm};
+pub use im2col::{col2im_shape, im2col, im2col_into, Conv2dGeometry};
+pub use scratch::{scratch_stats, with_scratch, ScratchStats};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

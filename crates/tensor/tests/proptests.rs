@@ -3,7 +3,7 @@
 //! These were originally property-based tests; they now draw cases from a
 //! fixed-seed RNG so the suite is reproducible and dependency-free.
 
-use edgenn_tensor::{gemm, im2col, matvec, Conv2dGeometry, Shape, Tensor};
+use edgenn_tensor::{gemm, im2col, matvec, naive_gemm, Conv2dGeometry, Shape, Tensor};
 use rand::{Rng, SeedableRng};
 
 const CASES: usize = 64;
@@ -165,5 +165,45 @@ fn im2col_row_count_and_patch_sums() {
             }
         }
         assert!((sums.as_slice()[0] - direct).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn tiled_gemm_matches_the_naive_oracle() {
+    // Differential test for the cache-blocked GEMM: every case is checked
+    // against the naive triple loop, with shapes steered at degenerate
+    // and tile-boundary cases (k = 0, n = 1, non-multiples of MR/NR/KC).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xED6E_0008);
+    for case in 0..CASES {
+        let (m, k, n) = match case % 8 {
+            0 => (rng.gen_range(1usize..6), 0, rng.gen_range(1usize..6)),
+            1 => (rng.gen_range(1usize..40), rng.gen_range(1usize..64), 1),
+            2 => (1, rng.gen_range(1usize..64), rng.gen_range(1usize..40)),
+            3 => (4, 32, 16),  // exact register-tile multiples
+            4 => (5, 33, 17),  // every tile dimension off by one
+            5 => (3, 300, 29), // k past the KC blocking threshold
+            _ => (
+                rng.gen_range(1usize..32),
+                rng.gen_range(1usize..128),
+                rng.gen_range(1usize..32),
+            ),
+        };
+        let seed = rng.gen_range(0u64..1000);
+        let a = Tensor::random(&[m, k], 1.0, seed);
+        let b = Tensor::random(&[k, n], 1.0, seed.wrapping_add(1));
+        let fast = gemm(&a, &b).unwrap();
+        let slow = naive_gemm(&a, &b).unwrap();
+        assert_eq!(fast.dims(), &[m, n]);
+        // fp32 reassociation scales with the dot length; 1e-5 relative
+        // to the largest accumulated magnitude.
+        let scale = slow
+            .as_slice()
+            .iter()
+            .fold(1.0f32, |acc, v| acc.max(v.abs()));
+        let diff = fast.max_abs_diff(&slow).unwrap_or(0.0);
+        assert!(
+            diff <= 1e-5 * scale,
+            "case {case}: {m}x{k}x{n} diff {diff} (scale {scale})"
+        );
     }
 }

@@ -8,6 +8,7 @@
 # 4. full test suite   (every workspace crate)
 # 5. static checker    (edgenn check over every bundled model x platform)
 # 6. functional bench  (smoke run + schema check + regression gate)
+# 7. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
 set -eu
 
 echo "==> cargo fmt --check"
@@ -59,5 +60,16 @@ cargo build --release -p edgenn-bench
 ./target/release/bench_functional validate target/BENCH_functional_smoke.json
 ./target/release/bench_functional gate \
     target/BENCH_functional_smoke.json BENCH_functional.json --slack 0.25
+
+echo "==> fault storm: seeded resilience smoke (6 models x APU)"
+# Every run injects a seeded random fault plan; the gate requires 100%
+# survival (no panics, checker-clean recovery traces including the
+# EC04x codes, and functional output bitwise identical to the
+# fault-free reference). The CLI exits non-zero below 100% survival.
+STORM_DIR=target/storm
+mkdir -p "$STORM_DIR"
+./target/release/edgenn storm --platform apu --seed 42 --runs 25 \
+    --out "$STORM_DIR/storm-apu.json"
+echo "    storm summary archived in $STORM_DIR/"
 
 echo "CI OK"

@@ -1,7 +1,8 @@
 //! The stable diagnostic-code registry.
 //!
 //! Codes are grouped by tier: `EC00x` graph analysis, `EC01x` plan
-//! analysis, `EC02x` trace race detection, `EC03x` report accounting.
+//! analysis, `EC02x` trace race detection, `EC03x` report accounting,
+//! `EC04x` recovery-trace validation.
 //! Codes are append-only — a released code never changes meaning, so
 //! tooling (CI gates, dashboards) can match on them forever.
 
@@ -62,6 +63,16 @@ pub const AGGREGATE_BANDWIDTH: &str = "EC025";
 pub const COPY_PROPORTION_OUT_OF_RANGE: &str = "EC030";
 /// Report: busy time exceeds wall-clock time.
 pub const BUSY_EXCEEDS_WALL: &str = "EC031";
+
+/// Recovery: a fault bit but the log records no recovery decision.
+pub const FAULT_UNRECOVERED: &str = "EC040";
+/// Recovery: more retries of one node than the configured budget.
+pub const RETRY_BUDGET_EXCEEDED: &str = "EC041";
+/// Recovery: counters disagree with the event stream.
+pub const RECOVERY_ACCOUNTING_MISMATCH: &str = "EC042";
+/// Recovery: decisions out of simulated-time order, or a retry after
+/// the node already fell back.
+pub const RECOVERY_ORDER_VIOLATION: &str = "EC043";
 
 /// Registry entry: one stable code with its default severity and a
 /// one-line remediation (mirrored into `docs/diagnostics.md`).
@@ -220,6 +231,30 @@ pub fn registry() -> &'static [CodeInfo] {
             severity: Error,
             remediation: "Check interval-union accounting: the busy union is bounded by total latency.",
         },
+        CodeInfo {
+            code: FAULT_UNRECOVERED,
+            title: "injected fault without recovery",
+            severity: Error,
+            remediation: "Every kernel fault that bites must log a retry or fallback decision; check the injection hooks in exec_solo/exec_split.",
+        },
+        CodeInfo {
+            code: RETRY_BUDGET_EXCEEDED,
+            title: "retry budget exceeded",
+            severity: Error,
+            remediation: "Cap per-node retries at max_attempts, then fall back to the CPU instead of retrying forever.",
+        },
+        CodeInfo {
+            code: RECOVERY_ACCOUNTING_MISMATCH,
+            title: "recovery counters disagree with events",
+            severity: Error,
+            remediation: "Keep retries/fallbacks/deadline_degradations equal to the counts of matching events in the log.",
+        },
+        CodeInfo {
+            code: RECOVERY_ORDER_VIOLATION,
+            title: "recovery decisions out of order",
+            severity: Error,
+            remediation: "Log decisions in simulated-time order and never retry a node after it fell back to the CPU.",
+        },
     ]
 }
 
@@ -236,7 +271,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 23);
+        assert_eq!(reg.len(), 27);
         for pair in reg.windows(2) {
             assert!(pair[0].code < pair[1].code, "codes must stay sorted");
         }

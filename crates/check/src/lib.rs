@@ -14,7 +14,8 @@
 //! - **Tier C — [`trace`]**: a happens-before race detector over
 //!   simulated event traces (kernel overlap, write-write races,
 //!   kernel/DMA ordering, bandwidth conservation), plus [`report`]-level
-//!   accounting invariants.
+//!   accounting invariants and [`recovery`]-log validation for runs
+//!   executed under fault injection (`EC04x`).
 //!
 //! Every diagnostic carries a stable `EC0xx` code ([`codes`]), a
 //! [`Severity`], and a [`Span`] pointing at the node, event, or scope
@@ -26,6 +27,7 @@
 pub mod codes;
 pub mod graph;
 pub mod plan;
+pub mod recovery;
 pub mod report;
 pub mod trace;
 
@@ -35,6 +37,7 @@ use serde::Serialize;
 pub use codes::{code_info, registry, CodeInfo};
 pub use graph::check_graph;
 pub use plan::{check_config, check_plan, check_profile};
+pub use recovery::check_recovery;
 pub use report::check_report;
 pub use trace::check_trace_events;
 

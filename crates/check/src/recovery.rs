@@ -1,0 +1,307 @@
+//! Recovery-trace validation (`EC04x`).
+//!
+//! A resilient run produces a [`RecoveryLog`] alongside its report:
+//! counters plus the decision stream in simulated-time order. This tier
+//! verifies the log is self-consistent — every fault that bit was
+//! answered, no node retried past its budget, the counters agree with
+//! the events, and the decisions form a valid walk of the recovery
+//! state machine (see `docs/resilience.md`).
+
+use edgenn_core::runtime::resilience::RecoveryLog;
+use edgenn_core::{RecoveryAction, RecoveryCause};
+
+use crate::{codes, Diagnostic, Span};
+
+/// Verifies one recovery log's invariants.
+///
+/// - **EC040**: a kernel-fault counter is positive but the log records
+///   no decision (or a permanent GPU loss lacks its fallback event).
+/// - **EC041**: one node logged more retries than the budget, or a
+///   retry carries an attempt number past the budget.
+/// - **EC042**: `retries` / `fallbacks` / `deadline_degradations`
+///   disagree with the event stream, or fewer faults were injected
+///   than kernel decisions taken (every retry or fallback is the
+///   answer to exactly one failed launch).
+/// - **EC043**: decisions out of simulated-time order, or a retry of a
+///   node after that node already fell back to the CPU.
+#[must_use]
+pub fn check_recovery(log: &RecoveryLog) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let retry_events = log
+        .events
+        .iter()
+        .filter(|e| e.action == RecoveryAction::Retry)
+        .count() as u64;
+    let fallback_events = log
+        .events
+        .iter()
+        .filter(|e| e.action == RecoveryAction::FallbackToCpu)
+        .count() as u64;
+    let degrade_events = log
+        .events
+        .iter()
+        .filter(|e| e.action == RecoveryAction::DegradeToSingleProcessor)
+        .count() as u64;
+
+    // EC040: kernel recovery work claimed by the counters must appear
+    // as decisions, and a lost GPU must trace back to a permanent-fault
+    // fallback.
+    if (log.retries > 0 || log.fallbacks > 0) && log.events.is_empty() {
+        out.push(Diagnostic::new(
+            codes::FAULT_UNRECOVERED,
+            Span::Global,
+            format!(
+                "counters record {} retries / {} fallbacks but the log has no decisions",
+                log.retries, log.fallbacks
+            ),
+        ));
+    }
+    if log.gpu_lost
+        && !log.events.iter().any(|e| {
+            e.cause == RecoveryCause::PermanentKernel && e.action == RecoveryAction::FallbackToCpu
+        })
+    {
+        out.push(Diagnostic::new(
+            codes::FAULT_UNRECOVERED,
+            Span::Global,
+            "gpu_lost is set but no permanent-kernel fallback was logged".to_string(),
+        ));
+    }
+
+    // EC041: per-node retry budget.
+    let mut retries_per_node: std::collections::BTreeMap<usize, u64> =
+        std::collections::BTreeMap::new();
+    for event in &log.events {
+        if event.action == RecoveryAction::Retry {
+            *retries_per_node.entry(event.node).or_insert(0) += 1;
+            if event.attempt > log.max_attempts {
+                out.push(Diagnostic::new(
+                    codes::RETRY_BUDGET_EXCEEDED,
+                    Span::Node(event.node),
+                    format!(
+                        "retry attempt {} of node {} exceeds the budget of {}",
+                        event.attempt, event.node, log.max_attempts
+                    ),
+                ));
+            }
+        }
+    }
+    for (node, count) in &retries_per_node {
+        if *count > u64::from(log.max_attempts) {
+            out.push(Diagnostic::new(
+                codes::RETRY_BUDGET_EXCEEDED,
+                Span::Node(*node),
+                format!(
+                    "node {node} logged {count} retries against a budget of {}",
+                    log.max_attempts
+                ),
+            ));
+        }
+    }
+
+    // EC042: counters vs events, and injections vs kernel decisions.
+    for (name, counter, events) in [
+        ("retries", log.retries, retry_events),
+        ("fallbacks", log.fallbacks, fallback_events),
+        (
+            "deadline_degradations",
+            log.deadline_degradations,
+            degrade_events,
+        ),
+    ] {
+        if counter != events {
+            out.push(Diagnostic::new(
+                codes::RECOVERY_ACCOUNTING_MISMATCH,
+                Span::Global,
+                format!("{name} counter is {counter} but the log holds {events} matching events"),
+            ));
+        }
+    }
+    if log.faults_injected < log.retries + log.fallbacks {
+        out.push(Diagnostic::new(
+            codes::RECOVERY_ACCOUNTING_MISMATCH,
+            Span::Global,
+            format!(
+                "{} kernel decisions answer only {} injected faults",
+                log.retries + log.fallbacks,
+                log.faults_injected
+            ),
+        ));
+    }
+
+    // EC043: simulated-time order, and no retry after a node's fallback.
+    for (idx, pair) in log.events.windows(2).enumerate() {
+        if pair[1].t_us < pair[0].t_us {
+            out.push(Diagnostic::new(
+                codes::RECOVERY_ORDER_VIOLATION,
+                Span::Global,
+                format!(
+                    "decision {} at t={:.3} us precedes decision {} at t={:.3} us",
+                    idx + 1,
+                    pair[1].t_us,
+                    idx,
+                    pair[0].t_us
+                ),
+            ));
+        }
+    }
+    let mut fallen_back: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for event in &log.events {
+        match event.action {
+            RecoveryAction::Retry if fallen_back.contains(&event.node) => {
+                out.push(Diagnostic::new(
+                    codes::RECOVERY_ORDER_VIOLATION,
+                    Span::Node(event.node),
+                    format!(
+                        "node {} retried at t={:.3} us after it already fell back to the CPU",
+                        event.node, event.t_us
+                    ),
+                ));
+            }
+            RecoveryAction::FallbackToCpu => {
+                fallen_back.insert(event.node);
+            }
+            _ => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_core::runtime::resilience::RecoveryEvent;
+
+    fn event(t_us: f64, node: usize, action: RecoveryAction, attempt: u32) -> RecoveryEvent {
+        let cause = match action {
+            RecoveryAction::FallbackToCpu => RecoveryCause::PermanentKernel,
+            RecoveryAction::DegradeToSingleProcessor => RecoveryCause::DeadlineOverrun,
+            _ => RecoveryCause::TransientKernel,
+        };
+        RecoveryEvent {
+            t_us,
+            node,
+            cause,
+            action,
+            attempt,
+        }
+    }
+
+    fn consistent_log() -> RecoveryLog {
+        RecoveryLog {
+            faults_injected: 4,
+            retries: 3,
+            fallbacks: 1,
+            deadline_degradations: 0,
+            max_attempts: 3,
+            gpu_lost: true,
+            events: vec![
+                event(10.0, 2, RecoveryAction::Retry, 1),
+                event(20.0, 2, RecoveryAction::Retry, 2),
+                event(35.0, 2, RecoveryAction::Retry, 3),
+                event(60.0, 2, RecoveryAction::FallbackToCpu, 4),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_and_consistent_logs_pass() {
+        assert!(check_recovery(&RecoveryLog::default()).is_empty());
+        let diags = check_recovery(&consistent_log());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn counters_without_events_trip_ec040() {
+        let log = RecoveryLog {
+            faults_injected: 1,
+            retries: 1,
+            ..Default::default()
+        };
+        let diags = check_recovery(&log);
+        assert!(diags.iter().any(|d| d.code == codes::FAULT_UNRECOVERED));
+    }
+
+    #[test]
+    fn gpu_loss_without_fallback_trips_ec040() {
+        let mut log = consistent_log();
+        log.events
+            .retain(|e| e.action != RecoveryAction::FallbackToCpu);
+        log.fallbacks = 0;
+        log.faults_injected = 3;
+        let diags = check_recovery(&log);
+        assert!(diags.iter().any(|d| d.code == codes::FAULT_UNRECOVERED));
+    }
+
+    #[test]
+    fn over_budget_retries_trip_ec041() {
+        let mut log = consistent_log();
+        log.max_attempts = 2;
+        let diags = check_recovery(&log);
+        assert!(diags.iter().any(|d| d.code == codes::RETRY_BUDGET_EXCEEDED));
+    }
+
+    #[test]
+    fn counter_drift_trips_ec042() {
+        let mut log = consistent_log();
+        log.retries = 7;
+        let diags = check_recovery(&log);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::RECOVERY_ACCOUNTING_MISMATCH));
+    }
+
+    #[test]
+    fn more_decisions_than_injections_trip_ec042() {
+        let mut log = consistent_log();
+        log.faults_injected = 2;
+        let diags = check_recovery(&log);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::RECOVERY_ACCOUNTING_MISMATCH));
+    }
+
+    #[test]
+    fn resilience_docs_list_every_ec04x_code() {
+        let docs = include_str!("../../../docs/resilience.md");
+        for info in crate::registry() {
+            if !info.code.starts_with("EC04") {
+                continue;
+            }
+            let row = docs
+                .lines()
+                .find(|l| l.starts_with(&format!("| {} ", info.code)))
+                .unwrap_or_else(|| panic!("{} missing from docs/resilience.md", info.code));
+            let want = match info.severity {
+                crate::Severity::Error => "| error |",
+                crate::Severity::Warning => "| warning |",
+            };
+            assert!(
+                row.contains(want) && row.contains(info.title),
+                "{} drifted from docs/resilience.md: {row}",
+                info.code
+            );
+        }
+    }
+
+    #[test]
+    fn time_travel_and_post_fallback_retries_trip_ec043() {
+        let mut log = consistent_log();
+        log.events.swap(0, 1);
+        let diags = check_recovery(&log);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::RECOVERY_ORDER_VIOLATION));
+
+        let mut log = consistent_log();
+        log.events.push(event(70.0, 2, RecoveryAction::Retry, 5));
+        log.retries = 4;
+        log.faults_injected = 5;
+        let diags = check_recovery(&log);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::RECOVERY_ORDER_VIOLATION));
+    }
+}

@@ -89,6 +89,55 @@ mod tests {
     }
 
     #[test]
+    fn recovered_reports_keep_the_raw_proportion_for_ec030() {
+        // A degraded re-tune must not re-introduce silent clamping: the
+        // EC030 path over a recovered report sees the raw value.
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let plan = ExecutionPlan {
+            config: ExecutionConfig::baseline_gpu(),
+            nodes: vec![NodePlan::gpu_explicit(); graph.len()],
+        };
+        let mut faults = edgenn_sim::FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node: 1,
+            fail_count: u32::MAX,
+        });
+        let outcome = runtime
+            .simulate_with_faults(
+                &graph,
+                &plan,
+                &faults,
+                &edgenn_core::runtime::resilience::ResilienceConfig::default(),
+            )
+            .expect("resilient run survives");
+        assert!(outcome.recovery.gpu_lost);
+        let mut report = outcome.report;
+        assert_eq!(
+            report.copy_proportion(),
+            report.copy_proportion_raw(),
+            "recovered reports expose the unclamped proportion"
+        );
+        assert!(check_report(&report).is_empty(), "clean recovered run");
+        // Inflate the accounting: the checker must see the raw value,
+        // not a silently clamped 1.0.
+        report.total_us = report.summary.memory_us() / 2.0;
+        assert!(report.copy_proportion_raw() > 1.0);
+        assert!(report
+            .copy_proportion_clamped()
+            .partial_cmp(&1.0)
+            .is_some_and(std::cmp::Ordering::is_eq));
+        let diags = check_report(&report);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::COPY_PROPORTION_OUT_OF_RANGE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
     fn busy_past_wall_clock_trips_ec031() {
         let mut report = simulated_report();
         report.summary.busy_us = report.total_us * 2.0 + 1.0;

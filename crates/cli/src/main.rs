@@ -3,11 +3,13 @@
 //! ```text
 //! edgenn simulate --model alexnet --platform jetson [--config edgenn]
 //!                 [--scale paper|tiny] [--json] [--layers]
+//!                 [--faults SPEC|SEED] [--max-retries N] [--deadline-us F]
 //!                 [--trace-out FILE] [--metrics-out FILE]
 //! edgenn explain  --model alexnet --platform jetson [--config edgenn]
 //! edgenn plan     --model alexnet --platform jetson [--config edgenn]
 //! edgenn compare  --model alexnet --platform jetson
 //!                 [--trace-out FILE] [--metrics-out FILE]
+//! edgenn storm    [--model all] [--platform jetson] [--seed 42] [--runs 100]
 //! edgenn models
 //! edgenn platforms
 //! ```
@@ -31,11 +33,15 @@ edgenn — EdgeNN (ICDE 2023) reproduction CLI
 USAGE:
     edgenn simulate  --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--layers] [--trace-out FILE] [--metrics-out FILE]
+                     [--faults SPEC|SEED] [--max-retries N] [--deadline-us F]
     edgenn explain   --model M --platform P [--config C] [--json]
     edgenn plan      --model M --platform P [--config C] [--explain]
     edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
     edgenn check     --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--lenient]
+    edgenn storm     [--model M|all] [--platform P] [--config C] [--seed N]
+                     [--runs N] [--max-retries N] [--deadline-us F]
+                     [--json] [--out FILE]
     edgenn inspect   --model M [--scale paper|tiny]
     edgenn models
     edgenn platforms
@@ -58,7 +64,28 @@ CHECK:
     --json      machine-readable report instead of the table
     --lenient   downgrade the accounting codes EC030/EC031 to warnings
                 (plotting pipelines that accept a clamped copy proportion)
-    Exit status is non-zero when any error-severity diagnostic fires.";
+    Exit status is non-zero when any error-severity diagnostic fires.
+
+FAULTS:
+    --faults takes either a bare integer (a seed for a reproducible random
+    fault plan) or a spec of semicolon-separated clauses:
+        kernel:<node>x<count>         kernel failures before success (or inf)
+        bw:<start>-<end>@<factor>     bandwidth degradation window, factor (0,1)
+        thermal:<start>-<end>@<factor> thermal throttle window, factor (0,1)
+        stall:<start>-<end>@<factor>  page-migration stalls, factor > 1
+        oom:<fraction>                co-tenant DRAM pressure in [0,1)
+    Example: --faults 'kernel:3xinf;bw:0-500@0.5;oom:0.8'
+    --max-retries N    per-node retry budget before CPU fallback (default 3)
+    --deadline-us F    latency budget; overruns degrade the hybrid plan to a
+                       single processor mid-run
+
+STORM:
+    Monte-Carlo resilience sweep: per run, a seeded random fault plan is
+    injected into the analytic simulation (recovery log gated by the EC04x
+    checker) and into a functional execution whose output must stay bitwise
+    identical to the fault-free reference. Reports survival rate and p99
+    degraded latency per model; exit status is non-zero below 100% survival.
+    --out FILE  also writes the JSON summary to FILE.";
 
 fn main() -> ExitCode {
     let options = Options::parse(std::env::args().skip(1));
@@ -68,6 +95,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
         Some("check") => cmd_check(&options),
+        Some("storm") => cmd_storm(&options),
         Some("inspect") => cmd_inspect(&options),
         Some("models") => cmd_models(),
         Some("platforms") => {
@@ -202,6 +230,64 @@ fn cmd_simulate(options: &Options) -> Result<(), String> {
     let decisions = tuner
         .explain(&graph, &runtime, &plan)
         .map_err(|e| e.to_string())?;
+
+    if options.has("faults") {
+        let spec = options
+            .value("faults")
+            .ok_or("--faults requires a seed or a fault spec")?;
+        let faults = parse_faults(spec, graph.len())?;
+        let rcfg = resilience_config(options)?;
+        let outcome = runtime
+            .simulate_with_faults(&graph, &plan, &faults, &rcfg)
+            .map_err(|e| e.to_string())?;
+        let report = outcome.report.with_decisions(decisions);
+        obs.write_trace(&report.events)?;
+        obs.write_metrics()?;
+        if options.has("json") {
+            let mut m = serde_json::Map::new();
+            m.insert(
+                "report",
+                serde_json::to_value(&report).map_err(|e| e.to_string())?,
+            );
+            m.insert(
+                "recovery",
+                serde_json::to_value(&outcome.recovery).map_err(|e| e.to_string())?,
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&serde_json::Value::Object(m))
+                    .map_err(|e| e.to_string())?
+            );
+            return Ok(());
+        }
+        println!(
+            "{} on {} under fault injection ({})",
+            report.model,
+            report.platform,
+            faults.describe()
+        );
+        println!(
+            "  latency      : {:.3} ms (degraded)",
+            report.total_us / 1e3
+        );
+        let rec = &outcome.recovery;
+        println!("  injected     : {} fault(s)", rec.faults_injected);
+        println!(
+            "  recovery     : {} retrie(s), {} fallback(s), {} deadline degradation(s)",
+            rec.retries, rec.fallbacks, rec.deadline_degradations
+        );
+        if rec.gpu_lost {
+            println!("  gpu          : lost (permanent kernel fault; suffix fell back to CPU)");
+        }
+        for event in &rec.events {
+            println!(
+                "    t={:>9.1} us  n{:<3} {:?} -> {:?} (attempt {})",
+                event.t_us, event.node, event.cause, event.action, event.attempt
+            );
+        }
+        return Ok(());
+    }
+
     let report = runtime
         .simulate(&graph, &plan)
         .map_err(|e| e.to_string())?
@@ -503,6 +589,300 @@ fn cmd_check(options: &Options) -> Result<(), String> {
             graph.name(),
             platform.name
         ))
+    }
+}
+
+/// Resolves a `--faults` argument: a bare integer is a seed for a
+/// reproducible random plan, anything else goes through the spec
+/// grammar (see `FaultPlan::parse`).
+fn parse_faults(spec: &str, nodes: usize) -> Result<edgenn_sim::FaultPlan, String> {
+    if let Ok(seed) = spec.parse::<u64>() {
+        return Ok(edgenn_sim::FaultPlan::from_seed(seed, nodes));
+    }
+    edgenn_sim::FaultPlan::parse(spec)
+}
+
+/// Builds the resilience policy from `--max-retries` / `--deadline-us`.
+fn resilience_config(options: &Options) -> Result<ResilienceConfig, String> {
+    let mut cfg = ResilienceConfig::default();
+    if let Some(v) = options.value("max-retries") {
+        cfg.max_retries = v.parse().map_err(|e| format!("--max-retries: {e}"))?;
+    }
+    if let Some(v) = options.value("deadline-us") {
+        cfg.deadline_us = Some(v.parse().map_err(|e| format!("--deadline-us: {e}"))?);
+    }
+    Ok(cfg)
+}
+
+/// One surviving storm round: the degraded analytic latency plus its
+/// recovery accounting.
+struct StormRun {
+    total_us: f64,
+    recovery: edgenn_core::runtime::resilience::RecoveryLog,
+}
+
+/// Per-model inputs a storm round runs against: the paper-scale graph
+/// and plan for the analytic path, and a tiny-scale functional twin
+/// with its fault-free reference output for the bitwise-identity gate.
+struct StormTarget<'a> {
+    graph: &'a edgenn_nn::graph::Graph,
+    plan: &'a ExecutionPlan,
+    tiny: &'a edgenn_nn::graph::Graph,
+    tiny_plan: &'a ExecutionPlan,
+    input: &'a edgenn_tensor::Tensor,
+    reference: &'a edgenn_tensor::Tensor,
+}
+
+/// Executes one seeded storm round: analytic fault injection gated by
+/// the checker (trace races, report accounting, EC04x recovery log),
+/// then a functional execution that must reproduce the fault-free
+/// output bit for bit.
+fn storm_run(
+    target: &StormTarget<'_>,
+    platform: &Platform,
+    runtime: &Runtime<'_>,
+    run_seed: u64,
+    rcfg: &ResilienceConfig,
+) -> Result<StormRun, String> {
+    let faults = edgenn_sim::FaultPlan::from_seed(run_seed, target.graph.len());
+    let outcome = runtime
+        .simulate_with_faults(target.graph, target.plan, &faults, rcfg)
+        .map_err(|e| format!("analytic: {e}"))?;
+
+    let mut check = edgenn_check::CheckReport::default();
+    check.extend(edgenn_check::check_trace_events(
+        &outcome.report.events,
+        platform,
+    ));
+    check.extend(edgenn_check::check_report(&outcome.report));
+    check.extend(edgenn_check::check_recovery(&outcome.recovery));
+    if !check.is_clean() {
+        let codes: Vec<&str> = check
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == edgenn_check::Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        return Err(format!(
+            "checker: {} error(s): {}",
+            check.error_count(),
+            codes.join(" ")
+        ));
+    }
+
+    let tiny_faults = edgenn_sim::FaultPlan::from_seed(run_seed, target.tiny.len());
+    let injector = edgenn_core::runtime::functional::FaultInjector::from_plan(
+        &tiny_faults,
+        target.tiny.len(),
+        rcfg.max_retries,
+    );
+    let functional = edgenn_core::runtime::functional::Executor::new(target.tiny)
+        .map_err(|e| e.to_string())?
+        .with_faults(injector)
+        .execute(target.tiny_plan, target.input)
+        .map_err(|e| format!("functional: {e}"))?;
+    if !functional.output.approx_eq(target.reference, 0.0) {
+        return Err("functional output diverged from the fault-free reference".to_string());
+    }
+
+    Ok(StormRun {
+        total_us: outcome.report.total_us,
+        recovery: outcome.recovery,
+    })
+}
+
+/// Percentile over a sorted latency sample (nearest-rank).
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn cmd_storm(options: &Options) -> Result<(), String> {
+    let platform = parse_platform(options.value("platform").unwrap_or("jetson"))?;
+    let config = if platform.has_gpu() {
+        parse_config(options.value("config").unwrap_or("edgenn"))?
+    } else {
+        // Hybrid configs cannot plan without a GPU; a CPU-only storm
+        // still exercises the window and OOM fault classes.
+        ExecutionConfig::cpu_only()
+    };
+    let seed: u64 = options
+        .value("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let runs: usize = options
+        .value("runs")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|e| format!("--runs: {e}"))?;
+    if runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    let rcfg = resilience_config(options)?;
+    let kinds: Vec<ModelKind> = match options.value("model") {
+        None | Some("all") => ModelKind::ALL.to_vec(),
+        Some(name) => vec![parse_model(name)?],
+    };
+
+    let runtime = Runtime::new(&platform);
+    let json_wanted = options.has("json");
+    if !json_wanted {
+        println!(
+            "fault storm: {runs} run(s)/model on {}, base seed {seed}, retry budget {}",
+            platform.name, rcfg.max_retries
+        );
+        println!(
+            "{:<12} {:>9} {:>9} {:>11} {:>11} {:>8} {:>10}",
+            "model", "survived", "injected", "clean ms", "p99 ms", "retries", "fallbacks"
+        );
+    }
+
+    let mut model_values = Vec::new();
+    let mut total_runs = 0usize;
+    let mut total_survived = 0usize;
+    let mut first_failures: Vec<String> = Vec::new();
+    for kind in kinds {
+        let graph = build(kind, ModelScale::Paper);
+        let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+        let plan = tuner
+            .plan(&graph, &runtime, config)
+            .map_err(|e| e.to_string())?;
+        let clean_us = runtime
+            .simulate(&graph, &plan)
+            .map_err(|e| e.to_string())?
+            .total_us;
+
+        let tiny = build(kind, ModelScale::Tiny);
+        let tiny_tuner = Tuner::new(&tiny, &runtime).map_err(|e| e.to_string())?;
+        let tiny_plan = tiny_tuner
+            .plan(&tiny, &runtime, config)
+            .map_err(|e| e.to_string())?;
+        let input = edgenn_tensor::Tensor::random(tiny.input_shape().dims(), 1.0, seed);
+        let reference = edgenn_core::runtime::functional::execute(&tiny, &tiny_plan, &input)
+            .map_err(|e| e.to_string())?;
+        let target = StormTarget {
+            graph: &graph,
+            plan: &plan,
+            tiny: &tiny,
+            tiny_plan: &tiny_plan,
+            input: &input,
+            reference: &reference.output,
+        };
+
+        let mut latencies: Vec<f64> = Vec::with_capacity(runs);
+        let mut survived = 0usize;
+        let (mut injected, mut retries, mut fallbacks, mut degradations) = (0u64, 0u64, 0u64, 0u64);
+        let mut failures: Vec<String> = Vec::new();
+        for i in 0..runs {
+            let run_seed = seed.wrapping_add(i as u64);
+            match storm_run(&target, &platform, &runtime, run_seed, &rcfg) {
+                Ok(run) => {
+                    survived += 1;
+                    latencies.push(run.total_us);
+                    injected += run.recovery.faults_injected;
+                    retries += run.recovery.retries;
+                    fallbacks += run.recovery.fallbacks;
+                    degradations += run.recovery.deadline_degradations;
+                }
+                Err(why) => failures.push(format!("{} seed {run_seed}: {why}", kind.name())),
+            }
+        }
+        total_runs += runs;
+        total_survived += survived;
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p50 = percentile_us(&latencies, 0.50);
+        let p99 = percentile_us(&latencies, 0.99);
+
+        if !json_wanted {
+            println!(
+                "{:<12} {:>6}/{:<2} {:>9} {:>11.3} {:>11.3} {:>8} {:>10}",
+                kind.name(),
+                survived,
+                runs,
+                injected,
+                clean_us / 1e3,
+                p99 / 1e3,
+                retries,
+                fallbacks
+            );
+        }
+        first_failures.extend(failures.iter().take(3).cloned());
+
+        let mut m = serde_json::Map::new();
+        m.insert("model", serde_json::Value::from(kind.name()));
+        m.insert("runs", serde_json::Value::from(runs as u64));
+        m.insert("survived", serde_json::Value::from(survived as u64));
+        m.insert(
+            "survival_rate",
+            serde_json::Value::from(survived as f64 / runs as f64),
+        );
+        m.insert("clean_us", serde_json::Value::from(clean_us));
+        m.insert("p50_degraded_us", serde_json::Value::from(p50));
+        m.insert("p99_degraded_us", serde_json::Value::from(p99));
+        m.insert("faults_injected", serde_json::Value::from(injected));
+        m.insert("retries", serde_json::Value::from(retries));
+        m.insert("fallbacks", serde_json::Value::from(fallbacks));
+        m.insert(
+            "deadline_degradations",
+            serde_json::Value::from(degradations),
+        );
+        m.insert(
+            "failures",
+            serde_json::to_value(&failures).map_err(|e| e.to_string())?,
+        );
+        model_values.push(serde_json::Value::Object(m));
+    }
+
+    let survival_rate = total_survived as f64 / total_runs as f64;
+    let mut top = serde_json::Map::new();
+    top.insert("platform", serde_json::Value::from(platform.name.as_str()));
+    top.insert("seed", serde_json::Value::from(seed));
+    top.insert("runs_per_model", serde_json::Value::from(runs as u64));
+    top.insert("max_retries", serde_json::Value::from(rcfg.max_retries));
+    top.insert("total_runs", serde_json::Value::from(total_runs as u64));
+    top.insert(
+        "total_survived",
+        serde_json::Value::from(total_survived as u64),
+    );
+    top.insert("survival_rate", serde_json::Value::from(survival_rate));
+    top.insert("models", serde_json::Value::Array(model_values));
+    let summary = serde_json::Value::Object(top);
+
+    if let Some(path) = options.value("out") {
+        let text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        if !json_wanted {
+            eprintln!("storm summary written to {path}");
+        }
+    }
+    if json_wanted {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "survival: {total_survived}/{total_runs} ({:.1}%)",
+            survival_rate * 100.0
+        );
+    }
+
+    if total_survived == total_runs {
+        Ok(())
+    } else {
+        let mut message = format!(
+            "storm failed: {total_survived}/{total_runs} run(s) survived on {}",
+            platform.name
+        );
+        for failure in first_failures.iter().take(10) {
+            message.push_str("\n  ");
+            message.push_str(failure);
+        }
+        Err(message)
     }
 }
 

@@ -1,9 +1,72 @@
-//! Error type for EdgeNN planning and execution.
+//! Error type for EdgeNN planning and execution, plus the typed fault /
+//! recovery surface of the resilience layer.
 
 use std::fmt;
 
 use edgenn_nn::NnError;
 use edgenn_tensor::TensorError;
+use serde::Serialize;
+
+pub use edgenn_sim::FaultKind;
+
+/// What the resilience layer did in response to a fault or a burning
+/// deadline budget (see `docs/resilience.md` for the state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RecoveryAction {
+    /// Re-launch the failed kernel after an exponential backoff.
+    Retry,
+    /// Re-execute the failed partial on the CPU and re-tune the remaining
+    /// suffix of the plan.
+    FallbackToCpu,
+    /// Switch the rest of the inference to a single-processor plan
+    /// because the deadline budget is burning.
+    DegradeToSingleProcessor,
+    /// Convert explicit two-copy arrays to managed single-copy arrays so
+    /// the plan fits a squeezed DRAM budget.
+    ShrinkFootprint,
+    /// No recovery was possible; the inference failed.
+    Abandon,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Retry => "retry",
+            Self::FallbackToCpu => "fallback-to-cpu",
+            Self::DegradeToSingleProcessor => "degrade-to-single-processor",
+            Self::ShrinkFootprint => "shrink-footprint",
+            Self::Abandon => "abandon",
+        })
+    }
+}
+
+/// What triggered a [`RecoveryAction`]: a subset of the injected
+/// [`FaultKind`]s that demand an explicit response (bandwidth, thermal,
+/// and stall windows merely slow execution down), plus the runtime's own
+/// deadline monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RecoveryCause {
+    /// A kernel launch failed but the kernel is expected to come back.
+    TransientKernel,
+    /// A kernel launch failed permanently (the GPU is lost for this
+    /// node and every node after it).
+    PermanentKernel,
+    /// The plan's footprint no longer fits the squeezed DRAM budget.
+    OomPressure,
+    /// The per-inference deadline budget is burning.
+    DeadlineOverrun,
+}
+
+impl fmt::Display for RecoveryCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::TransientKernel => "transient-kernel",
+            Self::PermanentKernel => "permanent-kernel",
+            Self::OomPressure => "oom-pressure",
+            Self::DeadlineOverrun => "deadline-overrun",
+        })
+    }
+}
 
 /// Errors from planning, simulation, or functional execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +91,14 @@ pub enum CoreError {
         /// Explanation.
         reason: String,
     },
+    /// An injected fault defeated every recovery path (no CPU fallback
+    /// available, or the footprint cannot shrink under the OOM budget).
+    Unrecoverable {
+        /// Graph node the failure anchors to.
+        node: usize,
+        /// The fault that defeated recovery.
+        kind: FaultKind,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +114,9 @@ impl fmt::Display for CoreError {
                 )
             }
             Self::Internal { reason } => write!(f, "internal error: {reason}"),
+            Self::Unrecoverable { node, kind } => {
+                write!(f, "unrecoverable {kind} fault at node {node}")
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod runtime;
 pub mod semantics;
 pub mod tuner;
 
-pub use error::CoreError;
+pub use error::{CoreError, FaultKind, RecoveryAction, RecoveryCause};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -58,6 +58,7 @@ pub mod prelude {
     pub use crate::baselines::{CloudOffload, CpuOnly, EdgeNn, GpuOnly, InterKernelOnly};
     pub use crate::metrics::InferenceReport;
     pub use crate::plan::{Assignment, ExecutionConfig, ExecutionPlan, HybridMode, MemoryPolicy};
+    pub use crate::runtime::resilience::{ResilienceConfig, ResilientOutcome};
     pub use crate::runtime::Runtime;
     pub use crate::tuner::Tuner;
     pub use edgenn_nn::models::{build, ModelKind, ModelScale};

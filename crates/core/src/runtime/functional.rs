@@ -27,16 +27,18 @@
 //!   when an observer is attached, emits `SinkEvent::EngineCounter`
 //!   events so traces show pool and arena behaviour next to the kernels.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use edgenn_nn::graph::{Graph, NodeId, Segment, Structure};
 use edgenn_nn::layer::LayerClass;
 use edgenn_obs::{EventSink, SinkEvent};
+use edgenn_sim::FaultPlan;
 use edgenn_tensor::{scratch_stats, Tensor};
 
 use crate::plan::{Assignment, ExecutionPlan};
-use crate::runtime::pool::{Pool, ShutdownGuard};
+use crate::runtime::pool::{self, JoinError, Pool, ShutdownGuard};
 use crate::{CoreError, Result};
 
 /// What a pooled task yields: `Some` for split partials, `None` for
@@ -65,6 +67,120 @@ pub struct EngineStats {
     pub arena_reused_bytes: u64,
 }
 
+/// Recovery counters of one functional run (all zero when no
+/// [`FaultInjector`] is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Kernel launches that failed by injection.
+    pub faults_injected: u64,
+    /// Launches retried after a transient failure.
+    pub retries: u64,
+    /// GPU-role computations re-run in the CPU role after the retry
+    /// budget was exhausted.
+    pub fallbacks: u64,
+    /// Pool workers written off (panicked task or watchdog timeout)
+    /// whose partials were recomputed inline by the waiter.
+    pub worker_losses: u64,
+}
+
+impl FaultCounts {
+    /// Counter growth from `self` to `later`.
+    fn delta(&self, later: &FaultCounts) -> FaultCounts {
+        FaultCounts {
+            faults_injected: later.faults_injected - self.faults_injected,
+            retries: later.retries - self.retries,
+            fallbacks: later.fallbacks - self.fallbacks,
+            worker_losses: later.worker_losses - self.worker_losses,
+        }
+    }
+}
+
+/// Deterministic fault injection for functional runs.
+///
+/// Mirrors the analytic [`edgenn_sim::FaultClock`] on the real-tensor
+/// path: every GPU-role kernel launch consults the injector; a failing
+/// launch is retried up to `max_retries` times and then recomputed in
+/// the CPU role. The recomputation runs the identical kernel over the
+/// identical operands, so a recovered run is **bitwise identical** to
+/// the fault-free run of the same plan — resilience never perturbs the
+/// numerics. Environmental windows (bandwidth, thermal, stalls) scale
+/// simulated time only and do not apply here.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Per-node remaining failure charges; `u32::MAX` is permanent.
+    remaining: Vec<AtomicU32>,
+    /// Retries granted before a launch is re-placed on the CPU role.
+    max_retries: u32,
+    /// Watchdog bound for worker-held partial joins.
+    join_timeout: Option<Duration>,
+    faults_injected: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    worker_losses: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Builds an injector from `plan`'s kernel faults for a graph of
+    /// `nodes` nodes, with a per-kernel retry budget of `max_retries`.
+    #[must_use]
+    pub fn from_plan(plan: &FaultPlan, nodes: usize, max_retries: u32) -> Self {
+        let remaining: Vec<AtomicU32> = (0..nodes).map(|_| AtomicU32::new(0)).collect();
+        for fault in &plan.kernel_faults {
+            if let Some(cell) = remaining.get(fault.node) {
+                cell.store(fault.fail_count, Ordering::Relaxed);
+            }
+        }
+        Self {
+            remaining,
+            max_retries,
+            join_timeout: None,
+            faults_injected: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            worker_losses: AtomicU64::new(0),
+        }
+    }
+
+    /// Bounds every worker-held partial join by `timeout`: a worker
+    /// that holds a partial longer is written off as hung and its share
+    /// recomputed inline (see [`pool::note_worker_lost`]).
+    #[must_use]
+    pub fn with_join_timeout(mut self, timeout: Duration) -> Self {
+        self.join_timeout = Some(timeout);
+        self
+    }
+
+    /// Whether the next launch of `node`'s kernel fails, consuming one
+    /// failure charge (a `u32::MAX` charge never depletes).
+    fn should_fail(&self, node: usize) -> bool {
+        let Some(cell) = self.remaining.get(node) else {
+            return false;
+        };
+        let fails = cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| match n {
+                0 => None,
+                u32::MAX => Some(u32::MAX),
+                n => Some(n - 1),
+            })
+            .is_ok();
+        if fails {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fails
+    }
+
+    /// Recovery counters accumulated across every run so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            worker_losses: self.worker_losses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Statistics of one functional run.
 #[derive(Debug, Clone)]
 pub struct FunctionalOutcome {
@@ -81,6 +197,8 @@ pub struct FunctionalOutcome {
     pub parallel_regions: usize,
     /// Engine-overhead accounting (pool + scratch arena).
     pub engine: EngineStats,
+    /// Fault-recovery accounting (all zero without a [`FaultInjector`]).
+    pub recovery: FaultCounts,
 }
 
 /// A reusable functional execution session for one graph.
@@ -93,6 +211,7 @@ pub struct Executor<'g> {
     graph: &'g Graph,
     structure: Structure,
     observer: Option<Arc<dyn EventSink>>,
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for Executor<'_> {
@@ -100,6 +219,7 @@ impl std::fmt::Debug for Executor<'_> {
         f.debug_struct("Executor")
             .field("graph", &self.graph.name())
             .field("observer", &self.observer.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -114,6 +234,7 @@ impl<'g> Executor<'g> {
             graph,
             structure: graph.structure()?,
             observer: None,
+            faults: None,
         })
     }
 
@@ -121,6 +242,13 @@ impl<'g> Executor<'g> {
     #[must_use]
     pub fn with_observer(mut self, observer: Arc<dyn EventSink>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Injects faults from `injector` into every subsequent run.
+    #[must_use]
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
         self
     }
 
@@ -202,6 +330,7 @@ impl<'g> Executor<'g> {
                             slots,
                             corun: &corun,
                             cpu: &cpu,
+                            faults: self.faults.as_ref(),
                         },
                         &pool,
                     )
@@ -228,6 +357,7 @@ impl<'g> Executor<'g> {
                     cpu_layers: counters.cpu,
                     parallel_regions: counters.parallel_regions,
                     engine: counters.engine,
+                    recovery: counters.recovery,
                 };
                 self.emit_engine_counters(&outcome.engine);
                 Ok(outcome)
@@ -270,6 +400,7 @@ struct RunCounters {
     cpu: usize,
     parallel_regions: usize,
     engine: EngineStats,
+    recovery: FaultCounts,
 }
 
 /// Everything a node execution needs, shared by reference with pooled
@@ -285,6 +416,7 @@ struct Ctx<'env> {
     slots: &'env [OnceLock<Tensor>],
     corun: &'env AtomicUsize,
     cpu: &'env AtomicUsize,
+    faults: Option<&'env FaultInjector>,
 }
 
 impl Clone for Ctx<'_> {
@@ -302,6 +434,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
     let scratch_before = scratch_stats();
     let corun_before = ctx.corun.load(Ordering::Relaxed);
     let cpu_before = ctx.cpu.load(Ordering::Relaxed);
+    let recovery_before = ctx.faults.map(FaultInjector::counts).unwrap_or_default();
     let mut parallel_regions = 0usize;
 
     for segment in ctx.structure.segments() {
@@ -336,6 +469,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
         corun: ctx.corun.load(Ordering::Relaxed) - corun_before,
         cpu: ctx.cpu.load(Ordering::Relaxed) - cpu_before,
         parallel_regions,
+        recovery: recovery_before.delta(&ctx.faults.map(FaultInjector::counts).unwrap_or_default()),
         engine: EngineStats {
             pool_tasks: pool_delta.worker_tasks,
             inline_tasks: pool_delta.inline_tasks,
@@ -447,7 +581,11 @@ fn forward_assigned<'env>(
     let node = ctx.graph.node(id)?;
     let layer = node.layer();
     match ctx.plan.nodes[id.index()].assignment {
-        Assignment::Gpu => Ok((layer.forward(&inputs)?, false, 0)),
+        Assignment::Gpu => Ok((
+            recovering_forward(ctx, id, || Ok(layer.forward(&inputs)?))?,
+            false,
+            0,
+        )),
         Assignment::Cpu => Ok((layer.forward(&inputs)?, false, 1)),
         Assignment::SplitInput { cpu_fraction } => {
             let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
@@ -473,12 +611,21 @@ fn forward_assigned<'env>(
                         gpu_channels..channels,
                     )?))
                 }));
-                let gpu_part = layer.forward_partial_inputs(&inputs, 0..gpu_channels);
-                (gpu_part, join_partial(cpu_task, pool)?)
+                let gpu_part = recovering_forward(ctx, id, || {
+                    Ok(layer.forward_partial_inputs(&inputs, 0..gpu_channels)?)
+                });
+                (
+                    gpu_part,
+                    join_partial(ctx, cpu_task, pool, || {
+                        Ok(layer.forward_partial_inputs(&inputs, gpu_channels..channels)?)
+                    })?,
+                )
             } else {
                 let cpu_part = layer.forward_partial_inputs(&inputs, gpu_channels..channels)?;
                 (
-                    layer.forward_partial_inputs(&inputs, 0..gpu_channels),
+                    recovering_forward(ctx, id, || {
+                        Ok(layer.forward_partial_inputs(&inputs, 0..gpu_channels)?)
+                    }),
                     cpu_part,
                 )
             };
@@ -518,11 +665,23 @@ fn forward_assigned<'env>(
                 let cpu_task = pool.submit(Box::new(move || {
                     Ok(Some(layer.forward_partial(&task_inputs, gpu_units..units)?))
                 }));
-                let gpu_part = layer.forward_partial(&inputs, 0..gpu_units);
-                (gpu_part, join_partial(cpu_task, pool)?)
+                let gpu_part = recovering_forward(ctx, id, || {
+                    Ok(layer.forward_partial(&inputs, 0..gpu_units)?)
+                });
+                (
+                    gpu_part,
+                    join_partial(ctx, cpu_task, pool, || {
+                        Ok(layer.forward_partial(&inputs, gpu_units..units)?)
+                    })?,
+                )
             } else {
                 let cpu_part = layer.forward_partial(&inputs, gpu_units..units)?;
-                (layer.forward_partial(&inputs, 0..gpu_units), cpu_part)
+                (
+                    recovering_forward(ctx, id, || {
+                        Ok(layer.forward_partial(&inputs, 0..gpu_units)?)
+                    }),
+                    cpu_part,
+                )
             };
             // Move-merge: extend the GPU buffer with the CPU share and
             // restamp the layer's authoritative output shape — no
@@ -535,19 +694,69 @@ fn forward_assigned<'env>(
     }
 }
 
+/// Runs one GPU-role computation under the injector's recovery state
+/// machine: a failing launch is retried up to the budget, then
+/// recomputed in the CPU role. Every path runs the identical kernel
+/// over the identical operands, so recovery never perturbs the output.
+fn recovering_forward(
+    ctx: Ctx<'_>,
+    id: NodeId,
+    compute: impl Fn() -> Result<Tensor>,
+) -> Result<Tensor> {
+    let Some(injector) = ctx.faults else {
+        return compute();
+    };
+    if !injector.should_fail(id.index()) {
+        return compute();
+    }
+    let mut failed_attempts = 1u32;
+    loop {
+        if failed_attempts > injector.max_retries {
+            // Retry budget exhausted: re-place the work in the CPU role.
+            injector.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        injector.retries.fetch_add(1, Ordering::Relaxed);
+        if !injector.should_fail(id.index()) {
+            return compute();
+        }
+        failed_attempts += 1;
+    }
+}
+
 /// Joins a split-partial task, mapping pool-level failures to engine
-/// errors.
+/// errors. With a fault injector attached, a lost worker (panicked
+/// task, or one hung past the injector's join timeout) is converted
+/// into an inline recomputation of the identical share instead of a
+/// failed inference; a timed-out worker still occupies its core, so it
+/// is also debited from the global worker budget
+/// ([`pool::note_worker_lost`]).
 fn join_partial<'env>(
+    ctx: Ctx<'env>,
     task: crate::runtime::pool::TaskHandle<'env, TaskResult>,
     pool: &Pool<'env, TaskResult>,
+    recompute: impl FnOnce() -> Result<Tensor>,
 ) -> Result<Tensor> {
-    match task.join(pool) {
+    let joined = match ctx.faults.and_then(|f| f.join_timeout) {
+        Some(timeout) => task.join_deadline(pool, timeout),
+        None => task.join(pool),
+    };
+    match joined {
         Ok(result) => result?.ok_or_else(|| CoreError::Internal {
             reason: "split task returned no tensor".to_string(),
         }),
-        Err(_) => Err(CoreError::Internal {
-            reason: "cpu worker panicked".to_string(),
-        }),
+        Err(err) => {
+            let Some(injector) = ctx.faults else {
+                return Err(CoreError::Internal {
+                    reason: "cpu worker panicked".to_string(),
+                });
+            };
+            if err == JoinError::TimedOut {
+                pool::note_worker_lost();
+            }
+            injector.worker_losses.fetch_add(1, Ordering::Relaxed);
+            recompute()
+        }
     }
 }
 
@@ -776,6 +985,110 @@ mod tests {
                 outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
             );
         }
+    }
+
+    /// First GPU-role node of `plan` (skipping the input node) — the
+    /// anchor for targeted kernel-fault tests.
+    fn first_gpu_role_node(graph: &Graph, plan: &ExecutionPlan) -> usize {
+        graph
+            .topo_order()
+            .into_iter()
+            .find(|id| {
+                graph.node(*id).unwrap().layer().class() != LayerClass::Input
+                    && !matches!(plan.nodes[id.index()].assignment, Assignment::Cpu)
+            })
+            .expect("plan has a GPU-role node")
+            .index()
+    }
+
+    #[test]
+    fn recovered_runs_are_bitwise_identical_to_fault_free() {
+        // Property over seeded fault plans: for any injected fault mix,
+        // hybrid_forward with recovery must reproduce the fault-free
+        // output bit for bit.
+        for kind in [ModelKind::LeNet, ModelKind::SqueezeNet] {
+            let graph = build(kind, ModelScale::Tiny);
+            let plan = edgenn_plan(&graph);
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 21);
+            let clean = execute(&graph, &plan, &input).unwrap();
+            let mut any_injected = false;
+            for seed in 0..24u64 {
+                let faults = FaultPlan::from_seed(seed, graph.len());
+                let injector = FaultInjector::from_plan(&faults, graph.len(), 3);
+                let executor = Executor::new(&graph).unwrap().with_faults(injector);
+                let outcome = executor.execute(&plan, &input).unwrap();
+                any_injected |= outcome.recovery.faults_injected > 0;
+                assert!(
+                    outcome.output.approx_eq(&clean.output, 0.0),
+                    "{kind} seed {seed}: recovery perturbed the output by {}",
+                    outcome
+                        .output
+                        .max_abs_diff(&clean.output)
+                        .unwrap_or(f32::NAN)
+                );
+            }
+            assert!(any_injected, "{kind}: no seed exercised the injector");
+        }
+    }
+
+    #[test]
+    fn permanent_gpu_failure_exhausts_retries_then_falls_back_to_cpu() {
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 33);
+        let clean = execute(&graph, &plan, &input).unwrap();
+        let node = first_gpu_role_node(&graph, &plan);
+        let mut faults = FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node,
+            fail_count: u32::MAX,
+        });
+        let injector = FaultInjector::from_plan(&faults, graph.len(), 3);
+        let executor = Executor::new(&graph).unwrap().with_faults(injector);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert_eq!(outcome.recovery.retries, 3, "all retries spent");
+        assert_eq!(outcome.recovery.fallbacks, 1, "then exactly one fallback");
+        assert_eq!(outcome.recovery.faults_injected, 4, "initial + 3 retries");
+        assert!(outcome.output.approx_eq(&clean.output, 0.0));
+    }
+
+    #[test]
+    fn one_shot_transient_fault_recovers_in_exactly_one_retry() {
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 33);
+        let clean = execute(&graph, &plan, &input).unwrap();
+        let node = first_gpu_role_node(&graph, &plan);
+        let mut faults = FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node,
+            fail_count: 1,
+        });
+        let injector = FaultInjector::from_plan(&faults, graph.len(), 3);
+        let executor = Executor::new(&graph).unwrap().with_faults(injector);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert_eq!(outcome.recovery.retries, 1, "exactly one retry");
+        assert_eq!(outcome.recovery.fallbacks, 0, "no fallback needed");
+        assert_eq!(outcome.recovery.faults_injected, 1);
+        assert!(outcome.output.approx_eq(&clean.output, 0.0));
+    }
+
+    #[test]
+    fn hung_worker_partial_is_recomputed_inline_within_the_deadline() {
+        // A permanently-failing split node with a watchdog timeout: the
+        // run must still produce the exact fault-free output even when
+        // joins are deadline-bounded.
+        let graph = build(ModelKind::Fcnn, ModelScale::Paper);
+        let plan = edgenn_plan(&graph);
+        assert!(plan.corun_count() > 0);
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 3);
+        let clean = execute(&graph, &plan, &input).unwrap();
+        let faults = FaultPlan::from_seed(7, graph.len());
+        let injector = FaultInjector::from_plan(&faults, graph.len(), 2)
+            .with_join_timeout(Duration::from_secs(30));
+        let executor = Executor::new(&graph).unwrap().with_faults(injector);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert!(outcome.output.approx_eq(&clean.output, 0.0));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 pub mod functional;
 pub mod pool;
+pub mod resilience;
 
 use std::sync::Arc;
 
@@ -17,9 +18,12 @@ use edgenn_sim::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::{RecoveryAction, RecoveryCause};
 use crate::metrics::{InferenceReport, LayerTiming};
-use crate::plan::{Assignment, ExecutionPlan, MemoryPolicy};
+use crate::plan::{Assignment, ExecutionPlan, HybridMode, MemoryPolicy};
+use crate::runtime::resilience::{FaultCtx, RecoveryEvent, ResilienceConfig, ResilientOutcome};
 use crate::{CoreError, Result};
+use edgenn_sim::{FaultClock, FaultKind, FaultPlan};
 
 /// Maps a layer class to the simulator's operation class.
 pub fn op_class(class: LayerClass) -> OpClass {
@@ -261,6 +265,186 @@ impl<'a> Runtime<'a> {
         Ok(report)
     }
 
+    /// Simulates one inference under `plan` while the environment
+    /// misbehaves per `faults`, recovering per `cfg`: failed kernels are
+    /// retried with exponential backoff and re-placed on the CPU on
+    /// exhaustion (a permanent loss re-tunes the remaining suffix to the
+    /// CPU-only plan), a burning deadline budget degrades the suffix to
+    /// a single-processor plan, and OOM pressure shrinks the footprint
+    /// (explicit → managed arrays) before execution. With an empty fault
+    /// plan and no deadline this is step-for-step identical to
+    /// [`Runtime::simulate`].
+    ///
+    /// # Errors
+    /// Fails on plan/graph mismatches, workload errors, or a fault that
+    /// defeats every recovery path ([`CoreError::Unrecoverable`]).
+    pub fn simulate_with_faults(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        faults: &FaultPlan,
+        cfg: &ResilienceConfig,
+    ) -> Result<ResilientOutcome> {
+        plan.validate(graph)?;
+        let mut clock = FaultClock::new(faults.clone());
+        let mut log = crate::runtime::resilience::RecoveryLog {
+            max_attempts: cfg.max_retries,
+            ..Default::default()
+        };
+
+        // OOM pressure is a planning-time fault: if a co-tenant's
+        // reservation squeezes the plan's footprint out of DRAM, shrink
+        // it by converting explicit two-copy arrays to managed
+        // single-copy arrays (skipping input-split co-run outputs, whose
+        // semantics prescribe an explicit merge — EC012).
+        let mut effective = plan.clone();
+        let reserved = clock.reserved_bytes(self.platform.dram_bytes);
+        if reserved > 0 && self.platform.dram_bytes > 0 {
+            self.emit(SinkEvent::Fault {
+                category: "faults_injected",
+                kind: FaultKind::OomPressure.to_string(),
+                label: format!("{reserved} bytes reserved"),
+                t_us: 0.0,
+            });
+            let budget = self.platform.dram_bytes - reserved;
+            let fp = crate::footprint::footprint(graph, &effective)?;
+            if fp.peak_bytes > budget {
+                // Under the pure AllExplicit policy the per-node alloc is
+                // ignored, so the shrink must also move the plan to the
+                // semantic-aware policy for the node conversions to bind.
+                if effective.config.memory_policy != MemoryPolicy::AllManaged {
+                    for node_plan in &mut effective.nodes {
+                        node_plan.output_alloc =
+                            if matches!(node_plan.assignment, Assignment::SplitInput { .. }) {
+                                AllocStrategy::Explicit
+                            } else {
+                                AllocStrategy::Managed
+                            };
+                    }
+                    effective.config.memory_policy = MemoryPolicy::SemanticAware;
+                }
+                log.events.push(RecoveryEvent {
+                    t_us: 0.0,
+                    node: 0,
+                    cause: RecoveryCause::OomPressure,
+                    action: RecoveryAction::ShrinkFootprint,
+                    attempt: 0,
+                });
+                let shrunk = crate::footprint::footprint(graph, &effective)?;
+                if shrunk.peak_bytes > budget {
+                    return Err(CoreError::Unrecoverable {
+                        node: 0,
+                        kind: FaultKind::OomPressure,
+                    });
+                }
+            }
+        }
+
+        // Degraded plans are tuned up front so a mid-run switch is a
+        // lookup, not a re-tune under fire. The CPU-only plan is the
+        // re-tuned suffix after a permanent GPU loss; the deadline
+        // degradation switches a hybrid plan to the fastest
+        // single-processor plan (GPU-only where a GPU exists).
+        let cpu_plan = self.degraded_plan(graph, &effective, HybridMode::CpuOnly)?;
+        let degraded_plan = if self.platform.gpu.is_some() {
+            self.degraded_plan(graph, &effective, HybridMode::GpuOnly)?
+        } else {
+            cpu_plan.clone()
+        };
+
+        let ctx = FaultCtx {
+            clock,
+            cfg: *cfg,
+            log,
+            cpu_plan,
+            degraded_plan,
+            gpu_lost: false,
+            degraded: false,
+        };
+
+        let structure = graph.structure()?;
+        let mut timeline = self.new_timeline();
+        let mut sim = Sim {
+            runtime: self,
+            graph,
+            plan: &effective,
+            timeline: &mut timeline,
+            ready: vec![0.0; graph.len()],
+            loc: vec![Loc::Host; graph.len()],
+            layers: Vec::with_capacity(graph.len()),
+            jitter: StdRng::seed_from_u64(effective.config.jitter_seed),
+            faults: Some(ctx),
+        };
+        for segment in structure.segments() {
+            match segment {
+                Segment::Chain(nodes) => {
+                    for &id in nodes {
+                        sim.exec_node(id, false)?;
+                    }
+                }
+                Segment::Parallel { branches, join } => {
+                    sim.exec_parallel(branches, *join)?;
+                }
+            }
+        }
+        sim.read_back_output(graph.output_id())?;
+        let layers = sim.layers;
+        let mut ctx = sim.faults.take().expect("fault context survives the run");
+        ctx.log.faults_injected = ctx.clock.injected();
+        ctx.log.gpu_lost = ctx.gpu_lost;
+
+        let total_us = timeline.makespan_us();
+        self.emit(SinkEvent::Request {
+            latency_us: total_us,
+        });
+        let energy = self.platform.power.energy(&timeline);
+        let report = InferenceReport {
+            model: graph.name().to_string(),
+            platform: self.platform.name.clone(),
+            total_us,
+            summary: timeline.summary(),
+            energy,
+            layers,
+            events: timeline.events().to_vec(),
+            decisions: Vec::new(),
+        };
+        if let Some(sink) = &self.observer {
+            report.audit(sink.as_ref());
+        }
+        #[cfg(debug_assertions)]
+        {
+            let caps = edgenn_sim::trace::LinkCaps::from_platform(self.platform);
+            let violations: Vec<_> = edgenn_sim::trace::check_trace(&report.events, Some(&caps))
+                .into_iter()
+                .filter(|v| v.kind != edgenn_sim::trace::TraceViolationKind::AggregateBandwidth)
+                .collect();
+            debug_assert!(
+                violations.is_empty(),
+                "resilient runtime produced a racy trace for '{}' on '{}': {violations:?}",
+                report.model,
+                report.platform
+            );
+        }
+        Ok(ResilientOutcome {
+            report,
+            recovery: ctx.log,
+        })
+    }
+
+    /// Tunes a single-processor plan for degraded execution, preserving
+    /// the original config's memory policy and seeds.
+    fn degraded_plan(
+        &self,
+        graph: &Graph,
+        base: &ExecutionPlan,
+        hybrid: HybridMode,
+    ) -> Result<ExecutionPlan> {
+        let mut config = base.config;
+        config.hybrid = hybrid;
+        let tuner = crate::tuner::Tuner::new(graph, self)?;
+        tuner.plan(graph, self, config)
+    }
+
     /// Simulates a back-to-back stream of `requests` inferences sharing
     /// one plan (a deployed service's steady state). Requests are queued
     /// at t = 0; the per-processor clocks carry across requests, so a plan
@@ -437,6 +621,7 @@ impl<'a> Runtime<'a> {
             loc: vec![Loc::Host; graph.len()],
             layers: Vec::with_capacity(graph.len()),
             jitter: StdRng::seed_from_u64(plan.config.jitter_seed.wrapping_add(request)),
+            faults: None,
         };
         for segment in structure.segments() {
             match segment {
@@ -524,6 +709,9 @@ struct Sim<'a, 'p> {
     loc: Vec<Loc>,
     layers: Vec<LayerTiming>,
     jitter: StdRng,
+    /// Fault-injection state; `None` keeps the run on the exact
+    /// fault-free path (no extra RNG draws, no timing perturbation).
+    faults: Option<FaultCtx>,
 }
 
 impl Sim<'_, '_> {
@@ -537,6 +725,180 @@ impl Sim<'_, '_> {
             duration
         } else {
             duration * (1.0 + amp * self.jitter.gen_range(-1.0..=1.0))
+        }
+    }
+
+    /// The effective assignment of a node, honouring a mid-run suffix
+    /// switch to a degraded plan (GPU loss or deadline degradation).
+    fn assignment_of(&self, id: NodeId) -> Assignment {
+        if let Some(f) = &self.faults {
+            if f.gpu_lost {
+                return f.cpu_plan.nodes[id.index()].assignment;
+            }
+            if f.degraded {
+                return f.degraded_plan.nodes[id.index()].assignment;
+            }
+        }
+        self.plan.nodes[id.index()].assignment
+    }
+
+    /// Multiplier on attainable memory bandwidth from active
+    /// degradation windows (1 on the fault-free path).
+    fn fault_bw_factor(&mut self, t: f64) -> f64 {
+        let Some(f) = &mut self.faults else {
+            return 1.0;
+        };
+        let before = f.clock.injected();
+        let factor = f.clock.bandwidth_factor_at(t);
+        if f.clock.injected() > before {
+            self.runtime.emit(SinkEvent::Fault {
+                category: "faults_injected",
+                kind: FaultKind::BandwidthDegradation.to_string(),
+                label: String::new(),
+                t_us: t,
+            });
+        }
+        factor
+    }
+
+    /// Multiplier on the compute roofline from active thermal windows.
+    fn fault_compute_factor(&mut self, t: f64) -> f64 {
+        let Some(f) = &mut self.faults else {
+            return 1.0;
+        };
+        let before = f.clock.injected();
+        let factor = f.clock.compute_factor_at(t);
+        if f.clock.injected() > before {
+            self.runtime.emit(SinkEvent::Fault {
+                category: "faults_injected",
+                kind: FaultKind::ThermalThrottle.to_string(),
+                label: String::new(),
+                t_us: t,
+            });
+        }
+        factor
+    }
+
+    /// Multiplier (≥ 1) on managed-page migration time from active
+    /// stall windows.
+    fn fault_stall_factor(&mut self, t: f64) -> f64 {
+        let Some(f) = &mut self.faults else {
+            return 1.0;
+        };
+        let before = f.clock.injected();
+        let factor = f.clock.stall_factor_at(t);
+        if f.clock.injected() > before {
+            self.runtime.emit(SinkEvent::Fault {
+                category: "faults_injected",
+                kind: FaultKind::MigrationStall.to_string(),
+                label: String::new(),
+                t_us: t,
+            });
+        }
+        factor
+    }
+
+    /// Consumes one planned failure of `id`'s kernel, if any remains.
+    fn fault_should_fail(&mut self, id: NodeId, name: &str, t: f64) -> bool {
+        let Some(f) = &mut self.faults else {
+            return false;
+        };
+        if f.clock.should_fail_kernel(id.index()) {
+            self.runtime.emit(SinkEvent::Fault {
+                category: "faults_injected",
+                kind: FaultKind::TransientKernel.to_string(),
+                label: name.to_string(),
+                t_us: t,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The retry budget per failed kernel (0 without fault injection).
+    fn fault_retry_budget(&self) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.cfg.max_retries)
+    }
+
+    /// Records a retry decision after failed attempt `attempt` and
+    /// returns the backoff gap to wait before re-launching.
+    fn fault_log_retry(&mut self, id: NodeId, name: &str, t: f64, attempt: u32) -> f64 {
+        let Some(f) = &mut self.faults else {
+            return 0.0;
+        };
+        f.log.retries += 1;
+        f.log.events.push(RecoveryEvent {
+            t_us: t,
+            node: id.index(),
+            cause: RecoveryCause::TransientKernel,
+            action: RecoveryAction::Retry,
+            attempt,
+        });
+        self.runtime.emit(SinkEvent::Fault {
+            category: "retries",
+            kind: RecoveryCause::TransientKernel.to_string(),
+            label: name.to_string(),
+            t_us: t,
+        });
+        f.cfg.backoff_us(attempt)
+    }
+
+    /// Records a GPU→CPU fallback; a permanent failure marks the GPU
+    /// lost so the remaining suffix re-tunes to the CPU-only plan.
+    fn fault_log_fallback(&mut self, id: NodeId, name: &str, t: f64, attempt: u32) {
+        let Some(f) = &mut self.faults else { return };
+        let permanent = f.clock.is_permanent(id.index());
+        let cause = if permanent {
+            RecoveryCause::PermanentKernel
+        } else {
+            RecoveryCause::TransientKernel
+        };
+        f.log.fallbacks += 1;
+        f.log.events.push(RecoveryEvent {
+            t_us: t,
+            node: id.index(),
+            cause,
+            action: RecoveryAction::FallbackToCpu,
+            attempt,
+        });
+        if permanent {
+            f.gpu_lost = true;
+        }
+        self.runtime.emit(SinkEvent::Fault {
+            category: "fallbacks",
+            kind: cause.to_string(),
+            label: name.to_string(),
+            t_us: t,
+        });
+    }
+
+    /// Degrades the remaining suffix to the single-processor plan when
+    /// the deadline budget is burning (at most once per run).
+    fn maybe_degrade_for_deadline(&mut self, id: NodeId, now: f64) {
+        let Some(f) = &mut self.faults else { return };
+        if f.degraded || f.gpu_lost {
+            return;
+        }
+        let Some(deadline) = f.cfg.deadline_us else {
+            return;
+        };
+        if now > deadline * f.cfg.deadline_degrade_fraction {
+            f.degraded = true;
+            f.log.deadline_degradations += 1;
+            f.log.events.push(RecoveryEvent {
+                t_us: now,
+                node: id.index(),
+                cause: RecoveryCause::DeadlineOverrun,
+                action: RecoveryAction::DegradeToSingleProcessor,
+                attempt: 0,
+            });
+            self.runtime.emit(SinkEvent::Fault {
+                category: "deadline_degradations",
+                kind: RecoveryCause::DeadlineOverrun.to_string(),
+                label: String::new(),
+                t_us: now,
+            });
         }
     }
 
@@ -575,7 +937,8 @@ impl Sim<'_, '_> {
         let label = format!("{} -> {proc}", node.layer().name());
         let end = match self.alloc_of(id) {
             AllocStrategy::Explicit => {
-                let dur = memory.copy_time_us(bytes);
+                // A bandwidth-degradation window stretches the DMA.
+                let dur = memory.copy_time_us(bytes) / self.fault_bw_factor(at);
                 self.timeline
                     .schedule_bus(TraceKind::Copy, at, dur, bytes, Some(proc), label)
             }
@@ -586,7 +949,8 @@ impl Sim<'_, '_> {
                         .successors(id)
                         .iter()
                         .any(|s| self.plan.nodes[s.index()].prefetch_inputs);
-                let dur = memory.migration_time_us(bytes, prefetched);
+                // A stall window multiplies the page-migration time.
+                let dur = memory.migration_time_us(bytes, prefetched) * self.fault_stall_factor(at);
                 self.timeline
                     .schedule_bus(TraceKind::Migration, at, dur, bytes, Some(proc), label)
             }
@@ -606,7 +970,13 @@ impl Sim<'_, '_> {
             self.loc[id.index()] = Loc::Host;
             return Ok(());
         }
-        match self.plan.nodes[id.index()].assignment {
+        let now = node
+            .inputs()
+            .iter()
+            .map(|i| self.ready[i.index()])
+            .fold(0.0, f64::max);
+        self.maybe_degrade_for_deadline(id, now);
+        match self.assignment_of(id) {
             Assignment::Gpu => self.exec_solo(id, ProcessorKind::Gpu, corun_context),
             Assignment::Cpu => self.exec_solo(id, ProcessorKind::Cpu, corun_context),
             Assignment::Split { cpu_fraction } => self.exec_split(id, cpu_fraction, false),
@@ -674,23 +1044,70 @@ impl Sim<'_, '_> {
 
         // The zero-copy access penalty is a GPU-side effect (managed pages
         // lose some coalescing); the CPU reads the same DRAM either way.
-        let ctx = ExecutionContext {
-            bandwidth_factor: if naive || proc == ProcessorKind::Cpu {
-                1.0
-            } else {
-                self.bandwidth_factor(id)
-            },
-            contention_factor: if corun {
-                memory.corun_contention_factor
-            } else {
-                1.0
-            },
+        let policy_bw = if naive {
+            1.0
+        } else {
+            self.bandwidth_factor(id)
         };
-        let duration = self.jittered(spec.kernel_time_us(&desc, &ctx));
-        let mut end =
-            self.timeline
-                .schedule(proc, TraceKind::Kernel, ready, duration, name.clone());
-        let kernel_us = duration;
+        let contention = if corun {
+            memory.corun_contention_factor
+        } else {
+            1.0
+        };
+        // Kernel launch with recovery: an injected failure occupies the
+        // processor for the attempt, then either retries after an
+        // exponential backoff or — once the budget is exhausted —
+        // re-places the work on the CPU.
+        let mut proc = proc;
+        let mut spec = spec;
+        let mut kernel_us = 0.0;
+        let mut failed_attempts = 0u32;
+        let mut end = loop {
+            let ctx = ExecutionContext {
+                bandwidth_factor: if proc == ProcessorKind::Cpu {
+                    1.0
+                } else {
+                    policy_bw
+                } * self.fault_bw_factor(ready),
+                contention_factor: contention,
+                compute_factor: self.fault_compute_factor(ready),
+            };
+            let duration = self.jittered(spec.kernel_time_us(&desc, &ctx));
+            kernel_us += duration;
+            if proc == ProcessorKind::Cpu || !self.fault_should_fail(id, &name, ready) {
+                break self.timeline.schedule(
+                    proc,
+                    TraceKind::Kernel,
+                    ready,
+                    duration,
+                    name.clone(),
+                );
+            }
+            failed_attempts += 1;
+            let fail_end = self.timeline.schedule(
+                proc,
+                TraceKind::Kernel,
+                ready,
+                duration,
+                format!("{name} [attempt {failed_attempts} failed]"),
+            );
+            if failed_attempts <= self.fault_retry_budget() {
+                let backoff = self.fault_log_retry(id, &name, fail_end, failed_attempts);
+                ready = fail_end + backoff;
+            } else {
+                self.fault_log_fallback(id, &name, fail_end, failed_attempts);
+                proc = ProcessorKind::Cpu;
+                spec = self.runtime.spec(ProcessorKind::Cpu)?.clone();
+                ready = fail_end;
+                if !(naive || managed_bounce) {
+                    for input in &inputs {
+                        ready = self
+                            .make_available(*input, ProcessorKind::Cpu, ready)
+                            .max(ready);
+                    }
+                }
+            }
+        };
 
         if (naive || managed_bounce) && proc == ProcessorKind::Gpu {
             // ... and the host reads the output after it.
@@ -724,7 +1141,7 @@ impl Sim<'_, '_> {
             node: id.index(),
             name,
             class_tag: class.tag().to_string(),
-            assignment: self.plan.nodes[id.index()].assignment,
+            assignment: self.assignment_of(id),
             start_us: start,
             end_us: end,
             kernel_us,
@@ -786,13 +1203,19 @@ impl Sim<'_, '_> {
         } else {
             self.bandwidth_factor(id)
         };
+        let window_bw = self.fault_bw_factor(ready);
+        let window_compute = self.fault_compute_factor(ready);
         let cpu_ctx = ExecutionContext {
-            bandwidth_factor: 1.0, // zero-copy penalty is GPU-side only
+            // Zero-copy penalty is GPU-side only, but a degradation
+            // window squeezes the shared DRAM for both processors.
+            bandwidth_factor: window_bw,
             contention_factor: memory.corun_contention_factor,
+            compute_factor: window_compute,
         };
         let gpu_ctx = ExecutionContext {
-            bandwidth_factor: bw,
+            bandwidth_factor: bw * window_bw,
             contention_factor: memory.corun_contention_factor,
+            compute_factor: window_compute,
         };
         let (cpu_desc, gpu_desc) = if by_input {
             (
@@ -803,7 +1226,6 @@ impl Sim<'_, '_> {
             (scale_desc(&desc, p_cpu), scale_desc(&desc, 1.0 - p_cpu))
         };
         let t_cpu = self.jittered(cpu.kernel_time_us(&cpu_desc, &cpu_ctx));
-        let t_gpu = self.jittered(gpu.kernel_time_us(&gpu_desc, &gpu_ctx));
         let cpu_end = self.timeline.schedule(
             ProcessorKind::Cpu,
             TraceKind::Kernel,
@@ -811,15 +1233,50 @@ impl Sim<'_, '_> {
             t_cpu,
             format!("{name} [cpu part]"),
         );
-        let gpu_end = self.timeline.schedule(
-            ProcessorKind::Gpu,
-            TraceKind::Kernel,
-            ready,
-            t_gpu,
-            format!("{name} [gpu part]"),
-        );
+        // GPU share with recovery: a failed launch retries with backoff;
+        // exhaustion re-executes the GPU's share on the CPU after its
+        // own part (recovery changes *where*, never *what*).
+        let mut gpu_ready = ready;
+        let mut failed_attempts = 0u32;
+        let mut t_gpu_total = 0.0;
+        let gpu_end = loop {
+            let t_gpu = self.jittered(gpu.kernel_time_us(&gpu_desc, &gpu_ctx));
+            t_gpu_total += t_gpu;
+            if !self.fault_should_fail(id, &name, gpu_ready) {
+                break self.timeline.schedule(
+                    ProcessorKind::Gpu,
+                    TraceKind::Kernel,
+                    gpu_ready,
+                    t_gpu,
+                    format!("{name} [gpu part]"),
+                );
+            }
+            failed_attempts += 1;
+            let fail_end = self.timeline.schedule(
+                ProcessorKind::Gpu,
+                TraceKind::Kernel,
+                gpu_ready,
+                t_gpu,
+                format!("{name} [gpu part attempt {failed_attempts} failed]"),
+            );
+            if failed_attempts <= self.fault_retry_budget() {
+                let backoff = self.fault_log_retry(id, &name, fail_end, failed_attempts);
+                gpu_ready = fail_end + backoff;
+            } else {
+                self.fault_log_fallback(id, &name, fail_end, failed_attempts);
+                let t = self.jittered(cpu.kernel_time_us(&gpu_desc, &cpu_ctx));
+                t_gpu_total += t;
+                break self.timeline.schedule(
+                    ProcessorKind::Cpu,
+                    TraceKind::Kernel,
+                    cpu_end.max(fail_end),
+                    t,
+                    format!("{name} [gpu share on cpu]"),
+                );
+            }
+        };
         let mut end = cpu_end.max(gpu_end);
-        let kernel_us = t_cpu.max(t_gpu);
+        let kernel_us = t_cpu.max(t_gpu_total);
 
         // Merge the CPU part into the canonical output array. An
         // input-channel split produces a full-size partial sum on each
@@ -880,7 +1337,7 @@ impl Sim<'_, '_> {
             node: id.index(),
             name,
             class_tag: class.tag().to_string(),
-            assignment: self.plan.nodes[id.index()].assignment,
+            assignment: self.assignment_of(id),
             start_us: start,
             end_us: end,
             kernel_us,
@@ -896,10 +1353,7 @@ impl Sim<'_, '_> {
         let mut has_cpu = false;
         let mut has_gpu = false;
         for branch in branches {
-            match branch
-                .first()
-                .map(|id| self.plan.nodes[id.index()].assignment)
-            {
+            match branch.first().map(|id| self.assignment_of(*id)) {
                 Some(Assignment::Cpu) => has_cpu = true,
                 Some(Assignment::Gpu)
                 | Some(Assignment::Split { .. })
@@ -1247,5 +1701,168 @@ mod tests {
         }
         let sum_kernels: f64 = report.layers.iter().map(|l| l.kernel_us).sum();
         assert!(sum_kernels <= report.total_us + 1e-6);
+    }
+
+    /// First non-input node index in the GPU plan (fault anchor).
+    fn first_kernel_node(graph: &Graph) -> usize {
+        graph
+            .topo_order()
+            .into_iter()
+            .find(|id| graph.node(*id).unwrap().layer().class() != LayerClass::Input)
+            .unwrap()
+            .index()
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identical_to_plain_simulate() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        let plain = runtime.simulate(&graph, &plan).unwrap();
+        let outcome = runtime
+            .simulate_with_faults(
+                &graph,
+                &plan,
+                &FaultPlan::none(),
+                &ResilienceConfig::default(),
+            )
+            .unwrap();
+        assert!(outcome.recovery.is_clean());
+        assert_eq!(
+            outcome.report.total_us, plain.total_us,
+            "resilience machinery must cost nothing when idle"
+        );
+    }
+
+    #[test]
+    fn analytic_permanent_failure_exhausts_retries_then_falls_back() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        let mut faults = FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node: first_kernel_node(&graph),
+            fail_count: u32::MAX,
+        });
+        let cfg = ResilienceConfig::default();
+        let outcome = runtime
+            .simulate_with_faults(&graph, &plan, &faults, &cfg)
+            .unwrap();
+        assert_eq!(outcome.recovery.retries, u64::from(cfg.max_retries));
+        assert_eq!(outcome.recovery.fallbacks, 1);
+        assert!(outcome.recovery.gpu_lost, "permanent loss re-tunes to CPU");
+        let clean = runtime.simulate(&graph, &plan).unwrap();
+        assert!(
+            outcome.report.total_us > clean.total_us,
+            "retries and the CPU path must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn analytic_one_shot_transient_recovers_in_one_retry() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::LeNet, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        let mut faults = FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node: first_kernel_node(&graph),
+            fail_count: 1,
+        });
+        let outcome = runtime
+            .simulate_with_faults(&graph, &plan, &faults, &ResilienceConfig::default())
+            .unwrap();
+        assert_eq!(outcome.recovery.retries, 1);
+        assert_eq!(outcome.recovery.fallbacks, 0);
+        assert!(!outcome.recovery.gpu_lost);
+        assert_eq!(outcome.recovery.faults_injected, 1);
+    }
+
+    #[test]
+    fn deadline_budget_degrades_the_run_to_a_single_processor() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::ResNet18, ModelScale::Paper);
+        let plan = {
+            let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
+        };
+        let cfg = ResilienceConfig {
+            deadline_us: Some(1.0), // burns immediately
+            ..ResilienceConfig::default()
+        };
+        let outcome = runtime
+            .simulate_with_faults(&graph, &plan, &FaultPlan::none(), &cfg)
+            .unwrap();
+        assert_eq!(outcome.recovery.deadline_degradations, 1);
+        assert!(outcome
+            .recovery
+            .events
+            .iter()
+            .any(|e| e.action == RecoveryAction::DegradeToSingleProcessor));
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_deterministic_and_survive_every_seed() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Paper);
+        let plan = {
+            let tuner = crate::tuner::Tuner::new(&graph, &runtime).unwrap();
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn())
+                .unwrap()
+        };
+        let cfg = ResilienceConfig::default();
+        for seed in 0..12u64 {
+            let faults = FaultPlan::from_seed(seed, graph.len());
+            let a = runtime
+                .simulate_with_faults(&graph, &plan, &faults, &cfg)
+                .unwrap();
+            let b = runtime
+                .simulate_with_faults(&graph, &plan, &faults, &cfg)
+                .unwrap();
+            assert_eq!(a.report.total_us, b.report.total_us, "seed {seed}");
+            assert_eq!(
+                a.recovery.faults_injected, b.recovery.faults_injected,
+                "seed {seed}"
+            );
+            assert!(a.report.total_us.is_finite() && a.report.total_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn oom_pressure_shrinks_the_footprint_to_managed_arrays() {
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let graph = build(ModelKind::Vgg16, ModelScale::Paper);
+        let plan = gpu_plan(&graph, ExecutionConfig::baseline_gpu());
+        // Reserve enough DRAM that the explicit-copy footprint no longer
+        // fits but the all-managed one still does, forcing exactly one
+        // shrink rather than an unrecoverable failure.
+        let explicit_peak = crate::footprint::footprint(&graph, &plan)
+            .unwrap()
+            .peak_bytes;
+        let mut managed_plan = plan.clone();
+        managed_plan.config.memory_policy = MemoryPolicy::AllManaged;
+        let managed_peak = crate::footprint::footprint(&graph, &managed_plan)
+            .unwrap()
+            .peak_bytes;
+        assert!(managed_peak < explicit_peak);
+        let budget = (managed_peak + explicit_peak) as f64 / 2.0;
+        let mut faults = FaultPlan::none();
+        faults.oom_reserve_fraction = 1.0 - budget / platform.dram_bytes as f64;
+        let outcome = runtime
+            .simulate_with_faults(&graph, &plan, &faults, &ResilienceConfig::default())
+            .unwrap();
+        assert!(outcome
+            .recovery
+            .events
+            .iter()
+            .any(|e| e.action == RecoveryAction::ShrinkFootprint));
     }
 }

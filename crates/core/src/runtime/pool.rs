@@ -41,6 +41,40 @@ pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
 pub enum JoinError {
     /// The job panicked (on a worker or during inline reclaim).
     Panicked,
+    /// The watchdog deadline of [`TaskHandle::join_deadline`] expired
+    /// while a worker still held the job (hung or starved worker).
+    TimedOut,
+}
+
+/// Cross-session count of workers a watchdog has written off as hung.
+/// Each lost worker still occupies a core, so future sessions must
+/// spawn fewer workers to avoid over-subscribing what remains.
+static LOST_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Cached `available_parallelism` probe; `usize::MAX` means "re-probe".
+static CACHED_PARALLELISM: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+/// Records that a watchdog gave up on a hung worker: the cached core
+/// probe is invalidated (re-read on the next session, in case the
+/// container's quota also moved) and one core is debited from
+/// [`Pool::default_workers`] so the next session does not over-subscribe
+/// the cores the hung thread still occupies.
+pub fn note_worker_lost() {
+    LOST_WORKERS.fetch_add(1, Ordering::Relaxed);
+    CACHED_PARALLELISM.store(usize::MAX, Ordering::Relaxed);
+}
+
+/// Credits back a worker previously written off via [`note_worker_lost`]
+/// (its job eventually completed and the thread exited cleanly).
+pub fn note_worker_recovered() {
+    let _ = LOST_WORKERS.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    CACHED_PARALLELISM.store(usize::MAX, Ordering::Relaxed);
+}
+
+/// Workers currently written off as hung.
+pub fn lost_workers() -> usize {
+    LOST_WORKERS.load(Ordering::Relaxed)
 }
 
 /// Lifecycle of one submitted task.
@@ -155,13 +189,19 @@ impl<'env, T> Pool<'env, T> {
     /// The core count is probed once and cached:
     /// `available_parallelism` re-reads cgroup quota files on every call
     /// on Linux, which costs more than an entire small-model inference.
+    /// The cache is invalidated whenever a watchdog writes a worker off
+    /// ([`note_worker_lost`]), and each lost worker is debited from the
+    /// answer — its hung thread still occupies a core, so spawning a
+    /// replacement on top would over-subscribe what remains.
     pub fn default_workers() -> usize {
-        static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-        *WORKERS.get_or_init(|| {
-            std::thread::available_parallelism()
-                .map_or(1, std::num::NonZeroUsize::get)
-                .saturating_sub(1)
-        })
+        let mut cores = CACHED_PARALLELISM.load(Ordering::Relaxed);
+        if cores == usize::MAX {
+            cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            CACHED_PARALLELISM.store(cores, Ordering::Relaxed);
+        }
+        cores
+            .saturating_sub(1)
+            .saturating_sub(LOST_WORKERS.load(Ordering::Relaxed))
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState<'env, T>> {
@@ -264,6 +304,32 @@ impl<'env, T> TaskHandle<'env, T> {
     /// # Errors
     /// [`JoinError::Panicked`] when the job panicked.
     pub fn join(self, pool: &Pool<'env, T>) -> Result<T, JoinError> {
+        self.join_until(pool, None)
+    }
+
+    /// Like [`TaskHandle::join`] but watchdog-bounded: waits at most
+    /// `timeout` for a worker-held task before giving up with
+    /// [`JoinError::TimedOut`], converting a hung worker into a
+    /// recoverable error instead of a stalled inference. A still-queued
+    /// task is reclaimed inline exactly as in `join` and never times
+    /// out — only a task another thread actually holds can hang.
+    ///
+    /// # Errors
+    /// [`JoinError::Panicked`] when the job panicked;
+    /// [`JoinError::TimedOut`] when the deadline expired first.
+    pub fn join_deadline(
+        self,
+        pool: &Pool<'env, T>,
+        timeout: std::time::Duration,
+    ) -> Result<T, JoinError> {
+        self.join_until(pool, Some(timeout))
+    }
+
+    fn join_until(
+        self,
+        pool: &Pool<'env, T>,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<T, JoinError> {
         // Try to reclaim a still-pending task: drop it from the shared
         // queue view lazily (workers skip non-pending tasks) and run it
         // on this thread.
@@ -289,16 +355,30 @@ impl<'env, T> TaskHandle<'env, T> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner) = TaskState::Taken;
             return outcome.ok_or(JoinError::Panicked);
         }
+        let deadline = timeout.map(|t| Instant::now() + t);
         loop {
             match std::mem::replace(&mut *state, TaskState::Taken) {
                 TaskState::Done(outcome) => return outcome.ok_or(JoinError::Panicked),
                 other @ (TaskState::Running | TaskState::Taken) => {
                     *state = other;
-                    state = self
-                        .0
-                        .done
-                        .wait(state)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state = match deadline {
+                        None => self
+                            .0
+                            .done
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                return Err(JoinError::TimedOut);
+                            }
+                            self.0
+                                .done
+                                .wait_timeout(state, deadline - now)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .0
+                        }
+                    };
                 }
                 TaskState::Pending(_) => unreachable!("pending handled before the wait loop"),
             }
@@ -395,10 +475,73 @@ mod tests {
         });
     }
 
+    /// Serializes tests that touch the process-global worker-loss
+    /// accounting (tests in one binary run concurrently).
+    fn workers_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn default_workers_leaves_the_driver_a_core() {
+        let _serial = workers_lock();
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        assert_eq!(Pool::<()>::default_workers(), cores - 1);
+        assert_eq!(
+            Pool::<()>::default_workers(),
+            (cores - 1).saturating_sub(lost_workers())
+        );
+    }
+
+    #[test]
+    fn watchdog_losses_debit_default_workers_and_invalidate_the_cache() {
+        let _serial = workers_lock();
+        let before = Pool::<()>::default_workers();
+        note_worker_lost();
+        assert_eq!(
+            Pool::<()>::default_workers(),
+            before.saturating_sub(1),
+            "a lost worker's core must not be re-spawned onto"
+        );
+        note_worker_recovered();
+        assert_eq!(Pool::<()>::default_workers(), before);
+        // Recovering below zero is a no-op, not an underflow.
+        note_worker_recovered();
+        assert_eq!(Pool::<()>::default_workers(), before);
+    }
+
+    #[test]
+    fn join_deadline_times_out_on_a_hung_worker() {
+        use std::sync::atomic::AtomicBool;
+        with_pool(1, |pool| {
+            static STARTED: AtomicBool = AtomicBool::new(false);
+            let started = &STARTED;
+            let h = pool.submit(Box::new(move || {
+                started.store(true, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                1u32
+            }));
+            // Wait until the worker actually holds the job, so the
+            // help-first inline reclaim cannot short-circuit the test.
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                h.join_deadline(pool, std::time::Duration::from_millis(10)),
+                Err(JoinError::TimedOut)
+            );
+        });
+    }
+
+    #[test]
+    fn join_deadline_completes_in_time_via_inline_reclaim() {
+        with_pool(0, |pool| {
+            let h = pool.submit(Box::new(|| 5u32));
+            assert_eq!(
+                h.join_deadline(pool, std::time::Duration::from_secs(5)),
+                Ok(5)
+            );
+        });
     }
 
     #[test]

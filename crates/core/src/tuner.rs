@@ -39,6 +39,7 @@ fn solo_policy_ctx(bw_factor: f64) -> edgenn_sim::processor::ExecutionContext {
     edgenn_sim::processor::ExecutionContext {
         bandwidth_factor: bw_factor,
         contention_factor: 1.0,
+        compute_factor: 1.0,
     }
 }
 
@@ -572,10 +573,12 @@ impl Tuner {
             let cpu_corun = edgenn_sim::processor::ExecutionContext {
                 bandwidth_factor: 1.0,
                 contention_factor: memory.corun_contention_factor,
+                compute_factor: 1.0,
             };
             let gpu_corun = edgenn_sim::processor::ExecutionContext {
                 bandwidth_factor: policy_factor,
                 contention_factor: memory.corun_contention_factor,
+                compute_factor: 1.0,
             };
             // Measurement feedback: EMA / analytic ratio corrects the
             // model toward observed behaviour.

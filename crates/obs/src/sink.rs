@@ -71,6 +71,22 @@ pub enum SinkEvent {
         /// Amount to add to the running total.
         value: f64,
     },
+    /// One fault-injection or recovery occurrence from the resilience
+    /// layer. Aggregated into `edgenn_<category>_total` counters
+    /// (`faults_injected`, `retries`, `fallbacks`,
+    /// `deadline_degradations`) so storm runs and recorded sessions
+    /// expose exactly how often the stack had to save itself.
+    Fault {
+        /// Which resilience counter this increments: "faults_injected",
+        /// "retries", "fallbacks", or "deadline_degradations".
+        category: &'static str,
+        /// The fault or cause ("transient-kernel", "deadline-overrun").
+        kind: String,
+        /// What it hit (layer name, or empty for run-wide faults).
+        label: String,
+        /// When it happened (us, simulated clock).
+        t_us: f64,
+    },
     /// One static-analysis finding from the `edgenn-check` verifier,
     /// mirrored into the session so recorded runs carry the checker's
     /// verdict next to the trace it judged.
@@ -273,6 +289,10 @@ impl Recorder {
             SinkEvent::EngineCounter { name, value } => {
                 self.metrics
                     .inc_counter(&format!("edgenn_engine_{name}_total"), *value);
+            }
+            SinkEvent::Fault { category, .. } => {
+                self.metrics
+                    .inc_counter(&format!("edgenn_{category}_total"), 1.0);
             }
             SinkEvent::Diagnostic { severity, .. } => {
                 self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);

@@ -1,0 +1,589 @@
+//! Deterministic, seed-driven fault injection (`edgenn-faults`).
+//!
+//! Real integrated SoCs misbehave in ways the calibrated platform models
+//! of [`crate::platforms`] deliberately idealize away: kernels drop on a
+//! driver hiccup, co-running apps steal DRAM bandwidth, thermal limits
+//! clamp the rooflines, managed pages stall mid-migration, and co-tenant
+//! processes squeeze the memory budget. This module describes those
+//! disturbances as data — a [`FaultPlan`] — and hands the executing
+//! timeline a [`FaultClock`] to consult, so a faulty run is exactly as
+//! reproducible as a clean one: same seed, same faults, same trace.
+//!
+//! Five fault kinds are modeled ([`FaultKind`]):
+//!
+//! - **Transient kernel failure** — a kernel launch fails `fail_count`
+//!   times before succeeding (`u32::MAX` = permanent). The runtime's
+//!   resilience layer retries with backoff and, on exhaustion, re-places
+//!   the work on the CPU.
+//! - **DRAM bandwidth degradation** — a time window during which
+//!   attainable memory bandwidth is multiplied by `factor < 1`
+//!   (a co-running app streaming through the shared LPDDR4x).
+//! - **Thermal throttling** — a window scaling the *compute* roofline
+//!   (sustained clocks drop once the SoC heats up).
+//! - **Migration stall** — a window multiplying managed-page migration
+//!   time by `factor > 1` (page-walk contention).
+//! - **OOM pressure** — a co-tenant reserves a fraction of
+//!   [`crate::Platform::dram_bytes`]; plans whose footprint no longer
+//!   fits must shrink (explicit two-copy arrays → single-copy managed).
+//!
+//! Plans come from a seed ([`FaultPlan::from_seed`]) for Monte-Carlo
+//! storms, or from the human-writable spec grammar ([`FaultPlan::parse`])
+//! for targeted reproduction of one scenario.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// The taxonomy of injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultKind {
+    /// A kernel launch fails and must be retried or re-placed.
+    TransientKernel,
+    /// Attainable DRAM bandwidth drops for a time window.
+    BandwidthDegradation,
+    /// The compute roofline drops for a time window (thermal clamp).
+    ThermalThrottle,
+    /// Managed-page migrations stall (page-walk contention window).
+    MigrationStall,
+    /// A co-tenant squeezes the DRAM budget below the plan's footprint.
+    OomPressure,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::TransientKernel => "transient-kernel",
+            Self::BandwidthDegradation => "bandwidth-degradation",
+            Self::ThermalThrottle => "thermal-throttle",
+            Self::MigrationStall => "migration-stall",
+            Self::OomPressure => "oom-pressure",
+        })
+    }
+}
+
+/// A kernel-failure injection on one graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct KernelFault {
+    /// Target node index (the runtime injects when this node launches on
+    /// the GPU).
+    pub node: usize,
+    /// How many consecutive launches fail before one succeeds;
+    /// `u32::MAX` means the kernel never comes back (permanent loss).
+    pub fail_count: u32,
+}
+
+/// A time window scaling one aspect of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultWindow {
+    /// Window start (us, simulated clock).
+    pub start_us: f64,
+    /// Window end (us, simulated clock).
+    pub end_us: f64,
+    /// The multiplier applied while the window is active: `< 1` for
+    /// bandwidth/thermal degradation, `> 1` for migration stalls.
+    pub factor: f64,
+}
+
+impl FaultWindow {
+    /// True when `t_us` falls inside the window.
+    #[must_use]
+    pub fn active(&self, t_us: f64) -> bool {
+        t_us >= self.start_us && t_us < self.end_us
+    }
+}
+
+/// A complete, declarative description of one run's disturbances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Kernel-failure injections, at most one entry per node.
+    pub kernel_faults: Vec<KernelFault>,
+    /// DRAM bandwidth degradation windows (`factor < 1`).
+    pub bandwidth_windows: Vec<FaultWindow>,
+    /// Thermal throttle windows scaling the compute roofline
+    /// (`factor < 1`).
+    pub thermal_windows: Vec<FaultWindow>,
+    /// Managed-page migration stall windows (`factor > 1`).
+    pub stall_windows: Vec<FaultWindow>,
+    /// Fraction of platform DRAM a co-tenant has reserved, in `[0, 1)`
+    /// (`0` = no memory pressure).
+    pub oom_reserve_fraction: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kernel_faults.is_empty()
+            && self.bandwidth_windows.is_empty()
+            && self.thermal_windows.is_empty()
+            && self.stall_windows.is_empty()
+            && self.oom_reserve_fraction <= 0.0
+    }
+
+    /// Generates a random-but-reproducible plan for a graph of `nodes`
+    /// nodes: the Monte-Carlo draw behind `edgenn storm`. The same
+    /// `(seed, nodes)` pair always yields the identical plan.
+    #[must_use]
+    pub fn from_seed(seed: u64, nodes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::default();
+
+        // Transient kernel failures on 1-3 distinct non-input nodes.
+        if nodes > 1 {
+            let count = rng.gen_range(1..=3usize.min(nodes - 1));
+            let mut targets: Vec<usize> = Vec::with_capacity(count);
+            while targets.len() < count {
+                let node = rng.gen_range(1..nodes);
+                if !targets.contains(&node) {
+                    targets.push(node);
+                }
+            }
+            for node in targets {
+                // Mostly one-shot transients; occasionally a permanent
+                // loss that forces the CPU fallback path.
+                let fail_count = match rng.gen_range(0..6u32) {
+                    0 => u32::MAX,
+                    1 | 2 => 2,
+                    _ => 1,
+                };
+                plan.kernel_faults.push(KernelFault { node, fail_count });
+            }
+            plan.kernel_faults.sort_by_key(|f| f.node);
+        }
+
+        // Up to two bandwidth-degradation windows.
+        for _ in 0..rng.gen_range(0..=2u32) {
+            let start = rng.gen_range(0.0..4_000.0);
+            plan.bandwidth_windows.push(FaultWindow {
+                start_us: start,
+                end_us: start + rng.gen_range(200.0..4_000.0),
+                factor: rng.gen_range(0.3..0.9),
+            });
+        }
+        // At most one thermal clamp.
+        if rng.gen_bool(0.5) {
+            let start = rng.gen_range(0.0..2_000.0);
+            plan.thermal_windows.push(FaultWindow {
+                start_us: start,
+                end_us: start + rng.gen_range(500.0..8_000.0),
+                factor: rng.gen_range(0.5..0.9),
+            });
+        }
+        // At most one migration-stall window.
+        if rng.gen_bool(0.4) {
+            let start = rng.gen_range(0.0..3_000.0);
+            plan.stall_windows.push(FaultWindow {
+                start_us: start,
+                end_us: start + rng.gen_range(200.0..3_000.0),
+                factor: rng.gen_range(2.0..6.0),
+            });
+        }
+        // Occasional co-tenant memory pressure.
+        if rng.gen_bool(0.25) {
+            plan.oom_reserve_fraction = rng.gen_range(0.5..0.95);
+        }
+        plan
+    }
+
+    /// Parses the `--faults` spec grammar: semicolon-separated clauses,
+    /// each `kind:args`.
+    ///
+    /// ```text
+    /// kernel:<node>x<count>        count = failures before success, or "inf"
+    /// bw:<start>-<end>@<factor>    bandwidth window, factor in (0, 1)
+    /// thermal:<start>-<end>@<factor>
+    /// stall:<start>-<end>@<factor> factor > 1
+    /// oom:<fraction>               reserved DRAM fraction in (0, 1)
+    /// ```
+    ///
+    /// Example: `kernel:3x1;bw:0-500@0.5;oom:0.8`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for any malformed clause.
+    pub fn parse(spec: &str) -> std::result::Result<Self, String> {
+        let mut plan = Self::default();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            let (kind, args) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause '{clause}' lacks a 'kind:args' colon"))?;
+            match kind {
+                "kernel" => {
+                    let (node, count) = args
+                        .split_once('x')
+                        .ok_or_else(|| format!("kernel clause '{args}' wants <node>x<count>"))?;
+                    let node: usize = node
+                        .parse()
+                        .map_err(|_| format!("bad node index '{node}'"))?;
+                    let fail_count = if count == "inf" {
+                        u32::MAX
+                    } else {
+                        count
+                            .parse()
+                            .map_err(|_| format!("bad fail count '{count}'"))?
+                    };
+                    plan.kernel_faults.push(KernelFault { node, fail_count });
+                }
+                "bw" | "thermal" | "stall" => {
+                    let (range, factor) = args.split_once('@').ok_or_else(|| {
+                        format!("{kind} clause '{args}' wants <start>-<end>@<factor>")
+                    })?;
+                    let (start, end) = range
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad window range '{range}'"))?;
+                    let window = FaultWindow {
+                        start_us: start
+                            .parse()
+                            .map_err(|_| format!("bad window start '{start}'"))?,
+                        end_us: end.parse().map_err(|_| format!("bad window end '{end}'"))?,
+                        factor: factor
+                            .parse()
+                            .map_err(|_| format!("bad factor '{factor}'"))?,
+                    };
+                    if !window.start_us.is_finite()
+                        || !window.end_us.is_finite()
+                        || window.end_us <= window.start_us
+                    {
+                        return Err(format!("empty or non-finite window '{range}'"));
+                    }
+                    match kind {
+                        "bw" | "thermal" => {
+                            if !(window.factor > 0.0 && window.factor < 1.0) {
+                                return Err(format!(
+                                    "{kind} factor {} must lie in (0, 1)",
+                                    window.factor
+                                ));
+                            }
+                            if kind == "bw" {
+                                plan.bandwidth_windows.push(window);
+                            } else {
+                                plan.thermal_windows.push(window);
+                            }
+                        }
+                        _ => {
+                            if window.factor <= 1.0 {
+                                return Err(format!(
+                                    "stall factor {} must exceed 1",
+                                    window.factor
+                                ));
+                            }
+                            plan.stall_windows.push(window);
+                        }
+                    }
+                }
+                "oom" => {
+                    let f: f64 = args
+                        .parse()
+                        .map_err(|_| format!("bad oom fraction '{args}'"))?;
+                    if !(0.0..1.0).contains(&f) {
+                        return Err(format!("oom fraction {f} must lie in [0, 1)"));
+                    }
+                    plan.oom_reserve_fraction = f;
+                }
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// One-line human description of the plan.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "no faults".to_string();
+        }
+        let mut parts = Vec::new();
+        if !self.kernel_faults.is_empty() {
+            let nodes: Vec<String> = self
+                .kernel_faults
+                .iter()
+                .map(|f| {
+                    if f.fail_count == u32::MAX {
+                        format!("n{} (permanent)", f.node)
+                    } else {
+                        format!("n{} (x{})", f.node, f.fail_count)
+                    }
+                })
+                .collect();
+            parts.push(format!("kernel faults: {}", nodes.join(", ")));
+        }
+        if !self.bandwidth_windows.is_empty() {
+            parts.push(format!(
+                "{} bandwidth window(s)",
+                self.bandwidth_windows.len()
+            ));
+        }
+        if !self.thermal_windows.is_empty() {
+            parts.push(format!("{} thermal window(s)", self.thermal_windows.len()));
+        }
+        if !self.stall_windows.is_empty() {
+            parts.push(format!("{} stall window(s)", self.stall_windows.len()));
+        }
+        if self.oom_reserve_fraction > 0.0 {
+            parts.push(format!(
+                "oom pressure ({:.0}% DRAM reserved)",
+                self.oom_reserve_fraction * 100.0
+            ));
+        }
+        parts.join("; ")
+    }
+}
+
+/// The stateful consultation object the executing timeline carries: it
+/// resolves "what does the environment do to this event at time t" and
+/// tracks which injections actually bit, so a run's fault accounting is
+/// exact rather than estimated from the plan.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    /// Remaining failures per planned kernel fault (parallel to
+    /// `plan.kernel_faults`).
+    remaining: Vec<u32>,
+    /// Window categories that have bitten at least once (for counting an
+    /// environmental window as a single injected fault).
+    window_bitten: [bool; 3],
+    injected: u64,
+}
+
+/// Index into `window_bitten`.
+const W_BANDWIDTH: usize = 0;
+const W_THERMAL: usize = 1;
+const W_STALL: usize = 2;
+
+impl FaultClock {
+    /// Wraps a plan with fresh per-run state.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let remaining = plan.kernel_faults.iter().map(|f| f.fail_count).collect();
+        Self {
+            plan,
+            remaining,
+            window_bitten: [false; 3],
+            injected: 0,
+        }
+    }
+
+    /// The plan this clock executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total faults injected so far: each kernel failure counts once, and
+    /// each environmental category (bandwidth, thermal, stall, oom)
+    /// counts once when it first affects the run.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Consumes one planned failure of `node`'s kernel if any remain;
+    /// returns true when the launch at this point must fail.
+    pub fn should_fail_kernel(&mut self, node: usize) -> bool {
+        for (i, fault) in self.plan.kernel_faults.iter().enumerate() {
+            if fault.node == node && self.remaining[i] > 0 {
+                if self.remaining[i] != u32::MAX {
+                    self.remaining[i] -= 1;
+                }
+                self.injected += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when `node` carries a permanent (never-recovering) kernel
+    /// fault.
+    #[must_use]
+    pub fn is_permanent(&self, node: usize) -> bool {
+        self.plan
+            .kernel_faults
+            .iter()
+            .any(|f| f.node == node && f.fail_count == u32::MAX)
+    }
+
+    fn window_product(windows: &[FaultWindow], t_us: f64) -> f64 {
+        windows
+            .iter()
+            .filter(|w| w.active(t_us))
+            .map(|w| w.factor)
+            .product()
+    }
+
+    /// Multiplier on attainable memory bandwidth at `t_us` (product of
+    /// active degradation windows, floored at 5%).
+    pub fn bandwidth_factor_at(&mut self, t_us: f64) -> f64 {
+        let f = Self::window_product(&self.plan.bandwidth_windows, t_us).max(0.05);
+        if f < 1.0 && !self.window_bitten[W_BANDWIDTH] {
+            self.window_bitten[W_BANDWIDTH] = true;
+            self.injected += 1;
+        }
+        f
+    }
+
+    /// Multiplier on the compute roofline at `t_us` (thermal clamp,
+    /// floored at 5%).
+    pub fn compute_factor_at(&mut self, t_us: f64) -> f64 {
+        let f = Self::window_product(&self.plan.thermal_windows, t_us).max(0.05);
+        if f < 1.0 && !self.window_bitten[W_THERMAL] {
+            self.window_bitten[W_THERMAL] = true;
+            self.injected += 1;
+        }
+        f
+    }
+
+    /// Multiplier (>= 1) on managed-page migration time at `t_us`.
+    pub fn stall_factor_at(&mut self, t_us: f64) -> f64 {
+        let f = Self::window_product(&self.plan.stall_windows, t_us).max(1.0);
+        if f > 1.0 && !self.window_bitten[W_STALL] {
+            self.window_bitten[W_STALL] = true;
+            self.injected += 1;
+        }
+        f
+    }
+
+    /// Bytes a co-tenant has reserved out of `dram_bytes`. A non-zero
+    /// return counts the OOM fault as injected.
+    pub fn reserved_bytes(&mut self, dram_bytes: u64) -> u64 {
+        if self.plan.oom_reserve_fraction <= 0.0 {
+            return 0;
+        }
+        self.injected += 1;
+        (dram_bytes as f64 * self.plan.oom_reserve_fraction) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_vary_by_seed() {
+        let a = FaultPlan::from_seed(42, 12);
+        let b = FaultPlan::from_seed(42, 12);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.is_empty(), "seeded plans always inject kernel faults");
+        let mut differs = false;
+        for seed in 0..16 {
+            if FaultPlan::from_seed(seed, 12) != a {
+                differs = true;
+            }
+        }
+        assert!(differs, "seeds must produce distinct plans");
+    }
+
+    #[test]
+    fn seeded_kernel_faults_never_target_the_input_node() {
+        for seed in 0..64 {
+            let plan = FaultPlan::from_seed(seed, 9);
+            for fault in &plan.kernel_faults {
+                assert!(fault.node >= 1 && fault.node < 9, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_grammar_round_trips_every_clause_kind() {
+        let plan = FaultPlan::parse(
+            "kernel:3x1;kernel:5xinf;bw:0-500@0.5;thermal:100-900@0.7;stall:0-200@3.5;oom:0.8",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.kernel_faults,
+            vec![
+                KernelFault {
+                    node: 3,
+                    fail_count: 1
+                },
+                KernelFault {
+                    node: 5,
+                    fail_count: u32::MAX
+                }
+            ]
+        );
+        assert_eq!(plan.bandwidth_windows.len(), 1);
+        assert_eq!(plan.thermal_windows.len(), 1);
+        assert_eq!(plan.stall_windows.len(), 1);
+        assert!((plan.oom_reserve_fraction - 0.8).abs() < 1e-12);
+        assert!(plan.describe().contains("kernel faults"));
+    }
+
+    #[test]
+    fn spec_grammar_rejects_malformed_clauses() {
+        for bad in [
+            "kernel:3",        // missing count
+            "kernel:ax1",      // bad node
+            "bw:0-500",        // missing factor
+            "bw:500-0@0.5",    // empty window
+            "bw:0-500@1.5",    // factor out of range
+            "thermal:0-1@0",   // factor out of range
+            "stall:0-500@0.5", // stall must slow things down
+            "oom:1.5",         // fraction out of range
+            "martian:1",       // unknown kind
+            "nocolon",         // no kind:args
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn clock_consumes_transient_failures_exactly() {
+        let plan = FaultPlan::parse("kernel:2x2").unwrap();
+        let mut clock = FaultClock::new(plan);
+        assert!(clock.should_fail_kernel(2));
+        assert!(clock.should_fail_kernel(2));
+        assert!(!clock.should_fail_kernel(2), "two failures, then recovery");
+        assert!(!clock.should_fail_kernel(1), "other nodes unaffected");
+        assert_eq!(clock.injected(), 2);
+    }
+
+    #[test]
+    fn permanent_faults_never_recover() {
+        let plan = FaultPlan::parse("kernel:4xinf").unwrap();
+        let mut clock = FaultClock::new(plan);
+        for _ in 0..100 {
+            assert!(clock.should_fail_kernel(4));
+        }
+        assert!(clock.is_permanent(4));
+        assert!(!clock.is_permanent(3));
+    }
+
+    #[test]
+    fn windows_scale_only_while_active_and_count_once() {
+        let plan = FaultPlan::parse("bw:100-200@0.5;thermal:0-50@0.8;stall:10-20@4.0").unwrap();
+        let mut clock = FaultClock::new(plan);
+        assert_eq!(clock.bandwidth_factor_at(50.0), 1.0);
+        assert_eq!(clock.bandwidth_factor_at(150.0), 0.5);
+        assert_eq!(clock.bandwidth_factor_at(250.0), 1.0);
+        assert_eq!(clock.compute_factor_at(25.0), 0.8);
+        assert_eq!(clock.stall_factor_at(15.0), 4.0);
+        assert_eq!(clock.stall_factor_at(25.0), 1.0);
+        // Re-entering a window does not double-count the fault.
+        clock.bandwidth_factor_at(150.0);
+        assert_eq!(clock.injected(), 3);
+    }
+
+    #[test]
+    fn overlapping_windows_compound() {
+        let plan = FaultPlan::parse("bw:0-100@0.5;bw:50-150@0.5").unwrap();
+        let mut clock = FaultClock::new(plan);
+        assert!((clock.bandwidth_factor_at(75.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_reservation_scales_with_dram() {
+        let plan = FaultPlan::parse("oom:0.5").unwrap();
+        let mut clock = FaultClock::new(plan);
+        assert_eq!(clock.reserved_bytes(32 << 30), 16 << 30);
+        let mut clean = FaultClock::new(FaultPlan::none());
+        assert_eq!(clean.reserved_bytes(32 << 30), 0);
+        assert_eq!(clean.injected(), 0);
+    }
+}

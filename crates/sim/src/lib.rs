@@ -21,7 +21,10 @@
 //!   and a full event trace;
 //! - [`power`] — utilization-proportional power and energy integration;
 //! - [`platforms`] — calibrated presets for the paper's four machines;
-//! - [`cloud`] — the network/cloud-delay model of Section V-D.
+//! - [`cloud`] — the network/cloud-delay model of Section V-D;
+//! - [`fault`] — deterministic, seed-driven fault injection (transient
+//!   kernel failures, bandwidth/thermal windows, migration stalls, OOM
+//!   pressure) consulted by the executing timeline.
 //!
 //! Every constant in [`platforms`] is documented with the paper statement
 //! or public spec-sheet figure it is anchored to. Absolute times are not
@@ -34,6 +37,7 @@
 
 pub mod cloud;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod platforms;
 pub mod power;
@@ -42,6 +46,7 @@ pub mod trace;
 
 pub use cloud::CloudLink;
 pub use engine::Timeline;
+pub use fault::{FaultClock, FaultKind, FaultPlan, FaultWindow, KernelFault};
 pub use memory::{AllocStrategy, MemoryArchitecture, MemorySpec};
 pub use platforms::Platform;
 pub use power::{EnergyReport, PowerModel};

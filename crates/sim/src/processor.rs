@@ -140,6 +140,9 @@ pub struct ExecutionContext {
     /// processor is computing at the same time (shared-DRAM contention on
     /// the integrated device, paper Challenge 1).
     pub contention_factor: f64,
+    /// Multiplier (≤ 1) on the attainable FLOP rate: thermal throttling
+    /// injected by [`crate::fault::FaultClock`] clamping sustained clocks.
+    pub compute_factor: f64,
 }
 
 impl Default for ExecutionContext {
@@ -147,6 +150,7 @@ impl Default for ExecutionContext {
         Self {
             bandwidth_factor: 1.0,
             contention_factor: 1.0,
+            compute_factor: 1.0,
         }
     }
 }
@@ -213,7 +217,7 @@ impl ProcessorSpec {
     /// plus the fixed launch overhead.
     pub fn kernel_time_us(&self, desc: &KernelDesc, ctx: &ExecutionContext) -> f64 {
         let eff = self.effective_efficiency(desc);
-        let gflops = (self.peak_gflops * eff).max(1e-6);
+        let gflops = (self.peak_gflops * eff * ctx.compute_factor).max(1e-6);
         let compute_us = desc.flops as f64 / gflops * 1e-3; // flops / (GFLOP/s) = ns
         let bw = (self.mem_bw_gbps
             * self.bw_efficiency.get(desc.class)
@@ -343,6 +347,7 @@ mod tests {
             &ExecutionContext {
                 bandwidth_factor: 0.5,
                 contention_factor: 1.0,
+                compute_factor: 1.0,
             },
         );
         let contended = g.kernel_time_us(
@@ -350,6 +355,7 @@ mod tests {
             &ExecutionContext {
                 bandwidth_factor: 0.5,
                 contention_factor: 0.5,
+                compute_factor: 1.0,
             },
         );
         assert!((managed - 10.0) / (base - 10.0) > 1.9);

@@ -91,6 +91,7 @@ fn bandwidth_factors_never_speed_kernels_up() {
             &ExecutionContext {
                 bandwidth_factor: bw,
                 contention_factor: cont,
+                compute_factor: 1.0,
             },
         );
         assert!(degraded >= base - 1e-9, "degraded {degraded} < base {base}");

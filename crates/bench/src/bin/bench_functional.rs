@@ -6,16 +6,24 @@
 //! cargo run -p edgenn-bench --bin bench_functional -- run --smoke --out /tmp/b.json
 //! cargo run -p edgenn-bench --bin bench_functional -- validate BENCH_functional.json
 //! cargo run -p edgenn-bench --bin bench_functional -- gate /tmp/b.json BENCH_functional.json --slack 0.25
+//! cargo run --release -p edgenn-bench --bin bench_functional -- overhead --smoke --budget 0.05
 //! ```
 
 use std::process::ExitCode;
 
-use edgenn_bench::functional_bench::{gate, measure, validate, BenchReport};
+use edgenn_bench::functional_bench::{gate, measure, overhead_gate, validate, BenchReport};
 
 const FULL_ITERS: u32 = 60;
 const SMOKE_ITERS: u32 = 16;
+/// The overhead gate judges a ≤5% ratio of two minima, so even its
+/// smoke mode needs enough iterations for both arms to catch a clean
+/// (unpreempted) run each; 16 is not reliably enough on a busy CI box.
+/// The interleaved arms cost well under a millisecond per pair, so a
+/// large count stays cheap.
+const OVERHEAD_SMOKE_ITERS: u32 = 144;
 const DEFAULT_OUT: &str = "BENCH_functional.json";
 const DEFAULT_SLACK: f64 = 0.25;
+const DEFAULT_OVERHEAD_BUDGET: f64 = 0.05;
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -47,10 +55,55 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Measures recorder-off vs recorder-on on this machine and gates the
+/// aggregate flight-recorder overhead. `--out` additionally writes the
+/// measured report (same schema as `run`) for inspection.
+fn overhead(args: &[String]) -> Result<(), String> {
+    let mut iters = FULL_ITERS;
+    let mut budget = DEFAULT_OVERHEAD_BUDGET;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => iters = OVERHEAD_SMOKE_ITERS,
+            "--budget" => {
+                budget = it
+                    .next()
+                    .ok_or("--budget needs a fraction")?
+                    .parse::<f64>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            other => return Err(format!("unknown overhead flag {other:?}")),
+        }
+    }
+    let report = measure(iters);
+    validate(&report)?;
+    for row in &report.models {
+        println!(
+            "{:<12} recorder off {:>10.1} ns  on {:>10.1} ns  overhead {:>6.2}%  dropped {}",
+            row.model,
+            row.hybrid_ns,
+            row.flight_ns,
+            (row.flight_ns / row.hybrid_ns - 1.0) * 100.0,
+            row.flight_dropped
+        );
+    }
+    if let Some(path) = out {
+        let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n").map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    overhead_gate(&report, budget)?;
+    println!("overhead gate ok (budget {budget})");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) if cmd == "run" => run(rest),
+        Some((cmd, rest)) if cmd == "overhead" => overhead(rest),
         Some((cmd, rest)) if cmd == "validate" => match rest {
             [path] => load(path).and_then(|r| validate(&r)).map(|()| {
                 println!("{path}: schema ok");
@@ -79,7 +132,7 @@ fn main() -> ExitCode {
                 _ => Err("usage: gate <measured> <baseline> [--slack F]".to_string()),
             }
         }
-        _ => Err("usage: bench_functional <run|validate|gate> ...".to_string()),
+        _ => Err("usage: bench_functional <run|overhead|validate|gate> ...".to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -15,7 +15,10 @@
 //!   simulated event traces (kernel overlap, write-write races,
 //!   kernel/DMA ordering, bandwidth conservation), plus [`report`]-level
 //!   accounting invariants and [`recovery`]-log validation for runs
-//!   executed under fault injection (`EC04x`).
+//!   executed under fault injection (`EC04x`). The same tier also
+//!   verifies *measured* timelines: [`flight`] replays recorded flight
+//!   spans from the functional engine and re-checks the occupancy and
+//!   causal-ordering invariants against what actually ran.
 //!
 //! Every diagnostic carries a stable `EC0xx` code ([`codes`]), a
 //! [`Severity`], and a [`Span`] pointing at the node, event, or scope
@@ -25,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod codes;
+pub mod flight;
 pub mod graph;
 pub mod plan;
 pub mod recovery;
@@ -35,6 +39,7 @@ use edgenn_obs::{EventSink, SinkEvent};
 use serde::Serialize;
 
 pub use codes::{code_info, registry, CodeInfo};
+pub use flight::check_flight_records;
 pub use graph::check_graph;
 pub use plan::{check_config, check_plan, check_profile};
 pub use recovery::check_recovery;

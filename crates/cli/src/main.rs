@@ -23,7 +23,7 @@ use args::{parse_config, parse_model, parse_platform, Options};
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::Runtime;
 use edgenn_nn::models::{build, ModelScale};
-use edgenn_obs::{Labels, Recorder};
+use edgenn_obs::{Labels, ProfileSummary, Recorder};
 use edgenn_sim::trace::to_chrome_trace_with_counters;
 use edgenn_sim::Platform;
 
@@ -39,6 +39,8 @@ USAGE:
     edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
     edgenn check     --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--lenient]
+    edgenn profile   <model> --platform P [--config C] [--scale paper|tiny]
+                     [--runs N] [--json] [--perfetto FILE]
     edgenn storm     [--model M|all] [--platform P] [--config C] [--seed N]
                      [--runs N] [--max-retries N] [--deadline-us F]
                      [--json] [--out FILE]
@@ -79,6 +81,20 @@ FAULTS:
     --deadline-us F    latency budget; overruns degrade the hybrid plan to a
                        single processor mid-run
 
+PROFILE:
+    Runs the model through the real functional engine with the always-on
+    flight recorder enabled, keeps the fastest of --runs (default 3)
+    measured requests, and verifies the recorded spans through the tier-C
+    checker (occupancy, causal ordering) before reporting. Prints per-stage
+    p50/p99 (node, pack, compute, merge, queue wait) and a per-node
+    predicted-vs-measured table against the analytic simulation. Defaults
+    to --scale tiny: the functional engine runs on the host CPU, so
+    measured times characterize engine behaviour, not target latency.
+    --runs N          measured requests after one warm-up (default 3)
+    --json            machine-readable profile instead of the tables
+    --perfetto FILE   one Chrome trace with the simulated timeline (pid 1)
+                      next to the measured flight recording (pid 3)
+
 STORM:
     Monte-Carlo resilience sweep: per run, a seeded random fault plan is
     injected into the analytic simulation (recovery log gated by the EC04x
@@ -95,6 +111,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
         Some("check") => cmd_check(&options),
+        Some("profile") => cmd_profile(&options),
         Some("storm") => cmd_storm(&options),
         Some("inspect") => cmd_inspect(&options),
         Some("models") => cmd_models(),
@@ -698,6 +715,262 @@ fn percentile_us(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = ((sorted.len() as f64) * p).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the functional engine under the flight recorder and reports the
+/// measured timeline next to the analytic prediction.
+fn cmd_profile(options: &Options) -> Result<(), String> {
+    use edgenn_core::runtime::functional::Executor;
+    use edgenn_obs::flight;
+    use edgenn_tensor::Tensor;
+
+    let model_name = options
+        .positional(1)
+        .or_else(|| options.value("model"))
+        .ok_or("profile needs a model: edgenn profile <model> --platform P")?;
+    let model = parse_model(model_name)?;
+    let scale = match options.value("scale").unwrap_or("tiny") {
+        "paper" => ModelScale::Paper,
+        "tiny" => ModelScale::Tiny,
+        other => return Err(format!("unknown scale '{other}' (expected paper|tiny)")),
+    };
+    let graph = build(model, scale);
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let runs: usize = match options.value("runs") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--runs expects a positive integer, got '{v}'"))?,
+        None => 3,
+    };
+    if runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+
+    // Predicted timeline: the analytic simulator on the target platform.
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = tuner
+        .plan(&graph, &runtime, config)
+        .map_err(|e| e.to_string())?;
+    let predicted = runtime.simulate(&graph, &plan).map_err(|e| e.to_string())?;
+
+    // Measured timeline: real functional runs with the recorder on.
+    // One warm-up populates the scratch arena and the worker pool, then
+    // the fastest of `runs` recorded requests is kept.
+    flight::enable();
+    let executor = Executor::new(&graph).map_err(|e| e.to_string())?;
+    let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+    executor.execute(&plan, &input).map_err(|e| e.to_string())?;
+    let mut kept: Option<(Vec<flight::SpanRecord>, flight::SpanRecord, ProfileSummary)> = None;
+    for _ in 0..runs {
+        let marker = flight::mark();
+        let outcome = executor.execute(&plan, &input).map_err(|e| e.to_string())?;
+        let records = flight::drain_since(&marker);
+        let root = records
+            .iter()
+            .filter(|r| r.kind == flight::SpanKind::Request)
+            .max_by_key(|r| r.id)
+            .copied()
+            .ok_or("the recorder captured no request span (ring overflow?)")?;
+        let wall = root.end_ns - root.start_ns;
+        if kept
+            .as_ref()
+            .is_none_or(|(_, best, _)| wall < best.end_ns - best.start_ns)
+        {
+            let slice = flight::causal_slice(&records, root.id);
+            let profile = outcome.engine.profile.clone().unwrap_or_default();
+            kept = Some((slice, root, profile));
+        }
+    }
+    let (slice, root, profile) = kept.expect("runs >= 1 always keeps a request");
+    let wall_us = (root.end_ns - root.start_ns) as f64 / 1e3;
+
+    // Gate: the measured spans must satisfy the same tier-C invariants
+    // the simulator's traces are held to.
+    let diags = edgenn_check::check_flight_records(&slice);
+    if !diags.is_empty() {
+        let mut msg = format!(
+            "recorded timeline failed the tier-C flight check ({} finding(s)):\n",
+            diags.len()
+        );
+        for d in &diags {
+            msg.push_str(&format!("  {d}\n"));
+        }
+        return Err(msg);
+    }
+
+    let mut nodes = edgenn_obs::flight::node_profiles(&slice);
+    nodes.sort_by_key(|n| n.node);
+    let layer_of = |node: u32| {
+        predicted
+            .layers
+            .iter()
+            .find(|l| l.node == node as usize)
+            .map(|l| (l.name.clone(), l.kernel_us + l.memory_us))
+    };
+
+    if options.value("perfetto").is_some() {
+        write_profile_trace(options, &predicted.events, &slice, root.start_ns, &graph)?;
+    } else if options.has("perfetto") {
+        return Err("--perfetto requires a file path".to_string());
+    }
+
+    if options.has("json") {
+        let mut m = serde_json::Map::new();
+        m.insert("model", serde_json::Value::from(graph.name()));
+        m.insert("platform", serde_json::Value::from(platform.name.as_str()));
+        m.insert(
+            "config",
+            serde_json::Value::from(options.value("config").unwrap_or("edgenn")),
+        );
+        m.insert(
+            "scale",
+            serde_json::Value::from(options.value("scale").unwrap_or("tiny")),
+        );
+        m.insert("runs", serde_json::Value::from(runs as f64));
+        m.insert("wall_us", serde_json::Value::from(wall_us));
+        m.insert(
+            "predicted_total_us",
+            serde_json::Value::from(predicted.total_us),
+        );
+        m.insert("flight_check", serde_json::Value::from("clean"));
+        m.insert("profile", profile.to_value());
+        let node_values = nodes
+            .iter()
+            .map(|n| {
+                let mut v = n.to_value();
+                if let serde_json::Value::Object(map) = &mut v {
+                    if let Some((name, predicted_us)) = layer_of(n.node) {
+                        map.insert("layer", serde_json::Value::from(name));
+                        map.insert("predicted_us", serde_json::Value::from(predicted_us));
+                    }
+                }
+                v
+            })
+            .collect::<Vec<_>>();
+        m.insert("nodes", serde_json::Value::Array(node_values));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(m))
+                .map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "profiled {} ({}) on {} — {} run(s), fastest request {:.1} us",
+        graph.name(),
+        options.value("scale").unwrap_or("tiny"),
+        platform.name,
+        runs,
+        wall_us
+    );
+    println!(
+        "flight check : clean ({} spans, {} dropped this session)",
+        profile.span_count, profile.dropped
+    );
+    println!(
+        "\n  {:<12} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "stage", "count", "total us", "p50 us", "p99 us", "max us"
+    );
+    for stage in &profile.stages {
+        println!(
+            "  {:<12} {:>6} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+            stage.stage, stage.count, stage.total_us, stage.p50_us, stage.p99_us, stage.max_us
+        );
+    }
+    println!(
+        "\n  predicted = analytic model of {}; measured = host functional engine",
+        platform.name
+    );
+    println!(
+        "  {:<5} {:<22} {:>12} {:>12} {:>9} {:>10} {:>9} {:>9}",
+        "node",
+        "layer",
+        "predicted us",
+        "measured us",
+        "pack us",
+        "compute us",
+        "merge us",
+        "queue us"
+    );
+    for n in &nodes {
+        let (name, predicted_us) =
+            layer_of(n.node).unwrap_or_else(|| (format!("n{}", n.node), 0.0));
+        println!(
+            "  {:<5} {:<22} {:>12.1} {:>12.1} {:>9.1} {:>10.1} {:>9.1} {:>9.1}",
+            n.node,
+            name,
+            predicted_us,
+            n.wall_us,
+            n.pack_us,
+            n.compute_us,
+            n.merge_us,
+            n.queue_wait_us
+        );
+    }
+    Ok(())
+}
+
+/// Writes one Chrome trace holding the simulated timeline (pid 1, with
+/// its counter tracks on pid 1/2) next to the measured flight recording
+/// (pid 3, one thread row per worker), then parses the written file back
+/// to guarantee downstream tooling can load it.
+fn write_profile_trace(
+    options: &Options,
+    predicted_events: &[edgenn_sim::TraceEvent],
+    slice: &[edgenn_obs::SpanRecord],
+    t0_ns: u64,
+    graph: &edgenn_nn::graph::Graph,
+) -> Result<(), String> {
+    use edgenn_obs::flight;
+
+    let path = options.value("perfetto").expect("caller checked");
+    let mut entries = edgenn_sim::chrome_trace_entries(predicted_events, &[]);
+    entries.push(process_name_entry(1, "simulated (analytic model)"));
+    entries.push(process_name_entry(3, "measured (flight recorder)"));
+    let name_of = |n: u32| {
+        graph.nodes().get(n as usize).map_or_else(
+            || format!("n{n}"),
+            |node| format!("n{n} {}", node.layer().name()),
+        )
+    };
+    entries.extend(flight::chrome_entries(slice, 3, t0_ns, &name_of));
+    let json = serde_json::to_string_pretty(&serde_json::Value::Array(entries))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    let reread = std::fs::read_to_string(path).map_err(|e| format!("re-reading {path}: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&reread).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let serde_json::Value::Array(checked) = parsed else {
+        return Err(format!("{path}: a Chrome trace must be a JSON array"));
+    };
+    let measured_spans = checked
+        .iter()
+        .filter(|e| e["pid"] == 3.0 && e["ph"] == "X")
+        .count();
+    if measured_spans == 0 {
+        return Err(format!("{path}: no measured spans made it into the trace"));
+    }
+    eprintln!(
+        "merged trace written to {path} ({} entries, {} measured spans; load in Perfetto)",
+        checked.len(),
+        measured_spans
+    );
+    Ok(())
+}
+
+/// Chrome-trace metadata row labelling a process track.
+fn process_name_entry(pid: u64, name: &str) -> serde_json::Value {
+    let mut args = serde_json::Map::new();
+    args.insert("name", serde_json::Value::from(name));
+    let mut m = serde_json::Map::new();
+    m.insert("name", serde_json::Value::from("process_name"));
+    m.insert("ph", serde_json::Value::from("M"));
+    m.insert("pid", serde_json::Value::from(pid as f64));
+    m.insert("args", serde_json::Value::Object(args));
+    serde_json::Value::Object(m)
 }
 
 fn cmd_storm(options: &Options) -> Result<(), String> {

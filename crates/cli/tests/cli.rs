@@ -202,3 +202,80 @@ fn tiny_scale_simulates_quickly() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Apple Silicon"));
 }
+
+#[test]
+fn profile_emits_a_checked_merged_perfetto_trace() {
+    let path = std::env::temp_dir().join("edgenn_cli_test_profile.json");
+    let _ = std::fs::remove_file(&path);
+    let out = edgenn(&[
+        "profile",
+        "squeezenet",
+        "--platform",
+        "apu",
+        "--runs",
+        "2",
+        "--perfetto",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("flight check : clean"), "{text}");
+    assert!(text.contains("compute"), "stage table present:\n{text}");
+    assert!(text.contains("predicted us"), "per-node table present");
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let entries = trace.as_array().unwrap();
+    let simulated = entries
+        .iter()
+        .filter(|e| e["pid"] == 1.0 && e["ph"] == "X")
+        .count();
+    let measured = entries
+        .iter()
+        .filter(|e| e["pid"] == 3.0 && e["ph"] == "X")
+        .count();
+    assert!(simulated > 0, "simulated timeline rides on pid 1");
+    assert!(measured > 0, "measured flight recording rides on pid 3");
+    assert!(
+        entries
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "measured (flight recorder)"),
+        "process rows are labelled"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn profile_json_carries_stages_and_per_node_attribution() {
+    let out = edgenn(&[
+        "profile",
+        "lenet",
+        "--platform",
+        "jetson",
+        "--runs",
+        "1",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let profile: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(profile["flight_check"], "clean");
+    assert!(profile["wall_us"].as_f64().unwrap() > 0.0);
+    let stages = profile["profile"]["stages"].as_array().unwrap();
+    assert!(stages.iter().any(|s| s["stage"] == "request"));
+    assert!(stages.iter().any(|s| s["stage"] == "node"));
+    let nodes = profile["nodes"].as_array().unwrap();
+    assert!(!nodes.is_empty());
+    assert!(
+        nodes
+            .iter()
+            .any(|n| n["predicted_us"].as_f64().unwrap_or(0.0) > 0.0),
+        "nodes carry the analytic prediction next to the measurement"
+    );
+}

@@ -1,0 +1,82 @@
+//! Diagnostic: prints flight-record volume per model run, broken down by
+//! kind, plus the cost of the per-request summarization (drain + causal
+//! slice + profile build).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::prelude::*;
+use edgenn_obs::{flight, ProfileSummary};
+use edgenn_sim::platforms::jetson_agx_xavier;
+use edgenn_tensor::Tensor;
+
+fn main() {
+    let platform = jetson_agx_xavier();
+    let runtime = Runtime::new(&platform);
+    for kind in [
+        ModelKind::Fcnn,
+        ModelKind::LeNet,
+        ModelKind::AlexNet,
+        ModelKind::Vgg16,
+        ModelKind::SqueezeNet,
+        ModelKind::ResNet18,
+    ] {
+        let graph = build(kind, ModelScale::Tiny);
+        let tuner = Tuner::new(&graph, &runtime).unwrap();
+        let plan = tuner
+            .plan(&graph, &runtime, ExecutionConfig::edgenn())
+            .unwrap();
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+        edgenn_core::runtime::functional::execute(&graph, &plan, &input).unwrap();
+        flight::enable();
+        let marker = flight::mark();
+        edgenn_core::runtime::functional::execute(&graph, &plan, &input).unwrap();
+        let records = flight::drain_since(&marker);
+        flight::disable();
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        for r in &records {
+            *by_kind.entry(format!("{:?}", r.kind)).or_default() += 1;
+        }
+        let root = records
+            .iter()
+            .find(|r| r.kind == flight::SpanKind::Request)
+            .map_or(0, |r| r.id);
+        let n = 2000;
+        let t = Instant::now();
+        for _ in 0..n {
+            let slice = flight::causal_slice(&records, root);
+            let p = ProfileSummary::build(&slice, 0);
+            std::hint::black_box(p);
+        }
+        let slice_build_ns = t.elapsed().as_nanos() as f64 / f64::from(n);
+        flight::enable();
+        let t = Instant::now();
+        for _ in 0..n {
+            let marker = flight::mark();
+            std::hint::black_box(flight::drain_since(&marker).len());
+        }
+        let drain_ns = t.elapsed().as_nanos() as f64 / f64::from(n);
+        flight::disable();
+        let iters = 60;
+        let mut off = f64::INFINITY;
+        let mut on = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            edgenn_core::runtime::functional::execute(&graph, &plan, &input).unwrap();
+            off = off.min(t.elapsed().as_secs_f64() * 1e9);
+            flight::enable();
+            let t = Instant::now();
+            edgenn_core::runtime::functional::execute(&graph, &plan, &input).unwrap();
+            on = on.min(t.elapsed().as_secs_f64() * 1e9);
+            flight::disable();
+        }
+        println!(
+            "{kind:?}: total {} records  drain(empty) {drain_ns:.0} ns  slice+build {slice_build_ns:.0} ns  off {off:.0} on {on:.0} tax {:.0} ns ({:.1}%)  {:?}",
+            records.len(),
+            on - off,
+            (on / off - 1.0) * 100.0,
+            by_kind
+        );
+    }
+}

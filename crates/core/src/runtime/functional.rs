@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use edgenn_nn::graph::{Graph, NodeId, Segment, Structure};
 use edgenn_nn::layer::LayerClass;
-use edgenn_obs::{EventSink, SinkEvent};
+use edgenn_obs::{flight, EventSink, ProfileSummary, SinkEvent};
 use edgenn_sim::FaultPlan;
 use edgenn_tensor::{scratch_stats, Tensor};
 
@@ -53,7 +53,12 @@ type TaskResult = Result<Option<Tensor>>;
 const CORUN_MIN_FLOPS: u64 = 1 << 20;
 
 /// Engine-overhead counters for one functional run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The pool and arena counters underneath are process/session
+/// cumulative; per-request windowing happens through
+/// [`EngineStats::snapshot_delta`], so stats reported for one request
+/// never inherit a previous request's counts.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Tasks completed by pool workers.
     pub pool_tasks: u64,
@@ -65,6 +70,43 @@ pub struct EngineStats {
     pub arena_fresh_bytes: u64,
     /// Scratch-arena bytes served without allocating (steady state).
     pub arena_reused_bytes: u64,
+    /// Flight-recorder profile of this run (per-stage p50/p99), present
+    /// when the flight recorder was enabled during the run.
+    pub profile: Option<ProfileSummary>,
+}
+
+impl EngineStats {
+    /// Absolute snapshot of the cumulative engine counters underlying
+    /// one pool session (no profile — profiles belong to windows).
+    fn capture(pool: &pool::PoolStats, scratch: &edgenn_tensor::ScratchStats) -> EngineStats {
+        EngineStats {
+            pool_tasks: pool.worker_tasks,
+            inline_tasks: pool.inline_tasks,
+            queue_wait_ns: pool.queue_wait_ns,
+            arena_fresh_bytes: scratch.fresh_bytes,
+            arena_reused_bytes: scratch.reused_bytes,
+            profile: None,
+        }
+    }
+
+    /// Counter growth from `self` to `later` — the per-request window.
+    /// The returned stats carry `later`'s profile (profiles are built
+    /// per window and never accumulate).
+    #[must_use]
+    pub fn snapshot_delta(&self, later: &EngineStats) -> EngineStats {
+        EngineStats {
+            pool_tasks: later.pool_tasks.saturating_sub(self.pool_tasks),
+            inline_tasks: later.inline_tasks.saturating_sub(self.inline_tasks),
+            queue_wait_ns: later.queue_wait_ns.saturating_sub(self.queue_wait_ns),
+            arena_fresh_bytes: later
+                .arena_fresh_bytes
+                .saturating_sub(self.arena_fresh_bytes),
+            arena_reused_bytes: later
+                .arena_reused_bytes
+                .saturating_sub(self.arena_reused_bytes),
+            profile: later.profile.clone(),
+        }
+    }
 }
 
 /// Recovery counters of one functional run (all zero when no
@@ -378,6 +420,25 @@ impl<'g> Executor<'g> {
         ] {
             observer.emit(SinkEvent::EngineCounter { name, value });
         }
+        // Mirror the flight recorder's per-request profile: ring drops
+        // as counters (so an incomplete profile is visible in JSON and
+        // Prometheus exposition), stage totals as histogram samples.
+        if let Some(profile) = &engine.profile {
+            observer.emit(SinkEvent::EngineCounter {
+                name: "flight_records",
+                value: profile.span_count as f64,
+            });
+            observer.emit(SinkEvent::EngineCounter {
+                name: "flight_dropped_records",
+                value: profile.dropped as f64,
+            });
+            for stage in &profile.stages {
+                observer.emit(SinkEvent::Stage {
+                    stage: stage.stage,
+                    duration_us: stage.total_us,
+                });
+            }
+        }
     }
 }
 
@@ -430,53 +491,66 @@ impl Copy for Ctx<'_> {}
 /// Drives one input through every segment on the calling thread,
 /// delegating branch bodies and split partials to the pool.
 fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCounters> {
-    let pool_before = pool.stats();
-    let scratch_before = scratch_stats();
+    let stats_before = EngineStats::capture(&pool.stats(), &scratch_stats());
     let corun_before = ctx.corun.load(Ordering::Relaxed);
     let cpu_before = ctx.cpu.load(Ordering::Relaxed);
     let recovery_before = ctx.faults.map(FaultInjector::counts).unwrap_or_default();
-    let mut parallel_regions = 0usize;
 
-    for segment in ctx.structure.segments() {
-        match segment {
-            Segment::Chain(nodes) => {
-                for &id in nodes {
-                    exec_node(ctx, id, Some(pool))?;
-                }
-            }
-            Segment::Parallel { branches, .. } => {
-                let non_empty: Vec<&[NodeId]> = branches
-                    .iter()
-                    .filter(|b| !b.is_empty())
-                    .map(Vec::as_slice)
-                    .collect();
-                if non_empty.len() < 2 {
-                    // Zero or one real branch: nothing to parallelize.
-                    for &id in non_empty.into_iter().flatten() {
+    // Per-request flight window: everything recorded between here and
+    // the drain below that is causally reachable from the request root
+    // span becomes this request's profile.
+    let profiled = flight::enabled();
+    let marker = profiled.then(flight::mark);
+    let dropped_before = if profiled {
+        flight::dropped_records()
+    } else {
+        0
+    };
+    let root = flight::begin(flight::SpanKind::Request, flight::NO_NODE);
+
+    let run: Result<usize> = flight::with_parent(root.id(), || {
+        let mut parallel_regions = 0usize;
+        for segment in ctx.structure.segments() {
+            match segment {
+                Segment::Chain(nodes) => {
+                    for &id in nodes {
                         exec_node(ctx, id, Some(pool))?;
                     }
-                } else {
-                    parallel_regions += 1;
-                    exec_branches(ctx, pool, &non_empty)?;
+                }
+                Segment::Parallel { branches, .. } => {
+                    let non_empty: Vec<&[NodeId]> = branches
+                        .iter()
+                        .filter(|b| !b.is_empty())
+                        .map(Vec::as_slice)
+                        .collect();
+                    if non_empty.len() < 2 {
+                        // Zero or one real branch: nothing to parallelize.
+                        for &id in non_empty.into_iter().flatten() {
+                            exec_node(ctx, id, Some(pool))?;
+                        }
+                    } else {
+                        parallel_regions += 1;
+                        exec_branches(ctx, pool, &non_empty)?;
+                    }
                 }
             }
         }
-    }
+        Ok(parallel_regions)
+    });
+    flight::end(root);
+    let parallel_regions = run?;
 
-    let pool_delta = pool_before.delta(&pool.stats());
-    let scratch_delta = scratch_before.delta(&scratch_stats());
+    let mut stats_after = EngineStats::capture(&pool.stats(), &scratch_stats());
+    if let Some(marker) = &marker {
+        let dropped = flight::dropped_records().saturating_sub(dropped_before);
+        stats_after.profile = Some(flight::profile_since(marker, root.id(), dropped));
+    }
     Ok(RunCounters {
         corun: ctx.corun.load(Ordering::Relaxed) - corun_before,
         cpu: ctx.cpu.load(Ordering::Relaxed) - cpu_before,
         parallel_regions,
         recovery: recovery_before.delta(&ctx.faults.map(FaultInjector::counts).unwrap_or_default()),
-        engine: EngineStats {
-            pool_tasks: pool_delta.worker_tasks,
-            inline_tasks: pool_delta.inline_tasks,
-            queue_wait_ns: pool_delta.queue_wait_ns,
-            arena_fresh_bytes: scratch_delta.fresh_bytes,
-            arena_reused_bytes: scratch_delta.reused_bytes,
-        },
+        engine: stats_before.snapshot_delta(&stats_after),
     })
 }
 
@@ -493,11 +567,15 @@ fn exec_branches<'env>(
     branches: &[&'env [NodeId]],
 ) -> Result<()> {
     let (last, rest) = branches.split_last().expect("caller checked len >= 2");
+    let parent = flight::current_parent();
     let handles: Vec<_> = rest
         .iter()
         .map(|&branch| {
+            let submitted = submit_ns();
             pool.submit(Box::new(move || {
-                run_branch(ctx, branch, None).map(|()| None)
+                traced_task(parent, submitted, flight::NO_NODE, || {
+                    run_branch(ctx, branch, None).map(|()| None)
+                })
             }))
         })
         .collect();
@@ -526,6 +604,46 @@ fn run_branch<'env>(
         exec_node(ctx, id, pool)?;
     }
     Ok(())
+}
+
+/// A graph node id as recorded in flight spans.
+fn flight_node(id: NodeId) -> u32 {
+    u32::try_from(id.index()).unwrap_or(flight::NO_NODE)
+}
+
+/// Wraps a pooled task body for the flight recorder: restores the
+/// submitting span's causal parent on the executing thread and records
+/// a queue-wait span (submission to pickup) plus a task-run span around
+/// the body. `submit_ns` of 0 means "recorder was off at submission" —
+/// the body still runs under `parent`, just without pool spans.
+fn traced_task<R>(parent: u64, submit_ns: u64, node: u32, body: impl FnOnce() -> R) -> R {
+    flight::with_parent(parent, || {
+        if submit_ns == 0 || !flight::enabled() {
+            return body();
+        }
+        let picked_up_ns = flight::now_ns();
+        flight::record_manual(
+            flight::SpanKind::QueueWait,
+            node,
+            parent,
+            submit_ns,
+            picked_up_ns,
+            0,
+        );
+        let task = flight::begin(flight::SpanKind::TaskRun, node);
+        let result = flight::with_parent(task.id(), body);
+        flight::end(task);
+        result
+    })
+}
+
+/// Submission timestamp for [`traced_task`] (0 when the recorder is off).
+fn submit_ns() -> u64 {
+    if flight::enabled() {
+        flight::now_ns()
+    } else {
+        0
+    }
 }
 
 /// Resolves a node output: computed slots first, then the borrowed
@@ -557,7 +675,10 @@ fn exec_node<'env>(
         .iter()
         .map(|i| lookup(ctx, *i))
         .collect::<Result<_>>()?;
-    let (tensor, corun, cpu) = forward_assigned(ctx, id, inputs, pool)?;
+    let span = flight::begin(flight::SpanKind::Node, flight_node(id));
+    let result = flight::with_parent(span.id(), || forward_assigned(ctx, id, inputs, pool));
+    flight::end(span);
+    let (tensor, corun, cpu) = result?;
     ctx.corun.fetch_add(usize::from(corun), Ordering::Relaxed);
     ctx.cpu.fetch_add(cpu, Ordering::Relaxed);
     ctx.slots[id.index()]
@@ -605,11 +726,16 @@ fn forward_assigned<'env>(
             // channels"), the CPU the remainder; partial sums are added.
             let (gpu_part, cpu_part) = if let Some(pool) = pool {
                 let task_inputs = inputs.clone();
+                let parent = flight::current_parent();
+                let submitted = submit_ns();
+                let node_tag = flight_node(id);
                 let cpu_task = pool.submit(Box::new(move || {
-                    Ok(Some(layer.forward_partial_inputs(
-                        &task_inputs,
-                        gpu_channels..channels,
-                    )?))
+                    traced_task(parent, submitted, node_tag, || {
+                        Ok(Some(layer.forward_partial_inputs(
+                            &task_inputs,
+                            gpu_channels..channels,
+                        )?))
+                    })
                 }));
                 let gpu_part = recovering_forward(ctx, id, || {
                     Ok(layer.forward_partial_inputs(&inputs, 0..gpu_channels)?)
@@ -640,9 +766,11 @@ fn forward_assigned<'env>(
                 });
             }
             // In-place partial-sum merge: no third allocation.
+            let merge_span = flight::begin(flight::SpanKind::Merge, flight_node(id));
             for (m, c) in merged.as_mut_slice().iter_mut().zip(cpu_part.as_slice()) {
                 *m += c;
             }
+            flight::end(merge_span);
             Ok((merged, true, 0))
         }
         Assignment::Split { cpu_fraction } => {
@@ -662,8 +790,13 @@ fn forward_assigned<'env>(
             });
             let (gpu_part, cpu_part) = if let Some(pool) = pool {
                 let task_inputs = inputs.clone();
+                let parent = flight::current_parent();
+                let submitted = submit_ns();
+                let node_tag = flight_node(id);
                 let cpu_task = pool.submit(Box::new(move || {
-                    Ok(Some(layer.forward_partial(&task_inputs, gpu_units..units)?))
+                    traced_task(parent, submitted, node_tag, || {
+                        Ok(Some(layer.forward_partial(&task_inputs, gpu_units..units)?))
+                    })
                 }));
                 let gpu_part = recovering_forward(ctx, id, || {
                     Ok(layer.forward_partial(&inputs, 0..gpu_units)?)
@@ -686,9 +819,11 @@ fn forward_assigned<'env>(
             // Move-merge: extend the GPU buffer with the CPU share and
             // restamp the layer's authoritative output shape — no
             // concat-then-reshape round trip.
+            let merge_span = flight::begin(flight::SpanKind::Merge, flight_node(id));
             let mut data = gpu_part?.into_vec();
             data.extend_from_slice(cpu_part.as_slice());
             let out = Tensor::from_vec(data, node.output_shape().dims())?;
+            flight::end(merge_span);
             Ok((out, true, 0))
         }
     }
@@ -710,18 +845,29 @@ fn recovering_forward(
         return compute();
     }
     let mut failed_attempts = 1u32;
-    loop {
+    let recovered = loop {
         if failed_attempts > injector.max_retries {
             // Retry budget exhausted: re-place the work in the CPU role.
             injector.fallbacks.fetch_add(1, Ordering::Relaxed);
-            return compute();
+            flight::instant(flight::SpanKind::Fallback, flight_node(id), 0);
+            break compute();
         }
         injector.retries.fetch_add(1, Ordering::Relaxed);
+        flight::instant(
+            flight::SpanKind::Retry,
+            flight_node(id),
+            u64::from(failed_attempts),
+        );
         if !injector.should_fail(id.index()) {
-            return compute();
+            break compute();
         }
         failed_attempts += 1;
-    }
+    };
+    // A fault happened on this launch: snapshot the flight rings so the
+    // records leading up to it (including the retry/fallback markers
+    // just written) survive as a black box.
+    flight::blackbox_dump(&format!("kernel-fault: node {}", id.index()));
+    recovered
 }
 
 /// Joins a split-partial task, mapping pool-level failures to engine
@@ -752,9 +898,15 @@ fn join_partial<'env>(
                 });
             };
             if err == JoinError::TimedOut {
-                pool::note_worker_lost();
+                pool::note_worker_lost(); // also records the WorkerLoss instant
+            } else {
+                flight::instant(flight::SpanKind::WorkerLoss, flight::NO_NODE, 0);
             }
             injector.worker_losses.fetch_add(1, Ordering::Relaxed);
+            flight::blackbox_dump(match err {
+                JoinError::TimedOut => "deadline-miss: worker held a partial past the watchdog",
+                JoinError::Panicked => "worker-panic: split partial lost",
+            });
             recompute()
         }
     }
@@ -1089,6 +1241,107 @@ mod tests {
         let executor = Executor::new(&graph).unwrap().with_faults(injector);
         let outcome = executor.execute(&plan, &input).unwrap();
         assert!(outcome.output.approx_eq(&clean.output, 0.0));
+    }
+
+    #[test]
+    fn snapshot_delta_windows_counters_and_keeps_later_profile() {
+        let a = EngineStats {
+            pool_tasks: 10,
+            inline_tasks: 2,
+            queue_wait_ns: 1_000,
+            arena_fresh_bytes: 4_096,
+            arena_reused_bytes: 0,
+            profile: None,
+        };
+        let b = EngineStats {
+            pool_tasks: 13,
+            inline_tasks: 2,
+            queue_wait_ns: 1_500,
+            arena_fresh_bytes: 4_096,
+            arena_reused_bytes: 8_192,
+            profile: Some(ProfileSummary::default()),
+        };
+        let delta = a.snapshot_delta(&b);
+        assert_eq!(delta.pool_tasks, 3);
+        assert_eq!(delta.inline_tasks, 0);
+        assert_eq!(delta.queue_wait_ns, 500);
+        assert_eq!(delta.arena_fresh_bytes, 0);
+        assert_eq!(delta.arena_reused_bytes, 8_192);
+        assert!(delta.profile.is_some(), "delta carries the later profile");
+        // Reversed order must saturate, not wrap.
+        assert_eq!(b.snapshot_delta(&a).pool_tasks, 0);
+    }
+
+    #[test]
+    fn flight_profile_rides_in_engine_stats_per_request() {
+        flight::enable();
+        let graph = build(ModelKind::SqueezeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let executor = Executor::new(&graph).unwrap();
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 60 + i))
+            .collect();
+        let outcomes = executor.batch_execute(&plan, &inputs).unwrap();
+        for outcome in &outcomes {
+            let profile = outcome
+                .engine
+                .profile
+                .as_ref()
+                .expect("flight enabled => profile present");
+            let request = profile.stage("request").expect("request stage");
+            assert_eq!(
+                request.count, 1,
+                "each request window holds exactly its own root span"
+            );
+            let node = profile.stage("node").expect("node stage");
+            // SqueezeNet tiny has a few dozen layers; every non-input
+            // node must have produced a node span in its own window.
+            assert_eq!(node.count as usize, graph.len() - 1);
+            assert!(node.total_us > 0.0);
+            assert!(node.p50_us <= node.p99_us);
+            assert!(
+                profile.stage("compute").is_some(),
+                "kernel compute phases must be attributed: {:?}",
+                profile.stages.iter().map(|s| s.stage).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injected_run_leaves_a_blackbox_with_the_failing_span() {
+        flight::enable();
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = edgenn_plan(&graph);
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 33);
+        let node = first_gpu_role_node(&graph, &plan);
+        let mut faults = FaultPlan::none();
+        faults.kernel_faults.push(edgenn_sim::KernelFault {
+            node,
+            fail_count: u32::MAX,
+        });
+        let injector = FaultInjector::from_plan(&faults, graph.len(), 1);
+        let executor = Executor::new(&graph).unwrap().with_faults(injector);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert!(outcome.recovery.fallbacks > 0);
+        let dump = flight::last_blackbox().expect("fault must leave a black box");
+        assert!(
+            dump.reason.contains(&format!("node {node}")) || dump.reason.contains("worker"),
+            "reason names the failure: {}",
+            dump.reason
+        );
+        let node_tag = u32::try_from(node).unwrap();
+        assert!(
+            dump.records
+                .iter()
+                .any(|r| r.kind == flight::SpanKind::Retry && r.node == node_tag),
+            "black box contains the failing node's retry span"
+        );
+        assert!(
+            dump.records
+                .iter()
+                .any(|r| r.kind == flight::SpanKind::Fallback && r.node == node_tag),
+            "black box contains the failing node's fallback span"
+        );
     }
 
     #[test]

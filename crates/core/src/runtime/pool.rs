@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
+use edgenn_obs::flight;
+
 /// A unit of work: owns its captures (which may borrow `'env` data).
 pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
 
@@ -63,6 +65,7 @@ static CACHED_PARALLELISM: std::sync::atomic::AtomicUsize =
 pub fn note_worker_lost() {
     LOST_WORKERS.fetch_add(1, Ordering::Relaxed);
     CACHED_PARALLELISM.store(usize::MAX, Ordering::Relaxed);
+    flight::instant(flight::SpanKind::WorkerLoss, flight::NO_NODE, 0);
 }
 
 /// Credits back a worker previously written off via [`note_worker_lost`]

@@ -19,6 +19,10 @@
 //!    feeds every event into its registry and keeps the raw stream for
 //!    trace export (counter samples become Chrome-trace `"ph":"C"`
 //!    tracks).
+//! 4. [`flight`] — the flight recorder: lock-free per-worker rings of
+//!    fixed-size span records written from the functional engine's hot
+//!    paths, with drain/merge into per-request profiles, fault black
+//!    boxes, and Perfetto export (see `docs/profiling.md`).
 //!
 //! Zero external dependencies: std plus the workspace's vendored
 //! `serde`/`serde_json` only, so offline builds keep working.
@@ -37,8 +41,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 mod metrics;
 mod sink;
 
+pub use flight::{
+    BlackBox, NodeProfile, OpenSpan, ProfileSummary, SpanKind, SpanRecord, StageStat,
+};
 pub use metrics::{HistogramSnapshot, Labels, MetricsRegistry};
 pub use sink::{CounterSample, EventSink, NullSink, Recorder, SinkEvent};

@@ -420,6 +420,74 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_snapshot_is_all_zeros() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0.0);
+        assert_eq!(snap.min, 0.0, "empty min must not leak +inf");
+        assert_eq!(snap.max, 0.0);
+        assert_eq!(snap.p50, 0.0);
+        assert_eq!(snap.p95, 0.0);
+        assert_eq!(snap.p99, 0.0);
+    }
+
+    #[test]
+    fn single_sample_collapses_every_percentile_to_it() {
+        // One observation sits alone in its bucket; interpolation must
+        // clamp every quantile to the sample itself, even when the
+        // sample sits exactly on a bucket's upper edge (a power of two).
+        for v in [37.5, 64.0, 1.0, 0.25] {
+            let mut h = Histogram::default();
+            h.observe(v);
+            let snap = h.snapshot();
+            assert_eq!(snap.count, 1);
+            assert_eq!(snap.min, v);
+            assert_eq!(snap.max, v);
+            assert_eq!(snap.p50, v, "p50 of single sample {v}");
+            assert_eq!(snap.p95, v, "p95 of single sample {v}");
+            assert_eq!(snap.p99, v, "p99 of single sample {v}");
+        }
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_stay_inside_it() {
+        // 100 identical values: every percentile must equal the value,
+        // not interpolate across the bucket's full [lower, upper) span.
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(300.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50, 300.0);
+        assert_eq!(snap.p99, 300.0);
+
+        // Distinct values confined to one bucket (256, 512]: percentiles
+        // must stay within the observed [min, max], never the bucket
+        // edges outside it.
+        let mut h = Histogram::default();
+        for v in [260.0, 300.0, 400.0, 500.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert!(snap.p50 >= 260.0 && snap.p50 <= 500.0, "p50 = {}", snap.p50);
+        assert!(snap.p99 >= 260.0 && snap.p99 <= 500.0, "p99 = {}", snap.p99);
+        assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+    }
+
+    #[test]
+    fn zero_and_negative_values_land_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-5.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, -5.0);
+        // Quantiles clamp to the observed range.
+        assert!(snap.p50 >= snap.min && snap.p99 <= snap.max);
+    }
+
+    #[test]
     fn histogram_handles_tiny_and_huge_values() {
         let reg = MetricsRegistry::new();
         reg.observe("wide", 1e-9);

@@ -87,6 +87,18 @@ pub enum SinkEvent {
         /// When it happened (us, simulated clock).
         t_us: f64,
     },
+    /// One stage-duration sample from the flight recorder's drained
+    /// profile (node wall time, pack/compute/merge phases, queue wait).
+    /// The engine emits one sample per stage per request — the request's
+    /// total time in that stage — aggregated into
+    /// `edgenn_stage_<stage>_us` histograms so the continuous profiler's
+    /// p50/p99 ride in the standard exposition.
+    Stage {
+        /// Stage name (a `flight::SpanKind::name()`).
+        stage: &'static str,
+        /// Time the request spent in this stage (us, wall clock).
+        duration_us: f64,
+    },
     /// One static-analysis finding from the `edgenn-check` verifier,
     /// mirrored into the session so recorded runs carry the checker's
     /// verdict next to the trace it judged.
@@ -294,6 +306,10 @@ impl Recorder {
                 self.metrics
                     .inc_counter(&format!("edgenn_{category}_total"), 1.0);
             }
+            SinkEvent::Stage { stage, duration_us } => {
+                self.metrics
+                    .observe(&format!("edgenn_stage_{stage}_us"), *duration_us);
+            }
             SinkEvent::Diagnostic { severity, .. } => {
                 self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);
                 self.metrics
@@ -306,11 +322,22 @@ impl Recorder {
 impl EventSink for Recorder {
     fn emit(&self, event: SinkEvent) {
         self.aggregate(&event);
-        let mut state = self.lock();
-        if state.events.len() < state.capacity {
-            state.events.push(event);
-        } else {
-            state.dropped += 1;
+        let dropped = {
+            let mut state = self.lock();
+            if state.events.len() < state.capacity {
+                state.events.push(event);
+                false
+            } else {
+                state.dropped += 1;
+                true
+            }
+        };
+        // Surface the drop in the exposition formats too (JSON and
+        // Prometheus), not just the Rust-side accessor; a scraper must
+        // be able to see that the raw stream is incomplete.
+        if dropped {
+            self.metrics
+                .inc_counter("edgenn_recorder_dropped_events_total", 1.0);
         }
     }
 }
@@ -395,6 +422,51 @@ mod tests {
             rec.metrics().counter_value("edgenn_plan_events_total"),
             Some(5.0)
         );
+    }
+
+    #[test]
+    fn dropped_events_surface_in_json_and_prometheus() {
+        let rec = Recorder::new().with_event_capacity(1);
+        // Below capacity: the drop counter must not exist yet.
+        rec.emit(SinkEvent::Request { latency_us: 1.0 });
+        assert_eq!(
+            rec.metrics()
+                .counter_value("edgenn_recorder_dropped_events_total"),
+            None
+        );
+        for _ in 0..3 {
+            rec.emit(SinkEvent::Request { latency_us: 1.0 });
+        }
+        assert_eq!(rec.dropped_events(), 3);
+        assert_eq!(
+            rec.metrics()
+                .counter_value("edgenn_recorder_dropped_events_total"),
+            Some(3.0)
+        );
+        let json = rec.metrics().to_json();
+        let counters = json["counters"].as_array().unwrap();
+        assert!(counters
+            .iter()
+            .any(|c| c["name"] == "edgenn_recorder_dropped_events_total" && c["value"] == 3));
+        let text = rec.metrics().to_prometheus_text();
+        assert!(text.contains("edgenn_recorder_dropped_events_total 3"));
+    }
+
+    #[test]
+    fn stage_samples_feed_per_stage_histograms() {
+        let rec = Recorder::new();
+        for duration in [10.0, 20.0, 40.0] {
+            rec.emit(SinkEvent::Stage {
+                stage: "compute",
+                duration_us: duration,
+            });
+        }
+        let snap = rec
+            .metrics()
+            .histogram_snapshot("edgenn_stage_compute_us")
+            .unwrap();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max, 40.0);
     }
 
     #[test]

@@ -641,6 +641,22 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
 /// on their own process row (`pid` 2) so they group separately from the
 /// simulated hardware.
 pub fn to_chrome_trace_with_counters(events: &[TraceEvent], extra: &[CounterSample]) -> String {
+    let entries = chrome_trace_entries(events, extra);
+    serde_json::to_string_pretty(&serde_json::Value::Array(entries))
+        .expect("trace events are serializable")
+}
+
+/// The raw Chrome trace-event entries for a simulated timeline, before
+/// serialization: spans on `pid` 1, extra counters on `pid` 2. Callers
+/// that want one trace file holding the simulated timeline *next to*
+/// something else (a measured flight recording, another simulation)
+/// append their own entries under a distinct `pid` and serialize the
+/// combined array themselves.
+#[must_use]
+pub fn chrome_trace_entries(
+    events: &[TraceEvent],
+    extra: &[CounterSample],
+) -> Vec<serde_json::Value> {
     let mut entries = Vec::with_capacity(events.len());
     for event in events {
         entries.push(span_entry(event));
@@ -654,7 +670,7 @@ pub fn to_chrome_trace_with_counters(events: &[TraceEvent], extra: &[CounterSamp
     for sample in extra {
         entries.push(counter_entry(&sample.track, sample.t_us, sample.value, 2));
     }
-    serde_json::to_string_pretty(&entries).expect("trace events are serializable")
+    entries
 }
 
 #[cfg(test)]

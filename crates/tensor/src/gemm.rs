@@ -13,6 +13,8 @@
 //! differential-test oracle: every optimized path must match it within
 //! fp32 re-association tolerance (see `tests/proptests.rs`).
 
+use edgenn_obs::flight;
+
 use crate::scratch::with_scratch;
 use crate::{Result, Tensor, TensorError};
 
@@ -107,16 +109,32 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
         return;
     }
     // Tiny problems (mat-vec-ish shapes, unit tests) are faster without
-    // the packing round trip.
+    // the packing round trip. They are also below the flight recorder's
+    // useful resolution (sub-microsecond), so no compute span: the time
+    // still lands in the enclosing node span.
     if m * n * k < 8 * 1024 {
         gemm_small(a, b, out, m, k, n);
         return;
     }
+    // Flight-recorder phase attribution: packing is interleaved with the
+    // microkernel per KC-slab, so per-slab pack time is accumulated and
+    // the call is recorded as one synthetic pack span followed by one
+    // compute span (timing costs two clock reads per slab, only while
+    // the recorder is on).
+    let profiled = flight::enabled();
+    let t_begin = if profiled { flight::now_ns() } else { 0 };
+    let mut pack_ns = 0u64;
     let panels = n.div_ceil(NR);
     with_scratch(panels * NR * KC.min(k), |packed| {
         for kb in (0..k).step_by(KC) {
             let kc = KC.min(k - kb);
-            pack_b_panels(b, packed, kb, kc, n);
+            if profiled {
+                let t0 = flight::now_ns();
+                pack_b_panels(b, packed, kb, kc, n);
+                pack_ns += flight::now_ns().saturating_sub(t0);
+            } else {
+                pack_b_panels(b, packed, kb, kc, n);
+            }
             for mb in (0..m).step_by(MC) {
                 let mc = MC.min(m - mb);
                 for (panel, chunk) in packed.chunks(NR * kc).enumerate().take(panels) {
@@ -134,6 +152,27 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
             }
         }
     });
+    if profiled {
+        let t_end = flight::now_ns();
+        let parent = flight::current_parent();
+        let packed_bytes = (panels * NR * KC.min(k) * 4) as u64;
+        flight::record_manual(
+            flight::SpanKind::Pack,
+            flight::NO_NODE,
+            parent,
+            t_begin,
+            t_begin + pack_ns,
+            packed_bytes,
+        );
+        flight::record_manual(
+            flight::SpanKind::Compute,
+            flight::NO_NODE,
+            parent,
+            t_begin + pack_ns,
+            t_end,
+            0,
+        );
+    }
 }
 
 /// The pre-blocking `i-k-j` kernel, still used for small problems: the
@@ -267,10 +306,12 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
             right: (x.dims()[0], 1),
         });
     }
+    let span = flight::begin(flight::SpanKind::Compute, flight::NO_NODE);
     let xs = x.as_slice();
     let data: Vec<f32> = (0..m)
         .map(|i| dot(&a.as_slice()[i * k..(i + 1) * k], xs))
         .collect();
+    flight::end(span);
     Tensor::from_vec(data, &[m])
 }
 

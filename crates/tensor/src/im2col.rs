@@ -7,6 +7,8 @@
 //! counts the simulator models aligned with what the functional engine
 //! actually executes.
 
+use edgenn_obs::flight;
+
 use crate::{Result, Tensor, TensorError};
 
 /// Static geometry of a 2-D convolution (or pooling) window.
@@ -124,6 +126,7 @@ pub fn im2col_into(input: &Tensor, geometry: &Conv2dGeometry, out: &mut [f32]) -
             right: vec![out.len()],
         });
     }
+    let span = flight::begin(flight::SpanKind::Pack, flight::NO_NODE);
     let data = out;
     let src = input.as_slice();
     let plane = geometry.in_h * geometry.in_w;
@@ -153,6 +156,7 @@ pub fn im2col_into(input: &Tensor, geometry: &Conv2dGeometry, out: &mut [f32]) -
             }
         }
     }
+    flight::end_with(span, (patch * cols * 4) as u64);
     Ok(())
 }
 

@@ -16,6 +16,8 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use edgenn_obs::flight;
+
 /// Bytes served by growing a buffer (capacity that had to be allocated).
 static FRESH_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Bytes served from an already-large-enough buffer.
@@ -73,10 +75,25 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     buf.clear();
     buf.resize(len, 0.0);
     ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
-    if buf.capacity() > had_capacity {
+    let grew = buf.capacity() > had_capacity;
+    if grew {
         FRESH_BYTES.fetch_add((len * 4) as u64, Ordering::Relaxed);
     } else {
         REUSED_BYTES.fetch_add((len * 4) as u64, Ordering::Relaxed);
+    }
+    // Only misses get an individual flight record: each one means a heap
+    // allocation on the hot path, and they go to zero in steady state, so
+    // they are rare and each is worth seeing. Hits are the common case
+    // (one per conv phase per layer); recording each would be the single
+    // largest contributor to recorder overhead, and the information is
+    // already carried per request by the REUSED_BYTES/ACQUISITIONS
+    // counter deltas in `EngineStats`.
+    if grew && flight::enabled() {
+        flight::instant(
+            flight::SpanKind::ArenaMiss,
+            flight::NO_NODE,
+            (len * 4) as u64,
+        );
     }
     let result = f(&mut buf);
     ARENA.with(|arena| arena.borrow_mut().push(buf));

@@ -7,16 +7,18 @@
 # 3. tier-1            (release build + root-package tests)
 # 4. full test suite   (every workspace crate)
 # 5. static checker    (edgenn check over every bundled model x platform)
-# 6. functional bench  (smoke run + schema check + regression gate)
-# 7. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
-# 8. flight recorder   (profile two models, validate Perfetto output,
+# 6. tier-D analyzer   (edgenn analyze over the same 36 combos: ownership
+#                       proof, schedule explorer, measured<=certified gate)
+# 7. functional bench  (smoke run + schema check + regression gate)
+# 8. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
+# 9. flight recorder   (profile two models, validate Perfetto output,
 #                       recorder-overhead gate at <=5%)
 set -eu
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
@@ -50,6 +52,32 @@ for model in fcnn lenet alexnet vgg squeezenet resnet; do
     done
 done
 echo "    36/36 clean; reports archived in $CHECK_DIR/"
+
+echo "==> edgenn analyze: tier-D ownership + explorer + conformance, 36 combos"
+# The analyzer proves the zero-copy/write-once contracts on the lowered
+# buffer schedule (EC05x), exhaustively explores the worker pool's
+# interleavings, and — with --functional — gates the engine's measured
+# slot/arena high-water marks against the statically certified bound.
+# The CLI exits non-zero on any diagnostic, explorer violation, or
+# measured > certified.
+ANALYZE_DIR=target/analyze
+mkdir -p "$ANALYZE_DIR"
+for model in fcnn lenet alexnet vgg squeezenet resnet; do
+    for platform in jetson rpi phone server apu apple; do
+        case "$platform" in
+            rpi|phone) config=cpu-only ;;
+            *)         config=edgenn ;;
+        esac
+        out="$ANALYZE_DIR/$model-$platform.json"
+        if ! ./target/release/edgenn analyze \
+                --model "$model" --platform "$platform" --config "$config" \
+                --scale tiny --functional --json > "$out"; then
+            echo "analyze FAILED for $model on $platform (see $out)"
+            exit 1
+        fi
+    done
+done
+echo "    36/36 certified; reports archived in $ANALYZE_DIR/"
 
 echo "==> functional bench: smoke run, schema check, regression gate"
 # A short measurement of the real execution engine. The gate compares

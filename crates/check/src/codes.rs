@@ -2,7 +2,8 @@
 //!
 //! Codes are grouped by tier: `EC00x` graph analysis, `EC01x` plan
 //! analysis, `EC02x` trace race detection, `EC03x` report accounting,
-//! `EC04x` recovery-trace validation.
+//! `EC04x` recovery-trace validation, `EC05x` ownership/liveness
+//! analysis.
 //! Codes are append-only — a released code never changes meaning, so
 //! tooling (CI gates, dashboards) can match on them forever.
 
@@ -74,6 +75,27 @@ pub const RECOVERY_ACCOUNTING_MISMATCH: &str = "EC042";
 /// the node already fell back.
 pub const RECOVERY_ORDER_VIOLATION: &str = "EC043";
 
+/// Ownership: a node reads a slot no prior op wrote.
+pub const READ_BEFORE_WRITE: &str = "EC050";
+/// Ownership: a slot written twice (`OnceLock` write-once contract).
+pub const DOUBLE_WRITE: &str = "EC051";
+/// Ownership: two parallel branches touch one slot without ordering.
+pub const CROSS_BRANCH_RACE: &str = "EC052";
+/// Ownership: a read or merge of a slot whose value already moved out.
+pub const USE_AFTER_MOVE: &str = "EC053";
+/// Ownership: the schedule never produces the graph's output slot.
+pub const OUTPUT_NEVER_PRODUCED: &str = "EC054";
+/// Ownership: a slot written but never read and not the output.
+pub const DEAD_WRITE: &str = "EC055";
+/// Ownership: an arena buffer outlives the node that acquired it.
+pub const ARENA_ESCAPE: &str = "EC056";
+/// Ownership: an in-place merge target aliases another live slot.
+pub const MERGE_ALIASES_LIVE_SLOT: &str = "EC057";
+/// Ownership: the certified peak-memory bound exceeds platform DRAM.
+pub const CERTIFIED_PEAK_EXCEEDS_DRAM: &str = "EC058";
+/// Ownership: the schedule writes the borrowed network-input slot.
+pub const BORROWED_INPUT_WRITTEN: &str = "EC059";
+
 /// Registry entry: one stable code with its default severity and a
 /// one-line remediation (mirrored into `docs/diagnostics.md`).
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +106,13 @@ pub struct CodeInfo {
     pub title: &'static str,
     /// Default severity.
     pub severity: Severity,
+    /// True when `--lenient` may downgrade this error to a warning.
+    ///
+    /// The downgrade set is declared here, next to the code, so a new
+    /// code can never slip into the lenient path by accident: codes
+    /// default to strict, and codes absent from the registry entirely
+    /// fail closed (stay errors).
+    pub lenient: bool,
     /// One-line remediation.
     pub remediation: &'static str,
 }
@@ -97,163 +126,260 @@ pub fn registry() -> &'static [CodeInfo] {
             code: DEF_BEFORE_USE,
             title: "def-before-use violation",
             severity: Error,
+            lenient: false,
             remediation: "Build graphs through GraphBuilder::add so every input id precedes its consumer.",
         },
         CodeInfo {
             code: DEAD_NODE,
             title: "dead node",
             severity: Warning,
+            lenient: false,
             remediation: "Remove the unused layer or wire its output toward the sink.",
         },
         CodeInfo {
             code: SHAPE_MISMATCH,
             title: "shape inference mismatch",
             severity: Error,
+            lenient: false,
             remediation: "Recompute stored output shapes with Layer::output_shape over the actual input shapes.",
         },
         CodeInfo {
             code: ARITY_MISMATCH,
             title: "arity mismatch",
             severity: Error,
+            lenient: false,
             remediation: "Feed the node exactly Layer::arity() inputs.",
         },
         CodeInfo {
             code: ILLEGAL_FUSION,
             title: "illegal ReLU fusion",
             severity: Error,
+            lenient: false,
             remediation: "Only fuse ReLU into a non-ReLU producer whose partial results are final (no input splits).",
         },
         CodeInfo {
             code: UNDECOMPOSABLE,
             title: "undecomposable structure",
             severity: Warning,
+            lenient: false,
             remediation: "Restructure nested forks into the flat fork-join family, or accept single-processor plans.",
         },
         CodeInfo {
             code: PLAN_SIZE_MISMATCH,
             title: "plan/graph size mismatch",
             severity: Error,
+            lenient: false,
             remediation: "Regenerate the plan from the same graph it will execute.",
         },
         CodeInfo {
             code: SPLIT_FRACTION_RANGE,
             title: "split fraction out of range",
             severity: Error,
+            lenient: false,
             remediation: "Clamp planner output to (0, 1]; a 0-fraction split should be a plain GPU assignment.",
         },
         CodeInfo {
             code: MANAGED_CORUN_OUTPUT,
             title: "managed co-run partial sums",
             severity: Warning,
+            lenient: false,
             remediation: "Allocate input-split co-run outputs explicitly (semantics.rs: CoRunOutput -> Explicit).",
         },
         CodeInfo {
             code: ASSIGNMENT_FORBIDDEN,
             title: "assignment violates mode or capability",
             severity: Error,
+            lenient: false,
             remediation: "Only emit split assignments when the hybrid mode allows intra-kernel co-running and the layer supports the split axis.",
         },
         CodeInfo {
             code: GPU_WORK_WITHOUT_GPU,
             title: "GPU work on CPU-only platform",
             severity: Error,
+            lenient: false,
             remediation: "Plan against the target platform: CPU-only devices take Assignment::Cpu everywhere.",
         },
         CodeInfo {
             code: DEGENERATE_SPLIT,
             title: "degenerate split",
             severity: Warning,
+            lenient: false,
             remediation: "Round the fraction to at least one whole partition unit per processor, or assign the node solo.",
         },
         CodeInfo {
             code: INVALID_PROFILE_TIME,
             title: "invalid profiled time",
             severity: Error,
+            lenient: false,
             remediation: "Re-profile the node; Eq. 1-4 need non-negative finite times (infinite GPU time is the no-GPU sentinel).",
         },
         CodeInfo {
             code: CONFIG_FIELD_RANGE,
             title: "config field out of range",
             severity: Error,
+            lenient: false,
             remediation: "Keep sync overhead >= 0, host roundtrip fraction in [0, 1], jitter in [0, 1).",
         },
         CodeInfo {
             code: FOOTPRINT_EXCEEDS_DRAM,
             title: "footprint exceeds DRAM",
             severity: Error,
+            lenient: false,
             remediation: "Shrink the model scale or prefer managed (single-copy) allocations on the biggest arrays.",
         },
         CodeInfo {
             code: KERNEL_OVERLAP,
             title: "kernel overlap on one processor",
             severity: Error,
+            lenient: false,
             remediation: "Serialize kernels per processor through the timeline's free_at clock.",
         },
         CodeInfo {
             code: MALFORMED_EVENT,
             title: "malformed trace event",
             severity: Error,
+            lenient: false,
             remediation: "Emit finite, non-negative-duration intervals for every event.",
         },
         CodeInfo {
             code: WRITE_WRITE_RACE,
             title: "CPU/GPU write-write race",
             severity: Error,
+            lenient: false,
             remediation: "Give concurrent writers disjoint ranges (split part labels) or order them via a sync.",
         },
         CodeInfo {
             code: ORDERING_HAZARD,
             title: "kernel/DMA ordering hazard",
             severity: Error,
+            lenient: false,
             remediation: "Schedule transfers of a region strictly before or after the kernels touching it.",
         },
         CodeInfo {
             code: BANDWIDTH_EXCEEDED,
             title: "transfer beats link capacity",
             severity: Error,
+            lenient: false,
             remediation: "Lengthen the transfer to bytes / link bandwidth; no single stream can beat the memory system.",
         },
         CodeInfo {
             code: AGGREGATE_BANDWIDTH,
             title: "aggregate bandwidth over capacity",
             severity: Warning,
+            lenient: false,
             remediation: "Serialize concurrent bus transfers or model per-stream contention.",
         },
         CodeInfo {
             code: COPY_PROPORTION_OUT_OF_RANGE,
             title: "copy proportion out of range",
             severity: Error,
+            lenient: true,
             remediation: "Fix the accounting: memory time within one wall-clock interval cannot exceed that interval; use --lenient only for plotting.",
         },
         CodeInfo {
             code: BUSY_EXCEEDS_WALL,
             title: "busy time exceeds wall clock",
             severity: Error,
+            lenient: true,
             remediation: "Check interval-union accounting: the busy union is bounded by total latency.",
         },
         CodeInfo {
             code: FAULT_UNRECOVERED,
             title: "injected fault without recovery",
             severity: Error,
+            lenient: false,
             remediation: "Every kernel fault that bites must log a retry or fallback decision; check the injection hooks in exec_solo/exec_split.",
         },
         CodeInfo {
             code: RETRY_BUDGET_EXCEEDED,
             title: "retry budget exceeded",
             severity: Error,
+            lenient: false,
             remediation: "Cap per-node retries at max_attempts, then fall back to the CPU instead of retrying forever.",
         },
         CodeInfo {
             code: RECOVERY_ACCOUNTING_MISMATCH,
             title: "recovery counters disagree with events",
             severity: Error,
+            lenient: false,
             remediation: "Keep retries/fallbacks/deadline_degradations equal to the counts of matching events in the log.",
         },
         CodeInfo {
             code: RECOVERY_ORDER_VIOLATION,
             title: "recovery decisions out of order",
             severity: Error,
+            lenient: false,
             remediation: "Log decisions in simulated-time order and never retry a node after it fell back to the CPU.",
+        },
+        CodeInfo {
+            code: READ_BEFORE_WRITE,
+            title: "read of unwritten slot",
+            severity: Error,
+            lenient: false,
+            remediation: "Schedule every producer before its consumers; the slot table is write-once, never re-armed.",
+        },
+        CodeInfo {
+            code: DOUBLE_WRITE,
+            title: "slot written twice",
+            severity: Error,
+            lenient: false,
+            remediation: "Each node owns exactly one OnceLock slot; a second write would be silently dropped at runtime.",
+        },
+        CodeInfo {
+            code: CROSS_BRANCH_RACE,
+            title: "cross-branch slot race",
+            severity: Error,
+            lenient: false,
+            remediation: "Parallel branches may only touch slots of their own nodes; route shared values through the fork point.",
+        },
+        CodeInfo {
+            code: USE_AFTER_MOVE,
+            title: "use after move",
+            severity: Error,
+            lenient: false,
+            remediation: "A slot's tensor moves out exactly once (into the result); schedule all reads before the move.",
+        },
+        CodeInfo {
+            code: OUTPUT_NEVER_PRODUCED,
+            title: "output never produced",
+            severity: Error,
+            lenient: false,
+            remediation: "The schedule must write the graph's output slot; check the output node is reachable and executed.",
+        },
+        CodeInfo {
+            code: DEAD_WRITE,
+            title: "slot written but never read",
+            severity: Warning,
+            lenient: false,
+            remediation: "Remove the node or wire its output toward the sink; its tensor is held to session end for nothing.",
+        },
+        CodeInfo {
+            code: ARENA_ESCAPE,
+            title: "arena buffer outlives its node",
+            severity: Error,
+            lenient: false,
+            remediation: "Release scratch buffers (LIFO) before the acquiring node completes; with_scratch must not escape.",
+        },
+        CodeInfo {
+            code: MERGE_ALIASES_LIVE_SLOT,
+            title: "in-place merge aliases a live slot",
+            severity: Error,
+            lenient: false,
+            remediation: "Merge partial results only into the owning node's own pending slot, never into another live buffer.",
+        },
+        CodeInfo {
+            code: CERTIFIED_PEAK_EXCEEDS_DRAM,
+            title: "certified peak exceeds DRAM",
+            severity: Error,
+            lenient: false,
+            remediation: "Shrink the model scale or free reclaimable slots early; the certified bound must fit Platform::dram_bytes.",
+        },
+        CodeInfo {
+            code: BORROWED_INPUT_WRITTEN,
+            title: "borrowed input slot written",
+            severity: Error,
+            lenient: false,
+            remediation: "Slot 0 borrows the caller's input tensor; no node may write it.",
         },
     ]
 }
@@ -271,7 +397,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 27);
+        assert_eq!(reg.len(), 37);
         for pair in reg.windows(2) {
             assert!(pair[0].code < pair[1].code, "codes must stay sorted");
         }
@@ -285,7 +411,19 @@ mod tests {
     fn lookup_finds_known_and_rejects_unknown() {
         assert_eq!(code_info("EC020").unwrap().severity, Severity::Error);
         assert_eq!(code_info("EC025").unwrap().severity, Severity::Warning);
+        assert_eq!(code_info("EC050").unwrap().severity, Severity::Error);
+        assert_eq!(code_info("EC055").unwrap().severity, Severity::Warning);
         assert!(code_info("EC999").is_none());
+    }
+
+    #[test]
+    fn lenient_set_is_exactly_the_accounting_pair() {
+        let lenient: Vec<&str> = registry()
+            .iter()
+            .filter(|c| c.lenient)
+            .map(|c| c.code)
+            .collect();
+        assert_eq!(lenient, ["EC030", "EC031"]);
     }
 
     #[test]

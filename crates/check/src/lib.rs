@@ -19,6 +19,12 @@
 //!   verifies *measured* timelines: [`flight`] replays recorded flight
 //!   spans from the functional engine and re-checks the occupancy and
 //!   causal-ordering invariants against what actually ran.
+//! - **Tier D — [`ownership`]**: an abstract interpreter over
+//!   `(graph, plan)` proving the zero-copy dataflow contract statically
+//!   (write-once slots, no cross-branch races, no use-after-move, LIFO
+//!   arena discipline) and deriving a certified peak-memory bound the
+//!   functional engine's measured high-water marks must stay under
+//!   (`EC05x`).
 //!
 //! Every diagnostic carries a stable `EC0xx` code ([`codes`]), a
 //! [`Severity`], and a [`Span`] pointing at the node, event, or scope
@@ -30,6 +36,7 @@
 pub mod codes;
 pub mod flight;
 pub mod graph;
+pub mod ownership;
 pub mod plan;
 pub mod recovery;
 pub mod report;
@@ -41,6 +48,10 @@ use serde::Serialize;
 pub use codes::{code_info, registry, CodeInfo};
 pub use flight::check_flight_records;
 pub use graph::check_graph;
+pub use ownership::{
+    analyze_schedule, check_ownership, derive_schedule, BufferLife, Op, OwnershipReport, PeakBound,
+    Region, Schedule,
+};
 pub use plan::{check_config, check_plan, check_profile};
 pub use recovery::check_recovery;
 pub use report::check_report;
@@ -181,12 +192,17 @@ impl CheckReport {
         self.diagnostics.iter().any(|d| d.code == code)
     }
 
-    /// Downgrades the report-accounting codes (`EC030`, `EC031`) to
-    /// warnings — the `--lenient` mode kept for plotting pipelines that
-    /// prefer a clamped copy proportion over a failed run.
+    /// Downgrades lenient-eligible codes to warnings — the `--lenient`
+    /// mode kept for plotting pipelines that prefer a clamped copy
+    /// proportion over a failed run.
+    ///
+    /// Eligibility is table-driven by [`CodeInfo::lenient`] in the
+    /// registry, so a newly added code is strict unless its entry says
+    /// otherwise, and a code missing from the registry fails closed
+    /// (stays an error).
     pub fn downgrade_accounting(&mut self) {
         for d in &mut self.diagnostics {
-            if d.code == codes::COPY_PROPORTION_OUT_OF_RANGE || d.code == codes::BUSY_EXCEEDS_WALL {
+            if code_info(d.code).is_some_and(|info| info.lenient) {
                 d.severity = Severity::Warning;
             }
         }
@@ -296,6 +312,23 @@ mod tests {
         r.downgrade_accounting();
         assert_eq!(r.error_count(), 1, "EC003 stays an error");
         assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn lenient_mode_fails_closed_on_unknown_and_new_codes() {
+        // A code outside the registry must never be downgraded, and the
+        // EC05x ownership codes are strict by table entry.
+        let mut r = CheckReport::new(vec![
+            Diagnostic::new("EC998", Span::Global, "unregistered"),
+            Diagnostic::new(codes::DOUBLE_WRITE, Span::Node(1), "double write"),
+            Diagnostic::new(codes::BUSY_EXCEEDS_WALL, Span::Global, "busy"),
+        ]);
+        assert_eq!(r.error_count(), 3, "unknown codes default to Error");
+        r.downgrade_accounting();
+        assert_eq!(r.error_count(), 2, "only the lenient table entry moves");
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+        assert_eq!(r.diagnostics[1].severity, Severity::Error);
+        assert_eq!(r.diagnostics[2].severity, Severity::Warning);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Measured-vs-certified conformance: on every bundled model x platform
+//! combination, tier D's statically certified peak-memory bound must
+//! dominate the functional engine's measured high-water marks.
+//!
+//! This is deliberately ONE test function: the engine reports arena
+//! reuse through process-global counters, so running combinations
+//! concurrently in separate #[test]s would interleave their deltas.
+
+use edgenn_check::check_ownership;
+use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::runtime::{functional, Runtime};
+use edgenn_core::tuner::Tuner;
+use edgenn_nn::models::{build, ModelKind, ModelScale};
+use edgenn_sim::platforms;
+use edgenn_tensor::Tensor;
+
+const MODELS: [ModelKind; 6] = [
+    ModelKind::Fcnn,
+    ModelKind::LeNet,
+    ModelKind::AlexNet,
+    ModelKind::Vgg16,
+    ModelKind::SqueezeNet,
+    ModelKind::ResNet18,
+];
+
+#[test]
+fn certified_bound_dominates_measured_on_all_36_combos() {
+    let platforms = [
+        platforms::jetson_agx_xavier(),
+        platforms::raspberry_pi_4(),
+        platforms::dimensity_8100(),
+        platforms::rtx_2080ti_server(),
+        platforms::amd_embedded_apu(),
+        platforms::apple_silicon_m1(),
+    ];
+    let mut combos = 0;
+    for model in MODELS {
+        let graph = build(model, ModelScale::Tiny);
+        for platform in &platforms {
+            // GPU-less platforms take the CPU-only config, mirroring
+            // the CI matrix: the tuner refuses GPU work for them.
+            let config = if platform.has_gpu() {
+                ExecutionConfig::edgenn()
+            } else {
+                ExecutionConfig::cpu_only()
+            };
+            let runtime = Runtime::new(platform);
+            let tuner = Tuner::new(&graph, &runtime).expect("tuner");
+            let plan = tuner.plan(&graph, &runtime, config).expect("plan");
+
+            let report = check_ownership(&graph, &plan, platform);
+            assert!(
+                report.is_clean(),
+                "{} on {}: tier D not clean: {:?}",
+                graph.name(),
+                platform.name,
+                report.diagnostics
+            );
+
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+            let outcome = functional::execute(&graph, &plan, &input).expect("execute");
+            let measured_slot = outcome.engine.slot_bytes;
+            let measured_arena = outcome.engine.arena_fresh_bytes;
+            assert!(
+                measured_slot <= report.bound.slot_bytes,
+                "{} on {}: measured slot bytes {} exceed certified {}",
+                graph.name(),
+                platform.name,
+                measured_slot,
+                report.bound.slot_bytes
+            );
+            assert!(
+                measured_arena <= report.bound.arena_bytes,
+                "{} on {}: measured arena bytes {} exceed certified {}",
+                graph.name(),
+                platform.name,
+                measured_arena,
+                report.bound.arena_bytes
+            );
+            combos += 1;
+        }
+    }
+    assert_eq!(combos, 36);
+}

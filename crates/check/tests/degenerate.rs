@@ -1,0 +1,149 @@
+//! Degenerate-graph robustness: every checker tier must terminate with a
+//! sensible verdict — never a panic — on the pathological inputs a
+//! hand-built graph (or a fuzzer) can produce: the empty DAG, the
+//! input-only graph, disconnected components, and zero-byte tensors.
+
+use std::sync::Arc;
+
+use edgenn_check::{check_graph, check_ownership, check_plan, codes, Severity};
+use edgenn_core::plan::{Assignment, ExecutionConfig, ExecutionPlan, NodePlan};
+use edgenn_nn::graph::{Graph, Node, NodeId};
+use edgenn_nn::layer::{InputLayer, Relu};
+use edgenn_sim::platforms::{jetson_agx_xavier, raspberry_pi_4};
+use edgenn_tensor::Shape;
+
+/// A plan placing every node on the CPU (legal on any platform).
+fn cpu_plan(len: usize) -> ExecutionPlan {
+    ExecutionPlan {
+        config: ExecutionConfig::cpu_only(),
+        nodes: vec![
+            NodePlan {
+                assignment: Assignment::Cpu,
+                ..NodePlan::gpu_explicit()
+            };
+            len
+        ],
+    }
+}
+
+#[test]
+fn empty_dag_terminates_in_every_tier() {
+    let graph = Graph::from_parts("empty", Vec::new(), NodeId(0));
+    let plan = cpu_plan(0);
+    let platform = jetson_agx_xavier();
+
+    // Tier A and B complete without panicking.
+    let _ = check_graph(&graph);
+    let _ = check_plan(&graph, &plan, &platform);
+
+    // Tier D: nothing is written, so the output cannot exist.
+    let report = check_ownership(&graph, &plan, &platform);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::OUTPUT_NEVER_PRODUCED),
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report.lives.is_empty());
+    assert_eq!(report.bound.slot_bytes, 0);
+    assert_eq!(report.bound.weight_bytes, 0);
+}
+
+#[test]
+fn input_only_graph_flags_the_unproduced_output() {
+    let shape = Shape::new(&[4]);
+    let graph = Graph::from_parts(
+        "input-only",
+        vec![Node::new(
+            Arc::new(InputLayer::new(shape.clone())),
+            vec![],
+            shape,
+        )],
+        NodeId(0),
+    );
+    let plan = cpu_plan(graph.len());
+    for platform in [jetson_agx_xavier(), raspberry_pi_4()] {
+        let report = check_ownership(&graph, &plan, &platform);
+        // The "output" is the borrowed input: no node ever writes it, so
+        // the session has nothing of its own to hand back.
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::OUTPUT_NEVER_PRODUCED),
+            "{}: {:?}",
+            platform.name,
+            report.diagnostics
+        );
+        assert!(report.lives.is_empty());
+    }
+}
+
+#[test]
+fn disconnected_component_is_dead_in_tier_a_and_unread_in_tier_d() {
+    let shape = Shape::new(&[8]);
+    // 0:input -> 1:relu(out)   2:relu reads the input but nobody reads 2.
+    let nodes = vec![
+        Node::new(
+            Arc::new(InputLayer::new(shape.clone())),
+            vec![],
+            shape.clone(),
+        ),
+        Node::new(Arc::new(Relu::new("live")), vec![NodeId(0)], shape.clone()),
+        Node::new(Arc::new(Relu::new("orphan")), vec![NodeId(0)], shape),
+    ];
+    let graph = Graph::from_parts("disconnected", nodes, NodeId(1));
+    let plan = cpu_plan(graph.len());
+    let platform = jetson_agx_xavier();
+
+    let tier_a = check_graph(&graph);
+    assert!(
+        tier_a.iter().any(|d| d.code == codes::DEAD_NODE),
+        "tier A must flag the orphan: {tier_a:?}"
+    );
+
+    let report = check_ownership(&graph, &plan, &platform);
+    let ec055: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == codes::DEAD_WRITE)
+        .collect();
+    assert!(
+        !ec055.is_empty(),
+        "tier D must flag the orphan's unread slot: {:?}",
+        report.diagnostics
+    );
+    assert!(ec055.iter().all(|d| d.severity == Severity::Warning));
+    // The orphan still executes, so its buffer still counts toward the
+    // certified bound and the liveness table.
+    assert_eq!(report.lives.len(), 2);
+}
+
+#[test]
+fn zero_byte_tensors_analyze_without_dividing_or_panicking() {
+    let shape = Shape::new(&[0]);
+    let nodes = vec![
+        Node::new(
+            Arc::new(InputLayer::new(shape.clone())),
+            vec![],
+            shape.clone(),
+        ),
+        Node::new(Arc::new(Relu::new("zero")), vec![NodeId(0)], shape),
+    ];
+    let graph = Graph::from_parts("zero-bytes", nodes, NodeId(1));
+    let plan = cpu_plan(graph.len());
+    let platform = jetson_agx_xavier();
+
+    let _ = check_graph(&graph);
+    let _ = check_plan(&graph, &plan, &platform);
+    let report = check_ownership(&graph, &plan, &platform);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.bound.slot_bytes, 0);
+    assert_eq!(report.bound.input_bytes, 0);
+    assert_eq!(report.bound.total_bytes, 0);
+    // A zero-byte buffer still has a well-formed liveness interval.
+    assert_eq!(report.lives.len(), 1);
+    assert!(report.lives[0].last_read >= report.lives[0].born);
+}

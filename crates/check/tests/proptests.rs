@@ -180,3 +180,307 @@ fn config_field_mutations_trip_ec017() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tier D: one surgical schedule mutation per EC05x code.
+// ---------------------------------------------------------------------------
+
+use edgenn_check::{analyze_schedule, check_ownership, derive_schedule, Op, Region, Schedule};
+
+/// A tuned tiny-scale `(graph, plan)` pair whose derived schedule is
+/// clean — the fixed point every mutation below perturbs.
+fn tier_d_subject(
+    rng: &mut rand::rngs::StdRng,
+) -> (edgenn_nn::graph::Graph, ExecutionPlan, Platform) {
+    let graph = build(arb_model(rng), ModelScale::Tiny);
+    let platform = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).expect("profile");
+    let plan = tuner
+        .plan(&graph, &runtime, ExecutionConfig::edgenn())
+        .expect("plan");
+    (graph, plan, platform)
+}
+
+/// Asserts `code` fires on `schedule` and did not fire pre-mutation.
+fn assert_trips(
+    code: &str,
+    graph: &edgenn_nn::graph::Graph,
+    plan: &ExecutionPlan,
+    platform: &Platform,
+    schedule: &Schedule,
+) {
+    let clean = check_ownership(graph, plan, platform);
+    assert!(
+        clean.diagnostics.iter().all(|d| d.code != code),
+        "{code} already fires without the mutation: {:?}",
+        clean.diagnostics
+    );
+    let report = analyze_schedule(graph, plan, platform, schedule);
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == code),
+        "mutation did not trip {code}: {:?}",
+        report.diagnostics
+    );
+}
+
+/// A read injected before the producing write trips EC050.
+#[test]
+fn premature_read_mutation_trips_ec050() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0050);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let victim = rng.gen_range(1usize..graph.len());
+        schedule.regions.insert(
+            0,
+            Region::Serial(vec![Op::Read {
+                node: victim,
+                slot: victim,
+            }]),
+        );
+        assert_trips(
+            codes::READ_BEFORE_WRITE,
+            &graph,
+            &plan,
+            &platform,
+            &schedule,
+        );
+    }
+}
+
+/// A duplicated write to an already-live slot trips EC051.
+#[test]
+fn double_write_mutation_trips_ec051() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0051);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let victim = rng.gen_range(1usize..graph.len());
+        let at = schedule.regions.len() - 1; // before the MoveOut region
+        schedule.regions.insert(
+            at,
+            Region::Serial(vec![Op::Write {
+                node: victim,
+                slot: victim,
+            }]),
+        );
+        assert_trips(codes::DOUBLE_WRITE, &graph, &plan, &platform, &schedule);
+    }
+}
+
+/// Two parallel branches touching the same slot trip EC052.
+#[test]
+fn cross_branch_race_mutation_trips_ec052() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0052);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let victim = rng.gen_range(1usize..graph.len());
+        let write = Op::Write {
+            node: victim,
+            slot: victim,
+        };
+        let race = if rng.gen_range(0u32..2) == 0 {
+            // Writer/writer race.
+            vec![vec![write], vec![write]]
+        } else {
+            // Writer/reader race.
+            vec![
+                vec![write],
+                vec![Op::Read {
+                    node: victim,
+                    slot: victim,
+                }],
+            ]
+        };
+        schedule.regions.insert(0, Region::Parallel(race));
+        assert_trips(
+            codes::CROSS_BRANCH_RACE,
+            &graph,
+            &plan,
+            &platform,
+            &schedule,
+        );
+    }
+}
+
+/// A read appended after the output moved out trips EC053.
+#[test]
+fn use_after_move_mutation_trips_ec053() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0053);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let out = graph.output_id().index();
+        schedule.regions.push(Region::Serial(vec![Op::Read {
+            node: out,
+            slot: out,
+        }]));
+        assert_trips(codes::USE_AFTER_MOVE, &graph, &plan, &platform, &schedule);
+    }
+}
+
+/// Deleting the output's producing write trips EC054.
+#[test]
+fn missing_output_write_mutation_trips_ec054() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0054);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let out = graph.output_id().index();
+        for region in &mut schedule.regions {
+            let drop_write = |ops: &mut Vec<Op>| {
+                ops.retain(|op| !matches!(op, Op::Write { slot, .. } if *slot == out));
+            };
+            match region {
+                Region::Serial(ops) => drop_write(ops),
+                Region::Parallel(branches) => branches.iter_mut().for_each(drop_write),
+            }
+        }
+        assert_trips(
+            codes::OUTPUT_NEVER_PRODUCED,
+            &graph,
+            &plan,
+            &platform,
+            &schedule,
+        );
+    }
+}
+
+/// Deleting every read of an interior slot trips the EC055 warning.
+#[test]
+fn dead_write_mutation_trips_ec055() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0055);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        // Node 1's output always has at least one consumer in the
+        // builder models, and is never the output.
+        let victim = 1usize;
+        assert_ne!(victim, graph.output_id().index());
+        for region in &mut schedule.regions {
+            let drop_reads = |ops: &mut Vec<Op>| {
+                ops.retain(|op| !matches!(op, Op::Read { slot, .. } if *slot == victim));
+            };
+            match region {
+                Region::Serial(ops) => drop_reads(ops),
+                Region::Parallel(branches) => branches.iter_mut().for_each(drop_reads),
+            }
+        }
+        let report = analyze_schedule(&graph, &plan, &platform, &schedule);
+        let ec055: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::DEAD_WRITE)
+            .collect();
+        assert!(!ec055.is_empty(), "no EC055: {:?}", report.diagnostics);
+        assert!(
+            ec055.iter().all(|d| d.severity == Severity::Warning),
+            "EC055 must stay a warning: {ec055:?}"
+        );
+    }
+}
+
+/// Deleting an arena release (leaking the buffer past the node's write)
+/// trips EC056.
+#[test]
+fn leaked_arena_buffer_mutation_trips_ec056() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0056);
+    for _ in 0..CASES {
+        // LeNet always has convolutions, hence arena acquisitions.
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let platform = platforms::jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        let tuner = Tuner::new(&graph, &runtime).expect("profile");
+        let plan = tuner
+            .plan(&graph, &runtime, arb_config(&mut rng))
+            .expect("plan");
+        let mut schedule = derive_schedule(&graph, &plan);
+        let mut dropped = false;
+        for region in &mut schedule.regions {
+            if dropped {
+                break;
+            }
+            if let Region::Serial(ops) = region {
+                if let Some(pos) = ops
+                    .iter()
+                    .position(|op| matches!(op, Op::ArenaRelease { .. }))
+                {
+                    ops.remove(pos);
+                    dropped = true;
+                }
+            }
+        }
+        assert!(dropped, "LeNet schedule must contain an arena release");
+        assert_trips(codes::ARENA_ESCAPE, &graph, &plan, &platform, &schedule);
+    }
+}
+
+/// A merge retargeted at a foreign live slot trips EC057.
+#[test]
+fn aliased_merge_mutation_trips_ec057() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0057);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        // Merge node 2's partials into node 1's already-live buffer.
+        let at = schedule.regions.len() - 1;
+        schedule
+            .regions
+            .insert(at, Region::Serial(vec![Op::Merge { node: 2, target: 1 }]));
+        assert_trips(
+            codes::MERGE_ALIASES_LIVE_SLOT,
+            &graph,
+            &plan,
+            &platform,
+            &schedule,
+        );
+    }
+}
+
+/// Shrinking the platform's DRAM under the certified bound trips EC058.
+#[test]
+fn tiny_dram_mutation_trips_ec058() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0058);
+    for _ in 0..CASES {
+        let (graph, plan, mut platform) = tier_d_subject(&mut rng);
+        platform.dram_bytes = rng.gen_range(1u64..1024);
+        let report = check_ownership(&graph, &plan, &platform);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::CERTIFIED_PEAK_EXCEEDS_DRAM),
+            "bound {} vs dram {} not caught: {:?}",
+            report.bound.total_bytes,
+            platform.dram_bytes,
+            report.diagnostics
+        );
+    }
+}
+
+/// A write aimed at the borrowed input slot trips EC059.
+#[test]
+fn borrowed_input_write_mutation_trips_ec059() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_0059);
+    for _ in 0..CASES {
+        let (graph, plan, platform) = tier_d_subject(&mut rng);
+        let mut schedule = derive_schedule(&graph, &plan);
+        let writer = rng.gen_range(1usize..graph.len());
+        schedule.regions.insert(
+            0,
+            Region::Serial(vec![Op::Write {
+                node: writer,
+                slot: 0,
+            }]),
+        );
+        assert_trips(
+            codes::BORROWED_INPUT_WRITTEN,
+            &graph,
+            &plan,
+            &platform,
+            &schedule,
+        );
+    }
+}

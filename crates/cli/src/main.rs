@@ -39,6 +39,8 @@ USAGE:
     edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
     edgenn check     --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--lenient]
+    edgenn analyze   --model M --platform P [--config C] [--scale paper|tiny]
+                     [--json] [--functional]
     edgenn profile   <model> --platform P [--config C] [--scale paper|tiny]
                      [--runs N] [--json] [--perfetto FILE]
     edgenn storm     [--model M|all] [--platform P] [--config C] [--seed N]
@@ -67,6 +69,22 @@ CHECK:
     --lenient   downgrade the accounting codes EC030/EC031 to warnings
                 (plotting pipelines that accept a clamped copy proportion)
     Exit status is non-zero when any error-severity diagnostic fires.
+
+ANALYZE:
+    Runs the edgenn-check tier-D ownership/liveness analyzer: the plan is
+    lowered into the exact slot/arena operation schedule the functional
+    engine would execute, abstract-interpreted against the zero-copy
+    contract (EC050-EC059, see docs/diagnostics.md), and a certified
+    peak-memory bound is derived and checked against the platform's DRAM.
+    The worker-pool schedule explorer then exhaustively enumerates every
+    queue/steal/reclaim interleaving of a scenario matrix (CHESS-style
+    bounded preemptions), asserting the pool contract on each.
+    --json        machine-readable report (liveness table, bound, explorer)
+    --functional  also execute the model through the real functional
+                  engine and gate measured slot/arena bytes against the
+                  certified bound (measured must never exceed certified)
+    Exit status is non-zero on any EC05x error, explorer violation, or
+    measured-exceeds-certified conformance failure.
 
 FAULTS:
     --faults takes either a bare integer (a seed for a reproducible random
@@ -111,6 +129,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
         Some("check") => cmd_check(&options),
+        Some("analyze") => cmd_analyze(&options),
         Some("profile") => cmd_profile(&options),
         Some("storm") => cmd_storm(&options),
         Some("inspect") => cmd_inspect(&options),
@@ -605,6 +624,171 @@ fn cmd_check(options: &Options) -> Result<(), String> {
             report.error_count(),
             graph.name(),
             platform.name
+        ))
+    }
+}
+
+fn cmd_analyze(options: &Options) -> Result<(), String> {
+    use edgenn_core::runtime::sched_explore;
+
+    let graph = required_graph(options)?;
+    let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
+    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+
+    let runtime = Runtime::new(&platform);
+    let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
+    let plan = tuner
+        .plan(&graph, &runtime, config)
+        .map_err(|e| e.to_string())?;
+
+    // Tier D: static ownership/liveness over the lowered schedule.
+    let report = edgenn_check::check_ownership(&graph, &plan, &platform);
+
+    // Pool schedule explorer: every interleaving of the scenario matrix.
+    let matrix = sched_explore::default_matrix();
+    let mut interleavings = 0u64;
+    let mut states = 0u64;
+    let mut explorer_violations: Vec<String> = Vec::new();
+    for cfg in &matrix {
+        let result = sched_explore::explore(cfg);
+        interleavings += result.interleavings;
+        states += result.states;
+        if !result.is_clean() {
+            explorer_violations.push(format!("{cfg:?}: {:?}", result.violations));
+        }
+    }
+
+    // Optional conformance gate: the real engine's measured high-water
+    // marks must stay under the certified bound.
+    let functional = if options.has("functional") {
+        let input = edgenn_tensor::Tensor::random(graph.input_shape().dims(), 1.0, 7);
+        let outcome = edgenn_core::runtime::functional::execute(&graph, &plan, &input)
+            .map_err(|e| e.to_string())?;
+        let measured_slot = outcome.engine.slot_bytes;
+        let measured_arena = outcome.engine.arena_fresh_bytes;
+        let conforms =
+            measured_slot <= report.bound.slot_bytes && measured_arena <= report.bound.arena_bytes;
+        Some((measured_slot, measured_arena, conforms))
+    } else {
+        None
+    };
+
+    let explorer_clean = explorer_violations.is_empty();
+    let measured_conforms = functional.is_none_or(|(_, _, ok)| ok);
+
+    if options.has("json") {
+        let mut m = serde_json::Map::new();
+        m.insert("model", serde_json::Value::from(graph.name()));
+        m.insert("platform", serde_json::Value::from(platform.name.as_str()));
+        m.insert(
+            "config",
+            serde_json::Value::from(options.value("config").unwrap_or("edgenn")),
+        );
+        m.insert(
+            "scale",
+            serde_json::Value::from(options.value("scale").unwrap_or("paper")),
+        );
+        m.insert(
+            "ownership",
+            serde_json::to_value(&report).map_err(|e| e.to_string())?,
+        );
+        m.insert("clean", serde_json::Value::from(report.is_clean()));
+        let mut ex = serde_json::Map::new();
+        ex.insert("scenarios", serde_json::Value::from(matrix.len() as u64));
+        ex.insert("interleavings", serde_json::Value::from(interleavings));
+        ex.insert("states", serde_json::Value::from(states));
+        ex.insert(
+            "violations",
+            serde_json::to_value(&explorer_violations).map_err(|e| e.to_string())?,
+        );
+        ex.insert("clean", serde_json::Value::from(explorer_clean));
+        m.insert("explorer", serde_json::Value::Object(ex));
+        if let Some((slot, arena, conforms)) = functional {
+            let mut f = serde_json::Map::new();
+            f.insert("measured_slot_bytes", serde_json::Value::from(slot));
+            f.insert("measured_arena_fresh_bytes", serde_json::Value::from(arena));
+            f.insert(
+                "certified_slot_bytes",
+                serde_json::Value::from(report.bound.slot_bytes),
+            );
+            f.insert(
+                "certified_arena_bytes",
+                serde_json::Value::from(report.bound.arena_bytes),
+            );
+            f.insert("conforms", serde_json::Value::from(conforms));
+            m.insert("functional", serde_json::Value::Object(f));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(m))
+                .map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} on {} — tier-D ownership/liveness analysis ({} abstract ops)",
+            graph.name(),
+            platform.name,
+            report.ops
+        );
+        print!("{}", report.render_table(&graph));
+        let margin = platform.dram_bytes.saturating_sub(report.bound.total_bytes);
+        println!(
+            "dram margin   : {:.1} MiB of {:.1} MiB free under the certified bound",
+            margin as f64 / (1 << 20) as f64,
+            platform.dram_bytes as f64 / (1 << 20) as f64
+        );
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        println!(
+            "pool explorer : {} scenario(s), {} interleaving(s), {} state(s): {}",
+            matrix.len(),
+            interleavings,
+            states,
+            if explorer_clean {
+                "all invariants hold".to_string()
+            } else {
+                format!("{} violation(s)", explorer_violations.len())
+            }
+        );
+        for v in &explorer_violations {
+            println!("  {v}");
+        }
+        if let Some((slot, arena, conforms)) = functional {
+            println!(
+                "functional    : measured slots {} / certified {}, measured arena {} / \
+                 certified {} — {}",
+                slot,
+                report.bound.slot_bytes,
+                arena,
+                report.bound.arena_bytes,
+                if conforms {
+                    "measured \u{2264} certified"
+                } else {
+                    "MEASURED EXCEEDS CERTIFIED"
+                }
+            );
+        }
+    }
+
+    if report.is_clean() && explorer_clean && measured_conforms {
+        Ok(())
+    } else {
+        Err(format!(
+            "analyze failed on {} x {}: {} EC05x error(s), {} explorer violation(s){}",
+            graph.name(),
+            platform.name,
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == edgenn_check::Severity::Error)
+                .count(),
+            explorer_violations.len(),
+            if measured_conforms {
+                String::new()
+            } else {
+                ", measured footprint exceeded the certified bound".to_string()
+            }
         ))
     }
 }

@@ -54,6 +54,15 @@ fn array_bytes(elems: usize, strategy: AllocStrategy) -> u64 {
 /// Fails on plan/graph mismatches.
 pub fn footprint(graph: &Graph, plan: &ExecutionPlan) -> Result<Footprint> {
     plan.validate(graph)?;
+    if graph.is_empty() {
+        // No nodes, no arrays: the empty footprint, not an index panic on
+        // the missing output node.
+        return Ok(Footprint {
+            weight_bytes: 0,
+            peak_activation_bytes: 0,
+            peak_bytes: 0,
+        });
+    }
     let weight_bytes = graph.param_bytes();
 
     // Last consumer of each node's output.

@@ -70,6 +70,11 @@ pub struct EngineStats {
     pub arena_fresh_bytes: u64,
     /// Scratch-arena bytes served without allocating (steady state).
     pub arena_reused_bytes: u64,
+    /// Bytes moved into node output slots. The engine holds every slot
+    /// to session end, so this is also the run's slot high-water mark —
+    /// the measured quantity the tier-D checker's certified bound must
+    /// dominate.
+    pub slot_bytes: u64,
     /// Flight-recorder profile of this run (per-stage p50/p99), present
     /// when the flight recorder was enabled during the run.
     pub profile: Option<ProfileSummary>,
@@ -78,13 +83,18 @@ pub struct EngineStats {
 impl EngineStats {
     /// Absolute snapshot of the cumulative engine counters underlying
     /// one pool session (no profile — profiles belong to windows).
-    fn capture(pool: &pool::PoolStats, scratch: &edgenn_tensor::ScratchStats) -> EngineStats {
+    fn capture(
+        pool: &pool::PoolStats,
+        scratch: &edgenn_tensor::ScratchStats,
+        slot_bytes: u64,
+    ) -> EngineStats {
         EngineStats {
             pool_tasks: pool.worker_tasks,
             inline_tasks: pool.inline_tasks,
             queue_wait_ns: pool.queue_wait_ns,
             arena_fresh_bytes: scratch.fresh_bytes,
             arena_reused_bytes: scratch.reused_bytes,
+            slot_bytes,
             profile: None,
         }
     }
@@ -104,6 +114,7 @@ impl EngineStats {
             arena_reused_bytes: later
                 .arena_reused_bytes
                 .saturating_sub(self.arena_reused_bytes),
+            slot_bytes: later.slot_bytes.saturating_sub(self.slot_bytes),
             profile: later.profile.clone(),
         }
     }
@@ -352,6 +363,7 @@ impl<'g> Executor<'g> {
             .collect();
         let corun = AtomicUsize::new(0);
         let cpu = AtomicUsize::new(0);
+        let slot_bytes = AtomicU64::new(0);
         let pool: Pool<'_, TaskResult> = Pool::new();
 
         let runs: Result<Vec<RunCounters>> = std::thread::scope(|scope| {
@@ -372,6 +384,7 @@ impl<'g> Executor<'g> {
                             slots,
                             corun: &corun,
                             cpu: &cpu,
+                            slot_bytes: &slot_bytes,
                             faults: self.faults.as_ref(),
                         },
                         &pool,
@@ -417,6 +430,7 @@ impl<'g> Executor<'g> {
             ("pool_queue_wait_ns", engine.queue_wait_ns as f64),
             ("arena_fresh_bytes", engine.arena_fresh_bytes as f64),
             ("arena_reused_bytes", engine.arena_reused_bytes as f64),
+            ("slot_bytes", engine.slot_bytes as f64),
         ] {
             observer.emit(SinkEvent::EngineCounter { name, value });
         }
@@ -477,6 +491,7 @@ struct Ctx<'env> {
     slots: &'env [OnceLock<Tensor>],
     corun: &'env AtomicUsize,
     cpu: &'env AtomicUsize,
+    slot_bytes: &'env AtomicU64,
     faults: Option<&'env FaultInjector>,
 }
 
@@ -491,7 +506,11 @@ impl Copy for Ctx<'_> {}
 /// Drives one input through every segment on the calling thread,
 /// delegating branch bodies and split partials to the pool.
 fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCounters> {
-    let stats_before = EngineStats::capture(&pool.stats(), &scratch_stats());
+    let stats_before = EngineStats::capture(
+        &pool.stats(),
+        &scratch_stats(),
+        ctx.slot_bytes.load(Ordering::Relaxed),
+    );
     let corun_before = ctx.corun.load(Ordering::Relaxed);
     let cpu_before = ctx.cpu.load(Ordering::Relaxed);
     let recovery_before = ctx.faults.map(FaultInjector::counts).unwrap_or_default();
@@ -540,7 +559,11 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
     flight::end(root);
     let parallel_regions = run?;
 
-    let mut stats_after = EngineStats::capture(&pool.stats(), &scratch_stats());
+    let mut stats_after = EngineStats::capture(
+        &pool.stats(),
+        &scratch_stats(),
+        ctx.slot_bytes.load(Ordering::Relaxed),
+    );
     if let Some(marker) = &marker {
         let dropped = flight::dropped_records().saturating_sub(dropped_before);
         stats_after.profile = Some(flight::profile_since(marker, root.id(), dropped));
@@ -681,6 +704,8 @@ fn exec_node<'env>(
     let (tensor, corun, cpu) = result?;
     ctx.corun.fetch_add(usize::from(corun), Ordering::Relaxed);
     ctx.cpu.fetch_add(cpu, Ordering::Relaxed);
+    ctx.slot_bytes
+        .fetch_add((tensor.as_slice().len() * 4) as u64, Ordering::Relaxed);
     ctx.slots[id.index()]
         .set(tensor)
         .map_err(|_| CoreError::Internal {
@@ -1244,6 +1269,27 @@ mod tests {
     }
 
     #[test]
+    fn slot_bytes_accounts_every_non_input_output_exactly() {
+        // Fault-free, the engine moves exactly one tensor per non-input
+        // node into its slot and frees nothing mid-run, so the measured
+        // slot bytes equal the sum of non-input output sizes — the same
+        // quantity the tier-D checker certifies.
+        for kind in [ModelKind::LeNet, ModelKind::SqueezeNet] {
+            let graph = build(kind, ModelScale::Tiny);
+            let plan = edgenn_plan(&graph);
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 13);
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            let expected: u64 = graph
+                .nodes()
+                .iter()
+                .filter(|n| n.layer().class() != LayerClass::Input)
+                .map(|n| (n.output_shape().num_elements() * 4) as u64)
+                .sum();
+            assert_eq!(outcome.engine.slot_bytes, expected, "{kind}");
+        }
+    }
+
+    #[test]
     fn snapshot_delta_windows_counters_and_keeps_later_profile() {
         let a = EngineStats {
             pool_tasks: 10,
@@ -1251,6 +1297,7 @@ mod tests {
             queue_wait_ns: 1_000,
             arena_fresh_bytes: 4_096,
             arena_reused_bytes: 0,
+            slot_bytes: 256,
             profile: None,
         };
         let b = EngineStats {
@@ -1259,6 +1306,7 @@ mod tests {
             queue_wait_ns: 1_500,
             arena_fresh_bytes: 4_096,
             arena_reused_bytes: 8_192,
+            slot_bytes: 1_280,
             profile: Some(ProfileSummary::default()),
         };
         let delta = a.snapshot_delta(&b);
@@ -1267,6 +1315,7 @@ mod tests {
         assert_eq!(delta.queue_wait_ns, 500);
         assert_eq!(delta.arena_fresh_bytes, 0);
         assert_eq!(delta.arena_reused_bytes, 8_192);
+        assert_eq!(delta.slot_bytes, 1_024);
         assert!(delta.profile.is_some(), "delta carries the later profile");
         // Reversed order must saturate, not wrap.
         assert_eq!(b.snapshot_delta(&a).pool_tasks, 0);

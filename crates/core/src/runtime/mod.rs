@@ -5,6 +5,7 @@
 pub mod functional;
 pub mod pool;
 pub mod resilience;
+pub mod sched_explore;
 
 use std::sync::Arc;
 

@@ -1,0 +1,569 @@
+//! Loom-lite exhaustive interleaving explorer for the session pool.
+//!
+//! The worker pool ([`super::pool`]) is lock-based and `unsafe`-free, but
+//! its correctness argument — help-first join never deadlocks, lazy
+//! reclaim never runs a task twice, no submitted task is ever lost —
+//! rests on how its three atomic sections (queue pop, task-cell claim,
+//! completion publish) interleave across the driver and any number of
+//! workers. Runtime tests only sample a few schedules the OS happens to
+//! produce; this module checks **all of them**, up to a preemption
+//! bound.
+//!
+//! The model is a faithful, pure re-implementation of the pool's state
+//! machine at the granularity of its critical sections: each actor
+//! (driver or worker) is a small program whose steps are exactly the
+//! pool's lock-protected transitions, and [`explore`] runs a depth-first
+//! search over every scheduling choice, in the style of CHESS-bounded
+//! model checking — a context switch away from a runnable actor costs
+//! one unit of the preemption budget, switches at blocking points are
+//! free. Empirically (and per the CHESS result) almost all concurrency
+//! bugs of this shape surface within two preemptions.
+//!
+//! On every terminal state the explorer asserts the pool's contract:
+//!
+//! 1. every submitted task executed **exactly once** — on a worker or
+//!    inline at the joiner, never both;
+//! 2. every join completed (no lost task, no deadlock);
+//! 3. the worker/inline counters conserve the task count.
+//!
+//! The model deliberately shares the pool's lazy-reclaim quirk: a task
+//! popped by a worker may have been reclaimed by the joiner in the
+//! window between the queue pop and the task-cell claim, in which case
+//! the worker must skip it. Mutating the model (e.g. removing the
+//! claim check) makes the explorer report double executions — see the
+//! tests.
+
+use serde::Serialize;
+
+/// Hard cap on explored transitions, against pathological configs.
+const STATE_CAP: u64 = 4_000_000;
+
+/// At most this many violation strings are retained per run.
+const VIOLATION_CAP: usize = 16;
+
+/// One exploration scenario: a driver submitting `tasks` jobs, joining
+/// them in `join_order`, with `workers` pool workers racing it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExploreConfig {
+    /// Number of tasks the driver submits (keep ≤ 6: the schedule space
+    /// is exponential).
+    pub tasks: usize,
+    /// Number of pool workers (0 exercises the pure inline-reclaim path).
+    pub workers: usize,
+    /// Order in which the driver joins the task handles, as a
+    /// permutation of `0..tasks`.
+    pub join_order: Vec<usize>,
+    /// Maximum involuntary context switches per schedule (CHESS bound).
+    pub preemption_bound: usize,
+}
+
+impl ExploreConfig {
+    /// A scenario joining in submission order.
+    #[must_use]
+    pub fn new(tasks: usize, workers: usize, preemption_bound: usize) -> Self {
+        Self {
+            tasks,
+            workers,
+            join_order: (0..tasks).collect(),
+            preemption_bound,
+        }
+    }
+
+    /// A scenario joining in reverse submission order — the adversarial
+    /// order for help-first reclaim (the last-submitted task is the
+    /// most likely to still be queued).
+    #[must_use]
+    pub fn reversed(tasks: usize, workers: usize, preemption_bound: usize) -> Self {
+        Self {
+            join_order: (0..tasks).rev().collect(),
+            ..Self::new(tasks, workers, preemption_bound)
+        }
+    }
+}
+
+/// Outcome of exploring one [`ExploreConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExploreResult {
+    /// Complete schedules reached (terminal states, counted per path).
+    pub interleavings: u64,
+    /// Atomic transitions executed across all schedules.
+    pub states: u64,
+    /// Invariant violations found (empty means the contract holds on
+    /// every explored schedule).
+    pub violations: Vec<String>,
+    /// True when [`STATE_CAP`] truncated the search.
+    pub truncated: bool,
+}
+
+impl ExploreResult {
+    /// True when every explored schedule upheld the pool contract.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+/// Lifecycle of one modelled task cell (mirrors `pool::TaskState` with
+/// the executing actor made explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskPhase {
+    /// Submitted and still claimable from the queue or by the joiner.
+    Pending,
+    /// Claimed by worker `i`; its job is running outside any lock.
+    RunningWorker(usize),
+    /// Reclaimed by the driver; running inline.
+    RunningInline,
+    /// Completed by a worker; result awaiting the joiner.
+    Done,
+    /// Result consumed by `join`.
+    Taken,
+}
+
+/// A worker's position in `run_worker`/`run_task`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPhase {
+    /// In the pop loop (parked while the queue is empty pre-shutdown).
+    Idle,
+    /// Popped a task id; has not yet locked its cell to claim it.
+    Holding(usize),
+    /// Claimed the cell (`Pending → Running`); job in flight.
+    Executing(usize),
+    /// Observed shutdown with an empty queue and returned.
+    Exited,
+}
+
+/// The driver's position in submit-all / join-all / shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriverPhase {
+    /// Next task id to submit.
+    Submitting(usize),
+    /// Index into `join_order` currently being joined.
+    Joining(usize),
+    /// Reclaimed `join_order[idx]` and is running it inline.
+    InlineRun(usize, usize),
+    /// About to flip the shutdown flag.
+    Shutdown,
+    /// Session complete.
+    Finished,
+}
+
+/// One explored state of the whole system. Cloned at every branch point
+/// (it is a few dozen bytes for the config sizes that make sense).
+#[derive(Debug, Clone)]
+struct ModelState {
+    tasks: Vec<TaskPhase>,
+    /// Executions per task; the invariant demands exactly one.
+    runs: Vec<u8>,
+    queue: std::collections::VecDeque<usize>,
+    shutdown: bool,
+    workers: Vec<WorkerPhase>,
+    driver: DriverPhase,
+    worker_tasks: u64,
+    inline_tasks: u64,
+}
+
+impl ModelState {
+    fn initial(cfg: &ExploreConfig) -> Self {
+        Self {
+            tasks: Vec::new(),
+            runs: vec![0; cfg.tasks],
+            queue: std::collections::VecDeque::new(),
+            shutdown: false,
+            workers: vec![WorkerPhase::Idle; cfg.workers],
+            driver: if cfg.tasks == 0 {
+                DriverPhase::Shutdown
+            } else {
+                DriverPhase::Submitting(0)
+            },
+            worker_tasks: 0,
+            inline_tasks: 0,
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        self.driver == DriverPhase::Finished
+            && self.workers.iter().all(|w| *w == WorkerPhase::Exited)
+    }
+
+    /// Actor 0 is the driver; actor `1 + i` is worker `i`.
+    fn enabled(&self, actor: usize, cfg: &ExploreConfig) -> bool {
+        if actor == 0 {
+            return match self.driver {
+                DriverPhase::Submitting(_) | DriverPhase::InlineRun(..) | DriverPhase::Shutdown => {
+                    true
+                }
+                DriverPhase::Joining(idx) => {
+                    let tid = cfg.join_order[idx];
+                    // Blocked on the `done` condvar while another actor
+                    // holds the job; every other cell state progresses.
+                    !matches!(
+                        self.tasks.get(tid),
+                        Some(TaskPhase::RunningWorker(_) | TaskPhase::RunningInline)
+                    )
+                }
+                DriverPhase::Finished => false,
+            };
+        }
+        match self.workers[actor - 1] {
+            WorkerPhase::Holding(_) | WorkerPhase::Executing(_) => true,
+            // Parked on `work_available` until a push or shutdown.
+            WorkerPhase::Idle => !self.queue.is_empty() || self.shutdown,
+            WorkerPhase::Exited => false,
+        }
+    }
+
+    /// Executes one atomic section of `actor`, recording violations.
+    fn step(&mut self, actor: usize, cfg: &ExploreConfig, violations: &mut Vec<String>) {
+        let mut violate = |msg: String| {
+            if violations.len() < VIOLATION_CAP {
+                violations.push(msg);
+            }
+        };
+        if actor == 0 {
+            match self.driver {
+                DriverPhase::Submitting(next) => {
+                    // `submit`: cell created Pending + queue push (one
+                    // pool-lock section) + notify.
+                    self.tasks.push(TaskPhase::Pending);
+                    self.queue.push_back(next);
+                    self.driver = if next + 1 < cfg.tasks {
+                        DriverPhase::Submitting(next + 1)
+                    } else {
+                        DriverPhase::Joining(0)
+                    };
+                }
+                DriverPhase::Joining(idx) => {
+                    let tid = cfg.join_order[idx];
+                    match self.tasks.get(tid).copied() {
+                        // Help-first reclaim: take the job back under
+                        // the cell lock and run it on this thread.
+                        Some(TaskPhase::Pending) => {
+                            self.tasks[tid] = TaskPhase::RunningInline;
+                            self.driver = DriverPhase::InlineRun(tid, idx);
+                        }
+                        Some(TaskPhase::Done) => {
+                            self.tasks[tid] = TaskPhase::Taken;
+                            self.driver = self.after_join(idx, cfg);
+                        }
+                        Some(TaskPhase::Taken) => {
+                            violate(format!("join saw task {tid} already taken"));
+                            self.driver = self.after_join(idx, cfg);
+                        }
+                        other => {
+                            violate(format!("join stepped on blocked task {tid}: {other:?}"));
+                            self.driver = self.after_join(idx, cfg);
+                        }
+                    }
+                }
+                DriverPhase::InlineRun(tid, idx) => {
+                    self.runs[tid] += 1;
+                    if self.runs[tid] > 1 {
+                        violate(format!("task {tid} executed {} times", self.runs[tid]));
+                    }
+                    self.tasks[tid] = TaskPhase::Taken;
+                    self.inline_tasks += 1;
+                    self.driver = self.after_join(idx, cfg);
+                }
+                DriverPhase::Shutdown => {
+                    self.shutdown = true; // + notify_all: parked workers wake
+                    self.driver = DriverPhase::Finished;
+                }
+                DriverPhase::Finished => unreachable!("finished driver is never enabled"),
+            }
+            return;
+        }
+        let w = actor - 1;
+        match self.workers[w] {
+            WorkerPhase::Idle => {
+                // Pop loop body, one pool-lock section.
+                if let Some(tid) = self.queue.pop_front() {
+                    self.workers[w] = WorkerPhase::Holding(tid);
+                } else if self.shutdown {
+                    self.workers[w] = WorkerPhase::Exited;
+                } else {
+                    unreachable!("parked worker is never enabled");
+                }
+            }
+            WorkerPhase::Holding(tid) => {
+                // `run_task`'s claim: only a still-pending cell yields
+                // its job — the joiner may have reclaimed it since the
+                // pop (lazy reclaim leaves the queue entry behind).
+                if self.tasks.get(tid).copied() == Some(TaskPhase::Pending) {
+                    self.tasks[tid] = TaskPhase::RunningWorker(w);
+                    self.workers[w] = WorkerPhase::Executing(tid);
+                } else {
+                    self.workers[w] = WorkerPhase::Idle;
+                }
+            }
+            WorkerPhase::Executing(tid) => {
+                self.runs[tid] += 1;
+                if self.runs[tid] > 1 {
+                    violate(format!("task {tid} executed {} times", self.runs[tid]));
+                }
+                self.tasks[tid] = TaskPhase::Done; // + notify_all on `done`
+                self.worker_tasks += 1;
+                self.workers[w] = WorkerPhase::Idle;
+            }
+            WorkerPhase::Exited => unreachable!("exited worker is never enabled"),
+        }
+    }
+
+    fn after_join(&self, idx: usize, cfg: &ExploreConfig) -> DriverPhase {
+        if idx + 1 < cfg.join_order.len() {
+            DriverPhase::Joining(idx + 1)
+        } else {
+            DriverPhase::Shutdown
+        }
+    }
+
+    fn check_terminal(&self, violations: &mut Vec<String>) {
+        let mut violate = |msg: String| {
+            if violations.len() < VIOLATION_CAP {
+                violations.push(msg);
+            }
+        };
+        for (tid, phase) in self.tasks.iter().enumerate() {
+            if *phase != TaskPhase::Taken {
+                violate(format!("task {tid} ended in {phase:?}, not Taken"));
+            }
+        }
+        for (tid, runs) in self.runs.iter().enumerate() {
+            if *runs != 1 {
+                violate(format!("task {tid} executed {runs} times, not once"));
+            }
+        }
+        let total = self.worker_tasks + self.inline_tasks;
+        if total != self.runs.len() as u64 {
+            violate(format!(
+                "counter conservation broken: {} worker + {} inline != {} tasks",
+                self.worker_tasks,
+                self.inline_tasks,
+                self.runs.len()
+            ));
+        }
+    }
+}
+
+/// Exhaustively explores every schedule of `cfg` within its preemption
+/// bound, checking the pool contract on each.
+///
+/// # Panics
+/// When `join_order` is not a permutation of `0..tasks` — a scenario
+/// bug, not a pool bug.
+#[must_use]
+pub fn explore(cfg: &ExploreConfig) -> ExploreResult {
+    let mut sorted = cfg.join_order.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        (0..cfg.tasks).collect::<Vec<_>>(),
+        "join_order must be a permutation of 0..tasks"
+    );
+    let mut result = ExploreResult {
+        interleavings: 0,
+        states: 0,
+        violations: Vec::new(),
+        truncated: false,
+    };
+    dfs(
+        ModelState::initial(cfg),
+        0,
+        cfg.preemption_bound,
+        cfg,
+        &mut result,
+    );
+    result
+}
+
+/// One DFS node: run `current` while it can proceed; branch to other
+/// enabled actors by spending preemption budget; switch for free when
+/// `current` blocks or finishes.
+fn dfs(
+    state: ModelState,
+    current: usize,
+    budget: usize,
+    cfg: &ExploreConfig,
+    result: &mut ExploreResult,
+) {
+    if result.truncated {
+        return;
+    }
+    if state.terminal() {
+        result.interleavings += 1;
+        state.check_terminal(&mut result.violations);
+        return;
+    }
+    let actors = 1 + cfg.workers;
+    let enabled: Vec<usize> = (0..actors).filter(|&a| state.enabled(a, cfg)).collect();
+    if enabled.is_empty() {
+        if result.violations.len() < VIOLATION_CAP {
+            result
+                .violations
+                .push(format!("deadlock: no runnable actor in {state:?}"));
+        }
+        return;
+    }
+    let advance = |actor: usize, budget: usize, result: &mut ExploreResult| {
+        let mut next = state.clone();
+        next.step(actor, cfg, &mut result.violations);
+        result.states += 1;
+        if result.states > STATE_CAP {
+            result.truncated = true;
+            return;
+        }
+        dfs(next, actor, budget, cfg, result);
+    };
+    if enabled.contains(&current) {
+        advance(current, budget, result);
+        if budget > 0 {
+            for &other in enabled.iter().filter(|&&a| a != current) {
+                advance(other, budget - 1, result);
+            }
+        }
+    } else {
+        // Blocking point: switching away is involuntary-free.
+        for &other in &enabled {
+            advance(other, budget, result);
+        }
+    }
+}
+
+/// The scenario matrix the CI gate and `edgenn analyze` run: task counts
+/// up to six, zero to two workers, forward and adversarial join orders,
+/// two preemptions. Covers the inline-only path, the single-worker race
+/// (pop vs. reclaim), and multi-worker contention.
+#[must_use]
+pub fn default_matrix() -> Vec<ExploreConfig> {
+    let mut configs = Vec::new();
+    for &(tasks, workers, bound) in &[
+        (0usize, 1usize, 2usize),
+        (1, 0, 3),
+        (1, 1, 3),
+        (2, 1, 3),
+        (2, 2, 2),
+        (3, 1, 2),
+        (3, 2, 2),
+        (4, 2, 2),
+        (6, 2, 1),
+    ] {
+        configs.push(ExploreConfig::new(tasks, workers, bound));
+        if tasks > 1 {
+            configs.push(ExploreConfig::reversed(tasks, workers, bound));
+        }
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_matrix_scenario_upholds_the_pool_contract() {
+        for cfg in default_matrix() {
+            let result = explore(&cfg);
+            assert!(
+                result.is_clean(),
+                "{cfg:?} violated the contract: {:?} (truncated: {})",
+                result.violations,
+                result.truncated
+            );
+            assert!(result.interleavings > 0, "{cfg:?} explored nothing");
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_the_single_inline_schedule() {
+        let result = explore(&ExploreConfig::new(3, 0, 4));
+        assert!(result.is_clean(), "{:?}", result.violations);
+        // Only the driver can act: exactly one schedule, all inline.
+        assert_eq!(result.interleavings, 1);
+    }
+
+    #[test]
+    fn preemptions_grow_the_schedule_space_monotonically() {
+        let base = explore(&ExploreConfig::new(2, 1, 0)).interleavings;
+        let one = explore(&ExploreConfig::new(2, 1, 1)).interleavings;
+        let two = explore(&ExploreConfig::new(2, 1, 2)).interleavings;
+        assert!(base >= 1);
+        assert!(one > base, "one preemption must add schedules");
+        assert!(two > one, "two preemptions must add more");
+    }
+
+    #[test]
+    fn removing_the_claim_check_is_caught_as_a_double_execution() {
+        // A model without the lazy-reclaim claim check: the worker runs
+        // whatever it popped. The explorer must find the schedule where
+        // the joiner reclaimed the task first → executed twice.
+        let cfg = ExploreConfig::new(1, 1, 2);
+        let mut result = ExploreResult {
+            interleavings: 0,
+            states: 0,
+            violations: Vec::new(),
+            truncated: false,
+        };
+        dfs_buggy(ModelState::initial(&cfg), 0, 2, &cfg, &mut result);
+        assert!(
+            result
+                .violations
+                .iter()
+                .any(|v| v.contains("executed 2 times")),
+            "the buggy model must double-execute somewhere: {:?}",
+            result.violations
+        );
+    }
+
+    /// DFS over a deliberately broken model (claim check skipped).
+    fn dfs_buggy(
+        state: ModelState,
+        current: usize,
+        budget: usize,
+        cfg: &ExploreConfig,
+        result: &mut ExploreResult,
+    ) {
+        if state.terminal() {
+            result.interleavings += 1;
+            state.check_terminal(&mut result.violations);
+            return;
+        }
+        let actors = 1 + cfg.workers;
+        let enabled: Vec<usize> = (0..actors).filter(|&a| state.enabled(a, cfg)).collect();
+        if enabled.is_empty() {
+            return; // the buggy model can deadlock-free-run; uninteresting
+        }
+        let advance = |actor: usize, budget: usize, result: &mut ExploreResult| {
+            let mut next = state.clone();
+            // The bug: a Holding worker claims unconditionally.
+            if actor > 0 {
+                if let WorkerPhase::Holding(tid) = next.workers[actor - 1] {
+                    next.tasks[tid] = TaskPhase::Pending; // clobber any reclaim
+                }
+            }
+            next.step(actor, cfg, &mut result.violations);
+            dfs_buggy(next, actor, budget, cfg, result);
+        };
+        if enabled.contains(&current) {
+            advance(current, budget, result);
+            if budget > 0 {
+                for &other in enabled.iter().filter(|&&a| a != current) {
+                    advance(other, budget - 1, result);
+                }
+            }
+        } else {
+            for &other in &enabled {
+                advance(other, budget, result);
+            }
+        }
+    }
+
+    #[test]
+    fn join_order_must_be_a_permutation() {
+        let cfg = ExploreConfig {
+            tasks: 2,
+            workers: 1,
+            join_order: vec![0, 0],
+            preemption_bound: 1,
+        };
+        assert!(std::panic::catch_unwind(|| explore(&cfg)).is_err());
+    }
+}

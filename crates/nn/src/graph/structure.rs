@@ -80,6 +80,13 @@ impl Structure {
 /// Returns [`NnError::InvalidGraph`] for nested forks, branches that
 /// dead-end, or branches that reconverge at different joins.
 pub fn decompose(graph: &Graph) -> Result<Structure> {
+    if graph.is_empty() {
+        // Nothing to schedule: the empty decomposition, not a panic on
+        // the missing input node.
+        return Ok(Structure {
+            segments: Vec::new(),
+        });
+    }
     let in_degree: Vec<usize> = graph.nodes().iter().map(|n| n.inputs().len()).collect();
     let mut segments = Vec::new();
     let mut chain: Vec<NodeId> = Vec::new();

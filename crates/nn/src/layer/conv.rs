@@ -253,6 +253,21 @@ impl Layer for Conv2d {
         let cols = (g.out_h() * g.out_w()) as u64;
         Ok((taps * cols + self.weight.len() as u64) * 4)
     }
+
+    fn scratch_elems(&self, inputs: &[&Shape]) -> Result<u64> {
+        check_arity(&self.name, 1, inputs)?;
+        let g = self.geometry(inputs[0])?;
+        let cols = g.out_h() * g.out_w();
+        let taps = self.in_channels * self.kernel * self.kernel;
+        // The worst path is `forward_partial_inputs` over all channels:
+        // im2col buffer + gathered weight columns, plus the GEMM's packed-B
+        // panels nested inside both. A full-range `forward_partial` needs
+        // only the first and third terms, so this dominates every path.
+        let im2col = taps * cols;
+        let gathered_w = self.out_channels * taps;
+        let packing = edgenn_tensor::gemm_pack_elems(self.out_channels, taps, cols);
+        Ok((im2col + gathered_w + packing) as u64)
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +429,24 @@ mod tests {
             conv.forward_partial_inputs(&[&x], 0..5),
             Err(NnError::BadPartition { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_bound_dominates_every_execution_path() {
+        let conv = Conv2d::new("c", 6, 5, 3, 1, 1, 21);
+        let shape = Shape::new(&[6, 7, 7]);
+        let bound = conv.scratch_elems(&[&shape]).unwrap();
+        let cols = 7 * 7; // stride 1 pad 1 preserves the 7x7 extent
+        let taps = 6 * 3 * 3;
+        let pack = edgenn_tensor::gemm_pack_elems(5, taps, cols) as u64;
+        // forward / forward_partial acquire im2col + packed panels.
+        assert!(bound >= (taps * cols) as u64 + pack);
+        // forward_partial_inputs additionally gathers weight columns; the
+        // acquisition is largest over the full channel range.
+        assert!(bound >= (taps * cols + 5 * taps) as u64 + pack);
+        // Layers without arena use must report zero.
+        let dense = crate::layer::Dense::new("d", 4, 2, 0);
+        assert_eq!(dense.scratch_elems(&[&Shape::new(&[4])]).unwrap(), 0);
     }
 
     #[test]

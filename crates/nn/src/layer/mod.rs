@@ -188,6 +188,20 @@ pub trait Layer: Send + Sync {
         Ok(w.input_bytes + w.weight_bytes)
     }
 
+    /// Upper bound on the scratch-arena floats one forward call over this
+    /// layer may acquire ([`edgenn_tensor::with_scratch`]), across every
+    /// execution path (full forward, output-channel partial, input-channel
+    /// partial). The tier-D ownership analyzer certifies peak arena growth
+    /// from this; the bound must be sound (never undercount) but may
+    /// over-approximate. Layers that never touch the arena return 0.
+    ///
+    /// # Errors
+    /// Fails when the input shapes are invalid for the layer.
+    fn scratch_elems(&self, inputs: &[&Shape]) -> Result<u64> {
+        let _ = inputs;
+        Ok(0)
+    }
+
     /// Analytic cost of computing only `range` of the partition units.
     ///
     /// The default scales the full workload proportionally (keeping input

@@ -96,6 +96,20 @@ pub fn naive_gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Scratch-arena floats [`gemm_into`] may acquire while packing a
+/// `(m, k) x (k, n)` product — the static bound the tier-D ownership
+/// analyzer certifies against measured arena growth. Small problems
+/// (`m * n * k < 8 * 1024`) skip packing entirely, so the bound is a
+/// sound over-approximation: it can exceed, but never undercount, what
+/// one call acquires.
+#[must_use]
+pub fn gemm_pack_elems(m: usize, k: usize, n: usize) -> usize {
+    if m == 0 || n == 0 || k == 0 {
+        return 0;
+    }
+    n.div_ceil(NR) * NR * KC.min(k)
+}
+
 /// Raw blocked GEMM on slices: accumulates `a * b` into `out`, which must
 /// hold `m * n` elements (zero-initialized for a plain product).
 ///
@@ -441,6 +455,19 @@ mod tests {
             matvec(&a, &Tensor::zeros(&[8, 1])),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn pack_bound_covers_the_actual_packing_acquisition() {
+        // The packing buffer is exactly panels * NR * KC.min(k) floats;
+        // the exported bound must never undercount it (empty problems
+        // acquire nothing).
+        assert_eq!(gemm_pack_elems(0, 64, 64), 0);
+        assert_eq!(gemm_pack_elems(64, 0, 64), 0);
+        for (m, k, n) in [(1, 1, 1), (4, 300, 17), (64, 256, 128), (3, 7, 1000)] {
+            let bound = gemm_pack_elems(m, k, n);
+            assert!(bound >= n.div_ceil(16) * 16 * 256.min(k), "({m},{k},{n})");
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{dot, gemm, gemm_into, matvec, naive_gemm};
+pub use gemm::{dot, gemm, gemm_into, gemm_pack_elems, matvec, naive_gemm};
 pub use im2col::{col2im_shape, im2col, im2col_into, Conv2dGeometry};
 pub use scratch::{scratch_stats, with_scratch, ScratchStats};
 pub use shape::Shape;

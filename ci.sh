@@ -53,11 +53,13 @@ for model in fcnn lenet alexnet vgg squeezenet resnet; do
 done
 echo "    36/36 clean; reports archived in $CHECK_DIR/"
 
-echo "==> edgenn analyze: tier-D ownership + explorer + conformance, 36 combos"
+echo "==> edgenn analyze: tier-D ownership + explorer + conformance, 72 combos"
 # The analyzer proves the zero-copy/write-once contracts on the lowered
 # buffer schedule (EC05x), exhaustively explores the worker pool's
 # interleavings, and — with --functional — gates the engine's measured
 # slot/arena high-water marks against the statically certified bound.
+# Both precisions run: the int8 kernels acquire i8/i16 scratch the f32
+# path never touches, and the certified bound must dominate either way.
 # The CLI exits non-zero on any diagnostic, explorer violation, or
 # measured > certified.
 ANALYZE_DIR=target/analyze
@@ -68,28 +70,37 @@ for model in fcnn lenet alexnet vgg squeezenet resnet; do
             rpi|phone) config=cpu-only ;;
             *)         config=edgenn ;;
         esac
-        out="$ANALYZE_DIR/$model-$platform.json"
-        if ! ./target/release/edgenn analyze \
-                --model "$model" --platform "$platform" --config "$config" \
-                --scale tiny --functional --json > "$out"; then
-            echo "analyze FAILED for $model on $platform (see $out)"
-            exit 1
-        fi
+        for precision in f32 int8; do
+            out="$ANALYZE_DIR/$model-$platform-$precision.json"
+            if ! ./target/release/edgenn analyze \
+                    --model "$model" --platform "$platform" --config "$config" \
+                    --precision "$precision" \
+                    --scale tiny --functional --json > "$out"; then
+                echo "analyze FAILED for $model on $platform ($precision, see $out)"
+                exit 1
+            fi
+        done
     done
 done
-echo "    36/36 certified; reports archived in $ANALYZE_DIR/"
+echo "    72/72 certified; reports archived in $ANALYZE_DIR/"
 
-echo "==> functional bench: smoke run, schema check, regression gate"
-# A short measurement of the real execution engine. The gate compares
-# each model's hybrid/reference time *ratio* against the committed
-# baseline (BENCH_functional.json), so it is machine-portable: a >25%
-# relative regression of the engine over the raw kernels fails CI.
+echo "==> functional bench: smoke run, schema check, regression + drop gates"
+# A short measurement of the real execution engine in BOTH precisions
+# (schema v3: every model carries an f32 and an int8 row). The gate
+# compares each (model, precision) hybrid/reference time *ratio*
+# against the committed baseline (BENCH_functional.json), so it is
+# machine-portable: a >25% relative regression of the engine over the
+# raw kernels fails CI in either precision. The drops gate requires
+# flight_dropped == 0 on every row — the executor sizes the recorder's
+# rings from the node count, and any drop means that estimate regressed.
 cargo build --release -p edgenn-bench
 ./target/release/bench_functional validate BENCH_functional.json
+./target/release/bench_functional drops BENCH_functional.json
 ./target/release/bench_functional run --smoke --out target/BENCH_functional_smoke.json
 ./target/release/bench_functional validate target/BENCH_functional_smoke.json
 ./target/release/bench_functional gate \
     target/BENCH_functional_smoke.json BENCH_functional.json --slack 0.25
+./target/release/bench_functional drops target/BENCH_functional_smoke.json
 
 echo "==> fault storm: seeded resilience smoke (6 models x APU)"
 # Every run injects a seeded random fault plan; the gate requires 100%

@@ -11,7 +11,9 @@
 
 use std::process::ExitCode;
 
-use edgenn_bench::functional_bench::{gate, measure, overhead_gate, validate, BenchReport};
+use edgenn_bench::functional_bench::{
+    drop_gate, gate, measure, overhead_gate, validate, BenchReport,
+};
 
 const FULL_ITERS: u32 = 60;
 const SMOKE_ITERS: u32 = 16;
@@ -45,8 +47,14 @@ fn run(args: &[String]) -> Result<(), String> {
     validate(&report)?;
     for row in &report.models {
         println!(
-            "{:<12} reference {:>10.1} ns  hybrid {:>10.1} ns  batch {:>10.1} ns  speedup {:>5.2}x",
-            row.model, row.reference_ns, row.hybrid_ns, row.batch_ns, row.speedup
+            "{:<12} {:<5} reference {:>10.1} ns  hybrid {:>10.1} ns  batch {:>10.1} ns  \
+             speedup {:>5.2}x",
+            row.model,
+            row.precision.to_string(),
+            row.reference_ns,
+            row.hybrid_ns,
+            row.batch_ns,
+            row.speedup
         );
     }
     let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -81,8 +89,9 @@ fn overhead(args: &[String]) -> Result<(), String> {
     validate(&report)?;
     for row in &report.models {
         println!(
-            "{:<12} recorder off {:>10.1} ns  on {:>10.1} ns  overhead {:>6.2}%  dropped {}",
+            "{:<12} {:<5} recorder off {:>10.1} ns  on {:>10.1} ns  overhead {:>6.2}%  dropped {}",
             row.model,
+            row.precision.to_string(),
             row.hybrid_ns,
             row.flight_ns,
             (row.flight_ns / row.hybrid_ns - 1.0) * 100.0,
@@ -110,6 +119,15 @@ fn main() -> ExitCode {
             }),
             _ => Err("usage: validate <path>".to_string()),
         },
+        Some((cmd, rest)) if cmd == "drops" => match rest {
+            [path] => load(path)
+                .and_then(|r| {
+                    validate(&r)?;
+                    drop_gate(&r)
+                })
+                .map(|()| println!("{path}: no flight records dropped")),
+            _ => Err("usage: drops <path>".to_string()),
+        },
         Some((cmd, rest)) if cmd == "gate" => {
             let (paths, flags) = rest.split_at(rest.len().min(2));
             let slack = match flags {
@@ -132,7 +150,7 @@ fn main() -> ExitCode {
                 _ => Err("usage: gate <measured> <baseline> [--slack F]".to_string()),
             }
         }
-        _ => Err("usage: bench_functional <run|overhead|validate|gate> ...".to_string()),
+        _ => Err("usage: bench_functional <run|overhead|validate|gate|drops> ...".to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

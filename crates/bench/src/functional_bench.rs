@@ -12,7 +12,7 @@
 //! raw kernel cost on the same machine) against the committed baseline,
 //! with a configurable slack.
 
-use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::plan::{ExecutionConfig, Precision};
 use edgenn_core::runtime::functional::Executor;
 use edgenn_core::runtime::Runtime;
 use edgenn_core::tuner::Tuner;
@@ -24,9 +24,12 @@ use serde::{Deserialize, Serialize};
 
 /// Schema identifier written into (and required from) the JSON file.
 /// `v2` added the flight-recorder overhead columns (`flight_ns`,
-/// `flight_dropped`); the vendored serde derive has no field defaults,
-/// so a v1 file fails to parse and must be regenerated with `run`.
-pub const SCHEMA: &str = "edgenn-bench-functional/v2";
+/// `flight_dropped`); `v3` added the per-row `precision` field (each
+/// model now carries an f32 and an int8 row, both measured against the
+/// same f32 single-threaded reference) and the `int8_layers` engine
+/// counter. The vendored serde derive has no field defaults, so an
+/// older file fails to parse and must be regenerated with `run`.
+pub const SCHEMA: &str = "edgenn-bench-functional/v3";
 
 /// Engine-overhead counters mirrored from the last measured run.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -41,6 +44,10 @@ pub struct EngineCounters {
     pub arena_fresh_bytes: u64,
     /// Scratch bytes served from the warm arena without allocating.
     pub arena_reused_bytes: u64,
+    /// Layer executions that took the quantized int8 kernel path (0 on
+    /// f32 rows; must be positive on int8 rows — every bundled model
+    /// carries int8-capable conv/dense layers).
+    pub int8_layers: u64,
 }
 
 /// One model's measurements.
@@ -48,6 +55,11 @@ pub struct EngineCounters {
 pub struct ModelRow {
     /// Model name (`fcnn`, `lenet5`, ...).
     pub model: String,
+    /// Engine precision this row measured. Both rows of a model share
+    /// the same f32 `reference_ns`, so the int8 row's `speedup` answers
+    /// the paper-relevant question — does quantized hybrid execution
+    /// beat the f32 baseline — not whether it beats a quantized one.
+    pub precision: Precision,
     /// Best-of-N ns/iter of the reference single-threaded `graph.forward`.
     pub reference_ns: f64,
     /// Best-of-N ns/iter of the hybrid functional engine (warm session).
@@ -94,29 +106,11 @@ fn best_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
     best * 1e9
 }
 
-/// Recorder-off / recorder-on minima taken from one alternating loop.
-/// The two arms share every iteration's machine conditions, so slow
-/// drift (thermal throttle, background load between phases) cancels out
-/// of the overhead ratio instead of masquerading as recorder cost —
-/// which it measurably does when the arms run as two separate phases.
-fn best_off_on_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> (f64, f64) {
-    flight::disable();
-    std::hint::black_box(f()); // warmup, recorder off
-    flight::enable();
-    std::hint::black_box(f()); // warmup, recorder on
-    flight::disable();
-    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..iters {
-        let start = std::time::Instant::now();
-        std::hint::black_box(f());
-        off = off.min(start.elapsed().as_secs_f64());
-        flight::enable();
-        let start = std::time::Instant::now();
-        std::hint::black_box(f());
-        on = on.min(start.elapsed().as_secs_f64());
-        flight::disable();
-    }
-    (off * 1e9, on * 1e9)
+/// One timed call of `f`, folded into the running minimum `best`.
+fn fold_best<T>(best: &mut f64, mut f: impl FnMut() -> T) {
+    let start = std::time::Instant::now();
+    std::hint::black_box(f());
+    *best = best.min(start.elapsed().as_secs_f64());
 }
 
 /// Runs the full measurement. `iters` trades precision for wall time
@@ -136,52 +130,93 @@ pub fn measure(iters: u32) -> BenchReport {
     for kind in ModelKind::ALL {
         let graph = build(kind, ModelScale::Tiny);
         let tuner = Tuner::new(&graph, &runtime).expect("tuner");
-        let plan = tuner
-            .plan(&graph, &runtime, ExecutionConfig::edgenn())
-            .expect("plan");
         let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
-
-        let reference_ns = best_ns(iters, || graph.forward(&input).expect("reference"));
-
         let executor = Executor::new(&graph).expect("executor");
-
-        // Hybrid-engine time recorder-off and recorder-on, interleaved:
-        // with the flight recorder live every request records its
-        // node/pack/compute/queue spans into the per-worker rings and
-        // summarizes them into a per-request profile. The on/off delta
-        // is the always-on profiling tax that `overhead_gate` bounds.
-        let dropped_before = flight::dropped_records();
-        let (hybrid_ns, flight_ns) =
-            best_off_on_ns(iters, || executor.execute(&plan, &input).expect("hybrid"));
-        let flight_dropped = flight::dropped_records() - dropped_before;
-
-        // Batched steady state: one pool spin-up for the whole batch.
-        let batch: Vec<Tensor> = (0..4)
-            .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 20 + i))
+        let plans: Vec<_> = [Precision::F32, Precision::Int8]
+            .into_iter()
+            .map(|precision| {
+                let mut config = ExecutionConfig::edgenn();
+                config.precision = precision;
+                (
+                    precision,
+                    tuner.plan(&graph, &runtime, config).expect("plan"),
+                )
+            })
             .collect();
-        let batch_ns = best_ns(iters.div_ceil(4), || {
-            executor.batch_execute(&plan, &batch).expect("batch")
-        }) / batch.len() as f64;
 
-        // A final warm run for the steady-state engine counters.
-        let outcome = executor.execute(&plan, &input).expect("stats run");
-        let e = outcome.engine;
-        models.push(ModelRow {
-            model: kind.name().to_string(),
-            reference_ns,
-            hybrid_ns,
-            flight_ns,
-            flight_dropped,
-            batch_ns,
-            speedup: reference_ns / hybrid_ns,
-            engine: EngineCounters {
-                pool_tasks: e.pool_tasks,
-                inline_tasks: e.inline_tasks,
-                queue_wait_ns: e.queue_wait_ns,
-                arena_fresh_bytes: e.arena_fresh_bytes,
-                arena_reused_bytes: e.arena_reused_bytes,
-            },
-        });
+        // Every timed arm of one model — the shared f32 single-threaded
+        // reference plus each precision's hybrid time recorder-off and
+        // recorder-on — is folded from ONE alternating loop. The arms
+        // share every iteration's machine conditions, so slow drift
+        // (thermal throttle, a noisy CI neighbour arriving between
+        // phases) cancels out of the speedup and overhead ratios instead
+        // of masquerading as engine cost or recorder tax — which it
+        // measurably does when the arms run as separate phases. The
+        // recorder-on arm records node/pack/compute/queue spans into the
+        // per-worker rings; its delta over recorder-off is the always-on
+        // profiling tax that `overhead_gate` bounds.
+        flight::disable();
+        std::hint::black_box(graph.forward(&input).expect("reference")); // warmup
+        let mut dropped = [0u64; 2];
+        for (pi, (_, plan)) in plans.iter().enumerate() {
+            std::hint::black_box(executor.execute(plan, &input).expect("hybrid")); // warmup, off
+            flight::enable();
+            let before = flight::dropped_records();
+            std::hint::black_box(executor.execute(plan, &input).expect("hybrid")); // warmup, on
+            dropped[pi] += flight::dropped_records() - before;
+            flight::disable();
+        }
+        let mut reference = f64::INFINITY;
+        let mut off_on = [[f64::INFINITY; 2]; 2]; // [precision][recorder off, on]
+        for _ in 0..iters {
+            fold_best(&mut reference, || graph.forward(&input).expect("reference"));
+            for (pi, (_, plan)) in plans.iter().enumerate() {
+                fold_best(&mut off_on[pi][0], || {
+                    executor.execute(plan, &input).expect("hybrid")
+                });
+                flight::enable();
+                let before = flight::dropped_records();
+                fold_best(&mut off_on[pi][1], || {
+                    executor.execute(plan, &input).expect("hybrid")
+                });
+                dropped[pi] += flight::dropped_records() - before;
+                flight::disable();
+            }
+        }
+        let reference_ns = reference * 1e9;
+
+        for (pi, (precision, plan)) in plans.iter().enumerate() {
+            // Batched steady state: one pool spin-up for the whole batch.
+            let batch: Vec<Tensor> = (0..4)
+                .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 20 + i))
+                .collect();
+            let batch_ns = best_ns(iters.div_ceil(4), || {
+                executor.batch_execute(plan, &batch).expect("batch")
+            }) / batch.len() as f64;
+
+            // A final warm run for the steady-state engine counters.
+            let outcome = executor.execute(plan, &input).expect("stats run");
+            let e = outcome.engine;
+            let hybrid_ns = off_on[pi][0] * 1e9;
+            models.push(ModelRow {
+                model: kind.name().to_string(),
+                precision: *precision,
+                reference_ns,
+                hybrid_ns,
+                flight_ns: off_on[pi][1] * 1e9,
+                flight_dropped: dropped[pi],
+                batch_ns,
+                speedup: reference_ns / hybrid_ns,
+                engine: EngineCounters {
+                    pool_tasks: e.pool_tasks,
+                    inline_tasks: e.inline_tasks,
+                    queue_wait_ns: e.queue_wait_ns,
+                    arena_fresh_bytes: e.arena_fresh_bytes,
+                    arena_reused_bytes: e.arena_reused_bytes,
+                    int8_layers: outcome.int8_layers as u64,
+                },
+            });
+        }
     }
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -229,6 +264,22 @@ pub fn validate(report: &BenchReport) -> Result<(), String> {
                 row.model, row.speedup
             ));
         }
+        match row.precision {
+            Precision::Int8 if row.engine.int8_layers == 0 => {
+                return Err(format!(
+                    "{}: int8 row ran no quantized layers — every bundled model \
+                     carries int8-capable conv/dense layers",
+                    row.model
+                ));
+            }
+            Precision::F32 if row.engine.int8_layers > 0 => {
+                return Err(format!(
+                    "{}: f32 row reports {} int8 layer executions",
+                    row.model, row.engine.int8_layers
+                ));
+            }
+            _ => {}
+        }
     }
     Ok(())
 }
@@ -252,8 +303,12 @@ pub const GATE_NOISE_FLOOR_NS: f64 = 20_000.0;
 pub fn gate(measured: &BenchReport, baseline: &BenchReport, slack: f64) -> Result<(), String> {
     let mut failures = Vec::new();
     for new in &measured.models {
-        let Some(old) = baseline.models.iter().find(|m| m.model == new.model) else {
-            continue; // model added since the baseline: nothing to gate
+        let Some(old) = baseline
+            .models
+            .iter()
+            .find(|m| m.model == new.model && m.precision == new.precision)
+        else {
+            continue; // model/precision added since the baseline: nothing to gate
         };
         if old.reference_ns < GATE_NOISE_FLOOR_NS {
             continue; // sub-floor model: timer jitter dwarfs the signal
@@ -262,9 +317,10 @@ pub fn gate(measured: &BenchReport, baseline: &BenchReport, slack: f64) -> Resul
         let old_ratio = old.hybrid_ns / old.reference_ns;
         if new_ratio > old_ratio * (1.0 + slack) {
             failures.push(format!(
-                "{}: hybrid/reference ratio {new_ratio:.3} exceeds baseline {old_ratio:.3} \
-                 by more than {:.0}%",
+                "{} ({}): hybrid/reference ratio {new_ratio:.3} exceeds baseline \
+                 {old_ratio:.3} by more than {:.0}%",
                 new.model,
+                new.precision,
                 slack * 100.0
             ));
         }
@@ -305,6 +361,32 @@ pub fn overhead_gate(report: &BenchReport, budget: f64) -> Result<(), String> {
     Ok(())
 }
 
+/// Gates flight-recorder ring sizing: no measured row may have dropped
+/// records — the executor reserves ring capacity from the node count at
+/// construction, so any drop means the estimate fell behind reality
+/// (the old fixed rings lost ~5k records per VGG request).
+///
+/// # Errors
+/// Returns a description of every overflowing row.
+pub fn drop_gate(report: &BenchReport) -> Result<(), String> {
+    let failures: Vec<String> = report
+        .models
+        .iter()
+        .filter(|m| m.flight_dropped > 0)
+        .map(|m| {
+            format!(
+                "{} ({}): {} flight records dropped",
+                m.model, m.precision, m.flight_dropped
+            )
+        })
+        .collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("flight rings overflowed — {}", failures.join("; ")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +394,7 @@ mod tests {
     fn row(model: &str, reference_ns: f64, hybrid_ns: f64) -> ModelRow {
         ModelRow {
             model: model.to_string(),
+            precision: Precision::F32,
             reference_ns,
             hybrid_ns,
             flight_ns: hybrid_ns * 1.02,
@@ -320,6 +403,13 @@ mod tests {
             speedup: reference_ns / hybrid_ns,
             engine: EngineCounters::default(),
         }
+    }
+
+    fn int8_row(model: &str, reference_ns: f64, hybrid_ns: f64) -> ModelRow {
+        let mut r = row(model, reference_ns, hybrid_ns);
+        r.precision = Precision::Int8;
+        r.engine.int8_layers = 4;
+        r
     }
 
     fn report(rows: Vec<ModelRow>) -> BenchReport {
@@ -401,6 +491,47 @@ mod tests {
         let mut noisy = r;
         noisy.models[0].flight_ns = noisy.models[0].hybrid_ns * 3.0;
         assert_eq!(overhead_gate(&noisy, 0.05), Ok(()));
+    }
+
+    #[test]
+    fn validate_checks_int8_rows_ran_quantized_layers() {
+        let mut r = report(vec![int8_row("fcnn", 4000.0, 2000.0)]);
+        assert_eq!(validate(&r), Ok(()));
+        r.models[0].engine.int8_layers = 0;
+        assert!(validate(&r).unwrap_err().contains("no quantized layers"));
+
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.models[0].engine.int8_layers = 3;
+        assert!(validate(&r).unwrap_err().contains("f32 row"));
+    }
+
+    #[test]
+    fn gate_matches_rows_by_model_and_precision() {
+        // The f32 row regresses 3x but only the int8 row exists in the
+        // baseline at that ratio: rows must never cross precisions.
+        let baseline = report(vec![
+            row("resnet18", 50_000.0, 200_000.0),     // f32 ratio 4.0
+            int8_row("resnet18", 50_000.0, 50_000.0), // int8 ratio 1.0
+        ]);
+        let measured = report(vec![
+            row("resnet18", 50_000.0, 220_000.0),      // 4.4 < 4.0 * 1.25
+            int8_row("resnet18", 50_000.0, 100_000.0), // 2.0 > 1.0 * 1.25
+        ]);
+        let err = gate(&measured, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("int8"), "{err}");
+        assert!(!err.contains("f32"), "{err}");
+    }
+
+    #[test]
+    fn drop_gate_names_every_overflowing_row() {
+        let mut r = report(vec![
+            row("vgg16", 50_000.0, 50_000.0),
+            int8_row("vgg16", 50_000.0, 50_000.0),
+        ]);
+        assert_eq!(drop_gate(&r), Ok(()));
+        r.models[1].flight_dropped = 5115;
+        let err = drop_gate(&r).unwrap_err();
+        assert!(err.contains("vgg16 (int8): 5115"), "{err}");
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! sum of non-input output sizes, and the measured
 //! `EngineStats::slot_bytes` of a fault-free run must never exceed it
 //! (the conformance suite checks all 36 model × platform combos). The
-//! arena component sums each node's [`Layer::scratch_elems`] bound —
-//! doubled for split assignments, whose two role computations may land
-//! on two threads with two arenas.
+//! arena component sums each node's [`Layer::scratch_bytes`] bound —
+//! byte-accurate across element widths, so it covers the int8 path's
+//! i8/i16 acquisitions as well as the f32 path — doubled for split
+//! assignments, whose two role computations may land on two threads
+//! with two arenas.
 //!
-//! [`Layer::scratch_elems`]: edgenn_nn::layer::Layer::scratch_elems
+//! [`Layer::scratch_bytes`]: edgenn_nn::layer::Layer::scratch_bytes
 
 use edgenn_core::plan::{Assignment, ExecutionPlan};
 use edgenn_nn::graph::{Graph, NodeId, Segment};
@@ -247,7 +249,11 @@ fn arena_bound(graph: &Graph, plan: &ExecutionPlan, id: NodeId) -> u64 {
     if shapes.len() != node.inputs().len() {
         return 0; // dangling input edge; tier A diagnoses it
     }
-    let per_role = node.layer().scratch_elems(&shapes).unwrap_or(0) * 4;
+    // `scratch_bytes` is the byte-accurate bound across every execution
+    // path *and precision* (the int8 kernels' widened i16 packing can
+    // exceed the f32 path's elems x 4), so one certified bound holds for
+    // plans of either precision.
+    let per_role = node.layer().scratch_bytes(&shapes).unwrap_or(0);
     let roles = if is_split(plan, id.index()) { 2 } else { 1 };
     per_role * roles
 }
@@ -778,6 +784,58 @@ mod tests {
         let b = check_ownership(&graph, &split, &platform).bound.arena_bytes;
         assert!(a > 0, "LeNet convs must have an arena bound");
         assert_eq!(b, 2 * a, "each split role brings its own arena");
+    }
+
+    #[test]
+    fn arena_bound_is_byte_accurate_across_element_widths() {
+        // The certified arena component uses `Layer::scratch_bytes` —
+        // byte-accurate across precisions — so it must dominate the
+        // f32-only `scratch_elems x 4` figure, and strictly exceed it
+        // for models with dense layers (the f32 mat-vec touches no
+        // arena, but the int8 path quantizes its input into scratch).
+        let platform = jetson_agx_xavier();
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let plan = ExecutionPlan {
+                config: ExecutionConfig::edgenn_int8(),
+                nodes: vec![
+                    NodePlan {
+                        assignment: Assignment::Cpu,
+                        ..NodePlan::gpu_explicit()
+                    };
+                    graph.len()
+                ],
+            };
+            let report = check_ownership(&graph, &plan, &platform);
+            let f32_only: u64 = graph
+                .topo_order()
+                .map(|id| {
+                    let node = graph.node(id).unwrap();
+                    let shapes: Vec<&Shape> = node
+                        .inputs()
+                        .iter()
+                        .map(|i| graph.node(*i).unwrap().output_shape())
+                        .collect();
+                    node.layer().scratch_elems(&shapes).unwrap_or(0) * 4
+                })
+                .sum();
+            assert!(
+                report.bound.arena_bytes >= f32_only,
+                "{kind}: byte-accurate bound {} must dominate the f32-only {}",
+                report.bound.arena_bytes,
+                f32_only
+            );
+            let has_fc = graph
+                .nodes()
+                .iter()
+                .any(|n| n.layer().class() == LayerClass::Fc);
+            if has_fc {
+                assert!(
+                    report.bound.arena_bytes > f32_only,
+                    "{kind}: dense layers must widen the bound beyond f32-only {f32_only}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! concurrently in separate #[test]s would interleave their deltas.
 
 use edgenn_check::check_ownership;
-use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::plan::{ExecutionConfig, Precision};
 use edgenn_core::runtime::{functional, Runtime};
 use edgenn_core::tuner::Tuner;
 use edgenn_nn::models::{build, ModelKind, ModelScale};
@@ -37,48 +37,54 @@ fn certified_bound_dominates_measured_on_all_36_combos() {
     for model in MODELS {
         let graph = build(model, ModelScale::Tiny);
         for platform in &platforms {
-            // GPU-less platforms take the CPU-only config, mirroring
-            // the CI matrix: the tuner refuses GPU work for them.
-            let config = if platform.has_gpu() {
-                ExecutionConfig::edgenn()
-            } else {
-                ExecutionConfig::cpu_only()
-            };
-            let runtime = Runtime::new(platform);
-            let tuner = Tuner::new(&graph, &runtime).expect("tuner");
-            let plan = tuner.plan(&graph, &runtime, config).expect("plan");
+            // The certified bound must dominate in both precisions: the
+            // int8 kernels acquire i8/i16 scratch the f32 path never
+            // touches, and `Layer::scratch_bytes` claims to cover both.
+            for precision in [Precision::F32, Precision::Int8] {
+                // GPU-less platforms take the CPU-only config, mirroring
+                // the CI matrix: the tuner refuses GPU work for them.
+                let mut config = if platform.has_gpu() {
+                    ExecutionConfig::edgenn()
+                } else {
+                    ExecutionConfig::cpu_only()
+                };
+                config.precision = precision;
+                let runtime = Runtime::new(platform);
+                let tuner = Tuner::new(&graph, &runtime).expect("tuner");
+                let plan = tuner.plan(&graph, &runtime, config).expect("plan");
 
-            let report = check_ownership(&graph, &plan, platform);
-            assert!(
-                report.is_clean(),
-                "{} on {}: tier D not clean: {:?}",
-                graph.name(),
-                platform.name,
-                report.diagnostics
-            );
+                let report = check_ownership(&graph, &plan, platform);
+                assert!(
+                    report.is_clean(),
+                    "{} on {} ({precision}): tier D not clean: {:?}",
+                    graph.name(),
+                    platform.name,
+                    report.diagnostics
+                );
 
-            let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
-            let outcome = functional::execute(&graph, &plan, &input).expect("execute");
-            let measured_slot = outcome.engine.slot_bytes;
-            let measured_arena = outcome.engine.arena_fresh_bytes;
-            assert!(
-                measured_slot <= report.bound.slot_bytes,
-                "{} on {}: measured slot bytes {} exceed certified {}",
-                graph.name(),
-                platform.name,
-                measured_slot,
-                report.bound.slot_bytes
-            );
-            assert!(
-                measured_arena <= report.bound.arena_bytes,
-                "{} on {}: measured arena bytes {} exceed certified {}",
-                graph.name(),
-                platform.name,
-                measured_arena,
-                report.bound.arena_bytes
-            );
-            combos += 1;
+                let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+                let outcome = functional::execute(&graph, &plan, &input).expect("execute");
+                let measured_slot = outcome.engine.slot_bytes;
+                let measured_arena = outcome.engine.arena_fresh_bytes;
+                assert!(
+                    measured_slot <= report.bound.slot_bytes,
+                    "{} on {} ({precision}): measured slot bytes {} exceed certified {}",
+                    graph.name(),
+                    platform.name,
+                    measured_slot,
+                    report.bound.slot_bytes
+                );
+                assert!(
+                    measured_arena <= report.bound.arena_bytes,
+                    "{} on {} ({precision}): measured arena bytes {} exceed certified {}",
+                    graph.name(),
+                    platform.name,
+                    measured_arena,
+                    report.bound.arena_bytes
+                );
+                combos += 1;
+            }
         }
     }
-    assert_eq!(combos, 36);
+    assert_eq!(combos, 72);
 }

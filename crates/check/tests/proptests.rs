@@ -484,3 +484,90 @@ fn borrowed_input_write_mutation_trips_ec059() {
         );
     }
 }
+
+/// Quantize→dequantize round-trip error stays within half a code step
+/// (`scale / 2`) for any in-range value under random affine parameters.
+#[test]
+fn random_quantize_round_trip_within_half_scale() {
+    use edgenn_tensor::{quantize_into, QuantParams};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_1808);
+    for _ in 0..CASES {
+        // A random calibration range that straddles zero (the affine
+        // scheme always keeps 0.0 exactly representable).
+        let lo = -rng.gen_range(0.01f32..100.0);
+        let hi = rng.gen_range(0.01f32..100.0);
+        let p = QuantParams::from_min_max(lo, hi);
+        let src: Vec<f32> = (0..256).map(|_| rng.gen_range(lo..hi)).collect();
+        let mut q = vec![0i8; src.len()];
+        quantize_into(&src, &mut q, p);
+        for (&v, &code) in src.iter().zip(&q) {
+            let back = p.dequantize_one(code);
+            assert!(
+                (v - back).abs() <= p.scale / 2.0 + 1e-6,
+                "v={v} back={back} scale={}",
+                p.scale
+            );
+        }
+    }
+}
+
+/// The packed int8 GEMM tracks the f32 GEMM within the analytic
+/// per-element quantization bound on random shapes and operands:
+/// each operand contributes at most half a code step per factor, so
+/// `|err[i][j]| <= Σ_p (|w|·εx + |x|·εw + εw·εx)` with
+/// `εw = s_w[i]/2`, `εx = s_x/2`.
+#[test]
+fn random_int8_gemm_tracks_f32_within_quantization_bound() {
+    use edgenn_tensor::{
+        gemm_into, min_max, qgemm_requant_into, quantize_into, row_sums, QTensor, QuantParams,
+        Quantization, Requant, Tensor,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE_1811);
+    for _ in 0..CASES {
+        let m = rng.gen_range(1usize..24);
+        let k = rng.gen_range(1usize..96);
+        let n = rng.gen_range(1usize..48);
+        let w = Tensor::random(&[m, k], 1.0, rng.gen_range(0u64..u64::MAX));
+        let x = Tensor::random(&[k, n], 1.0, rng.gen_range(0u64..u64::MAX));
+        let qw = QTensor::quantize_per_channel(&w).unwrap();
+        let Quantization::PerChannel(wp) = qw.quant().clone() else {
+            unreachable!()
+        };
+        let w_scales: Vec<f32> = wp.iter().map(|p| p.scale).collect();
+        let rsums = row_sums(qw.as_slice(), m, k);
+        let (lo, hi) = min_max(x.as_slice());
+        let act = QuantParams::from_min_max(lo, hi);
+        let mut qx = vec![0i8; k * n];
+        quantize_into(x.as_slice(), &mut qx, act);
+        let rq = Requant {
+            w_scales: &w_scales,
+            act,
+            row_sums: &rsums,
+            bias: None,
+            relu: false,
+        };
+        let mut got = vec![0.0f32; m * n];
+        qgemm_requant_into(qw.as_slice(), &qx, &mut got, m, k, n, &rq);
+        let mut want = vec![0.0f32; m * n];
+        gemm_into(w.as_slice(), x.as_slice(), &mut want, m, k, n);
+        for i in 0..m {
+            let ew = w_scales[i] / 2.0;
+            let ex = act.scale / 2.0;
+            for j in 0..n {
+                let bound: f32 = (0..k)
+                    .map(|p| {
+                        let wv = w.as_slice()[i * k + p].abs();
+                        let xv = x.as_slice()[p * n + j].abs();
+                        wv * ex + xv * ew + ew * ex
+                    })
+                    .sum::<f32>()
+                    + 1e-4;
+                let err = (got[i * n + j] - want[i * n + j]).abs();
+                assert!(
+                    err <= bound,
+                    "({m},{k},{n}) [{i},{j}]: err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Minimal hand-rolled argument parsing (no external CLI dependency).
 
-use edgenn_core::plan::ExecutionConfig;
+use edgenn_core::plan::{ExecutionConfig, Precision};
 use edgenn_nn::models::ModelKind;
 use edgenn_sim::{platforms, Platform};
 
@@ -100,6 +100,25 @@ pub fn parse_config(name: &str) -> Result<ExecutionConfig, String> {
     }
 }
 
+/// Resolves a `--precision` name.
+pub fn parse_precision(name: &str) -> Result<Precision, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "f32" | "fp32" | "float" => Ok(Precision::F32),
+        "int8" | "i8" | "quantized" => Ok(Precision::Int8),
+        other => Err(format!("unknown precision '{other}' (expected f32|int8)")),
+    }
+}
+
+/// Builds the execution config from `--config` (default `edgenn`) with
+/// `--precision` applied on top, so every preset has an int8 variant.
+pub fn resolve_config(options: &Options) -> Result<ExecutionConfig, String> {
+    let mut config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    if let Some(name) = options.value("precision") {
+        config.precision = parse_precision(name)?;
+    }
+    Ok(config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +163,21 @@ mod tests {
         assert!(!parse_platform("rpi").unwrap().has_gpu());
         assert!(parse_platform("apple").unwrap().is_integrated());
         assert!(parse_platform("gameboy").is_err());
+    }
+
+    #[test]
+    fn precision_flag_overlays_any_config() {
+        assert_eq!(parse_precision("INT8").unwrap(), Precision::Int8);
+        assert_eq!(parse_precision("fp32").unwrap(), Precision::F32);
+        assert!(parse_precision("fp16").is_err());
+        let o = opts(&["--config", "cpu-only", "--precision", "int8"]);
+        let config = resolve_config(&o).unwrap();
+        assert_eq!(config.precision, Precision::Int8);
+        assert_eq!(
+            resolve_config(&opts(&[])).unwrap().precision,
+            Precision::F32,
+            "precision defaults to f32"
+        );
     }
 
     #[test]

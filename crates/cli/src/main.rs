@@ -19,7 +19,7 @@ mod args;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use args::{parse_config, parse_model, parse_platform, Options};
+use args::{parse_model, parse_platform, Options};
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::Runtime;
 use edgenn_nn::models::{build, ModelScale};
@@ -53,6 +53,13 @@ USAGE:
 MODELS:     fcnn lenet alexnet vgg squeezenet resnet
 PLATFORMS:  jetson (jetson-xavier) rpi phone server apu apple
 CONFIGS:    edgenn baseline cpu-only memory-only hybrid-only inter-only energy
+
+PRECISION:
+    Every command taking [--config C] also takes [--precision f32|int8]
+    (default f32). int8 runs the quantized conv/dense kernels (per-channel
+    symmetric weights, per-tensor affine activations, requantize epilogue)
+    inside the functional engine and sizes footprint and tier-D certified
+    bounds with the int8 sidecar; activations between nodes stay f32.
 
 OBSERVABILITY:
     --trace-out FILE    Perfetto/chrome://tracing trace with counter tracks
@@ -246,7 +253,7 @@ fn required_graph(options: &Options) -> Result<edgenn_nn::graph::Graph, String> 
 fn cmd_simulate(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
 
     let obs = ObsOutputs::from_options(options, graph.name(), &platform)?;
     let runtime = obs.runtime(&platform);
@@ -413,7 +420,7 @@ fn assignment_cell(assignment: &edgenn_core::plan::Assignment) -> String {
 fn cmd_explain(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
 
     let runtime = Runtime::new(&platform);
     let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
@@ -477,7 +484,7 @@ fn cmd_explain(options: &Options) -> Result<(), String> {
 fn cmd_plan(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
     let runtime = Runtime::new(&platform);
     let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
     let plan = tuner
@@ -579,7 +586,7 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
 fn cmd_check(options: &Options) -> Result<(), String> {
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
 
     let mut report = edgenn_check::CheckReport::default();
 
@@ -633,7 +640,7 @@ fn cmd_analyze(options: &Options) -> Result<(), String> {
 
     let graph = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
 
     let runtime = Runtime::new(&platform);
     let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
@@ -920,7 +927,7 @@ fn cmd_profile(options: &Options) -> Result<(), String> {
     };
     let graph = build(model, scale);
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
-    let config = parse_config(options.value("config").unwrap_or("edgenn"))?;
+    let config = args::resolve_config(options)?;
     let runs: usize = match options.value("runs") {
         Some(v) => v
             .parse()
@@ -1160,7 +1167,7 @@ fn process_name_entry(pid: u64, name: &str) -> serde_json::Value {
 fn cmd_storm(options: &Options) -> Result<(), String> {
     let platform = parse_platform(options.value("platform").unwrap_or("jetson"))?;
     let config = if platform.has_gpu() {
-        parse_config(options.value("config").unwrap_or("edgenn"))?
+        args::resolve_config(options)?
     } else {
         // Hybrid configs cannot plan without a GPU; a CPU-only storm
         // still exercises the window and OOM fault classes.

@@ -12,13 +12,18 @@ use edgenn_nn::graph::{Graph, NodeId};
 use edgenn_sim::AllocStrategy;
 use serde::{Deserialize, Serialize};
 
-use crate::plan::{ExecutionPlan, MemoryPolicy};
+use crate::plan::{ExecutionPlan, MemoryPolicy, Precision};
 use crate::Result;
 
 /// Peak-memory breakdown of one plan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Footprint {
-    /// Model parameters (weights + biases), resident for the whole run.
+    /// Model parameters resident for the whole run: the f32 weights and
+    /// biases, plus — under an [`Precision::Int8`] plan — each
+    /// int8-capable layer's cached quantization sidecar (one code byte
+    /// per weight element and the per-output-channel scale/row-sum
+    /// tables). The f32 master weights stay resident either way: they
+    /// seed quantization and serve the layers without int8 kernels.
     pub weight_bytes: u64,
     /// Peak bytes of live activations, counting explicit arrays twice
     /// (host copy + device copy) and managed arrays once.
@@ -44,6 +49,28 @@ fn array_bytes(elems: usize, strategy: AllocStrategy) -> u64 {
     }
 }
 
+/// Bytes of the quantization sidecar one node's layer caches when a
+/// plan runs int8 kernels: one i8 code per weight element (the bias
+/// stays f32 and is consumed by the requantize epilogue directly) plus
+/// an f32 scale and an i32 row sum per output channel.
+fn int8_sidecar_bytes(graph: &Graph, id: NodeId) -> Result<u64> {
+    let node = graph.node(id)?;
+    let layer = node.layer();
+    if !layer.int8_ready() {
+        return Ok(0);
+    }
+    let shapes: Vec<_> = node
+        .inputs()
+        .iter()
+        .map(|i| Ok(graph.node(*i)?.output_shape()))
+        .collect::<Result<_>>()?;
+    // workload.weight_bytes counts weights + bias at 4 bytes each; the
+    // bias length equals the output-unit count for conv/dense.
+    let param_elems = layer.workload(&shapes)?.weight_bytes / 4;
+    let units = layer.partition_units(&shapes)? as u64;
+    Ok((param_elems - units) + units * 8)
+}
+
 /// Computes the peak memory footprint of executing `plan` over `graph`.
 ///
 /// Liveness: a node's output array is allocated when the node executes
@@ -63,7 +90,12 @@ pub fn footprint(graph: &Graph, plan: &ExecutionPlan) -> Result<Footprint> {
             peak_bytes: 0,
         });
     }
-    let weight_bytes = graph.param_bytes();
+    let mut weight_bytes = graph.param_bytes();
+    if plan.config.precision == Precision::Int8 {
+        for id in graph.topo_order() {
+            weight_bytes += int8_sidecar_bytes(graph, id)?;
+        }
+    }
 
     // Last consumer of each node's output.
     let mut last_use: Vec<usize> = (0..graph.len()).collect();
@@ -190,6 +222,24 @@ mod tests {
             fp.peak_activation_bytes,
             total_outputs
         );
+    }
+
+    #[test]
+    fn int8_plans_account_the_quantization_sidecar_exactly() {
+        let graph = build(ModelKind::AlexNet, ModelScale::Tiny);
+        let f32_fp = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn())).unwrap();
+        let int8_fp = footprint(&graph, &plan_for(&graph, ExecutionConfig::edgenn_int8())).unwrap();
+        // Activations stay f32 between nodes in both precisions.
+        assert_eq!(f32_fp.peak_activation_bytes, int8_fp.peak_activation_bytes);
+        let expected_sidecar: u64 = graph
+            .topo_order()
+            .map(|id| int8_sidecar_bytes(&graph, id).unwrap())
+            .sum();
+        assert!(expected_sidecar > 0, "conv/dense layers carry a sidecar");
+        assert_eq!(int8_fp.weight_bytes, f32_fp.weight_bytes + expected_sidecar);
+        // The sidecar is bounded by a quarter of the f32 parameters plus
+        // the per-channel tables — far from doubling the weights.
+        assert!(int8_fp.weight_bytes < f32_fp.weight_bytes + f32_fp.weight_bytes / 3);
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub mod prelude {
     pub use crate::baselines::{CloudOffload, CpuOnly, EdgeNn, GpuOnly, InterKernelOnly};
     pub use crate::metrics::InferenceReport;
-    pub use crate::plan::{Assignment, ExecutionConfig, ExecutionPlan, HybridMode, MemoryPolicy};
+    pub use crate::plan::{
+        Assignment, ExecutionConfig, ExecutionPlan, HybridMode, MemoryPolicy, Precision,
+    };
     pub use crate::runtime::resilience::{ResilienceConfig, ResilientOutcome};
     pub use crate::runtime::Runtime;
     pub use crate::tuner::Tuner;

@@ -34,6 +34,45 @@ pub enum TuneObjective {
     Energy,
 }
 
+/// Numeric precision the functional runtime computes in.
+///
+/// Plans are precision-agnostic (the partition optimum depends only on
+/// relative throughput); the executor consumes this field to pick the
+/// kernel family. Int8 runs every int8-capable layer through the
+/// quantized microkernels ([`edgenn_nn::layer::Layer::forward_partial_int8`])
+/// with f32 activations *between* nodes, so partition merges and
+/// layer-boundary semantics are unchanged. Layers without int8 kernels
+/// (pools, softmax, element-wise) stay f32, as does input-channel
+/// splitting — partial *sums* need f32 accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit float kernels everywhere (reference path).
+    F32,
+    /// 8-bit integer GEMM/dot kernels with fused requantize epilogues on
+    /// every int8-capable layer.
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per stored weight element under this precision (int8 packs
+    /// quantized codes at one byte per element).
+    pub fn weight_element_bytes(self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "f32"),
+            Precision::Int8 => write!(f, "int8"),
+        }
+    }
+}
+
 /// Which co-running capability the planner may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HybridMode {
@@ -75,6 +114,8 @@ pub struct ExecutionConfig {
     pub jitter: f64,
     /// Seed for the jitter stream.
     pub jitter_seed: u64,
+    /// Numeric precision of the functional kernels.
+    pub precision: Precision,
 }
 
 impl ExecutionConfig {
@@ -88,6 +129,15 @@ impl ExecutionConfig {
             host_roundtrip_fraction: 0.35,
             jitter: 0.0,
             jitter_seed: 0,
+            precision: Precision::F32,
+        }
+    }
+
+    /// Full EdgeNN with int8 quantized kernels on every capable layer.
+    pub fn edgenn_int8() -> Self {
+        Self {
+            precision: Precision::Int8,
+            ..Self::edgenn()
         }
     }
 
@@ -282,6 +332,13 @@ mod tests {
             ExecutionConfig::inter_kernel_only().hybrid,
             HybridMode::InterKernelOnly
         );
+        assert_eq!(e.precision, Precision::F32);
+        let q = ExecutionConfig::edgenn_int8();
+        assert_eq!(q.precision, Precision::Int8);
+        assert_eq!(q.hybrid, HybridMode::InterAndIntra);
+        assert_eq!(Precision::F32.weight_element_bytes(), 4);
+        assert_eq!(Precision::Int8.weight_element_bytes(), 1);
+        assert_eq!(Precision::Int8.to_string(), "int8");
     }
 
     #[test]

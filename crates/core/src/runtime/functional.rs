@@ -32,12 +32,12 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use edgenn_nn::graph::{Graph, NodeId, Segment, Structure};
-use edgenn_nn::layer::LayerClass;
+use edgenn_nn::layer::{Layer, LayerClass};
 use edgenn_obs::{flight, EventSink, ProfileSummary, SinkEvent};
 use edgenn_sim::FaultPlan;
 use edgenn_tensor::{scratch_stats, Tensor};
 
-use crate::plan::{Assignment, ExecutionPlan};
+use crate::plan::{Assignment, ExecutionPlan, Precision};
 use crate::runtime::pool::{self, JoinError, Pool, ShutdownGuard};
 use crate::{CoreError, Result};
 
@@ -45,12 +45,103 @@ use crate::{CoreError, Result};
 /// branch bodies (their outputs go straight into the slots).
 type TaskResult = Result<Option<Tensor>>;
 
+/// Clamp bounds for the measured co-run cutoff: even a pathological
+/// measurement must neither co-run layers smaller than any realistic
+/// handoff (floor) nor refuse to co-run paper-scale conv layers (ceiling).
+const CUTOFF_FLOOR: u64 = 1 << 16;
+const CUTOFF_CEIL: u64 = 1 << 24;
+
+/// Flight-recorder capacity reserved per graph node at executor
+/// construction. VGG-16 (41 nodes) measured ~225 records per node in
+/// one request window; 512 leaves 2x headroom for int8 plans (extra
+/// quantize pack spans) and fault-injected reruns.
+const FLIGHT_RECORDS_PER_NODE: usize = 512;
+
 /// Minimum layer size (flops) for a split to co-run through the pool.
-/// Waking a parked worker costs a condvar round trip (~10us on a busy
-/// core); below this the whole layer finishes faster than the handoff,
-/// so both partials run on the driver thread instead. The split/merge
-/// semantics are identical either way.
-const CORUN_MIN_FLOPS: u64 = 1 << 20;
+///
+/// Waking a parked worker costs a condvar round trip; below the cutoff
+/// the whole layer finishes faster than the handoff, so both partials
+/// run on the driver thread instead. The split/merge semantics are
+/// identical either way.
+///
+/// The break-even point is `handoff_time x flop_rate`, and both factors
+/// vary by an order of magnitude across hosts (a busy single-core CI
+/// runner vs an eight-core edge board), so the cutoff is **measured
+/// once per process** at first [`Executor`] construction instead of
+/// hard-coded. Setting `EDGENN_CORUN_CUTOFF=<flops>` skips the
+/// measurement and uses the given value verbatim.
+fn corun_cutoff() -> u64 {
+    static CUTOFF: OnceLock<u64> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        cutoff_override(std::env::var("EDGENN_CORUN_CUTOFF").ok().as_deref())
+            .unwrap_or_else(measure_corun_cutoff)
+    })
+}
+
+/// Parses the `EDGENN_CORUN_CUTOFF` override (a plain flop count).
+fn cutoff_override(var: Option<&str>) -> Option<u64> {
+    var?.trim().parse().ok().filter(|&n| n > 0)
+}
+
+/// Measures the pool-handoff round trip and the single-core flop rate,
+/// then derives the break-even layer size: a split saves roughly half
+/// the layer's time but pays one handoff, so co-running wins once
+/// `flops / 2 > handoff_ns x flops_per_ns`.
+fn measure_corun_cutoff() -> u64 {
+    // Handoff: submit no-op tasks to a one-worker pool and time
+    // submission to completion, keeping only samples a worker actually
+    // ran (a help-first join can reclaim the task inline, which
+    // measures queue-push cost, not the wake-up being priced here).
+    let pool: Pool<'_, ()> = Pool::new();
+    let mut samples: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| pool.run_worker());
+        let _guard = ShutdownGuard(&pool);
+        for _ in 0..32 {
+            let before = pool.stats().worker_tasks;
+            let start = std::time::Instant::now();
+            let handle = pool.submit(Box::new(|| ()));
+            // Yield so the worker gets scheduled even on a one-core host.
+            while pool.stats().worker_tasks == before && start.elapsed() < Duration::from_millis(2)
+            {
+                std::thread::yield_now();
+            }
+            let elapsed = start.elapsed();
+            let _ = handle.join(&pool);
+            if pool.stats().worker_tasks > before {
+                samples.push(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            }
+            if samples.len() >= 8 {
+                break;
+            }
+        }
+    });
+    drop(pool);
+    // Best observed wake-up is the stable statistic (outliers include
+    // scheduler preemption); 10us default when no worker ever won the
+    // race against the inline reclaim.
+    let handoff_ns = samples.iter().copied().min().unwrap_or(10_000).max(200);
+
+    // Flop rate: a warm SIMD dot, the same primitive the split kernels
+    // bottom out in.
+    const DOT_LEN: usize = 4096;
+    const ITERS: u64 = 64;
+    let a = vec![1.0f32; DOT_LEN];
+    let b = vec![0.5f32; DOT_LEN];
+    let mut sink = 0.0f32;
+    let start = std::time::Instant::now();
+    for _ in 0..ITERS {
+        sink += edgenn_tensor::dot(&a, &b);
+    }
+    let elapsed_ns = u64::try_from(start.elapsed().as_nanos())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    std::hint::black_box(sink);
+    let flops_per_ns = (2 * DOT_LEN as u64 * ITERS) as f64 / elapsed_ns as f64;
+
+    let cutoff = (2.0 * handoff_ns as f64 * flops_per_ns) as u64;
+    cutoff.clamp(CUTOFF_FLOOR, CUTOFF_CEIL)
+}
 
 /// Engine-overhead counters for one functional run.
 ///
@@ -240,12 +331,15 @@ pub struct FunctionalOutcome {
     /// The network output.
     pub output: Tensor,
     /// Number of layers executed as partition+merge splits. Splits above
-    /// [`CORUN_MIN_FLOPS`] co-run on two threads; smaller ones compute
-    /// both shares on the driver (the handoff would cost more than the
-    /// layer).
+    /// the measured co-run cutoff (see [`Executor::with_corun_cutoff`])
+    /// co-run on two threads; smaller ones compute both shares on the
+    /// driver (the handoff would cost more than the layer).
     pub corun_layers: usize,
     /// Number of layers executed wholly by the CPU-role worker.
     pub cpu_layers: usize,
+    /// Number of layers computed by the int8 quantized kernels (zero
+    /// under [`Precision::F32`] plans).
+    pub int8_layers: usize,
     /// Number of fork-join regions whose branches ran on separate threads.
     pub parallel_regions: usize,
     /// Engine-overhead accounting (pool + scratch arena).
@@ -265,6 +359,9 @@ pub struct Executor<'g> {
     structure: Structure,
     observer: Option<Arc<dyn EventSink>>,
     faults: Option<FaultInjector>,
+    corun_cutoff: u64,
+    /// One-shot guard for the int8 calibration pass (see `run_session`).
+    calibrated: std::sync::Once,
 }
 
 impl std::fmt::Debug for Executor<'_> {
@@ -273,6 +370,7 @@ impl std::fmt::Debug for Executor<'_> {
             .field("graph", &self.graph.name())
             .field("observer", &self.observer.is_some())
             .field("faults", &self.faults.is_some())
+            .field("corun_cutoff", &self.corun_cutoff)
             .finish()
     }
 }
@@ -283,12 +381,30 @@ impl<'g> Executor<'g> {
     /// # Errors
     /// Fails when the graph has no valid fork-join decomposition.
     pub fn new(graph: &'g Graph) -> Result<Self> {
+        // Size the flight-recorder rings so one request's window fits
+        // even on the deepest model: VGG-16 overflowed the old fixed
+        // 4096-record rings by ~5k records per request (~225 records
+        // per node between node/merge spans, kernel pack/compute pairs,
+        // scratch instants and pool queue/task spans). Rings only grow,
+        // so an oversized estimate costs memory, never records.
+        flight::reserve(graph.len() * FLIGHT_RECORDS_PER_NODE);
         Ok(Self {
             graph,
             structure: graph.structure()?,
             observer: None,
             faults: None,
+            corun_cutoff: corun_cutoff(),
+            calibrated: std::sync::Once::new(),
         })
+    }
+
+    /// Overrides the measured co-run cutoff (flops) for this executor —
+    /// mainly for tests and benchmarks that must force or forbid pool
+    /// handoffs regardless of the host's measured break-even point.
+    #[must_use]
+    pub fn with_corun_cutoff(mut self, flops: u64) -> Self {
+        self.corun_cutoff = flops;
+        self
     }
 
     /// Mirrors engine counters of every run into `observer`.
@@ -356,6 +472,19 @@ impl<'g> Executor<'g> {
                 });
             }
         }
+        // Int8 plans calibrate activation ranges from the first real input
+        // before anything is timed: one f32 reference pass stamps frozen
+        // per-layer quantization parameters (write-once, shared by every
+        // executor over the same graph), so the quantized kernels skip
+        // their per-call min/max scan on every subsequent inference and
+        // all partials/replays see identical parameters.
+        if plan.config.precision == Precision::Int8 {
+            self.calibrated.call_once(|| {
+                if let Some(&first) = inputs.first() {
+                    let _ = edgenn_nn::graph::calibrate(self.graph, std::slice::from_ref(first));
+                }
+            });
+        }
         let len = self.graph.len();
         let mut all_slots: Vec<Vec<OnceLock<Tensor>>> = inputs
             .iter()
@@ -363,6 +492,7 @@ impl<'g> Executor<'g> {
             .collect();
         let corun = AtomicUsize::new(0);
         let cpu = AtomicUsize::new(0);
+        let int8 = AtomicUsize::new(0);
         let slot_bytes = AtomicU64::new(0);
         let pool: Pool<'_, TaskResult> = Pool::new();
 
@@ -384,8 +514,10 @@ impl<'g> Executor<'g> {
                             slots,
                             corun: &corun,
                             cpu: &cpu,
+                            int8: &int8,
                             slot_bytes: &slot_bytes,
                             faults: self.faults.as_ref(),
+                            corun_cutoff: self.corun_cutoff,
                         },
                         &pool,
                     )
@@ -410,20 +542,26 @@ impl<'g> Executor<'g> {
                     output,
                     corun_layers: counters.corun,
                     cpu_layers: counters.cpu,
+                    int8_layers: counters.int8,
                     parallel_regions: counters.parallel_regions,
                     engine: counters.engine,
                     recovery: counters.recovery,
                 };
-                self.emit_engine_counters(&outcome.engine);
+                self.emit_engine_counters(&outcome);
                 Ok(outcome)
             })
             .collect()
     }
 
-    fn emit_engine_counters(&self, engine: &EngineStats) {
+    fn emit_engine_counters(&self, outcome: &FunctionalOutcome) {
         let Some(observer) = &self.observer else {
             return;
         };
+        let engine = &outcome.engine;
+        observer.emit(SinkEvent::EngineCounter {
+            name: "int8_layers",
+            value: outcome.int8_layers as f64,
+        });
         for (name, value) in [
             ("pool_tasks", engine.pool_tasks as f64),
             ("pool_inline_tasks", engine.inline_tasks as f64),
@@ -473,6 +611,7 @@ pub fn execute(graph: &Graph, plan: &ExecutionPlan, input: &Tensor) -> Result<Fu
 struct RunCounters {
     corun: usize,
     cpu: usize,
+    int8: usize,
     parallel_regions: usize,
     engine: EngineStats,
     recovery: FaultCounts,
@@ -491,8 +630,10 @@ struct Ctx<'env> {
     slots: &'env [OnceLock<Tensor>],
     corun: &'env AtomicUsize,
     cpu: &'env AtomicUsize,
+    int8: &'env AtomicUsize,
     slot_bytes: &'env AtomicU64,
     faults: Option<&'env FaultInjector>,
+    corun_cutoff: u64,
 }
 
 impl Clone for Ctx<'_> {
@@ -513,6 +654,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
     );
     let corun_before = ctx.corun.load(Ordering::Relaxed);
     let cpu_before = ctx.cpu.load(Ordering::Relaxed);
+    let int8_before = ctx.int8.load(Ordering::Relaxed);
     let recovery_before = ctx.faults.map(FaultInjector::counts).unwrap_or_default();
 
     // Per-request flight window: everything recorded between here and
@@ -571,6 +713,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
     Ok(RunCounters {
         corun: ctx.corun.load(Ordering::Relaxed) - corun_before,
         cpu: ctx.cpu.load(Ordering::Relaxed) - cpu_before,
+        int8: ctx.int8.load(Ordering::Relaxed) - int8_before,
         parallel_regions,
         recovery: recovery_before.delta(&ctx.faults.map(FaultInjector::counts).unwrap_or_default()),
         engine: stats_before.snapshot_delta(&stats_after),
@@ -713,6 +856,37 @@ fn exec_node<'env>(
         })
 }
 
+/// Runs one output-range partial in the requested precision: int8
+/// quantized kernels when the plan asks for them and the layer has
+/// them, f32 reference kernels otherwise.
+fn forward_partial_prec(
+    layer: &dyn Layer,
+    inputs: &[&Tensor],
+    range: std::ops::Range<usize>,
+    int8: bool,
+) -> Result<Tensor> {
+    if int8 {
+        Ok(layer.forward_partial_int8(inputs, range, false)?)
+    } else {
+        Ok(layer.forward_partial(inputs, range)?)
+    }
+}
+
+/// Runs a whole (unsplit) layer in the requested precision. The int8
+/// path is the full-range partial — identical kernel, identical
+/// requantize epilogue — so a `Gpu`/`Cpu` node and a merged split
+/// produce bitwise-identical bytes under the same plan.
+fn forward_full(layer: &dyn Layer, inputs: &[&Tensor], int8: bool) -> Result<Tensor> {
+    if int8 {
+        let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
+        let units = layer.partition_units(&shapes)?;
+        if units > 0 {
+            return Ok(layer.forward_partial_int8(inputs, 0..units, false)?);
+        }
+    }
+    Ok(layer.forward(inputs)?)
+}
+
 /// Computes one node per its assignment; splits co-run as a pool task
 /// (the CPU share) plus inline work (the GPU share) when a pool is
 /// available, and fall back to computing both shares sequentially when
@@ -726,13 +900,23 @@ fn forward_assigned<'env>(
 ) -> Result<(Tensor, bool, usize)> {
     let node = ctx.graph.node(id)?;
     let layer = node.layer();
-    match ctx.plan.nodes[id.index()].assignment {
+    let assignment = ctx.plan.nodes[id.index()].assignment;
+    // Input-channel splits stay f32 regardless of the plan's precision:
+    // their partial *sums* need f32 accumulation, and requantizing each
+    // partial would double the rounding error.
+    let int8 = ctx.plan.config.precision == Precision::Int8
+        && layer.int8_ready()
+        && !matches!(assignment, Assignment::SplitInput { .. });
+    if int8 {
+        ctx.int8.fetch_add(1, Ordering::Relaxed);
+    }
+    match assignment {
         Assignment::Gpu => Ok((
-            recovering_forward(ctx, id, || Ok(layer.forward(&inputs)?))?,
+            recovering_forward(ctx, id, || forward_full(layer, &inputs, int8))?,
             false,
             0,
         )),
-        Assignment::Cpu => Ok((layer.forward(&inputs)?, false, 1)),
+        Assignment::Cpu => Ok((forward_full(layer, &inputs, int8)?, false, 1)),
         Assignment::SplitInput { cpu_fraction } => {
             let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
             let channels = layer.input_channels(&shapes)?;
@@ -745,7 +929,7 @@ fn forward_assigned<'env>(
             let pool = pool.filter(|_| {
                 layer
                     .workload(&shapes)
-                    .is_ok_and(|w| w.flops >= CORUN_MIN_FLOPS)
+                    .is_ok_and(|w| w.flops >= ctx.corun_cutoff)
             });
             // The GPU takes the first channels (the paper's "first k input
             // channels"), the CPU the remainder; partial sums are added.
@@ -802,7 +986,7 @@ fn forward_assigned<'env>(
             let shapes: Vec<_> = inputs.iter().map(|t| t.shape()).collect();
             let units = layer.partition_units(&shapes)?;
             if units < 2 {
-                return Ok((layer.forward(&inputs)?, false, 0));
+                return Ok((forward_full(layer, &inputs, int8)?, false, 0));
             }
             let cpu_units = ((cpu_fraction * units as f64).round() as usize).clamp(1, units - 1);
             // The paper's convention: the GPU computes the first units,
@@ -811,7 +995,7 @@ fn forward_assigned<'env>(
             let pool = pool.filter(|_| {
                 layer
                     .workload(&shapes)
-                    .is_ok_and(|w| w.flops >= CORUN_MIN_FLOPS)
+                    .is_ok_and(|w| w.flops >= ctx.corun_cutoff)
             });
             let (gpu_part, cpu_part) = if let Some(pool) = pool {
                 let task_inputs = inputs.clone();
@@ -820,23 +1004,23 @@ fn forward_assigned<'env>(
                 let node_tag = flight_node(id);
                 let cpu_task = pool.submit(Box::new(move || {
                     traced_task(parent, submitted, node_tag, || {
-                        Ok(Some(layer.forward_partial(&task_inputs, gpu_units..units)?))
+                        forward_partial_prec(layer, &task_inputs, gpu_units..units, int8).map(Some)
                     })
                 }));
                 let gpu_part = recovering_forward(ctx, id, || {
-                    Ok(layer.forward_partial(&inputs, 0..gpu_units)?)
+                    forward_partial_prec(layer, &inputs, 0..gpu_units, int8)
                 });
                 (
                     gpu_part,
                     join_partial(ctx, cpu_task, pool, || {
-                        Ok(layer.forward_partial(&inputs, gpu_units..units)?)
+                        forward_partial_prec(layer, &inputs, gpu_units..units, int8)
                     })?,
                 )
             } else {
-                let cpu_part = layer.forward_partial(&inputs, gpu_units..units)?;
+                let cpu_part = forward_partial_prec(layer, &inputs, gpu_units..units, int8)?;
                 (
                     recovering_forward(ctx, id, || {
-                        Ok(layer.forward_partial(&inputs, 0..gpu_units)?)
+                        forward_partial_prec(layer, &inputs, 0..gpu_units, int8)
                     }),
                     cpu_part,
                 )
@@ -1357,6 +1541,39 @@ mod tests {
     }
 
     #[test]
+    fn deep_graphs_reserve_flight_capacity_and_drop_nothing() {
+        flight::enable();
+        // The regression: VGG's 41-node chain overflowed the old fixed
+        // 4096-record rings by ~5k records per paper-scale request, so
+        // its profiles reported flight_dropped > 0 and lost the early
+        // conv spans. Executor construction now reserves capacity from
+        // the node count before the first record lands.
+        let graph = build(ModelKind::Vgg16, ModelScale::Tiny);
+        let executor = Executor::new(&graph).unwrap();
+        assert!(
+            flight::retained_records_per_ring() >= graph.len() * FLIGHT_RECORDS_PER_NODE,
+            "executor construction must size the rings from the node count"
+        );
+        let plan = edgenn_plan(&graph);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|i| Tensor::random(graph.input_shape().dims(), 1.0, 90 + i))
+            .collect();
+        let outcomes = executor.batch_execute(&plan, &inputs).unwrap();
+        for outcome in &outcomes {
+            let profile = outcome
+                .engine
+                .profile
+                .as_ref()
+                .expect("flight enabled => profile present");
+            assert!(profile.span_count > 0);
+            assert_eq!(
+                profile.dropped, 0,
+                "sized rings must hold a full request window"
+            );
+        }
+    }
+
+    #[test]
     fn fault_injected_run_leaves_a_blackbox_with_the_failing_span() {
         flight::enable();
         let graph = build(ModelKind::LeNet, ModelScale::Tiny);
@@ -1390,6 +1607,125 @@ mod tests {
                 .iter()
                 .any(|r| r.kind == flight::SpanKind::Fallback && r.node == node_tag),
             "black box contains the failing node's fallback span"
+        );
+    }
+
+    #[test]
+    fn cutoff_override_parses_and_validates() {
+        assert_eq!(cutoff_override(Some("12345")), Some(12_345));
+        assert_eq!(cutoff_override(Some(" 65536 ")), Some(65_536));
+        assert_eq!(cutoff_override(Some("0")), None, "zero would gate nothing");
+        assert_eq!(cutoff_override(Some("not-a-number")), None);
+        assert_eq!(cutoff_override(None), None);
+    }
+
+    #[test]
+    fn measured_cutoff_stays_within_the_clamp() {
+        let cutoff = measure_corun_cutoff();
+        assert!(
+            (CUTOFF_FLOOR..=CUTOFF_CEIL).contains(&cutoff),
+            "measured cutoff {cutoff} escaped the clamp"
+        );
+    }
+
+    #[test]
+    fn int8_execution_tracks_f32_within_quantization_error() {
+        // Satellite 3's accuracy-loss bound: on every model, the int8
+        // hybrid output must stay within a small absolute band of the
+        // f32 reference (outputs are post-softmax, so values are
+        // probabilities in [0, 1]).
+        let platform = jetson_agx_xavier();
+        let runtime = Runtime::new(&platform);
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let tuner = Tuner::new(&graph, &runtime).unwrap();
+            let plan = tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn_int8())
+                .unwrap();
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
+            let reference = graph.forward(&input).unwrap();
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            assert!(
+                outcome.int8_layers > 0,
+                "{kind}: int8 plan must run quantized kernels"
+            );
+            assert!(
+                outcome.output.approx_eq(&reference, 0.05),
+                "{kind}: int8 output drifted {} from f32",
+                outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
+            );
+        }
+    }
+
+    #[test]
+    fn int8_split_plans_merge_bitwise_with_unsplit_int8() {
+        // Integer accumulation is order-insensitive and the requantize
+        // epilogue is per-row independent, so an int8 split+merge must
+        // reproduce the unsplit int8 run bit for bit — a stronger
+        // invariant than the f32 path's associativity tolerance.
+        use crate::plan::NodePlan;
+        use edgenn_sim::AllocStrategy;
+        for kind in ModelKind::ALL {
+            let graph = build(kind, ModelScale::Tiny);
+            let unsplit = ExecutionPlan {
+                config: ExecutionConfig::edgenn_int8(),
+                nodes: vec![NodePlan::gpu_explicit(); graph.len()],
+            };
+            let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+            for id in graph.topo_order() {
+                let node = graph.node(id).unwrap();
+                let shapes: Vec<_> = node
+                    .inputs()
+                    .iter()
+                    .map(|i| graph.node(*i).unwrap().output_shape())
+                    .collect();
+                if node.layer().partitionable()
+                    && node.layer().partition_units(&shapes).unwrap_or(1) >= 2
+                {
+                    nodes[id.index()] = NodePlan {
+                        assignment: Assignment::Split { cpu_fraction: 0.5 },
+                        output_alloc: AllocStrategy::Explicit,
+                        prefetch_inputs: false,
+                    };
+                }
+            }
+            let split = ExecutionPlan {
+                config: ExecutionConfig::edgenn_int8(),
+                nodes,
+            };
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 29);
+            let a = execute(&graph, &unsplit, &input).unwrap();
+            let b = execute(&graph, &split, &input).unwrap();
+            assert!(b.corun_layers > 0, "{kind}");
+            assert!(
+                a.output.approx_eq(&b.output, 0.0),
+                "{kind}: int8 split diverged bitwise from unsplit"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_layer_count_reaches_the_observer() {
+        let graph = build(ModelKind::LeNet, ModelScale::Tiny);
+        let plan = {
+            let platform = jetson_agx_xavier();
+            let runtime = Runtime::new(&platform);
+            let tuner = Tuner::new(&graph, &runtime).unwrap();
+            tuner
+                .plan(&graph, &runtime, ExecutionConfig::edgenn_int8())
+                .unwrap()
+        };
+        let recorder = Recorder::new();
+        let executor = Executor::new(&graph)
+            .unwrap()
+            .with_observer(Arc::new(recorder.clone()));
+        let input = Tensor::random(graph.input_shape().dims(), 1.0, 5);
+        let outcome = executor.execute(&plan, &input).unwrap();
+        assert!(outcome.int8_layers > 0);
+        let metrics = recorder.metrics();
+        assert_eq!(
+            metrics.counter_value("edgenn_engine_int8_layers_total"),
+            Some(outcome.int8_layers as f64)
         );
     }
 

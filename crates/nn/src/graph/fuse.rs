@@ -12,7 +12,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use edgenn_tensor::{ops, Shape, Tensor};
+use edgenn_tensor::{QuantParams, Shape, Tensor};
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::layer::{Layer, LayerClass};
@@ -60,9 +60,37 @@ impl Layer for FusedRelu {
     }
 
     fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
-        let mut out = self.inner.forward_partial(inputs, range)?;
-        ops::relu_in_place(out.as_mut_slice());
-        Ok(out)
+        // The fused producers clamp in their write-back epilogue — the
+        // activation never makes a second pass over memory.
+        self.inner.forward_partial_fused(inputs, range, true)
+    }
+
+    fn forward_partial_fused(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        _relu: bool,
+    ) -> Result<Tensor> {
+        // relu(relu(x)) == relu(x): the folded activation subsumes any
+        // further request.
+        self.inner.forward_partial_fused(inputs, range, true)
+    }
+
+    fn int8_ready(&self) -> bool {
+        self.inner.int8_ready()
+    }
+
+    fn forward_partial_int8(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        _relu: bool,
+    ) -> Result<Tensor> {
+        self.inner.forward_partial_int8(inputs, range, true)
+    }
+
+    fn stamp_activation(&self, p: QuantParams) -> bool {
+        self.inner.stamp_activation(p)
     }
 
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
@@ -75,6 +103,14 @@ impl Layer for FusedRelu {
 
     fn working_set_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
         self.inner.working_set_bytes(inputs)
+    }
+
+    fn scratch_elems(&self, inputs: &[&Shape]) -> Result<u64> {
+        self.inner.scratch_elems(inputs)
+    }
+
+    fn scratch_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        self.inner.scratch_bytes(inputs)
     }
 }
 
@@ -216,6 +252,31 @@ mod tests {
             let merged = Tensor::concat_axis0(&[&a, &b]).unwrap();
             assert!(merged.approx_eq(&full, 1e-5), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn fused_int8_path_keeps_the_folded_relu() {
+        use crate::layer::Conv2d;
+        let conv = Arc::new(Conv2d::new("c", 3, 6, 3, 1, 1, 9));
+        let fused = FusedRelu::new(Arc::clone(&conv) as Arc<dyn Layer>);
+        assert!(fused.int8_ready());
+        let x = Tensor::random(&[3, 6, 6], 1.0, 10);
+        // Even when the caller does not request a ReLU, the folded one
+        // applies — relu(relu(x)) == relu(x).
+        let q = fused.forward_partial_int8(&[&x], 0..6, false).unwrap();
+        assert!(q.as_slice().iter().all(|&v| v >= 0.0));
+        let f = fused.forward_partial(&[&x], 0..6).unwrap();
+        assert!(q.approx_eq(&f, 0.05));
+        // Scratch accounting passes through to the producer.
+        let shape = Shape::new(&[3, 6, 6]);
+        assert_eq!(
+            fused.scratch_elems(&[&shape]).unwrap(),
+            conv.scratch_elems(&[&shape]).unwrap()
+        );
+        assert_eq!(
+            fused.scratch_bytes(&[&shape]).unwrap(),
+            conv.scratch_bytes(&[&shape]).unwrap()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The inference DAG: nodes, shape inference, execution, and the
 //! chain/branch decomposition used by EdgeNN's tuner.
 
+mod calibrate;
 mod fuse;
 mod structure;
 
@@ -11,6 +12,7 @@ use edgenn_tensor::{Shape, Tensor};
 use crate::layer::{InputLayer, Layer};
 use crate::{NnError, Result};
 
+pub use calibrate::calibrate;
 pub use fuse::{fuse_relu, FusedRelu};
 pub use structure::{decompose, Segment, Structure};
 

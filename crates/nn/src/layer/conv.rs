@@ -1,10 +1,16 @@
 //! 2-D convolution via im2col + GEMM.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
-use edgenn_tensor::{gemm_into, im2col_into, with_scratch, Conv2dGeometry, Shape, Tensor};
+use edgenn_tensor::{
+    gemm_into, gemm_into_fused, im2col_into, im2col_into_panels_i16, min_max, qgemm_panel_elems,
+    qgemm_requant_prepacked_into, quantize_into, quantize_into_panels_i16, with_scratch,
+    with_scratch_i16, with_scratch_i8, Conv2dGeometry, Epilogue, QuantParams, Requant, Shape,
+    Tensor,
+};
 
-use crate::layer::params::LazyParam;
+use crate::layer::params::{LazyParam, QuantizedWeights};
 use crate::layer::{check_arity, validate_range, Layer, LayerClass};
 use crate::{NnError, Result, Workload};
 
@@ -25,6 +31,11 @@ pub struct Conv2d {
     weight: LazyParam,
     bias: LazyParam,
     in_channels: usize,
+    /// Int8 weight codes, derived from `weight` on first int8 use.
+    qweight: OnceLock<QuantizedWeights>,
+    /// Calibrated activation parameters ([`Layer::stamp_activation`]);
+    /// absent means dynamic per-call min/max quantization.
+    act_quant: OnceLock<QuantParams>,
 }
 
 impl Conv2d {
@@ -61,6 +72,8 @@ impl Conv2d {
             weight,
             bias,
             in_channels,
+            qweight: OnceLock::new(),
+            act_quant: OnceLock::new(),
         }
     }
 
@@ -86,6 +99,7 @@ impl Conv2d {
         }
         self.weight = LazyParam::from_tensor(weight);
         self.bias = LazyParam::from_tensor(bias);
+        self.qweight = OnceLock::new();
         Ok(self)
     }
 
@@ -148,6 +162,15 @@ impl Layer for Conv2d {
     }
 
     fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        self.forward_partial_fused(inputs, range, false)
+    }
+
+    fn forward_partial_fused(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
         check_arity(&self.name, 1, inputs)?;
         validate_range(&self.name, &range, self.out_channels)?;
         let g = self.geometry(inputs[0].shape())?;
@@ -158,21 +181,106 @@ impl Layer for Conv2d {
         // range is a contiguous sub-slice — no copy, unlike `slice_axis0`.
         let w = self.weight.get().as_slice();
         let w_part = &w[range.start * patch..range.end * patch];
+        let bias_full = self.bias.get();
+        let bias = &bias_full.as_slice()[range.clone()];
+        // Bias (and the fused ReLU) ride in the GEMM's write-back
+        // epilogue — each output element is touched exactly once.
+        let ep = if relu {
+            Epilogue::BiasRelu { bias }
+        } else {
+            Epilogue::Bias { bias }
+        };
         let mut out = vec![0.0f32; range.len() * cols];
         with_scratch(patch * cols, |col_buf| {
             im2col_into(inputs[0], &g, col_buf)?;
-            gemm_into(w_part, col_buf, &mut out, range.len(), patch, cols);
+            gemm_into_fused(w_part, col_buf, &mut out, range.len(), patch, cols, ep);
             Ok::<(), edgenn_tensor::TensorError>(())
         })?;
-        let bias_full = self.bias.get();
-        let bias = bias_full.as_slice();
-        for (c, chunk) in out.chunks_mut(cols).enumerate() {
-            let b = bias[range.start + c];
-            for v in chunk {
-                *v += b;
-            }
-        }
         Ok(Tensor::from_vec(out, &[range.len(), oh, ow])?)
+    }
+
+    fn int8_ready(&self) -> bool {
+        true
+    }
+
+    fn forward_partial_int8(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        validate_range(&self.name, &range, self.out_channels)?;
+        let g = self.geometry(inputs[0].shape())?;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let cols = oh * ow;
+        let qw = self
+            .qweight
+            .get_or_init(|| QuantizedWeights::from_weight(self.weight.get()));
+        let act = self.act_quant.get().copied().unwrap_or_else(|| {
+            let (lo, hi) = min_max(inputs[0].as_slice());
+            QuantParams::from_min_max(lo, hi)
+        });
+        let bias_full = self.bias.get();
+        let rq = Requant {
+            w_scales: &qw.scales[range.clone()],
+            act,
+            row_sums: &qw.row_sums[range.clone()],
+            bias: Some(&bias_full.as_slice()[range.clone()]),
+            relu,
+        };
+        // The output-channel range is a row-range slice of the prepacked
+        // A (rows of stride `kp`, padded so any range leaves a full
+        // microtile block readable).
+        let kp = patch + (patch & 1);
+        let awide = &qw.awide[range.start * kp..];
+        let zero = i8::try_from(act.zero_point).unwrap_or(0);
+        let mut out = vec![0.0f32; range.len() * cols];
+        if self.kernel == 1 && self.stride == 1 && self.pad == 0 {
+            // 1x1/stride-1: im2col is the identity, so quantize the
+            // feature map straight into the GEMM's B panels — one pass
+            // over the activation, no intermediate i8 buffer at all.
+            with_scratch_i16(qgemm_panel_elems(patch, cols), |panels| {
+                quantize_into_panels_i16(inputs[0].as_slice(), act, patch, cols, panels);
+                qgemm_requant_prepacked_into(
+                    awide,
+                    panels,
+                    &mut out,
+                    range.len(),
+                    patch,
+                    cols,
+                    &rq,
+                );
+            });
+            return Ok(Tensor::from_vec(out, &[range.len(), oh, ow])?);
+        }
+        // Quantize the input feature map once, gather int8 patches
+        // straight into the GEMM's pair-interleaved B panels (padding
+        // taps carry the activation zero-point), then the prepacked GEMM
+        // requantizes from its register accumulators. Two passes total
+        // over activation-sized data — the weights were packed at init.
+        with_scratch_i8(inputs[0].len(), |qx| {
+            quantize_into(inputs[0].as_slice(), qx, act);
+            with_scratch_i16(qgemm_panel_elems(patch, cols), |panels| {
+                im2col_into_panels_i16(qx, &g, zero, panels)?;
+                qgemm_requant_prepacked_into(
+                    awide,
+                    panels,
+                    &mut out,
+                    range.len(),
+                    patch,
+                    cols,
+                    &rq,
+                );
+                Ok::<(), edgenn_tensor::TensorError>(())
+            })
+        })?;
+        Ok(Tensor::from_vec(out, &[range.len(), oh, ow])?)
+    }
+
+    fn stamp_activation(&self, p: QuantParams) -> bool {
+        self.act_quant.set(p).is_ok()
     }
 
     fn input_split_supported(&self) -> bool {
@@ -267,6 +375,20 @@ impl Layer for Conv2d {
         let gathered_w = self.out_channels * taps;
         let packing = edgenn_tensor::gemm_pack_elems(self.out_channels, taps, cols);
         Ok((im2col + gathered_w + packing) as u64)
+    }
+
+    fn scratch_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        // Whichever precision's peak is larger bounds the arena: the f32
+        // paths acquire `scratch_elems * 4` bytes; the int8 path holds
+        // the quantized input (1 byte each) plus the GEMM's
+        // pair-interleaved i16 B panels simultaneously (A is prepacked
+        // at init, outside the arena).
+        let f32_bytes = self.scratch_elems(inputs)? * 4;
+        let g = self.geometry(inputs[0])?;
+        let cols = g.out_h() * g.out_w();
+        let taps = self.in_channels * self.kernel * self.kernel;
+        let int8_bytes = (inputs[0].num_elements() + 2 * qgemm_panel_elems(taps, cols)) as u64;
+        Ok(f32_bytes.max(int8_bytes))
     }
 }
 
@@ -447,6 +569,79 @@ mod tests {
         // Layers without arena use must report zero.
         let dense = crate::layer::Dense::new("d", 4, 2, 0);
         assert_eq!(dense.scratch_elems(&[&Shape::new(&[4])]).unwrap(), 0);
+    }
+
+    #[test]
+    fn int8_partials_merge_bitwise() {
+        // Requantization is per output row, so channel-range partials are
+        // *bitwise* identical to the full pass — integer accumulation has
+        // no order sensitivity and the dynamic activation parameters
+        // derive from the same input either way.
+        let conv = Conv2d::new("c", 3, 6, 3, 1, 1, 9);
+        let x = input(3, 6, 1);
+        let full = conv.forward_partial_int8(&[&x], 0..6, false).unwrap();
+        for cut in 1..6 {
+            let a = conv.forward_partial_int8(&[&x], 0..cut, false).unwrap();
+            let b = conv.forward_partial_int8(&[&x], cut..6, false).unwrap();
+            let merged = Tensor::concat_axis0(&[&a, &b]).unwrap();
+            assert_eq!(merged.as_slice(), full.as_slice(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn int8_tracks_the_f32_reference() {
+        let conv = Conv2d::new("c", 3, 8, 3, 1, 1, 5);
+        let x = input(3, 8, 6);
+        let f = conv.forward(&[&x]).unwrap();
+        let q = conv.forward_partial_int8(&[&x], 0..8, false).unwrap();
+        assert!(
+            q.approx_eq(&f, 0.05),
+            "max diff {}",
+            q.max_abs_diff(&f).unwrap()
+        );
+        assert!(conv.int8_ready());
+    }
+
+    #[test]
+    fn int8_fused_relu_clamps_like_f32() {
+        let conv = Conv2d::new("c", 2, 4, 3, 1, 0, 7);
+        let x = input(2, 6, 8);
+        let q = conv.forward_partial_int8(&[&x], 0..4, true).unwrap();
+        assert!(q.as_slice().iter().all(|&v| v >= 0.0));
+        let f = conv.forward_partial_fused(&[&x], 0..4, true).unwrap();
+        assert!(q.approx_eq(&f, 0.05));
+    }
+
+    #[test]
+    fn fused_epilogue_is_bitwise_identical_to_separate_bias() {
+        // The epilogue computes `acc + bias` exactly like the historical
+        // separate bias loop did; fusing must not change a single bit.
+        let conv = Conv2d::new("c", 3, 7, 3, 1, 1, 11);
+        let x = input(3, 6, 12);
+        let plain = conv.forward_partial(&[&x], 0..7).unwrap();
+        let mut manual = conv.forward_partial_fused(&[&x], 0..7, true).unwrap();
+        // Un-clamp: wherever the fused output is positive it must equal
+        // the plain output bitwise.
+        for (m, p) in manual.as_mut_slice().iter_mut().zip(plain.as_slice()) {
+            if *m > 0.0 {
+                assert_eq!(*m, *p);
+                *m = *p;
+            } else {
+                assert!(*p <= 0.0, "fused relu zeroed a positive value");
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_activation_params_override_dynamic() {
+        let conv = Conv2d::new("c", 2, 3, 3, 1, 1, 13);
+        let x = input(2, 5, 14);
+        let dynamic = conv.forward_partial_int8(&[&x], 0..3, false).unwrap();
+        // Stamp a much wider range: coarser codes, different output.
+        assert!(conv.stamp_activation(QuantParams::from_min_max(-64.0, 64.0)));
+        assert!(!conv.stamp_activation(QuantParams::from_min_max(-1.0, 1.0)));
+        let stamped = conv.forward_partial_int8(&[&x], 0..3, false).unwrap();
+        assert_ne!(dynamic.as_slice(), stamped.as_slice());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Fully-connected layer.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
-use edgenn_tensor::{dot, Shape, Tensor};
+use edgenn_tensor::{
+    dot, dot_i8, min_max, quantize_into, with_scratch_i8, QuantParams, Requant, Shape, Tensor,
+};
 
-use crate::layer::params::LazyParam;
+use crate::layer::params::{LazyParam, QuantizedWeights};
 use crate::layer::{check_arity, validate_range, Layer, LayerClass};
 use crate::{NnError, Result, Workload};
 
@@ -22,6 +25,11 @@ pub struct Dense {
     out_features: usize,
     weight: LazyParam,
     bias: LazyParam,
+    /// Int8 weight codes, derived from `weight` on first int8 use.
+    qweight: OnceLock<QuantizedWeights>,
+    /// Calibrated activation parameters ([`Layer::stamp_activation`]);
+    /// absent means dynamic per-call min/max quantization.
+    act_quant: OnceLock<QuantParams>,
 }
 
 impl Dense {
@@ -45,6 +53,8 @@ impl Dense {
             out_features,
             weight,
             bias,
+            qweight: OnceLock::new(),
+            act_quant: OnceLock::new(),
         }
     }
 
@@ -75,6 +85,7 @@ impl Dense {
         }
         self.weight = LazyParam::from_tensor(weight);
         self.bias = LazyParam::from_tensor(bias);
+        self.qweight = OnceLock::new();
         Ok(self)
     }
 
@@ -105,11 +116,21 @@ impl Layer for Dense {
     }
 
     fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        self.forward_partial_fused(inputs, range, false)
+    }
+
+    fn forward_partial_fused(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
         check_arity(&self.name, 1, inputs)?;
         self.check_input(inputs[0].shape())?;
         validate_range(&self.name, &range, self.out_features)?;
         // Weight rows for an output range are contiguous — dot against
-        // them directly instead of copying a sub-matrix out.
+        // them directly instead of copying a sub-matrix out. The optional
+        // ReLU clamps each neuron as it is produced.
         let w = self.weight.get().as_slice();
         let bias_full = self.bias.get();
         let bias = bias_full.as_slice();
@@ -117,9 +138,75 @@ impl Layer for Dense {
         let k = self.in_features;
         let data: Vec<f32> = range
             .clone()
-            .map(|o| dot(&w[o * k..(o + 1) * k], x) + bias[o])
+            .map(|o| {
+                let v = dot(&w[o * k..(o + 1) * k], x) + bias[o];
+                if relu {
+                    v.max(0.0)
+                } else {
+                    v
+                }
+            })
             .collect();
         Ok(Tensor::from_vec(data, &[range.len()])?)
+    }
+
+    fn int8_ready(&self) -> bool {
+        true
+    }
+
+    fn forward_partial_int8(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0].shape())?;
+        validate_range(&self.name, &range, self.out_features)?;
+        let qw = self
+            .qweight
+            .get_or_init(|| QuantizedWeights::from_weight(self.weight.get()));
+        let act = self.act_quant.get().copied().unwrap_or_else(|| {
+            let (lo, hi) = min_max(inputs[0].as_slice());
+            QuantParams::from_min_max(lo, hi)
+        });
+        let bias_full = self.bias.get();
+        let rq = Requant {
+            w_scales: &qw.scales[range.clone()],
+            act,
+            row_sums: &qw.row_sums[range.clone()],
+            bias: Some(&bias_full.as_slice()[range.clone()]),
+            relu,
+        };
+        let codes = qw.q.as_slice();
+        let k = self.in_features;
+        // Quantize the input vector once; each neuron is then one int8
+        // dot requantized through the shared epilogue math. This is where
+        // int8 pays at the model level: the dominant traffic here is the
+        // weight matrix, read at a quarter of the f32 width.
+        let data: Vec<f32> = with_scratch_i8(k, |qx| {
+            quantize_into(inputs[0].as_slice(), qx, act);
+            range
+                .clone()
+                .map(|o| {
+                    let acc = dot_i8(&codes[o * k..(o + 1) * k], qx);
+                    rq.apply(acc, o - range.start)
+                })
+                .collect()
+        });
+        Ok(Tensor::from_vec(data, &[range.len()])?)
+    }
+
+    fn stamp_activation(&self, p: QuantParams) -> bool {
+        self.act_quant.set(p).is_ok()
+    }
+
+    fn scratch_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        // The f32 mat-vec uses no arena scratch; the int8 path holds one
+        // quantized copy of the input vector.
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        Ok(self.in_features as u64)
     }
 
     fn input_split_supported(&self) -> bool {
@@ -237,6 +324,36 @@ mod tests {
         }
         assert!(dense.input_split_supported());
         assert_eq!(dense.input_channels(&[x.shape()]).unwrap(), 11);
+    }
+
+    #[test]
+    fn int8_partials_merge_bitwise_and_track_f32() {
+        let dense = Dense::new("fc", 64, 10, 3);
+        let x = Tensor::random(&[64], 1.0, 4);
+        let f = dense.forward(&[&x]).unwrap();
+        let full = dense.forward_partial_int8(&[&x], 0..10, false).unwrap();
+        assert!(
+            full.approx_eq(&f, 0.05),
+            "max diff {}",
+            full.max_abs_diff(&f).unwrap()
+        );
+        for cut in [1, 5, 9] {
+            let a = dense.forward_partial_int8(&[&x], 0..cut, false).unwrap();
+            let b = dense.forward_partial_int8(&[&x], cut..10, false).unwrap();
+            let merged = Tensor::concat_axis0(&[&a, &b]).unwrap();
+            assert_eq!(merged.as_slice(), full.as_slice(), "cut {cut}");
+        }
+        assert!(dense.int8_ready());
+    }
+
+    #[test]
+    fn int8_fused_relu_clamps() {
+        let dense = Dense::new("fc", 32, 8, 5);
+        let x = Tensor::random(&[32], 1.0, 6);
+        let q = dense.forward_partial_int8(&[&x], 0..8, true).unwrap();
+        assert!(q.as_slice().iter().all(|&v| v >= 0.0));
+        let f = dense.forward_partial_fused(&[&x], 0..8, true).unwrap();
+        assert!(q.approx_eq(&f, 0.05));
     }
 
     #[test]

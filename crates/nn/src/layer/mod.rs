@@ -17,7 +17,7 @@ mod pool;
 
 use std::ops::Range;
 
-use edgenn_tensor::{Shape, Tensor};
+use edgenn_tensor::{ops, QuantParams, Shape, Tensor};
 
 use crate::{NnError, Result, Workload};
 
@@ -123,6 +123,68 @@ pub trait Layer: Send + Sync {
     /// sub-range is requested from a non-partitionable layer.
     fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor>;
 
+    /// [`Layer::forward_partial`] with an optional ReLU epilogue.
+    ///
+    /// The default runs the partial pass and clamps afterwards; layers
+    /// backed by a GEMM override this to fold bias + ReLU into the
+    /// microkernel's write-back loop ([`edgenn_tensor::Epilogue`]), so a
+    /// [`crate::graph::FusedRelu`] wrapper costs no extra output sweep.
+    ///
+    /// # Errors
+    /// Same contract as [`Layer::forward_partial`].
+    fn forward_partial_fused(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
+        let mut out = self.forward_partial(inputs, range)?;
+        if relu {
+            ops::relu_in_place(out.as_mut_slice());
+        }
+        Ok(out)
+    }
+
+    /// True when the layer has a real int8 kernel behind
+    /// [`Layer::forward_partial_int8`] (conv and dense). Layers without
+    /// one fall back to f32 transparently, so a whole-graph int8 run
+    /// never fails — it just quantizes where it pays.
+    fn int8_ready(&self) -> bool {
+        false
+    }
+
+    /// Int8 forward over output units `range`, with an optional fused
+    /// ReLU.
+    ///
+    /// Activations stay f32 *between* nodes: the kernel quantizes its
+    /// input (with calibrated parameters when stamped, else dynamic
+    /// min/max), runs the int8×int8→i32 GEMM, and requantizes to f32 in
+    /// the write-back. Per-row independence of the requantize epilogue
+    /// makes output-range partials *bitwise* identical to the same rows
+    /// of a full int8 forward, so the merge invariant holds exactly.
+    ///
+    /// The default falls back to the f32 path.
+    ///
+    /// # Errors
+    /// Same contract as [`Layer::forward_partial`].
+    fn forward_partial_int8(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
+        self.forward_partial_fused(inputs, range, relu)
+    }
+
+    /// Stamps calibrated activation quantization parameters onto the
+    /// layer (first stamp wins; later stamps are ignored). Returns true
+    /// when this call stamped. Layers without an int8 kernel ignore the
+    /// stamp and return false.
+    fn stamp_activation(&self, p: QuantParams) -> bool {
+        let _ = p;
+        false
+    }
+
     /// True for a rectified-linear activation — the marker the fusion
     /// pass ([`crate::graph::fuse_relu`]) uses to fold a ReLU into its
     /// producer.
@@ -200,6 +262,18 @@ pub trait Layer: Send + Sync {
     fn scratch_elems(&self, inputs: &[&Shape]) -> Result<u64> {
         let _ = inputs;
         Ok(0)
+    }
+
+    /// Byte-accurate upper bound on scratch-arena growth across every
+    /// execution path *and precision*. The default converts
+    /// [`Layer::scratch_elems`] at f32 width; layers with an int8 path
+    /// override to also cover its i8/i16 acquisitions (which may exceed
+    /// the f32 bound — the quantized GEMM widens both operands to i16).
+    ///
+    /// # Errors
+    /// Fails when the input shapes are invalid for the layer.
+    fn scratch_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
+        Ok(self.scratch_elems(inputs)? * 4)
     }
 
     /// Analytic cost of computing only `range` of the partition units.

@@ -8,7 +8,7 @@
 
 use std::sync::OnceLock;
 
-use edgenn_tensor::Tensor;
+use edgenn_tensor::{qgemm_pack_a, row_sums, QTensor, Quantization, Tensor};
 
 /// A deterministic pseudo-random parameter tensor, materialized on first
 /// access.
@@ -72,6 +72,44 @@ impl LazyParam {
     #[cfg(test)]
     pub(crate) fn is_materialized(&self) -> bool {
         self.cell.get().is_some()
+    }
+}
+
+/// Int8 weight codes plus everything the requantize epilogue needs,
+/// derived once per layer from the f32 weights (symmetric per-channel,
+/// axis 0 = output channel / dense unit) and cached beside them.
+#[derive(Debug, Clone)]
+pub(crate) struct QuantizedWeights {
+    /// Per-channel symmetric int8 codes, same layout as the f32 matrix.
+    pub(crate) q: QTensor,
+    /// Per-row scales (`zero_point` is 0 by construction).
+    pub(crate) scales: Vec<f32>,
+    /// Per-row code sums for the activation zero-point correction.
+    pub(crate) row_sums: Vec<i32>,
+    /// The codes pre-widened into the packed GEMM's A layout
+    /// ([`qgemm_pack_a`]): weights never change, so conv layers slice a
+    /// row range out of this instead of re-packing A on every call.
+    pub(crate) awide: Vec<i16>,
+}
+
+impl QuantizedWeights {
+    /// Quantizes a `(rows, k)` weight matrix.
+    pub(crate) fn from_weight(w: &Tensor) -> Self {
+        let rows = w.dims()[0];
+        let k = w.len() / rows.max(1);
+        let q = QTensor::quantize_per_channel(w).expect("weight matrices are rank 2");
+        let Quantization::PerChannel(params) = q.quant() else {
+            unreachable!("quantize_per_channel returns per-channel params")
+        };
+        let scales = params.iter().map(|p| p.scale).collect();
+        let row_sums = row_sums(q.as_slice(), rows, k);
+        let awide = qgemm_pack_a(q.as_slice(), rows, k);
+        Self {
+            q,
+            scales,
+            row_sums,
+            awide,
+        }
     }
 }
 

@@ -12,12 +12,14 @@
 //!   word, start/end monotonic nanoseconds, span id, causal parent id,
 //!   packed kind/worker/node, and a free argument (byte count, attempt
 //!   number). No allocation ever happens on the record path.
-//! * **Per-worker rings.** Records land in one of a fixed set of ring
+//! * **Per-worker rings.** Records land in one of a set of ring
 //!   buffers, selected by a thread-local ordinal. Slots are claimed with
 //!   a single `fetch_add`; wrap-around silently overwrites the oldest
 //!   record and counts it as dropped — flight-recorder semantics: the
 //!   last *N* records always survive, and loss is observable, never
-//!   silent.
+//!   silent. Ring capacity is sized from the workload via [`reserve`]
+//!   (the engine passes a node-count-derived estimate at executor
+//!   construction), so one request's window fits even on deep models.
 //! * **Seqlock slots.** Every slot carries a sequence word so the
 //!   drain-side reader can detect a record that was overwritten while
 //!   being read and skip it instead of reporting a torn span. All slot
@@ -50,10 +52,21 @@ use serde_json::{Map, Value};
 /// slot claims are atomic — just occasionally contended).
 const RINGS: usize = 8;
 
-/// Records retained per ring. With [`RINGS`] rings the recorder holds
-/// the last 32 Ki records (~2 MiB), comfortably more than one request
-/// on the deepest model while staying cache-friendly to drain.
-const RING_RECORDS: usize = 4096;
+/// Base records retained per ring (generation 0). Each ring generation
+/// doubles this, so capacity adapts to the graph being profiled (see
+/// [`reserve`]) instead of silently dropping most of a deep model's
+/// request window.
+const BASE_RING_RECORDS: usize = 4096;
+
+/// Maximum number of ring generations. Capacity doubles per generation,
+/// so the deepest configuration retains `4096 << 7` = 512 Ki records
+/// per ring — far beyond any single request.
+const GENERATIONS: usize = 8;
+
+/// Records retained per ring in generation `gen`.
+fn ring_capacity(gen: usize) -> usize {
+    BASE_RING_RECORDS << gen
+}
 
 /// `u64` words per slot: seq + start + end + id + parent + meta + arg.
 const WORDS: usize = 7;
@@ -210,16 +223,19 @@ impl SpanRecord {
 struct Ring {
     /// Claim cursor: total records ever claimed in this ring.
     cursor: AtomicU64,
-    /// `RING_RECORDS * WORDS` atomic words.
+    /// Records this ring retains (fixed for the ring's lifetime).
+    records: usize,
+    /// `records * WORDS` atomic words.
     slots: Vec<AtomicU64>,
 }
 
 impl Ring {
-    fn new() -> Ring {
-        let mut slots = Vec::with_capacity(RING_RECORDS * WORDS);
-        slots.resize_with(RING_RECORDS * WORDS, || AtomicU64::new(0));
+    fn new(records: usize) -> Ring {
+        let mut slots = Vec::with_capacity(records * WORDS);
+        slots.resize_with(records * WORDS, || AtomicU64::new(0));
         Ring {
             cursor: AtomicU64::new(0),
+            records,
             slots,
         }
     }
@@ -228,7 +244,7 @@ impl Ring {
     /// then plain atomic stores guarded by the slot's sequence word.
     fn write(&self, rec: &SpanRecord) {
         let claim = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let base = (claim as usize % RING_RECORDS) * WORDS;
+        let base = (claim as usize % self.records) * WORDS;
         let seq = &self.slots[base];
         // Mark the slot as in-flight so a concurrent drain skips it.
         seq.store(0, Ordering::Release);
@@ -247,7 +263,7 @@ impl Ring {
     /// Reads the record at `claim` if it is still intact (not overwritten
     /// or mid-write). Seqlock read: sequence must match before and after.
     fn read(&self, claim: u64) -> Option<SpanRecord> {
-        let base = (claim as usize % RING_RECORDS) * WORDS;
+        let base = (claim as usize % self.records) * WORDS;
         let seq = &self.slots[base];
         if seq.load(Ordering::Acquire) != claim + 1 {
             return None;
@@ -305,8 +321,19 @@ impl BlackBox {
 }
 
 /// The process-global recorder state.
+///
+/// Rings live in **generations**: fixed-size ring sets whose capacity
+/// doubles per generation. [`reserve`] publishes a larger generation
+/// when a caller (the execution engine, sized from its graph) needs a
+/// bigger retained window; writers pick up the current generation with
+/// one extra atomic load, so the record path stays lock-free. Old
+/// generations stop receiving writes but stay drainable, so markers
+/// taken before a growth still resolve.
 struct Flight {
-    rings: Vec<Ring>,
+    generations: [OnceLock<Vec<Ring>>; GENERATIONS],
+    current_gen: AtomicUsize,
+    /// Serializes [`reserve`] growth decisions (not the record path).
+    grow: Mutex<()>,
     next_id: AtomicU64,
     epoch: Instant,
     blackbox: Mutex<Option<BlackBox>>,
@@ -354,11 +381,66 @@ fn next_span_id() -> u64 {
 
 fn flight() -> &'static Flight {
     FLIGHT.get_or_init(|| Flight {
-        rings: (0..RINGS).map(|_| Ring::new()).collect(),
+        generations: std::array::from_fn(|_| OnceLock::new()),
+        current_gen: AtomicUsize::new(0),
+        grow: Mutex::new(()),
         next_id: AtomicU64::new(1),
         epoch: Instant::now(),
         blackbox: Mutex::new(None),
     })
+}
+
+/// Builds the ring set of one generation.
+fn make_rings(gen: usize) -> Vec<Ring> {
+    (0..RINGS).map(|_| Ring::new(ring_capacity(gen))).collect()
+}
+
+/// The currently published generation and its rings.
+fn current_rings(f: &'static Flight) -> (usize, &'static [Ring]) {
+    let gen = f.current_gen.load(Ordering::Acquire);
+    (gen, f.generations[gen].get_or_init(|| make_rings(gen)))
+}
+
+/// Rings of generation `gen`, if that generation was ever allocated.
+fn gen_rings(f: &'static Flight, gen: usize) -> Option<&'static [Ring]> {
+    f.generations.get(gen)?.get().map(Vec::as_slice)
+}
+
+/// Records retained per ring in the currently published generation.
+/// Each thread's records land in one ring, so this is also the longest
+/// single-threaded record window guaranteed to survive a drain.
+pub fn retained_records_per_ring() -> usize {
+    ring_capacity(flight().current_gen.load(Ordering::Acquire))
+}
+
+/// Ensures every ring retains at least `min_records` records, growing
+/// to a larger ring generation when needed. The engine calls this once
+/// per executor with an estimate derived from its graph's node count,
+/// so a deep model's per-request profile window survives intact
+/// instead of losing its oldest spans to wrap-around.
+///
+/// Growth publishes a fresh (empty) ring set: records already written
+/// stay drainable through markers taken before the growth, but a
+/// marker taken afterwards only sees post-growth records. Callers
+/// should therefore reserve *before* the window they care about —
+/// which is exactly what sizing at executor construction does.
+pub fn reserve(min_records: usize) {
+    let f = flight();
+    let _guard = f
+        .grow
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let current = f.current_gen.load(Ordering::Acquire);
+    if ring_capacity(current) >= min_records {
+        return;
+    }
+    let mut target = current;
+    while target + 1 < GENERATIONS && ring_capacity(target) < min_records {
+        target += 1;
+    }
+    // Allocate before publishing so writers never observe an empty slot.
+    f.generations[target].get_or_init(|| make_rings(target));
+    f.current_gen.store(target, Ordering::Release);
 }
 
 fn ordinal() -> usize {
@@ -534,8 +616,8 @@ pub fn record_manual(
 /// Routes by `rec.worker` (already the thread's ordinal, resolved once
 /// by the caller) instead of re-reading the thread-local.
 fn write_record(rec: &SpanRecord) {
-    let f = flight();
-    f.rings[usize::from(rec.worker) % RINGS].write(rec);
+    let (_, rings) = current_rings(flight());
+    rings[usize::from(rec.worker) % RINGS].write(rec);
 }
 
 /// The calling thread's worker ordinal (assigned on first record).
@@ -543,9 +625,13 @@ pub fn worker_ordinal() -> u16 {
     (ordinal() % usize::from(u16::MAX)) as u16
 }
 
-/// A drain position: per-ring cursors at the time of [`mark`].
+/// A drain position: the ring generation and its per-ring cursors at
+/// the time of [`mark`]. A marker taken before a [`reserve`] growth
+/// still drains correctly — the drain walks every generation from the
+/// marker's up to the current one.
 #[derive(Debug, Clone, Copy)]
 pub struct Marker {
+    gen: usize,
     cursors: [u64; RINGS],
 }
 
@@ -553,12 +639,12 @@ pub struct Marker {
 /// only records written after this point. Allocation-free: the engine
 /// calls this once per request.
 pub fn mark() -> Marker {
-    let f = flight();
+    let (gen, rings) = current_rings(flight());
     let mut cursors = [0u64; RINGS];
-    for (slot, ring) in cursors.iter_mut().zip(f.rings.iter()) {
+    for (slot, ring) in cursors.iter_mut().zip(rings.iter()) {
         *slot = ring.cursor.load(Ordering::Acquire);
     }
-    Marker { cursors }
+    Marker { gen, cursors }
 }
 
 /// Drains every intact record written since `marker`, across all rings,
@@ -581,15 +667,28 @@ fn drain_since_unsorted(marker: &Marker) -> Vec<SpanRecord> {
 }
 
 /// Appends every intact record written since `marker` to `out`, in
-/// ring order.
+/// ring order, walking every generation from the marker's to the
+/// current one (the marker's cursors gate only its own generation;
+/// later generations start empty, so they drain from zero).
 fn drain_since_into(marker: &Marker, out: &mut Vec<SpanRecord>) {
     let f = flight();
-    for (ring, &since) in f.rings.iter().zip(marker.cursors.iter()) {
-        let hi = ring.cursor.load(Ordering::Acquire);
-        let lo = since.max(hi.saturating_sub(RING_RECORDS as u64));
-        for claim in lo..hi {
-            if let Some(rec) = ring.read(claim) {
-                out.push(rec);
+    let current = f.current_gen.load(Ordering::Acquire);
+    for gen in marker.gen..=current {
+        let Some(rings) = gen_rings(f, gen) else {
+            continue;
+        };
+        for (idx, ring) in rings.iter().enumerate() {
+            let since = if gen == marker.gen {
+                marker.cursors[idx]
+            } else {
+                0
+            };
+            let hi = ring.cursor.load(Ordering::Acquire);
+            let lo = since.max(hi.saturating_sub(ring.records as u64));
+            for claim in lo..hi {
+                if let Some(rec) = ring.read(claim) {
+                    out.push(rec);
+                }
             }
         }
     }
@@ -622,33 +721,35 @@ pub fn profile_since(marker: &Marker, root: u64, dropped: u64) -> ProfileSummary
 }
 
 /// Drains the most recent surviving records from every ring (the "last
-/// N" view the black box snapshots).
+/// N" view the black box snapshots), across all generations.
 pub fn drain_all() -> Vec<SpanRecord> {
     drain_since(&Marker {
+        gen: 0,
         cursors: [0; RINGS],
     })
 }
 
+/// Folds `f` over every ring of every allocated generation.
+fn fold_rings(f: impl Fn(&Ring) -> u64) -> u64 {
+    let flight = flight();
+    (0..GENERATIONS)
+        .filter_map(|gen| gen_rings(flight, gen))
+        .flat_map(|rings| rings.iter().map(&f))
+        .sum()
+}
+
 /// Total records overwritten by ring wrap-around since process start.
 pub fn dropped_records() -> u64 {
-    let f = flight();
-    f.rings
-        .iter()
-        .map(|r| {
-            r.cursor
-                .load(Ordering::Relaxed)
-                .saturating_sub(RING_RECORDS as u64)
-        })
-        .sum()
+    fold_rings(|r| {
+        r.cursor
+            .load(Ordering::Relaxed)
+            .saturating_sub(r.records as u64)
+    })
 }
 
 /// Total records ever written since process start.
 pub fn total_records() -> u64 {
-    let f = flight();
-    f.rings
-        .iter()
-        .map(|r| r.cursor.load(Ordering::Relaxed))
-        .sum()
+    fold_rings(|r| r.cursor.load(Ordering::Relaxed))
 }
 
 /// Restricts `records` to the causal tree rooted at span `root`: the
@@ -1104,13 +1205,20 @@ mod tests {
         });
     }
 
+    /// Capacity target shared by the tests that exercise wrap and
+    /// growth: reserving first pins the generation, so the two tests
+    /// cannot race each other's capacity observations.
+    const TEST_RING_RECORDS: usize = 2 * BASE_RING_RECORDS;
+
     #[test]
     fn ring_wrap_counts_drops_instead_of_failing() {
         recording(|| {
+            reserve(TEST_RING_RECORDS);
+            let capacity = retained_records_per_ring() as u64;
             let dropped_before = dropped_records();
             let total_before = total_records();
             // One thread writes to one ring; exceed its capacity.
-            let writes = RING_RECORDS as u64 + 500;
+            let writes = capacity + 500;
             for i in 0..writes {
                 instant(SpanKind::Retry, 1, i);
             }
@@ -1118,6 +1226,42 @@ mod tests {
             assert!(
                 dropped_records() - dropped_before >= 500,
                 "wrap must surface as dropped records"
+            );
+        });
+    }
+
+    #[test]
+    fn reserve_grows_rings_and_keeps_marker_windows_intact() {
+        recording(|| {
+            reserve(TEST_RING_RECORDS);
+            assert!(retained_records_per_ring() >= TEST_RING_RECORDS);
+            // Growth is monotone: asking for less never shrinks.
+            let before = retained_records_per_ring();
+            reserve(1);
+            assert_eq!(retained_records_per_ring(), before);
+            // A window larger than the base capacity survives a drain
+            // whole: the VGG regression this sizing fixes showed up as
+            // thousands of dropped records per request.
+            let marker = mark();
+            let dropped_before = dropped_records();
+            let writes = (BASE_RING_RECORDS + 512) as u64;
+            let first = instant(SpanKind::Retry, 42, 0);
+            for i in 1..writes {
+                instant(SpanKind::Retry, 42, i);
+            }
+            assert_eq!(
+                dropped_records() - dropped_before,
+                0,
+                "reserved rings must hold the whole window"
+            );
+            let drained = drain_since(&marker);
+            assert!(
+                drained.iter().any(|r| r.id == first),
+                "oldest record of the window survives"
+            );
+            assert!(
+                drained.iter().filter(|r| r.node == 42).count() as u64 >= writes,
+                "every record of the window survives"
             );
         });
     }

@@ -7,7 +7,14 @@
 //! the reduction dimension, and an `MR x NR` register-tiled microkernel
 //! accumulates into local arrays that LLVM keeps in vector registers.
 //! Every loop is over fixed-size safe slices, so the whole kernel
-//! auto-vectorizes without `unsafe`.
+//! auto-vectorizes without `unsafe` — and the same safe body is
+//! re-instantiated under `#[target_feature]` by [`crate::simd`], which
+//! picks the widest variant (AVX2+FMA, AVX-512) the CPU supports once
+//! per process.
+//!
+//! Epilogues (bias add, bias+ReLU, elementwise add) run *inside* the
+//! microkernel's write-back loop via [`Epilogue`], while the output tile
+//! is still in registers, instead of as separate passes over the output.
 //!
 //! [`naive_gemm`] keeps the original textbook triple loop as the
 //! differential-test oracle: every optimized path must match it within
@@ -26,6 +33,71 @@ const NR: usize = 16;
 const KC: usize = 256;
 /// Output-row block: an `MC x KC` slab of A stays resident in L2.
 const MC: usize = 64;
+
+/// Operation fused into the GEMM write-back loop.
+///
+/// Let `t = out[i][j] + acc[i][j]` be the fully accumulated product for
+/// one output element (`out` may carry partial sums from a previous
+/// accumulation, exactly as in plain [`gemm_into`]). The epilogue maps
+/// `t` to the stored value while the tile is still in registers:
+///
+/// | variant    | stored value                  |
+/// |------------|-------------------------------|
+/// | `None`     | `t`                           |
+/// | `Bias`     | `t + bias[i]`                 |
+/// | `BiasRelu` | `max(t + bias[i], 0)`         |
+/// | `Add`      | `t + addend[i * n + j]`       |
+///
+/// `bias` is indexed by output *row* (the conv output channel / dense
+/// unit), `addend` is a full `m x n` matrix (residual input or partial
+/// sum from the co-running processor).
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Plain accumulate: the historical [`gemm_into`] behaviour.
+    None,
+    /// Per-row bias add fused into the write-back.
+    Bias {
+        /// One bias value per output row (`len == m`).
+        bias: &'a [f32],
+    },
+    /// Per-row bias add plus ReLU clamp fused into the write-back.
+    BiasRelu {
+        /// One bias value per output row (`len == m`).
+        bias: &'a [f32],
+    },
+    /// Elementwise add of a second `m x n` matrix fused in.
+    Add {
+        /// Row-major addend with the same shape as the output.
+        addend: &'a [f32],
+    },
+}
+
+impl Epilogue<'_> {
+    /// Applies the epilogue to one accumulated element of output row `i`,
+    /// column `j` (absolute coordinates in the `m x n` output).
+    #[inline(always)]
+    fn apply(&self, t: f32, i: usize, j: usize, n: usize) -> f32 {
+        match *self {
+            Epilogue::None => t,
+            Epilogue::Bias { bias } => t + bias[i],
+            Epilogue::BiasRelu { bias } => (t + bias[i]).max(0.0),
+            Epilogue::Add { addend } => t + addend[i * n + j],
+        }
+    }
+
+    /// Asserts the operand lengths promised by the variant docs.
+    fn debug_check(&self, m: usize, n: usize) {
+        match *self {
+            Epilogue::None => {}
+            Epilogue::Bias { bias } | Epilogue::BiasRelu { bias } => {
+                debug_assert_eq!(bias.len(), m, "bias must have one entry per output row");
+            }
+            Epilogue::Add { addend } => {
+                debug_assert_eq!(addend.len(), m * n, "addend must match the output shape");
+            }
+        }
+    }
+}
 
 /// Multiplies two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
 ///
@@ -116,10 +188,37 @@ pub fn gemm_pack_elems(m: usize, k: usize, n: usize) -> usize {
 /// Exposed so that layer kernels can run the hot loop directly on weight
 /// sub-slices and scratch-arena buffers without re-wrapping tensors.
 pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_into_fused(a, b, out, m, k, n, Epilogue::None);
+}
+
+/// [`gemm_into`] with an [`Epilogue`] fused into the write-back loop.
+///
+/// `out` still accumulates (`t = out + a*b` feeds the epilogue), so a
+/// zero-initialized `out` with `Epilogue::Bias` computes `a*b + bias` in
+/// one pass with no separate bias sweep over the output.
+pub fn gemm_into_fused(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
+    ep.debug_check(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Nothing to accumulate: the epilogue alone maps the output.
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = ep.apply(out[i * n + j], i, j, n);
+            }
+        }
         return;
     }
     // Tiny problems (mat-vec-ish shapes, unit tests) are faster without
@@ -127,7 +226,7 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     // useful resolution (sub-microsecond), so no compute span: the time
     // still lands in the enclosing node span.
     if m * n * k < 8 * 1024 {
-        gemm_small(a, b, out, m, k, n);
+        crate::simd::gemm_small_dispatch(a, b, out, m, k, n, ep);
         return;
     }
     // Flight-recorder phase attribution: packing is interleaved with the
@@ -135,36 +234,17 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     // the call is recorded as one synthetic pack span followed by one
     // compute span (timing costs two clock reads per slab, only while
     // the recorder is on).
+    //
+    // The scratch acquisition happens *here*, outside the dispatched
+    // body: the body must be a closure-free straight line so it inlines
+    // whole into the `#[target_feature]` wrappers and re-vectorizes (a
+    // closure would monomorphize once, at baseline width, and the hot
+    // loops with it).
     let profiled = flight::enabled();
     let t_begin = if profiled { flight::now_ns() } else { 0 };
-    let mut pack_ns = 0u64;
     let panels = n.div_ceil(NR);
-    with_scratch(panels * NR * KC.min(k), |packed| {
-        for kb in (0..k).step_by(KC) {
-            let kc = KC.min(k - kb);
-            if profiled {
-                let t0 = flight::now_ns();
-                pack_b_panels(b, packed, kb, kc, n);
-                pack_ns += flight::now_ns().saturating_sub(t0);
-            } else {
-                pack_b_panels(b, packed, kb, kc, n);
-            }
-            for mb in (0..m).step_by(MC) {
-                let mc = MC.min(m - mb);
-                for (panel, chunk) in packed.chunks(NR * kc).enumerate().take(panels) {
-                    let j0 = panel * NR;
-                    let nr = NR.min(n - j0);
-                    let mut i0 = 0;
-                    while i0 + MR <= mc {
-                        microkernel_full(a, chunk, out, mb + i0, kb, kc, k, n, j0, nr);
-                        i0 += MR;
-                    }
-                    for i in i0..mc {
-                        microkernel_row(a, chunk, out, mb + i, kb, kc, k, n, j0, nr);
-                    }
-                }
-            }
-        }
+    let pack_ns = with_scratch(panels * NR * KC.min(k), |packed| {
+        crate::simd::gemm_body_dispatch(a, b, packed, out, m, k, n, ep, profiled)
     });
     if profiled {
         let t_end = flight::now_ns();
@@ -189,9 +269,72 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     }
 }
 
+/// The blocked GEMM body behind [`gemm_into_fused`], after argument
+/// checks, small-problem cutoff, and scratch acquisition. Returns the
+/// nanoseconds spent packing (0 unless `profiled`).
+///
+/// `pub(crate)` + `#[inline(always)]` so [`crate::simd`] can re-compile
+/// the identical safe source under wider `#[target_feature]` sets.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn gemm_body(
+    a: &[f32],
+    b: &[f32],
+    packed: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+    profiled: bool,
+) -> u64 {
+    let mut pack_ns = 0u64;
+    let panels = n.div_ceil(NR);
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        // The epilogue must fire exactly once per element, after the
+        // last KC slab has been accumulated.
+        let slab_ep = if kb + kc == k { ep } else { Epilogue::None };
+        if profiled {
+            let t0 = flight::now_ns();
+            pack_b_panels(b, packed, kb, kc, n);
+            pack_ns += flight::now_ns().saturating_sub(t0);
+        } else {
+            pack_b_panels(b, packed, kb, kc, n);
+        }
+        for mb in (0..m).step_by(MC) {
+            let mc = MC.min(m - mb);
+            for (panel, chunk) in packed.chunks(NR * kc).enumerate().take(panels) {
+                let j0 = panel * NR;
+                let nr = NR.min(n - j0);
+                let mut i0 = 0;
+                while i0 + MR <= mc {
+                    microkernel_full(a, chunk, out, mb + i0, kb, kc, k, n, j0, nr, slab_ep);
+                    i0 += MR;
+                }
+                for i in i0..mc {
+                    microkernel_row(a, chunk, out, mb + i, kb, kc, k, n, j0, nr, slab_ep);
+                }
+            }
+        }
+    }
+    pack_ns
+}
+
 /// The pre-blocking `i-k-j` kernel, still used for small problems: the
-/// innermost loop walks the output row and the B row contiguously.
-fn gemm_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// innermost loop walks the output row and the B row contiguously. The
+/// epilogue is applied per output row immediately after its reduction,
+/// while the row is still cache-hot.
+#[inline(always)]
+pub(crate) fn gemm_small(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -199,6 +342,11 @@ fn gemm_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usiz
             let b_row = &b[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ip * b_pj;
+            }
+        }
+        if !matches!(ep, Epilogue::None) {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = ep.apply(*o, i, j, n);
             }
         }
     }
@@ -209,6 +357,7 @@ fn gemm_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usiz
 /// zero-padded when `n` is not a multiple of `NR`. The scratch buffer is
 /// pre-zeroed by the arena, but it is reused across `kb` slabs within one
 /// call, so the padding lanes are re-zeroed explicitly.
+#[inline(always)]
 fn pack_b_panels(b: &[f32], packed: &mut [f32], kb: usize, kc: usize, n: usize) {
     let panels = n.div_ceil(NR);
     for panel in 0..panels {
@@ -225,10 +374,12 @@ fn pack_b_panels(b: &[f32], packed: &mut [f32], kb: usize, kc: usize, n: usize) 
 }
 
 /// `MR x NR` register-tiled update: `out[i0..i0+MR, j0..j0+nr] +=`
-/// `a[i0..i0+MR, kb..kb+kc] * panel`. The accumulator lives in fixed-size
-/// local arrays, which LLVM promotes to vector registers; each loaded B
-/// row is reused `MR` times and each A element `NR` times.
+/// `a[i0..i0+MR, kb..kb+kc] * panel`, with the epilogue applied during
+/// write-back. The accumulator lives in fixed-size local arrays, which
+/// LLVM promotes to vector registers; each loaded B row is reused `MR`
+/// times and each A element `NR` times.
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn microkernel_full(
     a: &[f32],
     panel: &[f32],
@@ -240,6 +391,7 @@ fn microkernel_full(
     n: usize,
     j0: usize,
     nr: usize,
+    ep: Epilogue<'_>,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     let a0 = &a[i0 * k + kb..i0 * k + kb + kc];
@@ -256,14 +408,15 @@ fn microkernel_full(
     }
     for (r, accr) in acc.iter().enumerate() {
         let row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
-        for (o, &v) in row.iter_mut().zip(accr.iter()) {
-            *o += v;
+        for (j, (o, &v)) in row.iter_mut().zip(accr.iter()).enumerate() {
+            *o = ep.apply(*o + v, i0 + r, j0 + j, n);
         }
     }
 }
 
 /// Single-row edge of the microtile (m remainder rows).
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn microkernel_row(
     a: &[f32],
     panel: &[f32],
@@ -275,6 +428,7 @@ fn microkernel_row(
     n: usize,
     j0: usize,
     nr: usize,
+    ep: Epilogue<'_>,
 ) {
     let mut acc = [0.0f32; NR];
     let arow = &a[i * k + kb..i * k + kb + kc];
@@ -285,8 +439,8 @@ fn microkernel_row(
         }
     }
     let row = &mut out[i * n + j0..i * n + j0 + nr];
-    for (o, &v) in row.iter_mut().zip(acc.iter()) {
-        *o += v;
+    for (j, (o, &v)) in row.iter_mut().zip(acc.iter()).enumerate() {
+        *o = ep.apply(*o + v, i, j0 + j, n);
     }
 }
 
@@ -330,9 +484,16 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 }
 
 /// Vectorizable dot product: eight parallel partial sums plus a scalar
-/// tail. Also used by the dense layer's partial-input path.
+/// tail. Also used by the dense layer's partial-input path. Dispatches
+/// to the widest microkernel variant like [`gemm_into`].
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
+    crate::simd::dot_dispatch(a, b)
+}
+
+/// Portable body behind [`dot`]; re-instantiated by [`crate::simd`].
+#[inline(always)]
+pub(crate) fn dot_body(a: &[f32], b: &[f32]) -> f32 {
     const LANES: usize = 8;
     let mut acc = [0.0f32; LANES];
     let chunks = a.len() / LANES;
@@ -477,5 +638,90 @@ mod tests {
         let b: Vec<f32> = (0..19).map(|i| (i * 2) as f32).collect();
         let expected: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - expected).abs() < 1e-3);
+    }
+
+    /// Reference for the fused paths: plain product + separate epilogue.
+    fn unfused(a: &Tensor, b: &Tensor, ep: Epilogue<'_>) -> Tensor {
+        let mut c = naive_gemm(a, b).unwrap();
+        let (m, n) = (c.dims()[0], c.dims()[1]);
+        let data = c.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                data[i * n + j] = ep.apply(data[i * n + j], i, j, n);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn fused_epilogues_match_separate_passes() {
+        // Cover both the small kernel and the blocked kernel (the second
+        // shape is past the 8k cutoff and off-tile in every dimension).
+        for (m, k, n) in [(3, 5, 7), (37, 301, 29)] {
+            let a = Tensor::random(&[m, k], 1.0, 21);
+            let b = Tensor::random(&[k, n], 1.0, 22);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.25 - 1.0).collect();
+            let addend = Tensor::random(&[m, n], 1.0, 23);
+            let cases: [Epilogue<'_>; 3] = [
+                Epilogue::Bias { bias: &bias },
+                Epilogue::BiasRelu { bias: &bias },
+                Epilogue::Add {
+                    addend: addend.as_slice(),
+                },
+            ];
+            for ep in cases {
+                let mut out = vec![0.0f32; m * n];
+                gemm_into_fused(a.as_slice(), b.as_slice(), &mut out, m, k, n, ep);
+                let want = unfused(&a, &b, ep);
+                let got = Tensor::from_vec(out, &[m, n]).unwrap();
+                assert!(
+                    got.approx_eq(&want, 1e-3),
+                    "({m},{k},{n}) {ep:?}: max diff {}",
+                    got.max_abs_diff(&want).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_clamps_negatives_once() {
+        // k = 0 exercises the epilogue-only path: out = relu(out + bias).
+        let mut out = vec![-2.0f32, 3.0];
+        let bias = [1.0f32, -5.0];
+        gemm_into_fused(
+            &[],
+            &[],
+            &mut out,
+            2,
+            0,
+            1,
+            Epilogue::BiasRelu { bias: &bias },
+        );
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_add_accumulates_on_top_of_existing_output() {
+        // `out` carries prior partial sums; Add must see them in `t`.
+        let a = Tensor::random(&[4, 6], 1.0, 31);
+        let b = Tensor::random(&[6, 5], 1.0, 32);
+        let addend = Tensor::random(&[4, 5], 1.0, 33);
+        let mut fused = vec![1.0f32; 20];
+        gemm_into_fused(
+            a.as_slice(),
+            b.as_slice(),
+            &mut fused,
+            4,
+            6,
+            5,
+            Epilogue::Add {
+                addend: addend.as_slice(),
+            },
+        );
+        let mut plain = vec![1.0f32; 20];
+        gemm_into(a.as_slice(), b.as_slice(), &mut plain, 4, 6, 5);
+        for (f, (p, &ad)) in fused.iter().zip(plain.iter().zip(addend.as_slice())) {
+            assert!((f - (p + ad)).abs() < 1e-4);
+        }
     }
 }

@@ -160,6 +160,199 @@ pub fn im2col_into(input: &Tensor, geometry: &Conv2dGeometry, out: &mut [f32]) -
     Ok(())
 }
 
+/// [`im2col_into`] over an already-quantized int8 feature map.
+///
+/// Padding taps must dequantize to `0.0`, so they are written as `zero`
+/// — the activation zero-point — rather than literal `0`. Unlike the
+/// f32 variant, the output buffer needs no pre-fill: every element is
+/// written, padding included.
+///
+/// # Errors
+/// Returns geometry validation errors and [`TensorError::ShapeMismatch`]
+/// when `input` or `out` have the wrong length for the geometry.
+pub fn im2col_into_i8(
+    input: &[i8],
+    geometry: &Conv2dGeometry,
+    zero: i8,
+    out: &mut [i8],
+) -> Result<()> {
+    geometry.validate()?;
+    let plane = geometry.in_h * geometry.in_w;
+    if input.len() != geometry.in_channels * plane {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![geometry.in_channels, geometry.in_h, geometry.in_w],
+            right: vec![input.len()],
+        });
+    }
+    let (out_h, out_w) = (geometry.out_h(), geometry.out_w());
+    let patch = geometry.in_channels * geometry.kernel_h * geometry.kernel_w;
+    let cols = out_h * out_w;
+    if out.len() != patch * cols {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![patch, cols],
+            right: vec![out.len()],
+        });
+    }
+    let span = flight::begin(flight::SpanKind::Pack, flight::NO_NODE);
+    let mut row = 0usize;
+    for c in 0..geometry.in_channels {
+        for kh in 0..geometry.kernel_h {
+            for kw in 0..geometry.kernel_w {
+                let dst_row = &mut out[row * cols..(row + 1) * cols];
+                let mut col = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * geometry.stride_h + kh) as isize - geometry.pad_h as isize;
+                    if iy < 0 || iy >= geometry.in_h as isize {
+                        dst_row[col..col + out_w].fill(zero);
+                        col += out_w;
+                        continue;
+                    }
+                    let base = c * plane + iy as usize * geometry.in_w;
+                    for ox in 0..out_w {
+                        let ix = (ox * geometry.stride_w + kw) as isize - geometry.pad_w as isize;
+                        dst_row[col] = if ix >= 0 && ix < geometry.in_w as isize {
+                            input[base + ix as usize]
+                        } else {
+                            zero
+                        };
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    flight::end_with(span, (patch * cols) as u64);
+    Ok(())
+}
+
+/// [`im2col_into_i8`] fused with the int8 GEMM's B-panel pack: the
+/// patch matrix is gathered *directly* into the pair-interleaved i16
+/// panel layout [`crate::qgemm_requant_prepacked_into`] consumes, so
+/// the quantized conv path never materializes the intermediate
+/// `(patch, cols)` i8 matrix or runs a separate packing pass over it.
+///
+/// `out` must hold exactly [`crate::qgemm_panel_elems`]`(patch, cols)`
+/// i16 elements but needs no pre-fill: every data slot is written
+/// (padding taps as `zero`, the activation zero-point), and the layout's
+/// own padding — the odd-depth tail pair slots and the last panel's
+/// ragged lanes — is zeroed here explicitly.
+///
+/// # Errors
+/// Returns geometry validation errors and [`TensorError::ShapeMismatch`]
+/// when `input` or `out` have the wrong length for the geometry.
+pub fn im2col_into_panels_i16(
+    input: &[i8],
+    geometry: &Conv2dGeometry,
+    zero: i8,
+    out: &mut [i16],
+) -> Result<()> {
+    use crate::quant::{pair_depth, NR};
+
+    geometry.validate()?;
+    let plane = geometry.in_h * geometry.in_w;
+    if input.len() != geometry.in_channels * plane {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![geometry.in_channels, geometry.in_h, geometry.in_w],
+            right: vec![input.len()],
+        });
+    }
+    let (out_h, out_w) = (geometry.out_h(), geometry.out_w());
+    let patch = geometry.in_channels * geometry.kernel_h * geometry.kernel_w;
+    let cols = out_h * out_w;
+    let kp = pair_depth(patch);
+    let panels = cols.div_ceil(NR);
+    if out.len() != panels * NR * kp {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![panels * NR * kp],
+            right: vec![out.len()],
+        });
+    }
+    let span = flight::begin(flight::SpanKind::Pack, flight::NO_NODE);
+    crate::quant::zero_panel_pads(out, patch, cols);
+    let z = i16::from(zero);
+    let (sw, pw) = (geometry.stride_w, geometry.pad_w);
+    let mut row = 0usize;
+    for c in 0..geometry.in_channels {
+        for kh in 0..geometry.kernel_h {
+            for kw in 0..geometry.kernel_w {
+                // Reduction row `row`, column `col` lands at
+                // `panel(col/NR)[(row/2)*2*NR + 2*(col%NR) + (row&1)]`;
+                // the cursor walks that address incrementally (one
+                // predictable wrap branch per NR columns instead of a
+                // div + mul per element).
+                let mut cur = PanelCursor::at_row(row, kp);
+                // The in-range span of ox for this tap column:
+                // `0 <= ox*sw + kw - pw < in_w`, so the inner loops below
+                // run branch-free (no per-element range check).
+                let ox_lo = pw.saturating_sub(kw).div_ceil(sw).min(out_w);
+                let ox_hi = (geometry.in_w + pw)
+                    .saturating_sub(kw)
+                    .div_ceil(sw)
+                    .min(out_w);
+                for oy in 0..out_h {
+                    let iy = (oy * geometry.stride_h + kh) as isize - geometry.pad_h as isize;
+                    if iy < 0 || iy >= geometry.in_h as isize {
+                        for _ in 0..out_w {
+                            cur.push(out, z);
+                        }
+                        continue;
+                    }
+                    let base = c * plane + iy as usize * geometry.in_w;
+                    for _ in 0..ox_lo {
+                        cur.push(out, z);
+                    }
+                    let first_ix = ox_lo * sw + kw - pw;
+                    for i in 0..ox_hi - ox_lo {
+                        cur.push(out, i16::from(input[base + first_ix + i * sw]));
+                    }
+                    for _ in 0..out_w - ox_hi {
+                        cur.push(out, z);
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    flight::end_with(span, (out.len() * 2) as u64);
+    Ok(())
+}
+
+/// Incremental writer over the pair-interleaved panel layout: appends
+/// one reduction row's values column by column, advancing to the next
+/// `NR`-column panel on wrap.
+pub(crate) struct PanelCursor {
+    /// Index of the current column's slot for this reduction row.
+    idx: usize,
+    /// Columns left in the current panel before jumping `panel_step`.
+    left: usize,
+    /// `NR * kp` minus the `2 * NR` already walked within the panel.
+    panel_step: usize,
+}
+
+impl PanelCursor {
+    pub(crate) fn at_row(row: usize, kp: usize) -> Self {
+        use crate::quant::NR;
+        Self {
+            idx: (row / 2) * 2 * NR + (row & 1),
+            left: NR,
+            panel_step: NR * kp - 2 * NR,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn push(&mut self, out: &mut [i16], v: i16) {
+        use crate::quant::NR;
+        out[self.idx] = v;
+        self.idx += 2;
+        self.left -= 1;
+        if self.left == 0 {
+            self.left = NR;
+            self.idx += self.panel_step;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +459,78 @@ mod tests {
     fn col2im_shape_matches_geometry() {
         let g = geo(3, 8, 8, 3, 1, 1);
         assert_eq!(col2im_shape(&g, 16), [16, 8, 8]);
+    }
+
+    #[test]
+    fn im2col_i8_matches_f32_layout_with_zero_point_padding() {
+        // Same gather as the f32 path, but padding taps carry the
+        // activation zero-point so they dequantize to 0.
+        let g = geo(1, 2, 2, 3, 1, 1);
+        let input: Vec<i8> = vec![10, 20, 30, 40];
+        let zero = -7i8;
+        let mut out = vec![0i8; 9 * 4];
+        im2col_into_i8(&input, &g, zero, &mut out).unwrap();
+        // Corner tap (0,0) sees padding everywhere except output (1,1).
+        assert_eq!(&out[0..4], &[zero, zero, zero, 10]);
+        // Center tap (1,1) always lands in-bounds.
+        assert_eq!(&out[16..20], &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn im2col_panels_match_the_unfused_gather_plus_pack() {
+        use crate::quant::{pair_depth, NR};
+        // Odd patch depth (pair tail), ragged last panel, padding taps:
+        // the fused gather must land every element exactly where packing
+        // the im2col_into_i8 output would, with zeros in the layout pads.
+        let g = geo(2, 5, 5, 3, 1, 1);
+        let input: Vec<i8> = (0..50).map(|i| (i * 11 % 255 - 128) as i8).collect();
+        let zero = 3i8;
+        let patch = 2 * 3 * 3;
+        let cols = g.out_h() * g.out_w();
+        let kp = pair_depth(patch);
+        let panels = cols.div_ceil(NR);
+
+        let mut flat = vec![0i8; patch * cols];
+        im2col_into_i8(&input, &g, zero, &mut flat).unwrap();
+        let mut want = vec![0i16; panels * NR * kp];
+        for p in 0..patch {
+            for j in 0..cols {
+                want[(j / NR) * NR * kp + (p / 2) * 2 * NR + 2 * (j % NR) + (p & 1)] =
+                    i16::from(flat[p * cols + j]);
+            }
+        }
+
+        // Poisoned destination: the fused gather owes us the pads too.
+        let mut got = vec![-9i16; panels * NR * kp];
+        im2col_into_panels_i16(&input, &g, zero, &mut got).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn im2col_panels_reject_wrong_lengths() {
+        let g = geo(1, 3, 3, 2, 1, 0);
+        let mut out = vec![0i16; 5];
+        assert!(matches!(
+            im2col_into_panels_i16(&[0i8; 9], &g, 0, &mut out),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            im2col_into_panels_i16(&[0i8; 8], &g, 0, &mut [0i16; 64]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn im2col_i8_rejects_wrong_lengths() {
+        let g = geo(1, 3, 3, 2, 1, 0);
+        let mut out = vec![0i8; 4 * 4];
+        assert!(matches!(
+            im2col_into_i8(&[0i8; 8], &g, 0, &mut out),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            im2col_into_i8(&[0i8; 9], &g, 0, &mut out[..15]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 }

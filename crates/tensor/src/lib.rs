@@ -31,15 +31,27 @@ mod error;
 mod gemm;
 mod im2col;
 pub mod ops;
+pub mod quant;
 pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{dot, gemm, gemm_into, gemm_pack_elems, matvec, naive_gemm};
-pub use im2col::{col2im_shape, im2col, im2col_into, Conv2dGeometry};
-pub use scratch::{scratch_stats, with_scratch, ScratchStats};
+pub use gemm::{
+    dot, gemm, gemm_into, gemm_into_fused, gemm_pack_elems, matvec, naive_gemm, Epilogue,
+};
+pub use im2col::{
+    col2im_shape, im2col, im2col_into, im2col_into_i8, im2col_into_panels_i16, Conv2dGeometry,
+};
+pub use quant::{
+    dot_i8, min_max, qgemm_pack_a, qgemm_pack_bytes, qgemm_panel_elems, qgemm_requant_into,
+    qgemm_requant_prepacked_into, quantize_into, quantize_into_panels_i16, row_sums, QTensor,
+    QuantParams, Quantization, Requant,
+};
+pub use scratch::{scratch_stats, with_scratch, with_scratch_i16, with_scratch_i8, ScratchStats};
 pub use shape::Shape;
+pub use simd::{kernel_arch, KernelArch};
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

@@ -1,0 +1,970 @@
+//! Int8 quantization: parameters, quantized tensors, and the packed
+//! int8×int8→i32 GEMM with a fused requantize epilogue.
+//!
+//! The scheme is the standard affine one: a real value `v` is stored as
+//! `q = clamp(round(v / scale + zero_point), -128, 127)` and recovered
+//! as `v ≈ scale * (q - zero_point)`. Weights use *symmetric per-channel*
+//! parameters (`zero_point = 0`, one scale per output channel), so the
+//! integer product needs only one cross-term correction; activations use
+//! *per-tensor* affine parameters so zero-padding stays exactly
+//! representable (`q = zero_point ⇔ v = 0`).
+//!
+//! With `W ≈ s_w[i]·Wq[i,p]` and `X ≈ s_x·(Xq[p,j] − z_x)`:
+//!
+//! ```text
+//! Σ_p W·X ≈ s_w[i]·s_x · ( Σ_p Wq·Xq  −  z_x · Σ_p Wq[i,p] )
+//! ```
+//!
+//! so the kernel accumulates `Σ Wq·Xq` in i32 registers and the
+//! write-back applies the row-sum correction, the combined scale, bias,
+//! and optional ReLU in one pass ([`Requant`]) — the i32 accumulators
+//! never touch memory. The f32 kernels remain the differential oracle:
+//! every quantized path is tested against dequantized f32 results under
+//! an analytic error bound.
+//!
+//! ## Kernel formulation
+//!
+//! The blocked kernel is an `MR x NR` microtile over a *pair-broadcast*
+//! packed layout: both operands are widened to i16 once, A row-major
+//! (rows padded to an even `kp` and to an `MR` multiple), B into
+//! `NR`-column panels where each reduction *pair* `(p, p+1)` stores its
+//! two values adjacently per column. One microtile step then multiplies
+//! a broadcast A pair against a whole panel row — on x86 that is
+//! exactly one `pmaddwd` + one `vpaddd` per `2*NR` MACs, with `MR`
+//! independent accumulator registers hiding the multiply latency.
+//! Autovectorizers do not find this shape from scalar code (the
+//! horizontal-reduction idiom they do lower caps out well below the
+//! f32 kernel at small `k`), so [`crate::simd`] provides explicit
+//! AVX2/AVX-512 microtiles behind the usual runtime dispatch, and
+//! [`qgemm_tile_portable`] keeps a bit-identical safe fallback. The
+//! pack adds `O(mk + kn)` work against `O(mkn)` compute and keeps the
+//! i16 working set (an MR row block plus one panel) inside L1.
+use crate::scratch::with_scratch_i16;
+use crate::{Result, Shape, Tensor, TensorError};
+use edgenn_obs::flight;
+
+/// Rows per microtile: independent accumulator sets per A row, enough
+/// to hide the `pmaddwd` latency behind one shared B-panel load.
+pub(crate) const MR: usize = 4;
+/// Columns per packed B panel (one 512-bit lane row of i32 accumulators).
+pub(crate) const NR: usize = 16;
+
+/// Rounds the reduction depth up to the even `kp` the pair-broadcast
+/// layout packs (odd tails are zero-padded).
+#[inline]
+pub(crate) const fn pair_depth(k: usize) -> usize {
+    k + (k & 1)
+}
+
+/// Affine quantization parameters for one tensor or one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-value step between adjacent int8 codes (always > 0).
+    pub scale: f32,
+    /// Int8 code that represents real `0.0` (in `[-128, 127]`).
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Parameters covering `[min, max]`, widened to include `0.0` so the
+    /// zero used for conv padding is exactly representable.
+    ///
+    /// A degenerate range (`min == max == 0`) yields identity-ish
+    /// parameters (`scale = 1`); round-trip error never exceeds
+    /// `scale / 2` per element for values inside the range.
+    #[must_use]
+    pub fn from_min_max(min: f32, max: f32) -> QuantParams {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let range = max - min;
+        if range <= 0.0 || range.is_nan() || !range.is_finite() {
+            return QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            };
+        }
+        let scale = range / 255.0;
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters (`zero_point = 0`) covering `[-abs_max, abs_max]`.
+    /// Used for weights, where symmetry removes one correction term from
+    /// the integer GEMM.
+    #[must_use]
+    pub fn symmetric(abs_max: f32) -> QuantParams {
+        let scale = if abs_max > 0.0 && abs_max.is_finite() {
+            abs_max / 127.0
+        } else {
+            1.0
+        };
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
+    }
+
+    /// Quantizes one real value (round-to-nearest, saturating). Uses the
+    /// same rounding as [`quantize_into`] so scalar and bulk paths agree
+    /// bit-for-bit.
+    #[must_use]
+    pub fn quantize_one(self, v: f32) -> i8 {
+        round_nearest(v / self.scale + self.zero_point as f32) as i8
+    }
+
+    /// Recovers the real value one int8 code represents.
+    #[must_use]
+    pub fn dequantize_one(self, q: i8) -> f32 {
+        self.scale * (i32::from(q) - self.zero_point) as f32
+    }
+}
+
+/// Minimum and maximum of a slice (`(0, 0)` when empty), for dynamic
+/// activation quantization and the calibration pass.
+#[must_use]
+pub fn min_max(data: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Round-to-nearest (ties to even) via the `1.5 * 2^23` magic constant:
+/// adding and subtracting it leaves the nearest integer for any
+/// `|x| < 2^22`, values beyond keep enough magnitude for the saturating
+/// `as i8` cast, and NaN stays NaN (casting to 0). Every step is a plain
+/// add, so the quantize loop autovectorizes — `f32::round`'s
+/// half-away-from-zero semantics have no vector lowering and measured
+/// ~3.5x slower per element.
+#[inline(always)]
+fn round_nearest(x: f32) -> f32 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    (x + MAGIC) - MAGIC
+}
+
+/// Quantizes `src` into `dst` under `p` (the activation hot path).
+pub fn quantize_into(src: &[f32], dst: &mut [i8], p: QuantParams) {
+    debug_assert_eq!(src.len(), dst.len());
+    let inv = 1.0 / p.scale;
+    let zp = p.zero_point as f32;
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        // `as i8` saturates to [-128, 127], so no explicit clamp.
+        *d = round_nearest(v * inv + zp) as i8;
+    }
+}
+
+/// How a [`QTensor`]'s codes map back to real values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Quantization {
+    /// One parameter set for every element.
+    PerTensor(QuantParams),
+    /// One parameter set per axis-0 slice (conv output channel / dense
+    /// row); `params.len()` equals the axis-0 dimension.
+    PerChannel(Vec<QuantParams>),
+}
+
+/// An int8 tensor plus the parameters to interpret it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    data: Vec<i8>,
+    shape: Shape,
+    quant: Quantization,
+}
+
+impl QTensor {
+    /// Quantizes `t` with a single affine parameter set derived from its
+    /// min/max.
+    #[must_use]
+    pub fn quantize_per_tensor(t: &Tensor) -> QTensor {
+        let (lo, hi) = min_max(t.as_slice());
+        let p = QuantParams::from_min_max(lo, hi);
+        let mut data = vec![0i8; t.len()];
+        quantize_into(t.as_slice(), &mut data, p);
+        QTensor {
+            data,
+            shape: t.shape().clone(),
+            quant: Quantization::PerTensor(p),
+        }
+    }
+
+    /// Quantizes `t` symmetrically with one scale per axis-0 slice (the
+    /// weight scheme: axis 0 is the output channel / dense unit).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn quantize_per_channel(t: &Tensor) -> Result<QTensor> {
+        if t.shape().rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let channels = t.dims()[0];
+        let row = t.len().checked_div(channels).unwrap_or(0);
+        let src = t.as_slice();
+        let mut data = vec![0i8; t.len()];
+        let mut params = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let s = &src[c * row..(c + 1) * row];
+            let amax = s.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let p = QuantParams::symmetric(amax);
+            quantize_into(s, &mut data[c * row..(c + 1) * row], p);
+            params.push(p);
+        }
+        Ok(QTensor {
+            data,
+            shape: t.shape().clone(),
+            quant: Quantization::PerChannel(params),
+        })
+    }
+
+    /// The int8 codes, row-major.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Tensor shape (same as the source tensor's).
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension list.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The quantization scheme.
+    #[must_use]
+    pub fn quant(&self) -> &Quantization {
+        &self.quant
+    }
+
+    /// Bytes this tensor occupies (one per element).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs the real-valued tensor (lossy inverse of quantize).
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = match &self.quant {
+            Quantization::PerTensor(p) => self.data.iter().map(|&q| p.dequantize_one(q)).collect(),
+            Quantization::PerChannel(params) => {
+                let row = self.data.len().checked_div(params.len()).unwrap_or(0);
+                self.data
+                    .chunks(row.max(1))
+                    .zip(params.iter())
+                    .flat_map(|(chunk, p)| chunk.iter().map(|&q| p.dequantize_one(q)))
+                    .collect()
+            }
+        };
+        Tensor::from_vec(data, self.dims()).expect("shape preserved by construction")
+    }
+}
+
+/// Per-row sums of an int8 weight matrix `(m, k)`, precomputed once per
+/// layer for the zero-point correction in [`Requant`].
+#[must_use]
+pub fn row_sums(w: &[i8], m: usize, k: usize) -> Vec<i32> {
+    debug_assert_eq!(w.len(), m * k);
+    (0..m)
+        .map(|i| w[i * k..(i + 1) * k].iter().map(|&v| i32::from(v)).sum())
+        .collect()
+}
+
+/// Requantize epilogue of the int8 GEMM: maps the i32 accumulator of
+/// output element `(i, j)` to
+/// `f(w_scales[i] * act.scale * (acc - act.zero_point * row_sums[i]) + bias[i])`
+/// where `f` is ReLU when `relu` is set. All slices are indexed by the
+/// *local* row of the call (callers slice them alongside `a`).
+#[derive(Debug, Clone, Copy)]
+pub struct Requant<'a> {
+    /// Per-row (symmetric) weight scales, `len == m`.
+    pub w_scales: &'a [f32],
+    /// Activation quantization parameters (per-tensor affine).
+    pub act: QuantParams,
+    /// Per-row weight sums for the zero-point correction, `len == m`.
+    pub row_sums: &'a [i32],
+    /// Optional per-row bias added after rescaling.
+    pub bias: Option<&'a [f32]>,
+    /// Fuse a ReLU clamp into the write-back.
+    pub relu: bool,
+}
+
+impl Requant<'_> {
+    /// Maps one accumulated i32 for (local) row `i` to its real-valued
+    /// output. Public so layer kernels that accumulate outside the GEMM
+    /// (the quantized dense mat-vec) share the exact write-back math.
+    #[inline(always)]
+    #[must_use]
+    pub fn apply(&self, acc: i32, i: usize) -> f32 {
+        let s = self.w_scales[i] * self.act.scale;
+        let corr = i64::from(self.act.zero_point) * i64::from(self.row_sums[i]);
+        let v = s * ((i64::from(acc) - corr) as f32) + self.bias.map_or(0.0, |b| b[i]);
+        if self.relu {
+            v.max(0.0)
+        } else {
+            v
+        }
+    }
+
+    fn debug_check(&self, m: usize) {
+        debug_assert_eq!(self.w_scales.len(), m);
+        debug_assert_eq!(self.row_sums.len(), m);
+        if let Some(b) = self.bias {
+            debug_assert_eq!(b.len(), m);
+        }
+    }
+}
+
+/// Bytes of scratch [`qgemm_requant_into`] may acquire for an
+/// `(m, k) x (k, n)` product: both operands are widened to i16 — A rows
+/// padded to an even depth and an `MR`-multiple row count, B into
+/// pair-interleaved NR-wide column panels (the int8 counterpart of
+/// [`crate::gemm_pack_elems`]; the int8 kernel packs the full reduction
+/// depth at once). A sound over-approximation for the tier-D arena
+/// accounting.
+#[must_use]
+pub fn qgemm_pack_bytes(m: usize, k: usize, n: usize) -> usize {
+    if m == 0 || k == 0 || n == 0 {
+        0
+    } else {
+        let kp = pair_depth(k);
+        let mp = m.div_ceil(MR) * MR;
+        2 * (mp * kp + n.div_ceil(NR) * NR * kp)
+    }
+}
+
+/// Packed int8 GEMM with fused requantization:
+/// `out[i][j] = rq(Σ_p a[i][p]·b[p][j])` for an `(m, k) x (k, n)`
+/// product. `a` is the (symmetric, per-row-scaled) weight matrix, `b`
+/// the (affine, per-tensor) activation matrix; `out` is *overwritten*,
+/// accumulation across k-ranges composes in f32 at the layer level.
+///
+/// Outputs are computed as `MR x NR` microtiles over the pair-broadcast
+/// packed layout and requantized straight from the register accumulators
+/// (see the module docs for why this formulation). `|acc|` stays below
+/// `i32::MAX` for any `k ≤ 2^17`, far above the bundled models'
+/// reduction depths.
+pub fn qgemm_requant_into(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    rq.debug_check(m);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            out[i * n..(i + 1) * n].fill(rq.apply(0, i));
+        }
+        return;
+    }
+    // The naive small path only wins while the problem is too tiny to
+    // amortize the pack + scratch acquisition; with the microtile kernel
+    // that break-even sits far lower than the f32 kernel's (the packed
+    // tile retires 32 MACs per instruction, the naive loop roughly one).
+    if m * n * k < 512 {
+        crate::simd::qgemm_small_dispatch(a, b, out, m, k, n, rq);
+        return;
+    }
+    let profiled = flight::enabled();
+    let t_begin = if profiled { flight::now_ns() } else { 0 };
+    let kp = pair_depth(k);
+    let mp = m.div_ceil(MR) * MR;
+    let panels = n.div_ceil(NR);
+    // One i16 scratch slab holds the widened, pair-padded A (`mp*kp`)
+    // followed by the pair-interleaved B panels (`panels*NR*kp`): i16
+    // operands are still half the f32 footprint, and full-depth packing
+    // lets every microtile run its whole reduction from one panel. As in
+    // the f32 path, scratch is acquired *outside* the dispatched body so
+    // the hot loops inline into the `#[target_feature]` wrappers (a
+    // closure would pin them at baseline width).
+    let scratch_elems = mp * kp + panels * NR * kp;
+    let pack_ns = with_scratch_i16(scratch_elems, |packed| {
+        crate::simd::qgemm_body_dispatch(a, b, packed, out, m, k, n, rq, profiled)
+    });
+    if profiled {
+        let t_end = flight::now_ns();
+        let parent = flight::current_parent();
+        flight::record_manual(
+            flight::SpanKind::Pack,
+            flight::NO_NODE,
+            parent,
+            t_begin,
+            t_begin + pack_ns,
+            (2 * scratch_elems) as u64,
+        );
+        flight::record_manual(
+            flight::SpanKind::Compute,
+            flight::NO_NODE,
+            parent,
+            t_begin + pack_ns,
+            t_end,
+            0,
+        );
+    }
+}
+
+/// The blocked int8 GEMM body behind [`qgemm_requant_into`], after
+/// argument checks and scratch acquisition. Returns nanoseconds spent
+/// packing (0 unless `profiled`). `pub(crate)` + `#[inline(always)]` so
+/// [`crate::simd`] can re-instantiate it under wider `#[target_feature]`
+/// sets.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn qgemm_body(
+    a: &[i8],
+    b: &[i8],
+    packed: &mut [i16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+    profiled: bool,
+) -> u64 {
+    let mut pack_ns = 0u64;
+    let kp = pair_depth(k);
+    let mp = m.div_ceil(MR) * MR;
+    let (awide, bpanels) = packed.split_at_mut(mp * kp);
+    if profiled {
+        let t0 = flight::now_ns();
+        pack_pair_operands(a, b, awide, bpanels, m, k, n);
+        pack_ns = flight::now_ns().saturating_sub(t0);
+    } else {
+        pack_pair_operands(a, b, awide, bpanels, m, k, n);
+    }
+    microtile_loop(awide, bpanels, out, m, kp, n, rq);
+    pack_ns
+}
+
+/// The microtile sweep shared by [`qgemm_body`] and
+/// [`qgemm_requant_prepacked_into`]: drives [`crate::simd`]'s dispatched
+/// `MR x NR` tile over every panel x row-block and requantizes the real
+/// outputs from the register accumulators.
+#[inline(always)]
+fn microtile_loop(
+    awide: &[i16],
+    bpanels: &[i16],
+    out: &mut [f32],
+    m: usize,
+    kp: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    let mut acc = [0i32; MR * NR];
+    for (panel_idx, panel) in bpanels.chunks(NR * kp).enumerate().take(n.div_ceil(NR)) {
+        let j0 = panel_idx * NR;
+        let nr = NR.min(n - j0);
+        for i0 in (0..m).step_by(MR) {
+            let rows = MR.min(m - i0);
+            // The microtile always computes a full MR x NR block (A's
+            // padding rows and the panel's padding lanes are zeros); the
+            // requant write-back below only touches the real outputs.
+            crate::simd::qgemm_tile_dispatch(&awide[i0 * kp..(i0 + MR) * kp], kp, panel, &mut acc);
+            for r in 0..rows {
+                let i = i0 + r;
+                let out_row = &mut out[i * n + j0..i * n + j0 + nr];
+                for (o, &lane) in out_row.iter_mut().zip(acc[r * NR..].iter()) {
+                    *o = rq.apply(lane, i);
+                }
+            }
+        }
+    }
+}
+
+/// Widens an `(m, k)` int8 weight matrix into the microtile's A layout
+/// once, up front: i16 rows of stride [`pair_depth`]`(k)`, zero-padded
+/// to `m.div_ceil(MR)*MR + MR` rows so that *any* row-range slice
+/// (`&packed[start*kp..]`) leaves a full `MR` block readable past its
+/// last real row. Layers cache this beside the codes — weights never
+/// change, so [`qgemm_requant_prepacked_into`] skips the per-call A pack
+/// entirely.
+#[must_use]
+pub fn qgemm_pack_a(a: &[i8], m: usize, k: usize) -> Vec<i16> {
+    debug_assert_eq!(a.len(), m * k);
+    let kp = pair_depth(k);
+    let mut awide = vec![0i16; (m.div_ceil(MR) * MR + MR) * kp];
+    for (row, src_row) in awide.chunks_mut(kp).zip(a.chunks(k)).take(m) {
+        for (dst, &src) in row.iter_mut().zip(src_row.iter()) {
+            *dst = i16::from(src);
+        }
+    }
+    awide
+}
+
+/// Clears the pair-interleaved panel layout's padding slots for a
+/// `(k, n)` logical matrix: the last panel's lanes beyond `n` (cheapest
+/// to clear whole) and, for an odd `k`, every column's unpaired tail
+/// slot. The scratch arena recycles allocations, so every producer of
+/// the layout ([`crate::im2col_into_panels_i16`],
+/// [`quantize_into_panels_i16`]) must call this before its gather —
+/// padding must multiply as zero.
+pub(crate) fn zero_panel_pads(out: &mut [i16], k: usize, n: usize) {
+    let kp = pair_depth(k);
+    let panels = n.div_ceil(NR);
+    debug_assert_eq!(out.len(), panels * NR * kp);
+    if !n.is_multiple_of(NR) {
+        out[(panels - 1) * NR * kp..].fill(0);
+    }
+    if k & 1 == 1 {
+        let base = (k / 2) * 2 * NR + 1;
+        for panel in out.chunks_mut(NR * kp) {
+            for jl in 0..NR {
+                panel[base + 2 * jl] = 0;
+            }
+        }
+    }
+}
+
+/// Quantizes a `(k, n)` row-major f32 matrix straight into the packed
+/// GEMM's pair-interleaved i16 B panels — [`quantize_into`] fused with
+/// the panel pack. This is the whole int8 lowering for a 1x1/stride-1
+/// convolution (whose im2col is the identity): one pass over the
+/// activation, no intermediate i8 buffer, no separate gather.
+///
+/// `out` must hold exactly [`qgemm_panel_elems`]`(k, n)` elements; no
+/// pre-fill is required.
+pub fn quantize_into_panels_i16(src: &[f32], p: QuantParams, k: usize, n: usize, out: &mut [i16]) {
+    debug_assert_eq!(src.len(), k * n);
+    debug_assert_eq!(out.len(), qgemm_panel_elems(k, n));
+    zero_panel_pads(out, k, n);
+    let inv = 1.0 / p.scale;
+    let zp = p.zero_point as f32;
+    let kp = pair_depth(k);
+    for (row, src_row) in src.chunks_exact(n).enumerate() {
+        let mut cur = crate::im2col::PanelCursor::at_row(row, kp);
+        for &v in src_row {
+            // Same rounding pipeline as `quantize_into`, so the 1x1
+            // fast path is bit-identical to quantize + gather.
+            cur.push(out, i16::from(round_nearest(v * inv + zp) as i8));
+        }
+    }
+}
+
+/// i16 element count of the pair-interleaved B panels for a `(k, n)`
+/// activation matrix: `n.div_ceil(NR) * NR * pair_depth(k)`. Callers
+/// size the scratch they hand to
+/// [`crate::im2col_into_panels_i16`] / [`qgemm_requant_prepacked_into`]
+/// with this.
+#[must_use]
+pub fn qgemm_panel_elems(k: usize, n: usize) -> usize {
+    if k == 0 || n == 0 {
+        0
+    } else {
+        n.div_ceil(NR) * NR * pair_depth(k)
+    }
+}
+
+/// [`qgemm_requant_into`] over operands already in the packed layouts:
+/// `awide` from [`qgemm_pack_a`] (sliced at a row range times `kp`),
+/// `bpanels` from [`crate::im2col_into_panels_i16`]. This is the conv
+/// layers' steady-state path — no per-call packing pass, no A scratch;
+/// the only remaining per-call data movement is the im2col gather that
+/// *produces* `bpanels`.
+pub fn qgemm_requant_prepacked_into(
+    awide: &[i16],
+    bpanels: &[i16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    let kp = pair_depth(k);
+    debug_assert!(awide.len() >= (m.div_ceil(MR) * MR).max(MR) * kp);
+    debug_assert_eq!(bpanels.len(), qgemm_panel_elems(k, n));
+    debug_assert_eq!(out.len(), m * n);
+    rq.debug_check(m);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            out[i * n..(i + 1) * n].fill(rq.apply(0, i));
+        }
+        return;
+    }
+    let span = flight::begin(flight::SpanKind::Compute, flight::NO_NODE);
+    microtile_loop(awide, bpanels, out, m, kp, n, rq);
+    flight::end_with(span, 0);
+}
+
+/// Portable `MR x NR` microtile over the pair-broadcast layout:
+/// `acc[r][lane] = Σ_h a[r][2h]·panel[h][lane].0 + a[r][2h+1]·panel[h][lane].1`.
+/// Integer arithmetic, so results are bit-identical to the explicit
+/// AVX2/AVX-512 microtiles in [`crate::simd`] that replace it at runtime.
+#[inline(always)]
+pub(crate) fn qgemm_tile_portable(a: &[i16], kp: usize, panel: &[i16], acc: &mut [i32; MR * NR]) {
+    acc.fill(0);
+    for h in 0..kp / 2 {
+        let step = &panel[h * 2 * NR..(h + 1) * 2 * NR];
+        for r in 0..MR {
+            let x0 = i32::from(a[r * kp + 2 * h]);
+            let x1 = i32::from(a[r * kp + 2 * h + 1]);
+            let dst = &mut acc[r * NR..(r + 1) * NR];
+            for (lane, d) in dst.iter_mut().enumerate() {
+                *d += x0 * i32::from(step[2 * lane]) + x1 * i32::from(step[2 * lane + 1]);
+            }
+        }
+    }
+}
+
+/// Naive path for tiny problems: i32 triple loop plus requant, skipping
+/// the packing round trip (mirrors the f32 `gemm_small` cutoff).
+#[inline(always)]
+pub(crate) fn qgemm_small(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for j in 0..n {
+            let mut acc = 0i32;
+            for (p, &ap) in a_row.iter().enumerate() {
+                acc += i32::from(ap) * i32::from(b[p * n + j]);
+            }
+            out_row[j] = rq.apply(acc, i);
+        }
+    }
+}
+
+/// Widens both operands to i16 into the pair-broadcast layout: A `(m, k)`
+/// row-major into `awide` rows of stride `kp` (odd-depth tails and rows
+/// `m..mp` zero-padded so the microtile can always read a full `MR`
+/// block), B `(k, n)` into NR-wide panels where reduction pair `(p, p+1)`
+/// of column `j` lands at `panel[(p/2)*2*NR + 2*jl + (p&1)]`. Both
+/// destinations are zero-filled first: the scratch arena recycles
+/// allocations, and every padding element must multiply as zero.
+#[inline(always)]
+fn pack_pair_operands(
+    a: &[i8],
+    b: &[i8],
+    awide: &mut [i16],
+    bpanels: &mut [i16],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let kp = pair_depth(k);
+    awide.fill(0);
+    for (row, src_row) in awide.chunks_mut(kp).zip(a.chunks(k)).take(m) {
+        for (dst, &src) in row.iter_mut().zip(src_row.iter()) {
+            *dst = i16::from(src);
+        }
+    }
+    bpanels.fill(0);
+    let panels = n.div_ceil(NR);
+    for (panel, dst_panel) in bpanels.chunks_mut(NR * kp).enumerate().take(panels) {
+        let j0 = panel * NR;
+        let nr = NR.min(n - j0);
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + nr];
+            let base = (p / 2) * 2 * NR + (p & 1);
+            for (jl, &v) in src.iter().enumerate() {
+                dst_panel[base + 2 * jl] = i16::from(v);
+            }
+        }
+    }
+}
+
+/// Int8 dot product with i32 accumulation (quantized dense hot loop).
+/// Dispatches to the widest microkernel variant like [`crate::dot`].
+#[must_use]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    crate::simd::dot_i8_dispatch(a, b)
+}
+
+/// Portable body behind [`dot_i8`]; re-instantiated by [`crate::simd`].
+/// A lone horizontal reduction on purpose: this is the shape LLVM
+/// vectorizes into sign-extend + `pmaddwd` chains (see module docs).
+#[inline(always)]
+pub(crate) fn dot_i8_body(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let t = Tensor::random(&[64], 3.0, 9);
+        let q = QTensor::quantize_per_tensor(&t);
+        let Quantization::PerTensor(p) = *q.quant() else {
+            panic!("per-tensor quantization expected");
+        };
+        let back = q.dequantize();
+        for (orig, rec) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!(
+                (orig - rec).abs() <= 0.5 * p.scale + 1e-6,
+                "{orig} -> {rec} exceeds scale/2 = {}",
+                0.5 * p.scale
+            );
+        }
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        // Padding correctness hinges on dequantize(zero_point) == 0.
+        for (lo, hi) in [(-3.0, 5.0), (0.5, 9.0), (-7.0, -0.25), (0.0, 0.0)] {
+            let p = QuantParams::from_min_max(lo, hi);
+            let q = p.quantize_one(0.0);
+            assert_eq!(i32::from(q), p.zero_point, "[{lo},{hi}]");
+            assert_eq!(p.dequantize_one(q), 0.0, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn degenerate_and_non_finite_ranges_fall_back_to_identity() {
+        for p in [
+            QuantParams::from_min_max(0.0, 0.0),
+            QuantParams::from_min_max(f32::NAN, f32::NAN),
+            QuantParams::symmetric(0.0),
+            QuantParams::symmetric(f32::INFINITY),
+        ] {
+            assert_eq!(p.scale, 1.0);
+            assert_eq!(p.zero_point, 0);
+        }
+    }
+
+    #[test]
+    fn per_channel_scales_each_row_independently() {
+        // Row 0 is tiny, row 1 huge: per-tensor would crush row 0 to
+        // zero codes; per-channel must keep both accurate.
+        let t = Tensor::from_vec(vec![0.01, -0.02, 0.03, 100.0, -200.0, 50.0], &[2, 3]).unwrap();
+        let q = QTensor::quantize_per_channel(&t).unwrap();
+        let back = q.dequantize();
+        for (orig, rec) in t.as_slice().iter().zip(back.as_slice()) {
+            let tol = 0.5 * orig.abs().max(0.02) / 127.0 * 2.0;
+            assert!((orig - rec).abs() <= tol, "{orig} -> {rec}");
+        }
+        let Quantization::PerChannel(params) = q.quant() else {
+            panic!("per-channel expected");
+        };
+        assert_eq!(params.len(), 2);
+        assert!(params[1].scale > params[0].scale * 100.0);
+    }
+
+    /// Analytic elementwise error bound for int8 GEMM vs the f32 oracle:
+    /// quantization error ≤ scale/2 per operand, propagated through the
+    /// bilinear product.
+    fn gemm_error_bound(
+        w: &Tensor,
+        x: &Tensor,
+        w_scales: &[f32],
+        sx: f32,
+        i: usize,
+        j: usize,
+    ) -> f32 {
+        let (m, k) = (w.dims()[0], w.dims()[1]);
+        let n = x.dims()[1];
+        debug_assert!(i < m && j < n);
+        let wrow = &w.as_slice()[i * k..(i + 1) * k];
+        let row_abs: f32 = wrow.iter().map(|v| v.abs()).sum();
+        let col_abs: f32 = (0..k).map(|p| x.as_slice()[p * n + j].abs()).sum();
+        0.5 * sx * row_abs + 0.5 * w_scales[i] * col_abs + 0.25 * (k as f32) * w_scales[i] * sx
+    }
+
+    fn check_qgemm_against_oracle(m: usize, k: usize, n: usize, relu: bool, seed: u64) {
+        let w = Tensor::random(&[m, k], 1.5, seed);
+        let x = Tensor::random(&[k, n], 2.0, seed + 7);
+        let bias: Vec<f32> = (0..m).map(|i| (i as f32) * 0.1 - 0.3).collect();
+
+        let qw = QTensor::quantize_per_channel(&w).unwrap();
+        let Quantization::PerChannel(wp) = qw.quant().clone() else {
+            panic!("per-channel expected");
+        };
+        let w_scales: Vec<f32> = wp.iter().map(|p| p.scale).collect();
+        let rsums = row_sums(qw.as_slice(), m, k);
+
+        let (lo, hi) = min_max(x.as_slice());
+        let act = QuantParams::from_min_max(lo, hi);
+        let mut qx = vec![0i8; k * n];
+        quantize_into(x.as_slice(), &mut qx, act);
+
+        let mut got = vec![0.0f32; m * n];
+        let rq = Requant {
+            w_scales: &w_scales,
+            act,
+            row_sums: &rsums,
+            bias: Some(&bias),
+            relu,
+        };
+        qgemm_requant_into(qw.as_slice(), &qx, &mut got, m, k, n, &rq);
+
+        let mut want = vec![0.0f32; m * n];
+        crate::gemm::gemm_into(w.as_slice(), x.as_slice(), &mut want, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut r = want[i * n + j] + bias[i];
+                if relu {
+                    r = r.max(0.0);
+                }
+                let bound = gemm_error_bound(&w, &x, &w_scales, act.scale, i, j) + 1e-4;
+                let err = (got[i * n + j] - r).abs();
+                assert!(
+                    err <= bound,
+                    "({m},{k},{n}) relu={relu} [{i},{j}]: err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qgemm_matches_f32_oracle_within_quantization_bound() {
+        // Small path, blocked path, off-tile dims, odd k (pair tail).
+        check_qgemm_against_oracle(3, 5, 7, false, 1);
+        check_qgemm_against_oracle(37, 301, 29, false, 2);
+        check_qgemm_against_oracle(16, 64, 33, true, 3);
+        check_qgemm_against_oracle(5, 27, 50, true, 4);
+    }
+
+    #[test]
+    fn qgemm_zero_k_applies_requant_of_zero() {
+        let bias = [1.5f32, -2.0];
+        let rq = Requant {
+            w_scales: &[1.0, 1.0],
+            act: QuantParams::from_min_max(-1.0, 1.0),
+            row_sums: &[0, 0],
+            bias: Some(&bias),
+            relu: true,
+        };
+        let mut out = vec![9.0f32; 2 * 3];
+        qgemm_requant_into(&[], &[], &mut out, 2, 0, 3, &rq);
+        assert_eq!(out, vec![1.5, 1.5, 1.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_reference() {
+        let a: Vec<i8> = (0..37).map(|i| (i * 7 % 255 - 128) as i8).collect();
+        let b: Vec<i8> = (0..37).map(|i| (i * 13 % 255 - 127) as i8).collect();
+        let want: i32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
+        assert_eq!(dot_i8(&a, &b), want);
+        assert_eq!(dot_i8(&[], &[]), 0);
+    }
+
+    #[test]
+    fn prepacked_path_is_bitwise_identical_to_the_packing_path() {
+        // The conv layers run A prepacked at init and B packed by the
+        // fused im2col gather; both must reproduce qgemm_requant_into
+        // exactly (integer accumulation, same requant) — including from
+        // a row-range slice of the prepacked A (start off the MR grid).
+        for (m, k, n) in [(1usize, 3usize, 5usize), (7, 27, 33), (12, 64, 16)] {
+            let mut a = vec![0i8; m * k];
+            let mut b = vec![0i8; k * n];
+            for (i, v) in a.iter_mut().enumerate() {
+                *v = ((i * 37 + 11) % 255) as u8 as i8;
+            }
+            for (i, v) in b.iter_mut().enumerate() {
+                *v = ((i * 91 + 5) % 255) as u8 as i8;
+            }
+            let w_scales = vec![0.02f32; m];
+            let rsums = row_sums(&a, m, k);
+            let rq = Requant {
+                w_scales: &w_scales,
+                act: QuantParams::from_min_max(-1.0, 1.0),
+                row_sums: &rsums,
+                bias: None,
+                relu: false,
+            };
+            let mut want = vec![0.0f32; m * n];
+            qgemm_requant_into(&a, &b, &mut want, m, k, n, &rq);
+
+            let kp = pair_depth(k);
+            let awide = qgemm_pack_a(&a, m, k);
+            let mut panels = vec![7i16; qgemm_panel_elems(k, n)];
+            // Pack B panels through the reference layout (pair (p,p+1)
+            // of column j at panel[(p/2)*2*NR + 2*jl + (p&1)]).
+            panels.fill(0);
+            for p in 0..k {
+                for j in 0..n {
+                    panels[(j / NR) * NR * kp + (p / 2) * 2 * NR + 2 * (j % NR) + (p & 1)] =
+                        i16::from(b[p * n + j]);
+                }
+            }
+            let mut got = vec![0.0f32; m * n];
+            qgemm_requant_prepacked_into(&awide, &panels, &mut got, m, k, n, &rq);
+            assert_eq!(got, want, "({m},{k},{n})");
+
+            // Row-range slice: rows 1..m through the same prepacked A.
+            if m > 1 {
+                let sub = m - 1;
+                let rq_sub = Requant {
+                    w_scales: &w_scales[1..],
+                    act: rq.act,
+                    row_sums: &rsums[1..],
+                    bias: None,
+                    relu: false,
+                };
+                let mut got_sub = vec![0.0f32; sub * n];
+                qgemm_requant_prepacked_into(
+                    &awide[kp..],
+                    &panels,
+                    &mut got_sub,
+                    sub,
+                    k,
+                    n,
+                    &rq_sub,
+                );
+                assert_eq!(got_sub, want[n..], "rows 1.. of ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_bytes_bound_covers_the_actual_acquisition() {
+        assert_eq!(qgemm_pack_bytes(0, 10, 10), 0);
+        assert_eq!(qgemm_pack_bytes(10, 0, 10), 0);
+        assert_eq!(qgemm_pack_bytes(10, 10, 0), 0);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (37, 300, 17),
+            (64, 256, 128),
+            (3, 7, 1000),
+        ] {
+            // The kernel acquires (mp*kp + panels*NR*kp) i16 elements.
+            let kp = k + (k & 1);
+            let mp = m.div_ceil(4) * 4;
+            assert!(
+                qgemm_pack_bytes(m, k, n) >= 2 * (mp * kp + n.div_ceil(16) * 16 * kp),
+                "({m},{k},{n})"
+            );
+        }
+    }
+}

@@ -12,11 +12,30 @@
 //! pool gives each worker its own arena, so no locking sits on the hot
 //! path. Global atomic counters track reused vs freshly allocated bytes
 //! so the observability layer can prove the steady state is reached.
+//!
+//! All three arenas hand out slices starting on a 64-byte boundary (see
+//! [`SCRATCH_ALIGN`]) so the vectorized GEMM panel loads never straddle
+//! cache lines regardless of where the allocator placed the buffer.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use edgenn_obs::flight;
+
+/// Every scratch slice starts on a 64-byte boundary. The GEMM packed-B
+/// panels live in scratch and are consumed by 512-bit vector loads; a
+/// `Vec` allocation only guarantees the element's own alignment, so
+/// whether those loads split cache lines is decided once per process by
+/// allocator luck. That made whole-process runs bimodal (the same model
+/// 20-40% slower in an unlucky run, stably, until restart). Each arena
+/// over-allocates by one cache line and hands out the aligned window.
+const SCRATCH_ALIGN: usize = 64;
+
+/// Offset (in elements of size `elem`) that 64-byte-aligns `addr`,
+/// capped at one cache line's worth of elements.
+fn align_pad(addr: usize, elem: usize) -> usize {
+    (addr.wrapping_neg() % SCRATCH_ALIGN) / elem
+}
 
 /// Bytes served by growing a buffer (capacity that had to be allocated).
 static FRESH_BYTES: AtomicU64 = AtomicU64::new(0);
@@ -31,6 +50,16 @@ thread_local! {
     /// always meets the same buffer at the same depth and stops growing
     /// after the first pass.
     static ARENA: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// Parallel stack for int8 buffers (quantized im2col matrices and
+    /// packed int8 GEMM panels). Safe Rust cannot reinterpret an f32
+    /// buffer as bytes without `unsafe`, so the quantized path gets its
+    /// own arena; both report into the same global byte counters.
+    static ARENA_I8: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
+    /// Stack for i16 buffers: the int8 GEMM widens both operands to i16
+    /// during packing so the microkernel's inner loops lower to the
+    /// widening multiply-accumulate idiom (`pmaddwd` on x86) without a
+    /// per-iteration sign-extension of the i8 codes.
+    static ARENA_I16: RefCell<Vec<Vec<i16>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Monotonic counters describing arena behaviour since process start.
@@ -73,7 +102,8 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
         .unwrap_or_default();
     let had_capacity = buf.capacity();
     buf.clear();
-    buf.resize(len, 0.0);
+    buf.resize(len + SCRATCH_ALIGN / 4, 0.0);
+    let pad = align_pad(buf.as_ptr() as usize, 4);
     ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
     let grew = buf.capacity() > had_capacity;
     if grew {
@@ -95,8 +125,66 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
             (len * 4) as u64,
         );
     }
-    let result = f(&mut buf);
+    let result = f(&mut buf[pad..pad + len]);
     ARENA.with(|arena| arena.borrow_mut().push(buf));
+    result
+}
+
+/// [`with_scratch`] for int8 buffers: runs `f` with a zeroed scratch
+/// slice of `len` bytes from the calling thread's i8 arena. Shares the
+/// global counters with the f32 arena (a byte is a byte), so the
+/// observability layer and the tier-D certified-peak gate see quantized
+/// scratch traffic through the same [`ScratchStats`].
+pub fn with_scratch_i8<R>(len: usize, f: impl FnOnce(&mut [i8]) -> R) -> R {
+    let mut buf = ARENA_I8
+        .with(|arena| arena.borrow_mut().pop())
+        .unwrap_or_default();
+    let had_capacity = buf.capacity();
+    buf.clear();
+    buf.resize(len + SCRATCH_ALIGN, 0);
+    let pad = align_pad(buf.as_ptr() as usize, 1);
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    let grew = buf.capacity() > had_capacity;
+    if grew {
+        FRESH_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+    } else {
+        REUSED_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+    }
+    if grew && flight::enabled() {
+        flight::instant(flight::SpanKind::ArenaMiss, flight::NO_NODE, len as u64);
+    }
+    let result = f(&mut buf[pad..pad + len]);
+    ARENA_I8.with(|arena| arena.borrow_mut().push(buf));
+    result
+}
+
+/// [`with_scratch`] for i16 buffers (`len` elements, counted as
+/// `2 * len` bytes in the shared counters). Used by the int8 GEMM for
+/// its widened operand panels.
+pub fn with_scratch_i16<R>(len: usize, f: impl FnOnce(&mut [i16]) -> R) -> R {
+    let mut buf = ARENA_I16
+        .with(|arena| arena.borrow_mut().pop())
+        .unwrap_or_default();
+    let had_capacity = buf.capacity();
+    buf.clear();
+    buf.resize(len + SCRATCH_ALIGN / 2, 0);
+    let pad = align_pad(buf.as_ptr() as usize, 2);
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    let grew = buf.capacity() > had_capacity;
+    if grew {
+        FRESH_BYTES.fetch_add((len * 2) as u64, Ordering::Relaxed);
+    } else {
+        REUSED_BYTES.fetch_add((len * 2) as u64, Ordering::Relaxed);
+    }
+    if grew && flight::enabled() {
+        flight::instant(
+            flight::SpanKind::ArenaMiss,
+            flight::NO_NODE,
+            (len * 2) as u64,
+        );
+    }
+    let result = f(&mut buf[pad..pad + len]);
+    ARENA_I16.with(|arena| arena.borrow_mut().push(buf));
     result
 }
 
@@ -139,6 +227,45 @@ mod tests {
             });
             assert_eq!(outer, &[1.0; 16], "inner call must not alias outer");
         });
+    }
+
+    #[test]
+    fn i8_arena_is_distinct_zeroed_and_counted_in_bytes() {
+        with_scratch_i8(64, |buf| {
+            assert_eq!(buf, &[0i8; 64]);
+            buf.fill(5);
+        });
+        // The f32 arena must not see the i8 buffer (separate stacks).
+        with_scratch(64, |buf| assert_eq!(buf, &[0.0f32; 64]));
+        with_scratch_i8(64, |buf| assert_eq!(buf, &[0i8; 64]));
+        // Counters are bytes, not elements: a warm 64-byte request
+        // contributes exactly 64 reused bytes from this thread.
+        let before = scratch_stats();
+        with_scratch_i8(64, |_| {});
+        let delta = before.delta(&scratch_stats());
+        assert!(delta.reused_bytes >= 64);
+        assert!(delta.acquisitions >= 1);
+    }
+
+    #[test]
+    fn every_arena_hands_out_cache_line_aligned_slices() {
+        // Alignment must hold on fresh allocation AND on reuse (a popped
+        // buffer's base address never changes, but the guarantee is about
+        // the slice we hand out, not the Vec).
+        for _ in 0..2 {
+            with_scratch(33, |buf| {
+                assert_eq!(buf.as_ptr() as usize % SCRATCH_ALIGN, 0);
+                assert_eq!(buf.len(), 33);
+            });
+            with_scratch_i16(77, |buf| {
+                assert_eq!(buf.as_ptr() as usize % SCRATCH_ALIGN, 0);
+                assert_eq!(buf.len(), 77);
+            });
+            with_scratch_i8(129, |buf| {
+                assert_eq!(buf.as_ptr() as usize % SCRATCH_ALIGN, 0);
+                assert_eq!(buf.len(), 129);
+            });
+        }
     }
 
     #[test]

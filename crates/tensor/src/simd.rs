@@ -1,0 +1,569 @@
+//! Runtime architecture dispatch for the GEMM microkernels.
+//!
+//! The blocked f32 kernel and the int8 quantized kernel are written once
+//! as portable safe Rust over fixed-size slices (see [`crate::gemm`] and
+//! [`crate::quant`]). That shape is what LLVM's auto-vectorizer wants,
+//! but the *width* it vectorizes to is fixed at compile time by the
+//! baseline target (`x86-64` = SSE2: 4 f32 lanes). This module re-compiles
+//! the same bodies under `#[target_feature]` so the identical source
+//! lowers to 8-lane AVX2+FMA and 16-lane AVX-512 code, and selects one
+//! variant per process with `is_x86_feature_detected!`.
+//!
+//! The one exception to the re-instantiation pattern is the int8
+//! microtile ([`qgemm_tile_dispatch`]): its pair-broadcast `pmaddwd`
+//! shape is precisely what autovectorizers never find from scalar code
+//! (measured ≤ f32 throughput), so the AVX2/AVX-512 variants here are
+//! written with explicit `core::arch` intrinsics. They compute exact
+//! integer results, so they remain bit-identical to the portable tile.
+//!
+//! # `unsafe` exception
+//!
+//! The workspace denies `unsafe_code`; this module carries the one
+//! documented exception (`#![allow(unsafe_code)]` below). Rust's
+//! `target_feature` rules (RFC 2396) make the annotated functions
+//! themselves safe to *define* but unsafe to *call* from code not known
+//! to have the feature, because running an AVX2 instruction on a CPU
+//! without AVX2 is undefined behaviour. Every `unsafe` block in this file
+//! is either exactly one such call guarded by the process-wide
+//! [`kernel_arch`] value (which only ever reports an architecture whose
+//! feature bits `is_x86_feature_detected!` observed at first use), or an
+//! intrinsic load/store inside the int8 microtiles whose bounds are
+//! established by plain `assert!`s at the top of the function.
+//!
+//! The selected variant can be pinned for tests and benchmarks with the
+//! `EDGENN_SIMD` environment variable (`portable`, `avx2`, or `avx512`);
+//! requesting a wider variant than the CPU supports falls back to the
+//! widest safe one.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use crate::gemm::Epilogue;
+use crate::quant::Requant;
+
+/// Microkernel instruction-set variant selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArch {
+    /// Baseline build target (SSE2 on `x86-64`): guaranteed available.
+    Portable,
+    /// 8-lane f32 FMA / 8-lane i32 (requires `avx2` + `fma`).
+    Avx2,
+    /// 16-lane f32 / 16-lane i32 (requires `avx512f/bw/dq/vl`).
+    Avx512,
+}
+
+impl KernelArch {
+    /// Stable lowercase name, used in stats, docs, and `EDGENN_SIMD`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelArch::Portable => "portable",
+            KernelArch::Avx2 => "avx2",
+            KernelArch::Avx512 => "avx512",
+        }
+    }
+}
+
+static ARCH: OnceLock<KernelArch> = OnceLock::new();
+
+/// The microkernel variant every GEMM in this process dispatches to.
+///
+/// Detected once on first use: the widest variant whose CPU feature bits
+/// are present, optionally narrowed by the `EDGENN_SIMD` environment
+/// variable. Detection is infallible and never returns a variant the CPU
+/// cannot execute.
+pub fn kernel_arch() -> KernelArch {
+    *ARCH.get_or_init(detect)
+}
+
+/// Widest variant the CPU supports, ignoring `EDGENN_SIMD`.
+fn widest_supported() -> KernelArch {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            return KernelArch::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelArch::Avx2;
+        }
+    }
+    KernelArch::Portable
+}
+
+fn detect() -> KernelArch {
+    let widest = widest_supported();
+    match std::env::var("EDGENN_SIMD").as_deref() {
+        Ok("portable") => KernelArch::Portable,
+        Ok("avx2") if widest != KernelArch::Portable => KernelArch::Avx2,
+        // Unknown values and requests beyond the CPU keep the safe widest.
+        _ => widest,
+    }
+}
+
+/// Dispatches the blocked f32 GEMM body to the selected variant.
+/// `packed` is the caller-acquired packing scratch; returns pack time in
+/// nanoseconds when `profiled`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn gemm_body_dispatch(
+    a: &[f32],
+    b: &[f32],
+    packed: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+    profiled: bool,
+) -> u64 {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kernel_arch` returned this variant only after
+        // `is_x86_feature_detected!` confirmed the features it enables.
+        KernelArch::Avx2 => unsafe { gemm_body_avx2(a, b, packed, out, m, k, n, ep, profiled) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { gemm_body_avx512(a, b, packed, out, m, k, n, ep, profiled) },
+        _ => crate::gemm::gemm_body(a, b, packed, out, m, k, n, ep, profiled),
+    }
+}
+
+/// Dispatches the small-problem f32 kernel (no packing round trip).
+#[inline]
+pub(crate) fn gemm_small_dispatch(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { gemm_small_avx2(a, b, out, m, k, n, ep) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { gemm_small_avx512(a, b, out, m, k, n, ep) },
+        _ => crate::gemm::gemm_small(a, b, out, m, k, n, ep),
+    }
+}
+
+/// Dispatches the int8 packed GEMM + requantize body. `packed` is the
+/// caller-acquired i16 packing scratch (widened operands); returns pack time when `profiled`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn qgemm_body_dispatch(
+    a: &[i8],
+    b: &[i8],
+    packed: &mut [i16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+    profiled: bool,
+) -> u64 {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { qgemm_body_avx2(a, b, packed, out, m, k, n, rq, profiled) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe {
+            qgemm_body_avx512(a, b, packed, out, m, k, n, rq, profiled)
+        },
+        _ => crate::quant::qgemm_body(a, b, packed, out, m, k, n, rq, profiled),
+    }
+}
+
+/// Dispatches the small-problem int8 kernel.
+#[inline]
+pub(crate) fn qgemm_small_dispatch(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { qgemm_small_avx2(a, b, out, m, k, n, rq) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { qgemm_small_avx512(a, b, out, m, k, n, rq) },
+        _ => crate::quant::qgemm_small(a, b, out, m, k, n, rq),
+    }
+}
+
+/// Dispatches the f32 dot product (dense-layer hot loop).
+#[inline]
+pub(crate) fn dot_dispatch(a: &[f32], b: &[f32]) -> f32 {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { dot_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { dot_avx512(a, b) },
+        _ => crate::gemm::dot_body(a, b),
+    }
+}
+
+/// Dispatches one int8 `MR x NR` microtile over the pair-broadcast
+/// packed layout (see [`crate::quant`] module docs). `a` holds `MR`
+/// widened rows of stride `kp`, `panel` one packed `NR`-column panel of
+/// `kp * NR` i16; the tile is *overwritten*. All variants produce
+/// bit-identical i32 accumulators.
+#[inline]
+pub(crate) fn qgemm_tile_dispatch(
+    a: &[i16],
+    kp: usize,
+    panel: &[i16],
+    acc: &mut [i32; crate::quant::MR * crate::quant::NR],
+) {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { qgemm_tile_avx2(a, kp, panel, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { qgemm_tile_avx512(a, kp, panel, acc) },
+        _ => crate::quant::qgemm_tile_portable(a, kp, panel, acc),
+    }
+}
+
+/// Dispatches the int8 dot product (quantized dense-layer hot loop).
+#[inline]
+pub(crate) fn dot_i8_dispatch(a: &[i8], b: &[i8]) -> i32 {
+    match kernel_arch() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: guarded by the same detection as `gemm_body_dispatch`.
+        KernelArch::Avx2 => unsafe { dot_i8_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for the avx512f/bw/dq/vl feature set.
+        KernelArch::Avx512 => unsafe { dot_i8_avx512(a, b) },
+        _ => crate::quant::dot_i8_body(a, b),
+    }
+}
+
+// The wrappers below contain no code of their own: each re-instantiates
+// the shared `#[inline(always)]` portable body under wider target
+// features, so LLVM re-vectorizes the identical safe source at the
+// variant's lane width. The bodies are deliberately closure-free (the
+// scratch arena is acquired by the caller): a closure would monomorphize
+// once at baseline width and take the hot loops with it.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_body_avx2(
+    a: &[f32],
+    b: &[f32],
+    packed: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+    profiled: bool,
+) -> u64 {
+    crate::gemm::gemm_body(a, b, packed, out, m, k, n, ep, profiled)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn gemm_body_avx512(
+    a: &[f32],
+    b: &[f32],
+    packed: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+    profiled: bool,
+) -> u64 {
+    crate::gemm::gemm_body(a, b, packed, out, m, k, n, ep, profiled)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_small_avx2(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    crate::gemm::gemm_small(a, b, out, m, k, n, ep);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn gemm_small_avx512(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    crate::gemm::gemm_small(a, b, out, m, k, n, ep);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+fn qgemm_body_avx2(
+    a: &[i8],
+    b: &[i8],
+    packed: &mut [i16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+    profiled: bool,
+) -> u64 {
+    crate::quant::qgemm_body(a, b, packed, out, m, k, n, rq, profiled)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn qgemm_body_avx512(
+    a: &[i8],
+    b: &[i8],
+    packed: &mut [i16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+    profiled: bool,
+) -> u64 {
+    crate::quant::qgemm_body(a, b, packed, out, m, k, n, rq, profiled)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn qgemm_small_avx2(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    crate::quant::qgemm_small(a, b, out, m, k, n, rq);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn qgemm_small_avx512(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rq: &Requant<'_>,
+) {
+    crate::quant::qgemm_small(a, b, out, m, k, n, rq);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    crate::gemm::dot_body(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+    crate::gemm::dot_body(a, b)
+}
+
+// Explicit-intrinsic int8 microtiles. Both variants broadcast one
+// reduction *pair* of an A row as an i32 and multiply it against a
+// pair-interleaved B panel row with `pmaddwd` (a[p]·b[p][j] +
+// a[p+1]·b[p+1][j] per i32 lane), keeping MR independent accumulator
+// sets so the multiply latency overlaps across rows. The `assert!`s
+// make every raw load below in-bounds:
+//   A pair reads:  r*kp + 2h + 1  <  MR*kp   for h < kp/2, r < MR
+//   panel reads:   32h + 31       <  16*kp   for h < kp/2 (512-bit)
+// The i32 stores target the fixed-size `acc` array by construction.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn qgemm_tile_avx512(a: &[i16], kp: usize, panel: &[i16], acc: &mut [i32; 64]) {
+    use std::arch::x86_64::{
+        _mm512_add_epi32, _mm512_loadu_si512, _mm512_madd_epi16, _mm512_set1_epi32,
+        _mm512_setzero_si512, _mm512_storeu_si512,
+    };
+    assert_eq!(kp % 2, 0);
+    assert!(a.len() >= 4 * kp && panel.len() >= 16 * kp);
+    let mut acc0 = _mm512_setzero_si512();
+    let mut acc1 = _mm512_setzero_si512();
+    let mut acc2 = _mm512_setzero_si512();
+    let mut acc3 = _mm512_setzero_si512();
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    for h in 0..kp / 2 {
+        // SAFETY: in-bounds by the asserts above; unaligned loads.
+        unsafe {
+            let b = _mm512_loadu_si512(pp.add(32 * h).cast());
+            let p0 = _mm512_set1_epi32(ap.add(2 * h).cast::<i32>().read_unaligned());
+            let p1 = _mm512_set1_epi32(ap.add(kp + 2 * h).cast::<i32>().read_unaligned());
+            let p2 = _mm512_set1_epi32(ap.add(2 * kp + 2 * h).cast::<i32>().read_unaligned());
+            let p3 = _mm512_set1_epi32(ap.add(3 * kp + 2 * h).cast::<i32>().read_unaligned());
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(p0, b));
+            acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(p1, b));
+            acc2 = _mm512_add_epi32(acc2, _mm512_madd_epi16(p2, b));
+            acc3 = _mm512_add_epi32(acc3, _mm512_madd_epi16(p3, b));
+        }
+    }
+    // SAFETY: `acc` is 64 i32s; each store writes 16 at offsets 0..=48.
+    unsafe {
+        _mm512_storeu_si512(acc.as_mut_ptr().cast(), acc0);
+        _mm512_storeu_si512(acc.as_mut_ptr().add(16).cast(), acc1);
+        _mm512_storeu_si512(acc.as_mut_ptr().add(32).cast(), acc2);
+        _mm512_storeu_si512(acc.as_mut_ptr().add(48).cast(), acc3);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn qgemm_tile_avx2(a: &[i16], kp: usize, panel: &[i16], acc: &mut [i32; 64]) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+    assert_eq!(kp % 2, 0);
+    assert!(a.len() >= 4 * kp && panel.len() >= 16 * kp);
+    let mut lo = [_mm256_setzero_si256(); 4];
+    let mut hi = [_mm256_setzero_si256(); 4];
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    for h in 0..kp / 2 {
+        // SAFETY: in-bounds by the asserts above; unaligned loads. The
+        // 512-bit panel row is consumed as two 256-bit halves.
+        unsafe {
+            let blo = _mm256_loadu_si256(pp.add(32 * h).cast());
+            let bhi = _mm256_loadu_si256(pp.add(32 * h + 16).cast());
+            for (r, (l, h_acc)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let p = _mm256_set1_epi32(ap.add(r * kp + 2 * h).cast::<i32>().read_unaligned());
+                *l = _mm256_add_epi32(*l, _mm256_madd_epi16(p, blo));
+                *h_acc = _mm256_add_epi32(*h_acc, _mm256_madd_epi16(p, bhi));
+            }
+        }
+    }
+    // SAFETY: `acc` is 64 i32s; each store writes 8 at offsets 0..=56.
+    unsafe {
+        for r in 0..4 {
+            _mm256_storeu_si256(acc.as_mut_ptr().add(16 * r).cast(), lo[r]);
+            _mm256_storeu_si256(acc.as_mut_ptr().add(16 * r + 8).cast(), hi[r]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    crate::quant::dot_i8_body(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn dot_i8_avx512(a: &[i8], b: &[i8]) -> i32 {
+    crate::quant::dot_i8_body(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_and_named() {
+        let a = kernel_arch();
+        assert_eq!(a, kernel_arch(), "arch must be selected once per process");
+        assert!(["portable", "avx2", "avx512"].contains(&a.name()));
+    }
+
+    #[test]
+    fn docs_list_every_kernel_arch() {
+        // Doc-sync contract (same pattern as the flight-recorder stage
+        // table): the dispatch table in docs/perf.md must name every
+        // KernelArch variant and the pinning env var, so a new variant
+        // cannot land without its documentation row.
+        let docs = include_str!("../../../docs/perf.md");
+        for arch in [KernelArch::Portable, KernelArch::Avx2, KernelArch::Avx512] {
+            assert!(
+                docs.contains(&format!("`{arch:?}`")),
+                "variant {arch:?} missing from docs/perf.md"
+            );
+        }
+        for needle in ["EDGENN_SIMD", "zero_point", "Requantize", "calibration"] {
+            assert!(docs.contains(needle), "{needle} missing from docs/perf.md");
+        }
+    }
+
+    #[test]
+    fn qgemm_tile_variants_agree_bitwise() {
+        // Exercise every variant the CPU can run against the portable
+        // tile, independent of which one `kernel_arch` selected.
+        for kp in [2usize, 6, 48, 146] {
+            let a: Vec<i16> = (0..4 * kp).map(|i| ((i * 37) % 255) as i16 - 127).collect();
+            let panel: Vec<i16> = (0..16 * kp)
+                .map(|i| ((i * 53) % 251) as i16 - 125)
+                .collect();
+            let mut want = [0i32; 64];
+            crate::quant::qgemm_tile_portable(&a, kp, &panel, &mut want);
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut got = [1i32; 64];
+                    // SAFETY: feature presence checked on the line above.
+                    unsafe { qgemm_tile_avx2(&a, kp, &panel, &mut got) };
+                    assert_eq!(got, want, "avx2 kp={kp}");
+                }
+                if std::arch::is_x86_feature_detected!("avx512bw") {
+                    let mut got = [2i32; 64];
+                    // SAFETY: feature presence checked on the line above.
+                    unsafe { qgemm_tile_avx512(&a, kp, &panel, &mut got) };
+                    assert_eq!(got, want, "avx512 kp={kp}");
+                }
+            }
+            let mut dispatched = [3i32; 64];
+            qgemm_tile_dispatch(&a, kp, &panel, &mut dispatched);
+            assert_eq!(dispatched, want);
+        }
+    }
+
+    #[test]
+    fn widest_supported_is_executable_here() {
+        // Smoke: run a tiny product through the dispatched kernel. If
+        // detection ever over-reports, this dies with SIGILL rather than
+        // returning a wrong answer.
+        let a = vec![1.0f32; 8];
+        let b = vec![2.0f32; 8];
+        assert!((dot_dispatch(&a, &b) - 16.0).abs() < 1e-6);
+        let qa = vec![3i8; 8];
+        let qb = vec![-2i8; 8];
+        assert_eq!(dot_i8_dispatch(&qa, &qb), -48);
+    }
+}

@@ -1,0 +1,71 @@
+//! Manual perf probe for the dispatched kernels (not a CI gate).
+//!
+//! Run with:
+//! `cargo test --release -p edgenn-tensor --test perf_probe -- --ignored --nocapture`
+//! Optionally pin a variant with `EDGENN_SIMD=portable|avx2|avx512`.
+
+use std::time::Instant;
+
+use edgenn_tensor::{
+    gemm_into, kernel_arch, qgemm_requant_into, quantize_into, row_sums, QTensor, QuantParams,
+    Quantization, Requant, Tensor,
+};
+
+fn best_ns(mut f: impl FnMut(), iters: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+#[test]
+#[ignore = "manual perf probe, prints timings"]
+fn gemm_f32_vs_int8_throughput() {
+    // VGG-ish deep conv shape: (out_c, in_c*3*3) x (k, out_h*out_w).
+    let (m, k, n) = (256, 2304, 196);
+    let w = Tensor::random(&[m, k], 1.0, 1);
+    let x = Tensor::random(&[k, n], 1.0, 2);
+    let mut out = vec![0.0f32; m * n];
+
+    let qw = QTensor::quantize_per_channel(&w).unwrap();
+    let Quantization::PerChannel(wp) = qw.quant().clone() else {
+        unreachable!()
+    };
+    let w_scales: Vec<f32> = wp.iter().map(|p| p.scale).collect();
+    let rsums = row_sums(qw.as_slice(), m, k);
+    let act = QuantParams::from_min_max(-1.0, 1.0);
+    let mut qx = vec![0i8; k * n];
+    quantize_into(x.as_slice(), &mut qx, act);
+    let rq = Requant {
+        w_scales: &w_scales,
+        act,
+        row_sums: &rsums,
+        bias: None,
+        relu: false,
+    };
+
+    let f32_ns = best_ns(
+        || {
+            out.fill(0.0);
+            gemm_into(w.as_slice(), x.as_slice(), &mut out, m, k, n);
+        },
+        12,
+    );
+    let int8_ns = best_ns(
+        || qgemm_requant_into(qw.as_slice(), &qx, &mut out, m, k, n, &rq),
+        12,
+    );
+    let flops = 2.0 * (m * k * n) as f64;
+    println!(
+        "arch={} ({m}x{k}x{n}) f32 {:.2} ms ({:.2} GFLOP/s) | int8 {:.2} ms ({:.2} Gop/s) | int8/f32 {:.2}x",
+        kernel_arch().name(),
+        f32_ns as f64 / 1e6,
+        flops / f32_ns as f64,
+        int8_ns as f64 / 1e6,
+        flops / int8_ns as f64,
+        f32_ns as f64 / int8_ns as f64,
+    );
+}

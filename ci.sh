@@ -6,12 +6,14 @@
 # 2. lints             (cargo clippy, warnings are errors)
 # 3. tier-1            (release build + root-package tests)
 # 4. full test suite   (every workspace crate)
-# 5. static checker    (edgenn check over every bundled model x platform)
-# 6. tier-D analyzer   (edgenn analyze over the same 36 combos: ownership
+# 5. graph compiler    (edgenn compile over every model x platform:
+#                       per-pass deltas, EC06x rewrite legality, tier A+B)
+# 6. static checker    (edgenn check over every bundled model x platform)
+# 7. tier-D analyzer   (edgenn analyze over the same 36 combos: ownership
 #                       proof, schedule explorer, measured<=certified gate)
-# 7. functional bench  (smoke run + schema check + regression gate)
-# 8. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
-# 9. flight recorder   (profile two models, validate Perfetto output,
+# 8. functional bench  (smoke run + schema check + regression gate)
+# 9. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
+# 10. flight recorder  (profile two models, validate Perfetto output,
 #                       recorder-overhead gate at <=5%)
 set -eu
 
@@ -27,6 +29,31 @@ cargo test -q
 
 echo "==> full workspace tests"
 cargo test --workspace -q
+
+echo "==> edgenn compile: rewrite legality (EC06x) on every model x platform"
+# The graph compiler's per-pass node/edge deltas are archived as JSON;
+# each compiled graph is re-verified with check_compiled (EC060-EC063)
+# plus tier A, and must still plan cleanly (tier B) on its platform.
+# The CLI exits non-zero on any error-severity diagnostic.
+cargo build --release -p edgenn-cli
+COMPILE_DIR=target/compile
+mkdir -p "$COMPILE_DIR"
+for model in fcnn lenet alexnet vgg squeezenet resnet; do
+    for platform in jetson rpi phone server apu apple; do
+        case "$platform" in
+            rpi|phone) config=cpu-only ;;
+            *)         config=edgenn ;;
+        esac
+        out="$COMPILE_DIR/$model-$platform.json"
+        if ! ./target/release/edgenn compile \
+                --model "$model" --platform "$platform" --config "$config" \
+                --json > "$out"; then
+            echo "compile FAILED for $model on $platform (see $out)"
+            exit 1
+        fi
+    done
+done
+echo "    36/36 legal rewrites; reports archived in $COMPILE_DIR/"
 
 echo "==> edgenn check: every model x platform"
 # Every diagnostic report is archived as JSON; any error-severity

@@ -16,6 +16,7 @@ use edgenn_core::plan::{ExecutionConfig, Precision};
 use edgenn_core::runtime::functional::Executor;
 use edgenn_core::runtime::Runtime;
 use edgenn_core::tuner::Tuner;
+use edgenn_nn::graph::CompileOptions;
 use edgenn_nn::models::{build, ModelKind, ModelScale};
 use edgenn_obs::flight;
 use edgenn_sim::platforms::jetson_agx_xavier;
@@ -27,9 +28,15 @@ use serde::{Deserialize, Serialize};
 /// `flight_dropped`); `v3` added the per-row `precision` field (each
 /// model now carries an f32 and an int8 row, both measured against the
 /// same f32 single-threaded reference) and the `int8_layers` engine
-/// counter. The vendored serde derive has no field defaults, so an
-/// older file fails to parse and must be regenerated with `run`.
-pub const SCHEMA: &str = "edgenn-bench-functional/v3";
+/// counter; `v4` runs the engine arms on the **compiled** graph
+/// (fusion/folding/DCE + compile-time weight prepacking) against the
+/// uncompiled single-threaded reference — `speedup` measures the full
+/// stack, not just the engine — and adds the per-row
+/// `nodes_pre`/`nodes_post` compiler deltas plus the `packed_bytes` and
+/// `int8_gated` counters. The vendored serde derive has no field
+/// defaults, so an older file fails to parse and must be regenerated
+/// with `run`.
+pub const SCHEMA: &str = "edgenn-bench-functional/v4";
 
 /// Engine-overhead counters mirrored from the last measured run.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -45,9 +52,17 @@ pub struct EngineCounters {
     /// Scratch bytes served from the warm arena without allocating.
     pub arena_reused_bytes: u64,
     /// Layer executions that took the quantized int8 kernel path (0 on
-    /// f32 rows; must be positive on int8 rows — every bundled model
-    /// carries int8-capable conv/dense layers).
+    /// f32 rows; on int8 rows, `int8_layers + int8_gated` must be
+    /// positive — every bundled model carries int8-capable layers).
     pub int8_layers: u64,
+    /// Int8-capable layer executions an int8 plan deliberately kept in
+    /// f32 because quantization loses on that layer shape (per-call
+    /// quantize/requantize overhead beats the halved weight traffic on
+    /// small dense layers — the committed FCNN int8 regression).
+    pub int8_gated: u64,
+    /// Weight bytes packed into GEMM/qgemm panel layouts at compile
+    /// time, so steady-state inference does zero weight-packing work.
+    pub packed_bytes: u64,
 }
 
 /// One model's measurements.
@@ -73,6 +88,12 @@ pub struct ModelRow {
     pub flight_dropped: u64,
     /// Best-of-N ns/inference inside one `batch_execute` call.
     pub batch_ns: f64,
+    /// Node count of the raw builder graph (incl. the input pseudo-node).
+    pub nodes_pre: usize,
+    /// Node count after the graph compiler's rewrite pipeline — the
+    /// graph every timed arm actually executed. Must be < `nodes_pre`:
+    /// every bundled model carries fusible activations or identities.
+    pub nodes_post: usize,
     /// `reference_ns / hybrid_ns` (> 1 means the engine beats reference).
     pub speedup: f64,
     /// Engine counters of the final steady-state run.
@@ -128,7 +149,18 @@ pub fn measure(iters: u32) -> BenchReport {
     let runtime = Runtime::new(&platform);
     let mut models = Vec::new();
     for kind in ModelKind::ALL {
-        let graph = build(kind, ModelScale::Tiny);
+        // Compile before tuning: the tuner plans over the rewritten DAG,
+        // and both precisions' weights are packed once, here, so the
+        // timed engine runs below do zero weight-packing work. The
+        // reference arm stays the *uncompiled* single-threaded forward
+        // — built fresh so it shares no prepacked layers with the
+        // compiled graph — and the speedup therefore measures the full
+        // stack (compiler + engine) against naive execution of the
+        // model as constructed.
+        let raw = build(kind, ModelScale::Tiny);
+        let (graph, creport) =
+            edgenn_nn::graph::compile(&build(kind, ModelScale::Tiny), &CompileOptions::int8())
+                .expect("compile");
         let tuner = Tuner::new(&graph, &runtime).expect("tuner");
         let input = Tensor::random(graph.input_shape().dims(), 1.0, 7);
         let executor = Executor::new(&graph).expect("executor");
@@ -156,7 +188,7 @@ pub fn measure(iters: u32) -> BenchReport {
         // per-worker rings; its delta over recorder-off is the always-on
         // profiling tax that `overhead_gate` bounds.
         flight::disable();
-        std::hint::black_box(graph.forward(&input).expect("reference")); // warmup
+        std::hint::black_box(raw.forward(&input).expect("reference")); // warmup
         let mut dropped = [0u64; 2];
         for (pi, (_, plan)) in plans.iter().enumerate() {
             std::hint::black_box(executor.execute(plan, &input).expect("hybrid")); // warmup, off
@@ -169,7 +201,7 @@ pub fn measure(iters: u32) -> BenchReport {
         let mut reference = f64::INFINITY;
         let mut off_on = [[f64::INFINITY; 2]; 2]; // [precision][recorder off, on]
         for _ in 0..iters {
-            fold_best(&mut reference, || graph.forward(&input).expect("reference"));
+            fold_best(&mut reference, || raw.forward(&input).expect("reference"));
             for (pi, (_, plan)) in plans.iter().enumerate() {
                 fold_best(&mut off_on[pi][0], || {
                     executor.execute(plan, &input).expect("hybrid")
@@ -206,6 +238,8 @@ pub fn measure(iters: u32) -> BenchReport {
                 flight_ns: off_on[pi][1] * 1e9,
                 flight_dropped: dropped[pi],
                 batch_ns,
+                nodes_pre: creport.nodes_pre,
+                nodes_post: creport.nodes_post,
                 speedup: reference_ns / hybrid_ns,
                 engine: EngineCounters {
                     pool_tasks: e.pool_tasks,
@@ -214,6 +248,8 @@ pub fn measure(iters: u32) -> BenchReport {
                     arena_fresh_bytes: e.arena_fresh_bytes,
                     arena_reused_bytes: e.arena_reused_bytes,
                     int8_layers: outcome.int8_layers as u64,
+                    int8_gated: outcome.int8_gated as u64,
+                    packed_bytes: creport.prepacked_bytes,
                 },
             });
         }
@@ -264,18 +300,25 @@ pub fn validate(report: &BenchReport) -> Result<(), String> {
                 row.model, row.speedup
             ));
         }
+        if row.nodes_post >= row.nodes_pre {
+            return Err(format!(
+                "{}: compiler removed nothing ({} -> {} nodes) — every bundled \
+                 model carries fusible activations or identities",
+                row.model, row.nodes_pre, row.nodes_post
+            ));
+        }
         match row.precision {
-            Precision::Int8 if row.engine.int8_layers == 0 => {
+            Precision::Int8 if row.engine.int8_layers + row.engine.int8_gated == 0 => {
                 return Err(format!(
-                    "{}: int8 row ran no quantized layers — every bundled model \
-                     carries int8-capable conv/dense layers",
+                    "{}: int8 row ran no quantized layers and gated none — every \
+                     bundled model carries int8-capable conv/dense layers",
                     row.model
                 ));
             }
-            Precision::F32 if row.engine.int8_layers > 0 => {
+            Precision::F32 if row.engine.int8_layers > 0 || row.engine.int8_gated > 0 => {
                 return Err(format!(
-                    "{}: f32 row reports {} int8 layer executions",
-                    row.model, row.engine.int8_layers
+                    "{}: f32 row reports {} int8 / {} gated layer executions",
+                    row.model, row.engine.int8_layers, row.engine.int8_gated
                 ));
             }
             _ => {}
@@ -400,6 +443,8 @@ mod tests {
             flight_ns: hybrid_ns * 1.02,
             flight_dropped: 0,
             batch_ns: hybrid_ns,
+            nodes_pre: 14,
+            nodes_post: 10,
             speedup: reference_ns / hybrid_ns,
             engine: EngineCounters::default(),
         }
@@ -500,9 +545,26 @@ mod tests {
         r.models[0].engine.int8_layers = 0;
         assert!(validate(&r).unwrap_err().contains("no quantized layers"));
 
+        // A fully gated int8 row is legal: the gate deliberately keeps
+        // shapes where quantization loses (FCNN's small dense layers) in
+        // f32, and that decision must be representable in the report.
+        r.models[0].engine.int8_gated = 4;
+        assert_eq!(validate(&r), Ok(()));
+
         let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
         r.models[0].engine.int8_layers = 3;
         assert!(validate(&r).unwrap_err().contains("f32 row"));
+
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.models[0].engine.int8_gated = 2;
+        assert!(validate(&r).unwrap_err().contains("f32 row"));
+    }
+
+    #[test]
+    fn validate_requires_the_compiler_to_have_removed_nodes() {
+        let mut r = report(vec![row("fcnn", 4000.0, 2000.0)]);
+        r.models[0].nodes_post = r.models[0].nodes_pre;
+        assert!(validate(&r).unwrap_err().contains("removed nothing"));
     }
 
     #[test]

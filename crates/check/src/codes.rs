@@ -3,7 +3,7 @@
 //! Codes are grouped by tier: `EC00x` graph analysis, `EC01x` plan
 //! analysis, `EC02x` trace race detection, `EC03x` report accounting,
 //! `EC04x` recovery-trace validation, `EC05x` ownership/liveness
-//! analysis.
+//! analysis, `EC06x` compile rewrite legality.
 //! Codes are append-only — a released code never changes meaning, so
 //! tooling (CI gates, dashboards) can match on them forever.
 
@@ -95,6 +95,19 @@ pub const MERGE_ALIASES_LIVE_SLOT: &str = "EC057";
 pub const CERTIFIED_PEAK_EXCEEDS_DRAM: &str = "EC058";
 /// Ownership: the schedule writes the borrowed network-input slot.
 pub const BORROWED_INPUT_WRITTEN: &str = "EC059";
+
+/// Compile: the compiled graph's interface (input or output shape)
+/// differs from the original graph's.
+pub const COMPILE_INTERFACE_CHANGED: &str = "EC060";
+/// Compile: a fused node violates the partial-range contract (a `+relu`
+/// node that is itself a ReLU, or supports input splits without
+/// deferring its folded epilogue).
+pub const COMPILE_FUSION_CONTRACT: &str = "EC061";
+/// Compile: dead or orphaned nodes survive compilation (an unreachable
+/// node, or a constant feeding nothing).
+pub const COMPILE_ORPHANED_NODES: &str = "EC062";
+/// Compile: the compile report disagrees with the graph it describes.
+pub const COMPILE_REPORT_MISMATCH: &str = "EC063";
 
 /// Registry entry: one stable code with its default severity and a
 /// one-line remediation (mirrored into `docs/diagnostics.md`).
@@ -381,6 +394,34 @@ pub fn registry() -> &'static [CodeInfo] {
             lenient: false,
             remediation: "Slot 0 borrows the caller's input tensor; no node may write it.",
         },
+        CodeInfo {
+            code: COMPILE_INTERFACE_CHANGED,
+            title: "compiled interface changed",
+            severity: Error,
+            lenient: false,
+            remediation: "Compiler rewrites must preserve the graph's input and output shapes exactly.",
+        },
+        CodeInfo {
+            code: COMPILE_FUSION_CONTRACT,
+            title: "fused node breaks partial-range contract",
+            severity: Error,
+            lenient: false,
+            remediation: "A +relu node must wrap a non-ReLU producer and defer its epilogue when it supports input splits.",
+        },
+        CodeInfo {
+            code: COMPILE_ORPHANED_NODES,
+            title: "orphaned nodes after compilation",
+            severity: Error,
+            lenient: false,
+            remediation: "Run the dce pass last; every compiled node must reach the sink (constants included).",
+        },
+        CodeInfo {
+            code: COMPILE_REPORT_MISMATCH,
+            title: "compile report disagrees with graph",
+            severity: Error,
+            lenient: false,
+            remediation: "Regenerate the report from the compile call that produced the graph; do not edit either by hand.",
+        },
     ]
 }
 
@@ -397,7 +438,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 37);
+        assert_eq!(reg.len(), 41);
         for pair in reg.windows(2) {
             assert!(pair[0].code < pair[1].code, "codes must stay sorted");
         }

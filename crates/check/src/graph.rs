@@ -88,9 +88,15 @@ pub fn check_graph(graph: &Graph) -> Vec<Diagnostic> {
         }
 
         // EC005 — illegal fusion: a "+relu"-named node is either ReLU
-        // fused into ReLU, or a fusion over a layer whose partial results
-        // are not final (ReLU does not distribute over partial sums).
-        if layer.name().ends_with("+relu") && (layer.is_relu() || layer.input_split_supported()) {
+        // fused into ReLU, or a fusion over a layer whose partial sums
+        // are not final *and* whose epilogue is not deferred (ReLU does
+        // not distribute over partial sums; a fused node may keep input
+        // splits only by declaring `deferred_epilogue_relu`, which makes
+        // the executor clamp once after the merge).
+        if layer.name().ends_with("+relu")
+            && (layer.is_relu()
+                || (layer.input_split_supported() && !layer.deferred_epilogue_relu()))
+        {
             out.push(Diagnostic::new(
                 codes::ILLEGAL_FUSION,
                 Span::Node(idx),
@@ -100,7 +106,7 @@ pub fn check_graph(graph: &Graph) -> Vec<Diagnostic> {
                     if layer.is_relu() {
                         "producer is itself a ReLU"
                     } else {
-                        "producer emits non-final partial sums"
+                        "producer emits non-final partial sums without a deferred epilogue"
                     }
                 ),
             ));

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod codes;
+pub mod compile;
 pub mod flight;
 pub mod graph;
 pub mod ownership;
@@ -46,6 +47,7 @@ use edgenn_obs::{EventSink, SinkEvent};
 use serde::Serialize;
 
 pub use codes::{code_info, registry, CodeInfo};
+pub use compile::check_compiled;
 pub use flight::check_flight_records;
 pub use graph::check_graph;
 pub use ownership::{

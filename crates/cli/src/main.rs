@@ -22,8 +22,9 @@ use std::sync::Arc;
 use args::{parse_model, parse_platform, Options};
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::Runtime;
+use edgenn_nn::graph::{compile, CompileOptions, CompileReport};
 use edgenn_nn::models::{build, ModelScale};
-use edgenn_obs::{Labels, ProfileSummary, Recorder};
+use edgenn_obs::{EventSink, Labels, ProfileSummary, Recorder, SinkEvent};
 use edgenn_sim::trace::to_chrome_trace_with_counters;
 use edgenn_sim::Platform;
 
@@ -39,6 +40,8 @@ USAGE:
     edgenn compare   --model M --platform P [--trace-out FILE] [--metrics-out FILE]
     edgenn check     --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--lenient]
+    edgenn compile   --model M [--platform P] [--config C] [--scale paper|tiny]
+                     [--json] [--dump] [--out FILE] [--prepack|--no-prepack]
     edgenn analyze   --model M --platform P [--config C] [--scale paper|tiny]
                      [--json] [--functional]
     edgenn profile   <model> --platform P [--config C] [--scale paper|tiny]
@@ -53,6 +56,26 @@ USAGE:
 MODELS:     fcnn lenet alexnet vgg squeezenet resnet
 PLATFORMS:  jetson (jetson-xavier) rpi phone server apu apple
 CONFIGS:    edgenn baseline cpu-only memory-only hybrid-only inter-only energy
+
+COMPILATION:
+    Every command taking [--model M] first runs the graph compiler
+    (identity elimination, activation fusion, constant folding,
+    slice/concat cancellation, DCE, fixpoint) so the tuner plans over the
+    optimized DAG; pass --no-compile to work on the raw builder graph.
+    Weight prepacking into GEMM panel layouts happens at tiny scale
+    (where the functional engine actually runs); paper-scale weights stay
+    lazy/analytic unless --prepack forces packing.
+
+COMPILE:
+    Runs the compiler alone, prints per-pass node/edge deltas, and
+    re-verifies the rewrite: EC06x rewrite-legality codes (interface
+    preserved, fused-node partial-range contract, no orphans, report
+    consistency) plus the full tier-A graph check; with --platform, the
+    tier-B profile/plan checks run on the compiled graph too.
+    --dump      also print the compiled graph's layer table
+    --json      machine-readable report (passes, deltas, diagnostics)
+    --out FILE  write the JSON report to FILE (used by ci.sh archiving)
+    Exit status is non-zero when any error-severity diagnostic fires.
 
 PRECISION:
     Every command taking [--config C] also takes [--precision f32|int8]
@@ -136,6 +159,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(&options),
         Some("compare") => cmd_compare(&options),
         Some("check") => cmd_check(&options),
+        Some("compile") => cmd_compile(&options),
         Some("analyze") => cmd_analyze(&options),
         Some("profile") => cmd_profile(&options),
         Some("storm") => cmd_storm(&options),
@@ -240,22 +264,138 @@ impl<'o> ObsOutputs<'o> {
     }
 }
 
-fn required_graph(options: &Options) -> Result<edgenn_nn::graph::Graph, String> {
-    let model = parse_model(options.value("model").ok_or("--model is required")?)?;
-    let scale = match options.value("scale").unwrap_or("paper") {
-        "paper" => ModelScale::Paper,
-        "tiny" => ModelScale::Tiny,
-        other => return Err(format!("unknown scale '{other}' (expected paper|tiny)")),
+/// A model ready to run: built at the requested scale and, unless
+/// `--no-compile` was passed, optimized by the graph compiler (the
+/// tuner then plans over the rewritten DAG). `report` is `None` only
+/// for raw graphs.
+struct LoadedModel {
+    graph: edgenn_nn::graph::Graph,
+    report: Option<CompileReport>,
+}
+
+fn parse_scale(options: &Options, default: &str) -> Result<ModelScale, String> {
+    match options.value("scale").unwrap_or(default) {
+        "paper" => Ok(ModelScale::Paper),
+        "tiny" => Ok(ModelScale::Tiny),
+        other => Err(format!("unknown scale '{other}' (expected paper|tiny)")),
+    }
+}
+
+/// Compiler options for one invocation. Prepacking materializes weights,
+/// and paper-scale graphs are analytic-only (their weights are lazy by
+/// design), so packing defaults on at tiny scale — where the functional
+/// engine actually executes — and off at paper scale; `--prepack` /
+/// `--no-prepack` override. `--precision int8` also packs the quantized
+/// sidecar.
+fn compile_options(options: &Options, scale: ModelScale) -> Result<CompileOptions, String> {
+    let int8 = match options.value("precision") {
+        Some(name) => args::parse_precision(name)? == edgenn_core::plan::Precision::Int8,
+        None => false,
     };
-    Ok(build(model, scale))
+    let mut copts = if int8 {
+        CompileOptions::int8()
+    } else {
+        CompileOptions::default()
+    };
+    let prepack = if options.has("prepack") {
+        true
+    } else if options.has("no-prepack") {
+        false
+    } else {
+        scale == ModelScale::Tiny
+    };
+    if !prepack {
+        copts.prepack_f32 = false;
+        copts.prepack_int8 = false;
+    }
+    Ok(copts)
+}
+
+/// Compiles `raw` (honoring `--no-compile`) and refuses to hand out a
+/// graph whose rewrite fails the EC06x legality checks.
+fn compile_loaded(
+    options: &Options,
+    scale: ModelScale,
+    raw: edgenn_nn::graph::Graph,
+) -> Result<LoadedModel, String> {
+    if options.has("no-compile") {
+        return Ok(LoadedModel {
+            graph: raw,
+            report: None,
+        });
+    }
+    let copts = compile_options(options, scale)?;
+    let (graph, report) = compile(&raw, &copts).map_err(|e| format!("compile: {e}"))?;
+    let diags = edgenn_check::check_compiled(&raw, &graph, &report);
+    if !diags.is_empty() {
+        let mut msg = format!(
+            "graph compiler produced an illegal rewrite of {} ({} finding(s)):\n",
+            raw.name(),
+            diags.len()
+        );
+        for d in &diags {
+            msg.push_str(&format!("  {d}\n"));
+        }
+        return Err(msg);
+    }
+    Ok(LoadedModel {
+        graph,
+        report: Some(report),
+    })
+}
+
+fn required_graph(options: &Options) -> Result<LoadedModel, String> {
+    let model = parse_model(options.value("model").ok_or("--model is required")?)?;
+    let scale = parse_scale(options, "paper")?;
+    compile_loaded(options, scale, build(model, scale))
+}
+
+/// Mirrors a compile report into the recorder as `CompilerPass` events
+/// (one per pass, aggregated across fixpoint iterations, plus one for
+/// the prepack stage), so compiler work shows up in exported metrics
+/// next to the engine counters.
+fn emit_compiler_events(rec: &Recorder, report: &CompileReport) {
+    let mut totals: Vec<(&'static str, u64, u64)> = Vec::new();
+    for p in &report.passes {
+        let eliminated = p.nodes_before.saturating_sub(p.nodes_after) as u64;
+        match totals.iter_mut().find(|(name, _, _)| *name == p.pass) {
+            Some((_, applied, nodes)) => {
+                *applied += p.rewrites as u64;
+                *nodes += eliminated;
+            }
+            None => totals.push((p.pass, p.rewrites as u64, eliminated)),
+        }
+    }
+    for (pass, applied, nodes_eliminated) in totals {
+        rec.emit(SinkEvent::CompilerPass {
+            pass,
+            applied,
+            nodes_eliminated,
+            bytes_prepacked: 0,
+        });
+    }
+    if report.prepacked_nodes > 0 {
+        rec.emit(SinkEvent::CompilerPass {
+            pass: "prepack",
+            applied: report.prepacked_nodes as u64,
+            nodes_eliminated: 0,
+            bytes_prepacked: report.prepacked_bytes,
+        });
+    }
 }
 
 fn cmd_simulate(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel {
+        graph,
+        report: compile_report,
+    } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
 
     let obs = ObsOutputs::from_options(options, graph.name(), &platform)?;
+    if let (Some(rec), Some(report)) = (&obs.recorder, &compile_report) {
+        emit_compiler_events(rec, report);
+    }
     let runtime = obs.runtime(&platform);
     let mut tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
     let plan = if obs.wanted() {
@@ -418,7 +558,10 @@ fn assignment_cell(assignment: &edgenn_core::plan::Assignment) -> String {
 }
 
 fn cmd_explain(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel {
+        graph,
+        report: compile_report,
+    } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
 
@@ -478,11 +621,23 @@ fn cmd_explain(options: &Options) -> Result<(), String> {
         rows.len(),
         report.total_us
     );
+    if let Some(c) = &compile_report {
+        println!(
+            "compiler: {} -> {} nodes ({} pass rewrite(s) over {} iteration(s), \
+             {} node(s) / {} byte(s) prepacked)",
+            c.nodes_pre,
+            c.nodes_post,
+            c.passes.iter().map(|p| p.rewrites).sum::<usize>(),
+            c.iterations,
+            c.prepacked_nodes,
+            c.prepacked_bytes
+        );
+    }
     Ok(())
 }
 
 fn cmd_plan(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel { graph, .. } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
     let runtime = Runtime::new(&platform);
@@ -519,7 +674,7 @@ fn cmd_plan(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_compare(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel { graph, .. } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let obs = ObsOutputs::from_options(options, graph.name(), &platform)?;
     let runtime = obs.runtime(&platform);
@@ -584,7 +739,7 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_check(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel { graph, .. } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
 
@@ -635,10 +790,165 @@ fn cmd_check(options: &Options) -> Result<(), String> {
     }
 }
 
+fn cmd_compile(options: &Options) -> Result<(), String> {
+    let model = parse_model(options.value("model").ok_or("--model is required")?)?;
+    let scale = parse_scale(options, "paper")?;
+    let raw = build(model, scale);
+    let copts = compile_options(options, scale)?;
+    let (compiled, report) = compile(&raw, &copts).map_err(|e| format!("compile: {e}"))?;
+
+    // Re-verify the rewrite: EC06x legality, then the full tier-A graph
+    // check on the result.
+    let mut check = edgenn_check::CheckReport::default();
+    check.extend(edgenn_check::check_compiled(&raw, &compiled, &report));
+    check.extend(edgenn_check::check_graph(&compiled));
+
+    // With a platform, the compiled graph must also plan cleanly (tier B).
+    let platform = match options.value("platform") {
+        Some(name) => Some(parse_platform(name)?),
+        None => None,
+    };
+    if let Some(p) = &platform {
+        let config = args::resolve_config(options)?;
+        let runtime = Runtime::new(p);
+        let tuner = Tuner::new(&compiled, &runtime).map_err(|e| e.to_string())?;
+        check.extend(edgenn_check::check_profile(tuner.stats()));
+        let plan = tuner
+            .plan(&compiled, &runtime, config)
+            .map_err(|e| e.to_string())?;
+        check.extend(edgenn_check::check_plan(&compiled, &plan, p));
+    }
+
+    if options.has("json") || options.value("out").is_some() {
+        let mut m = serde_json::Map::new();
+        m.insert("model", serde_json::Value::from(raw.name()));
+        m.insert(
+            "platform",
+            platform.as_ref().map_or(serde_json::Value::Null, |p| {
+                serde_json::Value::from(p.name.as_str())
+            }),
+        );
+        m.insert(
+            "scale",
+            serde_json::Value::from(options.value("scale").unwrap_or("paper")),
+        );
+        m.insert(
+            "nodes_pre",
+            serde_json::Value::from(report.nodes_pre as u64),
+        );
+        m.insert(
+            "nodes_post",
+            serde_json::Value::from(report.nodes_post as u64),
+        );
+        m.insert(
+            "edges_pre",
+            serde_json::Value::from(report.edges_pre as u64),
+        );
+        m.insert(
+            "edges_post",
+            serde_json::Value::from(report.edges_post as u64),
+        );
+        m.insert(
+            "iterations",
+            serde_json::Value::from(report.iterations as u64),
+        );
+        m.insert(
+            "prepacked_bytes",
+            serde_json::Value::from(report.prepacked_bytes),
+        );
+        m.insert(
+            "prepacked_nodes",
+            serde_json::Value::from(report.prepacked_nodes as u64),
+        );
+        let passes = report
+            .passes
+            .iter()
+            .map(|p| {
+                let mut row = serde_json::Map::new();
+                row.insert("pass", serde_json::Value::from(p.pass));
+                row.insert("iteration", serde_json::Value::from(p.iteration as u64));
+                row.insert(
+                    "nodes_before",
+                    serde_json::Value::from(p.nodes_before as u64),
+                );
+                row.insert("nodes_after", serde_json::Value::from(p.nodes_after as u64));
+                row.insert(
+                    "edges_before",
+                    serde_json::Value::from(p.edges_before as u64),
+                );
+                row.insert("edges_after", serde_json::Value::from(p.edges_after as u64));
+                row.insert("rewrites", serde_json::Value::from(p.rewrites as u64));
+                serde_json::Value::Object(row)
+            })
+            .collect::<Vec<_>>();
+        m.insert("passes", serde_json::Value::Array(passes));
+        m.insert("check", check.to_json());
+        m.insert("clean", serde_json::Value::from(check.is_clean()));
+        let text = serde_json::to_string_pretty(&serde_json::Value::Object(m))
+            .map_err(|e| e.to_string())?;
+        if let Some(path) = options.value("out") {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            if !options.has("json") {
+                eprintln!("compile report written to {path}");
+            }
+        }
+        if options.has("json") {
+            println!("{text}");
+        }
+    } else {
+        println!(
+            "{} ({}) — compiled in {} iteration(s): {} -> {} nodes, {} -> {} edges",
+            raw.name(),
+            options.value("scale").unwrap_or("paper"),
+            report.iterations,
+            report.nodes_pre,
+            report.nodes_post,
+            report.edges_pre,
+            report.edges_post
+        );
+        println!(
+            "{:<18} {:>5} {:>12} {:>12} {:>9}",
+            "pass", "iter", "nodes", "edges", "rewrites"
+        );
+        for p in &report.passes {
+            println!(
+                "{:<18} {:>5} {:>5} -> {:<4} {:>5} -> {:<4} {:>9}",
+                p.pass,
+                p.iteration,
+                p.nodes_before,
+                p.nodes_after,
+                p.edges_before,
+                p.edges_after,
+                p.rewrites
+            );
+        }
+        println!(
+            "prepack: {} node(s), {} byte(s) packed into kernel layouts",
+            report.prepacked_nodes, report.prepacked_bytes
+        );
+        if !check.diagnostics.is_empty() {
+            print!("{}", check.render_table());
+        }
+        if options.has("dump") {
+            print!("\n{}", compiled.summary());
+        }
+    }
+
+    if check.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "compile verification failed: {} error(s) on {}",
+            check.error_count(),
+            raw.name()
+        ))
+    }
+}
+
 fn cmd_analyze(options: &Options) -> Result<(), String> {
     use edgenn_core::runtime::sched_explore;
 
-    let graph = required_graph(options)?;
+    let LoadedModel { graph, .. } = required_graph(options)?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
 
@@ -920,12 +1230,8 @@ fn cmd_profile(options: &Options) -> Result<(), String> {
         .or_else(|| options.value("model"))
         .ok_or("profile needs a model: edgenn profile <model> --platform P")?;
     let model = parse_model(model_name)?;
-    let scale = match options.value("scale").unwrap_or("tiny") {
-        "paper" => ModelScale::Paper,
-        "tiny" => ModelScale::Tiny,
-        other => return Err(format!("unknown scale '{other}' (expected paper|tiny)")),
-    };
-    let graph = build(model, scale);
+    let scale = parse_scale(options, "tiny")?;
+    let LoadedModel { graph, .. } = compile_loaded(options, scale, build(model, scale))?;
     let platform = parse_platform(options.value("platform").ok_or("--platform is required")?)?;
     let config = args::resolve_config(options)?;
     let runs: usize = match options.value("runs") {
@@ -1351,7 +1657,7 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_inspect(options: &Options) -> Result<(), String> {
-    let graph = required_graph(options)?;
+    let LoadedModel { graph, .. } = required_graph(options)?;
     print!("{}", graph.summary());
     let structure = graph.structure().map_err(|e| e.to_string())?;
     if structure.is_pure_chain() {

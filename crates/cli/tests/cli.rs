@@ -78,9 +78,13 @@ fn plan_dump_parses_and_validates() {
     let out = edgenn(&["plan", "--model", "squeezenet", "--platform", "jetson"]);
     assert!(out.status.success());
     let plan: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    // The plan covers the *compiled* graph: raw SqueezeNet has 67 nodes,
+    // and the compiler (fusion + identity elimination + slice
+    // cancellation) must remove a substantial fraction of them.
+    let nodes = plan["nodes"].as_array().unwrap().len();
     assert!(
-        plan["nodes"].as_array().unwrap().len() > 60,
-        "SqueezeNet has > 60 nodes"
+        (30..60).contains(&nodes),
+        "compiled SqueezeNet should plan 30..60 nodes, got {nodes}"
     );
 }
 

@@ -52,10 +52,14 @@ const CUTOFF_FLOOR: u64 = 1 << 16;
 const CUTOFF_CEIL: u64 = 1 << 24;
 
 /// Flight-recorder capacity reserved per graph node at executor
-/// construction. VGG-16 (41 nodes) measured ~225 records per node in
-/// one request window; 512 leaves 2x headroom for int8 plans (extra
-/// quantize pack spans) and fault-injected reruns.
-const FLIGHT_RECORDS_PER_NODE: usize = 512;
+/// construction. VGG-16 (41 raw nodes) measured ~225 records per node
+/// in one request window. Compiled graphs raise the *density*: a fused
+/// `conv+relu` node emits the spans of both constituent ops but counts
+/// as one node (ResNet-18 drops ~24% of its nodes), so the budget
+/// carries the pre-compile density times that shrinkage on top of the
+/// 2x headroom for int8 plans (extra quantize pack spans) and
+/// fault-injected reruns.
+const FLIGHT_RECORDS_PER_NODE: usize = 768;
 
 /// Minimum layer size (flops) for a split to co-run through the pool.
 ///
@@ -340,6 +344,10 @@ pub struct FunctionalOutcome {
     /// Number of layers computed by the int8 quantized kernels (zero
     /// under [`Precision::F32`] plans).
     pub int8_layers: usize,
+    /// Number of int8-capable layers an int8 plan kept in f32 because
+    /// quantize/requantize overhead beats the saved weight traffic on
+    /// their shape ([`Layer::int8_worthwhile`]).
+    pub int8_gated: usize,
     /// Number of fork-join regions whose branches ran on separate threads.
     pub parallel_regions: usize,
     /// Engine-overhead accounting (pool + scratch arena).
@@ -493,6 +501,7 @@ impl<'g> Executor<'g> {
         let corun = AtomicUsize::new(0);
         let cpu = AtomicUsize::new(0);
         let int8 = AtomicUsize::new(0);
+        let int8_gated = AtomicUsize::new(0);
         let slot_bytes = AtomicU64::new(0);
         let pool: Pool<'_, TaskResult> = Pool::new();
 
@@ -515,6 +524,7 @@ impl<'g> Executor<'g> {
                             corun: &corun,
                             cpu: &cpu,
                             int8: &int8,
+                            int8_gated: &int8_gated,
                             slot_bytes: &slot_bytes,
                             faults: self.faults.as_ref(),
                             corun_cutoff: self.corun_cutoff,
@@ -543,6 +553,7 @@ impl<'g> Executor<'g> {
                     corun_layers: counters.corun,
                     cpu_layers: counters.cpu,
                     int8_layers: counters.int8,
+                    int8_gated: counters.int8_gated,
                     parallel_regions: counters.parallel_regions,
                     engine: counters.engine,
                     recovery: counters.recovery,
@@ -561,6 +572,10 @@ impl<'g> Executor<'g> {
         observer.emit(SinkEvent::EngineCounter {
             name: "int8_layers",
             value: outcome.int8_layers as f64,
+        });
+        observer.emit(SinkEvent::EngineCounter {
+            name: "int8_gated_layers",
+            value: outcome.int8_gated as f64,
         });
         for (name, value) in [
             ("pool_tasks", engine.pool_tasks as f64),
@@ -612,6 +627,7 @@ struct RunCounters {
     corun: usize,
     cpu: usize,
     int8: usize,
+    int8_gated: usize,
     parallel_regions: usize,
     engine: EngineStats,
     recovery: FaultCounts,
@@ -631,6 +647,7 @@ struct Ctx<'env> {
     corun: &'env AtomicUsize,
     cpu: &'env AtomicUsize,
     int8: &'env AtomicUsize,
+    int8_gated: &'env AtomicUsize,
     slot_bytes: &'env AtomicU64,
     faults: Option<&'env FaultInjector>,
     corun_cutoff: u64,
@@ -655,6 +672,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
     let corun_before = ctx.corun.load(Ordering::Relaxed);
     let cpu_before = ctx.cpu.load(Ordering::Relaxed);
     let int8_before = ctx.int8.load(Ordering::Relaxed);
+    let int8_gated_before = ctx.int8_gated.load(Ordering::Relaxed);
     let recovery_before = ctx.faults.map(FaultInjector::counts).unwrap_or_default();
 
     // Per-request flight window: everything recorded between here and
@@ -714,6 +732,7 @@ fn run_one<'env>(ctx: Ctx<'env>, pool: &Pool<'env, TaskResult>) -> Result<RunCou
         corun: ctx.corun.load(Ordering::Relaxed) - corun_before,
         cpu: ctx.cpu.load(Ordering::Relaxed) - cpu_before,
         int8: ctx.int8.load(Ordering::Relaxed) - int8_before,
+        int8_gated: ctx.int8_gated.load(Ordering::Relaxed) - int8_gated_before,
         parallel_regions,
         recovery: recovery_before.delta(&ctx.faults.map(FaultInjector::counts).unwrap_or_default()),
         engine: stats_before.snapshot_delta(&stats_after),
@@ -904,11 +923,17 @@ fn forward_assigned<'env>(
     // Input-channel splits stay f32 regardless of the plan's precision:
     // their partial *sums* need f32 accumulation, and requantizing each
     // partial would double the rounding error.
-    let int8 = ctx.plan.config.precision == Precision::Int8
+    let int8_plan = ctx.plan.config.precision == Precision::Int8
         && layer.int8_ready()
         && !matches!(assignment, Assignment::SplitInput { .. });
+    // An int8-capable layer whose shape loses to f32 (quantize/requant
+    // overhead beats the saved weight traffic) stays in f32 — counted
+    // separately so benches can see the gate at work.
+    let int8 = int8_plan && layer.int8_worthwhile();
     if int8 {
         ctx.int8.fetch_add(1, Ordering::Relaxed);
+    } else if int8_plan {
+        ctx.int8_gated.fetch_add(1, Ordering::Relaxed);
     }
     match assignment {
         Assignment::Gpu => Ok((
@@ -978,6 +1003,12 @@ fn forward_assigned<'env>(
             let merge_span = flight::begin(flight::SpanKind::Merge, flight_node(id));
             for (m, c) in merged.as_mut_slice().iter_mut().zip(cpu_part.as_slice()) {
                 *m += c;
+            }
+            // A fused `+relu` node hands out *raw* partial sums on the
+            // input split (relu(a) + relu(b) != relu(a + b)); its folded
+            // activation applies exactly once, here, after the merge.
+            if layer.deferred_epilogue_relu() {
+                edgenn_tensor::ops::relu_in_place(merged.as_mut_slice());
             }
             flight::end(merge_span);
             Ok((merged, true, 0))
@@ -1348,6 +1379,71 @@ mod tests {
         }
     }
 
+    #[test]
+    fn fused_nodes_allow_input_splits_with_deferred_relu() {
+        // Satellite regression: PR 9 retires the "input-channel splitting
+        // disabled on fused layers" restriction. A fused `conv+relu` node
+        // under a forced SplitInput must hand out raw partial sums and
+        // have the executor clamp once after the merge — matching the
+        // full-range fused run within f32 partial-sum tolerance.
+        use crate::plan::{Assignment, NodePlan};
+        use edgenn_nn::graph::{compile, CompileOptions};
+        use edgenn_sim::AllocStrategy;
+        let mut fused_split_models = 0;
+        for kind in ModelKind::ALL {
+            let raw = build(kind, ModelScale::Tiny);
+            let (graph, _) = compile(&raw, &CompileOptions::default()).unwrap();
+            let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+            let mut forced_fused = 0;
+            for id in graph.topo_order() {
+                let node = graph.node(id).unwrap();
+                let shapes: Vec<_> = node
+                    .inputs()
+                    .iter()
+                    .map(|i| graph.node(*i).unwrap().output_shape())
+                    .collect();
+                if node.layer().input_split_supported()
+                    && node.layer().input_channels(&shapes).unwrap_or(1) >= 2
+                {
+                    nodes[id.index()] = NodePlan {
+                        assignment: Assignment::SplitInput { cpu_fraction: 0.4 },
+                        output_alloc: AllocStrategy::Explicit,
+                        prefetch_inputs: false,
+                    };
+                    if node.layer().deferred_epilogue_relu() {
+                        forced_fused += 1;
+                    }
+                }
+            }
+            if forced_fused == 0 {
+                continue;
+            }
+            fused_split_models += 1;
+            let plan = ExecutionPlan {
+                config: ExecutionConfig::edgenn(),
+                nodes,
+            };
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, 23);
+            let reference = graph.forward(&input).unwrap();
+            let raw_reference = raw.forward(&input).unwrap();
+            assert_eq!(
+                reference.as_slice(),
+                raw_reference.as_slice(),
+                "{kind}: compiled forward must match the uncompiled graph"
+            );
+            let outcome = execute(&graph, &plan, &input).unwrap();
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: fused input-split diverged by {}",
+                outcome.output.max_abs_diff(&reference).unwrap_or(f32::NAN)
+            );
+        }
+        assert!(
+            fused_split_models >= 3,
+            "expected fused input-splittable nodes on most conv models, got {fused_split_models}"
+        );
+    }
+
     /// First GPU-role node of `plan` (skipping the input node) — the
     /// anchor for targeted kernel-fault tests.
     fn first_gpu_role_node(graph: &Graph, plan: &ExecutionPlan) -> usize {
@@ -1646,8 +1742,8 @@ mod tests {
             let reference = graph.forward(&input).unwrap();
             let outcome = execute(&graph, &plan, &input).unwrap();
             assert!(
-                outcome.int8_layers > 0,
-                "{kind}: int8 plan must run quantized kernels"
+                outcome.int8_layers + outcome.int8_gated > 0,
+                "{kind}: int8 plan must reach the quantized kernels or the gate"
             );
             assert!(
                 outcome.output.approx_eq(&reference, 0.05),

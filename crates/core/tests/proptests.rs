@@ -9,6 +9,7 @@ use edgenn_core::partition::{optimal_partition, t_total_us, PartitionInputs};
 use edgenn_core::plan::{Assignment, ExecutionConfig, ExecutionPlan, NodePlan};
 use edgenn_core::prelude::*;
 use edgenn_core::runtime::{functional, Runtime};
+use edgenn_nn::graph::{compile, CompileOptions};
 use edgenn_sim::platforms;
 use edgenn_tensor::Tensor;
 use rand::{Rng, SeedableRng};
@@ -254,6 +255,70 @@ fn batch_execute_matches_forward_under_random_plans() {
             assert!(
                 outcome.output.approx_eq(&reference, 1e-4),
                 "{kind}: pooled batch diverged from reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_graphs_execute_losslessly_under_random_split_plans() {
+    // The executor runs the *compiled* graph (fused epilogues, folded
+    // constants, prepacked weights) under random processor choices and
+    // split fractions; the reference is the raw, uncompiled graph. The
+    // f32 path must match to merge tolerance, and the int8 path must
+    // stay within the quantization bound — on every bundled model.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC04E_0009);
+    for kind in ModelKind::ALL {
+        let raw = build(kind, ModelScale::Tiny);
+        let (graph, report) = compile(&raw, &CompileOptions::int8()).unwrap();
+        assert!(graph.len() < raw.len(), "{kind}: compiler removed nothing");
+        assert!(report.prepacked_nodes > 0, "{kind}: nothing prepacked");
+        for _ in 0..3 {
+            let mut nodes = vec![NodePlan::gpu_explicit(); graph.len()];
+            for id in graph.topo_order() {
+                let node = graph.node(id).unwrap();
+                let shapes: Vec<_> = node
+                    .inputs()
+                    .iter()
+                    .map(|i| graph.node(*i).unwrap().output_shape())
+                    .collect();
+                let units = node.layer().partition_units(&shapes).unwrap_or(1);
+                let channels = node.layer().input_channels(&shapes).unwrap_or(1);
+                nodes[id.index()].assignment = match rng.gen_range(0u8..4) {
+                    0 => Assignment::Gpu,
+                    1 => Assignment::Cpu,
+                    2 if node.layer().partitionable() && units >= 2 => Assignment::Split {
+                        cpu_fraction: rng.gen_range(0.05f64..0.95),
+                    },
+                    3 if node.layer().input_split_supported() && channels >= 2 => {
+                        Assignment::SplitInput {
+                            cpu_fraction: rng.gen_range(0.05f64..0.95),
+                        }
+                    }
+                    _ => Assignment::Gpu,
+                };
+            }
+            let input = Tensor::random(graph.input_shape().dims(), 1.0, rng.gen_range(0u64..1000));
+            let reference = raw.forward(&input).unwrap();
+
+            let plan = ExecutionPlan {
+                config: ExecutionConfig::edgenn(),
+                nodes: nodes.clone(),
+            };
+            let outcome = functional::execute(&graph, &plan, &input).unwrap();
+            assert!(
+                outcome.output.approx_eq(&reference, 1e-4),
+                "{kind}: compiled f32 execution diverged from raw reference"
+            );
+
+            let qplan = ExecutionPlan {
+                config: ExecutionConfig::edgenn_int8(),
+                nodes,
+            };
+            let qoutcome = functional::execute(&graph, &qplan, &input).unwrap();
+            assert!(
+                qoutcome.output.approx_eq(&reference, 0.05),
+                "{kind}: compiled int8 execution outside the quantization bound"
             );
         }
     }

@@ -6,15 +6,21 @@
 //! overheads). Since `relu(concat(a, b)) == concat(relu(a), relu(b))`,
 //! a producer's output-range partials stay valid after fusion, so the
 //! fused layer remains fully compatible with EdgeNN's intra-kernel
-//! co-running. Input-channel splitting is disabled on fused layers —
-//! ReLU does not distribute over the partial *sums* that split produces.
+//! co-running. Input-channel splitting stays available too: the fused
+//! node hands out *raw* partial sums (ReLU does not distribute over
+//! them) and declares `deferred_epilogue_relu`, so the executor clamps
+//! exactly once after merging the CPU and GPU halves.
+//!
+//! Since PR 9 this is a thin wrapper over the graph compiler's fusion
+//! pass (`graph::compile`); it remains exported for the ablation bench
+//! and for callers that want fusion without the full pass pipeline.
 
 use std::ops::Range;
 use std::sync::Arc;
 
 use edgenn_tensor::{QuantParams, Shape, Tensor};
 
-use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::graph::Graph;
 use crate::layer::{Layer, LayerClass};
 use crate::{Result, Workload};
 
@@ -93,6 +99,33 @@ impl Layer for FusedRelu {
         self.inner.stamp_activation(p)
     }
 
+    fn int8_worthwhile(&self) -> bool {
+        self.inner.int8_worthwhile()
+    }
+
+    fn prepack(&self, int8: bool) -> u64 {
+        self.inner.prepack(int8)
+    }
+
+    fn input_split_supported(&self) -> bool {
+        self.inner.input_split_supported()
+    }
+
+    fn input_channels(&self, inputs: &[&Shape]) -> Result<usize> {
+        self.inner.input_channels(inputs)
+    }
+
+    fn forward_partial_inputs(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        // Raw partial sums: clamping here would be wrong, because
+        // relu(a) + relu(b) != relu(a + b). The executor applies the folded
+        // ReLU exactly once after merging — see `deferred_epilogue_relu`.
+        self.inner.forward_partial_inputs(inputs, range)
+    }
+
+    fn deferred_epilogue_relu(&self) -> bool {
+        true
+    }
+
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
         let mut w = self.inner.workload(inputs)?;
         // The fused epilogue clamps each output element in registers: one
@@ -124,56 +157,7 @@ impl Layer for FusedRelu {
 /// # Errors
 /// Propagates graph-construction failures.
 pub fn fuse_relu(graph: &Graph) -> Result<Graph> {
-    // relu node -> producer it fuses into.
-    let mut fused_into: Vec<Option<NodeId>> = vec![None; graph.len()];
-    for id in graph.topo_order().skip(1) {
-        let node = graph.node(id)?;
-        if !node.layer().is_relu() {
-            continue;
-        }
-        let producer = node.inputs()[0];
-        if producer == graph.input_id() {
-            continue; // nothing to fuse into
-        }
-        // The producer must feed only this ReLU, and must not itself be a
-        // fused/relu node (no double fusion of relu->relu chains).
-        if graph.successors(producer).len() == 1
-            && !graph.node(producer)?.layer().is_relu()
-            && fused_into[producer.index()].is_none()
-        {
-            fused_into[id.index()] = Some(producer);
-        }
-    }
-
-    let mut builder = GraphBuilder::new(graph.name(), graph.input_shape().clone());
-    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
-    remap[0] = Some(builder.input_id());
-
-    for id in graph.topo_order().skip(1) {
-        let node = graph.node(id)?;
-        if let Some(producer) = fused_into[id.index()] {
-            // The ReLU disappears; it resolves to the fused producer.
-            remap[id.index()] = remap[producer.index()];
-            continue;
-        }
-        let inputs: Vec<NodeId> = node
-            .inputs()
-            .iter()
-            .map(|i| remap[i.index()].expect("topological order"))
-            .collect();
-        // Does a ReLU fuse into this node?
-        let fuses = graph
-            .successors(id)
-            .iter()
-            .any(|s| fused_into[s.index()] == Some(id));
-        let new_id = if fuses {
-            builder.add_arc(Arc::new(FusedRelu::new(node.layer_arc())), &inputs)?
-        } else {
-            builder.add_arc(node.layer_arc(), &inputs)?
-        };
-        remap[id.index()] = Some(new_id);
-    }
-    builder.finish()
+    crate::graph::compile::pass_fuse_activations(graph).map(|(g, _)| g)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! chain/branch decomposition used by EdgeNN's tuner.
 
 mod calibrate;
+mod compile;
 mod fuse;
 mod structure;
 
@@ -13,6 +14,7 @@ use crate::layer::{InputLayer, Layer};
 use crate::{NnError, Result};
 
 pub use calibrate::calibrate;
+pub use compile::{compile, CompileOptions, CompileReport, PassDelta, PASS_NAMES};
 pub use fuse::{fuse_relu, FusedRelu};
 pub use structure::{decompose, Segment, Structure};
 

@@ -94,6 +94,10 @@ impl Layer for Dropout {
         LayerClass::Activation
     }
 
+    fn is_identity(&self) -> bool {
+        true
+    }
+
     fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
         check_arity(&self.name, 1, inputs)?;
         Ok(inputs[0].clone())

@@ -55,6 +55,10 @@ impl Layer for Concat {
         self.arity
     }
 
+    fn is_concat(&self) -> bool {
+        true
+    }
+
     fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
         self.check_shapes(inputs)?;
         let axis0 = inputs.iter().map(|s| s.dims()[0]).sum();
@@ -132,13 +136,29 @@ impl Layer for AddResidual {
     }
 
     fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        self.forward_partial_fused(inputs, range, false)
+    }
+
+    fn forward_partial_fused(
+        &self,
+        inputs: &[&Tensor],
+        range: Range<usize>,
+        relu: bool,
+    ) -> Result<Tensor> {
         check_arity(&self.name, 2, inputs)?;
         let shape = self.output_shape(&[inputs[0].shape(), inputs[1].shape()])?;
         let units = shape.dim(0)?;
         validate_range(&self.name, &range, units)?;
         let a = inputs[0].slice_axis0(range.start, range.end)?;
         let b = inputs[1].slice_axis0(range.start, range.end)?;
-        a.add(&b).map_err(Into::into)
+        let mut out = a.add(&b)?;
+        // ResNet's post-residual ReLU rides in the same elementwise pass
+        // when fused: `max(a + b, 0)` is exactly add-then-clamp, so the
+        // compiled graph matches the uncompiled one bitwise.
+        if relu {
+            edgenn_tensor::ops::relu_in_place(out.as_mut_slice());
+        }
+        Ok(out)
     }
 
     fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
@@ -148,6 +168,162 @@ impl Layer for AddResidual {
             flops: elems,
             input_bytes: 2 * elems * 4,
             output_bytes: elems * 4,
+            weight_bytes: 0,
+        })
+    }
+}
+
+/// A compile-time constant: a zero-arity node holding a fixed tensor.
+///
+/// Model builders never emit these; they come from the graph compiler's
+/// constant-folding pass (an all-constant subgraph collapses into one
+/// `Constant`) and from tests that exercise it.
+#[derive(Debug, Clone)]
+pub struct Constant {
+    name: String,
+    value: Tensor,
+}
+
+impl Constant {
+    /// Creates a constant node producing `value`.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Self {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+impl Layer for Constant {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Combine
+    }
+
+    fn arity(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 0, inputs)?;
+        Ok(self.value.shape().clone())
+    }
+
+    fn partitionable(&self) -> bool {
+        false
+    }
+
+    fn partition_units(&self, _inputs: &[&Shape]) -> Result<usize> {
+        Ok(1)
+    }
+
+    fn constant_value(&self) -> Option<&Tensor> {
+        Some(&self.value)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        require_full_range(&self.name, &range, 1)?;
+        check_arity(&self.name, 0, inputs)?;
+        Ok(self.value.clone())
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 0, inputs)?;
+        Ok(Workload {
+            output_bytes: (self.value.len() * 4) as u64,
+            ..Workload::default()
+        })
+    }
+}
+
+/// An axis-0 slice `input[start..end]` of its single input.
+///
+/// The structural counterpart of [`Concat`]: a split emitted as explicit
+/// slice nodes. The compiler's split/concat simplification cancels a
+/// concat of slices that covers its producer in order, and removes
+/// full-range slices as identities.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+impl Slice {
+    /// Creates a slice keeping axis-0 units `start..end`.
+    pub fn new(name: impl Into<String>, start: usize, end: usize) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            end,
+        }
+    }
+
+    /// The kept axis-0 range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    fn check_input(&self, input: &Shape) -> Result<()> {
+        if self.start >= self.end || self.end > input.dim(0)? {
+            return Err(NnError::BadInputShape {
+                layer: self.name.clone(),
+                reason: format!(
+                    "slice {}..{} out of bounds for {input}",
+                    self.start, self.end
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// True when the slice covers its whole input (an identity).
+    pub fn covers(&self, input: &Shape) -> bool {
+        self.start == 0 && input.dim(0).is_ok_and(|d| d == self.end)
+    }
+}
+
+impl Layer for Slice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Combine
+    }
+
+    fn output_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        inputs[0]
+            .with_dim(0, self.end - self.start)
+            .map_err(Into::into)
+    }
+
+    fn slice_range(&self) -> Option<Range<usize>> {
+        Some(self.start..self.end)
+    }
+
+    fn forward_partial(&self, inputs: &[&Tensor], range: Range<usize>) -> Result<Tensor> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0].shape())?;
+        validate_range(&self.name, &range, self.end - self.start)?;
+        inputs[0]
+            .slice_axis0(self.start + range.start, self.start + range.end)
+            .map_err(Into::into)
+    }
+
+    fn workload(&self, inputs: &[&Shape]) -> Result<Workload> {
+        check_arity(&self.name, 1, inputs)?;
+        self.check_input(inputs[0])?;
+        let out = self.output_shape(inputs)?;
+        Ok(Workload {
+            flops: 0,
+            input_bytes: (inputs[0].num_elements() * 4) as u64,
+            output_bytes: (out.num_elements() * 4) as u64,
             weight_bytes: 0,
         })
     }
@@ -285,5 +461,65 @@ mod tests {
         assert_eq!(Concat::new("c", 2).workload(&[&s, &s]).unwrap().flops, 0);
         assert_eq!(Flatten::new("f").workload(&[&s]).unwrap().flops, 0);
         assert!(AddResidual::new("a").workload(&[&s, &s]).unwrap().flops > 0);
+    }
+
+    #[test]
+    fn residual_fused_relu_matches_add_then_clamp_bitwise() {
+        let a = Tensor::random(&[6, 3, 3], 1.0, 7);
+        let b = Tensor::random(&[6, 3, 3], 1.0, 8);
+        let add = AddResidual::new("add");
+        let mut reference = add.forward(&[&a, &b]).unwrap();
+        edgenn_tensor::ops::relu_in_place(reference.as_mut_slice());
+        let fused = add.forward_partial_fused(&[&a, &b], 0..6, true).unwrap();
+        assert_eq!(fused.as_slice(), reference.as_slice());
+        // Partial fused ranges tile to the same result.
+        let lo = add.forward_partial_fused(&[&a, &b], 0..2, true).unwrap();
+        let hi = add.forward_partial_fused(&[&a, &b], 2..6, true).unwrap();
+        assert_eq!(lo.as_slice(), &reference.as_slice()[..lo.len()]);
+        assert_eq!(hi.as_slice(), &reference.as_slice()[lo.len()..]);
+    }
+
+    #[test]
+    fn constant_produces_its_value() {
+        let v = Tensor::arange(&[3, 2]);
+        let c = Constant::new("k", v.clone());
+        assert_eq!(c.arity(), 0);
+        assert!(!c.partitionable());
+        assert_eq!(c.constant_value().unwrap(), &v);
+        assert_eq!(c.output_shape(&[]).unwrap(), *v.shape());
+        assert_eq!(c.forward(&[]).unwrap(), v);
+        assert_eq!(c.workload(&[]).unwrap().flops, 0);
+        assert!(matches!(
+            c.forward(&[&v]),
+            Err(NnError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_extracts_axis0_range() {
+        let x = Tensor::arange(&[5, 2]);
+        let s = Slice::new("s", 1, 4);
+        let y = s.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.as_slice(), &x.as_slice()[2..8]);
+        // Partial ranges offset into the kept window.
+        let part = s.forward_partial(&[&x], 1..3).unwrap();
+        assert_eq!(part.as_slice(), &x.as_slice()[4..8]);
+        assert_merge_invariant(&s, &[&x]);
+        assert!(Slice::new("full", 0, 5).covers(x.shape()));
+        assert!(!s.covers(x.shape()));
+    }
+
+    #[test]
+    fn slice_rejects_out_of_bounds() {
+        let x = Tensor::arange(&[4, 2]);
+        assert!(matches!(
+            Slice::new("s", 2, 2).forward(&[&x]),
+            Err(NnError::BadInputShape { .. })
+        ));
+        assert!(matches!(
+            Slice::new("s", 0, 5).forward(&[&x]),
+            Err(NnError::BadInputShape { .. })
+        ));
     }
 }

@@ -4,10 +4,10 @@ use std::ops::Range;
 use std::sync::OnceLock;
 
 use edgenn_tensor::{
-    gemm_into, gemm_into_fused, im2col_into, im2col_into_panels_i16, min_max, qgemm_panel_elems,
-    qgemm_requant_prepacked_into, quantize_into, quantize_into_panels_i16, with_scratch,
-    with_scratch_i16, with_scratch_i8, Conv2dGeometry, Epilogue, QuantParams, Requant, Shape,
-    Tensor,
+    gemm_into, gemm_into_fused, gemm_pack_a, im2col_into, im2col_into_panels_i16, min_max,
+    qgemm_panel_elems, qgemm_requant_prepacked_into, quantize_into, quantize_into_panels_i16,
+    with_scratch, with_scratch_i16, with_scratch_i8, Conv2dGeometry, Epilogue, QuantParams,
+    Requant, Shape, Tensor,
 };
 
 use crate::layer::params::{LazyParam, QuantizedWeights};
@@ -36,6 +36,11 @@ pub struct Conv2d {
     /// Calibrated activation parameters ([`Layer::stamp_activation`]);
     /// absent means dynamic per-call min/max quantization.
     act_quant: OnceLock<QuantParams>,
+    /// The weight matrix in the f32 GEMM's padded A layout, built by
+    /// [`Layer::prepack`]. Padding past the last row-panel lets any
+    /// output-channel range run the full microkernel without a
+    /// per-row tail — and without per-call packing work.
+    pweight: OnceLock<Vec<f32>>,
 }
 
 impl Conv2d {
@@ -74,6 +79,7 @@ impl Conv2d {
             in_channels,
             qweight: OnceLock::new(),
             act_quant: OnceLock::new(),
+            pweight: OnceLock::new(),
         }
     }
 
@@ -100,6 +106,7 @@ impl Conv2d {
         self.weight = LazyParam::from_tensor(weight);
         self.bias = LazyParam::from_tensor(bias);
         self.qweight = OnceLock::new();
+        self.pweight = OnceLock::new();
         Ok(self)
     }
 
@@ -179,8 +186,13 @@ impl Layer for Conv2d {
         let cols = oh * ow;
         // The weight matrix is pre-flattened row-major, so an output-channel
         // range is a contiguous sub-slice — no copy, unlike `slice_axis0`.
-        let w = self.weight.get().as_slice();
-        let w_part = &w[range.start * patch..range.end * patch];
+        // A prepacked weight keeps the trailing row-panel padding in the
+        // slice so the GEMM runs full microkernel blocks on the tail.
+        let w_part: &[f32] = if let Some(p) = self.pweight.get() {
+            &p[range.start * patch..]
+        } else {
+            &self.weight.get().as_slice()[range.start * patch..range.end * patch]
+        };
         let bias_full = self.bias.get();
         let bias = &bias_full.as_slice()[range.clone()];
         // Bias (and the fused ReLU) ride in the GEMM's write-back
@@ -281,6 +293,31 @@ impl Layer for Conv2d {
 
     fn stamp_activation(&self, p: QuantParams) -> bool {
         self.act_quant.set(p).is_ok()
+    }
+
+    fn prepack(&self, int8: bool) -> u64 {
+        let patch = self.in_channels * self.kernel * self.kernel;
+        if int8 {
+            if self.qweight.get().is_some() {
+                return 0;
+            }
+            let qw = self
+                .qweight
+                .get_or_init(|| QuantizedWeights::from_weight(self.weight.get()));
+            (qw.awide.len() * 2
+                + qw.q.as_slice().len()
+                + qw.scales.len() * 4
+                + qw.row_sums.len() * 4) as u64
+        } else {
+            if self.pweight.get().is_some() {
+                return 0;
+            }
+            let packed = self.pweight.get_or_init(|| {
+                gemm_pack_a(self.weight.get().as_slice(), self.out_channels, patch)
+            });
+            let _ = self.bias.get();
+            (packed.len() * 4) as u64
+        }
     }
 
     fn input_split_supported(&self) -> bool {

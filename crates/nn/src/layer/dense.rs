@@ -201,6 +201,42 @@ impl Layer for Dense {
         self.act_quant.set(p).is_ok()
     }
 
+    fn int8_worthwhile(&self) -> bool {
+        // Mat-vec is memory-bound on the weight matrix, and the int8
+        // path pays a per-call quantize of the input plus a requant of
+        // the output. Below ~32k weights (the FCNN-Tiny stack) those
+        // fixed costs exceed the halved weight traffic, and the
+        // committed bench showed int8 *losing* to f32 there — so the
+        // executor keeps small dense layers in f32 even under int8 plans.
+        self.out_features * self.in_features >= 32 * 1024
+    }
+
+    fn prepack(&self, int8: bool) -> u64 {
+        if int8 {
+            if !self.int8_worthwhile() || self.qweight.get().is_some() {
+                return 0;
+            }
+            let qw = self
+                .qweight
+                .get_or_init(|| QuantizedWeights::from_weight(self.weight.get()));
+            (qw.awide.len() * 2
+                + qw.q.as_slice().len()
+                + qw.scales.len() * 4
+                + qw.row_sums.len() * 4) as u64
+        } else {
+            // Mat-vec reads weight rows in their stored layout — there
+            // is no panel format to build, but materializing the lazy
+            // parameters here moves the one-time generation cost out of
+            // the first timed inference.
+            if self.weight.is_materialized() {
+                return 0;
+            }
+            let _ = self.weight.get();
+            let _ = self.bias.get();
+            ((self.weight.len() + self.bias.len()) * 4) as u64
+        }
+    }
+
     fn scratch_bytes(&self, inputs: &[&Shape]) -> Result<u64> {
         // The f32 mat-vec uses no arena scratch; the int8 path holds one
         // quantized copy of the input vector.

@@ -22,7 +22,7 @@ use edgenn_tensor::{ops, QuantParams, Shape, Tensor};
 use crate::{NnError, Result, Workload};
 
 pub use activation::{Dropout, Relu, Softmax};
-pub use combine::{AddResidual, Concat, Flatten};
+pub use combine::{AddResidual, Concat, Constant, Flatten, Slice};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use norm::{BatchNorm2d, LocalResponseNorm};
@@ -190,6 +190,68 @@ pub trait Layer: Send + Sync {
     /// producer.
     fn is_relu(&self) -> bool {
         false
+    }
+
+    /// True for a layer whose output is its (single) input unchanged at
+    /// inference time (dropout, full-range slice). The compiler's
+    /// identity-elimination pass removes such nodes — an exact rewrite.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// The constant tensor a zero-arity constant node produces, when the
+    /// layer is one ([`crate::layer::Constant`]). The constant-folding
+    /// pass evaluates nodes whose inputs are all constants at compile
+    /// time; `None` for every ordinary layer.
+    fn constant_value(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// True for a pure axis-0 concatenation ([`crate::layer::Concat`]):
+    /// the output is exactly its inputs laid out in order. The compiler's
+    /// split/concat simplification relies on this to cancel covering
+    /// slice/concat round-trips; a fused or otherwise-transforming
+    /// wrapper must keep the default `false`.
+    fn is_concat(&self) -> bool {
+        false
+    }
+
+    /// The axis-0 window a structural slice keeps, when the layer is one
+    /// ([`crate::layer::Slice`]). The compiler's split/concat
+    /// simplification cancels a concat of in-order covering slices and
+    /// removes full-range slices; `None` for every ordinary layer.
+    fn slice_range(&self) -> Option<Range<usize>> {
+        None
+    }
+
+    /// True when this layer fused a trailing ReLU whose application is
+    /// *deferred* on the input-channel split path: its
+    /// [`Layer::forward_partial_inputs`] returns raw partial sums (the
+    /// epilogue cannot clamp partials — `relu(a) + relu(b) != relu(a+b)`)
+    /// and the executor applies the ReLU once after merging. Layers
+    /// returning true keep [`Layer::input_split_supported`] legal on
+    /// fused nodes; everything else returns false.
+    fn deferred_epilogue_relu(&self) -> bool {
+        false
+    }
+
+    /// Whether the int8 kernel actually beats f32 for this layer's
+    /// shape. The executor consults this in addition to
+    /// [`Layer::int8_ready`]: quantize/requantize overhead is per-call,
+    /// so tiny layers (e.g. the FCNN-Tiny dense stack) lose to the f32
+    /// kernel and stay unquantized even under an int8 plan.
+    fn int8_worthwhile(&self) -> bool {
+        true
+    }
+
+    /// Materializes the layer's parameters and packs them into the GEMM
+    /// (`int8`: qgemm) kernel layouts at compile time, so steady-state
+    /// inference does zero weight-packing work. Returns the bytes packed
+    /// *by this call* (0 when there is nothing to pack or it already
+    /// happened — the hook is idempotent).
+    fn prepack(&self, int8: bool) -> u64 {
+        let _ = int8;
+        0
     }
 
     /// True when the layer also supports the *input-channel* split: each

@@ -69,7 +69,6 @@ impl LazyParam {
     }
 
     /// True when the tensor has already been materialized.
-    #[cfg(test)]
     pub(crate) fn is_materialized(&self) -> bool {
         self.cell.get().is_some()
     }

@@ -5,10 +5,12 @@
 
 use std::ops::Range;
 
-use edgenn_nn::graph::{GraphBuilder, Segment};
+use edgenn_nn::graph::{compile, CompileOptions, GraphBuilder, Segment};
 use edgenn_nn::layer::{
-    AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, Layer, LocalResponseNorm, MaxPool2d, Relu,
+    AddResidual, AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, Dropout, Layer, LocalResponseNorm,
+    MaxPool2d, Relu, Slice,
 };
+use edgenn_nn::models::{build, ModelKind, ModelScale};
 use edgenn_tensor::{Shape, Tensor};
 use rand::{Rng, SeedableRng};
 
@@ -218,5 +220,113 @@ fn workload_partial_is_monotone_in_range() {
         let full = conv.workload(&shapes).unwrap();
         let whole = conv.workload_partial(&shapes, 0..out_c).unwrap();
         assert_eq!(whole.flops, full.flops);
+    }
+}
+
+#[test]
+fn compiled_random_dags_are_bitwise_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0008);
+    for case in 0..CASES {
+        let mut c = rng.gen_range(2usize..6);
+        let hw = rng.gen_range(4usize..8);
+        let seed = rng.gen_range(0u64..500);
+        // Random DAGs built from the structures every compiler pass
+        // rewrites: dropout identities, conv/dense + relu fusion
+        // candidates, covering slice→concat round-trips, and residual
+        // forks — compiled output must match the raw graph bit for bit.
+        let mut b = GraphBuilder::new("rand-compile", Shape::new(&[c, hw, hw]));
+        let mut tip = b.input_id();
+        for i in 0..rng.gen_range(1usize..4) {
+            match rng.gen_range(0u32..5) {
+                0 => {
+                    let out_c = rng.gen_range(2usize..6);
+                    tip = b
+                        .add(
+                            Conv2d::new(format!("conv{i}"), c, out_c, 3, 1, 1, seed + i as u64),
+                            &[tip],
+                        )
+                        .unwrap();
+                    tip = b.add(Relu::new(format!("cr{i}")), &[tip]).unwrap();
+                    c = out_c;
+                }
+                1 => {
+                    tip = b.add(Dropout::new(format!("drop{i}")), &[tip]).unwrap();
+                    tip = b.add(Relu::new(format!("dr{i}")), &[tip]).unwrap();
+                }
+                2 => {
+                    // Redundant activation pair: the second ReLU is a
+                    // no-op the fuser must leave semantically intact.
+                    tip = b.add(Relu::new(format!("r{i}a")), &[tip]).unwrap();
+                    tip = b.add(Relu::new(format!("r{i}b")), &[tip]).unwrap();
+                }
+                3 => {
+                    // Covering slice pair re-joined in order: cancels to
+                    // the producer under simplify-slices.
+                    let m = rng.gen_range(1usize..c);
+                    let lo = b.add(Slice::new(format!("slo{i}"), 0, m), &[tip]).unwrap();
+                    let hi = b.add(Slice::new(format!("shi{i}"), m, c), &[tip]).unwrap();
+                    tip = b.add(Concat::new(format!("cat{i}"), 2), &[lo, hi]).unwrap();
+                }
+                _ => {
+                    tip = b
+                        .add(AddResidual::new(format!("res{i}")), &[tip, tip])
+                        .unwrap();
+                    tip = b.add(Relu::new(format!("rr{i}")), &[tip]).unwrap();
+                }
+            }
+        }
+        let raw = b.finish().unwrap();
+        let (compiled, report) = compile(&raw, &CompileOptions::default()).unwrap();
+        assert!(
+            compiled.len() <= raw.len(),
+            "case {case}: compile grew the graph ({} -> {})",
+            raw.len(),
+            compiled.len()
+        );
+        assert_eq!(report.nodes_pre, raw.len());
+        assert_eq!(report.nodes_post, compiled.len());
+
+        let x = Tensor::random(raw.input_shape().dims(), 1.0, seed + 7);
+        let want = raw.forward(&x).unwrap();
+        let got = compiled.forward(&x).unwrap();
+        assert_eq!(
+            want.as_slice(),
+            got.as_slice(),
+            "case {case}: compiled output diverged bitwise"
+        );
+
+        // The pipeline runs to fixpoint: compiling the compiled graph
+        // again must find nothing left to rewrite.
+        let (again, re) = compile(&compiled, &CompileOptions::default()).unwrap();
+        assert_eq!(again.len(), compiled.len(), "case {case}: not a fixpoint");
+        assert_eq!(re.passes_applied(), 0, "case {case}: not a fixpoint");
+    }
+}
+
+#[test]
+fn compiled_models_are_bitwise_identical_over_random_inputs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E_0009);
+    for kind in ModelKind::ALL {
+        let raw = build(kind, ModelScale::Tiny);
+        let (compiled, report) = compile(&raw, &CompileOptions::default()).unwrap();
+        assert!(
+            compiled.len() < raw.len(),
+            "{}: compiler removed nothing ({} nodes)",
+            kind.name(),
+            raw.len()
+        );
+        assert_eq!(report.nodes_post, compiled.len());
+        for _ in 0..4 {
+            let seed = rng.gen_range(0u64..10_000);
+            let x = Tensor::random(raw.input_shape().dims(), 1.0, seed);
+            let want = raw.forward(&x).unwrap();
+            let got = compiled.forward(&x).unwrap();
+            assert_eq!(
+                want.as_slice(),
+                got.as_slice(),
+                "{}: compiled output diverged bitwise (seed {seed})",
+                kind.name()
+            );
+        }
     }
 }

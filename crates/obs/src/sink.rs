@@ -99,6 +99,25 @@ pub enum SinkEvent {
         /// Time the request spent in this stage (us, wall clock).
         duration_us: f64,
     },
+    /// One graph-compiler pass summary (`edgenn_nn::graph::compile`):
+    /// how often the pass rewrote anything, how many nodes it removed,
+    /// and how many weight bytes were prepacked at compile time.
+    /// Aggregated into `edgenn_compiler_passes_applied_total`,
+    /// `edgenn_compiler_nodes_eliminated_total`, and
+    /// `edgenn_compiler_bytes_prepacked_total` so `explain` output and
+    /// the Prometheus exposition show what compilation bought before
+    /// the first inference ran.
+    CompilerPass {
+        /// Pass name ("identity-elim", "fuse-activations", ...), or
+        /// "prepack" for the layout-selection stage.
+        pass: &'static str,
+        /// How many rewrites (or packed nodes) the pass performed.
+        applied: u64,
+        /// Net nodes removed by this pass across all iterations.
+        nodes_eliminated: u64,
+        /// Weight bytes packed into kernel-native layouts (prepack only).
+        bytes_prepacked: u64,
+    },
     /// One static-analysis finding from the `edgenn-check` verifier,
     /// mirrored into the session so recorded runs carry the checker's
     /// verdict next to the trace it judged.
@@ -310,6 +329,23 @@ impl Recorder {
                 self.metrics
                     .observe(&format!("edgenn_stage_{stage}_us"), *duration_us);
             }
+            SinkEvent::CompilerPass {
+                applied,
+                nodes_eliminated,
+                bytes_prepacked,
+                ..
+            } => {
+                self.metrics
+                    .inc_counter("edgenn_compiler_passes_applied_total", *applied as f64);
+                self.metrics.inc_counter(
+                    "edgenn_compiler_nodes_eliminated_total",
+                    *nodes_eliminated as f64,
+                );
+                self.metrics.inc_counter(
+                    "edgenn_compiler_bytes_prepacked_total",
+                    *bytes_prepacked as f64,
+                );
+            }
             SinkEvent::Diagnostic { severity, .. } => {
                 self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);
                 self.metrics
@@ -490,6 +526,38 @@ mod tests {
             m.counter_value("edgenn_engine_arena_reused_bytes_total"),
             Some(4096.0)
         );
+    }
+
+    #[test]
+    fn compiler_pass_events_feed_the_compiler_counters() {
+        let rec = Recorder::new();
+        rec.emit(SinkEvent::CompilerPass {
+            pass: "fuse-activations",
+            applied: 7,
+            nodes_eliminated: 7,
+            bytes_prepacked: 0,
+        });
+        rec.emit(SinkEvent::CompilerPass {
+            pass: "prepack",
+            applied: 5,
+            nodes_eliminated: 0,
+            bytes_prepacked: 96_256,
+        });
+        let m = rec.metrics();
+        assert_eq!(
+            m.counter_value("edgenn_compiler_passes_applied_total"),
+            Some(12.0)
+        );
+        assert_eq!(
+            m.counter_value("edgenn_compiler_nodes_eliminated_total"),
+            Some(7.0)
+        );
+        assert_eq!(
+            m.counter_value("edgenn_compiler_bytes_prepacked_total"),
+            Some(96_256.0)
+        );
+        let text = rec.metrics().to_prometheus_text();
+        assert!(text.contains("edgenn_compiler_bytes_prepacked_total 96256"));
     }
 
     #[test]

@@ -191,6 +191,33 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     gemm_into_fused(a, b, out, m, k, n, Epilogue::None);
 }
 
+/// Length of the buffer [`gemm_pack_a`] produces for an `(m, k)` matrix.
+#[must_use]
+pub fn gemm_packed_a_len(m: usize, k: usize) -> usize {
+    (m.div_ceil(MR) * MR + MR) * k
+}
+
+/// Copies an `(m, k)` row-major A matrix into the layout the blocked
+/// kernel reads when the left operand is *prepacked*: the same row-major
+/// rows, zero-padded with enough trailing rows that any row-range slice
+/// `&packed[start * k..]` exposes whole `MR`-row microtile blocks. The
+/// blocked body detects the padding by length
+/// (`a.len() >= m.div_ceil(MR) * MR * k`) and runs the register-tiled
+/// microkernel over remainder rows too, clamping the write-back — the
+/// per-row accumulation order is identical either way, so a prepacked
+/// call is **bitwise identical** to the unpacked one.
+///
+/// Mirrors [`crate::qgemm_pack_a`]'s padding contract (an extra `MR` rows
+/// beyond the round-up) so weights packed once at compile time serve
+/// every output-channel partial without re-packing.
+#[must_use]
+pub fn gemm_pack_a(a: &[f32], m: usize, k: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    let mut packed = vec![0.0f32; gemm_packed_a_len(m, k)];
+    packed[..m * k].copy_from_slice(a);
+    packed
+}
+
 /// [`gemm_into`] with an [`Epilogue`] fused into the write-back loop.
 ///
 /// `out` still accumulates (`t = out + a*b` feeds the epilogue), so a
@@ -205,7 +232,7 @@ pub fn gemm_into_fused(
     n: usize,
     ep: Epilogue<'_>,
 ) {
-    debug_assert_eq!(a.len(), m * k);
+    debug_assert!(a.len() >= m * k, "A must hold at least m*k elements");
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     ep.debug_check(m, n);
@@ -290,6 +317,13 @@ pub(crate) fn gemm_body(
 ) -> u64 {
     let mut pack_ns = 0u64;
     let panels = n.div_ceil(NR);
+    // A prepacked left operand ([`gemm_pack_a`]) carries zero-padded
+    // trailing rows, letting remainder rows run through the full
+    // register-tiled microkernel (write-back clamped to the real rows)
+    // instead of the slower single-row edge kernel. Unpadded callers
+    // pass exactly `m * k` elements, which fails this length test
+    // whenever a remainder row exists, so they keep the row kernel.
+    let a_padded = a.len() >= (m.div_ceil(MR) * MR) * k && k > 0;
     for kb in (0..k).step_by(KC) {
         let kc = KC.min(k - kb);
         // The epilogue must fire exactly once per element, after the
@@ -309,11 +343,33 @@ pub(crate) fn gemm_body(
                 let nr = NR.min(n - j0);
                 let mut i0 = 0;
                 while i0 + MR <= mc {
-                    microkernel_full(a, chunk, out, mb + i0, kb, kc, k, n, j0, nr, slab_ep);
+                    microkernel_full(a, chunk, out, mb + i0, kb, kc, k, n, j0, nr, MR, slab_ep);
                     i0 += MR;
                 }
-                for i in i0..mc {
-                    microkernel_row(a, chunk, out, mb + i, kb, kc, k, n, j0, nr, slab_ep);
+                if i0 < mc {
+                    if a_padded {
+                        // Remainder rows: the padding rows make a full
+                        // MR-block readable; only `mc - i0` rows are
+                        // written back.
+                        microkernel_full(
+                            a,
+                            chunk,
+                            out,
+                            mb + i0,
+                            kb,
+                            kc,
+                            k,
+                            n,
+                            j0,
+                            nr,
+                            mc - i0,
+                            slab_ep,
+                        );
+                    } else {
+                        for i in i0..mc {
+                            microkernel_row(a, chunk, out, mb + i, kb, kc, k, n, j0, nr, slab_ep);
+                        }
+                    }
                 }
             }
         }
@@ -373,11 +429,13 @@ fn pack_b_panels(b: &[f32], packed: &mut [f32], kb: usize, kc: usize, n: usize) 
     }
 }
 
-/// `MR x NR` register-tiled update: `out[i0..i0+MR, j0..j0+nr] +=`
+/// `MR x NR` register-tiled update: `out[i0..i0+rows, j0..j0+nr] +=`
 /// `a[i0..i0+MR, kb..kb+kc] * panel`, with the epilogue applied during
 /// write-back. The accumulator lives in fixed-size local arrays, which
 /// LLVM promotes to vector registers; each loaded B row is reused `MR`
-/// times and each A element `NR` times.
+/// times and each A element `NR` times. `rows < MR` (prepacked tails)
+/// reads all `MR` A rows — the caller guarantees they are readable —
+/// but writes back only the first `rows` accumulator rows.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn microkernel_full(
@@ -391,6 +449,7 @@ fn microkernel_full(
     n: usize,
     j0: usize,
     nr: usize,
+    rows: usize,
     ep: Epilogue<'_>,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
@@ -406,7 +465,7 @@ fn microkernel_full(
             }
         }
     }
-    for (r, accr) in acc.iter().enumerate() {
+    for (r, accr) in acc.iter().enumerate().take(rows) {
         let row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
         for (j, (o, &v)) in row.iter_mut().zip(accr.iter()).enumerate() {
             *o = ep.apply(*o + v, i0 + r, j0 + j, n);
@@ -628,6 +687,54 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (4, 300, 17), (64, 256, 128), (3, 7, 1000)] {
             let bound = gemm_pack_elems(m, k, n);
             assert!(bound >= n.div_ceil(16) * 16 * 256.min(k), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn prepacked_a_is_bitwise_identical_to_unpacked() {
+        // Dimensions chosen to hit both kernels and every tail case:
+        // m % MR in {0, 1, 2, 3}, blocked and small paths.
+        for (m, k, n) in [(4, 16, 8), (7, 301, 29), (37, 301, 29), (66, 120, 33)] {
+            let a = Tensor::random(&[m, k], 1.0, 41);
+            let b = Tensor::random(&[k, n], 1.0, 42);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let packed = gemm_pack_a(a.as_slice(), m, k);
+            assert_eq!(packed.len(), gemm_packed_a_len(m, k));
+            for ep in [Epilogue::None, Epilogue::BiasRelu { bias: &bias }] {
+                let mut plain = vec![0.0f32; m * n];
+                gemm_into_fused(a.as_slice(), b.as_slice(), &mut plain, m, k, n, ep);
+                let mut pre = vec![0.0f32; m * n];
+                gemm_into_fused(&packed, b.as_slice(), &mut pre, m, k, n, ep);
+                assert_eq!(plain, pre, "({m},{k},{n}) {ep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_row_range_slices_match_full_rows_bitwise() {
+        // The compile-time layout contract: any output-row range served
+        // from `&packed[start * k..]` must reproduce the same rows of
+        // the full product bitwise, including ranges that start and end
+        // off the MR grid.
+        let (m, k, n) = (23, 173, 57);
+        let a = Tensor::random(&[m, k], 1.0, 51);
+        let b = Tensor::random(&[k, n], 1.0, 52);
+        let packed = gemm_pack_a(a.as_slice(), m, k);
+        let mut full = vec![0.0f32; m * n];
+        gemm_into_fused(&packed, b.as_slice(), &mut full, m, k, n, Epilogue::None);
+        for (start, end) in [(0, 4), (3, 9), (5, 23), (21, 23), (22, 23)] {
+            let rows = end - start;
+            let mut part = vec![0.0f32; rows * n];
+            gemm_into_fused(
+                &packed[start * k..],
+                b.as_slice(),
+                &mut part,
+                rows,
+                k,
+                n,
+                Epilogue::None,
+            );
+            assert_eq!(&part[..], &full[start * n..end * n], "rows {start}..{end}");
         }
     }
 

@@ -39,7 +39,8 @@ mod tensor;
 
 pub use error::TensorError;
 pub use gemm::{
-    dot, gemm, gemm_into, gemm_into_fused, gemm_pack_elems, matvec, naive_gemm, Epilogue,
+    dot, gemm, gemm_into, gemm_into_fused, gemm_pack_a, gemm_pack_elems, gemm_packed_a_len, matvec,
+    naive_gemm, Epilogue,
 };
 pub use im2col::{
     col2im_shape, im2col, im2col_into, im2col_into_i8, im2col_into_panels_i16, Conv2dGeometry,

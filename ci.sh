@@ -13,7 +13,9 @@
 #                       proof, schedule explorer, measured<=certified gate)
 # 8. functional bench  (smoke run + schema check + regression gate)
 # 9. fault storm       (seeded Monte-Carlo resilience smoke, 100% survival)
-# 10. flight recorder  (profile two models, validate Perfetto output,
+# 10. siege            (seeded multi-tenant serving gate: faults armed,
+#                       100% survival of admitted work, EC07x checker-clean)
+# 11. flight recorder  (profile two models, validate Perfetto output,
 #                       recorder-overhead gate at <=5%)
 set -eu
 
@@ -139,6 +141,21 @@ mkdir -p "$STORM_DIR"
 ./target/release/edgenn storm --platform apu --seed 42 --runs 25 \
     --out "$STORM_DIR/storm-apu.json"
 echo "    storm summary archived in $STORM_DIR/"
+
+echo "==> siege: seeded multi-tenant serving gate (2 tenants x 2 models, faults on)"
+# The deterministic load generator drives the serving front end (admission
+# control, bounded queue, weighted-fair batching, SLO degradation) in
+# virtual time with fault injection armed. The gate requires 100% survival
+# of admitted requests, zero lost requests, every completed output bitwise
+# identical to its reference, the queue bound respected, and the full
+# admission log replaying clean through the EC07x checker tier. The CLI
+# exits non-zero on any violation; the report (including the event log)
+# is archived for forensics.
+SIEGE_DIR=target/siege
+mkdir -p "$SIEGE_DIR"
+./target/release/edgenn siege --seed 42 --duration-us 60000 \
+    --out "$SIEGE_DIR/siege-jetson.json"
+echo "    siege report archived in $SIEGE_DIR/"
 
 echo "==> flight recorder: profile two models, perfetto traces, overhead gate"
 # `edgenn profile` runs the functional engine with the flight recorder

@@ -1,0 +1,65 @@
+//! Serving-layer overhead: what the multi-tenant front end (admission,
+//! bounded queue, weighted-fair batching, SLO guard, typed event log)
+//! costs on top of handing the same work straight to
+//! `Executor::batch_execute`.
+//!
+//! Plain wall-clock harness (no external bench framework so the
+//! workspace builds offline). Run with `cargo bench -p edgenn-bench`.
+
+use edgenn_bench::timing::time;
+use edgenn_core::prelude::*;
+use edgenn_core::runtime::functional::Executor;
+use edgenn_core::runtime::Runtime;
+use edgenn_serve::{run_siege, SiegeConfig};
+use edgenn_sim::platforms;
+use edgenn_tensor::Tensor;
+
+fn main() {
+    let jetson = platforms::jetson_agx_xavier();
+    let runtime = Runtime::new(&jetson);
+
+    // Baseline: the raw engine on an already-formed batch — no
+    // admission, no batching policy, no log.
+    let tiny = build(ModelKind::Fcnn, ModelScale::Tiny);
+    let tuner = Tuner::new(&tiny, &runtime).unwrap();
+    let plan = tuner
+        .plan(&tiny, &runtime, ExecutionConfig::edgenn())
+        .unwrap();
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|slot| Tensor::random(tiny.input_shape().dims(), 1.0, 42 + slot))
+        .collect();
+    let exec = Executor::new(&tiny).unwrap();
+    let direct_us = time("direct/batch_execute x4 (fcnn tiny)", 20, || {
+        exec.batch_execute(&plan, &inputs).unwrap()
+    });
+
+    // The full pipeline in virtual time, faults off so both sides run
+    // the same fault-free kernels. Every completed request crossed
+    // admission, the bounded pending set, a weighted-fair pick, the SLO
+    // guard, and the typed log.
+    let mut cfg = SiegeConfig::ci(42);
+    cfg.models = vec![ModelKind::Fcnn];
+    cfg.duration_us = 20_000.0;
+    cfg.faults = false;
+    let probe = run_siege(&cfg, None).unwrap();
+    let completed: usize = probe.tenants.iter().map(|t| t.completed).sum();
+    let batches = probe.batches.max(1);
+    let siege_us = time("serving/siege 20ms virtual (fcnn)", 5, || {
+        run_siege(&cfg, None).unwrap()
+    });
+    // A zero-duration run prices scenario construction (plan ladder,
+    // references) so the per-batch figure isolates the serving loop.
+    let mut setup_cfg = cfg.clone();
+    setup_cfg.duration_us = 0.0;
+    let setup_us = time("serving/setup only (plan ladder + refs)", 5, || {
+        run_siege(&setup_cfg, None).unwrap()
+    });
+
+    let per_batch = (siege_us - setup_us).max(0.0) / batches as f64;
+    let overhead = per_batch - direct_us;
+    println!(
+        "serving layer: {completed} request(s) in {batches} batch(es); \
+         {per_batch:.1} us/batch vs {direct_us:.1} us direct \
+         ({overhead:.1} us pipeline overhead per batch)"
+    );
+}

@@ -3,7 +3,8 @@
 //! Codes are grouped by tier: `EC00x` graph analysis, `EC01x` plan
 //! analysis, `EC02x` trace race detection, `EC03x` report accounting,
 //! `EC04x` recovery-trace validation, `EC05x` ownership/liveness
-//! analysis, `EC06x` compile rewrite legality.
+//! analysis, `EC06x` compile rewrite legality, `EC07x` admission-log
+//! legality for the serving layer.
 //! Codes are append-only — a released code never changes meaning, so
 //! tooling (CI gates, dashboards) can match on them forever.
 
@@ -108,6 +109,26 @@ pub const COMPILE_FUSION_CONTRACT: &str = "EC061";
 pub const COMPILE_ORPHANED_NODES: &str = "EC062";
 /// Compile: the compile report disagrees with the graph it describes.
 pub const COMPILE_REPORT_MISMATCH: &str = "EC063";
+
+/// Serve: an admission-log event out of lifecycle order (a completion
+/// for a shed, rejected, or never-admitted request; a duplicate
+/// terminal; a batch member that was never enqueued).
+pub const SERVE_LIFECYCLE: &str = "EC070";
+/// Serve: a batch pick diverges from the weighted-fair replay (wrong
+/// tenant, wrong request, oversized batch, or a logged virtual-time
+/// vector the replay does not reproduce).
+pub const SERVE_FAIRNESS_REPLAY: &str = "EC071";
+/// Serve: deadline accounting — logged latency disagrees with the
+/// event clock, or a completion landed past its deadline without the
+/// SLO guard engaging.
+pub const SERVE_DEADLINE_ACCOUNTING: &str = "EC072";
+/// Serve: the bounded pending set's logged depth diverges from the
+/// replay, exceeds capacity, or never drained.
+pub const SERVE_QUEUE_BOUND: &str = "EC073";
+/// Serve: admission arithmetic does not add up (admitted is not
+/// completed + shed + still-pending, duplicate request ids, or
+/// admitted requests that never reached the queue).
+pub const SERVE_ADMISSION_ACCOUNTING: &str = "EC074";
 
 /// Registry entry: one stable code with its default severity and a
 /// one-line remediation (mirrored into `docs/diagnostics.md`).
@@ -422,6 +443,41 @@ pub fn registry() -> &'static [CodeInfo] {
             lenient: false,
             remediation: "Regenerate the report from the compile call that produced the graph; do not edit either by hand.",
         },
+        CodeInfo {
+            code: SERVE_LIFECYCLE,
+            title: "admission-log lifecycle violation",
+            severity: Error,
+            lenient: false,
+            remediation: "Log every request's transitions in order (arrived, admitted, enqueued, batched, completed/shed) and never complete a shed or rejected request.",
+        },
+        CodeInfo {
+            code: SERVE_FAIRNESS_REPLAY,
+            title: "weighted-fair pick diverges from replay",
+            severity: Error,
+            lenient: false,
+            remediation: "Every pick must take the minimum-virtual-time eligible tenant's oldest request and charge 1/weight; log the post-charge vtime vector the batcher actually holds.",
+        },
+        CodeInfo {
+            code: SERVE_DEADLINE_ACCOUNTING,
+            title: "deadline accounting violation",
+            severity: Error,
+            lenient: false,
+            remediation: "Log latency as completion minus arrival on one clock, and route deadline-threatened batches through the degradation ladder before they miss.",
+        },
+        CodeInfo {
+            code: SERVE_QUEUE_BOUND,
+            title: "queue bound violated or not drained",
+            severity: Error,
+            lenient: false,
+            remediation: "Refuse pushes at capacity (typed queue_full rejection), log the post-push depth, and drain the pending set before ending the run.",
+        },
+        CodeInfo {
+            code: SERVE_ADMISSION_ACCOUNTING,
+            title: "admission arithmetic does not add up",
+            severity: Error,
+            lenient: false,
+            remediation: "Give every attempt a fresh request id and make every admitted request end as exactly one of completed or shed.",
+        },
     ]
 }
 
@@ -438,7 +494,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 41);
+        assert_eq!(reg.len(), 46);
         for pair in reg.windows(2) {
             assert!(pair[0].code < pair[1].code, "codes must stay sorted");
         }

@@ -25,6 +25,10 @@
 //!   arena discipline) and deriving a certified peak-memory bound the
 //!   functional engine's measured high-water marks must stay under
 //!   (`EC05x`).
+//! - **Serving tier — [`serve`]**: admission-log legality (`EC07x`) —
+//!   replays an `edgenn-serve` run's typed decision log and verifies
+//!   the request lifecycle, the exact weighted-fair pick order, the
+//!   bounded queue, deadline accounting, and admission arithmetic.
 //!
 //! Every diagnostic carries a stable `EC0xx` code ([`codes`]), a
 //! [`Severity`], and a [`Span`] pointing at the node, event, or scope
@@ -41,6 +45,7 @@ pub mod ownership;
 pub mod plan;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod trace;
 
 use edgenn_obs::{EventSink, SinkEvent};
@@ -57,6 +62,7 @@ pub use ownership::{
 pub use plan::{check_config, check_plan, check_profile};
 pub use recovery::check_recovery;
 pub use report::check_report;
+pub use serve::{check_admission_log, ServeCheckParams};
 pub use trace::check_trace_events;
 
 /// How bad a diagnostic is.

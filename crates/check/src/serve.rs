@@ -1,0 +1,714 @@
+//! Admission-log legality (`EC07x`).
+//!
+//! A serving run (`edgenn serve` / `edgenn siege`) produces an
+//! [`AdmissionLog`]: every admit, reject, enqueue, batch, degrade,
+//! shed, and completion in decision order. This tier replays the log
+//! against the serving layer's contracts — the request lifecycle state
+//! machine, the weighted-fair pick order (decision for decision), the
+//! bounded queue, deadline accounting, and admission arithmetic — so a
+//! scheduler bug shows up as a stable diagnostic instead of a skewed
+//! tail-latency table.
+//!
+//! The fairness replay (`EC071`) mirrors `edgenn-serve`'s batcher
+//! exactly: per-tenant virtual time charged `1 / weight` per pick,
+//! every pick the minimum-virtual-time eligible tenant (ties to the
+//! lowest ordinal) taking its oldest pending request, re-entry floored
+//! at the backlog's minimum virtual time (or the server virtual time
+//! when the backlog is empty). Because both sides run the same `f64`
+//! arithmetic over the same event order, the replayed virtual-time
+//! vector must match the logged one to within `1e-9`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use edgenn_serve::{AdmissionLog, ServeEventKind};
+
+use crate::{codes, Diagnostic, Severity, Span};
+
+/// The configuration a serving log was produced under — everything the
+/// replay needs that the log itself does not carry.
+#[derive(Debug, Clone)]
+pub struct ServeCheckParams {
+    /// Per-tenant scheduling weights (positive).
+    pub weights: Vec<f64>,
+    /// Bounded pending-set capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Catalog size (model ordinals are `0..models`).
+    pub models: usize,
+}
+
+/// Per-request lifecycle progress, in legal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Arrived,
+    Admitted,
+    Rejected,
+    Enqueued,
+    Batched,
+    Shed,
+    Completed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    stage: Stage,
+    arrival_us: f64,
+}
+
+/// Verifies one admission log's invariants.
+///
+/// - **EC070**: lifecycle legality — events per request in state-machine
+///   order (arrived → admitted → enqueued → batched → completed/shed;
+///   rejected terminal), no duplicate terminals, no completion of a
+///   request that was shed, rejected, or never admitted.
+/// - **EC071**: fairness replay — every batch pick is the
+///   minimum-virtual-time eligible tenant's oldest pending request, no
+///   batch exceeds `max_batch`, and the logged virtual-time vector and
+///   backlogged set match the replay.
+/// - **EC072**: deadline accounting — logged latency equals completion
+///   time minus arrival time, and a completion past its deadline
+///   without a degrade on record is an error (with a degrade it is a
+///   warning: the ladder was tried and still missed).
+/// - **EC073**: queue bound — every logged depth matches the replayed
+///   depth and stays within capacity, and the pending set drains to
+///   zero by the end of the log.
+/// - **EC074**: admission accounting — request ids unique, every
+///   admitted request enqueued, and admitted = completed + shed (plus
+///   still-pending at end, which EC073 flags).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn check_admission_log(log: &AdmissionLog, params: &ServeCheckParams) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tenants = params.weights.len();
+
+    // Replayed batcher state.
+    let mut vtime = vec![0.0f64; tenants];
+    let mut vfloor = 0.0f64;
+    let mut pending: Vec<VecDeque<(u64, usize)>> = vec![VecDeque::new(); params.models];
+    let mut tenant_pending = vec![0usize; tenants];
+    let mut depth = 0usize;
+
+    // Request and batch bookkeeping.
+    let mut reqs: BTreeMap<u64, ReqState> = BTreeMap::new();
+    let mut batch_members: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut admitted_total = 0u64;
+    let mut completed_total = 0u64;
+    let mut shed_total = 0u64;
+
+    for (idx, event) in log.events.iter().enumerate() {
+        let span = Span::Event(idx);
+        match &event.kind {
+            ServeEventKind::Arrived { req, tenant, model } => {
+                if *tenant >= tenants || *model >= params.models {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_LIFECYCLE,
+                        span,
+                        format!(
+                            "request {req} arrived with tenant {tenant} / model {model} outside \
+                             the configured {tenants} tenants / {} models",
+                            params.models
+                        ),
+                    ));
+                    continue;
+                }
+                if reqs
+                    .insert(
+                        *req,
+                        ReqState {
+                            stage: Stage::Arrived,
+                            arrival_us: event.t_us,
+                        },
+                    )
+                    .is_some()
+                {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_ADMISSION_ACCOUNTING,
+                        span,
+                        format!("request id {req} arrived twice; ids must be unique per run"),
+                    ));
+                }
+            }
+            ServeEventKind::Admitted { req, .. } => match reqs.get_mut(req) {
+                Some(state) if state.stage == Stage::Arrived => {
+                    state.stage = Stage::Admitted;
+                    admitted_total += 1;
+                }
+                other => out.push(Diagnostic::new(
+                    codes::SERVE_LIFECYCLE,
+                    span,
+                    format!(
+                        "request {req} admitted {}",
+                        stage_context(other.as_deref().copied())
+                    ),
+                )),
+            },
+            ServeEventKind::Rejected { req, .. } => match reqs.get_mut(req) {
+                Some(state) if state.stage == Stage::Arrived => {
+                    state.stage = Stage::Rejected;
+                }
+                other => out.push(Diagnostic::new(
+                    codes::SERVE_LIFECYCLE,
+                    span,
+                    format!(
+                        "request {req} rejected {}",
+                        stage_context(other.as_deref().copied())
+                    ),
+                )),
+            },
+            ServeEventKind::Enqueued {
+                req,
+                tenant,
+                model,
+                depth: logged_depth,
+            } => {
+                match reqs.get_mut(req) {
+                    Some(state) if state.stage == Stage::Admitted => {
+                        state.stage = Stage::Enqueued;
+                    }
+                    other => {
+                        out.push(Diagnostic::new(
+                            codes::SERVE_LIFECYCLE,
+                            span,
+                            format!(
+                                "request {req} enqueued {}",
+                                stage_context(other.as_deref().copied())
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                if *tenant >= tenants || *model >= params.models {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_LIFECYCLE,
+                        span,
+                        format!(
+                            "request {req} enqueued with tenant {tenant} / model {model} outside \
+                             the configured {tenants} tenants / {} models",
+                            params.models
+                        ),
+                    ));
+                    continue;
+                }
+                // Mirror Batcher::push: re-entry floor, then append.
+                if tenant_pending[*tenant] == 0 {
+                    let backlog_floor = (0..tenants)
+                        .filter(|&t| tenant_pending[t] > 0)
+                        .map(|t| vtime[t])
+                        .fold(f64::INFINITY, f64::min);
+                    let floor = if backlog_floor.is_finite() {
+                        backlog_floor
+                    } else {
+                        vfloor
+                    };
+                    vtime[*tenant] = vtime[*tenant].max(floor);
+                }
+                pending[*model].push_back((*req, *tenant));
+                tenant_pending[*tenant] += 1;
+                depth += 1;
+                if depth != *logged_depth {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_QUEUE_BOUND,
+                        span,
+                        format!(
+                            "enqueue of request {req} logged depth {logged_depth} but the replay \
+                             holds {depth} pending requests"
+                        ),
+                    ));
+                }
+                if *logged_depth > params.queue_capacity {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_QUEUE_BOUND,
+                        span,
+                        format!(
+                            "enqueue of request {req} at depth {logged_depth} exceeds the \
+                             configured capacity {}",
+                            params.queue_capacity
+                        ),
+                    ));
+                }
+            }
+            ServeEventKind::BatchFormed {
+                batch,
+                model,
+                members,
+                vtime: logged_vtime,
+                backlogged: logged_backlogged,
+                ..
+            } => {
+                if *model >= params.models {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_LIFECYCLE,
+                        span,
+                        format!("batch {batch} targets model {model} outside the catalog"),
+                    ));
+                    continue;
+                }
+                if members.is_empty() || members.len() > params.max_batch {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_FAIRNESS_REPLAY,
+                        span,
+                        format!(
+                            "batch {batch} holds {} members against a max_batch of {}",
+                            members.len(),
+                            params.max_batch
+                        ),
+                    ));
+                }
+                for member in members {
+                    // The fair pick: minimum virtual time among tenants
+                    // pending on this model, ties to the lowest ordinal,
+                    // taking that tenant's oldest pending request.
+                    let winner = pending[*model]
+                        .iter()
+                        .map(|&(_, t)| t)
+                        .collect::<BTreeSet<_>>()
+                        .into_iter()
+                        .min_by(|&a, &b| {
+                            vtime[a]
+                                .partial_cmp(&vtime[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.cmp(&b))
+                        });
+                    let expected = winner.and_then(|w| {
+                        pending[*model]
+                            .iter()
+                            .position(|&(_, t)| t == w)
+                            .map(|pos| (pos, pending[*model][pos].0))
+                    });
+                    let actual_pos = pending[*model].iter().position(|&(r, _)| r == *member);
+                    match (expected, actual_pos) {
+                        (Some((exp_pos, exp_req)), Some(act_pos)) => {
+                            if exp_req != *member {
+                                out.push(Diagnostic::new(
+                                    codes::SERVE_FAIRNESS_REPLAY,
+                                    span,
+                                    format!(
+                                        "batch {batch} picked request {member} but the \
+                                         weighted-fair replay picks request {exp_req}"
+                                    ),
+                                ));
+                            }
+                            // Consume the logged pick (not the expected
+                            // one) so one divergence does not cascade.
+                            let pos = if exp_req == *member { exp_pos } else { act_pos };
+                            let (_, t) = pending[*model].remove(pos).expect("position valid");
+                            tenant_pending[t] -= 1;
+                            depth -= 1;
+                            vfloor = vfloor.max(vtime[t]);
+                            vtime[t] += 1.0 / params.weights[t];
+                        }
+                        _ => out.push(Diagnostic::new(
+                            codes::SERVE_FAIRNESS_REPLAY,
+                            span,
+                            format!(
+                                "batch {batch} member {member} is not pending on model {model} \
+                                 at formation time"
+                            ),
+                        )),
+                    }
+                    if let Some(state) = reqs.get_mut(member) {
+                        if state.stage == Stage::Enqueued {
+                            state.stage = Stage::Batched;
+                        } else {
+                            out.push(Diagnostic::new(
+                                codes::SERVE_LIFECYCLE,
+                                span,
+                                format!(
+                                    "batch {batch} member {member} {}",
+                                    stage_context(Some(*state))
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if logged_vtime.len() != tenants
+                    || logged_vtime
+                        .iter()
+                        .zip(vtime.iter())
+                        .any(|(a, b)| (a - b).abs() > 1e-9)
+                {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_FAIRNESS_REPLAY,
+                        span,
+                        format!(
+                            "batch {batch} logged virtual times {logged_vtime:?} but the replay \
+                             holds {vtime:?}"
+                        ),
+                    ));
+                }
+                let replay_backlogged: Vec<usize> =
+                    (0..tenants).filter(|&t| tenant_pending[t] > 0).collect();
+                if *logged_backlogged != replay_backlogged {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_FAIRNESS_REPLAY,
+                        span,
+                        format!(
+                            "batch {batch} logged backlogged set {logged_backlogged:?} but the \
+                             replay holds {replay_backlogged:?}"
+                        ),
+                    ));
+                }
+                batch_members.insert(*batch, members.clone());
+            }
+            ServeEventKind::Degraded { req, batch, .. } => {
+                let in_batch = batch_members.get(batch).is_some_and(|m| m.contains(req));
+                if !in_batch {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_LIFECYCLE,
+                        span,
+                        format!("degrade of request {req} names batch {batch} it is not in"),
+                    ));
+                }
+            }
+            ServeEventKind::Shed { req, .. } => match reqs.get_mut(req) {
+                Some(state) if matches!(state.stage, Stage::Enqueued | Stage::Batched) => {
+                    state.stage = Stage::Shed;
+                    shed_total += 1;
+                }
+                other => out.push(Diagnostic::new(
+                    codes::SERVE_LIFECYCLE,
+                    span,
+                    format!(
+                        "request {req} shed {}",
+                        stage_context(other.as_deref().copied())
+                    ),
+                )),
+            },
+            ServeEventKind::Completed {
+                req,
+                batch,
+                latency_us,
+                deadline_us,
+                degraded,
+                ..
+            } => {
+                let state = match reqs.get_mut(req) {
+                    Some(state) if state.stage == Stage::Batched => {
+                        state.stage = Stage::Completed;
+                        completed_total += 1;
+                        *state
+                    }
+                    other => {
+                        out.push(Diagnostic::new(
+                            codes::SERVE_LIFECYCLE,
+                            span,
+                            format!(
+                                "request {req} completed {}",
+                                stage_context(other.as_deref().copied())
+                            ),
+                        ));
+                        continue;
+                    }
+                };
+                if !batch_members.get(batch).is_some_and(|m| m.contains(req)) {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_LIFECYCLE,
+                        span,
+                        format!("completion of request {req} names batch {batch} it is not in"),
+                    ));
+                }
+                let measured = event.t_us - state.arrival_us;
+                if (measured - latency_us).abs() > 1e-6 {
+                    out.push(Diagnostic::new(
+                        codes::SERVE_DEADLINE_ACCOUNTING,
+                        span,
+                        format!(
+                            "request {req} logged latency {latency_us:.3}us but completion minus \
+                             arrival is {measured:.3}us"
+                        ),
+                    ));
+                }
+                if let Some(d) = deadline_us {
+                    if event.t_us > d + 1e-9 {
+                        let miss = event.t_us - d;
+                        if *degraded {
+                            out.push(Diagnostic {
+                                code: codes::SERVE_DEADLINE_ACCOUNTING,
+                                severity: Severity::Warning,
+                                span,
+                                message: format!(
+                                    "request {req} missed its deadline by {miss:.3}us despite \
+                                     degradation (ladder exhausted; prediction optimistic)"
+                                ),
+                            });
+                        } else {
+                            out.push(Diagnostic::new(
+                                codes::SERVE_DEADLINE_ACCOUNTING,
+                                span,
+                                format!(
+                                    "request {req} missed its deadline by {miss:.3}us with no \
+                                     degrade on record — the SLO guard never engaged"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if depth != 0 {
+        out.push(Diagnostic::new(
+            codes::SERVE_QUEUE_BOUND,
+            Span::Global,
+            format!("{depth} enqueued requests never left the pending set"),
+        ));
+    }
+    let still_pending = reqs
+        .values()
+        .filter(|s| matches!(s.stage, Stage::Enqueued | Stage::Batched))
+        .count() as u64;
+    if admitted_total != completed_total + shed_total + still_pending {
+        out.push(Diagnostic::new(
+            codes::SERVE_ADMISSION_ACCOUNTING,
+            Span::Global,
+            format!(
+                "admitted {admitted_total} but completed {completed_total} + shed {shed_total} \
+                 + still pending {still_pending} does not account for them all"
+            ),
+        ));
+    }
+    let admitted_never_enqueued = reqs.values().filter(|s| s.stage == Stage::Admitted).count();
+    if admitted_never_enqueued > 0 {
+        out.push(Diagnostic::new(
+            codes::SERVE_ADMISSION_ACCOUNTING,
+            Span::Global,
+            format!("{admitted_never_enqueued} admitted requests were never enqueued"),
+        ));
+    }
+
+    out
+}
+
+/// Renders the stage a request was actually in when an event assumed a
+/// different one.
+fn stage_context(state: Option<ReqState>) -> String {
+    match state {
+        None => "before any arrival event".to_string(),
+        Some(s) => format!(
+            "while {}",
+            match s.stage {
+                Stage::Arrived => "only arrived (not admitted)",
+                Stage::Admitted => "admitted but not enqueued",
+                Stage::Rejected => "already rejected",
+                Stage::Enqueued => "enqueued but not batched",
+                Stage::Batched => "batched",
+                Stage::Shed => "already shed",
+                Stage::Completed => "already completed",
+            }
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgenn_serve::batcher::PlanVariant;
+    use edgenn_serve::RejectReason;
+
+    fn params() -> ServeCheckParams {
+        ServeCheckParams {
+            weights: vec![2.0, 1.0],
+            queue_capacity: 8,
+            max_batch: 4,
+            models: 1,
+        }
+    }
+
+    fn arrive_admit_enqueue(log: &mut AdmissionLog, t: f64, req: u64, tenant: usize, depth: usize) {
+        log.push(
+            t,
+            ServeEventKind::Arrived {
+                req,
+                tenant,
+                model: 0,
+            },
+        );
+        log.push(t, ServeEventKind::Admitted { req, tenant });
+        log.push(
+            t,
+            ServeEventKind::Enqueued {
+                req,
+                tenant,
+                model: 0,
+                depth,
+            },
+        );
+    }
+
+    #[test]
+    fn clean_log_passes_every_tier() {
+        let mut log = AdmissionLog::default();
+        arrive_admit_enqueue(&mut log, 0.0, 0, 0, 1);
+        arrive_admit_enqueue(&mut log, 1.0, 1, 1, 2);
+        // Tenant 0 (weight 2) picked first on vtime tie (lower ordinal);
+        // after its charge of 0.5 tenant 1 (vtime 0) goes next.
+        log.push(
+            10.0,
+            ServeEventKind::BatchFormed {
+                batch: 0,
+                model: 0,
+                variant: PlanVariant::Hybrid,
+                members: vec![0, 1],
+                oldest_wait_us: 10.0,
+                vtime: vec![0.5, 1.0],
+                backlogged: vec![],
+            },
+        );
+        log.push(
+            20.0,
+            ServeEventKind::Completed {
+                req: 0,
+                tenant: 0,
+                batch: 0,
+                latency_us: 20.0,
+                deadline_us: None,
+                degraded: false,
+            },
+        );
+        log.push(
+            20.0,
+            ServeEventKind::Completed {
+                req: 1,
+                tenant: 1,
+                batch: 0,
+                latency_us: 19.0,
+                deadline_us: Some(25.0),
+                degraded: false,
+            },
+        );
+        let diags = check_admission_log(&log, &params());
+        assert!(diags.is_empty(), "clean log flagged: {diags:?}");
+    }
+
+    #[test]
+    fn completion_of_shed_request_is_ec070() {
+        let mut log = AdmissionLog::default();
+        arrive_admit_enqueue(&mut log, 0.0, 0, 0, 1);
+        log.push(
+            5.0,
+            ServeEventKind::BatchFormed {
+                batch: 0,
+                model: 0,
+                variant: PlanVariant::Hybrid,
+                members: vec![0],
+                oldest_wait_us: 5.0,
+                vtime: vec![0.5, 0.0],
+                backlogged: vec![],
+            },
+        );
+        log.push(
+            5.0,
+            ServeEventKind::Shed {
+                req: 0,
+                tenant: 0,
+                reason: RejectReason::DeadlineUnmeetable,
+            },
+        );
+        log.push(
+            9.0,
+            ServeEventKind::Completed {
+                req: 0,
+                tenant: 0,
+                batch: 0,
+                latency_us: 9.0,
+                deadline_us: None,
+                degraded: false,
+            },
+        );
+        let diags = check_admission_log(&log, &params());
+        assert!(diags.iter().any(|d| d.code == codes::SERVE_LIFECYCLE));
+    }
+
+    #[test]
+    fn wrong_pick_order_is_ec071() {
+        let mut log = AdmissionLog::default();
+        arrive_admit_enqueue(&mut log, 0.0, 0, 0, 1);
+        arrive_admit_enqueue(&mut log, 1.0, 1, 1, 2);
+        // The fair pick at equal vtime is tenant 0 first; logging
+        // tenant 1's request first must be flagged, as must the vtime
+        // vector that goes with the wrong order.
+        log.push(
+            10.0,
+            ServeEventKind::BatchFormed {
+                batch: 0,
+                model: 0,
+                variant: PlanVariant::Hybrid,
+                members: vec![1, 0],
+                oldest_wait_us: 10.0,
+                vtime: vec![0.5, 1.0],
+                backlogged: vec![],
+            },
+        );
+        let diags = check_admission_log(&log, &params());
+        assert!(diags.iter().any(|d| d.code == codes::SERVE_FAIRNESS_REPLAY));
+    }
+
+    #[test]
+    fn depth_over_capacity_is_ec073() {
+        let mut log = AdmissionLog::default();
+        let p = ServeCheckParams {
+            queue_capacity: 1,
+            ..params()
+        };
+        arrive_admit_enqueue(&mut log, 0.0, 0, 0, 1);
+        arrive_admit_enqueue(&mut log, 1.0, 1, 1, 2);
+        let diags = check_admission_log(&log, &p);
+        assert!(diags.iter().any(|d| d.code == codes::SERVE_QUEUE_BOUND));
+    }
+
+    #[test]
+    fn deadline_miss_without_degrade_is_ec072_error() {
+        let mut log = AdmissionLog::default();
+        arrive_admit_enqueue(&mut log, 0.0, 0, 0, 1);
+        log.push(
+            5.0,
+            ServeEventKind::BatchFormed {
+                batch: 0,
+                model: 0,
+                variant: PlanVariant::Hybrid,
+                members: vec![0],
+                oldest_wait_us: 5.0,
+                vtime: vec![0.5, 0.0],
+                backlogged: vec![],
+            },
+        );
+        log.push(
+            50.0,
+            ServeEventKind::Completed {
+                req: 0,
+                tenant: 0,
+                batch: 0,
+                latency_us: 50.0,
+                deadline_us: Some(30.0),
+                degraded: false,
+            },
+        );
+        let diags = check_admission_log(&log, &params());
+        let miss = diags
+            .iter()
+            .find(|d| d.code == codes::SERVE_DEADLINE_ACCOUNTING)
+            .expect("deadline miss flagged");
+        assert_eq!(miss.severity, Severity::Error);
+    }
+
+    #[test]
+    fn lost_request_is_ec074() {
+        let mut log = AdmissionLog::default();
+        log.push(
+            0.0,
+            ServeEventKind::Arrived {
+                req: 0,
+                tenant: 0,
+                model: 0,
+            },
+        );
+        log.push(0.0, ServeEventKind::Admitted { req: 0, tenant: 0 });
+        // Admitted but never enqueued, never completed, never shed.
+        let diags = check_admission_log(&log, &params());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::SERVE_ADMISSION_ACCOUNTING));
+    }
+}

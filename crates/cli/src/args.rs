@@ -49,6 +49,24 @@ impl Options {
     pub fn has(&self, key: &str) -> bool {
         self.flags.iter().any(|(k, _)| k == key)
     }
+
+    /// Errors on the first `--flag` outside `known`, so a typo fails
+    /// loudly instead of silently falling back to a default.
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.flags {
+            if !known.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag '--{key}' (expected one of: {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Resolves a `--model` name.
@@ -143,6 +161,15 @@ mod tests {
     fn last_flag_occurrence_wins() {
         let o = opts(&["--model", "lenet", "--model", "vgg"]);
         assert_eq!(o.value("model"), Some("vgg"));
+    }
+
+    #[test]
+    fn ensure_known_accepts_listed_flags_and_names_strays() {
+        let o = opts(&["siege", "--seed", "7", "--json"]);
+        assert!(o.ensure_known(&["seed", "json", "out"]).is_ok());
+        let err = o.ensure_known(&["seed", "out"]).unwrap_err();
+        assert!(err.contains("unknown flag '--json'"), "{err}");
+        assert!(err.contains("--seed"), "suggests the allowed set: {err}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! edgenn compare  --model alexnet --platform jetson
 //!                 [--trace-out FILE] [--metrics-out FILE]
 //! edgenn storm    [--model all] [--platform jetson] [--seed 42] [--runs 100]
+//! edgenn serve    [--seed 42] [--duration-ms 1000] [--check] [--json]
+//! edgenn siege    [--seed 42] [--duration-us 60000] [--no-faults] [--json]
 //! edgenn models
 //! edgenn platforms
 //! ```
@@ -48,7 +50,14 @@ USAGE:
                      [--runs N] [--json] [--perfetto FILE]
     edgenn storm     [--model M|all] [--platform P] [--config C] [--seed N]
                      [--runs N] [--max-retries N] [--deadline-us F]
+                     [--replay-seed N] [--inject-failure I]
                      [--json] [--out FILE]
+    edgenn serve     [--seed N] [--duration-ms N] [--platform P]
+                     [--queue-capacity N] [--max-batch N] [--max-delay-us F]
+                     [--check] [--json] [--out FILE]
+    edgenn siege     [--seed N] [--duration-us F] [--platform P]
+                     [--queue-capacity N] [--max-batch N] [--max-delay-us F]
+                     [--no-faults] [--max-retries N] [--json] [--out FILE]
     edgenn inspect   --model M [--scale paper|tiny]
     edgenn models
     edgenn platforms
@@ -149,7 +158,33 @@ STORM:
     checker) and into a functional execution whose output must stay bitwise
     identical to the fault-free reference. Reports survival rate and p99
     degraded latency per model; exit status is non-zero below 100% survival.
-    --out FILE  also writes the JSON summary to FILE.";
+    Every failing or deadline-degraded round's seed is archived in the JSON
+    summary (failed_seeds / degraded_seeds) so any round is reproducible.
+    --out FILE         also writes the JSON summary to FILE
+    --replay-seed N    re-run exactly one round with seed N, verbosely
+                       (paste a seed from failed_seeds to debug it)
+    --inject-failure I force round index I to fail (tests the seed
+                       archiving path end to end)
+
+SERVE / SIEGE:
+    The multi-tenant serving front-end (edgenn-serve): per-tenant
+    token-bucket admission with in-flight caps, a bounded ingress queue,
+    weighted-fair dynamic batching into Executor::batch_execute, and an
+    SLO guard that degrades hybrid -> single-processor -> int8 before it
+    sheds. Every decision is a typed event in the admission log
+    (docs/serving.md).
+    serve  runs the real-time loop against the wall clock for
+           --duration-ms; --check replays the log through the EC07x
+           admission-log checker afterwards.
+    siege  is the deterministic gate: a seeded closed+open-loop load
+           generator in virtual time with the PR 4 fault injector armed
+           (disable with --no-faults). Formed batches execute for real
+           and must reproduce the fault-free reference bitwise; the
+           admission log always replays through the EC07x checker. Exit
+           status is non-zero if any admitted request is lost, any output
+           diverges, the queue bound breaks, or the checker objects.
+    Both write the shared JSON report (tenant tails, survival, shed rate,
+    fairness spread, checker verdict) with --json / --out FILE.";
 
 fn main() -> ExitCode {
     let options = Options::parse(std::env::args().skip(1));
@@ -163,6 +198,8 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&options),
         Some("profile") => cmd_profile(&options),
         Some("storm") => cmd_storm(&options),
+        Some("serve") => cmd_serve(&options),
+        Some("siege") => cmd_siege(&options),
         Some("inspect") => cmd_inspect(&options),
         Some("models") => cmd_models(),
         Some("platforms") => {
@@ -1151,6 +1188,114 @@ struct StormTarget<'a> {
     reference: &'a edgenn_tensor::Tensor,
 }
 
+/// The owned per-model pieces a storm round borrows (see
+/// [`StormTarget`]): paper-scale graph and plan for the analytic path,
+/// tiny twin with its fault-free reference for the bitwise gate.
+struct StormSetup {
+    graph: edgenn_nn::graph::Graph,
+    plan: ExecutionPlan,
+    clean_us: f64,
+    tiny: edgenn_nn::graph::Graph,
+    tiny_plan: ExecutionPlan,
+    input: edgenn_tensor::Tensor,
+    reference: edgenn_tensor::Tensor,
+}
+
+impl StormSetup {
+    fn target(&self) -> StormTarget<'_> {
+        StormTarget {
+            graph: &self.graph,
+            plan: &self.plan,
+            tiny: &self.tiny,
+            tiny_plan: &self.tiny_plan,
+            input: &self.input,
+            reference: &self.reference,
+        }
+    }
+}
+
+/// Plans one model at both scales and computes the fault-free
+/// functional reference the storm's bitwise gate compares against.
+fn storm_setup(
+    kind: ModelKind,
+    runtime: &Runtime<'_>,
+    config: ExecutionConfig,
+    seed: u64,
+) -> Result<StormSetup, String> {
+    let graph = build(kind, ModelScale::Paper);
+    let tuner = Tuner::new(&graph, runtime).map_err(|e| e.to_string())?;
+    let plan = tuner
+        .plan(&graph, runtime, config)
+        .map_err(|e| e.to_string())?;
+    let clean_us = runtime
+        .simulate(&graph, &plan)
+        .map_err(|e| e.to_string())?
+        .total_us;
+
+    let tiny = build(kind, ModelScale::Tiny);
+    let tiny_tuner = Tuner::new(&tiny, runtime).map_err(|e| e.to_string())?;
+    let tiny_plan = tiny_tuner
+        .plan(&tiny, runtime, config)
+        .map_err(|e| e.to_string())?;
+    let input = edgenn_tensor::Tensor::random(tiny.input_shape().dims(), 1.0, seed);
+    let reference = edgenn_core::runtime::functional::execute(&tiny, &tiny_plan, &input)
+        .map_err(|e| e.to_string())?
+        .output;
+    Ok(StormSetup {
+        graph,
+        plan,
+        clean_us,
+        tiny,
+        tiny_plan,
+        input,
+        reference,
+    })
+}
+
+/// Verbosely re-runs exactly one storm round — the seed usually pasted
+/// from a summary's `failed_seeds` — and exits with its outcome.
+fn storm_replay(
+    kinds: &[ModelKind],
+    platform: &Platform,
+    runtime: &Runtime<'_>,
+    config: ExecutionConfig,
+    rcfg: &ResilienceConfig,
+    base_seed: u64,
+    replay_seed: u64,
+) -> Result<(), String> {
+    println!(
+        "storm replay: seed {replay_seed} on {}, retry budget {}",
+        platform.name, rcfg.max_retries
+    );
+    let mut failures: Vec<String> = Vec::new();
+    for kind in kinds {
+        let setup = storm_setup(*kind, runtime, config, base_seed)?;
+        let target = setup.target();
+        match storm_run(&target, platform, runtime, replay_seed, rcfg) {
+            Ok(run) => println!(
+                "{:<12} ok: {:.3} ms degraded ({:.3} ms clean), {} fault(s), {} retr(y/ies), \
+                 {} fallback(s), {} deadline degradation(s)",
+                kind.name(),
+                run.total_us / 1e3,
+                setup.clean_us / 1e3,
+                run.recovery.faults_injected,
+                run.recovery.retries,
+                run.recovery.fallbacks,
+                run.recovery.deadline_degradations,
+            ),
+            Err(why) => {
+                println!("{:<12} FAILED: {why}", kind.name());
+                failures.push(format!("{} seed {replay_seed}: {why}", kind.name()));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("replay failed:\n  {}", failures.join("\n  ")))
+    }
+}
+
 /// Executes one seeded storm round: analytic fault injection gated by
 /// the checker (trace races, report accounting, EC04x recovery log),
 /// then a functional execution that must reproduce the fault-free
@@ -1471,6 +1616,20 @@ fn process_name_entry(pid: u64, name: &str) -> serde_json::Value {
 }
 
 fn cmd_storm(options: &Options) -> Result<(), String> {
+    options.ensure_known(&[
+        "model",
+        "platform",
+        "config",
+        "precision",
+        "seed",
+        "runs",
+        "max-retries",
+        "deadline-us",
+        "replay-seed",
+        "inject-failure",
+        "json",
+        "out",
+    ])?;
     let platform = parse_platform(options.value("platform").unwrap_or("jetson"))?;
     let config = if platform.has_gpu() {
         args::resolve_config(options)?
@@ -1493,12 +1652,20 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
         return Err("--runs must be at least 1".to_string());
     }
     let rcfg = resilience_config(options)?;
+    let inject: Option<usize> = match options.value("inject-failure") {
+        Some(v) => Some(v.parse().map_err(|e| format!("--inject-failure: {e}"))?),
+        None => None,
+    };
     let kinds: Vec<ModelKind> = match options.value("model") {
         None | Some("all") => ModelKind::ALL.to_vec(),
         Some(name) => vec![parse_model(name)?],
     };
 
     let runtime = Runtime::new(&platform);
+    if let Some(v) = options.value("replay-seed") {
+        let replay: u64 = v.parse().map_err(|e| format!("--replay-seed: {e}"))?;
+        return storm_replay(&kinds, &platform, &runtime, config, &rcfg, seed, replay);
+    }
     let json_wanted = options.has("json");
     if !json_wanted {
         println!(
@@ -1516,39 +1683,26 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
     let mut total_survived = 0usize;
     let mut first_failures: Vec<String> = Vec::new();
     for kind in kinds {
-        let graph = build(kind, ModelScale::Paper);
-        let tuner = Tuner::new(&graph, &runtime).map_err(|e| e.to_string())?;
-        let plan = tuner
-            .plan(&graph, &runtime, config)
-            .map_err(|e| e.to_string())?;
-        let clean_us = runtime
-            .simulate(&graph, &plan)
-            .map_err(|e| e.to_string())?
-            .total_us;
-
-        let tiny = build(kind, ModelScale::Tiny);
-        let tiny_tuner = Tuner::new(&tiny, &runtime).map_err(|e| e.to_string())?;
-        let tiny_plan = tiny_tuner
-            .plan(&tiny, &runtime, config)
-            .map_err(|e| e.to_string())?;
-        let input = edgenn_tensor::Tensor::random(tiny.input_shape().dims(), 1.0, seed);
-        let reference = edgenn_core::runtime::functional::execute(&tiny, &tiny_plan, &input)
-            .map_err(|e| e.to_string())?;
-        let target = StormTarget {
-            graph: &graph,
-            plan: &plan,
-            tiny: &tiny,
-            tiny_plan: &tiny_plan,
-            input: &input,
-            reference: &reference.output,
-        };
+        let setup = storm_setup(kind, &runtime, config, seed)?;
+        let clean_us = setup.clean_us;
+        let target = setup.target();
 
         let mut latencies: Vec<f64> = Vec::with_capacity(runs);
         let mut survived = 0usize;
         let (mut injected, mut retries, mut fallbacks, mut degradations) = (0u64, 0u64, 0u64, 0u64);
         let mut failures: Vec<String> = Vec::new();
+        let mut failed_seeds: Vec<u64> = Vec::new();
+        let mut degraded_seeds: Vec<u64> = Vec::new();
         for i in 0..runs {
             let run_seed = seed.wrapping_add(i as u64);
+            if inject == Some(i) {
+                failures.push(format!(
+                    "{} seed {run_seed}: forced failure (--inject-failure {i})",
+                    kind.name()
+                ));
+                failed_seeds.push(run_seed);
+                continue;
+            }
             match storm_run(&target, &platform, &runtime, run_seed, &rcfg) {
                 Ok(run) => {
                     survived += 1;
@@ -1557,8 +1711,14 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
                     retries += run.recovery.retries;
                     fallbacks += run.recovery.fallbacks;
                     degradations += run.recovery.deadline_degradations;
+                    if run.recovery.deadline_degradations > 0 {
+                        degraded_seeds.push(run_seed);
+                    }
                 }
-                Err(why) => failures.push(format!("{} seed {run_seed}: {why}", kind.name())),
+                Err(why) => {
+                    failures.push(format!("{} seed {run_seed}: {why}", kind.name()));
+                    failed_seeds.push(run_seed);
+                }
             }
         }
         total_runs += runs;
@@ -1603,6 +1763,26 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
         m.insert(
             "failures",
             serde_json::to_value(&failures).map_err(|e| e.to_string())?,
+        );
+        // Seeds are the replay currency: paste any of these into
+        // `edgenn storm --replay-seed N` to reproduce the round.
+        m.insert(
+            "failed_seeds",
+            serde_json::Value::Array(
+                failed_seeds
+                    .iter()
+                    .map(|s| serde_json::Value::from(*s))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "degraded_seeds",
+            serde_json::Value::Array(
+                degraded_seeds
+                    .iter()
+                    .map(|s| serde_json::Value::from(*s))
+                    .collect(),
+            ),
         );
         model_values.push(serde_json::Value::Object(m));
     }
@@ -1654,6 +1834,289 @@ fn cmd_storm(options: &Options) -> Result<(), String> {
         }
         Err(message)
     }
+}
+
+/// Renders the shared serve/siege report: per-tenant outcome and tail
+/// table, then the run summary.
+fn render_serve_report(report: &edgenn_serve::SiegeReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "tenant",
+        "weight",
+        "arrived",
+        "admitted",
+        "rejected",
+        "shed",
+        "completed",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms"
+    );
+    for t in &report.tenants {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6.1} {:>8} {:>8} {:>8} {:>5} {:>9} {:>9.3} {:>9.3} {:>9.3}",
+            t.name,
+            t.weight,
+            t.arrived,
+            t.admitted,
+            t.rejected,
+            t.shed,
+            t.completed,
+            t.p50_us / 1e3,
+            t.p99_us / 1e3,
+            t.p999_us / 1e3,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "batches        : {} ({} degraded)",
+        report.batches, report.degraded_batches
+    );
+    let _ = writeln!(out, "survival       : {:.4}", report.survival);
+    let _ = writeln!(out, "shed rate      : {:.4}", report.shed_rate);
+    let _ = writeln!(out, "fairness spread: {:.3}", report.fairness_spread);
+    let _ = writeln!(
+        out,
+        "queue high-water: {}/{}",
+        report.high_water, report.queue_capacity
+    );
+    out
+}
+
+/// Replays a serving run's admission log through the EC07x checker;
+/// the replay parameters travel on the report itself.
+fn serve_check(report: &edgenn_serve::SiegeReport) -> edgenn_check::CheckReport {
+    let params = edgenn_check::ServeCheckParams {
+        weights: report.weights.clone(),
+        queue_capacity: report.queue_capacity,
+        max_batch: report.max_batch,
+        models: report.models.len(),
+    };
+    let mut check = edgenn_check::CheckReport::default();
+    check.extend(edgenn_check::check_admission_log(&report.log, &params));
+    check
+}
+
+/// Shared `serve`/`siege` epilogue: JSON assembly (`--json` / `--out`),
+/// then the exit gate — non-zero on any lost request, bitwise
+/// divergence, queue-bound breach, or EC07x checker error.
+fn serve_epilogue(
+    options: &Options,
+    command: &str,
+    report: &edgenn_serve::SiegeReport,
+    check: Option<&edgenn_check::CheckReport>,
+    extra: Vec<(&'static str, serde_json::Value)>,
+) -> Result<(), String> {
+    let serde_json::Value::Object(mut summary) = report.to_value() else {
+        return Err("serve report did not serialize to an object".to_string());
+    };
+    for (key, value) in extra {
+        summary.insert(key.to_string(), value);
+    }
+    if let Some(check) = check {
+        summary.insert("checker".to_string(), check.to_json());
+    }
+    let summary = serde_json::Value::Object(summary);
+    if let Some(path) = options.value("out") {
+        let text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        if !options.has("json") {
+            eprintln!("{command} report written to {path}");
+        }
+    }
+    if options.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    }
+    let checker_errors = check.map_or(0, edgenn_check::CheckReport::error_count);
+    if report.gate_clean() && checker_errors == 0 {
+        return Ok(());
+    }
+    let mut message = format!(
+        "{command} gate failed: survival {:.4}, {} lost, {} bitwise failure(s), \
+         queue high-water {}/{}, {} checker error(s)",
+        report.survival,
+        report.lost,
+        report.bitwise_failures.len(),
+        report.high_water,
+        report.queue_capacity,
+        checker_errors
+    );
+    for failure in report.bitwise_failures.iter().take(5) {
+        message.push_str("\n  ");
+        message.push_str(failure);
+    }
+    if let Some(check) = check {
+        for d in check
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == edgenn_check::Severity::Error)
+            .take(5)
+        {
+            message.push_str("\n  ");
+            message.push_str(d.code);
+            message.push_str(": ");
+            message.push_str(&d.message);
+        }
+    }
+    Err(message)
+}
+
+/// The wall-clock serving loop: seeded clients push through admission
+/// into the bounded queue; the dispatcher batches weighted-fair and
+/// executes for real.
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    options.ensure_known(&[
+        "seed",
+        "duration-ms",
+        "platform",
+        "queue-capacity",
+        "max-batch",
+        "max-delay-us",
+        "check",
+        "json",
+        "out",
+    ])?;
+    let seed: u64 = options
+        .value("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let duration_ms: u64 = options
+        .value("duration-ms")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|e| format!("--duration-ms: {e}"))?;
+    let mut cfg = edgenn_serve::ServeConfig::demo(seed, duration_ms);
+    if let Some(v) = options.value("platform") {
+        cfg.platform = parse_platform(v)?;
+    }
+    if let Some(v) = options.value("queue-capacity") {
+        cfg.queue_capacity = v.parse().map_err(|e| format!("--queue-capacity: {e}"))?;
+    }
+    if let Some(v) = options.value("max-batch") {
+        cfg.policy.max_batch = v.parse().map_err(|e| format!("--max-batch: {e}"))?;
+    }
+    if let Some(v) = options.value("max-delay-us") {
+        cfg.policy.max_delay_us = v.parse().map_err(|e| format!("--max-delay-us: {e}"))?;
+    }
+    let recorder = Recorder::new();
+    let report = edgenn_serve::run_server(&cfg, Some(&recorder))?;
+    let check = if options.has("check") {
+        Some(serve_check(&report))
+    } else {
+        None
+    };
+    if !options.has("json") {
+        println!(
+            "serve: seed {seed}, {duration_ms} ms wall clock, {} tenant(s) x {} model(s) on {}",
+            cfg.tenants.len(),
+            cfg.models.len(),
+            cfg.platform.name,
+        );
+        print!("{}", render_serve_report(&report));
+        if let Some(check) = &check {
+            if check.is_clean() {
+                println!("EC07x check    : clean");
+            } else {
+                println!("EC07x check    : {} error(s)", check.error_count());
+            }
+        }
+    }
+    serve_epilogue(
+        options,
+        "serve",
+        &report,
+        check.as_ref(),
+        vec![
+            ("seed", serde_json::Value::from(seed)),
+            ("duration_ms", serde_json::Value::from(duration_ms)),
+        ],
+    )
+}
+
+/// The deterministic fault-injected load gate: seeded virtual-time load
+/// over the full serving pipeline, real batch executions gated bitwise,
+/// admission log replayed through the EC07x checker.
+fn cmd_siege(options: &Options) -> Result<(), String> {
+    options.ensure_known(&[
+        "seed",
+        "duration-us",
+        "platform",
+        "queue-capacity",
+        "max-batch",
+        "max-delay-us",
+        "no-faults",
+        "max-retries",
+        "json",
+        "out",
+    ])?;
+    let seed: u64 = options
+        .value("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let mut cfg = edgenn_serve::SiegeConfig::ci(seed);
+    if let Some(v) = options.value("duration-us") {
+        cfg.duration_us = v.parse().map_err(|e| format!("--duration-us: {e}"))?;
+    }
+    if let Some(v) = options.value("platform") {
+        cfg.platform = parse_platform(v)?;
+    }
+    if let Some(v) = options.value("queue-capacity") {
+        cfg.queue_capacity = v.parse().map_err(|e| format!("--queue-capacity: {e}"))?;
+    }
+    if let Some(v) = options.value("max-batch") {
+        cfg.policy.max_batch = v.parse().map_err(|e| format!("--max-batch: {e}"))?;
+    }
+    if let Some(v) = options.value("max-delay-us") {
+        cfg.policy.max_delay_us = v.parse().map_err(|e| format!("--max-delay-us: {e}"))?;
+    }
+    if options.has("no-faults") {
+        cfg.faults = false;
+    }
+    if let Some(v) = options.value("max-retries") {
+        cfg.max_retries = v.parse().map_err(|e| format!("--max-retries: {e}"))?;
+    }
+    let recorder = Recorder::new();
+    let report = edgenn_serve::run_siege(&cfg, Some(&recorder))?;
+    let check = serve_check(&report);
+    if !options.has("json") {
+        println!(
+            "siege: seed {seed}, {:.0} ms virtual, {} tenant(s) x {} model(s) on {}, faults {}",
+            cfg.duration_us / 1e3,
+            cfg.tenants.len(),
+            cfg.models.len(),
+            cfg.platform.name,
+            if cfg.faults { "armed" } else { "off" },
+        );
+        print!("{}", render_serve_report(&report));
+        if check.is_clean() {
+            println!(
+                "EC07x check    : clean ({} events)",
+                report.log.events.len()
+            );
+        } else {
+            println!("EC07x check    : {} error(s)", check.error_count());
+        }
+    }
+    serve_epilogue(
+        options,
+        "siege",
+        &report,
+        Some(&check),
+        vec![
+            ("seed", serde_json::Value::from(seed)),
+            ("duration_us", serde_json::Value::from(cfg.duration_us)),
+            ("faults", serde_json::Value::from(cfg.faults)),
+        ],
+    )
 }
 
 fn cmd_inspect(options: &Options) -> Result<(), String> {

@@ -175,6 +175,128 @@ fn bad_inputs_fail_with_useful_messages() {
 }
 
 #[test]
+fn siege_gates_clean_and_archives_checked_json() {
+    let path = std::env::temp_dir().join("edgenn_cli_test_siege.json");
+    let _ = std::fs::remove_file(&path);
+    let out = edgenn(&[
+        "siege",
+        "--seed",
+        "42",
+        "--duration-us",
+        "20000",
+        "--out",
+        path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["seed"].as_f64(), Some(42.0));
+    assert!((report["survival"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+    assert_eq!(report["lost"].as_f64(), Some(0.0));
+    assert_eq!(report["checker"]["clean"].as_bool(), Some(true));
+    assert!(
+        !report["events"].as_array().unwrap().is_empty(),
+        "the full admission log rides on the archived report"
+    );
+    let archived: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(archived["survival"], report["survival"]);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serve_runs_realtime_and_check_replays_the_log() {
+    let out = edgenn(&[
+        "serve",
+        "--seed",
+        "42",
+        "--duration-ms",
+        "250",
+        "--check",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!((report["survival"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+    assert_eq!(report["checker"]["clean"].as_bool(), Some(true));
+}
+
+#[test]
+fn serve_and_siege_reject_unknown_flags_like_every_command() {
+    for command in ["serve", "siege", "storm"] {
+        let out = edgenn(&[command, "--frobnicate", "7"]);
+        assert!(!out.status.success(), "{command} accepted a stray flag");
+        let text = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            text.contains("unknown flag '--frobnicate'"),
+            "{command}: {text}"
+        );
+        assert!(text.contains("--seed"), "{command} suggests its flags");
+    }
+}
+
+#[test]
+fn storm_surfaces_the_seed_of_a_forced_failure_and_replays_it() {
+    // The forced failure exercises the seed-archiving path end to end:
+    // round 1 of base seed 7 is seed 8, which must land in
+    // failed_seeds and in the non-zero-exit failure message.
+    let out = edgenn(&[
+        "storm",
+        "--model",
+        "fcnn",
+        "--platform",
+        "apu",
+        "--seed",
+        "7",
+        "--runs",
+        "3",
+        "--inject-failure",
+        "1",
+        "--json",
+    ]);
+    assert!(!out.status.success(), "a forced failure fails the gate");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("seed 8"),
+        "failure names its seed: {stderr}"
+    );
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let seeds = report["models"][0]["failed_seeds"].as_array().unwrap();
+    assert_eq!(seeds.len(), 1);
+    assert_eq!(seeds[0].as_f64(), Some(8.0));
+
+    // The archived seed replays verbosely (and, not being a real
+    // failure, survives).
+    let out = edgenn(&[
+        "storm",
+        "--model",
+        "fcnn",
+        "--platform",
+        "apu",
+        "--seed",
+        "7",
+        "--replay-seed",
+        "8",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("storm replay: seed 8"), "{text}");
+    assert!(text.contains("fault(s)"), "recovery detail printed: {text}");
+}
+
+#[test]
 fn inspect_prints_per_layer_table() {
     let out = edgenn(&["inspect", "--model", "vgg"]);
     assert!(out.status.success());

@@ -291,7 +291,7 @@ impl FaultInjector {
 
     /// Bounds every worker-held partial join by `timeout`: a worker
     /// that holds a partial longer is written off as hung and its share
-    /// recomputed inline (see [`pool::note_worker_lost`]).
+    /// recomputed inline (see [`pool::LossAccount`]).
     #[must_use]
     pub fn with_join_timeout(mut self, timeout: Duration) -> Self {
         self.join_timeout = Some(timeout);
@@ -503,6 +503,13 @@ impl<'g> Executor<'g> {
         let int8 = AtomicUsize::new(0);
         let int8_gated = AtomicUsize::new(0);
         let slot_bytes = AtomicU64::new(0);
+        // Watchdog write-offs land in this session-scoped ledger and
+        // settle once the scope below has joined every worker — debits
+        // are visible to concurrent sessions while they matter (a hung
+        // thread occupies a core) and never outlive this session.
+        // Declared before the pool: spent task cells in the pool's
+        // queue borrow it until the pool drops.
+        let losses = pool::LossAccount::new();
         let pool: Pool<'_, TaskResult> = Pool::new();
 
         let runs: Result<Vec<RunCounters>> = std::thread::scope(|scope| {
@@ -527,6 +534,7 @@ impl<'g> Executor<'g> {
                             int8_gated: &int8_gated,
                             slot_bytes: &slot_bytes,
                             faults: self.faults.as_ref(),
+                            losses: &losses,
                             corun_cutoff: self.corun_cutoff,
                         },
                         &pool,
@@ -537,6 +545,9 @@ impl<'g> Executor<'g> {
         // The queue may still hold completed task cells borrowing `'env`
         // data; drop it before mutably borrowing the slots for extraction.
         drop(pool);
+        // Every worker is joined (the scope above has ended): any core a
+        // watchdog wrote off is free again, so credit the debits back.
+        losses.settle();
         let runs = runs?;
 
         let output_idx = self.graph.output_id().index();
@@ -650,6 +661,11 @@ struct Ctx<'env> {
     int8_gated: &'env AtomicUsize,
     slot_bytes: &'env AtomicU64,
     faults: Option<&'env FaultInjector>,
+    /// This session's worker-loss ledger: watchdog write-offs debit
+    /// here so they settle (credit back) when the session's scope has
+    /// joined every worker, instead of depressing the process-global
+    /// budget forever.
+    losses: &'env pool::LossAccount,
     corun_cutoff: u64,
 }
 
@@ -1115,8 +1131,9 @@ fn recovering_forward(
 /// task, or one hung past the injector's join timeout) is converted
 /// into an inline recomputation of the identical share instead of a
 /// failed inference; a timed-out worker still occupies its core, so it
-/// is also debited from the global worker budget
-/// ([`pool::note_worker_lost`]).
+/// is also debited from the worker budget via the session's
+/// [`pool::LossAccount`] — visible to concurrent sessions immediately,
+/// credited back when this session's scope has joined every worker.
 fn join_partial<'env>(
     ctx: Ctx<'env>,
     task: crate::runtime::pool::TaskHandle<'env, TaskResult>,
@@ -1138,7 +1155,7 @@ fn join_partial<'env>(
                 });
             };
             if err == JoinError::TimedOut {
-                pool::note_worker_lost(); // also records the WorkerLoss instant
+                ctx.losses.debit(); // also records the WorkerLoss instant
             } else {
                 flight::instant(flight::SpanKind::WorkerLoss, flight::NO_NODE, 0);
             }

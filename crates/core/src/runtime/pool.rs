@@ -80,6 +80,59 @@ pub fn lost_workers() -> usize {
     LOST_WORKERS.load(Ordering::Relaxed)
 }
 
+/// Session-scoped ledger of workers this session's watchdogs wrote off.
+///
+/// A debit is process-visible immediately — concurrent sessions probe
+/// [`Pool::default_workers`] and spawn fewer workers while the hung
+/// thread still occupies a core — but it is *credited back* when the
+/// account settles: the session's `thread::scope` joins every worker
+/// (hung or not) before `run_session` returns, so by settle time the
+/// cores are free again. Without the settle, a single transient hang
+/// would depress `default_workers` for the rest of the process, and two
+/// sessions racing watchdog expiries would permanently cross-debit each
+/// other's worker budget.
+///
+/// Settling is idempotent and also runs on drop, so early `?` returns
+/// and panics in the driver cannot leak a debit.
+#[derive(Debug, Default)]
+pub struct LossAccount {
+    debits: std::sync::atomic::AtomicUsize,
+}
+
+impl LossAccount {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one worker off: debits the process-wide budget
+    /// ([`note_worker_lost`]) and remembers the debit for settlement.
+    pub fn debit(&self) {
+        self.debits.fetch_add(1, Ordering::Relaxed);
+        note_worker_lost();
+    }
+
+    /// Debits not yet settled.
+    pub fn outstanding(&self) -> usize {
+        self.debits.load(Ordering::Relaxed)
+    }
+
+    /// Credits every outstanding debit back
+    /// ([`note_worker_recovered`]); idempotent.
+    pub fn settle(&self) {
+        let n = self.debits.swap(0, Ordering::Relaxed);
+        for _ in 0..n {
+            note_worker_recovered();
+        }
+    }
+}
+
+impl Drop for LossAccount {
+    fn drop(&mut self) {
+        self.settle();
+    }
+}
+
 /// Lifecycle of one submitted task.
 enum TaskState<'env, T> {
     /// Queued; the job is still here and can be reclaimed by the waiter.
@@ -511,6 +564,49 @@ mod tests {
         // Recovering below zero is a no-op, not an underflow.
         note_worker_recovered();
         assert_eq!(Pool::<()>::default_workers(), before);
+    }
+
+    #[test]
+    fn concurrent_session_watchdogs_settle_without_cross_debit() {
+        let _serial = workers_lock();
+        let before = Pool::<()>::default_workers();
+        // Two sessions race watchdog expiries: each debits its own
+        // ledger. While both hangs are live the shared budget reflects
+        // both (a hung thread occupies a core no matter whose it is);
+        // once each session's scope joins its workers and settles, the
+        // budget returns to baseline — no session's transient loss may
+        // permanently debit another session's worker count.
+        let phase = std::sync::Barrier::new(3);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let account = LossAccount::new();
+                account.debit();
+                assert_eq!(account.outstanding(), 1);
+                phase.wait(); // both debits live
+                phase.wait(); // main thread observed the dip
+                account.settle();
+                assert_eq!(account.outstanding(), 0);
+            });
+            scope.spawn(|| {
+                let account = LossAccount::new();
+                account.debit();
+                phase.wait();
+                phase.wait();
+                drop(account); // settle-on-drop covers panicky exits
+            });
+            phase.wait();
+            assert_eq!(
+                Pool::<()>::default_workers(),
+                before.saturating_sub(2),
+                "both live hangs must depress the shared budget"
+            );
+            phase.wait();
+        });
+        assert_eq!(
+            Pool::<()>::default_workers(),
+            before,
+            "settled sessions must restore the budget exactly"
+        );
     }
 
     #[test]

@@ -98,11 +98,24 @@ pub enum SpanKind {
     Fallback,
     /// Instant: the pool lost a worker mid-run.
     WorkerLoss,
+    /// Instant: an admission-control decision on an incoming serve
+    /// request (`arg` = 1 admitted, 0 rejected).
+    Admission,
+    /// Dynamic-batcher coalescing window: from the moment a batch's
+    /// first request becomes eligible to the batch dispatch (`arg` =
+    /// batch size).
+    BatchForm,
+    /// Instant: the SLO guard degraded a request's plan
+    /// (hybrid→single-processor or f32→int8) to protect its deadline.
+    Degrade,
+    /// Instant: the SLO guard shed a request that degradation could
+    /// not save.
+    Shed,
 }
 
 impl SpanKind {
     /// Every kind, in code order (used by docs-sync and exhaustive tests).
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::Request,
         SpanKind::Node,
         SpanKind::Pack,
@@ -115,6 +128,10 @@ impl SpanKind {
         SpanKind::Retry,
         SpanKind::Fallback,
         SpanKind::WorkerLoss,
+        SpanKind::Admission,
+        SpanKind::BatchForm,
+        SpanKind::Degrade,
+        SpanKind::Shed,
     ];
 
     /// Stable wire code (1-based; 0 means "empty slot").
@@ -132,6 +149,10 @@ impl SpanKind {
             SpanKind::Retry => 10,
             SpanKind::Fallback => 11,
             SpanKind::WorkerLoss => 12,
+            SpanKind::Admission => 13,
+            SpanKind::BatchForm => 14,
+            SpanKind::Degrade => 15,
+            SpanKind::Shed => 16,
         }
     }
 
@@ -154,6 +175,10 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Fallback => "fallback",
             SpanKind::WorkerLoss => "worker_loss",
+            SpanKind::Admission => "admission",
+            SpanKind::BatchForm => "batch_form",
+            SpanKind::Degrade => "degrade",
+            SpanKind::Shed => "shed",
         }
     }
 
@@ -166,6 +191,9 @@ impl SpanKind {
                 | SpanKind::Retry
                 | SpanKind::Fallback
                 | SpanKind::WorkerLoss
+                | SpanKind::Admission
+                | SpanKind::Degrade
+                | SpanKind::Shed
         )
     }
 }
@@ -1051,7 +1079,13 @@ pub fn node_profiles(records: &[SpanRecord]) -> Vec<NodeProfile> {
             SpanKind::ArenaMiss => entry.arena_misses += 1,
             SpanKind::Retry => entry.retries += 1,
             SpanKind::Fallback => entry.fallbacks += 1,
-            SpanKind::Request | SpanKind::TaskRun | SpanKind::WorkerLoss => {}
+            SpanKind::Request
+            | SpanKind::TaskRun
+            | SpanKind::WorkerLoss
+            | SpanKind::Admission
+            | SpanKind::BatchForm
+            | SpanKind::Degrade
+            | SpanKind::Shed => {}
         }
     }
     by_node.into_values().collect()

@@ -118,6 +118,20 @@ pub enum SinkEvent {
         /// Weight bytes packed into kernel-native layouts (prepack only).
         bytes_prepacked: u64,
     },
+    /// One serving-layer decision from `edgenn-serve`: admission
+    /// control, SLO degradation, load shedding, batch dispatch, or a
+    /// completion. Aggregated into `edgenn_serve_<decision>_total`
+    /// counters so overload behaviour rides in the standard exposition
+    /// next to the engine and resilience counters.
+    Serve {
+        /// Decision name ("admitted", "rejected", "degraded", "shed",
+        /// "batch_dispatched", "completed").
+        decision: &'static str,
+        /// Tenant ordinal the decision applies to.
+        tenant: u32,
+        /// When it happened (us; virtual clock under `edgenn siege`).
+        t_us: f64,
+    },
     /// One static-analysis finding from the `edgenn-check` verifier,
     /// mirrored into the session so recorded runs carry the checker's
     /// verdict next to the trace it judged.
@@ -345,6 +359,10 @@ impl Recorder {
                     "edgenn_compiler_bytes_prepacked_total",
                     *bytes_prepacked as f64,
                 );
+            }
+            SinkEvent::Serve { decision, .. } => {
+                self.metrics
+                    .inc_counter(&format!("edgenn_serve_{decision}_total"), 1.0);
             }
             SinkEvent::Diagnostic { severity, .. } => {
                 self.metrics.inc_counter("edgenn_diagnostics_total", 1.0);
